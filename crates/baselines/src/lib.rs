@@ -1,0 +1,19 @@
+//! # pi-baselines — specialized materialization baselines
+//!
+//! The comparison points of the paper's evaluation (Section 6):
+//!
+//! * [`DistinctView`] — materialized view for distinct queries (fast reads,
+//!   full recomputation on update);
+//! * [`SortKeyTable`] — physically sorted table (sort queries become scans,
+//!   expensive creation and update, at most one per table);
+//! * [`JoinIndex`] — materialized FK join as an extra partner column.
+
+#![warn(missing_docs)]
+
+mod joinindex;
+mod matview;
+mod sortkey;
+
+pub use joinindex::JoinIndex;
+pub use matview::DistinctView;
+pub use sortkey::SortKeyTable;

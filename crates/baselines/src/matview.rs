@@ -1,0 +1,120 @@
+//! Materialized view baseline for distinct queries (paper, Section 6).
+//!
+//! The paper simulates materialized views "by storing the materialized
+//! information in a separate table and manually rewriting queries": the
+//! distinct query over the value column is pre-computed; a matching user
+//! query becomes a plain scan of the view. The drawback is update support —
+//! the view must be recomputed whenever the base table changes.
+
+use pi_exec::ops::agg::HashAggOp;
+use pi_exec::ops::scan::ScanOp;
+use pi_exec::parallel::per_partition;
+use pi_exec::{collect, Batch, BatchSource, OpRef};
+use pi_storage::{ColumnData, Table};
+
+/// A materialized DISTINCT over one column.
+pub struct DistinctView {
+    column: usize,
+    values: ColumnData,
+}
+
+impl DistinctView {
+    /// Computes the view: per-partition distinct in parallel, then a
+    /// global distinct over the union.
+    pub fn create(table: &Table, column: usize) -> Self {
+        let partials: Vec<Batch> = per_partition(table, |p| {
+            let scan = ScanOp::new(p, vec![column], false);
+            let mut distinct = HashAggOp::distinct(Box::new(scan), vec![0]);
+            collect(&mut distinct)
+        });
+        let combined = Batch::concat(&partials);
+        let mut global = HashAggOp::distinct(Box::new(BatchSource::single(combined)), vec![0]);
+        let out = collect(&mut global);
+        let values = if out.width() > 0 {
+            out.column(0).clone()
+        } else {
+            ColumnData::Int(Vec::new())
+        };
+        DistinctView { column, values }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The distinct query against the view: a plain scan of the
+    /// materialized result.
+    pub fn scan(&self) -> OpRef<'_> {
+        Box::new(BatchSource::single(Batch::new(vec![self.values.clone()])))
+    }
+
+    /// Full recomputation after a base-table update (the expensive refresh
+    /// the paper contrasts with PatchIndex maintenance).
+    pub fn refresh(&mut self, table: &Table) {
+        *self = DistinctView::create(table, self.column);
+    }
+
+    /// Heap bytes of the materialized result.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_storage::{DataType, Field, Partitioning, Schema, Value};
+
+    fn table(vals_a: Vec<i64>, vals_b: Vec<i64>) -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vals_a)]);
+        t.load_partition(1, &[ColumnData::Int(vals_b)]);
+        t.propagate_all();
+        t
+    }
+
+    #[test]
+    fn view_holds_global_distinct() {
+        let t = table(vec![1, 2, 2, 3], vec![3, 4]);
+        let view = DistinctView::create(&t, 0);
+        let mut vals: Vec<i64> = {
+            let mut s = view.scan();
+            collect(s.as_mut()).column(0).as_int().to_vec()
+        };
+        vals.sort_unstable();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn refresh_reflects_updates() {
+        let mut t = table(vec![1], vec![2]);
+        let mut view = DistinctView::create(&t, 0);
+        assert_eq!(view.len(), 2);
+        t.insert_rows(&[vec![Value::Int(9)]]);
+        view.refresh(&t);
+        assert_eq!(view.len(), 3);
+    }
+
+    #[test]
+    fn empty_table_view() {
+        let t = table(vec![], vec![]);
+        let view = DistinctView::create(&t, 0);
+        assert!(view.is_empty());
+    }
+}

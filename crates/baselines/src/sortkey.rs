@@ -1,0 +1,189 @@
+//! SortKey baseline (paper, Section 6): the table data is physically
+//! reordered by the key column, so sort queries become scans (plus a merge
+//! across partitions). Creation physically rewrites the data, only one
+//! SortKey per table is possible, and updates must maintain the physical
+//! order — the drawbacks the PatchIndex avoids.
+
+use pi_storage::{ColumnData, Table, Value};
+
+/// A physically sorted copy of a table, ordered by one column within each
+/// partition.
+pub struct SortKeyTable {
+    table: Table,
+    column: usize,
+}
+
+impl SortKeyTable {
+    /// Creates the sorted copy (the expensive physical reordering).
+    pub fn create(source: &Table, column: usize) -> Self {
+        let mut table = Table::new(
+            format!("{}_sortkey", source.name()),
+            source.schema().as_ref().clone(),
+            source.partition_count(),
+            pi_storage::Partitioning::RoundRobin,
+        );
+        for pid in 0..source.partition_count() {
+            let p = source.partition(pid);
+            let n = p.visible_len();
+            let all_cols: Vec<usize> = (0..source.schema().len()).collect();
+            let data = p.read_range(&all_cols, 0, n);
+            // Sort indices by the key column.
+            let keys = match &data[column] {
+                ColumnData::Int(v) => v.clone(),
+                other => panic!("SortKey over {:?}", other.data_type()),
+            };
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_unstable_by_key(|&i| keys[i]);
+            let sorted: Vec<ColumnData> = data
+                .iter()
+                .enumerate()
+                .map(|(c, col)| {
+                    if source.schema().field(c).dtype == pi_storage::DataType::Str {
+                        // Re-encode through the new table's dictionary.
+                        let vals: Vec<String> = idx
+                            .iter()
+                            .map(|&i| match col.value(i) {
+                                Value::Str(s) => s,
+                                v => v.to_string(),
+                            })
+                            .collect();
+                        table.encode_strings(c, &vals)
+                    } else {
+                        col.gather(&idx)
+                    }
+                })
+                .collect();
+            table.load_partition(pid, &sorted);
+        }
+        table.propagate_all();
+        SortKeyTable { table, column }
+    }
+
+    /// The sorted table (scan it instead of sorting).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The sort column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Maintains the physical order under inserts: each batch is merged
+    /// into its partition at the correct positions — an `O(n)` rewrite per
+    /// batch, the cost Figure 9 shows.
+    pub fn insert(&mut self, rows: &[Vec<Value>]) {
+        // Round-robin the rows like the base table would.
+        let nparts = self.table.partition_count();
+        let mut per_part: Vec<Vec<&Vec<Value>>> = vec![Vec::new(); nparts];
+        for (i, row) in rows.iter().enumerate() {
+            per_part[i % nparts].push(row);
+        }
+        let ncols = self.table.schema().len();
+        for (pid, rows) in per_part.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let col = self.column;
+            let p = self.table.partition_mut(pid);
+            let n = p.visible_len();
+            // Append, then re-sort the whole partition (physical reorder).
+            for row in rows {
+                p.append_row(row);
+            }
+            p.propagate();
+            let total = p.visible_len();
+            let _ = n;
+            let keys = match p.base_column(col) {
+                ColumnData::Int(v) => v.clone(),
+                other => panic!("SortKey over {:?}", other.data_type()),
+            };
+            let mut idx: Vec<usize> = (0..total).collect();
+            idx.sort_unstable_by_key(|&i| keys[i]);
+            if idx.windows(2).all(|w| w[0] < w[1]) {
+                continue; // already ordered
+            }
+            let reordered: Vec<ColumnData> =
+                (0..ncols).map(|c| p.base_column(c).gather(&idx)).collect();
+            // Rewrite the partition in place: delete everything, reload.
+            let all: Vec<usize> = (0..total).collect();
+            p.delete(&all);
+            p.propagate();
+            p.append_batch(&reordered);
+            p.propagate();
+        }
+    }
+
+    /// Verifies the physical order (test helper).
+    pub fn check_sorted(&self) {
+        for pid in 0..self.table.partition_count() {
+            let p = self.table.partition(pid);
+            if let ColumnData::Int(v) = p.base_column(self.column) {
+                assert!(v.windows(2).all(|w| w[0] <= w[1]), "partition {pid} unsorted");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_storage::{DataType, Field, Partitioning, Schema};
+
+    fn source() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("v", DataType::Int),
+                Field::new("x", DataType::Int),
+            ]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![3, 1, 2]), ColumnData::Int(vec![30, 10, 20])]);
+        t.load_partition(1, &[ColumnData::Int(vec![9, 7]), ColumnData::Int(vec![90, 70])]);
+        t.propagate_all();
+        t
+    }
+
+    #[test]
+    fn create_sorts_each_partition() {
+        let sk = SortKeyTable::create(&source(), 0);
+        sk.check_sorted();
+        let p0 = sk.table().partition(0);
+        assert_eq!(p0.base_column(0).as_int(), &[1, 2, 3]);
+        // Payload columns follow the reorder.
+        assert_eq!(p0.base_column(1).as_int(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn insert_maintains_order() {
+        let mut sk = SortKeyTable::create(&source(), 0);
+        sk.insert(&[
+            vec![Value::Int(0), Value::Int(0)],
+            vec![Value::Int(8), Value::Int(80)],
+        ]);
+        sk.check_sorted();
+        assert_eq!(sk.table().visible_len(), 7);
+    }
+
+    #[test]
+    fn string_payloads_survive_reorder() {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("v", DataType::Int),
+                Field::new("s", DataType::Str),
+            ]),
+            1,
+            Partitioning::RoundRobin,
+        );
+        let names = t.encode_strings(1, &["c", "a", "b"]);
+        t.load_partition(0, &[ColumnData::Int(vec![3, 1, 2]), names]);
+        t.propagate_all();
+        let sk = SortKeyTable::create(&t, 0);
+        let p = sk.table().partition(0);
+        assert_eq!(p.value_at(1, 0), Value::from("a"));
+        assert_eq!(p.value_at(1, 2), Value::from("c"));
+    }
+}

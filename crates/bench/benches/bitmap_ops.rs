@@ -1,0 +1,146 @@
+//! Criterion benches for the sharded bitmap (paper, Table 2 and Figure 6)
+//! plus the shift-kernel ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi_bitmap::{BulkDeleteMode, PlainBitmap, ShardedBitmap, ShiftKernel};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const BITS: u64 = 1 << 22; // 4M bits keeps bench runs short
+
+fn delete_positions(n: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..BITS)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Table 2: single-bit access, plain vs sharded.
+fn bench_bit_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bit_access");
+    g.sample_size(20);
+    let plain = PlainBitmap::from_positions(BITS, &[5, 100, 1000]);
+    let sharded = ShardedBitmap::from_positions(BITS, &[5, 100, 1000]);
+    g.bench_function("get/plain", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 37) % BITS;
+            std::hint::black_box(plain.get(i))
+        })
+    });
+    g.bench_function("get/sharded", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 37) % BITS;
+            std::hint::black_box(sharded.get(i))
+        })
+    });
+    g.bench_function("set/plain", |b| {
+        let mut bm = plain.clone();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 37) % BITS;
+            bm.set(i)
+        })
+    });
+    g.bench_function("set/sharded", |b| {
+        let mut bm = sharded.clone();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 37) % BITS;
+            bm.set(i)
+        })
+    });
+    g.finish();
+}
+
+/// Table 2: single delete, plain (O(n)) vs sharded (O(shard)).
+fn bench_single_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_delete");
+    g.sample_size(10);
+    g.bench_function("plain", |b| {
+        b.iter_with_setup(
+            || PlainBitmap::new(BITS),
+            |mut bm| bm.delete(0),
+        )
+    });
+    g.bench_function("sharded", |b| {
+        b.iter_with_setup(
+            || ShardedBitmap::new(BITS),
+            |mut bm| bm.delete(0),
+        )
+    });
+    g.finish();
+}
+
+/// Figure 6: bulk delete across shard sizes and modes.
+fn bench_bulk_delete_shard_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bulk_delete_shard_size");
+    g.sample_size(10);
+    let positions = delete_positions(20_000);
+    for log2 in [10u32, 14, 18] {
+        for (name, mode) in [
+            ("parallel", BulkDeleteMode::Parallel),
+            ("vectorized", BulkDeleteMode::ParallelVectorized),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("2^{log2}")),
+                &log2,
+                |b, &log2| {
+                    b.iter_with_setup(
+                        || ShardedBitmap::with_shard_bits(BITS, 1 << log2),
+                        |mut bm| bm.bulk_delete(&positions, mode),
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Ablation: scalar vs unrolled vs AVX2 shift kernels.
+fn bench_shift_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shift_kernels");
+    g.sample_size(20);
+    let words: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    for (name, kernel) in [
+        ("scalar", ShiftKernel::Scalar),
+        ("unrolled", ShiftKernel::Unrolled),
+        ("auto", ShiftKernel::Auto),
+    ] {
+        g.bench_function(name, |b| {
+            let mut w = words.clone();
+            b.iter(|| kernel.shift_tail_left(&mut w, 3, 4096 * 64))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: condense cost over utilization levels.
+fn bench_condense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("condense");
+    g.sample_size(10);
+    let positions = delete_positions(10_000);
+    g.bench_function("after_10k_deletes", |b| {
+        b.iter_with_setup(
+            || {
+                let mut bm = ShardedBitmap::new(BITS);
+                bm.bulk_delete(&positions, BulkDeleteMode::ParallelVectorized);
+                bm
+            },
+            |mut bm| bm.condense(),
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bit_access,
+    bench_single_delete,
+    bench_bulk_delete_shard_size,
+    bench_shift_kernels,
+    bench_condense
+);
+criterion_main!(benches);

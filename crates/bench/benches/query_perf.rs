@@ -1,0 +1,123 @@
+//! Criterion benches for the Figure 7/8 microbenchmark queries and the
+//! Figure 9 update handling, at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patchindex::{Design, PatchIndex};
+use pi_baselines::{DistinctView, SortKeyTable};
+use pi_bench::microq;
+use pi_datagen::{generate, update_rows, MicroKind, MicroSpec};
+
+const ROWS: usize = 100_000;
+
+/// Figure 7: distinct query configurations across exception rates.
+fn bench_distinct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_distinct");
+    g.sample_size(10);
+    for e in [0.0, 0.5] {
+        let ds = generate(&MicroSpec::new(ROWS, e, MicroKind::Nuc));
+        let (bm, id) = microq::build_indexes(&ds.table, microq::constraint_of(MicroKind::Nuc));
+        let view = DistinctView::create(&ds.table, microq::VAL_COL);
+        g.bench_with_input(BenchmarkId::new("reference", e), &e, |b, _| {
+            b.iter(|| microq::distinct_reference(&ds.table))
+        });
+        g.bench_with_input(BenchmarkId::new("matview", e), &e, |b, _| {
+            b.iter(|| microq::distinct_matview(&view))
+        });
+        g.bench_with_input(BenchmarkId::new("pi_bitmap", e), &e, |b, _| {
+            b.iter(|| microq::distinct_patchindex(&ds.table, &bm))
+        });
+        g.bench_with_input(BenchmarkId::new("pi_identifier", e), &e, |b, _| {
+            b.iter(|| microq::distinct_patchindex(&ds.table, &id))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: sort query configurations.
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_sort");
+    g.sample_size(10);
+    for e in [0.0, 0.5] {
+        let ds = generate(&MicroSpec::new(ROWS, e, MicroKind::Nsc));
+        let (bm, _) = microq::build_indexes(&ds.table, microq::constraint_of(MicroKind::Nsc));
+        let sk = SortKeyTable::create(&ds.table, microq::VAL_COL);
+        g.bench_with_input(BenchmarkId::new("reference", e), &e, |b, _| {
+            b.iter(|| microq::sort_reference(&ds.table))
+        });
+        g.bench_with_input(BenchmarkId::new("sortkey", e), &e, |b, _| {
+            b.iter(|| microq::sort_sortkey(&sk))
+        });
+        g.bench_with_input(BenchmarkId::new("pi_bitmap", e), &e, |b, _| {
+            b.iter(|| microq::sort_patchindex(&ds.table, &bm))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: creation cost.
+fn bench_creation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_creation");
+    g.sample_size(10);
+    let ds = generate(&MicroSpec::new(ROWS, 0.2, MicroKind::Nuc));
+    g.bench_function("pi_bitmap", |b| {
+        b.iter(|| {
+            PatchIndex::create(
+                &ds.table,
+                microq::VAL_COL,
+                patchindex::Constraint::NearlyUnique,
+                Design::Bitmap,
+            )
+        })
+    });
+    g.bench_function("matview", |b| b.iter(|| DistinctView::create(&ds.table, microq::VAL_COL)));
+    g.finish();
+}
+
+/// Figure 9 / DRP ablation: NUC insert maintenance with and without a
+/// usable zone map (dynamic range propagation receiver).
+fn bench_updates_drp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_insert");
+    g.sample_size(10);
+    let rows = update_rows(ROWS, MicroKind::Nuc, 100, 5);
+    g.bench_function("nuc_insert_100", |b| {
+        b.iter_with_setup(
+            || {
+                let ds = generate(&MicroSpec::new(ROWS, 0.5, MicroKind::Nuc));
+                let idx = PatchIndex::create(
+                    &ds.table,
+                    microq::VAL_COL,
+                    patchindex::Constraint::NearlyUnique,
+                    Design::Bitmap,
+                );
+                (ds.table, idx)
+            },
+            |(mut table, mut idx)| {
+                let addrs = table.insert_rows(&rows);
+                idx.handle_insert(&mut table, &addrs);
+            },
+        )
+    });
+    g.bench_function("nsc_insert_100", |b| {
+        let rows = update_rows(ROWS, MicroKind::Nsc, 100, 5);
+        b.iter_with_setup(
+            || {
+                let ds = generate(&MicroSpec::new(ROWS, 0.5, MicroKind::Nsc));
+                let idx = PatchIndex::create(
+                    &ds.table,
+                    microq::VAL_COL,
+                    patchindex::Constraint::NearlySorted(patchindex::SortDir::Asc),
+                    Design::Bitmap,
+                );
+                (ds.table, idx)
+            },
+            |(mut table, mut idx)| {
+                let addrs = table.insert_rows(&rows);
+                idx.handle_insert(&mut table, &addrs);
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_distinct, bench_sort, bench_creation, bench_updates_drp);
+criterion_main!(benches);

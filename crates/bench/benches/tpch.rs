@@ -1,0 +1,57 @@
+//! Criterion benches for the TPC-H queries of Figure 10 (small SF).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patchindex::{Constraint, Design, PatchIndex, SortDir};
+use pi_baselines::JoinIndex;
+use pi_tpch::{cols, generate, QueryVariant, TpchDb, TpchSpec};
+
+type QueryFn =
+    fn(&TpchDb, QueryVariant, Option<&PatchIndex>, Option<&JoinIndex>) -> pi_exec::Batch;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for e in [0.0, 0.10] {
+        let db = generate(&TpchSpec::new(0.005, e));
+        let pi = PatchIndex::create(
+            &db.lineitem,
+            cols::L_ORDERKEY,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
+        let ji =
+            JoinIndex::create(&db.lineitem, cols::L_ORDERKEY, &db.orders, cols::O_ORDERKEY);
+        let queries: [(&str, QueryFn); 3] =
+            [("q3", pi_tpch::q3), ("q7", pi_tpch::q7), ("q12", pi_tpch::q12)];
+        for (qname, q) in queries {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{qname}/reference"), e),
+                &e,
+                |b, _| b.iter(|| q(&db, QueryVariant::Reference, None, None).len()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{qname}/patchindex"), e),
+                &e,
+                |b, _| b.iter(|| q(&db, QueryVariant::PatchIndex, Some(&pi), None).len()),
+            );
+            if e == 0.0 {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{qname}/patchindex_zbp"), e),
+                    &e,
+                    |b, _| {
+                        b.iter(|| q(&db, QueryVariant::PatchIndexZbp, Some(&pi), None).len())
+                    },
+                );
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{qname}/joinindex"), e),
+                    &e,
+                    |b, _| b.iter(|| q(&db, QueryVariant::JoinIdx, None, Some(&ji)).len()),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # pi-bench — benchmark harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//! [`experiments`] holds one function per figure/table, the `repro` binary
+//! prints them (`cargo run --release -p pi-bench --bin repro -- all`), and
+//! the Criterion benches under `benches/` provide statistically rigorous
+//! micro-measurements of the same code paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod microq;
+pub mod timing;

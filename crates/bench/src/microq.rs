@@ -1,0 +1,119 @@
+//! The microbenchmark queries of Figure 7 in all evaluated configurations:
+//! no constraint, specialized materialization, PI_bitmap, PI_identifier.
+
+use patchindex::{Constraint, Design, PatchIndex, SortDir};
+use pi_baselines::{DistinctView, SortKeyTable};
+use pi_exec::ops::merge::OrderedMergeOp;
+use pi_exec::ops::scan::ScanOp;
+use pi_exec::ops::sort::SortOrder;
+use pi_exec::{count_rows, OpRef};
+use pi_planner::{execute_count, optimize, IndexInfo, Plan};
+use pi_storage::Table;
+
+/// Value column of the microbenchmark table.
+pub const VAL_COL: usize = 1;
+
+/// `SELECT DISTINCT val FROM micro` without constraint information.
+pub fn distinct_reference(table: &Table) -> usize {
+    let plan = Plan::scan(vec![VAL_COL]).distinct(vec![0]);
+    execute_count(&plan, table, None)
+}
+
+/// The distinct query using a PatchIndex (optimizer-rewritten plan).
+pub fn distinct_patchindex(table: &Table, index: &PatchIndex) -> usize {
+    let plan = Plan::scan(vec![VAL_COL]).distinct(vec![0]);
+    let opt = optimize(plan, IndexInfo::of(index), false);
+    execute_count(&opt, table, Some(index))
+}
+
+/// The distinct query against the materialized view (plain scan).
+pub fn distinct_matview(view: &DistinctView) -> usize {
+    let mut scan = view.scan();
+    count_rows(scan.as_mut())
+}
+
+/// `SELECT val FROM micro ORDER BY val` without constraint information.
+pub fn sort_reference(table: &Table) -> usize {
+    let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
+    execute_count(&plan, table, None)
+}
+
+/// The sort query using a PatchIndex (merge of the pre-sorted flow with
+/// the sorted patches).
+pub fn sort_patchindex(table: &Table, index: &PatchIndex) -> usize {
+    let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
+    let opt = optimize(plan, IndexInfo::of(index), false);
+    execute_count(&opt, table, Some(index))
+}
+
+/// The sort query against the SortKey table: partition scans (already
+/// sorted) merged globally.
+pub fn sort_sortkey(sk: &SortKeyTable) -> usize {
+    let t = sk.table();
+    let streams: Vec<OpRef<'_>> = (0..t.partition_count())
+        .map(|pid| {
+            Box::new(ScanOp::new(t.partition(pid), vec![sk.column()], false)) as OpRef<'_>
+        })
+        .collect();
+    let mut merge = OrderedMergeOp::new(streams, vec![(0, SortOrder::Asc)]);
+    count_rows(&mut merge)
+}
+
+/// Builds both PatchIndex designs on the value column.
+pub fn build_indexes(table: &Table, constraint: Constraint) -> (PatchIndex, PatchIndex) {
+    (
+        PatchIndex::create(table, VAL_COL, constraint, Design::Bitmap),
+        PatchIndex::create(table, VAL_COL, constraint, Design::Identifier),
+    )
+}
+
+/// Constraint for a micro kind.
+pub fn constraint_of(kind: pi_datagen::MicroKind) -> Constraint {
+    match kind {
+        pi_datagen::MicroKind::Nuc => Constraint::NearlyUnique,
+        pi_datagen::MicroKind::Nsc => Constraint::NearlySorted(SortDir::Asc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_datagen::{generate, MicroKind, MicroSpec};
+
+    #[test]
+    fn distinct_configurations_agree() {
+        let ds = generate(&MicroSpec::new(6_000, 0.3, MicroKind::Nuc));
+        let (bm, id) = build_indexes(&ds.table, Constraint::NearlyUnique);
+        let reference = distinct_reference(&ds.table);
+        assert!(reference > 0);
+        assert_eq!(distinct_patchindex(&ds.table, &bm), reference);
+        assert_eq!(distinct_patchindex(&ds.table, &id), reference);
+        let view = DistinctView::create(&ds.table, VAL_COL);
+        assert_eq!(distinct_matview(&view), reference);
+    }
+
+    #[test]
+    fn sort_configurations_agree() {
+        let ds = generate(&MicroSpec::new(6_000, 0.2, MicroKind::Nsc));
+        let (bm, id) = build_indexes(&ds.table, Constraint::NearlySorted(SortDir::Asc));
+        let reference = sort_reference(&ds.table);
+        assert_eq!(reference, 6_000);
+        assert_eq!(sort_patchindex(&ds.table, &bm), reference);
+        assert_eq!(sort_patchindex(&ds.table, &id), reference);
+        let sk = SortKeyTable::create(&ds.table, VAL_COL);
+        assert_eq!(sort_sortkey(&sk), reference);
+    }
+
+    #[test]
+    fn sorted_outputs_identical_content() {
+        use pi_exec::ops::sort::is_sorted_asc;
+        let ds = generate(&MicroSpec::new(3_000, 0.5, MicroKind::Nsc));
+        let (bm, _) = build_indexes(&ds.table, Constraint::NearlySorted(SortDir::Asc));
+        let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
+        let reference = pi_planner::execute(&plan, &ds.table, None);
+        let opt = optimize(plan, IndexInfo::of(&bm), false);
+        let rewritten = pi_planner::execute(&opt, &ds.table, Some(&bm));
+        assert_eq!(reference.column(0).as_int(), rewritten.column(0).as_int());
+        assert!(is_sorted_asc(rewritten.column(0)));
+    }
+}

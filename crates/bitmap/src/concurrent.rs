@@ -1,0 +1,263 @@
+//! Fine-grained concurrent access to a sharded bitmap (paper, Section 5.4).
+//!
+//! Shards are independent, so per-shard locks allow concurrent bit access
+//! without locking the whole structure. Start values are only ever adapted
+//! by deletes, which *decrement* them — concurrent decrements commute, so
+//! the start array uses atomics instead of locks.
+//!
+//! Consistency model: individual bit operations are linearizable. A reader
+//! racing a delete may observe positions before or after the shift — the
+//! paper relies on the DBMS snapshot-isolation layer to keep readers off
+//! in-flight update positions, and `pi-storage`'s snapshots provide the same
+//! guarantee here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::simd::ShiftKernel;
+use crate::ShardedBitmap;
+
+/// Thread-safe sharded bitmap with per-shard read/write locks and atomic
+/// start values.
+pub struct ConcurrentShardedBitmap {
+    shards: Vec<RwLock<Vec<u64>>>,
+    starts: Vec<AtomicU64>,
+    shard_bits_log2: u32,
+    logical_len: AtomicU64,
+    kernel: ShiftKernel,
+}
+
+impl ConcurrentShardedBitmap {
+    /// Creates an all-zero concurrent bitmap of `len` bits.
+    ///
+    /// # Panics
+    /// Panics unless `shard_bits` is a power of two and at least 64.
+    pub fn with_shard_bits(len: u64, shard_bits: usize) -> Self {
+        assert!(
+            shard_bits.is_power_of_two() && shard_bits >= 64,
+            "shard size must be a power of two >= 64, got {shard_bits}"
+        );
+        let log2 = shard_bits.trailing_zeros();
+        let nshards = ((len + shard_bits as u64 - 1) >> log2) as usize;
+        ConcurrentShardedBitmap {
+            shards: (0..nshards).map(|_| RwLock::new(vec![0; shard_bits / 64])).collect(),
+            starts: (0..nshards as u64).map(|s| AtomicU64::new(s << log2)).collect(),
+            shard_bits_log2: log2,
+            logical_len: AtomicU64::new(len),
+            kernel: ShiftKernel::default(),
+        }
+    }
+
+    /// Number of logical bits.
+    pub fn len(&self) -> u64 {
+        self.logical_len.load(Ordering::Acquire)
+    }
+
+    /// Whether the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn start(&self, s: usize) -> u64 {
+        self.starts[s].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn shard_end(&self, s: usize) -> u64 {
+        if s + 1 < self.starts.len() { self.start(s + 1) } else { self.len() }
+    }
+
+    #[inline]
+    fn find_shard(&self, p: u64) -> usize {
+        let mut s = ((p >> self.shard_bits_log2) as usize).min(self.starts.len() - 1);
+        while s + 1 < self.starts.len() && self.start(s + 1) <= p {
+            s += 1;
+        }
+        s
+    }
+
+    /// Returns the bit at logical position `p`, taking a shard read lock.
+    pub fn get(&self, p: u64) -> bool {
+        assert!(p < self.len(), "bit {p} out of bounds");
+        let s = self.find_shard(p);
+        let local = (p - self.start(s)) as usize;
+        let shard = self.shards[s].read();
+        shard[local / 64] >> (local % 64) & 1 == 1
+    }
+
+    /// Sets the bit at logical position `p`, taking a shard write lock.
+    pub fn set(&self, p: u64) {
+        assert!(p < self.len(), "bit {p} out of bounds");
+        let s = self.find_shard(p);
+        let local = (p - self.start(s)) as usize;
+        let mut shard = self.shards[s].write();
+        shard[local / 64] |= 1 << (local % 64);
+    }
+
+    /// Clears the bit at logical position `p`, taking a shard write lock.
+    pub fn unset(&self, p: u64) {
+        assert!(p < self.len(), "bit {p} out of bounds");
+        let s = self.find_shard(p);
+        let local = (p - self.start(s)) as usize;
+        let mut shard = self.shards[s].write();
+        shard[local / 64] &= !(1 << (local % 64));
+    }
+
+    /// Resolves a logical position to `(shard, local offset)` coordinates.
+    ///
+    /// Resolution is only stable while no concurrent delete changes the
+    /// meaning of logical positions at or below `p`; in the paper this is
+    /// guaranteed by the snapshot-isolation layer of the host system.
+    pub fn resolve(&self, p: u64) -> (usize, usize) {
+        assert!(p < self.len(), "bit {p} out of bounds");
+        let s = self.find_shard(p);
+        (s, (p - self.start(s)) as usize)
+    }
+
+    /// Deletes the bit at logical position `p`. Only the affected shard is
+    /// locked; start values of subsequent shards are decremented atomically
+    /// (concurrent decrements commute, Section 5.4).
+    ///
+    /// Logical positions shift under deletes, so calls racing other deletes
+    /// must pre-resolve coordinates against a stable snapshot — see
+    /// [`ConcurrentShardedBitmap::resolve`] / [`ConcurrentShardedBitmap::delete_at`].
+    pub fn delete(&self, p: u64) {
+        let (s, local) = self.resolve(p);
+        self.delete_at(s, local);
+    }
+
+    /// Deletes the bit at pre-resolved `(shard, local)` coordinates.
+    /// Deletes addressing *distinct shards* commute: the shard shifts are
+    /// independent and the start-value decrements are atomic.
+    pub fn delete_at(&self, s: usize, local: usize) {
+        let start = self.start(s);
+        let valid = (self.shard_end(s) - start) as usize;
+        assert!(local < valid, "local offset {local} out of bounds for shard {s}");
+        {
+            let mut shard = self.shards[s].write();
+            self.kernel.shift_tail_left(&mut shard, local, valid);
+        }
+        for later in &self.starts[s + 1..] {
+            later.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.logical_len.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Number of set bits (locks shards one at a time).
+    pub fn count_ones(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().iter().map(|w| w.count_ones() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Snapshots into a single-threaded [`ShardedBitmap`] (quiescent state
+    /// assumed, e.g. at a checkpoint).
+    pub fn to_sharded(&self) -> ShardedBitmap {
+        let len = self.len();
+        let mut out = ShardedBitmap::with_shard_bits(len, 1usize << self.shard_bits_log2);
+        for s in 0..self.shards.len() {
+            let start = self.start(s);
+            let valid = (self.shard_end(s) - start) as usize;
+            let shard = self.shards[s].read();
+            for local in 0..valid {
+                if shard[local / 64] >> (local % 64) & 1 == 1 {
+                    out.set(start + local as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a concurrent bitmap from set positions.
+    pub fn from_positions(len: u64, shard_bits: usize, positions: &[u64]) -> Self {
+        let bm = Self::with_shard_bits(len, shard_bits);
+        for &p in positions {
+            bm.set(p);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_sets_in_distinct_shards() {
+        let bm = Arc::new(ConcurrentShardedBitmap::with_shard_bits(64 * 16, 64));
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let bm = Arc::clone(&bm);
+                scope.spawn(move || {
+                    for i in 0..64 {
+                        bm.set(t * 128 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(bm.count_ones(), 8 * 64);
+    }
+
+    #[test]
+    fn concurrent_deletes_commute() {
+        // Delete one bit from each of 8 distinct shards concurrently using
+        // pre-resolved coordinates (snapshot semantics). The final content
+        // must match a sequential execution in any order.
+        let positions: Vec<u64> = (0..1024).step_by(3).collect();
+        let concurrent =
+            Arc::new(ConcurrentShardedBitmap::from_positions(1024, 64, &positions));
+        let mut reference = ShardedBitmap::with_shard_bits(1024, 64);
+        positions.iter().for_each(|&p| reference.set(p));
+
+        // One target per shard, all resolved against the initial state.
+        let targets: Vec<u64> = (0..8u64).map(|k| k * 64 + 7).collect();
+        let resolved: Vec<(usize, usize)> = targets.iter().map(|&t| concurrent.resolve(t)).collect();
+        // Sequential reference: delete descending so original logical
+        // positions stay valid.
+        for &t in targets.iter().rev() {
+            reference.delete(t);
+        }
+        std::thread::scope(|scope| {
+            for &(s, local) in &resolved {
+                let bm = Arc::clone(&concurrent);
+                scope.spawn(move || bm.delete_at(s, local));
+            }
+        });
+        assert_eq!(concurrent.len(), reference.len());
+        let got: Vec<u64> = concurrent.to_sharded().iter_ones().collect();
+        let expected: Vec<u64> = reference.iter_ones().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn get_set_unset_roundtrip() {
+        let bm = ConcurrentShardedBitmap::with_shard_bits(256, 128);
+        bm.set(200);
+        assert!(bm.get(200));
+        bm.unset(200);
+        assert!(!bm.get(200));
+    }
+
+    #[test]
+    fn delete_shifts_like_sequential() {
+        let bm = ConcurrentShardedBitmap::from_positions(256, 64, &[5, 26]);
+        bm.delete(5);
+        assert!(bm.get(25));
+        assert_eq!(bm.len(), 255);
+        let snap = bm.to_sharded();
+        assert_eq!(snap.iter_ones().collect::<Vec<_>>(), vec![25]);
+    }
+
+    #[test]
+    fn to_sharded_roundtrip() {
+        let positions = [1u64, 64, 100, 255];
+        let bm = ConcurrentShardedBitmap::from_positions(256, 64, &positions);
+        let snap = bm.to_sharded();
+        assert_eq!(snap.iter_ones().collect::<Vec<_>>(), positions);
+        snap.check_invariants();
+    }
+}

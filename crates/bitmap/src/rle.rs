@@ -1,0 +1,191 @@
+//! Run-length encoded bitmap snapshots (paper, future work: "Typically,
+//! bitmaps are compressed using run-length encoding, which could reduce
+//! the PatchIndex memory consumption especially for low exception rates").
+//!
+//! An [`RleBitmap`] is an immutable, compressed snapshot of a patch
+//! bitmap: alternating runs of zeros and ones, with a sparse directory for
+//! `O(log r)` random access. Point updates are not supported — the
+//! intended use is checkpointing and shipping cold indexes; the mutable
+//! sharded bitmap remains the working representation.
+
+use crate::ShardedBitmap;
+
+/// Immutable run-length-encoded bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RleBitmap {
+    /// Run lengths; runs alternate 0-run, 1-run, 0-run, … (the first run
+    /// is a zero-run, possibly of length 0).
+    runs: Vec<u64>,
+    /// Prefix sums of `runs` (ends of each run) for binary-searched access.
+    ends: Vec<u64>,
+    len: u64,
+    ones: u64,
+}
+
+impl RleBitmap {
+    /// Compresses the set-bit positions (ascending, in `0..len`).
+    pub fn from_positions(len: u64, positions: &[u64]) -> Self {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions must ascend");
+        let mut runs: Vec<u64> = Vec::new();
+        let mut cursor = 0u64; // next logical bit to encode
+        let mut i = 0usize;
+        while i < positions.len() {
+            let start = positions[i];
+            // Length of the 1-run starting here.
+            let mut j = i + 1;
+            while j < positions.len() && positions[j] == positions[j - 1] + 1 {
+                j += 1;
+            }
+            runs.push(start - cursor); // zero-run (may be 0)
+            runs.push((j - i) as u64); // one-run
+            cursor = positions[j - 1] + 1;
+            i = j;
+        }
+        if cursor < len {
+            runs.push(len - cursor);
+        }
+        let mut ends = Vec::with_capacity(runs.len());
+        let mut acc = 0u64;
+        for &r in &runs {
+            acc += r;
+            ends.push(acc);
+        }
+        debug_assert_eq!(acc, len);
+        RleBitmap { runs, ends, len, ones: positions.len() as u64 }
+    }
+
+    /// Compresses a sharded bitmap snapshot.
+    pub fn from_sharded(bm: &ShardedBitmap) -> Self {
+        let positions: Vec<u64> = bm.iter_ones().collect();
+        Self::from_positions(bm.len(), &positions)
+    }
+
+    /// Decompresses back into a sharded bitmap.
+    pub fn to_sharded(&self) -> ShardedBitmap {
+        ShardedBitmap::from_positions(self.len, &self.iter_ones().collect::<Vec<_>>())
+    }
+
+    /// Number of logical bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Returns the bit at `pos` via binary search over run ends.
+    pub fn get(&self, pos: u64) -> bool {
+        assert!(pos < self.len, "bit {pos} out of bounds (len {})", self.len);
+        let run = self.ends.partition_point(|&e| e <= pos);
+        // Odd-indexed runs are one-runs (run 0 is the leading zero-run).
+        run % 2 == 1
+    }
+
+    /// Iterates set-bit positions ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs
+            .iter()
+            .enumerate()
+            .scan(0u64, |cursor, (i, &r)| {
+                let start = *cursor;
+                *cursor += r;
+                Some((i, start, r))
+            })
+            .filter(|(i, _, _)| i % 2 == 1)
+            .flat_map(|(_, start, r)| start..start + r)
+    }
+
+    /// Heap bytes of the compressed representation.
+    pub fn memory_bytes(&self) -> usize {
+        (self.runs.capacity() + self.ends.capacity()) * 8
+    }
+
+    /// Compression ratio versus the dense 1-bit-per-tuple layout
+    /// (values < 1 mean RLE is smaller).
+    pub fn ratio_vs_dense(&self) -> f64 {
+        let dense = (self.len as f64 / 8.0).max(1.0);
+        self.memory_bytes() as f64 / dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sparse() {
+        let positions = vec![3u64, 4, 5, 100, 5000];
+        let rle = RleBitmap::from_positions(10_000, &positions);
+        assert_eq!(rle.count_ones(), 5);
+        assert_eq!(rle.iter_ones().collect::<Vec<_>>(), positions);
+        for p in [0u64, 3, 5, 6, 99, 100, 101, 5000, 9999] {
+            assert_eq!(rle.get(p), positions.contains(&p), "bit {p}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_sharded() {
+        let bm = ShardedBitmap::from_positions(1 << 16, &[0, 1, 2, 70_000 - 1 - 5536, 9999]);
+        let rle = RleBitmap::from_sharded(&bm);
+        let back = rle.to_sharded();
+        assert_eq!(
+            bm.iter_ones().collect::<Vec<_>>(),
+            back.iter_ones().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn leading_and_trailing_runs() {
+        let rle = RleBitmap::from_positions(10, &[0, 9]);
+        assert!(rle.get(0) && rle.get(9));
+        assert!(!rle.get(1) && !rle.get(8));
+        let all = RleBitmap::from_positions(4, &[0, 1, 2, 3]);
+        assert_eq!(all.run_count(), 2); // zero-run of length 0 + one-run
+        assert_eq!(all.count_ones(), 4);
+    }
+
+    #[test]
+    fn empty_and_all_zero() {
+        let none = RleBitmap::from_positions(100, &[]);
+        assert_eq!(none.count_ones(), 0);
+        assert!(!none.get(50));
+        let empty = RleBitmap::from_positions(0, &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn low_exception_rates_compress_well() {
+        // e = 0.1%: RLE should be far below one bit per tuple.
+        let n = 1_000_000u64;
+        let positions: Vec<u64> = (0..n).step_by(1000).collect();
+        let rle = RleBitmap::from_positions(n, &positions);
+        assert!(rle.ratio_vs_dense() < 0.3, "ratio {}", rle.ratio_vs_dense());
+        // e = 50% random-ish: dense wins.
+        let dense_pos: Vec<u64> = (0..n).step_by(2).collect();
+        let bad = RleBitmap::from_positions(n, &dense_pos);
+        assert!(bad.ratio_vs_dense() > 1.0);
+    }
+
+    #[test]
+    fn clustered_patches_compress_regardless_of_rate() {
+        // Even at e = 50%, contiguous patch ranges stay tiny under RLE
+        // (the case the paper's future-work remark targets).
+        let n = 1_000_000u64;
+        let positions: Vec<u64> = (0..n / 2).collect();
+        let rle = RleBitmap::from_positions(n, &positions);
+        assert!(rle.run_count() <= 3);
+        assert!(rle.memory_bytes() < 100);
+    }
+}

@@ -1,0 +1,703 @@
+//! The sharded bitmap (paper, Section 4).
+//!
+//! An ordinary bitmap is virtually divided into fixed-size *shards*. Each
+//! shard additionally stores the logical index of its first bit (the *start
+//! value*, akin to UpBit's fence pointers). Deleting a bit then only shifts
+//! bits inside one shard; the start values of all subsequent shards are
+//! decremented instead of moving their data.
+//!
+//! The price is one "lost" bit slot at the end of the affected shard per
+//! delete (capacity the shard can no longer address); the [`ShardedBitmap::condense`]
+//! operation re-packs shards to reclaim those slots.
+
+use crate::bitcopy::copy_bits;
+use crate::simd::ShiftKernel;
+
+/// How a bulk delete distributes work (paper, Section 4.2.3 / Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BulkDeleteMode {
+    /// One shard at a time on the calling thread, scalar shift kernel.
+    Sequential,
+    /// Affected shards spread over worker threads, scalar shift kernel.
+    Parallel,
+    /// Affected shards spread over worker threads, vectorized shift kernel.
+    #[default]
+    ParallelVectorized,
+}
+
+/// Dense bitmap with virtual shards, efficient deletes and condense support.
+///
+/// Logical positions are `0..len()`. Deleting position `p` removes that bit
+/// entirely: every subsequent bit moves one position down, exactly like
+/// removing an element from a vector (Figure 3 of the paper: after deleting
+/// bit 5, the old bit 26 answers queries for position 25).
+#[derive(Debug, Clone)]
+pub struct ShardedBitmap {
+    /// Physical bit storage, `shard_words` words per shard, garbage slots zero.
+    data: Vec<u64>,
+    /// `starts[s]` = logical index of the first bit held by shard `s`.
+    starts: Vec<u64>,
+    /// log2 of the shard size in bits.
+    shard_bits_log2: u32,
+    /// Total number of logical bits.
+    logical_len: u64,
+    /// Shift kernel used by delete operations.
+    kernel: ShiftKernel,
+}
+
+/// Default shard size: the optimum determined in Figure 6 of the paper.
+pub const DEFAULT_SHARD_BITS: usize = 1 << 14;
+
+impl ShardedBitmap {
+    /// Creates an all-zero sharded bitmap of `len` bits with the default
+    /// 2^14-bit shard size.
+    pub fn new(len: u64) -> Self {
+        Self::with_shard_bits(len, DEFAULT_SHARD_BITS)
+    }
+
+    /// Creates an all-zero bitmap with a specific shard size.
+    ///
+    /// # Panics
+    /// Panics unless `shard_bits` is a power of two and at least 64.
+    pub fn with_shard_bits(len: u64, shard_bits: usize) -> Self {
+        assert!(
+            shard_bits.is_power_of_two() && shard_bits >= 64,
+            "shard size must be a power of two >= 64, got {shard_bits}"
+        );
+        let log2 = shard_bits.trailing_zeros();
+        let nshards = ((len + shard_bits as u64 - 1) >> log2) as usize;
+        ShardedBitmap {
+            data: vec![0; nshards * (shard_bits / 64)],
+            starts: (0..nshards as u64).map(|s| s << log2).collect(),
+            shard_bits_log2: log2,
+            logical_len: len,
+            kernel: ShiftKernel::default(),
+        }
+    }
+
+    /// Builds a bitmap with exactly the given positions set.
+    pub fn from_positions(len: u64, positions: &[u64]) -> Self {
+        let mut bm = Self::new(len);
+        for &p in positions {
+            bm.set(p);
+        }
+        bm
+    }
+
+    /// Overrides the shift kernel used by deletes (ablation hook).
+    pub fn with_kernel(mut self, kernel: ShiftKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Shard size in bits.
+    #[inline]
+    pub fn shard_bits(&self) -> usize {
+        1usize << self.shard_bits_log2
+    }
+
+    #[inline]
+    fn shard_words(&self) -> usize {
+        self.shard_bits() / 64
+    }
+
+    /// Number of shards currently allocated.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Number of logical bits.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// Whether the bitmap holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.logical_len == 0
+    }
+
+    /// Logical index one past the last bit of shard `s`.
+    #[inline]
+    fn shard_end(&self, s: usize) -> u64 {
+        if s + 1 < self.starts.len() { self.starts[s + 1] } else { self.logical_len }
+    }
+
+    /// Number of valid bits currently held by shard `s`.
+    #[inline]
+    fn shard_valid(&self, s: usize) -> usize {
+        (self.shard_end(s) - self.starts[s]) as usize
+    }
+
+    /// Locates the shard containing logical position `p` (Section 4.2.1):
+    /// a bit shift produces a lower-bound guess, then start values of
+    /// upcoming shards are compared to account for previous deletes.
+    #[inline]
+    fn find_shard(&self, p: u64) -> usize {
+        debug_assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        let mut s = ((p >> self.shard_bits_log2) as usize).min(self.starts.len() - 1);
+        while s + 1 < self.starts.len() && self.starts[s + 1] <= p {
+            s += 1;
+        }
+        debug_assert!(self.starts[s] <= p);
+        s
+    }
+
+    /// Physical bit index of logical position `p`.
+    #[inline]
+    fn physical_index(&self, p: u64) -> usize {
+        let s = self.find_shard(p);
+        (s << self.shard_bits_log2) + (p - self.starts[s]) as usize
+    }
+
+    /// Returns the bit at logical position `p`.
+    #[inline]
+    pub fn get(&self, p: u64) -> bool {
+        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        let phys = self.physical_index(p);
+        self.data[phys / 64] >> (phys % 64) & 1 == 1
+    }
+
+    /// Sets the bit at logical position `p`.
+    #[inline]
+    pub fn set(&mut self, p: u64) {
+        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        let phys = self.physical_index(p);
+        self.data[phys / 64] |= 1 << (phys % 64);
+    }
+
+    /// Clears the bit at logical position `p`.
+    #[inline]
+    pub fn unset(&mut self, p: u64) {
+        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        let phys = self.physical_index(p);
+        self.data[phys / 64] &= !(1 << (phys % 64));
+    }
+
+    /// Extends the bitmap by `n` zero bits. Appended bits fill the spare
+    /// capacity of the final shard before new shards are allocated, so
+    /// resizing after a table insert is `O(n / 64)`.
+    pub fn append_zeros(&mut self, n: u64) {
+        let shard_bits = self.shard_bits() as u64;
+        let mut remaining = n;
+        if let Some(last) = self.starts.len().checked_sub(1) {
+            let spare = shard_bits - self.shard_valid(last) as u64;
+            let take = spare.min(remaining);
+            self.logical_len += take;
+            remaining -= take;
+        }
+        while remaining > 0 {
+            self.starts.push(self.logical_len);
+            self.data.extend(std::iter::repeat_n(0, self.shard_words()));
+            let take = shard_bits.min(remaining);
+            self.logical_len += take;
+            remaining -= take;
+        }
+    }
+
+    /// Deletes the bit at logical position `p` entirely (Section 4.2.2):
+    /// (a) locate the shard, (b) shift subsequent bits of that shard one
+    /// position down, (c) decrement the start values of later shards.
+    pub fn delete(&mut self, p: u64) {
+        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        let s = self.find_shard(p);
+        let local = (p - self.starts[s]) as usize;
+        let valid = self.shard_valid(s);
+        let words = self.shard_words();
+        let range = s * words..(s + 1) * words;
+        self.kernel.shift_tail_left(&mut self.data[range], local, valid);
+        for start in &mut self.starts[s + 1..] {
+            *start -= 1;
+        }
+        self.logical_len -= 1;
+    }
+
+    /// Deletes many logical positions at once (Section 4.2.3 / Figure 4).
+    ///
+    /// Positions refer to the bitmap state *before* the call; duplicates are
+    /// ignored. A preprocessing pass groups positions by shard, shifts are
+    /// performed descending within each shard (optionally in parallel across
+    /// shards), and all start values are adapted in a single traversal with
+    /// a running sum of preceding deletes.
+    pub fn bulk_delete(&mut self, positions: &[u64], mode: BulkDeleteMode) {
+        if positions.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<u64> = positions.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(
+            *sorted.last().unwrap() < self.logical_len,
+            "bulk delete position out of bounds"
+        );
+
+        // Preprocessing: group local offsets per shard (positions ascending,
+        // shards ascending, so a single forward sweep suffices).
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut s = 0usize;
+        for &p in &sorted {
+            s = if self.starts[s] <= p && p < self.shard_end(s) {
+                s
+            } else {
+                self.find_shard(p)
+            };
+            let local = (p - self.starts[s]) as usize;
+            match groups.last_mut() {
+                Some((shard, offs)) if *shard == s => offs.push(local),
+                _ => groups.push((s, vec![local])),
+            }
+        }
+
+        let shard_words = self.shard_words();
+        let kernel = match mode {
+            BulkDeleteMode::Sequential | BulkDeleteMode::Parallel => ShiftKernel::Scalar,
+            BulkDeleteMode::ParallelVectorized => self.kernel,
+        };
+
+        // Per-shard work item: shift out each deleted offset, descending, so
+        // earlier shifts do not move later target positions.
+        let valid_of: Vec<usize> = groups.iter().map(|(s, _)| self.shard_valid(*s)).collect();
+        let run = |shard_data: &mut [u64], offs: &[usize], valid: usize| {
+            let mut remaining = valid;
+            for &off in offs.iter().rev() {
+                kernel.shift_tail_left(shard_data, off, remaining);
+                remaining -= 1;
+            }
+        };
+
+        match mode {
+            BulkDeleteMode::Sequential => {
+                for ((shard, offs), valid) in groups.iter().zip(&valid_of) {
+                    let range = shard * shard_words..(shard + 1) * shard_words;
+                    run(&mut self.data[range], offs, *valid);
+                }
+            }
+            BulkDeleteMode::Parallel | BulkDeleteMode::ParallelVectorized => {
+                // Hand each worker a contiguous slice of the affected-shard
+                // list; shards are disjoint word ranges, so `chunks_mut`
+                // provides aliasing-free access.
+                let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+                let mut shard_slices: Vec<Option<&mut [u64]>> =
+                    self.data.chunks_mut(shard_words).map(Some).collect();
+                let mut work: Vec<(&mut [u64], &[usize], usize)> = groups
+                    .iter()
+                    .zip(&valid_of)
+                    .map(|((shard, offs), valid)| {
+                        let slice = shard_slices[*shard].take().expect("duplicate shard");
+                        (slice, offs.as_slice(), *valid)
+                    })
+                    .collect();
+                let per_thread = work.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for chunk in work.chunks_mut(per_thread) {
+                        // Move ownership of the chunk items into the thread.
+                        let items: Vec<(&mut [u64], &[usize], usize)> = chunk
+                            .iter_mut()
+                            .map(|(d, o, v)| (std::mem::take(d), *o, *v))
+                            .collect();
+                        scope.spawn(move || {
+                            for (shard_data, offs, valid) in items {
+                                run(shard_data, offs, valid);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        // Single traversal over the start array with a running sum of
+        // deleted bits in preceding shards (Figure 4, final step).
+        let mut deleted_before = 0u64;
+        let mut g = groups.iter().peekable();
+        for (s, start) in self.starts.iter_mut().enumerate() {
+            *start -= deleted_before;
+            if let Some((shard, offs)) = g.peek() {
+                if *shard == s {
+                    deleted_before += offs.len() as u64;
+                    g.next();
+                }
+            }
+        }
+        self.logical_len -= deleted_before;
+    }
+
+    /// Fraction of allocated bit slots that are still addressable. Every
+    /// delete "loses" one slot at the end of its shard; condensing restores
+    /// utilization to 1.0.
+    pub fn utilization(&self) -> f64 {
+        let capacity = (self.starts.len() * self.shard_bits()) as u64;
+        if capacity == 0 {
+            return 1.0;
+        }
+        self.logical_len as f64 / capacity as f64
+    }
+
+    /// Re-packs all shards so every shard (except possibly the last) is
+    /// completely full again, reclaiming the slots lost to deletes
+    /// (Section 4.2.4). Single traversal over the bitmap.
+    pub fn condense(&mut self) {
+        let shard_bits = self.shard_bits();
+        let shard_words = self.shard_words();
+        let nshards_new = (self.logical_len as usize).div_ceil(shard_bits);
+        let mut new_data = vec![0u64; nshards_new * shard_words];
+        let mut out_bit = 0usize;
+        for s in 0..self.starts.len() {
+            let valid = self.shard_valid(s);
+            copy_bits(
+                &self.data[s * shard_words..(s + 1) * shard_words],
+                0,
+                &mut new_data,
+                out_bit,
+                valid,
+            );
+            out_bit += valid;
+        }
+        debug_assert_eq!(out_bit as u64, self.logical_len);
+        self.data = new_data;
+        self.starts = (0..nshards_new as u64).map(|s| s * shard_bits as u64).collect();
+    }
+
+    /// Condenses once utilization drops below `threshold`; returns whether a
+    /// condense ran (automatic triggering as described in Section 4.2.4).
+    pub fn maybe_condense(&mut self, threshold: f64) -> bool {
+        if self.utilization() < threshold {
+            self.condense();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        // Garbage slots are kept zero, so whole-word popcounts are exact.
+        self.data.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Iterates the logical positions of all set bits in ascending order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter { bm: self, shard: 0, local: 0 }
+    }
+
+    /// Reads the logical bit range `[from, from + out.len() * 64)` (clamped
+    /// to `len()`) into packed words. Used to merge the patch mask into a
+    /// scan batch without per-bit shard lookups.
+    pub fn fill_words(&self, from: u64, out: &mut [u64]) {
+        out.iter_mut().for_each(|w| *w = 0);
+        if self.logical_len == 0 || from >= self.logical_len {
+            return;
+        }
+        let want = (out.len() * 64).min((self.logical_len - from) as usize);
+        let shard_words = self.shard_words();
+        let mut s = self.find_shard(from);
+        let mut copied = 0usize;
+        while copied < want && s < self.starts.len() {
+            let shard_start = self.starts[s];
+            let valid = self.shard_valid(s);
+            let cur = from + copied as u64;
+            let local = (cur - shard_start) as usize;
+            let take = (valid - local).min(want - copied);
+            if take > 0 {
+                copy_bits(
+                    &self.data[s * shard_words..(s + 1) * shard_words],
+                    local,
+                    out,
+                    copied,
+                    take,
+                );
+                copied += take;
+            }
+            s += 1;
+        }
+    }
+
+    /// Heap bytes used by bit data plus start values.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * 8 + self.starts.capacity() * 8
+    }
+
+    /// Relative memory overhead of the start-value array versus the raw
+    /// bitmap: `64 / shard_bits` (paper: 0.39% at the 2^14 default).
+    pub fn sharding_overhead(&self) -> f64 {
+        64.0 / self.shard_bits() as f64
+    }
+
+    /// Validates all structural invariants (tests / debug assertions).
+    pub fn check_invariants(&self) {
+        let shard_bits = self.shard_bits() as u64;
+        for s in 0..self.starts.len() {
+            assert!(self.starts[s] <= (s as u64) * shard_bits, "start exceeds initial position");
+            let valid = self.shard_end(s).checked_sub(self.starts[s]).expect("starts not monotone");
+            assert!(valid <= shard_bits, "shard over capacity");
+            // Garbage slots must be zero.
+            let words = self.shard_words();
+            let shard = &self.data[s * words..(s + 1) * words];
+            for b in valid as usize..shard_bits as usize {
+                assert_eq!(shard[b / 64] >> (b % 64) & 1, 0, "garbage bit set in shard {s}");
+            }
+        }
+        if let Some(&first) = self.starts.first() {
+            assert_eq!(first, 0, "first shard must start at 0");
+        }
+    }
+}
+
+/// Ascending iterator over set bit positions of a [`ShardedBitmap`].
+pub struct OnesIter<'a> {
+    bm: &'a ShardedBitmap,
+    shard: usize,
+    local: usize,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let shard_words = self.bm.shard_words();
+        while self.shard < self.bm.starts.len() {
+            let valid = self.bm.shard_valid(self.shard);
+            let base = self.shard * shard_words;
+            while self.local < valid {
+                let w = self.bm.data[base + self.local / 64] >> (self.local % 64);
+                if w == 0 {
+                    // Skip the rest of this word.
+                    self.local = (self.local / 64 + 1) * 64;
+                    continue;
+                }
+                let tz = w.trailing_zeros() as usize;
+                let pos = self.local + tz;
+                if pos >= valid {
+                    break;
+                }
+                self.local = pos + 1;
+                return Some(self.bm.starts[self.shard] + pos as u64);
+            }
+            self.shard += 1;
+            self.local = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain::PlainBitmap;
+
+    /// Tiny shards (64 bits) stress shard-boundary logic.
+    fn small(len: u64, positions: &[u64]) -> ShardedBitmap {
+        let mut bm = ShardedBitmap::with_shard_bits(len, 64);
+        for &p in positions {
+            bm.set(p);
+        }
+        bm
+    }
+
+    #[test]
+    fn figure3_delete_example() {
+        // Paper Figure 3 (scaled): deleting bit 5 makes old bit 26 answer
+        // queries for position 25.
+        let mut bm = small(256, &[5, 26]);
+        bm.delete(5);
+        assert_eq!(bm.len(), 255);
+        assert!(bm.get(25));
+        assert_eq!(bm.count_ones(), 1);
+        bm.check_invariants();
+    }
+
+    #[test]
+    fn set_get_unset_across_shards() {
+        let mut bm = ShardedBitmap::with_shard_bits(1000, 128);
+        for p in [0u64, 127, 128, 500, 999] {
+            bm.set(p);
+            assert!(bm.get(p));
+        }
+        bm.unset(128);
+        assert!(!bm.get(128));
+        assert_eq!(bm.count_ones(), 4);
+        bm.check_invariants();
+    }
+
+    #[test]
+    fn delete_keeps_reads_consistent_with_plain() {
+        let mut plain = PlainBitmap::from_positions(512, &[3, 64, 100, 200, 300, 511]);
+        let mut sharded = small(512, &[3, 64, 100, 200, 300, 511]);
+        for p in [100u64, 0, 250, 508] {
+            plain.delete(p);
+            sharded.delete(p);
+            sharded.check_invariants();
+            assert_eq!(plain.len(), sharded.len());
+            for i in 0..plain.len() {
+                assert_eq!(plain.get(i), sharded.get(i), "mismatch at {i} after deleting {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_delete_modes_agree() {
+        let positions: Vec<u64> = (0..2048).filter(|p| p % 7 == 0).collect();
+        let deletes: Vec<u64> = (0..2048).filter(|p| p % 13 == 0).collect();
+        let mut expected = ShardedBitmap::with_shard_bits(2048, 128);
+        positions.iter().for_each(|&p| expected.set(p));
+        // Reference: descending single deletes.
+        for &d in deletes.iter().rev() {
+            expected.delete(d);
+        }
+        for mode in [
+            BulkDeleteMode::Sequential,
+            BulkDeleteMode::Parallel,
+            BulkDeleteMode::ParallelVectorized,
+        ] {
+            let mut bm = ShardedBitmap::with_shard_bits(2048, 128);
+            positions.iter().for_each(|&p| bm.set(p));
+            bm.bulk_delete(&deletes, mode);
+            bm.check_invariants();
+            assert_eq!(bm.len(), expected.len(), "{mode:?}");
+            let a: Vec<u64> = bm.iter_ones().collect();
+            let b: Vec<u64> = expected.iter_ones().collect();
+            assert_eq!(a, b, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_delete_unsorted_input_with_duplicates() {
+        let mut bm = small(256, &[10, 20, 30]);
+        bm.bulk_delete(&[20, 5, 20, 100], BulkDeleteMode::Sequential);
+        assert_eq!(bm.len(), 253);
+        let ones: Vec<u64> = bm.iter_ones().collect();
+        // 10 shifts to 9 (5 deleted before it); 30 shifts to 28 (5, 20 deleted).
+        assert_eq!(ones, vec![9, 28]);
+    }
+
+    #[test]
+    fn condense_restores_utilization() {
+        let mut bm = small(64 * 8, &(0..512).step_by(3).collect::<Vec<_>>());
+        let before: Vec<u64> = bm.iter_ones().collect();
+        let dels: Vec<u64> = (0..100u64).map(|i| i * 5).collect();
+        bm.bulk_delete(&dels, BulkDeleteMode::Sequential);
+        assert!(bm.utilization() < 1.0);
+        let ones_before: Vec<u64> = bm.iter_ones().collect();
+        bm.condense();
+        bm.check_invariants();
+        assert!((bm.utilization() - bm.len() as f64 / (bm.shard_count() * 64) as f64).abs() < 1e-12);
+        let ones_after: Vec<u64> = bm.iter_ones().collect();
+        assert_eq!(ones_before, ones_after);
+        assert_ne!(before, ones_after);
+        // Reads still agree position by position.
+        for (i, _) in ones_after.iter().enumerate() {
+            assert!(bm.get(ones_after[i]));
+        }
+    }
+
+    #[test]
+    fn maybe_condense_threshold() {
+        let mut bm = small(640, &[]);
+        for _ in 0..64 {
+            bm.delete(0);
+        }
+        assert_eq!(bm.len(), 576);
+        assert!(!bm.maybe_condense(0.5)); // utilization 576/640 = 0.9
+        assert!(bm.maybe_condense(0.95));
+        assert_eq!(bm.shard_count(), 9);
+    }
+
+    #[test]
+    fn append_zeros_fills_spare_then_allocates() {
+        let mut bm = small(100, &[99]);
+        assert_eq!(bm.shard_count(), 2);
+        bm.append_zeros(28); // fills shard 1 spare (28 left)
+        assert_eq!(bm.shard_count(), 2);
+        assert_eq!(bm.len(), 128);
+        bm.append_zeros(1);
+        assert_eq!(bm.shard_count(), 3);
+        bm.set(128);
+        assert!(bm.get(128) && bm.get(99));
+        bm.check_invariants();
+    }
+
+    #[test]
+    fn append_after_delete_reuses_lost_slot_of_last_shard() {
+        let mut bm = small(128, &[]);
+        bm.delete(127); // lost slot at the end of shard 1
+        assert_eq!(bm.len(), 127);
+        bm.append_zeros(1);
+        assert_eq!(bm.shard_count(), 2, "spare capacity of last shard reused");
+        assert_eq!(bm.len(), 128);
+        bm.check_invariants();
+    }
+
+    #[test]
+    fn append_to_empty_bitmap() {
+        let mut bm = ShardedBitmap::with_shard_bits(0, 64);
+        assert!(bm.is_empty());
+        bm.append_zeros(70);
+        assert_eq!(bm.len(), 70);
+        assert_eq!(bm.shard_count(), 2);
+        bm.set(69);
+        assert!(bm.get(69));
+    }
+
+    #[test]
+    fn fill_words_matches_gets() {
+        let positions: Vec<u64> = (0..1024).filter(|p| p % 5 == 0).collect();
+        let mut bm = small(1024, &positions);
+        bm.bulk_delete(&[7, 130, 700], BulkDeleteMode::Sequential);
+        for from in [0u64, 1, 63, 64, 100, 1000] {
+            let mut out = [0u64; 4];
+            bm.fill_words(from, &mut out);
+            for i in 0..256u64 {
+                let expected = from + i < bm.len() && bm.get(from + i);
+                let got = out[(i / 64) as usize] >> (i % 64) & 1 == 1;
+                assert_eq!(got, expected, "from={from} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_ones_ascending_and_complete() {
+        let positions: Vec<u64> = vec![0, 1, 63, 64, 65, 127, 128, 300, 511];
+        let bm = small(512, &positions);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn default_shard_size_matches_paper_optimum() {
+        let bm = ShardedBitmap::new(1 << 20);
+        assert_eq!(bm.shard_bits(), 1 << 14);
+        assert!((bm.sharding_overhead() - 0.0039).abs() < 1e-4);
+    }
+
+    #[test]
+    fn memory_overhead_formula() {
+        let bm = ShardedBitmap::with_shard_bits(1 << 20, 1 << 8);
+        assert!((bm.sharding_overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut bm = small(130, &[0, 64, 129]);
+        for _ in 0..130 {
+            bm.delete(0);
+        }
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+        bm.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn delete_out_of_bounds_panics() {
+        let mut bm = small(64, &[]);
+        bm.delete(64);
+    }
+
+    #[test]
+    fn bulk_delete_empty_is_noop() {
+        let mut bm = small(128, &[5]);
+        bm.bulk_delete(&[], BulkDeleteMode::ParallelVectorized);
+        assert_eq!(bm.len(), 128);
+        assert!(bm.get(5));
+    }
+}

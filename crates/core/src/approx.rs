@@ -1,0 +1,229 @@
+//! Approximate query processing on PatchIndexes (paper, future work: "the
+//! PatchIndex contains information that hold for the major part of the
+//! data and therefore allows to generate approximate results on the whole
+//! dataset").
+//!
+//! Because the index knows exactly how many tuples violate the constraint,
+//! several aggregates can be answered *without touching the data at all*,
+//! or by scanning only the patches — each with a hard error bound derived
+//! from the patch count.
+
+use pi_storage::Table;
+
+use crate::constraint::{Constraint, SortDir};
+use crate::discovery::partition_column_values;
+use crate::index::PatchIndex;
+
+/// An approximate scalar answer with a guaranteed absolute error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxAnswer {
+    /// The estimate.
+    pub estimate: f64,
+    /// `|true value − estimate| <= error_bound`, guaranteed.
+    pub error_bound: f64,
+}
+
+impl ApproxAnswer {
+    fn exact(v: f64) -> Self {
+        ApproxAnswer { estimate: v, error_bound: 0.0 }
+    }
+}
+
+/// Approximate `COUNT(DISTINCT col)` from a NUC index, **without any data
+/// access**: every non-patch value is unique (one distinct value each);
+/// the patches contribute between 1 and `patch_count` further values.
+///
+/// # Panics
+/// Panics if the index is not a NUC.
+pub fn approx_count_distinct(index: &PatchIndex) -> ApproxAnswer {
+    assert!(
+        matches!(index.constraint(), Constraint::NearlyUnique),
+        "approx_count_distinct needs a NUC index"
+    );
+    let clean = (index.nrows() - index.exception_count()) as f64;
+    let patches = index.exception_count() as f64;
+    if patches == 0.0 {
+        return ApproxAnswer::exact(clean);
+    }
+    // Patches contribute in [1, patches] distinct values (at least one,
+    // because a patch exists; at most one value each). Estimate with the
+    // midpoint; the bound is half the interval.
+    ApproxAnswer {
+        estimate: clean + (1.0 + patches) / 2.0,
+        error_bound: (patches - 1.0) / 2.0,
+    }
+}
+
+/// Approximate sortedness fraction from an NSC index (no data access):
+/// the share of tuples already in order.
+pub fn sortedness(index: &PatchIndex) -> f64 {
+    assert!(
+        matches!(index.constraint(), Constraint::NearlySorted(_)),
+        "sortedness needs an NSC index"
+    );
+    1.0 - index.exception_rate()
+}
+
+/// Approximate `MAX(col)` (for an ascending NSC) touching **only the
+/// patches**: the sorted run's maximum is the tracked anchor value; only
+/// the exceptions can exceed it.
+///
+/// Returns an exact answer (error bound 0) — the point is the access cost:
+/// `O(patches)` instead of `O(n)`.
+pub fn max_via_nsc(table: &Table, index: &PatchIndex) -> Option<i64> {
+    assert!(
+        matches!(index.constraint(), Constraint::NearlySorted(SortDir::Asc)),
+        "max_via_nsc needs an ascending NSC index"
+    );
+    let mut best: Option<i64> = None;
+    for pid in 0..index.partition_count() {
+        let part = index.partition(pid);
+        let mut local = part.last_sorted;
+        if part.store.patch_count() > 0 {
+            let rids: Vec<usize> =
+                part.store.patch_rids().iter().map(|&r| r as usize).collect();
+            let vals = table.partition(pid).gather(&[index.column()], &rids);
+            for i in 0..vals[0].len() {
+                let v = vals[0].as_int()[i];
+                local = Some(local.map_or(v, |m| m.max(v)));
+            }
+        }
+        if let Some(v) = local {
+            best = Some(best.map_or(v, |b| b.max(v)));
+        }
+    }
+    best
+}
+
+/// Approximate median of an ascending NSC **without sorting**: the sorted
+/// run's middle element, correct within `patch_count` rank positions.
+pub fn approx_median(table: &Table, index: &PatchIndex) -> Option<ApproxAnswer> {
+    assert!(
+        matches!(index.constraint(), Constraint::NearlySorted(SortDir::Asc)),
+        "approx_median needs an ascending NSC index"
+    );
+    // Single-partition medians are meaningful; across partitions the run
+    // values interleave, so restrict to the dominant case of one
+    // partition or concatenatable runs (documented limitation).
+    if index.partition_count() != 1 {
+        return None;
+    }
+    let part = index.partition(0);
+    let n = part.store.nrows();
+    if n == 0 {
+        return None;
+    }
+    let values = partition_column_values(table.partition(0), index.column());
+    let lookup = part.store.as_lookup();
+    let run: Vec<i64> = values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !lookup.is_patch(*i as u64))
+        .map(|(_, v)| *v)
+        .collect();
+    if run.is_empty() {
+        return None;
+    }
+    // The true median's rank differs from the run median's rank by at
+    // most the number of excluded patches.
+    let estimate = run[run.len() / 2] as f64;
+    // Translate the rank bound into a value bound using the run itself.
+    let k = (part.store.patch_count() as usize).min(run.len() / 2);
+    let lo = run[run.len() / 2 - k];
+    let hi = run[(run.len() / 2 + k).min(run.len() - 1)];
+    Some(ApproxAnswer {
+        estimate,
+        error_bound: (estimate - lo as f64).abs().max((hi as f64 - estimate).abs()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Design;
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
+
+    fn table(vals: Vec<i64>) -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            1,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vals)]);
+        t.propagate_all();
+        t
+    }
+
+    #[test]
+    fn count_distinct_exact_on_perfect_nuc() {
+        let t = table((0..100).collect());
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let a = approx_count_distinct(&idx);
+        assert_eq!(a.estimate, 100.0);
+        assert_eq!(a.error_bound, 0.0);
+    }
+
+    #[test]
+    fn count_distinct_bound_contains_truth() {
+        // 90 unique + 10 occurrences spread over 3 duplicate values.
+        let mut vals: Vec<i64> = (100..190).collect();
+        vals.extend([1, 1, 1, 2, 2, 2, 2, 3, 3, 3]);
+        let t = table(vals);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let truth = 93.0;
+        let a = approx_count_distinct(&idx);
+        assert!(
+            (truth - a.estimate).abs() <= a.error_bound + 1e-9,
+            "estimate {} ± {} misses {truth}",
+            a.estimate,
+            a.error_bound
+        );
+    }
+
+    #[test]
+    fn sortedness_fraction() {
+        let t = table(vec![1, 2, 99, 3, 4]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        assert!((sortedness(&idx) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_via_patches_only() {
+        let t = table(vec![1, 2, 500, 3, 4]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        assert_eq!(max_via_nsc(&t, &idx), Some(500));
+        // Perfect data: the anchor answers without any scan.
+        let t2 = table((0..50).collect());
+        let idx2 =
+            PatchIndex::create(&t2, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        assert_eq!(max_via_nsc(&t2, &idx2), Some(49));
+    }
+
+    #[test]
+    fn median_bound_contains_truth() {
+        let mut vals: Vec<i64> = (0..1000).map(|i| i * 2).collect();
+        vals[100] = 100_000; // one exception
+        vals[900] = -5; // another
+        let t = table(vals.clone());
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let a = approx_median(&t, &idx).expect("single partition");
+        let mut sorted = vals;
+        sorted.sort_unstable();
+        let truth = sorted[sorted.len() / 2] as f64;
+        assert!(
+            (truth - a.estimate).abs() <= a.error_bound + 1e-9,
+            "estimate {} ± {} misses {truth}",
+            a.estimate,
+            a.error_bound
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a NUC index")]
+    fn wrong_constraint_panics() {
+        let t = table(vec![1, 2, 3]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        approx_count_distinct(&idx);
+    }
+}

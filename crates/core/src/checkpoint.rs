@@ -1,0 +1,215 @@
+//! Recovery (paper, Section 3.4).
+//!
+//! PatchIndexes are main-memory structures; to keep the database log slim
+//! the actual patch information is not logged. Two recovery strategies:
+//!
+//! * [`PatchIndex::recover`] — recreate from the table after a restart
+//!   (the paper's default);
+//! * [`PatchIndex::checkpoint`] / [`PatchIndex::load_checkpoint`] — persist
+//!   the index state to disk as a checkpoint (hand-rolled little-endian
+//!   codec; the dependency policy in DESIGN.md rules out serde formats).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use pi_storage::Table;
+
+use crate::constraint::{Constraint, Design, SortDir};
+use crate::index::{PartitionIndex, PatchIndex};
+use crate::store::PatchStore;
+
+const MAGIC: &[u8; 4] = b"PIDX";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_i64(r: &mut impl Read) -> io::Result<i64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(i64::from_le_bytes(buf))
+}
+
+fn constraint_tag(c: Constraint) -> u32 {
+    match c {
+        Constraint::NearlyUnique => 0,
+        Constraint::NearlySorted(SortDir::Asc) => 1,
+        Constraint::NearlySorted(SortDir::Desc) => 2,
+        Constraint::NearlyConstant => 3,
+    }
+}
+
+fn constraint_from_tag(tag: u32) -> io::Result<Constraint> {
+    match tag {
+        0 => Ok(Constraint::NearlyUnique),
+        1 => Ok(Constraint::NearlySorted(SortDir::Asc)),
+        2 => Ok(Constraint::NearlySorted(SortDir::Desc)),
+        3 => Ok(Constraint::NearlyConstant),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown constraint tag {other}"),
+        )),
+    }
+}
+
+impl PatchIndex {
+    /// Recreates the index from the table — recovery after a shutdown or
+    /// failure without a checkpoint.
+    pub fn recover(table: &Table, col: usize, constraint: Constraint, design: Design) -> Self {
+        PatchIndex::create(table, col, constraint, design)
+    }
+
+    /// Persists the index state to `path`.
+    pub fn checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        write_u32(&mut w, VERSION)?;
+        write_u32(&mut w, self.column() as u32)?;
+        write_u32(&mut w, constraint_tag(self.constraint()))?;
+        write_u32(&mut w, matches!(self.design(), Design::Identifier) as u32)?;
+        write_u32(&mut w, self.partition_count() as u32)?;
+        for pid in 0..self.partition_count() {
+            let part = self.partition(pid);
+            write_u64(&mut w, part.store.nrows())?;
+            match part.last_sorted {
+                Some(v) => {
+                    write_u32(&mut w, 1)?;
+                    write_i64(&mut w, v)?;
+                }
+                None => write_u32(&mut w, 0)?,
+            }
+            let rids = part.store.patch_rids();
+            write_u64(&mut w, rids.len() as u64)?;
+            for r in rids {
+                write_u64(&mut w, r)?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Loads a checkpoint written by [`PatchIndex::checkpoint`].
+    pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PatchIndex checkpoint"));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        let column = read_u32(&mut r)? as usize;
+        let constraint = constraint_from_tag(read_u32(&mut r)?)?;
+        let design = if read_u32(&mut r)? == 1 { Design::Identifier } else { Design::Bitmap };
+        let nparts = read_u32(&mut r)? as usize;
+        let mut parts = Vec::with_capacity(nparts);
+        for _ in 0..nparts {
+            let nrows = read_u64(&mut r)?;
+            let last_sorted = if read_u32(&mut r)? == 1 { Some(read_i64(&mut r)?) } else { None };
+            let count = read_u64(&mut r)? as usize;
+            let mut rids = Vec::with_capacity(count);
+            for _ in 0..count {
+                rids.push(read_u64(&mut r)?);
+            }
+            parts.push(PartitionIndex {
+                store: PatchStore::new(design, nrows, &rids),
+                last_sorted,
+            });
+        }
+        Ok(PatchIndex::from_parts(column, constraint, design, parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![1, 5, 5, 9])]);
+        t.load_partition(1, &[ColumnData::Int(vec![3, 3, 4])]);
+        t.propagate_all();
+        t
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let t = table();
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let path = std::env::temp_dir().join("pi_checkpoint_roundtrip.pidx");
+        idx.checkpoint(&path).unwrap();
+        let loaded = PatchIndex::load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.column(), 0);
+        assert_eq!(loaded.constraint(), Constraint::NearlyUnique);
+        assert_eq!(loaded.exception_count(), idx.exception_count());
+        for pid in 0..2 {
+            assert_eq!(
+                loaded.partition(pid).store.patch_rids(),
+                idx.partition(pid).store.patch_rids()
+            );
+        }
+        loaded.check_consistency(&t);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_preserves_nsc_anchor() {
+        let t = table();
+        let idx =
+            PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        let path = std::env::temp_dir().join("pi_checkpoint_nsc.pidx");
+        idx.checkpoint(&path).unwrap();
+        let loaded = PatchIndex::load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.partition(0).last_sorted, idx.partition(0).last_sorted);
+        assert_eq!(loaded.design(), Design::Identifier);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn recover_equals_create() {
+        let t = table();
+        let a = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let b = PatchIndex::recover(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(a.exception_count(), b.exception_count());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = std::env::temp_dir().join("pi_checkpoint_bad.pidx");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(PatchIndex::load_checkpoint(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,221 @@
+//! Constraint discovery: computing the patch set of a column (introduced in
+//! the authors' earlier PatchIndex paper [18]; reproduced here because index
+//! creation needs it).
+//!
+//! * **NUC** — the patch set holds *all* rowIDs of values occurring more
+//!   than once. Excluding patches then leaves values that are unique and
+//!   disjoint from the patch values, which makes the distinct rewrite
+//!   (`distinct(non-patches) ∪ distinct(patches)`) correct.
+//! * **NSC** — the patch set is the complement of a longest sorted
+//!   subsequence (Fredman's algorithm), the minimal set whose exclusion
+//!   leaves the column sorted.
+
+use pi_storage::{ColumnData, Partition};
+
+use crate::constraint::{Constraint, SortDir};
+use crate::lis;
+
+/// Extracts an `i64` view of a column for discovery: ints directly,
+/// strings by dictionary code (code equality ⇔ string equality).
+fn int_view(col: &ColumnData) -> Vec<i64> {
+    match col {
+        ColumnData::Int(v) => v.clone(),
+        ColumnData::Str { codes, .. } => codes.iter().map(|&c| c as i64).collect(),
+        other => panic!("cannot discover constraints over {:?}", other.data_type()),
+    }
+}
+
+/// Reads the full visible column of a partition.
+pub fn partition_column_values(partition: &Partition, col: usize) -> Vec<i64> {
+    if partition.delta().is_empty() {
+        int_view(partition.base_column(col))
+    } else {
+        let cols = partition.read_range(&[col], 0, partition.visible_len());
+        int_view(&cols[0])
+    }
+}
+
+/// Result of discovering one partition's patches.
+#[derive(Debug, Clone)]
+pub struct DiscoveryResult {
+    /// Patch rowIDs, ascending.
+    pub patches: Vec<u64>,
+    /// Tuples examined.
+    pub nrows: u64,
+    /// Constraint-specific anchor value: for NSC the last (largest for
+    /// asc) value of the retained sorted subsequence — the anchor the
+    /// insert handling extends from; for NCC the majority (constant)
+    /// value.
+    pub last_sorted: Option<i64>,
+}
+
+/// Discovers the patch set of `values` for a constraint.
+pub fn discover_values(values: &[i64], constraint: Constraint) -> DiscoveryResult {
+    match constraint {
+        Constraint::NearlyUnique => {
+            // All occurrences of duplicated values are patches.
+            let mut map: pi_exec::hash::IntMap<(u32, u32)> = pi_exec::hash::int_map();
+            for (i, &v) in values.iter().enumerate() {
+                let e = map.entry(v).or_insert((i as u32, 0));
+                e.1 += 1;
+            }
+            let mut patches: Vec<u64> = Vec::new();
+            for (i, &v) in values.iter().enumerate() {
+                if map[&v].1 > 1 {
+                    patches.push(i as u64);
+                }
+            }
+            DiscoveryResult { patches, nrows: values.len() as u64, last_sorted: None }
+        }
+        Constraint::NearlySorted(dir) => {
+            let oriented: Vec<i64>;
+            let vals = match dir {
+                SortDir::Asc => values,
+                SortDir::Desc => {
+                    oriented = values.iter().map(|v| -v).collect();
+                    &oriented
+                }
+            };
+            let keep = lis::longest_nondecreasing_indices(vals);
+            let last_sorted = keep.last().map(|&i| values[i]);
+            let mut patches = Vec::with_capacity(values.len() - keep.len());
+            let mut ki = 0;
+            for i in 0..values.len() {
+                if ki < keep.len() && keep[ki] == i {
+                    ki += 1;
+                } else {
+                    patches.push(i as u64);
+                }
+            }
+            DiscoveryResult { patches, nrows: values.len() as u64, last_sorted }
+        }
+        Constraint::NearlyConstant => {
+            // Majority value via one counting pass; everything else is a
+            // patch. Ties break towards the first-seen value for
+            // determinism.
+            let mut counts: pi_exec::hash::IntMap<(u32, u32)> = pi_exec::hash::int_map();
+            for (i, &v) in values.iter().enumerate() {
+                let e = counts.entry(v).or_insert((i as u32, 0));
+                e.1 += 1;
+            }
+            let constant = counts
+                .iter()
+                .max_by_key(|(_, (first, n))| (*n, std::cmp::Reverse(*first)))
+                .map(|(v, _)| *v);
+            let patches: Vec<u64> = match constant {
+                Some(c) => values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != c)
+                    .map(|(i, _)| i as u64)
+                    .collect(),
+                None => Vec::new(),
+            };
+            DiscoveryResult { patches, nrows: values.len() as u64, last_sorted: constant }
+        }
+    }
+}
+
+/// Discovers the patch set of one partition's column.
+pub fn discover_partition(
+    partition: &Partition,
+    col: usize,
+    constraint: Constraint,
+) -> DiscoveryResult {
+    let values = partition_column_values(partition, col);
+    discover_values(&values, constraint)
+}
+
+/// Fraction of tuples matching the constraint (1 − exception rate); the
+/// quantity Figure 1 of the paper plots per column.
+pub fn constraint_match_fraction(values: &[i64], constraint: Constraint) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let r = discover_values(values, constraint);
+    1.0 - r.patches.len() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nuc_marks_all_occurrences() {
+        // 5 appears twice, 7 three times; 1 and 2 unique.
+        let vals = vec![5i64, 1, 7, 5, 7, 2, 7];
+        let r = discover_values(&vals, Constraint::NearlyUnique);
+        assert_eq!(r.patches, vec![0, 2, 3, 4, 6]);
+        // Excluding patches: remaining values unique AND disjoint from
+        // patch values.
+        let rest: Vec<i64> = vals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !r.patches.contains(&(*i as u64)))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(rest, vec![1, 2]);
+    }
+
+    #[test]
+    fn nuc_perfectly_unique_has_no_patches() {
+        let vals: Vec<i64> = (0..100).collect();
+        let r = discover_values(&vals, Constraint::NearlyUnique);
+        assert!(r.patches.is_empty());
+    }
+
+    #[test]
+    fn nsc_ascending() {
+        let vals = vec![1i64, 2, 100, 3, 4];
+        let r = discover_values(&vals, Constraint::NearlySorted(SortDir::Asc));
+        assert_eq!(r.patches, vec![2]);
+        assert_eq!(r.last_sorted, Some(4));
+    }
+
+    #[test]
+    fn nsc_descending() {
+        let vals = vec![9i64, 8, 1, 7, 5];
+        let r = discover_values(&vals, Constraint::NearlySorted(SortDir::Desc));
+        assert_eq!(r.patches, vec![2]);
+        assert_eq!(r.last_sorted, Some(5));
+    }
+
+    #[test]
+    fn match_fraction() {
+        let vals = vec![1i64, 2, 3, 0, 4];
+        let f = constraint_match_fraction(&vals, Constraint::NearlySorted(SortDir::Asc));
+        assert!((f - 0.8).abs() < 1e-12);
+        assert_eq!(constraint_match_fraction(&[], Constraint::NearlyUnique), 1.0);
+    }
+
+    #[test]
+    fn ncc_marks_non_majority_values() {
+        let vals = vec![7i64, 7, 3, 7, 9, 7];
+        let r = discover_values(&vals, Constraint::NearlyConstant);
+        assert_eq!(r.patches, vec![2, 4]);
+        assert_eq!(r.last_sorted, Some(7));
+    }
+
+    #[test]
+    fn ncc_perfectly_constant() {
+        let vals = vec![5i64; 40];
+        let r = discover_values(&vals, Constraint::NearlyConstant);
+        assert!(r.patches.is_empty());
+        assert_eq!(r.last_sorted, Some(5));
+    }
+
+    #[test]
+    fn ncc_empty_column() {
+        let r = discover_values(&[], Constraint::NearlyConstant);
+        assert!(r.patches.is_empty());
+        assert_eq!(r.last_sorted, None);
+    }
+
+    #[test]
+    fn string_columns_discover_by_code() {
+        let col = pi_storage::str_column(&["a", "b", "a", "c"]);
+        let vals = int_view(&col);
+        let r = discover_values(&vals, Constraint::NearlyUnique);
+        assert_eq!(r.patches, vec![0, 2]);
+    }
+}

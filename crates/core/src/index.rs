@@ -1,0 +1,274 @@
+//! The PatchIndex: a materialized approximate constraint.
+
+use pi_exec::ops::patch_select::PatchLookup;
+use pi_exec::parallel::per_partition;
+use pi_storage::Table;
+
+use crate::constraint::{Constraint, Design, SortDir};
+use crate::discovery::{discover_partition, partition_column_values};
+use crate::store::PatchStore;
+
+/// Per-partition index state. Partitioning is transparent: one patch store
+/// per partition, all operations partition-local (paper, Section 3.2).
+#[derive(Debug)]
+pub struct PartitionIndex {
+    /// The patch set.
+    pub store: PatchStore,
+    /// NSC: last value of the retained sorted subsequence (the anchor new
+    /// inserts extend, paper Section 5.1).
+    pub last_sorted: Option<i64>,
+}
+
+/// A PatchIndex over one column of a partitioned table.
+#[derive(Debug)]
+pub struct PatchIndex {
+    column: usize,
+    constraint: Constraint,
+    design: Design,
+    parts: Vec<PartitionIndex>,
+}
+
+impl PatchIndex {
+    /// Discovers the constraint on `col` of every partition (in parallel)
+    /// and materializes the patch sets.
+    pub fn create(table: &Table, col: usize, constraint: Constraint, design: Design) -> Self {
+        let parts = per_partition(table, |p| {
+            let r = discover_partition(p, col, constraint);
+            PartitionIndex {
+                store: PatchStore::new(design, r.nrows, &r.patches),
+                last_sorted: r.last_sorted,
+            }
+        });
+        PatchIndex { column: col, constraint, design, parts }
+    }
+
+    /// Builds an index from externally computed patch sets (checkpoint
+    /// recovery).
+    pub(crate) fn from_parts(
+        column: usize,
+        constraint: Constraint,
+        design: Design,
+        parts: Vec<PartitionIndex>,
+    ) -> Self {
+        PatchIndex { column, constraint, design, parts }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// The materialized constraint.
+    pub fn constraint(&self) -> Constraint {
+        self.constraint
+    }
+
+    /// The physical design.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// Number of partition-local indexes.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Partition-local state.
+    pub fn partition(&self, pid: usize) -> &PartitionIndex {
+        &self.parts[pid]
+    }
+
+    /// Mutable partition-local state (maintenance).
+    pub(crate) fn partition_mut(&mut self, pid: usize) -> &mut PartitionIndex {
+        &mut self.parts[pid]
+    }
+
+    /// Patch lookup handle for query execution.
+    pub fn lookup(&self, pid: usize) -> &dyn PatchLookup {
+        self.parts[pid].store.as_lookup()
+    }
+
+    /// Total tuples covered.
+    pub fn nrows(&self) -> u64 {
+        self.parts.iter().map(|p| p.store.nrows()).sum()
+    }
+
+    /// Total patches.
+    pub fn exception_count(&self) -> u64 {
+        self.parts.iter().map(|p| p.store.patch_count()).sum()
+    }
+
+    /// Global exception rate `e` (paper, Section 3.1).
+    pub fn exception_rate(&self) -> f64 {
+        let n = self.nrows();
+        if n == 0 {
+            return 0.0;
+        }
+        self.exception_count() as f64 / n as f64
+    }
+
+    /// Heap bytes of all patch stores.
+    pub fn memory_bytes(&self) -> usize {
+        self.parts.iter().map(|p| p.store.memory_bytes()).sum()
+    }
+
+    /// Rebuilds the index from scratch (the global recomputation the
+    /// monitoring policy triggers once updates eroded optimality too far).
+    pub fn recompute(&mut self, table: &Table) {
+        *self = PatchIndex::create(table, self.column, self.constraint, self.design);
+    }
+
+    /// Recomputes once the exception rate exceeds `threshold`; returns
+    /// whether a recompute ran (paper, Sections 5.1/5.3: "monitoring the
+    /// exception rate and triggering a global recomputation").
+    pub fn maybe_recompute(&mut self, table: &Table, threshold: f64) -> bool {
+        if self.exception_rate() > threshold {
+            self.recompute(table);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Condenses underlying bitmaps whose utilization fell below
+    /// `threshold`; returns how many partitions condensed.
+    pub fn maybe_condense(&mut self, threshold: f64) -> usize {
+        self.parts.iter_mut().map(|p| p.store.maybe_condense(threshold)).filter(|&c| c).count()
+    }
+
+    /// Verifies the core invariant on every partition: excluding the
+    /// patches, the remaining values satisfy the constraint (and for NUC
+    /// are disjoint from patch values). Test / debugging aid — full scan.
+    pub fn check_consistency(&self, table: &Table) {
+        for (pid, part) in self.parts.iter().enumerate() {
+            let p = table.partition(pid);
+            assert_eq!(
+                part.store.nrows() as usize,
+                p.visible_len(),
+                "partition {pid}: index covers {} rows, table has {}",
+                part.store.nrows(),
+                p.visible_len()
+            );
+            let values = partition_column_values(p, self.column);
+            let lookup = part.store.as_lookup();
+            let kept: Vec<i64> = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !lookup.is_patch(*i as u64))
+                .map(|(_, v)| *v)
+                .collect();
+            match self.constraint {
+                Constraint::NearlyUnique => {
+                    let mut seen = pi_exec::hash::int_set();
+                    for v in &kept {
+                        assert!(seen.insert(*v), "partition {pid}: duplicate kept value {v}");
+                    }
+                    let patch_vals: Vec<i64> = values
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| lookup.is_patch(*i as u64))
+                        .map(|(_, v)| *v)
+                        .collect();
+                    for v in patch_vals {
+                        assert!(
+                            !seen.contains(&v),
+                            "partition {pid}: kept value {v} also appears among patches"
+                        );
+                    }
+                }
+                Constraint::NearlySorted(SortDir::Asc) => {
+                    assert!(
+                        kept.windows(2).all(|w| w[0] <= w[1]),
+                        "partition {pid}: kept values not ascending"
+                    );
+                }
+                Constraint::NearlySorted(SortDir::Desc) => {
+                    assert!(
+                        kept.windows(2).all(|w| w[0] >= w[1]),
+                        "partition {pid}: kept values not descending"
+                    );
+                }
+                Constraint::NearlyConstant => {
+                    if let Some(&first) = kept.first() {
+                        assert!(
+                            kept.iter().all(|&v| v == first),
+                            "partition {pid}: kept values not constant"
+                        );
+                        if let Some(c) = part.last_sorted {
+                            assert_eq!(first, c, "partition {pid}: constant anchor drifted");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
+
+    fn table(values_per_part: Vec<Vec<i64>>) -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            values_per_part.len(),
+            Partitioning::RoundRobin,
+        );
+        for (pid, vals) in values_per_part.into_iter().enumerate() {
+            t.load_partition(pid, &[ColumnData::Int(vals)]);
+        }
+        t.propagate_all();
+        t
+    }
+
+    #[test]
+    fn create_nuc_index() {
+        let t = table(vec![vec![1, 2, 2, 3], vec![5, 5, 5, 6]]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(idx.exception_count(), 5);
+        assert!((idx.exception_rate() - 5.0 / 8.0).abs() < 1e-12);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![1, 2]);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn create_nsc_index_both_designs() {
+        let t = table(vec![vec![1, 2, 99, 3, 4]]);
+        for design in [Design::Bitmap, Design::Identifier] {
+            let idx =
+                PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), design);
+            assert_eq!(idx.partition(0).store.patch_rids(), vec![2]);
+            assert_eq!(idx.partition(0).last_sorted, Some(4));
+            idx.check_consistency(&t);
+        }
+    }
+
+    #[test]
+    fn exception_rate_zero_for_clean_data() {
+        let t = table(vec![(0..100).collect()]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        assert_eq!(idx.exception_rate(), 0.0);
+        let nuc = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(nuc.exception_rate(), 0.0);
+    }
+
+    #[test]
+    fn recompute_threshold() {
+        let t = table(vec![vec![1, 1, 2, 3]]);
+        let mut idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        assert!(!idx.maybe_recompute(&t, 0.9));
+        assert!(idx.maybe_recompute(&t, 0.2));
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "index covers")]
+    fn consistency_detects_row_count_drift() {
+        let mut t = table(vec![vec![1, 2, 3]]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        t.insert_rows(&[vec![pi_storage::Value::Int(9)]]);
+        idx.check_consistency(&t);
+    }
+}

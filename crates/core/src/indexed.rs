@@ -1,0 +1,224 @@
+//! A table bundled with its PatchIndexes.
+//!
+//! [`IndexedTable`] routes every update through the index maintenance of
+//! Section 5, so the indexes never reach an inconsistent state ("we avoid
+//! getting inconsistent states by handling updates immediately after they
+//! occur"). Multiple PatchIndexes per table are supported — unlike a
+//! SortKey, PatchIndexes do not change the physical data order (paper,
+//! Section 2).
+
+use pi_storage::{RowAddr, Table, Value};
+
+use crate::constraint::{Constraint, Design};
+use crate::index::PatchIndex;
+
+/// Maintenance tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenancePolicy {
+    /// Recompute an index once its exception rate exceeds this.
+    pub max_exception_rate: f64,
+    /// Condense bitmaps whose utilization fell below this.
+    pub condense_threshold: f64,
+    /// Whether the policy runs automatically after each update batch.
+    pub auto: bool,
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy { max_exception_rate: 0.5, condense_threshold: 0.5, auto: false }
+    }
+}
+
+/// A table whose PatchIndexes are maintained through every update.
+pub struct IndexedTable {
+    table: Table,
+    indexes: Vec<PatchIndex>,
+    policy: MaintenancePolicy,
+}
+
+impl IndexedTable {
+    /// Wraps a table (no indexes yet).
+    pub fn new(table: Table) -> Self {
+        IndexedTable { table, indexes: Vec::new(), policy: MaintenancePolicy::default() }
+    }
+
+    /// Sets the maintenance policy.
+    pub fn with_policy(mut self, policy: MaintenancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Creates a PatchIndex on `col` and returns its slot.
+    pub fn add_index(&mut self, col: usize, constraint: Constraint, design: Design) -> usize {
+        self.indexes.push(PatchIndex::create(&self.table, col, constraint, design));
+        self.indexes.len() - 1
+    }
+
+    /// Read access to the table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The indexes.
+    pub fn indexes(&self) -> &[PatchIndex] {
+        &self.indexes
+    }
+
+    /// Index by slot.
+    #[allow(clippy::should_implement_trait)]
+    pub fn index(&self, slot: usize) -> &PatchIndex {
+        &self.indexes[slot]
+    }
+
+    /// Inserts rows, maintaining every index (paper, Section 5.1).
+    pub fn insert(&mut self, rows: &[Vec<Value>]) -> Vec<RowAddr> {
+        let addrs = self.table.insert_rows(rows);
+        for idx in &mut self.indexes {
+            idx.handle_insert(&mut self.table, &addrs);
+        }
+        self.run_policy();
+        addrs
+    }
+
+    /// Deletes visible rows of one partition, maintaining every index
+    /// (paper, Section 5.3).
+    pub fn delete(&mut self, pid: usize, rids: &[usize]) {
+        // Index stores interpret the same pre-delete rowIDs the table does.
+        for idx in &mut self.indexes {
+            idx.handle_delete(pid, rids);
+        }
+        self.table.delete(pid, rids);
+        self.run_policy();
+    }
+
+    /// Patches `col` of the given rows, maintaining the indexes on that
+    /// column (paper, Section 5.2). Indexes on other columns are
+    /// unaffected.
+    pub fn modify(&mut self, pid: usize, rids: &[usize], col: usize, values: &[Value]) {
+        self.table.modify(pid, rids, col, values);
+        for idx in &mut self.indexes {
+            if idx.column() == col {
+                idx.handle_modify(&mut self.table, pid, rids);
+            }
+        }
+        self.run_policy();
+    }
+
+    /// Merges pending deltas into base storage (visible rowIDs do not
+    /// change, so indexes stay valid).
+    pub fn propagate(&mut self) {
+        self.table.propagate_all();
+    }
+
+    /// Applies the maintenance policy once (recompute / condense).
+    pub fn run_policy_now(&mut self) -> (usize, usize) {
+        let mut recomputed = 0;
+        let mut condensed = 0;
+        for idx in &mut self.indexes {
+            if idx.maybe_recompute(&self.table, self.policy.max_exception_rate) {
+                recomputed += 1;
+            }
+            condensed += idx.maybe_condense(self.policy.condense_threshold);
+        }
+        (recomputed, condensed)
+    }
+
+    fn run_policy(&mut self) {
+        if self.policy.auto {
+            self.run_policy_now();
+        }
+    }
+
+    /// Verifies every index against the table (test helper).
+    pub fn check_consistency(&self) {
+        for idx in &self.indexes {
+            idx.check_consistency(&self.table);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::SortDir;
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
+
+    fn fresh() -> IndexedTable {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![0, 1, 2]), ColumnData::Int(vec![10, 20, 30])]);
+        t.load_partition(1, &[ColumnData::Int(vec![3, 4]), ColumnData::Int(vec![40, 50])]);
+        t.propagate_all();
+        IndexedTable::new(t)
+    }
+
+    fn row(k: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(k), Value::Int(v)]
+    }
+
+    #[test]
+    fn lifecycle_with_two_indexes() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        it.insert(&[row(100, 20), row(101, 60)]);
+        it.check_consistency();
+        // Both indexes grew with the table.
+        assert_eq!(it.index(0).nrows(), 7);
+        assert_eq!(it.index(1).nrows(), 7);
+        // NUC found the duplicate 20.
+        assert_eq!(it.index(0).exception_count(), 2);
+    }
+
+    #[test]
+    fn delete_keeps_indexes_aligned() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.delete(0, &[1]);
+        it.check_consistency();
+        assert_eq!(it.index(0).nrows(), 4);
+    }
+
+    #[test]
+    fn modify_only_touches_matching_indexes() {
+        let mut it = fresh();
+        let on_v = it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let on_k = it.add_index(0, Constraint::NearlyUnique, Design::Bitmap);
+        it.modify(0, &[0], 1, &[Value::Int(15)]);
+        it.check_consistency();
+        assert_eq!(it.index(on_v).exception_count(), 1);
+        assert_eq!(it.index(on_k).exception_count(), 0);
+    }
+
+    #[test]
+    fn auto_policy_recomputes() {
+        let mut it = fresh().with_policy(MaintenancePolicy {
+            max_exception_rate: 0.3,
+            condense_threshold: 0.5,
+            auto: true,
+        });
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        // Modifying most rows pushes e over the threshold; the auto policy
+        // recomputes and the fresh discovery shrinks the patch set again.
+        it.modify(0, &[0, 1], 1, &[Value::Int(11), Value::Int(21)]);
+        it.check_consistency();
+        assert!(it.index(0).exception_rate() <= 0.3);
+    }
+
+    #[test]
+    fn propagate_preserves_consistency() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Identifier);
+        it.insert(&[row(7, 10), row(8, 99)]);
+        it.delete(1, &[0]);
+        it.propagate();
+        it.check_consistency();
+    }
+}

@@ -1,0 +1,60 @@
+//! # patchindex — updatable materialization of approximate constraints
+//!
+//! Rust reproduction of "Updatable Materialization of Approximate
+//! Constraints" (Kläbe, Sattler, Baumann, ICDE 2021).
+//!
+//! A [`PatchIndex`] materializes an approximate constraint — a constraint
+//! satisfied by all tuples except a set of *patches* (exceptions) — on one
+//! column of a partitioned table:
+//!
+//! * **NUC** (nearly unique column) and **NSC** (nearly sorted column)
+//!   constraints, with [`discovery`] of minimal patch sets;
+//! * two physical designs ([`Design::Bitmap`] on a sharded bitmap,
+//!   [`Design::Identifier`] as a sorted rowID list);
+//! * query integration via [`scan::patch_scan_split`], producing the
+//!   `exclude_patches` / `use_patches` dataflows of the paper's Figure 2;
+//! * update handling (insert / modify / delete) without recomputation or
+//!   full scans — see [`PatchIndex::handle_insert`] and friends, or use
+//!   [`IndexedTable`] to keep everything consistent automatically;
+//! * checkpoint/recovery and exception-rate monitoring.
+//!
+//! ```
+//! use patchindex::{Constraint, Design, IndexedTable, SortDir};
+//! use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};
+//!
+//! let mut table = Table::new(
+//!     "events",
+//!     Schema::new(vec![Field::new("ts", DataType::Int)]),
+//!     1,
+//!     Partitioning::RoundRobin,
+//! );
+//! table.load_partition(0, &[ColumnData::Int(vec![1, 2, 100, 3, 4])]);
+//! table.propagate_all();
+//!
+//! let mut it = IndexedTable::new(table);
+//! it.add_index(0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+//! assert_eq!(it.index(0).exception_count(), 1); // the stray 100
+//!
+//! it.insert(&[vec![Value::Int(5)]]); // extends the sorted run, no patch
+//! assert_eq!(it.index(0).exception_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod approx;
+mod checkpoint;
+mod constraint;
+pub mod discovery;
+mod index;
+mod indexed;
+pub mod lis;
+mod maintenance;
+pub mod scan;
+pub mod stats;
+mod store;
+
+pub use constraint::{Constraint, Design, SortDir};
+pub use index::{PartitionIndex, PatchIndex};
+pub use indexed::{IndexedTable, MaintenancePolicy};
+pub use maintenance::drp_ranges;
+pub use store::PatchStore;

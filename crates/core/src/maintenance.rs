@@ -1,0 +1,507 @@
+//! Update handling: maintaining the patch sets under table inserts,
+//! modifies and deletes without index recomputation or full table scans
+//! (paper, Section 5 / Table 1).
+//!
+//! | constraint | insert | modify | delete |
+//! |---|---|---|---|
+//! | NUC | join inserted tuples with the table (dynamic range propagation), merge colliding rowIDs into the patches | like insert, over the modified tuples | drop tracking info |
+//! | NSC | extend the existing sorted subsequence with a longest sorted subsequence of the inserted values | merge all modified rowIDs into the patches | drop tracking info |
+
+use std::ops::Range;
+
+use pi_exec::ops::hash_join::{HashJoinOp, ProbeSide};
+use pi_exec::ops::scan::ScanOp;
+use pi_exec::{collect, Batch, BatchSource, OpRef};
+use pi_storage::{ColumnData, Partition, RowAddr, Table};
+
+use crate::constraint::{Constraint, SortDir};
+use crate::index::PatchIndex;
+use crate::lis;
+
+/// Candidate row ranges for probing values in `env`: zone-map pruning over
+/// base data plus the full append buffer — the receiving end of dynamic
+/// range propagation (paper, Figure 5: "scanning the full table is reduced
+/// to only the blocks that contain potential join partners").
+#[allow(clippy::single_range_in_vec_init)]
+pub fn drp_ranges(partition: &Partition, col: usize, env: Option<(i64, i64)>) -> Vec<Range<usize>> {
+    let Some((lo, hi)) = env else { return Vec::new() };
+    let delta = partition.delta();
+    if delta.has_positional_shifts() || delta.has_modifies() {
+        return vec![0..partition.visible_len()];
+    }
+    match partition.zonemap_if_built(col) {
+        Some(zm) => {
+            let mut ranges = zm.candidate_ranges(lo, hi);
+            let append_len = delta.append_len();
+            if append_len > 0 {
+                let start = delta.base_visible_len();
+                ranges.push(start..start + append_len);
+            }
+            ranges
+        }
+        None => vec![0..partition.visible_len()],
+    }
+}
+
+/// Runs the NUC collision query of Figure 5: join the changed tuples
+/// (build side) against **the actual table** — every partition, with each
+/// probe scan restricted by dynamic range propagation — and return every
+/// `(partition, rowID)` participating in a genuine collision (self-pairs
+/// filtered). Collisions may cross partitions: an inserted value can
+/// collide with a tuple that lives in a different partition, whose local
+/// patch set must then be extended too.
+fn nuc_collisions(
+    table: &Table,
+    col: usize,
+    changed: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    if changed.is_empty() {
+        return Vec::new();
+    }
+    // Build batch: [value, pid, rid] of the changed tuples.
+    let mut per_part: Vec<Vec<usize>> = vec![Vec::new(); table.partition_count()];
+    for &(pid, rid) in changed {
+        per_part[pid].push(rid);
+    }
+    let mut value_col: Option<ColumnData> = None;
+    let mut pid_col: Vec<i64> = Vec::with_capacity(changed.len());
+    let mut rid_col: Vec<i64> = Vec::with_capacity(changed.len());
+    for (pid, rids) in per_part.iter().enumerate() {
+        if rids.is_empty() {
+            continue;
+        }
+        let vals = table.partition(pid).gather(&[col], rids).pop().unwrap();
+        match &mut value_col {
+            Some(acc) => acc.extend_from(&vals),
+            None => value_col = Some(vals),
+        }
+        pid_col.extend(std::iter::repeat_n(pid as i64, rids.len()));
+        rid_col.extend(rids.iter().map(|&r| r as i64));
+    }
+    let build_batch = Batch::new(vec![
+        value_col.expect("changed set non-empty"),
+        ColumnData::Int(pid_col),
+        ColumnData::Int(rid_col),
+    ]);
+    let mut patches: Vec<(usize, usize)> = Vec::new();
+    for pid in 0..table.partition_count() {
+        let partition = table.partition(pid);
+        // Build side: the changed tuples. Probe side: deferred scan whose
+        // ranges come from the build-key envelope (dynamic range
+        // propagation).
+        let build: OpRef<'_> = Box::new(BatchSource::single(build_batch.clone()));
+        let probe = ProbeSide::Deferred(Box::new(move |env| {
+            let ranges = drp_ranges(partition, col, env);
+            Box::new(ScanOp::with_ranges(partition, vec![col], ranges, true)) as OpRef<'_>
+        }));
+        let mut join = HashJoinOp::new(build, 0, probe, 0);
+        // Output: [probe value, probe rid, build value, build pid, build
+        // rid]. Both rowID projections read one materialized join result —
+        // the Reuse operator's effect (Figure 5) without recomputing the
+        // subtree.
+        let out = collect(&mut join);
+        if out.is_empty() {
+            continue;
+        }
+        let probe_rids = out.column(1).as_int();
+        let build_pids = out.column(3).as_int();
+        let build_rids = out.column(4).as_int();
+        for i in 0..out.len() {
+            let probe_rid = probe_rids[i] as usize;
+            let (b_pid, b_rid) = (build_pids[i] as usize, build_rids[i] as usize);
+            if b_pid == pid && b_rid == probe_rid {
+                continue; // a changed tuple matching itself
+            }
+            patches.push((pid, probe_rid));
+            patches.push((b_pid, b_rid));
+        }
+    }
+    patches.sort_unstable();
+    patches.dedup();
+    patches
+}
+
+/// Distributes collision rowIDs into the per-partition patch stores.
+fn apply_collisions(index: &mut PatchIndex, patches: &[(usize, usize)]) {
+    let mut per_part: Vec<Vec<u64>> = vec![Vec::new(); index.partition_count()];
+    for &(pid, rid) in patches {
+        per_part[pid].push(rid as u64);
+    }
+    for (pid, rids) in per_part.iter().enumerate() {
+        if !rids.is_empty() {
+            index.partition_mut(pid).store.add_patches(rids);
+        }
+    }
+}
+
+/// Ensures zone maps exist on every prunable partition (the DRP receiver;
+/// needs `&mut Table`, while the collision scans only need `&`).
+fn prepare_zonemaps(table: &mut Table, col: usize) {
+    for pid in 0..table.partition_count() {
+        let p = table.partition_mut(pid);
+        if !p.delta().has_positional_shifts() && !p.delta().has_modifies() {
+            p.zonemap(col);
+        }
+    }
+}
+
+impl PatchIndex {
+    /// Maintains the index after `table.insert_rows` returned `inserted`.
+    ///
+    /// NUC: bitmap resize + collision join with dynamic range propagation.
+    /// NSC: extend the sorted subsequence with a longest sorted
+    /// subsequence of the inserted values; the rest become patches. This
+    /// may lose global optimality (paper's (1,2,10)+(3,4) example) but
+    /// never correctness; the monitoring policy recomputes eventually.
+    pub fn handle_insert(&mut self, table: &mut Table, inserted: &[RowAddr]) {
+        let col = self.column();
+        let constraint = self.constraint();
+        // Group inserted rowIDs per partition.
+        let mut per_part: Vec<Vec<usize>> = vec![Vec::new(); table.partition_count()];
+        for addr in inserted {
+            per_part[addr.partition].push(addr.rid);
+        }
+        // Step one: cover the appended rows in every partition's store.
+        for (pid, rids) in per_part.iter().enumerate() {
+            if rids.is_empty() {
+                continue;
+            }
+            let visible = table.partition(pid).visible_len() as u64;
+            let k = rids.len() as u64;
+            let part = self.partition_mut(pid);
+            assert_eq!(
+                part.store.nrows() + k,
+                visible,
+                "handle_insert must run directly after the insert"
+            );
+            part.store.extend_rows(k);
+        }
+        match constraint {
+            Constraint::NearlyUnique => {
+                prepare_zonemaps(table, col);
+                let changed: Vec<(usize, usize)> =
+                    inserted.iter().map(|a| (a.partition, a.rid)).collect();
+                let patches = nuc_collisions(table, col, &changed);
+                apply_collisions(self, &patches);
+            }
+            Constraint::NearlySorted(dir) => {
+                for (pid, rids) in per_part.iter().enumerate() {
+                    if rids.is_empty() {
+                        continue;
+                    }
+                    let values = gather_values(table.partition(pid), col, rids);
+                    let part = self.partition_mut(pid);
+                    let (keep, last) = extend_sorted_run(&values, part.last_sorted, dir);
+                    if last.is_some() {
+                        part.last_sorted = last;
+                    }
+                    let patches: Vec<u64> = rids
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !keep.contains(i))
+                        .map(|(_, &r)| r as u64)
+                        .collect();
+                    part.store.add_patches(&patches);
+                }
+            }
+            Constraint::NearlyConstant => {
+                // Local view only: inserted values that differ from the
+                // partition's constant become patches. An empty partition
+                // adopts the first inserted value as its constant.
+                for (pid, rids) in per_part.iter().enumerate() {
+                    if rids.is_empty() {
+                        continue;
+                    }
+                    let values = gather_values(table.partition(pid), col, rids);
+                    let part = self.partition_mut(pid);
+                    let constant = *part.last_sorted.get_or_insert(values[0]);
+                    let patches: Vec<u64> = rids
+                        .iter()
+                        .zip(&values)
+                        .filter(|(_, &v)| v != constant)
+                        .map(|(&r, _)| r as u64)
+                        .collect();
+                    part.store.add_patches(&patches);
+                }
+            }
+        }
+    }
+
+    /// Maintains the index after `table.modify` patched `col` values of
+    /// `rids` in partition `pid`.
+    ///
+    /// NUC: same collision query as insert handling (paper, Section 5.2),
+    /// without the bitmap resize. NSC: all modified tuples join the patch
+    /// set — no query needed.
+    pub fn handle_modify(&mut self, table: &mut Table, pid: usize, rids: &[usize]) {
+        if rids.is_empty() {
+            return;
+        }
+        let col = self.column();
+        match self.constraint() {
+            Constraint::NearlyUnique => {
+                prepare_zonemaps(table, col);
+                let changed: Vec<(usize, usize)> = rids.iter().map(|&r| (pid, r)).collect();
+                let patches = nuc_collisions(table, col, &changed);
+                apply_collisions(self, &patches);
+            }
+            Constraint::NearlySorted(_) => {
+                let patches: Vec<u64> = rids.iter().map(|&r| r as u64).collect();
+                self.partition_mut(pid).store.add_patches(&patches);
+            }
+            Constraint::NearlyConstant => {
+                // Modified values keep the constraint only if they still
+                // equal the constant.
+                let values = gather_values(table.partition(pid), col, rids);
+                let part = self.partition_mut(pid);
+                let patches: Vec<u64> = match part.last_sorted {
+                    Some(c) => rids
+                        .iter()
+                        .zip(&values)
+                        .filter(|(_, &v)| v != c)
+                        .map(|(&r, _)| r as u64)
+                        .collect(),
+                    None => rids.iter().map(|&r| r as u64).collect(),
+                };
+                part.store.add_patches(&patches);
+            }
+        }
+    }
+
+    /// Maintains the index for a delete of `rids` (the same pre-delete
+    /// rowIDs passed to `table.delete`). Tracking information about the
+    /// deleted tuples is dropped; subsequent rowIDs shift down via the
+    /// sharded bitmap's bulk delete / identifier decrementing (paper,
+    /// Section 5.3).
+    pub fn handle_delete(&mut self, pid: usize, rids: &[usize]) {
+        let deleted: Vec<u64> = rids.iter().map(|&r| r as u64).collect();
+        self.partition_mut(pid).store.on_delete(&deleted);
+    }
+}
+
+fn gather_values(partition: &Partition, col: usize, rids: &[usize]) -> Vec<i64> {
+    match &partition.gather(&[col], rids)[0] {
+        ColumnData::Int(v) => v.clone(),
+        ColumnData::Str { codes, .. } => codes.iter().map(|&c| c as i64).collect(),
+        other => panic!("NSC over {:?}", other.data_type()),
+    }
+}
+
+/// Chooses which of `values` (in insertion order) extend the existing
+/// sorted run that currently ends at `last`. Returns the chosen index set
+/// and the new last value.
+fn extend_sorted_run(
+    values: &[i64],
+    last: Option<i64>,
+    dir: SortDir,
+) -> (std::collections::BTreeSet<usize>, Option<i64>) {
+    // Orient so the run is always non-decreasing.
+    let orient = |v: i64| match dir {
+        SortDir::Asc => v,
+        SortDir::Desc => -v,
+    };
+    let anchor = last.map(orient);
+    // Candidates must not precede the current anchor.
+    let candidates: Vec<usize> = values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| anchor.is_none_or(|a| orient(v) >= a))
+        .map(|(i, _)| i)
+        .collect();
+    let cand_values: Vec<i64> = candidates.iter().map(|&i| orient(values[i])).collect();
+    let lis_local = lis::longest_nondecreasing_indices(&cand_values);
+    let keep: std::collections::BTreeSet<usize> =
+        lis_local.iter().map(|&j| candidates[j]).collect();
+    let new_last = keep.iter().next_back().map(|&i| values[i]);
+    (keep, new_last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Design;
+    use pi_storage::{DataType, Field, Partitioning, Schema, Value};
+
+    fn table(vals: Vec<i64>, nparts: usize) -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            nparts,
+            Partitioning::RoundRobin,
+        );
+        for (i, chunk) in vals.chunks(vals.len().div_ceil(nparts)).enumerate() {
+            let keys: Vec<i64> = (0..chunk.len() as i64).collect();
+            t.load_partition(i, &[ColumnData::Int(keys), ColumnData::Int(chunk.to_vec())]);
+        }
+        t.propagate_all();
+        t
+    }
+
+    fn row(k: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(k), Value::Int(v)]
+    }
+
+    #[test]
+    fn nuc_insert_collision_with_existing_value() {
+        let mut t = table(vec![10, 20, 30, 40], 1);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(idx.exception_count(), 0);
+        // Insert a duplicate of 20 and a fresh 50.
+        let addrs = t.insert_rows(&[row(100, 20), row(101, 50)]);
+        idx.handle_insert(&mut t, &addrs);
+        // Old row 1 (value 20) and new row 4 become patches; 50 stays clean.
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![1, 4]);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn nuc_insert_duplicates_within_inserts() {
+        let mut t = table(vec![1, 2, 3], 1);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Identifier);
+        let addrs = t.insert_rows(&[row(10, 77), row(11, 77)]);
+        idx.handle_insert(&mut t, &addrs);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![3, 4]);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn nuc_insert_no_collision_adds_no_patches() {
+        let mut t = table(vec![1, 2, 3], 1);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap);
+        let addrs = t.insert_rows(&[row(10, 100)]);
+        idx.handle_insert(&mut t, &addrs);
+        assert_eq!(idx.exception_count(), 0);
+        assert_eq!(idx.nrows(), 4);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn nsc_insert_extends_sorted_run() {
+        let mut t = table(vec![1, 2, 3, 10], 1);
+        let mut idx =
+            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        assert_eq!(idx.partition(0).last_sorted, Some(10));
+        // 12 and 15 extend; 11 after 12? 11 < 12 so LIS keeps 12,15 or
+        // 11,15 — longest is (12, 15) or (11, 15): both length 2.
+        let addrs = t.insert_rows(&[row(20, 12), row(21, 5), row(22, 15)]);
+        idx.handle_insert(&mut t, &addrs);
+        // 5 < last_sorted(10): always a patch.
+        assert!(idx.partition(0).store.contains(5));
+        assert_eq!(idx.partition(0).store.patch_count(), 1);
+        assert_eq!(idx.partition(0).last_sorted, Some(15));
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn nsc_insert_loses_optimality_but_not_correctness() {
+        // The paper's example: values (1,2,10) + inserts (3,4): the global
+        // LIS would keep 1,2,3,4 but the local extension keeps 10 and
+        // patches 3,4.
+        let mut t = table(vec![1, 2, 10], 1);
+        let mut idx =
+            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let addrs = t.insert_rows(&[row(20, 3), row(21, 4)]);
+        idx.handle_insert(&mut t, &addrs);
+        assert_eq!(idx.exception_count(), 2);
+        idx.check_consistency(&t); // still sorted when excluding patches
+    }
+
+    #[test]
+    fn nsc_descending_insert() {
+        let mut t = table(vec![9, 8, 7], 1);
+        let mut idx =
+            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Desc), Design::Bitmap);
+        let addrs = t.insert_rows(&[row(20, 6), row(21, 7), row(22, 3)]);
+        idx.handle_insert(&mut t, &addrs);
+        // Run ends at 7; both (6,3) and (7,3) are maximal non-increasing
+        // extensions — exactly one of the three inserts becomes a patch.
+        assert_eq!(idx.partition(0).store.patch_count(), 1);
+        assert_eq!(idx.partition(0).last_sorted, Some(3));
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn modify_nuc_runs_collision_query() {
+        let mut t = table(vec![1, 2, 3, 4], 1);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap);
+        t.modify(0, &[3], 1, &[Value::Int(2)]); // 4 -> 2 collides with row 1
+        idx.handle_modify(&mut t, 0, &[3]);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![1, 3]);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn modify_nsc_patches_modified_rows() {
+        let mut t = table(vec![1, 2, 3, 4], 1);
+        let mut idx =
+            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        t.modify(0, &[1], 1, &[Value::Int(100)]);
+        idx.handle_modify(&mut t, 0, &[1]);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![1]);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn delete_drops_tracking_info_and_shifts() {
+        let mut t = table(vec![1, 5, 5, 9], 1);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![1, 2]);
+        // Delete rows 0 and 2 (one of the duplicates).
+        t.delete(0, &[0, 2]);
+        idx.handle_delete(0, &[0, 2]);
+        // Remaining rows: old 1 (value 5, patch, now rid 0), old 3 (9, rid 1).
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![0]);
+        assert_eq!(idx.nrows(), 2);
+        // The lone 5 stays a patch (lost optimality, still correct).
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn multi_partition_insert_routes_maintenance() {
+        let mut t = table((0..40).collect(), 4);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap);
+        let addrs = t.insert_rows(&[row(100, 3), row(101, 999)]);
+        idx.handle_insert(&mut t, &addrs);
+        // Value 3 collides in whichever partition holds it.
+        assert_eq!(idx.exception_count(), 2);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn ncc_insert_and_modify() {
+        let mut t = table(vec![4, 4, 4, 9, 4], 1);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyConstant, Design::Bitmap);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![3]);
+        assert_eq!(idx.partition(0).last_sorted, Some(4));
+        // Insert one conforming and one deviating value.
+        let addrs = t.insert_rows(&[row(10, 4), row(11, 7)]);
+        idx.handle_insert(&mut t, &addrs);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![3, 6]);
+        idx.check_consistency(&t);
+        // Modify a conforming row away from the constant.
+        t.modify(0, &[0], 1, &[Value::Int(-1)]);
+        idx.handle_modify(&mut t, 0, &[0]);
+        assert!(idx.partition(0).store.contains(0));
+        idx.check_consistency(&t);
+        // Deletes drop tracking info like the other constraints.
+        t.delete(0, &[3]);
+        idx.handle_delete(0, &[3]);
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn extend_sorted_run_unit() {
+        let (keep, last) = extend_sorted_run(&[12, 5, 15], Some(10), SortDir::Asc);
+        assert!(keep.contains(&0) && keep.contains(&2) && !keep.contains(&1));
+        assert_eq!(last, Some(15));
+        let (keep, last) = extend_sorted_run(&[1, 2, 3], None, SortDir::Asc);
+        assert_eq!(keep.len(), 3);
+        assert_eq!(last, Some(3));
+        let (keep, last) = extend_sorted_run(&[], Some(4), SortDir::Asc);
+        assert!(keep.is_empty());
+        assert_eq!(last, None);
+    }
+}

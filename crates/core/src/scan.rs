@@ -1,0 +1,82 @@
+//! PatchIndex scan construction (paper, Section 3.3).
+//!
+//! A PatchIndex scan is a partition scan with rowIDs plus a
+//! [`PatchSelectOp`] merging the patch information on the fly. Query plans
+//! clone a subtree into an `exclude_patches` flow (where the constraint
+//! holds and cheaper operators can be used) and a `use_patches` flow over
+//! the exceptions, then recombine them with Union or Merge.
+
+use pi_exec::ops::patch_select::{PatchMode, PatchSelectOp};
+use pi_exec::ops::scan::ScanOp;
+use pi_exec::OpRef;
+use pi_storage::Partition;
+
+use crate::index::PatchIndex;
+
+/// Builds a PatchIndex scan over one partition: scans `cols` plus the
+/// rowID column (at index `cols.len()`), filtered by patch membership.
+pub fn patch_scan<'a>(
+    partition: &'a Partition,
+    index: &'a PatchIndex,
+    cols: Vec<usize>,
+    mode: PatchMode,
+) -> OpRef<'a> {
+    let rid_col = cols.len();
+    let scan = ScanOp::new(partition, cols, true);
+    Box::new(PatchSelectOp::new(Box::new(scan), index.lookup(partition.id), rid_col, mode))
+}
+
+/// Both flows of the PatchIndex scan split for one partition:
+/// `(exclude_patches, use_patches)`.
+pub fn patch_scan_split<'a>(
+    partition: &'a Partition,
+    index: &'a PatchIndex,
+    cols: Vec<usize>,
+) -> (OpRef<'a>, OpRef<'a>) {
+    (
+        patch_scan(partition, index, cols.clone(), PatchMode::ExcludePatches),
+        patch_scan(partition, index, cols, PatchMode::UsePatches),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{Constraint, Design, SortDir};
+    use pi_exec::collect;
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table};
+
+    fn table(vals: Vec<i64>) -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            1,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vals)]);
+        t.propagate_all();
+        t
+    }
+
+    #[test]
+    fn split_flows_partition_the_rows() {
+        let t = table(vec![1, 2, 99, 3, 4]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let (mut ex, mut us) = patch_scan_split(t.partition(0), &idx, vec![0]);
+        let kept = collect(ex.as_mut());
+        let patches = collect(us.as_mut());
+        assert_eq!(kept.column(0).as_int(), &[1, 2, 3, 4]);
+        assert_eq!(patches.column(0).as_int(), &[99]);
+        // RowID column travels at index 1.
+        assert_eq!(patches.column(1).as_int(), &[2]);
+    }
+
+    #[test]
+    fn exclude_flow_is_unique_for_nuc() {
+        let t = table(vec![7, 1, 7, 2, 1]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Identifier);
+        let (mut ex, _) = patch_scan_split(t.partition(0), &idx, vec![0]);
+        let kept = collect(ex.as_mut());
+        assert_eq!(kept.column(0).as_int(), &[2]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Memory-consumption model (paper, Table 3).
+//!
+//! | approach | bytes |
+//! |---|---|
+//! | PI_bitmap | `t/8 · 1.0039` (one bit per tuple + sharding overhead) |
+//! | PI_identifier | `e · t · 8` (64-bit rowIDs) |
+//! | materialized view (NUC) | `(d + (1 − e) · t) · 8` with `d` duplicate values |
+
+use pi_bitmap::DEFAULT_SHARD_BITS;
+
+/// Bytes used by a bitmap-based PatchIndex over `t` tuples, including the
+/// sharded start-value overhead (0.39% at the default 2^14 shard size).
+pub fn pi_bitmap_bytes(t: u64) -> f64 {
+    let overhead = 1.0 + 64.0 / DEFAULT_SHARD_BITS as f64;
+    t as f64 / 8.0 * overhead
+}
+
+/// Bytes used by an identifier-based PatchIndex at exception rate `e`.
+pub fn pi_identifier_bytes(e: f64, t: u64) -> f64 {
+    e * t as f64 * 8.0
+}
+
+/// Bytes used by the NUC materialized view: all distinct values — the
+/// `dup_values` duplicate values plus the `(1 − e) · t` unique ones — at 8
+/// bytes each (paper's example: 100K duplicate values).
+pub fn mat_view_bytes(e: f64, t: u64, dup_values: u64) -> f64 {
+    (dup_values as f64 + (1.0 - e) * t as f64) * 8.0
+}
+
+/// Exception rate above which the bitmap design uses less memory than the
+/// identifier design: 1/(8·8) ≈ 1.56% (paper, Section 3.2).
+pub fn design_crossover_rate() -> f64 {
+    (1.0 + 64.0 / DEFAULT_SHARD_BITS as f64) / 64.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper reports decimal units (80 MB for 8e7 bytes, etc.).
+    const GB: f64 = 1e9;
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn table3_first_row() {
+        // Paper: t = 1e9, e = 0.01 -> 125.48 MB vs 80 MB vs 7.9 GB.
+        let t = 1_000_000_000u64;
+        assert!((pi_bitmap_bytes(t) / MB - 125.48).abs() < 0.5);
+        assert!((pi_identifier_bytes(0.01, t) / MB - 80.0).abs() < 0.01);
+        assert!((mat_view_bytes(0.01, t, 100_000) / GB - 7.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn table3_second_row() {
+        // t = 1e9, e = 0.2 -> bitmap unchanged, identifier 1.6 GB, view 6.4 GB.
+        let t = 1_000_000_000u64;
+        assert!((pi_bitmap_bytes(t) / MB - 125.48).abs() < 0.5);
+        assert!((pi_identifier_bytes(0.2, t) / GB - 1.6).abs() < 0.01);
+        assert!((mat_view_bytes(0.2, t, 100_000) / GB - 6.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn crossover_near_paper_value() {
+        // Paper, Section 3.2 / 6.2.2: e ≈ 1.56% (refined to 1.58% with the
+        // sharding overhead).
+        let c = design_crossover_rate();
+        assert!(c > 0.0156 && c < 0.0159, "crossover {c}");
+        let t = 10_000_000u64;
+        assert!(pi_identifier_bytes(c * 0.9, t) < pi_bitmap_bytes(t));
+        assert!(pi_identifier_bytes(c * 1.1, t) > pi_bitmap_bytes(t));
+    }
+
+    #[test]
+    fn bitmap_memory_independent_of_e() {
+        let t = 1_000_000u64;
+        assert_eq!(pi_bitmap_bytes(t), pi_bitmap_bytes(t));
+        assert!(pi_bitmap_bytes(2 * t) > pi_bitmap_bytes(t));
+    }
+}

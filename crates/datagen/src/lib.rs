@@ -1,0 +1,14 @@
+//! # pi-datagen — workload generators
+//!
+//! * [`micro`] — the paper's microbenchmark generator (Section 6.2): a
+//!   unique key column plus a value column with a planted exception rate
+//!   for NUC or NSC, range-partitioned on the key.
+//! * [`publicbi`] — synthetic stand-ins for the PublicBI workbooks of
+//!   Figure 1 (per-column constraint-match fractions).
+
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod publicbi;
+
+pub use micro::{generate, update_rows, MicroDataset, MicroKind, MicroSpec};

@@ -1,0 +1,195 @@
+//! Synthetic stand-ins for the PublicBI workbooks of Figure 1.
+//!
+//! The paper motivates PatchIndexes with three real Tableau workbooks
+//! (USCensus_1, IGlocations2_1, IUBlibrary_1) whose columns match
+//! approximate constraints to varying degrees. The real dumps are multi-GB
+//! downloads; Figure 1 only uses *per-column constraint-match
+//! percentages*, so we synthesize workbook-like tables with planted match
+//! fractions following the paper's description (USCensus: 15 of 500+
+//! columns nearly sorted, nine of them above 60%; IGlocations2/IUBlibrary:
+//! few columns, many nearly perfectly unique). See DESIGN.md,
+//! substitutions.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Constraint a synthetic column approximates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Nearly sorted column.
+    Nsc,
+    /// Nearly unique column.
+    Nuc,
+    /// Unconstrained noise column.
+    Noise,
+}
+
+/// One synthetic column: kind plus target match fraction.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Constraint kind.
+    pub kind: ColumnKind,
+    /// Fraction of tuples matching the constraint, `[0, 1]`.
+    pub match_fraction: f64,
+}
+
+/// A synthetic workbook.
+#[derive(Debug, Clone)]
+pub struct WorkbookSpec {
+    /// Workbook name (paper dataset it imitates).
+    pub name: &'static str,
+    /// Which constraint Figure 1 plots for this workbook.
+    pub plotted: ColumnKind,
+    /// Rows per column.
+    pub rows: usize,
+    /// The columns.
+    pub columns: Vec<ColumnSpec>,
+}
+
+fn spread(kind: ColumnKind, fractions: &[f64]) -> Vec<ColumnSpec> {
+    fractions.iter().map(|&f| ColumnSpec { kind, match_fraction: f }).collect()
+}
+
+/// USCensus_1-like: 500+ columns, 15 nearly sorted, nine above 60%.
+pub fn uscensus_like(rows: usize) -> WorkbookSpec {
+    let mut columns = spread(
+        ColumnKind::Nsc,
+        &[0.97, 0.93, 0.88, 0.82, 0.76, 0.71, 0.68, 0.65, 0.62, 0.45, 0.38, 0.31, 0.22, 0.15, 0.08],
+    );
+    columns.extend(std::iter::repeat_with(|| ColumnSpec {
+        kind: ColumnKind::Noise,
+        match_fraction: 0.0,
+    })
+    .take(490));
+    WorkbookSpec { name: "USCensus_1", plotted: ColumnKind::Nsc, rows, columns }
+}
+
+/// IGlocations2_1-like: few columns, a large share nearly perfectly unique.
+pub fn iglocations_like(rows: usize) -> WorkbookSpec {
+    let mut columns = spread(ColumnKind::Nuc, &[0.999, 0.995, 0.99, 0.97, 0.92, 0.55, 0.30]);
+    columns.extend(spread(ColumnKind::Noise, &[0.0, 0.0, 0.0]));
+    WorkbookSpec { name: "IGlocations2_1", plotted: ColumnKind::Nuc, rows, columns }
+}
+
+/// IUBlibrary_1-like: small workbook, several nearly unique columns.
+pub fn iublibrary_like(rows: usize) -> WorkbookSpec {
+    let mut columns = spread(ColumnKind::Nuc, &[0.998, 0.99, 0.985, 0.96, 0.88, 0.72, 0.40, 0.12]);
+    columns.extend(spread(ColumnKind::Noise, &[0.0, 0.0]));
+    WorkbookSpec { name: "IUBlibrary_1", plotted: ColumnKind::Nuc, rows, columns }
+}
+
+/// Materializes a column's values with (approximately) the target match
+/// fraction.
+pub fn generate_column(spec: &ColumnSpec, rows: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_match = ((rows as f64) * spec.match_fraction).round() as usize;
+    match spec.kind {
+        ColumnKind::Nsc => {
+            // `n_match` positions form a sorted run; the rest are random.
+            let mut idx: Vec<usize> = (0..rows).collect();
+            idx.shuffle(&mut rng);
+            let mut is_sorted_pos = vec![false; rows];
+            idx[..n_match].iter().for_each(|&i| is_sorted_pos[i] = true);
+            let mut next = 0i64;
+            (0..rows)
+                .map(|i| {
+                    if is_sorted_pos[i] {
+                        next += rng.gen_range(1..3);
+                        next
+                    } else {
+                        // Strictly below the backbone's reach so a random
+                        // value rarely extends the run.
+                        -rng.gen_range(1..(rows as i64 * 4))
+                    }
+                })
+                .collect()
+        }
+        ColumnKind::Nuc => {
+            // `rows - n_match` rows share values from a small pool (pairs),
+            // the rest are unique.
+            let n_dup = rows - n_match;
+            let pool = (n_dup / 2).max(1) as i64;
+            let mut vals: Vec<i64> = Vec::with_capacity(rows);
+            let mut i = 0;
+            while vals.len() + 2 <= n_dup {
+                let v = rng.gen_range(0..pool);
+                vals.push(v);
+                vals.push(v);
+            }
+            if vals.len() < n_dup {
+                let v = vals.last().copied().unwrap_or(0);
+                vals.push(v);
+            }
+            while vals.len() < rows {
+                vals.push(pool + 1 + i);
+                i += 1;
+            }
+            vals.shuffle(&mut rng);
+            vals
+        }
+        ColumnKind::Noise => (0..rows).map(|_| rng.gen_range(0..16)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchindex::discovery::constraint_match_fraction;
+    use patchindex::{Constraint, SortDir};
+
+    #[test]
+    fn workbook_shapes_match_paper_description() {
+        let us = uscensus_like(1000);
+        assert!(us.columns.len() > 500);
+        let nsc_cols = us.columns.iter().filter(|c| c.kind == ColumnKind::Nsc).count();
+        assert_eq!(nsc_cols, 15);
+        let over60 = us
+            .columns
+            .iter()
+            .filter(|c| c.kind == ColumnKind::Nsc && c.match_fraction > 0.6)
+            .count();
+        assert_eq!(over60, 9);
+        assert!(iglocations_like(100).columns.len() <= 10);
+    }
+
+    #[test]
+    fn generated_nuc_column_hits_target_fraction() {
+        for target in [0.9, 0.5, 0.2] {
+            let col = generate_column(
+                &ColumnSpec { kind: ColumnKind::Nuc, match_fraction: target },
+                4000,
+                7,
+            );
+            let got = constraint_match_fraction(&col, Constraint::NearlyUnique);
+            assert!((got - target).abs() < 0.05, "target {target} got {got}");
+        }
+    }
+
+    #[test]
+    fn generated_nsc_column_hits_target_fraction() {
+        for target in [0.9, 0.6, 0.3] {
+            let col = generate_column(
+                &ColumnSpec { kind: ColumnKind::Nsc, match_fraction: target },
+                4000,
+                11,
+            );
+            let got =
+                constraint_match_fraction(&col, Constraint::NearlySorted(SortDir::Asc));
+            // Random rows can only add to the sorted run.
+            assert!(got >= target - 0.02, "target {target} got {got}");
+            assert!(got <= target + 0.1, "target {target} got {got}");
+        }
+    }
+
+    #[test]
+    fn noise_columns_match_poorly() {
+        let col = generate_column(
+            &ColumnSpec { kind: ColumnKind::Noise, match_fraction: 0.0 },
+            2000,
+            3,
+        );
+        let nuc = constraint_match_fraction(&col, Constraint::NearlyUnique);
+        assert!(nuc < 0.1, "noise should not look unique ({nuc})");
+    }
+}

@@ -1,0 +1,257 @@
+//! Hash join with dynamic range propagation.
+//!
+//! Inner equi-join: the build side is materialized into a hash table, then
+//! probe batches stream through. With *dynamic range propagation* (paper,
+//! Section 5: "dynamically generates scan ranges during query execution,
+//! e.g. during the build phase of HashJoins") the probe side is constructed
+//! only after the build phase, from the `[min, max]` envelope of the build
+//! keys — the NUC insert-handling query uses this to avoid a full table
+//! scan (Figure 5).
+
+use pi_storage::ColumnData;
+
+use crate::batch::{Batch, BATCH_SIZE};
+use crate::hash::{int_map, IntMap};
+use crate::op::{collect, OpRef, Operator};
+
+/// Extracts an `i64` join key from a column (ints directly, strings by
+/// dictionary code — sound because both sides of our joins share a
+/// dictionary or are pre-encoded literals).
+#[inline]
+pub fn join_key(col: &ColumnData, i: usize) -> i64 {
+    match col {
+        ColumnData::Int(v) => v[i],
+        ColumnData::Str { codes, .. } => codes[i] as i64,
+        other => panic!("unsupported join key type {:?}", other.data_type()),
+    }
+}
+
+/// Factory building the probe operator from the build-key envelope.
+pub type ProbeFactory<'a> = Box<dyn FnOnce(Option<(i64, i64)>) -> OpRef<'a> + 'a>;
+
+/// How the probe side is obtained.
+pub enum ProbeSide<'a> {
+    /// A ready operator.
+    Ready(OpRef<'a>),
+    /// Built after the build phase from the build-key envelope
+    /// (`None` when the build side was empty): dynamic range propagation.
+    Deferred(ProbeFactory<'a>),
+}
+
+enum ProbeState<'a> {
+    Pending(ProbeSide<'a>),
+    Running(OpRef<'a>),
+    Taken,
+}
+
+/// Inner hash join; output columns are `[probe columns..., build columns...]`.
+pub struct HashJoinOp<'a> {
+    build: Option<OpRef<'a>>,
+    build_key: usize,
+    probe: ProbeState<'a>,
+    probe_key: usize,
+    table: IntMap<Vec<u32>>,
+    build_rows: Batch,
+    pending: Vec<Batch>,
+}
+
+impl<'a> HashJoinOp<'a> {
+    /// Creates a hash join. `build_key` / `probe_key` are column indices of
+    /// the respective inputs.
+    pub fn new(
+        build: OpRef<'a>,
+        build_key: usize,
+        probe: ProbeSide<'a>,
+        probe_key: usize,
+    ) -> Self {
+        HashJoinOp {
+            build: Some(build),
+            build_key,
+            probe: ProbeState::Pending(probe),
+            probe_key,
+            table: int_map(),
+            build_rows: Batch::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor with a ready probe side.
+    pub fn inner(
+        build: OpRef<'a>,
+        build_key: usize,
+        probe: OpRef<'a>,
+        probe_key: usize,
+    ) -> Self {
+        Self::new(build, build_key, ProbeSide::Ready(probe), probe_key)
+    }
+
+    fn ensure_built(&mut self) {
+        let Some(mut build) = self.build.take() else { return };
+        self.build_rows = collect(build.as_mut());
+        let mut envelope: Option<(i64, i64)> = None;
+        if !self.build_rows.is_empty() {
+            let key_col = self.build_rows.column(self.build_key);
+            for i in 0..self.build_rows.len() {
+                let k = join_key(key_col, i);
+                self.table.entry(k).or_default().push(i as u32);
+                envelope = Some(match envelope {
+                    None => (k, k),
+                    Some((lo, hi)) => (lo.min(k), hi.max(k)),
+                });
+            }
+        }
+        // Dynamic range propagation: hand the key envelope to the deferred
+        // probe factory.
+        let probe = std::mem::replace(&mut self.probe, ProbeState::Taken);
+        self.probe = match probe {
+            ProbeState::Pending(ProbeSide::Ready(op)) => ProbeState::Running(op),
+            ProbeState::Pending(ProbeSide::Deferred(f)) => ProbeState::Running(f(envelope)),
+            other => other,
+        };
+    }
+
+    /// Number of distinct keys in the build table (diagnostics).
+    pub fn build_key_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl Operator for HashJoinOp<'_> {
+    fn next(&mut self) -> Option<Batch> {
+        self.ensure_built();
+        if let Some(b) = self.pending.pop() {
+            return Some(b);
+        }
+        let probe = match &mut self.probe {
+            ProbeState::Running(op) => op,
+            _ => return None,
+        };
+        if self.table.is_empty() {
+            return None;
+        }
+        loop {
+            let batch = probe.next()?;
+            if batch.is_empty() {
+                continue;
+            }
+            let key_col = batch.column(self.probe_key);
+            let mut probe_idx: Vec<usize> = Vec::new();
+            let mut build_idx: Vec<usize> = Vec::new();
+            for i in 0..batch.len() {
+                if let Some(matches) = self.table.get(&join_key(key_col, i)) {
+                    for &m in matches {
+                        probe_idx.push(i);
+                        build_idx.push(m as usize);
+                    }
+                }
+            }
+            if probe_idx.is_empty() {
+                continue;
+            }
+            let mut cols = batch.gather(&probe_idx).into_columns();
+            cols.extend(self.build_rows.gather(&build_idx).into_columns());
+            let out = Batch::new(cols);
+            if out.len() > BATCH_SIZE {
+                let mut parts = out.split(BATCH_SIZE);
+                parts.reverse();
+                let first = parts.pop().unwrap();
+                self.pending = parts;
+                return Some(first);
+            }
+            return Some(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BatchSource;
+
+    fn src(cols: Vec<ColumnData>) -> OpRef<'static> {
+        Box::new(BatchSource::single(Batch::new(cols)))
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        // build: (key, name-ish) ; probe: (val, key)
+        let build = src(vec![ColumnData::Int(vec![1, 2, 3]), ColumnData::Int(vec![10, 20, 30])]);
+        let probe = src(vec![
+            ColumnData::Int(vec![100, 200, 300, 400]),
+            ColumnData::Int(vec![2, 3, 9, 2]),
+        ]);
+        let mut j = HashJoinOp::inner(build, 0, probe, 1);
+        let out = collect(&mut j);
+        // Output: probe cols then build cols.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.column(0).as_int(), &[100, 200, 400]);
+        assert_eq!(out.column(1).as_int(), &[2, 3, 2]);
+        assert_eq!(out.column(3).as_int(), &[20, 30, 20]);
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let build = src(vec![ColumnData::Int(vec![7, 7])]);
+        let probe = src(vec![ColumnData::Int(vec![7, 8])]);
+        let mut j = HashJoinOp::inner(build, 0, probe, 0);
+        let out = collect(&mut j);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_build_side_produces_nothing() {
+        let build = src(vec![ColumnData::Int(vec![])]);
+        let probe = src(vec![ColumnData::Int(vec![1, 2, 3])]);
+        let mut j = HashJoinOp::inner(build, 0, probe, 0);
+        assert!(collect(&mut j).is_empty());
+    }
+
+    #[test]
+    fn deferred_probe_receives_envelope() {
+        let build = src(vec![ColumnData::Int(vec![5, 9, 7])]);
+        let probe = ProbeSide::Deferred(Box::new(|env| {
+            assert_eq!(env, Some((5, 9)));
+            src(vec![ColumnData::Int(vec![5, 6, 9])])
+        }));
+        let mut j = HashJoinOp::new(build, 0, probe, 0);
+        let out = collect(&mut j);
+        assert_eq!(out.column(0).as_int(), &[5, 9]);
+    }
+
+    #[test]
+    fn deferred_probe_empty_build() {
+        let build = src(vec![ColumnData::Int(vec![])]);
+        let probe = ProbeSide::Deferred(Box::new(|env| {
+            assert_eq!(env, None);
+            src(vec![ColumnData::Int(vec![])])
+        }));
+        let mut j = HashJoinOp::new(build, 0, probe, 0);
+        assert!(collect(&mut j).is_empty());
+    }
+
+    #[test]
+    fn string_keys_join_by_code() {
+        let names = pi_storage::str_column(&["a", "b", "c"]);
+        let probe_names = names.gather(&[2, 0, 2]);
+        let build = src(vec![names, ColumnData::Int(vec![1, 2, 3])]);
+        let probe = src(vec![probe_names]);
+        let mut j = HashJoinOp::inner(build, 0, probe, 0);
+        let out = collect(&mut j);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.column(2).as_int(), &[3, 1, 3]);
+    }
+
+    #[test]
+    fn large_join_splits_batches() {
+        let n = 10_000i64;
+        let build = src(vec![ColumnData::Int((0..n).collect())]);
+        let probe = src(vec![ColumnData::Int((0..n).rev().collect())]);
+        let mut j = HashJoinOp::inner(build, 0, probe, 0);
+        let mut total = 0;
+        while let Some(b) = j.next() {
+            assert!(b.len() <= BATCH_SIZE);
+            total += b.len();
+        }
+        assert_eq!(total, n as usize);
+    }
+}

@@ -1,0 +1,239 @@
+//! Combining dataflows: union, order-preserving merge, limit.
+//!
+//! The PatchIndex rewrites recombine the constraint-satisfying subtree with
+//! the patches subtree: distinct queries use a plain Union, sort queries a
+//! Merge operator that preserves the sort order (paper, Section 3.3).
+
+use std::cmp::Ordering;
+
+use crate::batch::{Batch, BATCH_SIZE};
+use crate::keycmp::{cmp_rows_cross, KeyColumn};
+use crate::op::{collect, OpRef, Operator};
+use crate::ops::sort::SortKeySpec;
+
+/// Concatenates the outputs of several inputs (bag semantics).
+pub struct UnionAllOp<'a> {
+    inputs: Vec<OpRef<'a>>,
+    cur: usize,
+}
+
+impl<'a> UnionAllOp<'a> {
+    /// Creates a union over inputs with identical schemas.
+    pub fn new(inputs: Vec<OpRef<'a>>) -> Self {
+        UnionAllOp { inputs, cur: 0 }
+    }
+}
+
+impl Operator for UnionAllOp<'_> {
+    fn next(&mut self) -> Option<Batch> {
+        while self.cur < self.inputs.len() {
+            if let Some(b) = self.inputs[self.cur].next() {
+                return Some(b);
+            }
+            self.cur += 1;
+        }
+        None
+    }
+}
+
+/// K-way merge of inputs that are each sorted on `keys`; the output is
+/// globally sorted. Used to recombine the pre-sorted non-patch flow with
+/// the sorted patches, and to merge per-partition sorted results.
+pub struct OrderedMergeOp<'a> {
+    inputs: Option<Vec<OpRef<'a>>>,
+    keys: Vec<SortKeySpec>,
+    output: Vec<Batch>,
+}
+
+impl<'a> OrderedMergeOp<'a> {
+    /// Creates an ordered merge.
+    pub fn new(inputs: Vec<OpRef<'a>>, keys: Vec<SortKeySpec>) -> Self {
+        OrderedMergeOp { inputs: Some(inputs), keys, output: Vec::new() }
+    }
+
+    fn run(&mut self) {
+        let Some(inputs) = self.inputs.take() else { return };
+        // Materialize every input and its key columns.
+        let mut sides: Vec<(Batch, Vec<KeyColumn>)> = Vec::new();
+        for mut input in inputs {
+            let b = collect(input.as_mut());
+            if b.is_empty() {
+                continue;
+            }
+            let keys: Vec<KeyColumn> =
+                self.keys.iter().map(|&(c, o)| KeyColumn::build(b.column(c), o)).collect();
+            debug_assert!(
+                (1..b.len()).all(|i| cmp_rows_cross(&keys, i - 1, &keys, i) != Ordering::Greater),
+                "ordered-merge input not sorted"
+            );
+            sides.push((b, keys));
+        }
+        if sides.is_empty() {
+            return;
+        }
+        let total: usize = sides.iter().map(|(b, _)| b.len()).sum();
+        let mut cursors = vec![0usize; sides.len()];
+        // Per-side gathered index lists, stitched in emission order.
+        let mut emit: Vec<(usize, usize)> = Vec::with_capacity(total);
+        for _ in 0..total {
+            let mut best: Option<usize> = None;
+            for (si, (b, keys)) in sides.iter().enumerate() {
+                if cursors[si] >= b.len() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(si),
+                    Some(bi) => {
+                        let ord = cmp_rows_cross(
+                            &sides[bi].1,
+                            cursors[bi],
+                            keys,
+                            cursors[si],
+                        );
+                        if ord == Ordering::Greater {
+                            Some(si)
+                        } else {
+                            Some(bi)
+                        }
+                    }
+                };
+            }
+            let bi = best.expect("cursor accounting");
+            emit.push((bi, cursors[bi]));
+            cursors[bi] += 1;
+        }
+        // Interleave columns with typed copy loops (no per-row boxing).
+        let width = sides[0].0.width();
+        let mut out_cols: Vec<pi_storage::ColumnData> = Vec::with_capacity(width);
+        for c in 0..width {
+            let proto = sides[0].0.column(c);
+            let col = match proto {
+                pi_storage::ColumnData::Int(_) => pi_storage::ColumnData::Int(
+                    emit.iter().map(|&(si, row)| sides[si].0.column(c).as_int()[row]).collect(),
+                ),
+                pi_storage::ColumnData::Float(_) => pi_storage::ColumnData::Float(
+                    emit.iter().map(|&(si, row)| sides[si].0.column(c).as_float()[row]).collect(),
+                ),
+                pi_storage::ColumnData::Str { dict, .. } => pi_storage::ColumnData::Str {
+                    codes: emit
+                        .iter()
+                        .map(|&(si, row)| sides[si].0.column(c).as_codes()[row])
+                        .collect(),
+                    dict: std::sync::Arc::clone(dict),
+                },
+            };
+            out_cols.push(col);
+        }
+        let mut parts = Batch::new(out_cols).split(BATCH_SIZE);
+        parts.reverse();
+        self.output = parts;
+    }
+}
+
+impl Operator for OrderedMergeOp<'_> {
+    fn next(&mut self) -> Option<Batch> {
+        if self.inputs.is_some() {
+            self.run();
+        }
+        self.output.pop()
+    }
+}
+
+/// Emits at most `n` rows.
+pub struct LimitOp<'a> {
+    input: OpRef<'a>,
+    remaining: usize,
+}
+
+impl<'a> LimitOp<'a> {
+    /// Creates a limit.
+    pub fn new(input: OpRef<'a>, n: usize) -> Self {
+        LimitOp { input, remaining: n }
+    }
+}
+
+impl Operator for LimitOp<'_> {
+    fn next(&mut self) -> Option<Batch> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let batch = self.input.next()?;
+        if batch.len() <= self.remaining {
+            self.remaining -= batch.len();
+            Some(batch)
+        } else {
+            let keep: Vec<usize> = (0..self.remaining).collect();
+            self.remaining = 0;
+            Some(batch.gather(&keep))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BatchSource;
+    use crate::ops::sort::{is_sorted_asc, SortOrder};
+    use pi_storage::ColumnData;
+
+    fn src(vals: &[i64]) -> OpRef<'static> {
+        Box::new(BatchSource::single(Batch::new(vec![ColumnData::Int(vals.to_vec())])))
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let mut u = UnionAllOp::new(vec![src(&[1, 2]), src(&[3]), src(&[])]);
+        let out = collect(&mut u);
+        assert_eq!(out.column(0).as_int(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ordered_merge_two_ways() {
+        let mut m = OrderedMergeOp::new(
+            vec![src(&[1, 4, 9]), src(&[2, 3, 10])],
+            vec![(0, SortOrder::Asc)],
+        );
+        let out = collect(&mut m);
+        assert_eq!(out.column(0).as_int(), &[1, 2, 3, 4, 9, 10]);
+    }
+
+    #[test]
+    fn ordered_merge_k_ways_with_duplicates() {
+        let mut m = OrderedMergeOp::new(
+            vec![src(&[1, 5]), src(&[1, 1, 6]), src(&[0, 5])],
+            vec![(0, SortOrder::Asc)],
+        );
+        let out = collect(&mut m);
+        assert_eq!(out.column(0).as_int(), &[0, 1, 1, 1, 5, 5, 6]);
+        assert!(is_sorted_asc(out.column(0)));
+    }
+
+    #[test]
+    fn ordered_merge_descending() {
+        let mut m = OrderedMergeOp::new(
+            vec![src(&[9, 4]), src(&[7, 1])],
+            vec![(0, SortOrder::Desc)],
+        );
+        let out = collect(&mut m);
+        assert_eq!(out.column(0).as_int(), &[9, 7, 4, 1]);
+    }
+
+    #[test]
+    fn ordered_merge_empty_inputs() {
+        let mut m = OrderedMergeOp::new(vec![src(&[]), src(&[])], vec![(0, SortOrder::Asc)]);
+        assert!(collect(&mut m).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates_mid_batch() {
+        let mut l = LimitOp::new(src(&[1, 2, 3, 4, 5]), 3);
+        let out = collect(&mut l);
+        assert_eq!(out.column(0).as_int(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn limit_zero() {
+        let mut l = LimitOp::new(src(&[1, 2]), 0);
+        assert!(l.next().is_none());
+    }
+}

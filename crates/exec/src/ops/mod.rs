@@ -1,0 +1,11 @@
+//! Physical operators.
+
+pub mod agg;
+pub mod filter;
+pub mod hash_join;
+pub mod merge;
+pub mod merge_join;
+pub mod patch_select;
+pub mod reuse;
+pub mod scan;
+pub mod sort;

@@ -1,0 +1,235 @@
+//! The PatchIndex selection operator (paper, Section 3.3).
+//!
+//! A *PatchIndex scan* is an ordinary scan plus a selection operator that
+//! merges the patch information into the dataflow on the fly, splitting it
+//! into a flow of constraint-satisfying tuples (`exclude_patches`) and a
+//! flow of exceptions (`use_patches`). The decision is purely rowID-based,
+//! so the operator's per-tuple overhead is fixed and independent of data
+//! types.
+//!
+//! The operator is generic over [`PatchLookup`] so both PatchIndex design
+//! approaches (bitmap-based and identifier-based, paper Section 3.2) plug
+//! into the same plans.
+
+use pi_bitmap::{PlainBitmap, ShardedBitmap};
+
+use crate::batch::Batch;
+use crate::op::{OpRef, Operator};
+
+/// RowID-set abstraction the selection operator filters against.
+pub trait PatchLookup {
+    /// Whether `rid` is a patch (an exception to the constraint).
+    fn is_patch(&self, rid: u64) -> bool;
+
+    /// Fills `out` with the patch mask for the contiguous rowID range
+    /// starting at `from` (LSB-first packed; bits beyond the valid range
+    /// zero). The default loops over [`PatchLookup::is_patch`].
+    fn fill_patch_words(&self, from: u64, out: &mut [u64], nbits: usize) {
+        out.iter_mut().for_each(|w| *w = 0);
+        for i in 0..nbits {
+            if self.is_patch(from + i as u64) {
+                out[i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+
+    /// Number of patches (used by cost-based plan choices).
+    fn patch_count(&self) -> u64;
+}
+
+impl PatchLookup for ShardedBitmap {
+    fn is_patch(&self, rid: u64) -> bool {
+        self.get(rid)
+    }
+
+    fn fill_patch_words(&self, from: u64, out: &mut [u64], _nbits: usize) {
+        self.fill_words(from, out);
+    }
+
+    fn patch_count(&self) -> u64 {
+        self.count_ones()
+    }
+}
+
+impl PatchLookup for PlainBitmap {
+    fn is_patch(&self, rid: u64) -> bool {
+        self.get(rid)
+    }
+
+    fn patch_count(&self) -> u64 {
+        self.count_ones()
+    }
+}
+
+/// A sorted rowID list also acts as a patch lookup (identifier-based
+/// design).
+impl PatchLookup for Vec<u64> {
+    fn is_patch(&self, rid: u64) -> bool {
+        self.binary_search(&rid).is_ok()
+    }
+
+    fn patch_count(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+/// Which side of the split this selection keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchMode {
+    /// Keep tuples that satisfy the constraint (drop patches).
+    ExcludePatches,
+    /// Keep only the exceptions.
+    UsePatches,
+}
+
+/// Filters batches by patch membership of their rowID column.
+pub struct PatchSelectOp<'a> {
+    input: OpRef<'a>,
+    patches: &'a dyn PatchLookup,
+    rid_col: usize,
+    mode: PatchMode,
+    mask_buf: Vec<u64>,
+}
+
+impl<'a> PatchSelectOp<'a> {
+    /// Creates a patch selection over `input`; `rid_col` is the index of
+    /// the rowID column produced by the scan.
+    pub fn new(
+        input: OpRef<'a>,
+        patches: &'a dyn PatchLookup,
+        rid_col: usize,
+        mode: PatchMode,
+    ) -> Self {
+        PatchSelectOp { input, patches, rid_col, mode, mask_buf: Vec::new() }
+    }
+}
+
+impl Operator for PatchSelectOp<'_> {
+    fn next(&mut self) -> Option<Batch> {
+        loop {
+            let batch = self.input.next()?;
+            if batch.is_empty() {
+                continue;
+            }
+            let rids = batch.column(self.rid_col).as_int();
+            let n = rids.len();
+            let keep_patches = self.mode == PatchMode::UsePatches;
+            // Fast path: contiguous ascending rowIDs (plain scans) read the
+            // patch mask word-wise.
+            let contiguous = rids[n - 1] - rids[0] + 1 == n as i64;
+            let mut mask = vec![false; n];
+            if contiguous {
+                let words = n.div_ceil(64);
+                self.mask_buf.resize(words, 0);
+                self.patches.fill_patch_words(rids[0] as u64, &mut self.mask_buf, n);
+                for (i, m) in mask.iter_mut().enumerate() {
+                    let is_patch = self.mask_buf[i / 64] >> (i % 64) & 1 == 1;
+                    *m = is_patch == keep_patches;
+                }
+            } else {
+                for (i, &rid) in rids.iter().enumerate() {
+                    mask[i] = self.patches.is_patch(rid as u64) == keep_patches;
+                }
+            }
+            let out = batch.filter(&mask);
+            if !out.is_empty() {
+                return Some(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, BatchSource};
+    use pi_storage::ColumnData;
+
+    fn rid_batch(rids: &[i64]) -> Batch {
+        Batch::new(vec![
+            ColumnData::Int(rids.iter().map(|r| r * 10).collect()),
+            ColumnData::Int(rids.to_vec()),
+        ])
+    }
+
+    #[test]
+    fn exclude_patches_drops_exceptions() {
+        let bm = ShardedBitmap::from_positions(100, &[2, 5]);
+        let src = BatchSource::single(rid_batch(&(0..10).collect::<Vec<_>>()));
+        let mut op = PatchSelectOp::new(Box::new(src), &bm, 1, PatchMode::ExcludePatches);
+        let out = collect(&mut op);
+        assert_eq!(out.column(1).as_int(), &[0, 1, 3, 4, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn use_patches_keeps_exceptions_only() {
+        let bm = ShardedBitmap::from_positions(100, &[2, 5]);
+        let src = BatchSource::single(rid_batch(&(0..10).collect::<Vec<_>>()));
+        let mut op = PatchSelectOp::new(Box::new(src), &bm, 1, PatchMode::UsePatches);
+        let out = collect(&mut op);
+        assert_eq!(out.column(1).as_int(), &[2, 5]);
+        assert_eq!(out.column(0).as_int(), &[20, 50]);
+    }
+
+    #[test]
+    fn identifier_list_lookup() {
+        let ids: Vec<u64> = vec![2, 5];
+        let src = BatchSource::single(rid_batch(&(0..10).collect::<Vec<_>>()));
+        let mut op = PatchSelectOp::new(Box::new(src), &ids, 1, PatchMode::ExcludePatches);
+        let out = collect(&mut op);
+        assert_eq!(out.column(1).as_int(), &[0, 1, 3, 4, 6, 7, 8, 9]);
+        assert_eq!(ids.patch_count(), 2);
+    }
+
+    #[test]
+    fn non_contiguous_rids_fall_back() {
+        let bm = ShardedBitmap::from_positions(100, &[7, 30]);
+        let src = BatchSource::single(rid_batch(&[3, 7, 25, 30, 99]));
+        let mut op = PatchSelectOp::new(Box::new(src), &bm, 1, PatchMode::UsePatches);
+        let out = collect(&mut op);
+        assert_eq!(out.column(1).as_int(), &[7, 30]);
+    }
+
+    #[test]
+    fn splits_are_complementary() {
+        let bm = ShardedBitmap::from_positions(1 << 16, &(0..1000).step_by(3).collect::<Vec<_>>());
+        let rids: Vec<i64> = (0..1000).collect();
+        let mut ex = PatchSelectOp::new(
+            Box::new(BatchSource::single(rid_batch(&rids))),
+            &bm,
+            1,
+            PatchMode::ExcludePatches,
+        );
+        let mut us = PatchSelectOp::new(
+            Box::new(BatchSource::single(rid_batch(&rids))),
+            &bm,
+            1,
+            PatchMode::UsePatches,
+        );
+        let a = collect(&mut ex).len();
+        let b = collect(&mut us).len();
+        assert_eq!(a + b, 1000);
+        assert_eq!(b, 334);
+    }
+
+    #[test]
+    fn plain_bitmap_default_fill_path() {
+        let bm = PlainBitmap::from_positions(100, &[1, 3]);
+        let src = BatchSource::single(rid_batch(&(0..6).collect::<Vec<_>>()));
+        let mut op = PatchSelectOp::new(Box::new(src), &bm, 1, PatchMode::UsePatches);
+        let out = collect(&mut op);
+        assert_eq!(out.column(1).as_int(), &[1, 3]);
+    }
+
+    #[test]
+    fn exhausted_on_empty_input() {
+        let bm = ShardedBitmap::new(10);
+        let mut op = PatchSelectOp::new(
+            Box::new(BatchSource::new(vec![])),
+            &bm,
+            0,
+            PatchMode::ExcludePatches,
+        );
+        assert!(op.next().is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Intermediate result caching (paper, Section 5: "Reuse operator").
+//!
+//! `ReuseCacheOp` materializes its input into a shared cell while streaming
+//! it through; `ReuseLoadOp` replays the cached batches without recomputing
+//! the subtree. The NUC insert-handling query (Figure 5) projects rowIDs of
+//! *both* join sides from one join execution this way.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::batch::Batch;
+use crate::op::{OpRef, Operator};
+
+/// Shared storage between a cache and its loads (single query thread).
+#[derive(Default, Clone)]
+pub struct ReuseCell {
+    batches: Rc<RefCell<Vec<Batch>>>,
+    complete: Rc<RefCell<bool>>,
+}
+
+impl ReuseCell {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the producing subtree has finished.
+    pub fn is_complete(&self) -> bool {
+        *self.complete.borrow()
+    }
+}
+
+/// Streams its input through while materializing it into the cell.
+pub struct ReuseCacheOp<'a> {
+    input: OpRef<'a>,
+    cell: ReuseCell,
+}
+
+impl<'a> ReuseCacheOp<'a> {
+    /// Creates a caching pass-through.
+    pub fn new(input: OpRef<'a>, cell: ReuseCell) -> Self {
+        ReuseCacheOp { input, cell }
+    }
+}
+
+impl Operator for ReuseCacheOp<'_> {
+    fn next(&mut self) -> Option<Batch> {
+        match self.input.next() {
+            Some(b) => {
+                self.cell.batches.borrow_mut().push(b.clone());
+                Some(b)
+            }
+            None => {
+                *self.cell.complete.borrow_mut() = true;
+                None
+            }
+        }
+    }
+}
+
+/// Replays cached batches. The producing `ReuseCacheOp` must have been
+/// drained first (the paper's plans sequence ReuseLoad after ReuseCache).
+pub struct ReuseLoadOp {
+    cell: ReuseCell,
+    idx: usize,
+}
+
+impl ReuseLoadOp {
+    /// Creates a replay operator over `cell`.
+    pub fn new(cell: ReuseCell) -> Self {
+        ReuseLoadOp { cell, idx: 0 }
+    }
+}
+
+impl Operator for ReuseLoadOp {
+    fn next(&mut self) -> Option<Batch> {
+        assert!(
+            self.cell.is_complete(),
+            "ReuseLoad pulled before its ReuseCache finished"
+        );
+        let batches = self.cell.batches.borrow();
+        let b = batches.get(self.idx)?.clone();
+        self.idx += 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, BatchSource};
+    use pi_storage::ColumnData;
+
+    fn src(vals: &[i64]) -> OpRef<'static> {
+        Box::new(BatchSource::new(vec![
+            Batch::new(vec![ColumnData::Int(vals.to_vec())]),
+            Batch::new(vec![ColumnData::Int(vals.to_vec())]),
+        ]))
+    }
+
+    #[test]
+    fn cache_then_load_replays() {
+        let cell = ReuseCell::new();
+        let mut cache = ReuseCacheOp::new(src(&[1, 2]), cell.clone());
+        let through = collect(&mut cache);
+        assert_eq!(through.len(), 4);
+        assert!(cell.is_complete());
+        let mut load1 = ReuseLoadOp::new(cell.clone());
+        let mut load2 = ReuseLoadOp::new(cell);
+        assert_eq!(collect(&mut load1).len(), 4);
+        assert_eq!(collect(&mut load2).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its ReuseCache finished")]
+    fn load_before_cache_completes_panics() {
+        let cell = ReuseCell::new();
+        let _cache = ReuseCacheOp::new(src(&[1]), cell.clone());
+        let mut load = ReuseLoadOp::new(cell);
+        load.next();
+    }
+}

@@ -1,0 +1,133 @@
+//! Cost model (paper, Section 3.5).
+//!
+//! PatchIndex plans are built from ordinary operators whose cardinalities
+//! are known at optimization time (the patch count is materialized), so a
+//! classical per-tuple cost model suffices. The constants approximate the
+//! relative operator costs observed in the evaluation: the patch selection
+//! adds a small fixed per-tuple overhead (paper: "typically below 1%" of
+//! runtime), aggregation and sorting dominate.
+
+use pi_exec::ops::patch_select::PatchMode;
+
+use crate::logical::Plan;
+
+/// Optimizer statistics for the bound table.
+#[derive(Debug, Clone, Copy)]
+pub struct TableStats {
+    /// Total rows.
+    pub rows: u64,
+    /// Patches of the index under consideration.
+    pub patches: u64,
+}
+
+/// Per-tuple scan cost.
+const C_SCAN: f64 = 1.0;
+/// Per-tuple overhead of the patch selection modes.
+const C_PATCH_SELECT: f64 = 0.05;
+/// Per-tuple hash-aggregation cost.
+const C_AGG: f64 = 4.0;
+/// Per-tuple-comparison sort constant (multiplied by log2 n).
+const C_SORT: f64 = 0.6;
+/// Per-tuple union/merge cost.
+const C_COMBINE: f64 = 0.1;
+
+/// Estimated output cardinality.
+pub fn cardinality(plan: &Plan, stats: &TableStats) -> f64 {
+    match plan {
+        Plan::Scan { .. } => stats.rows as f64,
+        Plan::PatchScan { mode: PatchMode::UsePatches, .. } => stats.patches as f64,
+        Plan::PatchScan { mode: PatchMode::ExcludePatches, .. } => {
+            (stats.rows - stats.patches) as f64
+        }
+        // Distinct output is data dependent; a 50% reduction is the
+        // conventional default estimate.
+        Plan::Distinct { input, .. } => cardinality(input, stats) * 0.5,
+        Plan::Sort { input, .. } => cardinality(input, stats),
+        Plan::Limit { input, n } => cardinality(input, stats).min(*n as f64),
+        Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
+            inputs.iter().map(|p| cardinality(p, stats)).sum()
+        }
+    }
+}
+
+/// Estimated execution cost of the plan tree.
+pub fn estimate(plan: &Plan, stats: &TableStats) -> f64 {
+    match plan {
+        Plan::Scan { .. } => stats.rows as f64 * C_SCAN,
+        // The selection reads every scanned tuple and drops a part.
+        Plan::PatchScan { .. } => stats.rows as f64 * (C_SCAN + C_PATCH_SELECT),
+        Plan::Distinct { input, .. } => {
+            estimate(input, stats) + cardinality(input, stats) * C_AGG
+        }
+        Plan::Sort { input, .. } => {
+            let n = cardinality(input, stats).max(2.0);
+            estimate(input, stats) + n * n.log2() * C_SORT
+        }
+        Plan::Limit { input, .. } => estimate(input, stats),
+        Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
+            let children: f64 = inputs.iter().map(|p| estimate(p, stats)).sum();
+            children + cardinality(plan, stats) * C_COMBINE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_exec::ops::sort::SortOrder;
+
+    fn stats(rows: u64, patches: u64) -> TableStats {
+        TableStats { rows, patches }
+    }
+
+    #[test]
+    fn rewritten_distinct_cheaper_at_low_e() {
+        let reference = Plan::scan(vec![1]).distinct(vec![0]);
+        let rewritten = Plan::Union {
+            inputs: vec![
+                Plan::PatchScan {
+                    cols: vec![1],
+                    filter: None,
+                    mode: PatchMode::ExcludePatches,
+                },
+                Plan::Distinct {
+                    input: Box::new(Plan::PatchScan {
+                        cols: vec![1],
+                        filter: None,
+                        mode: PatchMode::UsePatches,
+                    }),
+                    cols: vec![0],
+                },
+            ],
+        };
+        let s = stats(1_000_000, 10_000);
+        assert!(estimate(&rewritten, &s) < estimate(&reference, &s));
+        // At e = 1 the rewrite pays double scans for nothing.
+        let s1 = stats(1_000_000, 1_000_000);
+        assert!(estimate(&rewritten, &s1) > estimate(&reference, &s1));
+    }
+
+    #[test]
+    fn sort_cost_grows_superlinearly() {
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let small = estimate(&sort, &stats(1_000, 0));
+        let big = estimate(&sort, &stats(100_000, 0));
+        assert!(big > small * 100.0);
+    }
+
+    #[test]
+    fn cardinalities_split_by_patches() {
+        let s = stats(100, 30);
+        let ex = Plan::PatchScan { cols: vec![1], filter: None, mode: PatchMode::ExcludePatches };
+        let us = Plan::PatchScan { cols: vec![1], filter: None, mode: PatchMode::UsePatches };
+        assert_eq!(cardinality(&ex, &s), 70.0);
+        assert_eq!(cardinality(&us, &s), 30.0);
+        assert_eq!(cardinality(&Plan::Union { inputs: vec![ex, us] }, &s), 100.0);
+    }
+
+    #[test]
+    fn limit_caps_cardinality() {
+        let p = Plan::scan(vec![0]).limit(10);
+        assert_eq!(cardinality(&p, &stats(1_000, 0)), 10.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # pi-planner — PatchIndex-aware query optimization
+//!
+//! Logical plans ([`Plan`]), the PatchIndex rewrites of the paper's
+//! Section 3.3 (distinct/sort subtree cloning, Figure 2), zero-branch
+//! pruning (Section 6.3), a per-tuple [`cost`] model gating the rewrites
+//! (Section 3.5), and lowering to `pi-exec` operator trees with
+//! partition-parallel combines.
+//!
+//! The TPC-H join plans of Figure 10 are hand-lowered in `pi-tpch`, using
+//! the same building blocks.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+mod logical;
+mod optimizer;
+pub mod physical;
+
+pub use logical::Plan;
+pub use optimizer::{optimize, rewrite, zero_branch_prune, IndexInfo};
+pub use physical::{execute, execute_count, lower_global, lower_partition};

@@ -1,0 +1,321 @@
+//! The PatchIndex optimizer rules (paper, Sections 3.3 and 6.3).
+//!
+//! * `distinct` rewrite: drop the aggregation from the subtree that
+//!   excludes patches, keep a small distinct over the patches, recombine
+//!   with Union (Figure 2, left).
+//! * `sort` rewrite: the excluding subtree is already sorted; sort only the
+//!   patches and recombine with an order-preserving Merge.
+//! * zero-branch pruning (ZBP): drop subtrees with a guaranteed-zero
+//!   cardinality estimate (e.g. the patches flow of a perfect constraint).
+//!
+//! All rewrites are cost-gated: patch counts are known at optimization
+//! time, so the [`cost`](crate::cost) model decides whether the rewritten
+//! tree is cheaper (Section 3.5: Q12-style regressions "would not be
+//! chosen by the optimizer").
+
+use patchindex::{Constraint, PatchIndex, SortDir};
+use pi_exec::ops::patch_select::PatchMode;
+use pi_exec::ops::sort::SortOrder;
+
+use crate::cost::{estimate, TableStats};
+use crate::logical::Plan;
+
+/// Optimizer-visible index metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexInfo {
+    /// Indexed column.
+    pub column: usize,
+    /// Materialized constraint.
+    pub constraint: Constraint,
+    /// Total patches (known exactly at optimization time).
+    pub patch_count: u64,
+    /// Total rows.
+    pub rows: u64,
+}
+
+impl IndexInfo {
+    /// Snapshot of a live index.
+    pub fn of(index: &PatchIndex) -> Self {
+        IndexInfo {
+            column: index.column(),
+            constraint: index.constraint(),
+            patch_count: index.exception_count(),
+            rows: index.nrows(),
+        }
+    }
+}
+
+/// Applies the PatchIndex rewrites wherever the index matches and the cost
+/// model approves, then prunes zero branches if `zbp` is enabled.
+pub fn optimize(plan: Plan, index: IndexInfo, zbp: bool) -> Plan {
+    let stats = TableStats { rows: index.rows, patches: index.patch_count };
+    let rewritten = rewrite(plan.clone(), index);
+    let chosen = if estimate(&rewritten, &stats) < estimate(&plan, &stats) {
+        rewritten
+    } else {
+        plan
+    };
+    if zbp {
+        zero_branch_prune(chosen, &stats)
+    } else {
+        chosen
+    }
+}
+
+fn scan_produces_sorted(cols: &[usize], key: usize, index: IndexInfo) -> bool {
+    matches!(index.constraint, Constraint::NearlySorted(SortDir::Asc))
+        && cols.get(key) == Some(&index.column)
+}
+
+/// Structural rewrite without cost gating (exposed for tests/ablation).
+pub fn rewrite(plan: Plan, index: IndexInfo) -> Plan {
+    match plan {
+        Plan::Distinct { input, cols } => match *input {
+            // Figure 2 (left): clone the scan into both flows; the
+            // excluding flow needs no aggregation because the NUC holds
+            // there (and its values are disjoint from patch values).
+            Plan::Scan { cols: scan_cols, filter }
+                if matches!(index.constraint, Constraint::NearlyUnique)
+                    && cols.len() == 1
+                    && scan_cols.get(cols[0]) == Some(&index.column) =>
+            {
+                Plan::Union {
+                    inputs: vec![
+                        Plan::PatchScan {
+                            cols: scan_cols.clone(),
+                            filter: filter.clone(),
+                            mode: PatchMode::ExcludePatches,
+                        },
+                        Plan::Distinct {
+                            input: Box::new(Plan::PatchScan {
+                                cols: scan_cols,
+                                filter,
+                                mode: PatchMode::UsePatches,
+                            }),
+                            cols,
+                        },
+                    ],
+                }
+            }
+            // NCC: both flows get a distinct, but the excluding flow
+            // aggregates into a single group per partition (the constant),
+            // which the hash aggregation handles at near-scan speed. The
+            // paper's Section 5.5 sketches such additional constraints.
+            Plan::Scan { cols: scan_cols, filter }
+                if matches!(index.constraint, Constraint::NearlyConstant)
+                    && cols.len() == 1
+                    && scan_cols.get(cols[0]) == Some(&index.column) =>
+            {
+                Plan::Union {
+                    inputs: vec![
+                        Plan::Distinct {
+                            input: Box::new(Plan::PatchScan {
+                                cols: scan_cols.clone(),
+                                filter: filter.clone(),
+                                mode: PatchMode::ExcludePatches,
+                            }),
+                            cols: cols.clone(),
+                        },
+                        Plan::Distinct {
+                            input: Box::new(Plan::PatchScan {
+                                cols: scan_cols,
+                                filter,
+                                mode: PatchMode::UsePatches,
+                            }),
+                            cols,
+                        },
+                    ],
+                }
+            }
+            other => Plan::Distinct { input: Box::new(rewrite(other, index)), cols },
+        },
+        Plan::Sort { input, keys } => match *input {
+            // Figure 2 with the aggregation exchanged for the sort
+            // operator: the excluding flow is known to be sorted.
+            Plan::Scan { cols: scan_cols, filter }
+                if keys.len() == 1
+                    && keys[0].1 == SortOrder::Asc
+                    && scan_produces_sorted(&scan_cols, keys[0].0, index) =>
+            {
+                Plan::Merge {
+                    inputs: vec![
+                        Plan::PatchScan {
+                            cols: scan_cols.clone(),
+                            filter: filter.clone(),
+                            mode: PatchMode::ExcludePatches,
+                        },
+                        Plan::Sort {
+                            input: Box::new(Plan::PatchScan {
+                                cols: scan_cols,
+                                filter,
+                                mode: PatchMode::UsePatches,
+                            }),
+                            keys: keys.clone(),
+                        },
+                    ],
+                    keys,
+                }
+            }
+            other => Plan::Sort { input: Box::new(rewrite(other, index)), keys },
+        },
+        Plan::Limit { input, n } => Plan::Limit { input: Box::new(rewrite(*input, index)), n },
+        Plan::Union { inputs } => {
+            Plan::Union { inputs: inputs.into_iter().map(|p| rewrite(p, index)).collect() }
+        }
+        Plan::Merge { inputs, keys } => Plan::Merge {
+            inputs: inputs.into_iter().map(|p| rewrite(p, index)).collect(),
+            keys,
+        },
+        leaf => leaf,
+    }
+}
+
+/// Cardinality upper bound used by zero-branch pruning.
+fn max_cardinality(plan: &Plan, stats: &TableStats) -> u64 {
+    match plan {
+        Plan::Scan { .. } => stats.rows,
+        Plan::PatchScan { mode: PatchMode::UsePatches, .. } => stats.patches,
+        Plan::PatchScan { mode: PatchMode::ExcludePatches, .. } => stats.rows - stats.patches,
+        Plan::Distinct { input, .. } | Plan::Sort { input, .. } => max_cardinality(input, stats),
+        Plan::Limit { input, n } => (*n as u64).min(max_cardinality(input, stats)),
+        Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
+            inputs.iter().map(|p| max_cardinality(p, stats)).sum()
+        }
+    }
+}
+
+/// Zero-branch pruning (paper, Section 6.3): subtrees whose cardinality
+/// estimate is guaranteed zero are dropped from Union/Merge nodes,
+/// removing all overhead the subtree cloning introduced.
+pub fn zero_branch_prune(plan: Plan, stats: &TableStats) -> Plan {
+    match plan {
+        Plan::Union { inputs } => {
+            let mut kept: Vec<Plan> = inputs
+                .into_iter()
+                .filter(|p| max_cardinality(p, stats) > 0)
+                .map(|p| zero_branch_prune(p, stats))
+                .collect();
+            if kept.len() == 1 {
+                kept.pop().unwrap()
+            } else {
+                Plan::Union { inputs: kept }
+            }
+        }
+        Plan::Merge { inputs, keys } => {
+            let mut kept: Vec<Plan> = inputs
+                .into_iter()
+                .filter(|p| max_cardinality(p, stats) > 0)
+                .map(|p| zero_branch_prune(p, stats))
+                .collect();
+            if kept.len() == 1 {
+                kept.pop().unwrap()
+            } else {
+                Plan::Merge { inputs: kept, keys }
+            }
+        }
+        Plan::Distinct { input, cols } => {
+            Plan::Distinct { input: Box::new(zero_branch_prune(*input, stats)), cols }
+        }
+        Plan::Sort { input, keys } => {
+            Plan::Sort { input: Box::new(zero_branch_prune(*input, stats)), keys }
+        }
+        Plan::Limit { input, n } => {
+            Plan::Limit { input: Box::new(zero_branch_prune(*input, stats)), n }
+        }
+        leaf => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nuc_info(rows: u64, patches: u64) -> IndexInfo {
+        IndexInfo { column: 1, constraint: Constraint::NearlyUnique, patch_count: patches, rows }
+    }
+
+    fn nsc_info(rows: u64, patches: u64) -> IndexInfo {
+        IndexInfo {
+            column: 1,
+            constraint: Constraint::NearlySorted(SortDir::Asc),
+            patch_count: patches,
+            rows,
+        }
+    }
+
+    #[test]
+    fn distinct_rewrite_produces_figure2_shape() {
+        let plan = Plan::scan(vec![1]).distinct(vec![0]);
+        let opt = optimize(plan, nuc_info(1_000_000, 1_000), false);
+        let s = opt.to_string();
+        assert!(s.starts_with("Union"), "got:\n{s}");
+        assert!(s.contains("exclude_patches"));
+        assert!(s.contains("use_patches"));
+        // The excluding flow must NOT contain a Distinct.
+        let first_branch = s.lines().nth(1).unwrap();
+        assert!(first_branch.contains("PatchScan[exclude_patches]"));
+    }
+
+    #[test]
+    fn sort_rewrite_produces_merge() {
+        let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let opt = optimize(plan, nsc_info(1_000_000, 5_000), false);
+        let s = opt.to_string();
+        assert!(s.starts_with("Merge"), "got:\n{s}");
+        assert!(s.contains("Sort"));
+    }
+
+    #[test]
+    fn mismatched_column_not_rewritten() {
+        // Distinct over column 0, index on column 1.
+        let plan = Plan::scan(vec![0]).distinct(vec![0]);
+        let opt = optimize(plan, nuc_info(1_000, 10), false);
+        assert!(opt.to_string().starts_with("Distinct"));
+    }
+
+    #[test]
+    fn descending_sort_not_rewritten_by_asc_index() {
+        let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Desc)]);
+        let opt = optimize(plan, nsc_info(1_000, 10), false);
+        assert!(opt.to_string().starts_with("Sort"));
+    }
+
+    #[test]
+    fn zbp_drops_empty_patches_branch() {
+        let plan = Plan::scan(vec![1]).distinct(vec![0]);
+        let opt = optimize(plan, nuc_info(1_000_000, 0), true);
+        let s = opt.to_string();
+        assert!(s.starts_with("PatchScan[exclude_patches]"), "got:\n{s}");
+        assert!(!s.contains("use_patches"));
+    }
+
+    #[test]
+    fn zbp_keeps_nonzero_branches() {
+        let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let opt = optimize(plan, nsc_info(1_000_000, 7), true);
+        assert!(opt.to_string().starts_with("Merge"));
+    }
+
+    #[test]
+    fn ncc_distinct_rewrite_produces_union_of_distincts() {
+        let info = IndexInfo {
+            column: 1,
+            constraint: Constraint::NearlyConstant,
+            patch_count: 100,
+            rows: 1_000_000,
+        };
+        let plan = Plan::scan(vec![1]).distinct(vec![0]);
+        let opt = rewrite(plan, info);
+        let s = opt.to_string();
+        assert!(s.starts_with("Union"), "got:\n{s}");
+        assert!(s.contains("exclude_patches") && s.contains("use_patches"));
+    }
+
+    #[test]
+    fn full_exception_rate_keeps_reference_plan() {
+        // With e = 1 the rewrite buys nothing; the cost gate rejects it.
+        let plan = Plan::scan(vec![1]).distinct(vec![0]);
+        let opt = optimize(plan, nuc_info(1_000, 1_000), false);
+        assert!(opt.to_string().starts_with("Distinct"), "got:\n{}", opt);
+    }
+}

@@ -1,0 +1,109 @@
+//! Table catalog with snapshot-style access.
+//!
+//! PatchIndexes integrate into the host system's snapshot isolation (paper,
+//! Section 5.4). This substrate provides the simplest sound equivalent:
+//! tables live behind `Arc<RwLock<Table>>`; queries hold a read guard for
+//! their whole execution (a consistent snapshot, since writers are blocked),
+//! update transactions take the write guard. Fine-grained concurrency
+//! *within* the index lives in `pi_bitmap::ConcurrentShardedBitmap`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::table::Table;
+
+/// Shared handle to a table.
+pub type TableRef = Arc<RwLock<Table>>;
+
+/// A named collection of tables.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, TableRef>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table, replacing any table with the same name.
+    pub fn register(&self, table: Table) -> TableRef {
+        let name = table.name().to_string();
+        let handle = Arc::new(RwLock::new(table));
+        self.tables.write().insert(name, Arc::clone(&handle));
+        handle
+    }
+
+    /// Looks up a table by name.
+    pub fn get(&self, name: &str) -> Option<TableRef> {
+        self.tables.read().get(name).cloned()
+    }
+
+    /// Removes a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    /// Names of all registered tables (sorted for determinism).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::Partitioning;
+    use crate::value::DataType;
+
+    fn table(name: &str) -> Table {
+        Table::new(
+            name,
+            Schema::new(vec![Field::new("a", DataType::Int)]),
+            1,
+            Partitioning::RoundRobin,
+        )
+    }
+
+    #[test]
+    fn register_and_get() {
+        let cat = Catalog::new();
+        cat.register(table("t1"));
+        cat.register(table("t2"));
+        assert!(cat.get("t1").is_some());
+        assert!(cat.get("missing").is_none());
+        assert_eq!(cat.table_names(), vec!["t1", "t2"]);
+    }
+
+    #[test]
+    fn reads_are_concurrent() {
+        let cat = Catalog::new();
+        let t = cat.register(table("t"));
+        let g1 = t.read();
+        let g2 = t.read();
+        assert_eq!(g1.name(), g2.name());
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let cat = Catalog::new();
+        cat.register(table("t"));
+        assert!(cat.drop_table("t"));
+        assert!(!cat.drop_table("t"));
+        assert!(cat.get("t").is_none());
+    }
+
+    #[test]
+    fn writer_sees_updates() {
+        let cat = Catalog::new();
+        let t = cat.register(table("t"));
+        t.write().insert_rows(&[vec![crate::value::Value::Int(1)]]);
+        assert_eq!(t.read().visible_len(), 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Positional delta store (paper, Section 5: "Delta structures").
+//!
+//! Read-optimized column stores buffer table updates in memory instead of
+//! rewriting base storage; the paper's host system uses Positional Delta
+//! Trees (Héman et al., SIGMOD'10). This module provides a simplified
+//! structure with the same observable positional semantics:
+//!
+//! * rows are addressed by their current *visible* position (rowID);
+//! * deleting a row shifts the rowIDs of all subsequent rows down by one —
+//!   exactly the shift the sharded bitmap mirrors with its bulk delete;
+//! * inserts append at the end; modifies patch values in place;
+//! * [`DeltaStore`] translates visible rowIDs to stable base positions or
+//!   append-buffer slots, and `propagate` merges all deltas into base
+//!   storage (the PDT checkpoint operation).
+
+use std::collections::BTreeMap;
+
+use crate::column::ColumnData;
+use crate::value::Value;
+
+/// Where a visible row physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowLoc {
+    /// Base storage at this (stable) position.
+    Base(usize),
+    /// Append buffer at this slot.
+    Append(usize),
+}
+
+/// In-memory positional deltas over one partition's base columns.
+#[derive(Debug)]
+pub struct DeltaStore {
+    /// Number of rows in base storage (fixed until propagate).
+    base_rows: usize,
+    /// Sorted base positions that are deleted.
+    deleted: Vec<usize>,
+    /// Base position -> list of (column, new value) patches.
+    modified: BTreeMap<usize, Vec<(usize, Value)>>,
+    /// Appended rows, columnar, matching the table schema.
+    appends: Vec<ColumnData>,
+}
+
+impl DeltaStore {
+    /// Creates an empty delta store over `base_rows` rows; `append_proto`
+    /// provides empty, dictionary-sharing append buffers per column.
+    pub fn new(base_rows: usize, append_proto: Vec<ColumnData>) -> Self {
+        DeltaStore { base_rows, deleted: Vec::new(), modified: BTreeMap::new(), appends: append_proto }
+    }
+
+    /// Rows currently visible (base minus deletes plus appends).
+    pub fn visible_len(&self) -> usize {
+        self.base_rows - self.deleted.len() + self.append_len()
+    }
+
+    /// Rows in the append buffer.
+    pub fn append_len(&self) -> usize {
+        self.appends.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of visible rows that live in base storage.
+    pub fn base_visible_len(&self) -> usize {
+        self.base_rows - self.deleted.len()
+    }
+
+    /// Whether any deltas are pending.
+    pub fn is_empty(&self) -> bool {
+        self.deleted.is_empty() && self.modified.is_empty() && self.append_len() == 0
+    }
+
+    /// Whether positional shifts are pending (deletes reorder rowIDs;
+    /// zone maps over base data stay valid only without them).
+    pub fn has_positional_shifts(&self) -> bool {
+        !self.deleted.is_empty()
+    }
+
+    /// Whether any modifies are pending.
+    pub fn has_modifies(&self) -> bool {
+        !self.modified.is_empty()
+    }
+
+    /// Append-buffer columns (for scans of inserted tuples, Figure 5:
+    /// "scanning the inserted values is realized by scanning the PDTs").
+    pub fn append_columns(&self) -> &[ColumnData] {
+        &self.appends
+    }
+
+    /// Number of deleted base positions `<= pos`.
+    fn deleted_upto(&self, pos: usize) -> usize {
+        self.deleted.partition_point(|&d| d <= pos)
+    }
+
+    /// Translates a visible rowID to its physical location.
+    ///
+    /// # Panics
+    /// Panics if `rid >= visible_len()`.
+    pub fn locate(&self, rid: usize) -> RowLoc {
+        let base_visible = self.base_visible_len();
+        if rid >= base_visible {
+            let slot = rid - base_visible;
+            assert!(slot < self.append_len(), "rowID {rid} out of bounds");
+            return RowLoc::Append(slot);
+        }
+        // Find base position b with b - #deleted(<= b) == rid via fixpoint
+        // iteration over the sorted delete list (converges because the
+        // correction is monotone).
+        let mut b = rid;
+        loop {
+            let nb = rid + self.deleted_upto(b);
+            if nb == b {
+                return RowLoc::Base(b);
+            }
+            b = nb;
+        }
+    }
+
+    /// Translates a base position to its visible rowID, or `None` if the
+    /// row is deleted.
+    pub fn rid_of_base(&self, base_pos: usize) -> Option<usize> {
+        assert!(base_pos < self.base_rows, "base position out of bounds");
+        let idx = self.deleted.partition_point(|&d| d < base_pos);
+        if self.deleted.get(idx) == Some(&base_pos) {
+            None
+        } else {
+            Some(base_pos - idx)
+        }
+    }
+
+    /// Visible rowID of append-buffer slot `slot`.
+    pub fn rid_of_append(&self, slot: usize) -> usize {
+        self.base_visible_len() + slot
+    }
+
+    /// Pending value patch for a base position and column, if any.
+    pub fn modified_value(&self, base_pos: usize, col: usize) -> Option<&Value> {
+        self.modified
+            .get(&base_pos)
+            .and_then(|patches| patches.iter().rev().find(|(c, _)| *c == col).map(|(_, v)| v))
+    }
+
+    /// Appends one row (values matching the schema order).
+    pub fn append_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.appends.len(), "row arity mismatch");
+        for (col, v) in self.appends.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Appends a columnar batch.
+    pub fn append_batch(&mut self, batch: &[ColumnData]) {
+        assert_eq!(batch.len(), self.appends.len(), "batch arity mismatch");
+        for (col, b) in self.appends.iter_mut().zip(batch) {
+            col.extend_from(b);
+        }
+    }
+
+    /// Records value patches for visible rows. Patches to appended rows are
+    /// applied directly in the append buffer.
+    pub fn modify(&mut self, rids: &[usize], col: usize, values: &[Value]) {
+        assert_eq!(rids.len(), values.len(), "modify arity mismatch");
+        for (&rid, v) in rids.iter().zip(values) {
+            match self.locate(rid) {
+                RowLoc::Base(b) => self.modified.entry(b).or_default().push((col, v.clone())),
+                RowLoc::Append(slot) => self.appends[col].set(slot, v),
+            }
+        }
+    }
+
+    /// Deletes visible rows. `rids` may be unsorted; duplicates are
+    /// ignored. All rowIDs are interpreted against the state *before* the
+    /// call (translation happens first, so positional shifts cannot corrupt
+    /// later entries).
+    pub fn delete(&mut self, rids: &[usize]) {
+        let mut rids: Vec<usize> = rids.to_vec();
+        rids.sort_unstable();
+        rids.dedup();
+        let mut base_dels: Vec<usize> = Vec::new();
+        let mut append_dels: Vec<usize> = Vec::new();
+        for &rid in &rids {
+            match self.locate(rid) {
+                RowLoc::Base(b) => base_dels.push(b),
+                RowLoc::Append(slot) => append_dels.push(slot),
+            }
+        }
+        // Merge base deletions into the sorted delete list.
+        if !base_dels.is_empty() {
+            for &b in &base_dels {
+                self.modified.remove(&b);
+            }
+            self.deleted.extend(base_dels);
+            self.deleted.sort_unstable();
+            self.deleted.dedup();
+        }
+        // Physically remove appended rows (their slots shift down).
+        if !append_dels.is_empty() {
+            for col in &mut self.appends {
+                col.delete_sorted(&append_dels);
+            }
+        }
+    }
+
+    /// Merges all deltas into `base` (delete, patch, append — the PDT
+    /// propagate/checkpoint step) and resets this store.
+    pub fn propagate(&mut self, base: &mut [ColumnData]) {
+        assert_eq!(base.len(), self.appends.len(), "column arity mismatch");
+        for (&pos, patches) in &self.modified {
+            for (col, v) in patches {
+                base[*col].set(pos, v);
+            }
+        }
+        self.modified.clear();
+        if !self.deleted.is_empty() {
+            for col in base.iter_mut() {
+                col.delete_sorted(&self.deleted);
+            }
+            self.deleted.clear();
+        }
+        for (b, a) in base.iter_mut().zip(&self.appends) {
+            b.extend_from(a);
+        }
+        for a in &mut self.appends {
+            *a = a.empty_like();
+        }
+        self.base_rows = base.first().map_or(0, |c| c.len());
+    }
+
+    /// Reads the value of `col` for visible row `rid` from `base` /
+    /// append buffer, applying pending patches.
+    pub fn read_value(&self, base: &[ColumnData], col: usize, rid: usize) -> Value {
+        match self.locate(rid) {
+            RowLoc::Base(b) => self
+                .modified_value(b, col)
+                .cloned()
+                .unwrap_or_else(|| base[col].value(b)),
+            RowLoc::Append(slot) => self.appends[col].value(slot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(base_rows: usize) -> (Vec<ColumnData>, DeltaStore) {
+        let base = vec![ColumnData::Int((0..base_rows as i64).collect())];
+        let proto = vec![base[0].empty_like()];
+        (base, DeltaStore::new(base_rows, proto))
+    }
+
+    #[test]
+    fn locate_without_deltas_is_identity() {
+        let (_, d) = store(10);
+        assert_eq!(d.locate(0), RowLoc::Base(0));
+        assert_eq!(d.locate(9), RowLoc::Base(9));
+        assert_eq!(d.visible_len(), 10);
+    }
+
+    #[test]
+    fn delete_shifts_subsequent_rowids() {
+        let (base, mut d) = store(10);
+        d.delete(&[3]);
+        assert_eq!(d.visible_len(), 9);
+        // Old row 4 is now rowID 3.
+        assert_eq!(d.locate(3), RowLoc::Base(4));
+        assert_eq!(d.read_value(&base, 0, 3), Value::Int(4));
+        assert_eq!(d.rid_of_base(3), None);
+        assert_eq!(d.rid_of_base(4), Some(3));
+        assert_eq!(d.rid_of_base(2), Some(2));
+    }
+
+    #[test]
+    fn consecutive_deletes_accumulate() {
+        let (base, mut d) = store(10);
+        d.delete(&[0]);
+        d.delete(&[0]);
+        d.delete(&[0]);
+        assert_eq!(d.visible_len(), 7);
+        assert_eq!(d.read_value(&base, 0, 0), Value::Int(3));
+        assert_eq!(d.read_value(&base, 0, 6), Value::Int(9));
+    }
+
+    #[test]
+    fn delete_batch_interprets_rids_pre_call() {
+        let (base, mut d) = store(10);
+        // Deleting rows 2 and 3 in one call removes ORIGINAL rows 2 and 3,
+        // not 2 and (post-shift) 4.
+        d.delete(&[2, 3]);
+        assert_eq!(d.read_value(&base, 0, 2), Value::Int(4));
+    }
+
+    #[test]
+    fn append_and_locate() {
+        let (base, mut d) = store(5);
+        d.append_row(&[Value::Int(100)]);
+        d.append_row(&[Value::Int(101)]);
+        assert_eq!(d.visible_len(), 7);
+        assert_eq!(d.locate(5), RowLoc::Append(0));
+        assert_eq!(d.read_value(&base, 0, 6), Value::Int(101));
+        assert_eq!(d.rid_of_append(1), 6);
+    }
+
+    #[test]
+    fn delete_appended_row() {
+        let (base, mut d) = store(5);
+        d.append_row(&[Value::Int(100)]);
+        d.append_row(&[Value::Int(101)]);
+        d.delete(&[5]);
+        assert_eq!(d.visible_len(), 6);
+        assert_eq!(d.read_value(&base, 0, 5), Value::Int(101));
+    }
+
+    #[test]
+    fn modify_base_and_append_rows() {
+        let (base, mut d) = store(5);
+        d.append_row(&[Value::Int(100)]);
+        d.modify(&[1], 0, &[Value::Int(-1)]);
+        d.modify(&[5], 0, &[Value::Int(-2)]);
+        assert_eq!(d.read_value(&base, 0, 1), Value::Int(-1));
+        assert_eq!(d.read_value(&base, 0, 5), Value::Int(-2));
+        assert!(d.has_modifies());
+        // Underlying base storage untouched until propagate.
+        assert_eq!(base[0].as_int()[1], 1);
+    }
+
+    #[test]
+    fn modify_then_delete_drops_patch() {
+        let (base, mut d) = store(5);
+        d.modify(&[2], 0, &[Value::Int(-5)]);
+        d.delete(&[2]);
+        assert!(!d.has_modifies());
+        assert_eq!(d.read_value(&base, 0, 2), Value::Int(3));
+    }
+
+    #[test]
+    fn mixed_delete_then_rid_translation() {
+        let (base, mut d) = store(8);
+        d.delete(&[1, 4, 6]);
+        // Visible: 0,2,3,5,7
+        let vals: Vec<i64> =
+            (0..d.visible_len()).map(|r| d.read_value(&base, 0, r).as_int()).collect();
+        assert_eq!(vals, vec![0, 2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn propagate_applies_everything() {
+        let (mut base, mut d) = store(6);
+        d.delete(&[0, 5]);
+        d.modify(&[0], 0, &[Value::Int(-9)]); // visible 0 = base 1
+        d.append_row(&[Value::Int(77)]);
+        d.propagate(&mut base);
+        assert!(d.is_empty());
+        assert_eq!(base[0].as_int(), &[-9, 2, 3, 4, 77]);
+        assert_eq!(d.visible_len(), 5);
+        // New deltas work against the propagated base.
+        d.delete(&[0]);
+        assert_eq!(d.read_value(&base, 0, 0), Value::Int(2));
+    }
+
+    #[test]
+    fn visible_scan_after_interleaved_updates() {
+        let (base, mut d) = store(4); // 0 1 2 3
+        d.append_row(&[Value::Int(4)]); // 0 1 2 3 4
+        d.delete(&[1]); // 0 2 3 4
+        d.modify(&[1], 0, &[Value::Int(20)]); // 0 20 3 4
+        d.append_row(&[Value::Int(5)]); // 0 20 3 4 5
+        d.delete(&[3]); // 0 20 3 5
+        let vals: Vec<i64> =
+            (0..d.visible_len()).map(|r| d.read_value(&base, 0, r).as_int()).collect();
+        assert_eq!(vals, vec![0, 20, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn locate_out_of_bounds_panics() {
+        let (_, d) = store(3);
+        d.locate(3);
+    }
+}

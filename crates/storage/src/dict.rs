@@ -1,0 +1,112 @@
+//! Shared string dictionaries.
+//!
+//! String columns store `u32` codes into a per-column dictionary that is
+//! shared by all partitions of a table. Predicates against string literals
+//! are translated to code comparisons at plan-build time; codes only need
+//! decoding at result output.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Append-only string dictionary. Codes are assigned in first-seen order
+/// and never change, so readers may cache them.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the code for `s`, inserting it if unseen.
+    pub fn encode(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let code = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), code);
+        code
+    }
+
+    /// Returns the code for `s` if it has been seen.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Decodes a code; panics on unknown codes (storage invariant).
+    pub fn decode(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Thread-safe handle to a column's dictionary.
+pub type DictRef = Arc<RwLock<Dictionary>>;
+
+/// Creates a fresh shared dictionary handle.
+pub fn new_dict() -> DictRef {
+    Arc::new(RwLock::new(Dictionary::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode("apple");
+        let b = d.encode("banana");
+        assert_ne!(a, b);
+        assert_eq!(d.encode("apple"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let code = d.encode("cherry");
+        assert_eq!(d.decode(code), "cherry");
+        assert_eq!(d.lookup("cherry"), Some(code));
+        assert_eq!(d.lookup("missing"), None);
+    }
+
+    #[test]
+    fn codes_assigned_in_first_seen_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode("x"), 0);
+        assert_eq!(d.encode("y"), 1);
+        assert_eq!(d.encode("x"), 0);
+        assert_eq!(d.encode("z"), 2);
+    }
+
+    #[test]
+    fn shared_handle_concurrent_reads() {
+        let d = new_dict();
+        d.write().encode("a");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    assert_eq!(d.read().decode(0), "a");
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! # pi-storage — in-memory column-store substrate
+//!
+//! The storage layer the PatchIndex reproduction runs on, standing in for
+//! the paper's Actian Vector (X100/Vectorwise) engine. It provides exactly
+//! the facilities the PatchIndex design depends on (paper, Sections 3 & 5):
+//!
+//! * typed, dictionary-encoded columns ([`ColumnData`]) addressed by rowID;
+//! * horizontal [`Partition`]s — PatchIndexes are created per partition and
+//!   all processing is partition-local;
+//! * positional delta stores ([`DeltaStore`]) standing in for Positional
+//!   Delta Trees: in-memory inserts/modifies/deletes with the positional
+//!   rowID-shifting semantics the sharded bitmap mirrors;
+//! * MinMax summaries ([`ZoneMap`], "small materialized aggregates") used
+//!   for scan pruning and dynamic range propagation;
+//! * a [`Catalog`] with snapshot-style table access.
+
+#![warn(missing_docs)]
+
+mod catalog;
+mod column;
+mod delta;
+mod dict;
+mod partition;
+mod schema;
+mod table;
+mod value;
+mod zonemap;
+
+pub use catalog::{Catalog, TableRef};
+pub use column::{str_column, ColumnData};
+pub use delta::{DeltaStore, RowLoc};
+pub use dict::{new_dict, DictRef, Dictionary};
+pub use partition::Partition;
+pub use schema::{Field, Schema};
+pub use table::{Partitioning, RowAddr, Table};
+pub use value::{date, date_parts, DataType, Value};
+pub use zonemap::{ScanRanges, ZoneMap, DEFAULT_BLOCK_ROWS};

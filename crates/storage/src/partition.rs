@@ -1,0 +1,303 @@
+//! Horizontal table partitions.
+//!
+//! Data partitioning is transparent for PatchIndexes: a separate index is
+//! created per partition, and discovery, creation and query processing run
+//! partition-locally and in parallel (paper, Section 3.2). A partition owns
+//! base columns, an in-memory [`DeltaStore`], and lazily built zone maps.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::column::ColumnData;
+use crate::delta::{DeltaStore, RowLoc};
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::zonemap::{ZoneMap, DEFAULT_BLOCK_ROWS};
+
+/// One horizontal slice of a table.
+#[derive(Debug)]
+pub struct Partition {
+    /// Partition id within its table.
+    pub id: usize,
+    schema: Arc<Schema>,
+    base: Vec<ColumnData>,
+    delta: DeltaStore,
+    zonemaps: Vec<Option<ZoneMap>>,
+    block_rows: usize,
+}
+
+impl Partition {
+    /// Creates a partition from base columns (all of equal length, matching
+    /// `schema`).
+    pub fn new(id: usize, schema: Arc<Schema>, base: Vec<ColumnData>) -> Self {
+        assert_eq!(base.len(), schema.len(), "column arity mismatch");
+        let rows = base.first().map_or(0, |c| c.len());
+        assert!(base.iter().all(|c| c.len() == rows), "ragged columns");
+        let proto: Vec<ColumnData> = base.iter().map(|c| c.empty_like()).collect();
+        let ncols = base.len();
+        Partition {
+            id,
+            schema,
+            base,
+            delta: DeltaStore::new(rows, proto),
+            zonemaps: vec![None; ncols],
+            block_rows: DEFAULT_BLOCK_ROWS,
+        }
+    }
+
+    /// The partition's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Rows currently visible.
+    pub fn visible_len(&self) -> usize {
+        self.delta.visible_len()
+    }
+
+    /// The delta store (PatchIndex maintenance scans pending inserts from
+    /// here, mirroring "scanning the PDTs of the current query").
+    pub fn delta(&self) -> &DeltaStore {
+        &self.delta
+    }
+
+    /// Direct access to a base column (fast path for scans and index
+    /// creation when no deltas are pending).
+    pub fn base_column(&self, col: usize) -> &ColumnData {
+        &self.base[col]
+    }
+
+    /// Reads the value of `col` at visible row `rid`.
+    pub fn value_at(&self, col: usize, rid: usize) -> Value {
+        self.delta.read_value(&self.base, col, rid)
+    }
+
+    /// Materializes rows `[start, start + len)` of the given columns.
+    ///
+    /// Fast path: with no pending deltas this is a plain slice copy.
+    pub fn read_range(&self, cols: &[usize], start: usize, len: usize) -> Vec<ColumnData> {
+        assert!(start + len <= self.visible_len(), "range out of bounds");
+        if self.delta.is_empty() {
+            return cols.iter().map(|&c| self.base[c].slice(start, len)).collect();
+        }
+        // Merge-on-read: translate each rid once, then gather per column.
+        let base_visible = self.delta.base_visible_len();
+        let mut out: Vec<ColumnData> =
+            cols.iter().map(|&c| self.base[c].empty_like()).collect();
+        // Batch rows by physical source to amortize translation.
+        let mut base_rows: Vec<usize> = Vec::new();
+        let mut append_rows: Vec<usize> = Vec::new();
+        let mut order: Vec<RowLoc> = Vec::with_capacity(len);
+        for rid in start..start + len {
+            let loc = self.delta.locate(rid);
+            order.push(loc);
+            match loc {
+                RowLoc::Base(b) => base_rows.push(b),
+                RowLoc::Append(s) => append_rows.push(s),
+            }
+        }
+        let _ = base_visible;
+        for (oi, &c) in cols.iter().enumerate() {
+            for loc in &order {
+                match *loc {
+                    RowLoc::Base(b) => {
+                        if let Some(v) = self.delta.modified_value(b, c) {
+                            out[oi].push(v);
+                        } else {
+                            out[oi].push(&self.base[c].value(b));
+                        }
+                    }
+                    RowLoc::Append(s) => out[oi].push(&self.delta.append_columns()[c].value(s)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Materializes specific visible rows of the given columns.
+    pub fn gather(&self, cols: &[usize], rids: &[usize]) -> Vec<ColumnData> {
+        if self.delta.is_empty() {
+            return cols.iter().map(|&c| self.base[c].gather(rids)).collect();
+        }
+        let mut out: Vec<ColumnData> =
+            cols.iter().map(|&c| self.base[c].empty_like()).collect();
+        for (oi, &c) in cols.iter().enumerate() {
+            for &rid in rids {
+                out[oi].push(&self.value_at(c, rid));
+            }
+        }
+        out
+    }
+
+    /// Appends a columnar batch.
+    pub fn append_batch(&mut self, batch: &[ColumnData]) {
+        self.delta.append_batch(batch);
+    }
+
+    /// Appends one row.
+    pub fn append_row(&mut self, row: &[Value]) {
+        self.delta.append_row(row);
+    }
+
+    /// Deletes visible rows (rowIDs interpreted pre-call; see
+    /// [`DeltaStore::delete`]).
+    pub fn delete(&mut self, rids: &[usize]) {
+        self.delta.delete(rids);
+    }
+
+    /// Patches `col` for the given visible rows.
+    pub fn modify(&mut self, rids: &[usize], col: usize, values: &[Value]) {
+        self.delta.modify(rids, col, values);
+    }
+
+    /// Merges all pending deltas into base storage and invalidates zone
+    /// maps.
+    pub fn propagate(&mut self) {
+        self.delta.propagate(&mut self.base);
+        self.zonemaps.iter_mut().for_each(|z| *z = None);
+    }
+
+    /// Ensures a zone map exists for an integer-backed column and returns
+    /// it. Zone maps describe *base* data only.
+    pub fn zonemap(&mut self, col: usize) -> &ZoneMap {
+        if self.zonemaps[col].is_none() {
+            self.zonemaps[col] = Some(ZoneMap::build(self.base[col].as_int(), self.block_rows));
+        }
+        self.zonemaps[col].as_ref().unwrap()
+    }
+
+    /// Zone map if already built.
+    pub fn zonemap_if_built(&self, col: usize) -> Option<&ZoneMap> {
+        self.zonemaps[col].as_ref()
+    }
+
+    /// Candidate visible-row ranges for `col ∈ [lo, hi]`, using the zone
+    /// map where valid (paper: data pruning during scans / dynamic range
+    /// propagation).
+    ///
+    /// Pending deletes shift rowIDs, so pruning is only applied when no
+    /// positional shifts or modifies are outstanding; appended rows are
+    /// always scanned. Returns `None` when the whole partition must be
+    /// scanned.
+    pub fn candidate_ranges(&mut self, col: usize, lo: i64, hi: i64) -> Option<Vec<Range<usize>>> {
+        if self.delta.has_positional_shifts() || self.delta.has_modifies() {
+            return None;
+        }
+        if !self.schema.field(col).dtype.is_int_backed() {
+            return None;
+        }
+        let append_start = self.delta.base_visible_len();
+        let append_len = self.delta.append_len();
+        let mut ranges = self.zonemap(col).candidate_ranges(lo, hi);
+        if append_len > 0 {
+            ranges.push(append_start..append_start + append_len);
+        }
+        Some(ranges)
+    }
+
+    /// Approximate heap bytes of base storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.base.iter().map(|c| c.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn test_partition(rows: i64) -> Partition {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]));
+        let base = vec![
+            ColumnData::Int((0..rows).collect()),
+            ColumnData::Int((0..rows).map(|i| i * 10).collect()),
+        ];
+        Partition::new(0, schema, base)
+    }
+
+    #[test]
+    fn read_range_fast_path() {
+        let p = test_partition(100);
+        let out = p.read_range(&[0, 1], 10, 5);
+        assert_eq!(out[0].as_int(), &[10, 11, 12, 13, 14]);
+        assert_eq!(out[1].as_int(), &[100, 110, 120, 130, 140]);
+    }
+
+    #[test]
+    fn read_range_with_deltas() {
+        let mut p = test_partition(10);
+        p.delete(&[0, 5]);
+        p.append_row(&[Value::Int(100), Value::Int(1000)]);
+        p.modify(&[0], 1, &[Value::Int(-1)]);
+        assert_eq!(p.visible_len(), 9);
+        let out = p.read_range(&[0, 1], 0, 9);
+        assert_eq!(out[0].as_int(), &[1, 2, 3, 4, 6, 7, 8, 9, 100]);
+        assert_eq!(out[1].as_int(), &[-1, 20, 30, 40, 60, 70, 80, 90, 1000]);
+    }
+
+    #[test]
+    fn gather_with_and_without_deltas() {
+        let mut p = test_partition(10);
+        assert_eq!(p.gather(&[1], &[3, 7])[0].as_int(), &[30, 70]);
+        p.delete(&[0]);
+        assert_eq!(p.gather(&[1], &[3, 7])[0].as_int(), &[40, 80]);
+    }
+
+    #[test]
+    fn propagate_then_fast_path_again() {
+        let mut p = test_partition(6);
+        p.delete(&[1]);
+        p.append_row(&[Value::Int(50), Value::Int(500)]);
+        p.propagate();
+        assert!(p.delta().is_empty());
+        let out = p.read_range(&[0], 0, p.visible_len());
+        assert_eq!(out[0].as_int(), &[0, 2, 3, 4, 5, 50]);
+    }
+
+    #[test]
+    fn candidate_ranges_prunes_on_clean_partition() {
+        let mut p = test_partition(5000);
+        let ranges = p.candidate_ranges(0, 100, 200).expect("prunable");
+        assert_eq!(ranges, vec![0..1024]);
+    }
+
+    #[test]
+    fn candidate_ranges_includes_appends() {
+        let mut p = test_partition(2048);
+        p.append_row(&[Value::Int(9999), Value::Int(0)]);
+        let ranges = p.candidate_ranges(0, 0, 10).expect("prunable");
+        assert_eq!(ranges, vec![0..1024, 2048..2049]);
+    }
+
+    #[test]
+    fn candidate_ranges_disabled_under_shifts() {
+        let mut p = test_partition(2048);
+        p.delete(&[0]);
+        assert!(p.candidate_ranges(0, 0, 10).is_none());
+    }
+
+    #[test]
+    fn zonemap_invalidated_by_propagate() {
+        let mut p = test_partition(2048);
+        let _ = p.zonemap(0);
+        assert!(p.zonemap_if_built(0).is_some());
+        p.delete(&[0]);
+        p.propagate();
+        assert!(p.zonemap_if_built(0).is_none());
+        // Rebuild reflects the new base.
+        let zm = p.zonemap(0);
+        assert_eq!(zm.rows(), 2047);
+    }
+
+    #[test]
+    fn value_at_reads_through_delta() {
+        let mut p = test_partition(4);
+        p.modify(&[2], 0, &[Value::Int(-7)]);
+        assert_eq!(p.value_at(0, 2), Value::Int(-7));
+        assert_eq!(p.value_at(0, 3), Value::Int(3));
+    }
+}

@@ -1,0 +1,290 @@
+//! Partitioned tables.
+
+use std::sync::Arc;
+
+use crate::column::ColumnData;
+use crate::dict::{new_dict, DictRef};
+use crate::partition::Partition;
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// How inserted rows are routed to partitions.
+#[derive(Debug, Clone)]
+pub enum Partitioning {
+    /// Rows cycle through partitions (default for generated datasets that
+    /// were split into equal slices up front).
+    RoundRobin,
+    /// Rows route by the value of an integer column against sorted
+    /// boundaries: partition `p` holds keys in
+    /// `[boundaries[p-1], boundaries[p])` (paper: the microbenchmark data is
+    /// partitioned on the unique key column).
+    KeyRange {
+        /// Column index of the routing key.
+        col: usize,
+        /// Ascending upper bounds, one per partition except the last.
+        boundaries: Vec<i64>,
+    },
+}
+
+/// A row location within a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowAddr {
+    /// Partition id.
+    pub partition: usize,
+    /// Visible rowID within the partition.
+    pub rid: usize,
+}
+
+/// A named, partitioned table.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    partitions: Vec<Partition>,
+    dicts: Vec<Option<DictRef>>,
+    partitioning: Partitioning,
+    rr_next: usize,
+}
+
+impl Table {
+    /// Creates an empty table with `npartitions` partitions.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        npartitions: usize,
+        partitioning: Partitioning,
+    ) -> Self {
+        assert!(npartitions > 0, "need at least one partition");
+        if let Partitioning::KeyRange { boundaries, col } = &partitioning {
+            assert_eq!(boundaries.len(), npartitions - 1, "boundary count mismatch");
+            assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries not sorted");
+            assert!(schema.field(*col).dtype.is_int_backed(), "routing key must be int-backed");
+        }
+        let schema = Arc::new(schema);
+        // One shared dictionary per string column, spanning all partitions.
+        let dicts: Vec<Option<DictRef>> = schema
+            .fields()
+            .iter()
+            .map(|f| (f.dtype == DataType::Str).then(new_dict))
+            .collect();
+        let partitions = (0..npartitions)
+            .map(|id| {
+                let cols = schema
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| match f.dtype {
+                        DataType::Int | DataType::Date => ColumnData::Int(Vec::new()),
+                        DataType::Float => ColumnData::Float(Vec::new()),
+                        DataType::Str => ColumnData::Str {
+                            codes: Vec::new(),
+                            dict: Arc::clone(dicts[i].as_ref().unwrap()),
+                        },
+                    })
+                    .collect();
+                Partition::new(id, Arc::clone(&schema), cols)
+            })
+            .collect();
+        Table { name: name.into(), schema, partitions, dicts, partitioning, rr_next: 0 }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Shared dictionary of a string column (plan building translates
+    /// string literals to codes through this).
+    pub fn dict(&self, col: usize) -> Option<&DictRef> {
+        self.dicts[col].as_ref()
+    }
+
+    /// All partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Mutable partition access (update paths).
+    pub fn partition_mut(&mut self, id: usize) -> &mut Partition {
+        &mut self.partitions[id]
+    }
+
+    /// Partition by id.
+    pub fn partition(&self, id: usize) -> &Partition {
+        &self.partitions[id]
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total visible rows across partitions.
+    pub fn visible_len(&self) -> usize {
+        self.partitions.iter().map(|p| p.visible_len()).sum()
+    }
+
+    /// Routes a row to its partition.
+    fn route(&mut self, row: &[Value]) -> usize {
+        match &self.partitioning {
+            Partitioning::RoundRobin => {
+                let p = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.partitions.len();
+                p
+            }
+            Partitioning::KeyRange { col, boundaries } => {
+                let key = row[*col].as_int();
+                boundaries.partition_point(|&b| b <= key)
+            }
+        }
+    }
+
+    /// Inserts rows, returning the address of each inserted row (the
+    /// PatchIndex maintenance needs these to extend its bitmaps).
+    pub fn insert_rows(&mut self, rows: &[Vec<Value>]) -> Vec<RowAddr> {
+        let mut addrs = Vec::with_capacity(rows.len());
+        for row in rows {
+            assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
+            let pid = self.route(row);
+            let p = &mut self.partitions[pid];
+            p.append_row(row);
+            addrs.push(RowAddr { partition: pid, rid: p.visible_len() - 1 });
+        }
+        addrs
+    }
+
+    /// Bulk-loads a columnar batch directly into one partition (generator
+    /// fast path; bypasses routing).
+    pub fn load_partition(&mut self, pid: usize, batch: &[ColumnData]) {
+        self.partitions[pid].append_batch(batch);
+    }
+
+    /// Encodes string values through the table's shared dictionary for
+    /// column `col` (generators use this to build sharable batches).
+    pub fn encode_strings<S: AsRef<str>>(&self, col: usize, values: &[S]) -> ColumnData {
+        let dict = self.dicts[col].as_ref().expect("not a string column");
+        let codes = {
+            let mut d = dict.write();
+            values.iter().map(|s| d.encode(s.as_ref())).collect()
+        };
+        ColumnData::Str { codes, dict: Arc::clone(dict) }
+    }
+
+    /// Deletes visible rows in one partition.
+    pub fn delete(&mut self, pid: usize, rids: &[usize]) {
+        self.partitions[pid].delete(rids);
+    }
+
+    /// Patches one column for visible rows in one partition.
+    pub fn modify(&mut self, pid: usize, rids: &[usize], col: usize, values: &[Value]) {
+        self.partitions[pid].modify(rids, col, values);
+    }
+
+    /// Propagates deltas in all partitions.
+    pub fn propagate_all(&mut self) {
+        for p in &mut self.partitions {
+            p.propagate();
+        }
+    }
+
+    /// Approximate heap bytes of base storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("name", DataType::Str),
+        ])
+    }
+
+    fn row(k: i64, name: &str) -> Vec<Value> {
+        vec![Value::Int(k), Value::from(name)]
+    }
+
+    #[test]
+    fn round_robin_routing() {
+        let mut t = Table::new("t", schema(), 3, Partitioning::RoundRobin);
+        let addrs = t.insert_rows(&[row(1, "a"), row(2, "b"), row(3, "c"), row(4, "d")]);
+        assert_eq!(addrs[0], RowAddr { partition: 0, rid: 0 });
+        assert_eq!(addrs[1], RowAddr { partition: 1, rid: 0 });
+        assert_eq!(addrs[3], RowAddr { partition: 0, rid: 1 });
+        assert_eq!(t.visible_len(), 4);
+    }
+
+    #[test]
+    fn key_range_routing() {
+        let mut t = Table::new(
+            "t",
+            schema(),
+            3,
+            Partitioning::KeyRange { col: 0, boundaries: vec![10, 20] },
+        );
+        let addrs = t.insert_rows(&[row(5, "a"), row(10, "b"), row(15, "c"), row(25, "d")]);
+        assert_eq!(addrs[0].partition, 0);
+        assert_eq!(addrs[1].partition, 1);
+        assert_eq!(addrs[2].partition, 1);
+        assert_eq!(addrs[3].partition, 2);
+    }
+
+    #[test]
+    fn string_dictionary_shared_across_partitions() {
+        let mut t = Table::new("t", schema(), 2, Partitioning::RoundRobin);
+        t.insert_rows(&[row(1, "x"), row(2, "x")]);
+        // Both partitions hold code 0 referring to the same dict.
+        let d0 = t.partition(0).value_at(1, 0);
+        let d1 = t.partition(1).value_at(1, 0);
+        assert_eq!(d0, Value::from("x"));
+        assert_eq!(d1, Value::from("x"));
+        assert_eq!(t.dict(1).unwrap().read().len(), 1);
+        assert!(t.dict(0).is_none());
+    }
+
+    #[test]
+    fn delete_and_modify_roundtrip() {
+        let mut t = Table::new("t", schema(), 1, Partitioning::RoundRobin);
+        t.insert_rows(&[row(1, "a"), row(2, "b"), row(3, "c")]);
+        t.delete(0, &[0]);
+        t.modify(0, &[0], 1, &[Value::from("z")]);
+        assert_eq!(t.visible_len(), 2);
+        assert_eq!(t.partition(0).value_at(1, 0), Value::from("z"));
+        assert_eq!(t.partition(0).value_at(0, 1), Value::Int(3));
+    }
+
+    #[test]
+    fn load_partition_bulk() {
+        let mut t = Table::new("t", schema(), 2, Partitioning::RoundRobin);
+        let names = t.encode_strings(1, &["p", "q"]);
+        t.load_partition(1, &[ColumnData::Int(vec![7, 8]), names]);
+        assert_eq!(t.partition(1).visible_len(), 2);
+        assert_eq!(t.partition(0).visible_len(), 0);
+        assert_eq!(t.partition(1).value_at(1, 1), Value::from("q"));
+    }
+
+    #[test]
+    fn propagate_all_flushes_deltas() {
+        let mut t = Table::new("t", schema(), 2, Partitioning::RoundRobin);
+        t.insert_rows(&[row(1, "a"), row(2, "b")]);
+        t.propagate_all();
+        assert!(t.partitions().iter().all(|p| p.delta().is_empty()));
+        assert_eq!(t.visible_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary count mismatch")]
+    fn bad_boundaries_panic() {
+        Table::new("t", schema(), 3, Partitioning::KeyRange { col: 0, boundaries: vec![1] });
+    }
+}

@@ -1,0 +1,22 @@
+//! Cross-crate integration test helpers.
+//!
+//! The actual tests live in `tests/tests/`; this crate only hosts shared
+//! fixtures so every integration test builds the same workloads.
+
+use pi_datagen::{generate, MicroDataset, MicroKind, MicroSpec};
+
+/// A small but non-trivial microbenchmark dataset.
+pub fn micro(rows: usize, e: f64, kind: MicroKind) -> MicroDataset {
+    generate(&MicroSpec::new(rows, e, kind).with_partitions(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_has_three_partitions() {
+        let ds = micro(3_000, 0.1, MicroKind::Nuc);
+        assert_eq!(ds.table.partition_count(), 3);
+    }
+}

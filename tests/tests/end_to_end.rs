@@ -1,0 +1,136 @@
+//! End-to-end integration: generator → index → optimizer → execution →
+//! updates → recovery, across all crates.
+
+use patchindex::{Constraint, Design, IndexedTable, PatchIndex, SortDir};
+use pi_baselines::{DistinctView, SortKeyTable};
+use pi_datagen::{update_rows, MicroKind};
+use pi_exec::ops::sort::SortOrder;
+use pi_integration::micro;
+use pi_planner::{execute, execute_count, optimize, IndexInfo, Plan};
+
+#[test]
+fn distinct_query_all_configurations_agree_across_exception_rates() {
+    for e in [0.0, 0.1, 0.5, 0.9] {
+        let ds = micro(9_000, e, MicroKind::Nuc);
+        let plan = Plan::scan(vec![1]).distinct(vec![0]);
+        let reference = execute_count(&plan, &ds.table, None);
+        for design in [Design::Bitmap, Design::Identifier] {
+            let idx = PatchIndex::create(&ds.table, 1, Constraint::NearlyUnique, design);
+            idx.check_consistency(&ds.table);
+            let opt = optimize(plan.clone(), IndexInfo::of(&idx), false);
+            assert_eq!(
+                execute_count(&opt, &ds.table, Some(&idx)),
+                reference,
+                "e={e} design={design:?}"
+            );
+        }
+        let view = DistinctView::create(&ds.table, 1);
+        assert_eq!(view.len(), reference, "e={e} matview");
+    }
+}
+
+#[test]
+fn sort_query_all_configurations_agree_across_exception_rates() {
+    for e in [0.0, 0.2, 0.7] {
+        let ds = micro(8_000, e, MicroKind::Nsc);
+        let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let reference = execute(&plan, &ds.table, None);
+        for design in [Design::Bitmap, Design::Identifier] {
+            let idx =
+                PatchIndex::create(&ds.table, 1, Constraint::NearlySorted(SortDir::Asc), design);
+            let opt = optimize(plan.clone(), IndexInfo::of(&idx), false);
+            let got = execute(&opt, &ds.table, Some(&idx));
+            assert_eq!(
+                got.column(0).as_int(),
+                reference.column(0).as_int(),
+                "e={e} design={design:?}"
+            );
+        }
+        let sk = SortKeyTable::create(&ds.table, 1);
+        sk.check_sorted();
+    }
+}
+
+#[test]
+fn update_workload_preserves_query_correctness() {
+    let ds = micro(6_000, 0.3, MicroKind::Nuc);
+    let mut it = IndexedTable::new(ds.table);
+    let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+
+    // A mixed update stream.
+    let inserts = update_rows(6_000, MicroKind::Nuc, 300, 11);
+    it.insert(&inserts[..150]);
+    it.delete(0, &(0..40).collect::<Vec<_>>());
+    it.delete(2, &[1, 5, 7, 30]);
+    it.insert(&inserts[150..]);
+    it.modify(1, &[3, 9, 27], 1, &[
+        pi_storage::Value::Int(123456),
+        pi_storage::Value::Int(123456),
+        pi_storage::Value::Int(-5),
+    ]);
+    it.check_consistency();
+
+    // The rewritten distinct query still matches the reference.
+    let plan = Plan::scan(vec![1]).distinct(vec![0]);
+    let reference = execute_count(&plan, it.table(), None);
+    let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
+    assert_eq!(execute_count(&opt, it.table(), Some(it.index(slot))), reference);
+
+    // Propagating deltas into base storage changes nothing observable.
+    it.propagate();
+    it.check_consistency();
+    let opt2 = optimize(Plan::scan(vec![1]).distinct(vec![0]), IndexInfo::of(it.index(slot)), false);
+    assert_eq!(execute_count(&opt2, it.table(), Some(it.index(slot))), reference);
+}
+
+#[test]
+fn nsc_update_workload_with_policy() {
+    let ds = micro(5_000, 0.2, MicroKind::Nsc);
+    let mut it = IndexedTable::new(ds.table).with_policy(patchindex::MaintenancePolicy {
+        max_exception_rate: 0.6,
+        condense_threshold: 0.5,
+        auto: true,
+    });
+    let slot = it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+    let inserts = update_rows(5_000, MicroKind::Nsc, 400, 3);
+    for chunk in inserts.chunks(50) {
+        it.insert(chunk);
+    }
+    it.delete(0, &(0..100).collect::<Vec<_>>());
+    it.check_consistency();
+    assert!(it.index(slot).exception_rate() <= 0.6 + 1e-9);
+
+    let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+    let reference = execute(&plan, it.table(), None);
+    let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
+    let got = execute(&opt, it.table(), Some(it.index(slot)));
+    assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
+}
+
+#[test]
+fn checkpoint_survives_update_cycle() {
+    let ds = micro(4_000, 0.1, MicroKind::Nuc);
+    let mut it = IndexedTable::new(ds.table);
+    let slot = it.add_index(1, Constraint::NearlyUnique, Design::Identifier);
+    it.insert(&update_rows(4_000, MicroKind::Nuc, 100, 9));
+    let path = std::env::temp_dir().join("pi_integration_ckpt.pidx");
+    it.index(slot).checkpoint(&path).unwrap();
+    let restored = PatchIndex::load_checkpoint(&path).unwrap();
+    restored.check_consistency(it.table());
+    assert_eq!(restored.exception_count(), it.index(slot).exception_count());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn zbp_on_perfect_data_equals_plain_scan_semantics() {
+    let ds = micro(3_000, 0.0, MicroKind::Nsc);
+    let idx = PatchIndex::create(&ds.table, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+    assert_eq!(idx.exception_count(), 0);
+    let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+    let opt = optimize(plan.clone(), IndexInfo::of(&idx), true);
+    // ZBP prunes the patches branch entirely.
+    assert!(!opt.to_string().contains("use_patches"), "{opt}");
+    let reference = execute(&plan, &ds.table, None);
+    let got = execute(&opt, &ds.table, Some(&idx));
+    assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
+}
