@@ -6,10 +6,12 @@
 
 use pi_bench::experiments as ex;
 
+type Job = (&'static str, fn() -> String);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
-    let jobs: Vec<(&str, fn() -> String)> = vec![
+    let jobs: Vec<Job> = vec![
         ("fig1", ex::fig1),
         ("fig6", ex::fig6),
         ("table2", ex::table2),

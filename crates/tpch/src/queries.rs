@@ -89,7 +89,7 @@ fn pi_lineitem_join<'a>(
         flows.push(Box::new(MergeJoinOp::new(x_replay, x_key, exclude, 0)));
         // use_patches flow: hash build on the small patch set, probe X.
         let has_patches = index.partition(pid).store.patch_count() > 0;
-        if !(zbp && !has_patches) {
+        if !zbp || has_patches {
             let use_flow = patch_scan(part, index, l_cols.clone(), PatchMode::UsePatches);
             let use_flow: OpRef<'a> = match &l_filter {
                 Some(pred) => Box::new(FilterOp::new(use_flow, pred.clone())),

@@ -9,7 +9,7 @@
 //! checkpoint/recovery cycle, and the sharded bitmap condensing after
 //! heavy deletes.
 //!
-//! Run with `cargo run --release -p pi-examples --bin constraint_drift`.
+//! Run with `cargo run --release --example constraint_drift`.
 
 use patchindex::{Constraint, Design, IndexedTable, PatchIndex};
 use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};

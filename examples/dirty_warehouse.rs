@@ -7,7 +7,7 @@
 //! collision detection via dynamic range propagation, and the comparison
 //! against a materialized view under updates.
 //!
-//! Run with `cargo run --release -p pi-examples --bin dirty_warehouse`.
+//! Run with `cargo run --release --example dirty_warehouse`.
 
 use std::time::Instant;
 

@@ -1,7 +1,7 @@
 //! Quickstart: define an approximate constraint, query through it, update
 //! through it.
 //!
-//! Run with `cargo run --release -p pi-examples --bin quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
 use patchindex::{Constraint, Design, IndexedTable, SortDir};
 use pi_exec::ops::sort::SortOrder;

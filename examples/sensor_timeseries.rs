@@ -7,7 +7,7 @@
 //! continuous out-of-order ingestion with sorted-run extension, and the
 //! exception-rate monitoring policy triggering a recomputation.
 //!
-//! Run with `cargo run --release -p pi-examples --bin sensor_timeseries`.
+//! Run with `cargo run --release --example sensor_timeseries`.
 
 use std::time::Instant;
 

@@ -1,0 +1,238 @@
+//! Edge-case coverage for PatchIndex update handling: empty tables,
+//! degenerate exception rates (every row a patch), and single- vs
+//! multi-partition agreement under identical logical content.
+
+use patchindex::{Constraint, Design, IndexedTable, PatchIndex, SortDir};
+use pi_datagen::{generate, MicroKind, MicroSpec};
+use pi_exec::ops::sort::SortOrder;
+use pi_planner::{execute, execute_count, optimize, IndexInfo, Plan};
+use pi_storage::{DataType, Field, Partitioning, Schema, Table, Value};
+
+fn empty_table(partitions: usize) -> Table {
+    Table::new(
+        "edge",
+        Schema::new(vec![
+            Field::new("key", DataType::Int),
+            Field::new("val", DataType::Int),
+        ]),
+        partitions,
+        Partitioning::RoundRobin,
+    )
+}
+
+fn rows_of(pairs: &[(i64, i64)]) -> Vec<Vec<Value>> {
+    pairs.iter().map(|&(k, v)| vec![Value::Int(k), Value::Int(v)]).collect()
+}
+
+const ALL_CONSTRAINTS: [Constraint; 3] = [
+    Constraint::NearlyUnique,
+    Constraint::NearlySorted(SortDir::Asc),
+    Constraint::NearlyConstant,
+];
+
+#[test]
+fn create_on_empty_table_is_consistent_for_every_constraint() {
+    for partitions in [1, 3] {
+        for constraint in ALL_CONSTRAINTS {
+            for design in [Design::Bitmap, Design::Identifier] {
+                let table = empty_table(partitions);
+                let idx = PatchIndex::create(&table, 1, constraint, design);
+                assert_eq!(idx.nrows(), 0, "{constraint:?}/{design:?}/{partitions}p");
+                assert_eq!(idx.exception_count(), 0);
+                assert_eq!(idx.exception_rate(), 0.0, "empty index must report e=0");
+                idx.check_consistency(&table);
+            }
+        }
+    }
+}
+
+#[test]
+fn handle_insert_into_empty_table_bootstraps_the_index() {
+    for partitions in [1, 3] {
+        for constraint in ALL_CONSTRAINTS {
+            let mut table = empty_table(partitions);
+            let mut idx = PatchIndex::create(&table, 1, constraint, Design::Bitmap);
+            // First-ever rows arrive through the update path, not create().
+            let addrs =
+                table.insert_rows(&rows_of(&[(0, 10), (1, 20), (2, 20), (3, 30), (4, 5)]));
+            idx.handle_insert(&mut table, &addrs);
+            idx.check_consistency(&table);
+            assert_eq!(idx.nrows(), 5);
+            match constraint {
+                // 20 collides with 20 — at least one patch, but never all rows.
+                Constraint::NearlyUnique => {
+                    assert!(idx.exception_count() >= 1 && idx.exception_count() < 5)
+                }
+                // Inserts extend a sorted run; the trailing 5 breaks it.
+                Constraint::NearlySorted(_) => assert!(idx.exception_count() >= 1),
+                // First value becomes the constant; later equal values free.
+                Constraint::NearlyConstant => assert!(idx.exception_count() <= 4),
+            }
+        }
+    }
+}
+
+#[test]
+fn handle_modify_and_delete_with_empty_rid_lists_are_noops() {
+    for partitions in [1, 3] {
+        let mut table = empty_table(partitions);
+        let mut idx =
+            PatchIndex::create(&table, 1, Constraint::NearlyUnique, Design::Bitmap);
+        idx.handle_modify(&mut table, 0, &[]);
+        idx.handle_delete(0, &[]);
+        idx.check_consistency(&table);
+        assert_eq!(idx.nrows(), 0);
+    }
+}
+
+#[test]
+fn delete_everything_then_rebuild_through_inserts() {
+    let ds = generate(&MicroSpec::new(900, 0.3, MicroKind::Nuc).with_partitions(3));
+    let mut it = IndexedTable::new(ds.table);
+    let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+    // Drain every partition completely through the maintained path.
+    for pid in 0..3 {
+        let len = it.table().partition(pid).visible_len();
+        let rids: Vec<usize> = (0..len).collect();
+        it.delete(pid, &rids);
+    }
+    it.check_consistency();
+    assert_eq!(it.index(slot).nrows(), 0, "all rows deleted");
+    assert_eq!(it.index(slot).exception_count(), 0, "no rows, no patches");
+    // The emptied index keeps working for fresh inserts.
+    it.insert(&rows_of(&[(1_000_000, 1), (1_000_001, 1), (1_000_002, 2)]));
+    it.check_consistency();
+    assert_eq!(it.index(slot).nrows(), 3);
+    assert!(it.index(slot).exception_count() >= 1, "the duplicate 1s must be patched");
+}
+
+#[test]
+fn all_rows_are_patches_nuc_constant_column() {
+    // Every row carries the same value: one collision group. NUC patches
+    // every occurrence of a duplicated value (the exclude-patches flow may
+    // only see values occurring exactly once), so ALL n rows become
+    // patches — the literal e = 1.0 case.
+    let n = 64i64;
+    let mut table = empty_table(1);
+    let addrs =
+        table.insert_rows(&rows_of(&(0..n).map(|k| (k, 7)).collect::<Vec<_>>()));
+    assert_eq!(addrs.len(), n as usize);
+    for design in [Design::Bitmap, Design::Identifier] {
+        let idx = PatchIndex::create(&table, 1, Constraint::NearlyUnique, design);
+        idx.check_consistency(&table);
+        assert_eq!(idx.exception_count(), n as u64, "{design:?}");
+        assert_eq!(idx.exception_rate(), 1.0, "{design:?}");
+        // The rewritten distinct query still answers correctly.
+        let plan = Plan::scan(vec![1]).distinct(vec![0]);
+        let reference = execute_count(&plan, &table, None);
+        assert_eq!(reference, 1);
+        let opt = optimize(plan, IndexInfo::of(&idx), false);
+        assert_eq!(execute_count(&opt, &table, Some(&idx)), reference, "{design:?}");
+    }
+}
+
+#[test]
+fn all_rows_are_patches_nsc_reverse_sorted_column() {
+    // Strictly decreasing values under an ascending constraint: the longest
+    // sorted subsequence is a single row, so n-1 rows are patches.
+    let n = 64i64;
+    let mut table = empty_table(1);
+    table.insert_rows(&rows_of(&(0..n).map(|k| (k, n - k)).collect::<Vec<_>>()));
+    for design in [Design::Bitmap, Design::Identifier] {
+        let idx =
+            PatchIndex::create(&table, 1, Constraint::NearlySorted(SortDir::Asc), design);
+        idx.check_consistency(&table);
+        assert_eq!(idx.exception_count(), (n - 1) as u64, "{design:?}");
+        let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let reference = execute(&plan, &table, None);
+        let opt = optimize(plan, IndexInfo::of(&idx), false);
+        let got = execute(&opt, &table, Some(&idx));
+        assert_eq!(got.column(0).as_int(), reference.column(0).as_int(), "{design:?}");
+    }
+}
+
+#[test]
+fn planted_full_exception_rate_survives_updates() {
+    // e = 1.0 from the generator: every generated row is an exception.
+    for kind in [MicroKind::Nuc, MicroKind::Nsc] {
+        let ds = generate(&MicroSpec::new(600, 1.0, kind).with_partitions(3));
+        let constraint = match kind {
+            MicroKind::Nuc => Constraint::NearlyUnique,
+            MicroKind::Nsc => Constraint::NearlySorted(SortDir::Asc),
+        };
+        let mut it = IndexedTable::new(ds.table);
+        let slot = it.add_index(1, constraint, Design::Bitmap);
+        assert!(
+            it.index(slot).exception_rate() > 0.4,
+            "{kind:?}: planted e=1.0 should leave a large patch set, got {}",
+            it.index(slot).exception_rate()
+        );
+        // A fully degenerate index still maintains itself through updates.
+        it.insert(&rows_of(&[(2_000_000, 3), (2_000_001, 3), (2_000_002, 1)]));
+        let len = it.table().partition(0).visible_len();
+        it.modify(0, &[0, len / 2], 1, &[Value::Int(9), Value::Int(9)]);
+        it.delete(1, &[0, 1, 2]);
+        it.check_consistency();
+        // And the rewritten distinct query still matches the reference.
+        if kind == MicroKind::Nuc {
+            let plan = Plan::scan(vec![1]).distinct(vec![0]);
+            let reference = execute_count(&plan, it.table(), None);
+            let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
+            assert_eq!(
+                execute_count(&opt, it.table(), Some(it.index(slot))),
+                reference
+            );
+        }
+    }
+}
+
+#[test]
+fn single_and_multi_partition_tables_agree_on_queries() {
+    // The same logical rows, round-robined into 1 vs 3 partitions: the
+    // maintained indexes must produce identical query answers even though
+    // patch sets are partition-local.
+    let base: Vec<(i64, i64)> = (0..900)
+        .map(|k| (k, if k % 7 == 0 { k % 13 } else { k }))
+        .collect();
+    let extra: Vec<(i64, i64)> = (900..960).map(|k| (k, k % 11)).collect();
+
+    let mut counts = Vec::new();
+    let mut sorted_results = Vec::new();
+    for partitions in [1usize, 3] {
+        let mut table = empty_table(partitions);
+        table.insert_rows(&rows_of(&base));
+        table.propagate_all();
+        let mut it = IndexedTable::new(table);
+        let nuc = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let nsc = it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        // Same logical update stream on both layouts.
+        it.insert(&rows_of(&extra));
+        it.check_consistency();
+
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let reference = execute_count(&distinct, it.table(), None);
+        let opt = optimize(distinct, IndexInfo::of(it.index(nuc)), false);
+        assert_eq!(
+            execute_count(&opt, it.table(), Some(it.index(nuc))),
+            reference,
+            "{partitions}p distinct"
+        );
+        counts.push(reference);
+
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let opt = optimize(sort.clone(), IndexInfo::of(it.index(nsc)), false);
+        let got = execute(&opt, it.table(), Some(it.index(nsc)));
+        let reference = execute(&sort, it.table(), None);
+        assert_eq!(
+            got.column(0).as_int(),
+            reference.column(0).as_int(),
+            "{partitions}p sort"
+        );
+        sorted_results.push(got.column(0).as_int().to_vec());
+    }
+    assert_eq!(counts[0], counts[1], "distinct count must not depend on partitioning");
+    assert_eq!(
+        sorted_results[0], sorted_results[1],
+        "sorted output must not depend on partitioning"
+    );
+}

@@ -1,0 +1,36 @@
+//! Smoke test: every `examples/*.rs` walkthrough must run to completion.
+//!
+//! Each example ends by asserting index consistency, so "exits 0" is a
+//! real end-to-end check — and registering them here means an example can
+//! never silently rot while the test suite stays green.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 4] =
+    ["quickstart", "constraint_drift", "dirty_warehouse", "sensor_timeseries"];
+
+#[test]
+fn every_example_runs_to_completion() {
+    // CARGO points at the exact cargo running this test; the manifest dir
+    // of pi-integration is <workspace>/tests.
+    let cargo = env!("CARGO");
+    let workspace_root = concat!(env!("CARGO_MANIFEST_DIR"), "/..");
+    for example in EXAMPLES {
+        let output = Command::new(cargo)
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(workspace_root)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} printed nothing; walkthroughs should narrate"
+        );
+    }
+}

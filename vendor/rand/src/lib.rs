@@ -1,0 +1,290 @@
+//! Offline stand-in for the `rand` 0.8 crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! provides the subset of the `rand` 0.8 API the workspace uses:
+//! [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64, matching the
+//! algorithm family of the real `SmallRng` on 64-bit targets),
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer and
+//! float ranges, and [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Streams are deterministic per seed but are NOT bit-identical to the
+//! real crate's — seeded data generation stays reproducible within this
+//! repository, which is all the workload generators require.
+
+/// A random number generator core: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next uniformly random 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniformly random 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Seed type (kept opaque; only [`SeedableRng::seed_from_u64`] is used here).
+    type Seed;
+
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        uniform_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn uniform_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly sampleable from a half-open or inclusive range.
+///
+/// Mirroring the real crate, [`SampleRange`] has single blanket impls over
+/// `Range<T>` / `RangeInclusive<T>` for `T: SampleUniform` — that shape is
+/// what lets type inference flow through `rng.gen_range(0..5)` from the
+/// surrounding expression (e.g. a slice index forcing `usize`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[low, high)`.
+    fn sample_half_open<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Uniform sample in `[low, high]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128;
+                (low as i128 + sample_below(rng, span) as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                (low as i128 + sample_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, low: $t, high: $t) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                low + (uniform_f64(rng.next_u64()) as $t) * (high - low)
+            }
+
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: $t, high: $t) -> $t {
+                Self::sample_half_open(rng, low, high)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Uniform sample in `[0, span)` by rejection, avoiding modulo bias.
+fn sample_below<R: RngCore>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // Widening-multiply trick on 64-bit spans; rejection keeps it unbiased.
+    let span64 = span as u64;
+    if span == span64 as u128 {
+        let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return (v % span64) as u128;
+            }
+        }
+    }
+    // Spans above 2^64 never occur for the ranges this workspace samples.
+    let hi = rng.next_u64() as u128;
+    let lo = rng.next_u64() as u128;
+    ((hi << 64) | lo) % span
+}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast RNG: xoshiro256++ (the algorithm family of the real
+    /// `SmallRng` on 64-bit platforms), seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+            let n1 = s1 ^ n2;
+            let n0 = s0 ^ n3;
+            n2 ^= t;
+            n3 = n3.rotate_left(45);
+            self.s = [n0, n1, n2, n3];
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::{Rng, RngCore};
+
+    /// Extension trait adding random operations to slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let u = rng.gen_range(0usize..=7);
+            assert!(u <= 7);
+            let f = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements should not be identity");
+    }
+}
