@@ -1,8 +1,9 @@
 //! Reproduction harness: prints the paper's tables and figures.
 //!
-//! Usage: `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|all]`
+//! Usage:
+//! `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|ext|maintenance|all]`
 //! Scale via env: `PI_BITMAP_BITS`, `PI_MICRO_ROWS`, `PI_TPCH_SF`,
-//! `PI_UPDATES`, `PI_BULK_DELETES`.
+//! `PI_UPDATES`, `PI_BULK_DELETES`, `PI_MAINT_*` (see `experiments`).
 
 use pi_bench::experiments as ex;
 
@@ -22,6 +23,7 @@ fn main() {
         ("fig10", ex::fig10),
         ("fig11", ex::fig11),
         ("ext", ex::ext),
+        ("maintenance", ex::maintenance),
     ];
     let known: Vec<&str> = jobs.iter().map(|(n, _)| *n).collect();
     if what != "all" && !known.contains(&what) {

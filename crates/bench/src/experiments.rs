@@ -666,3 +666,207 @@ pub fn ext() -> String {
     ));
     out
 }
+
+// ------------------------------------------- maintenance update throughput
+
+/// Update-throughput experiment for the maintenance pipeline (beyond the
+/// paper): streams batched NUC inserts and modifies through an
+/// [`patchindex::IndexedTable`] under three maintenance configurations —
+/// the seed eager/sequential pipeline, the build-once eager/parallel
+/// pipeline, and deferred/parallel batch-amortized maintenance — and
+/// writes the per-row maintenance costs to `BENCH_maintenance.json`.
+///
+/// Scale via `PI_MAINT_PARTS` / `PI_MAINT_ROWS` (per partition) /
+/// `PI_MAINT_BATCHES` / `PI_MAINT_BATCH_ROWS`.
+pub fn maintenance() -> String {
+    use patchindex::{IndexedTable, MaintenanceMode, MaintenancePolicy, ProbeStrategy};
+
+    let parts = env_usize("PI_MAINT_PARTS", 4);
+    let rows = env_usize("PI_MAINT_ROWS", 50_000);
+    let batches = env_usize("PI_MAINT_BATCHES", 24);
+    let batch_rows = env_usize("PI_MAINT_BATCH_ROWS", 512);
+    let total_rows = batches * batch_rows;
+    let base_rows = parts * rows;
+
+    let base_table = || {
+        let mut t = pi_storage::Table::new(
+            "maint",
+            pi_storage::Schema::new(vec![
+                pi_storage::Field::new("k", pi_storage::DataType::Int),
+                pi_storage::Field::new("v", pi_storage::DataType::Int),
+            ]),
+            parts,
+            pi_storage::Partitioning::RoundRobin,
+        );
+        for pid in 0..parts {
+            let base = (pid * rows) as i64;
+            let keys: Vec<i64> = (base..base + rows as i64).collect();
+            t.load_partition(
+                pid,
+                &[pi_storage::ColumnData::Int(keys.clone()), pi_storage::ColumnData::Int(keys)],
+            );
+        }
+        t.propagate_all();
+        t
+    };
+
+    // Pre-generate identical update streams for every variant: ~1/8 of the
+    // inserted values duplicate existing rows (collisions, possibly in a
+    // different partition), the rest are fresh; modifies rewrite random
+    // rows the same way.
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    let mut key = 10_000_000i64;
+    let insert_batches: Vec<Vec<Vec<Value>>> = (0..batches)
+        .map(|_| {
+            (0..batch_rows)
+                .map(|_| {
+                    key += 1;
+                    let v = if rng.gen_range(0..8) == 0 {
+                        rng.gen_range(0..base_rows as i64)
+                    } else {
+                        key + 100_000_000
+                    };
+                    vec![Value::Int(key), Value::Int(v)]
+                })
+                .collect()
+        })
+        .collect();
+    let modify_batches: Vec<(usize, Vec<usize>, Vec<Value>)> = (0..batches)
+        .map(|_| {
+            let pid = rng.gen_range(0..parts);
+            let mut rids: Vec<usize> =
+                (0..batch_rows).map(|_| rng.gen_range(0..rows)).collect();
+            rids.sort_unstable();
+            rids.dedup();
+            let values: Vec<Value> = rids
+                .iter()
+                .map(|_| {
+                    if rng.gen_range(0..8) == 0 {
+                        Value::Int(rng.gen_range(0..base_rows as i64))
+                    } else {
+                        key += 1;
+                        Value::Int(key + 200_000_000)
+                    }
+                })
+                .collect();
+            (pid, rids, values)
+        })
+        .collect();
+
+    // Dedup'd rid draws make each modify batch slightly smaller than
+    // batch_rows; per-row costs divide by the real count.
+    let modified_rows: usize = modify_batches.iter().map(|(_, rids, _)| rids.len()).sum();
+
+    let eager = |probe: ProbeStrategy| MaintenancePolicy { probe, ..MaintenancePolicy::default() };
+    let deferred = MaintenancePolicy {
+        mode: MaintenanceMode::Deferred { flush_rows: usize::MAX },
+        ..MaintenancePolicy::default()
+    };
+    // (label, policy, build an index?)
+    let variants: [(&str, MaintenancePolicy, bool); 4] = [
+        ("table-only", MaintenancePolicy::default(), false),
+        ("eager-sequential (seed)", eager(ProbeStrategy::SequentialRebuild), true),
+        ("eager-parallel", eager(ProbeStrategy::ParallelShared), true),
+        ("deferred-parallel", deferred, true),
+    ];
+
+    let mut out = format!(
+        "Maintenance throughput: {parts} partitions x {rows} rows, \
+         {batches} batches x {batch_rows} rows\n"
+    );
+    let mut table = TablePrinter::new(&[
+        "config", "insert [s]", "ins maint [ns/row]", "modify [s]", "mod maint [ns/row]",
+        "build invocations", "e after",
+    ]);
+    let mut insert_secs: Vec<f64> = Vec::new();
+    let mut modify_secs: Vec<f64> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for (label, policy, indexed) in variants {
+        let mut it = IndexedTable::new(base_table()).with_policy(policy);
+        if indexed {
+            it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        }
+        let (t_ins, _) = time_once(|| {
+            for rows in &insert_batches {
+                it.insert(rows);
+            }
+            it.flush_maintenance();
+        });
+        let (t_mod, _) = time_once(|| {
+            for (pid, rids, values) in &modify_batches {
+                it.modify(*pid, rids, 1, values);
+            }
+            it.flush_maintenance();
+        });
+        if indexed {
+            it.check_consistency();
+        }
+        let ins_s = t_ins.as_secs_f64();
+        let mod_s = t_mod.as_secs_f64();
+        insert_secs.push(ins_s);
+        modify_secs.push(mod_s);
+        let maint = |t: f64, base: f64, n: usize| ((t - base).max(0.0) / n as f64) * 1e9;
+        let (ins_maint, mod_maint) = if indexed {
+            (maint(ins_s, insert_secs[0], total_rows), maint(mod_s, modify_secs[0], modified_rows))
+        } else {
+            (0.0, 0.0)
+        };
+        let (builds, e_after) = if indexed {
+            let idx = it.index(0);
+            (idx.maintenance_stats().build_invocations, idx.exception_rate())
+        } else {
+            (0, 0.0)
+        };
+        table.row(vec![
+            label.to_string(),
+            secs(t_ins),
+            format!("{ins_maint:.0}"),
+            secs(t_mod),
+            format!("{mod_maint:.0}"),
+            builds.to_string(),
+            format!("{:.4}", e_after),
+        ]);
+        json_rows.push(format!(
+            "    {{\"config\": \"{label}\", \"insert_s\": {ins_s:.6}, \
+             \"insert_maintenance_ns_per_row\": {ins_maint:.1}, \"modify_s\": {mod_s:.6}, \
+             \"modify_maintenance_ns_per_row\": {mod_maint:.1}, \
+             \"build_invocations\": {builds}}}"
+        ));
+    }
+    out.push_str(&table.render());
+
+    // Maintenance-time speedups of deferred-parallel over the seed path.
+    // At smoke sizes the subtraction can be noise-dominated (deferred
+    // maintenance ~ table-only baseline); report those as n/a instead of
+    // polluting the recorded trajectory with absurd ratios.
+    let speedup = |phase: &[f64]| -> Option<f64> {
+        let seed = phase[1] - phase[0];
+        let deferred = phase[3] - phase[0];
+        (seed > 0.0 && deferred > 0.0).then(|| seed / deferred)
+    };
+    let fmt_text = |s: Option<f64>| s.map_or("n/a".into(), |x| format!("{x:.1}x"));
+    let fmt_json = |s: Option<f64>| s.map_or("null".into(), |x| format!("{x:.2}"));
+    let (ins_speedup, mod_speedup) = (speedup(&insert_secs), speedup(&modify_secs));
+    out.push_str(&format!(
+        "\ndeferred-parallel vs eager-sequential maintenance speedup: \
+         insert {}, modify {}\n",
+        fmt_text(ins_speedup),
+        fmt_text(mod_speedup)
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"maintenance\",\n  \"config\": {{\"partitions\": {parts}, \
+         \"rows_per_partition\": {rows}, \"batches\": {batches}, \
+         \"batch_rows\": {batch_rows}}},\n  \"results\": [\n{}\n  ],\n  \
+         \"speedup_deferred_vs_sequential\": {{\"insert\": {}, \"modify\": {}}}\n}}\n",
+        json_rows.join(",\n"),
+        fmt_json(ins_speedup),
+        fmt_json(mod_speedup)
+    );
+    let path = std::env::var("PI_MAINT_JSON").unwrap_or_else(|_| "BENCH_maintenance.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => out.push_str(&format!("wrote {path}\n")),
+        Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+    }
+    out
+}

@@ -179,6 +179,42 @@ impl ConcurrentShardedBitmap {
         }
         bm
     }
+
+    /// Wraps a [`ShardedBitmap`] for concurrent access by moving its words
+    /// into per-shard locks — an `O(words)` memcpy, no per-bit work.
+    ///
+    /// PatchIndex maintenance uses this to let parallel partition probes
+    /// apply collision patches directly (paper, Section 5.4), then swaps
+    /// the bitmap back with [`ConcurrentShardedBitmap::into_sharded`].
+    pub fn from_sharded(bm: ShardedBitmap) -> Self {
+        let (data, starts, log2, len) = bm.into_parts();
+        let shard_words = (1usize << log2) / 64;
+        ConcurrentShardedBitmap {
+            shards: data.chunks(shard_words).map(|c| RwLock::new(c.to_vec())).collect(),
+            starts: starts.into_iter().map(AtomicU64::new).collect(),
+            shard_bits_log2: log2,
+            logical_len: AtomicU64::new(len),
+            kernel: ShiftKernel::default(),
+        }
+    }
+
+    /// Unwraps back into a single-threaded [`ShardedBitmap`] by
+    /// concatenating the shard words — the exact inverse of
+    /// [`ConcurrentShardedBitmap::from_sharded`] (quiescent state assumed).
+    pub fn into_sharded(self) -> ShardedBitmap {
+        let shard_words = (1usize << self.shard_bits_log2) / 64;
+        let mut data = Vec::with_capacity(self.shards.len() * shard_words);
+        for shard in self.shards {
+            data.extend(shard.into_inner());
+        }
+        let starts = self.starts.into_iter().map(AtomicU64::into_inner).collect();
+        ShardedBitmap::from_parts(
+            data,
+            starts,
+            self.shard_bits_log2,
+            self.logical_len.into_inner(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +286,56 @@ mod tests {
         assert_eq!(bm.len(), 255);
         let snap = bm.to_sharded();
         assert_eq!(snap.iter_ones().collect::<Vec<_>>(), vec![25]);
+    }
+
+    #[test]
+    fn from_sharded_roundtrip_preserves_state() {
+        // Deletes first, so starts and valid lengths are non-trivial.
+        let mut bm = ShardedBitmap::with_shard_bits(1024, 64);
+        for p in (0..1024).step_by(5) {
+            bm.set(p);
+        }
+        bm.bulk_delete(&[3, 70, 200, 900], crate::BulkDeleteMode::Sequential);
+        let expected: Vec<u64> = bm.iter_ones().collect();
+        let len = bm.len();
+
+        let conc = ConcurrentShardedBitmap::from_sharded(bm);
+        assert_eq!(conc.len(), len);
+        assert_eq!(conc.count_ones(), expected.len() as u64);
+        for &p in &expected {
+            assert!(conc.get(p));
+        }
+        let back = conc.into_sharded();
+        back.check_invariants();
+        assert_eq!(back.len(), len);
+        assert_eq!(back.iter_ones().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn from_sharded_concurrent_sets_then_back() {
+        let bm = ShardedBitmap::with_shard_bits(64 * 8, 64);
+        let conc = Arc::new(ConcurrentShardedBitmap::from_sharded(bm));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let conc = Arc::clone(&conc);
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        conc.set(t * 128 + i * 2);
+                    }
+                });
+            }
+        });
+        let back = Arc::try_unwrap(conc).ok().unwrap().into_sharded();
+        back.check_invariants();
+        assert_eq!(back.count_ones(), 4 * 32);
+    }
+
+    #[test]
+    fn from_sharded_empty() {
+        let bm = ShardedBitmap::new(0);
+        let conc = ConcurrentShardedBitmap::from_sharded(bm);
+        assert!(conc.is_empty());
+        assert!(conc.into_sharded().is_empty());
     }
 
     #[test]

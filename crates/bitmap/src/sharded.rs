@@ -424,6 +424,23 @@ impl ShardedBitmap {
         64.0 / self.shard_bits() as f64
     }
 
+    /// Decomposes into `(data, starts, shard_bits_log2, logical_len)` for
+    /// lossless representation changes (e.g. the concurrent wrapper).
+    pub(crate) fn into_parts(self) -> (Vec<u64>, Vec<u64>, u32, u64) {
+        (self.data, self.starts, self.shard_bits_log2, self.logical_len)
+    }
+
+    /// Rebuilds from parts produced by [`ShardedBitmap::into_parts`] (or an
+    /// equivalent layout). The caller guarantees the invariants hold.
+    pub(crate) fn from_parts(
+        data: Vec<u64>,
+        starts: Vec<u64>,
+        shard_bits_log2: u32,
+        logical_len: u64,
+    ) -> Self {
+        ShardedBitmap { data, starts, shard_bits_log2, logical_len, kernel: ShiftKernel::default() }
+    }
+
     /// Validates all structural invariants (tests / debug assertions).
     pub fn check_invariants(&self) {
         let shard_bits = self.shard_bits() as u64;

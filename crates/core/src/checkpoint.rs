@@ -82,7 +82,16 @@ impl PatchIndex {
     }
 
     /// Persists the index state to `path`.
+    ///
+    /// # Panics
+    /// Panics if deferred maintenance is pending: the value histories are
+    /// not serialized, so a checkpoint taken mid-epoch could never be
+    /// flushed into a consistent state after recovery. Flush first.
     pub fn checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        assert!(
+            !self.has_pending(),
+            "flush deferred maintenance before checkpointing the index"
+        );
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(MAGIC)?;
         write_u32(&mut w, VERSION)?;

@@ -5,7 +5,9 @@ use pi_exec::parallel::per_partition;
 use pi_storage::Table;
 
 use crate::constraint::{Constraint, Design, SortDir};
+use crate::deferred::PendingMaintenance;
 use crate::discovery::{discover_partition, partition_column_values};
+use crate::maintenance::MaintenanceStats;
 use crate::store::PatchStore;
 
 /// Per-partition index state. Partitioning is transparent: one patch store
@@ -26,6 +28,8 @@ pub struct PatchIndex {
     constraint: Constraint,
     design: Design,
     parts: Vec<PartitionIndex>,
+    stats: MaintenanceStats,
+    pub(crate) pending: Option<PendingMaintenance>,
 }
 
 impl PatchIndex {
@@ -39,7 +43,14 @@ impl PatchIndex {
                 last_sorted: r.last_sorted,
             }
         });
-        PatchIndex { column: col, constraint, design, parts }
+        PatchIndex {
+            column: col,
+            constraint,
+            design,
+            parts,
+            stats: MaintenanceStats::default(),
+            pending: None,
+        }
     }
 
     /// Builds an index from externally computed patch sets (checkpoint
@@ -50,7 +61,23 @@ impl PatchIndex {
         design: Design,
         parts: Vec<PartitionIndex>,
     ) -> Self {
-        PatchIndex { column, constraint, design, parts }
+        PatchIndex {
+            column,
+            constraint,
+            design,
+            parts,
+            stats: MaintenanceStats::default(),
+            pending: None,
+        }
+    }
+
+    /// Cumulative collision-join counters (see [`MaintenanceStats`]).
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    pub(crate) fn set_maintenance_stats(&mut self, stats: MaintenanceStats) {
+        self.stats = stats;
     }
 
     /// The indexed column.
@@ -114,8 +141,12 @@ impl PatchIndex {
 
     /// Rebuilds the index from scratch (the global recomputation the
     /// monitoring policy triggers once updates eroded optimality too far).
+    /// Any deferred maintenance still pending is discarded — the fresh
+    /// discovery supersedes it. Maintenance stats survive.
     pub fn recompute(&mut self, table: &Table) {
+        let stats = self.stats;
         *self = PatchIndex::create(table, self.column, self.constraint, self.design);
+        self.stats = stats;
     }
 
     /// Recomputes once the exception rate exceeds `threshold`; returns

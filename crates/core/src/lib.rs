@@ -44,6 +44,7 @@
 pub mod approx;
 mod checkpoint;
 mod constraint;
+mod deferred;
 pub mod discovery;
 mod index;
 mod indexed;
@@ -55,6 +56,6 @@ mod store;
 
 pub use constraint::{Constraint, Design, SortDir};
 pub use index::{PartitionIndex, PatchIndex};
-pub use indexed::{IndexedTable, MaintenancePolicy};
-pub use maintenance::drp_ranges;
+pub use indexed::{IndexedTable, MaintenanceMode, MaintenancePolicy};
+pub use maintenance::{drp_ranges, MaintenanceStats, ProbeStrategy};
 pub use store::PatchStore;

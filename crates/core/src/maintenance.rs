@@ -6,17 +6,56 @@
 //! |---|---|---|---|
 //! | NUC | join inserted tuples with the table (dynamic range propagation), merge colliding rowIDs into the patches | like insert, over the modified tuples | drop tracking info |
 //! | NSC | extend the existing sorted subsequence with a longest sorted subsequence of the inserted values | merge all modified rowIDs into the patches | drop tracking info |
+//!
+//! The NUC collision join supports two execution strategies
+//! ([`ProbeStrategy`]): the default hashes the changed tuples **once** into
+//! a shared [`JoinTable`] and fans the per-partition DRP-pruned probes out
+//! over all cores, applying bitmap patches straight through a
+//! [`ConcurrentShardedBitmap`]; [`ProbeStrategy::SequentialRebuild`] keeps
+//! the original one-partition-at-a-time pipeline (re-hashing the build
+//! batch per partition) as a benchmark baseline.
 
 use std::ops::Range;
 
-use pi_exec::ops::hash_join::{HashJoinOp, ProbeSide};
+use pi_bitmap::ConcurrentShardedBitmap;
+use pi_exec::ops::hash_join::{HashJoinOp, JoinTable, ProbeSide};
 use pi_exec::ops::scan::ScanOp;
-use pi_exec::{collect, Batch, BatchSource, OpRef};
+use pi_exec::parallel::per_partition;
+use pi_exec::{collect, Batch, BatchSource, OpRef, Operator};
 use pi_storage::{ColumnData, Partition, RowAddr, Table};
 
-use crate::constraint::{Constraint, SortDir};
+use crate::constraint::{Constraint, Design, SortDir};
 use crate::index::PatchIndex;
 use crate::lis;
+
+/// How the NUC collision join executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeStrategy {
+    /// Re-hash the changed-tuple batch for every partition and probe the
+    /// partitions one after another (the pre-optimization pipeline, kept
+    /// as a measurable baseline).
+    SequentialRebuild,
+    /// Hash the changed tuples once into a shared [`JoinTable`] and probe
+    /// all partitions in parallel; bitmap-design patches are applied
+    /// concurrently while probing.
+    #[default]
+    ParallelShared,
+}
+
+/// Counters describing the collision-join work an index performed
+/// (cumulative; preserved across [`PatchIndex::recompute`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Collision-join rounds executed (one per eager NUC statement, one
+    /// per deferred flush).
+    pub collision_rounds: u64,
+    /// How many times a build side was hashed. The shared strategy pays
+    /// exactly one per round; the sequential baseline pays one per
+    /// partition per round.
+    pub build_invocations: u64,
+    /// Partition probes executed across all rounds.
+    pub probed_partitions: u64,
+}
 
 /// Candidate row ranges for probing values in `env`: zone-map pruning over
 /// base data plus the full append buffer — the receiving end of dynamic
@@ -43,22 +82,13 @@ pub fn drp_ranges(partition: &Partition, col: usize, env: Option<(i64, i64)>) ->
     }
 }
 
-/// Runs the NUC collision query of Figure 5: join the changed tuples
-/// (build side) against **the actual table** — every partition, with each
-/// probe scan restricted by dynamic range propagation — and return every
-/// `(partition, rowID)` participating in a genuine collision (self-pairs
-/// filtered). Collisions may cross partitions: an inserted value can
-/// collide with a tuple that lives in a different partition, whose local
-/// patch set must then be extended too.
-fn nuc_collisions(
+/// Materializes the `[value, pid, rid]` build batch of the collision join
+/// from the changed `(partition, rowID)` set.
+pub(crate) fn build_changed_batch(
     table: &Table,
     col: usize,
     changed: &[(usize, usize)],
-) -> Vec<(usize, usize)> {
-    if changed.is_empty() {
-        return Vec::new();
-    }
-    // Build batch: [value, pid, rid] of the changed tuples.
+) -> Batch {
     let mut per_part: Vec<Vec<usize>> = vec![Vec::new(); table.partition_count()];
     for &(pid, rid) in changed {
         per_part[pid].push(rid);
@@ -78,11 +108,159 @@ fn nuc_collisions(
         pid_col.extend(std::iter::repeat_n(pid as i64, rids.len()));
         rid_col.extend(rids.iter().map(|&r| r as i64));
     }
-    let build_batch = Batch::new(vec![
+    Batch::new(vec![
         value_col.expect("changed set non-empty"),
         ColumnData::Int(pid_col),
         ColumnData::Int(rid_col),
-    ]);
+    ])
+}
+
+/// Materializes the `[value, pid, rid]` build batch from explicit
+/// `(pid, rid, value)` snapshots (deferred flush; string columns are
+/// represented by their dictionary codes, which is exactly what the join
+/// hashes on the probe side too).
+pub(crate) fn build_changed_batch_from(entries: &[(usize, u64, i64)]) -> Batch {
+    let mut vals = Vec::with_capacity(entries.len());
+    let mut pids = Vec::with_capacity(entries.len());
+    let mut rids = Vec::with_capacity(entries.len());
+    for &(pid, rid, v) in entries {
+        vals.push(v);
+        pids.push(pid as i64);
+        rids.push(rid as i64);
+    }
+    Batch::new(vec![ColumnData::Int(vals), ColumnData::Int(pids), ColumnData::Int(rids)])
+}
+
+/// What a collision-probe round produced.
+pub(crate) struct ProbeOutcome {
+    /// Probe-side collision rowIDs per partition. Left empty when a
+    /// concurrent sink applied them directly.
+    pub probe_hits: Vec<Vec<u64>>,
+    /// Build-side collision rows `(pid, rid)`, sorted and deduplicated.
+    /// Every entry refers to a changed tuple.
+    pub build_hits: Vec<(usize, u64)>,
+}
+
+/// Runs the NUC collision query of Figure 5 with a **build-once** shared
+/// hash table: the `[value, pid, rid]` build batch is hashed exactly once,
+/// then every partition is probed in parallel with its scan restricted by
+/// dynamic range propagation. Collisions may cross partitions: an inserted
+/// value can collide with a tuple in a different partition, whose local
+/// patch set must then be extended too.
+///
+/// Filtering depends on the caller:
+/// * eager (`skip_dirty == None`): exact self-pairs (a changed tuple
+///   matching itself) are dropped;
+/// * deferred flush (`skip_dirty == Some`): every probe hit on a pending
+///   row is dropped — pending-vs-pending collisions are resolved by the
+///   caller's value-interval sweep, which knows the statement ordering.
+///
+/// With `sink` set (bitmap design), probe- and build-side patches are set
+/// directly in the per-partition concurrent bitmaps while probing; only
+/// `build_hits` are still collected (the deferred flush needs them to
+/// decide which staged rows were genuine).
+/// Statements smaller than this probe the partitions inline on the
+/// calling thread: spawning one worker per partition does not amortize
+/// for near-empty DRP-pruned probes (the same small-work rule the bulk
+/// delete applies — paper, Figure 6). The build side is still hashed
+/// exactly once either way.
+const INLINE_PROBE_BUILD_ROWS: usize = 64;
+
+/// The concurrent-bitmap swap of a collision round copies every partition
+/// bitmap twice; it only runs when each changed row amortizes at most
+/// this many copied bits (64 words), otherwise hits are collected and
+/// applied through `add_patches`.
+const CONCURRENT_SWAP_BITS_PER_ROW: u64 = 4096;
+
+pub(crate) fn nuc_collision_probe(
+    table: &Table,
+    col: usize,
+    build_batch: Batch,
+    skip_dirty: Option<&[Vec<u64>]>,
+    sink: Option<&[ConcurrentShardedBitmap]>,
+    stats: &mut MaintenanceStats,
+) -> ProbeOutcome {
+    let inline = build_batch.len() < INLINE_PROBE_BUILD_ROWS;
+    let shared = JoinTable::from_batch(build_batch, 0);
+    stats.collision_rounds += 1;
+    stats.build_invocations += 1;
+    stats.probed_partitions += table.partition_count() as u64;
+    let worker = |partition: &Partition| {
+        let pid = partition.id;
+        let probe = ProbeSide::Deferred(Box::new(move |env| {
+            let ranges = drp_ranges(partition, col, env);
+            Box::new(ScanOp::with_ranges(partition, vec![col], ranges, true)) as OpRef<'_>
+        }));
+        let mut join = HashJoinOp::with_table(&shared, probe, 0);
+        // Output: [probe value, probe rid, build value, build pid, build
+        // rid]. Both rowID projections read one materialized join result —
+        // the Reuse operator's effect (Figure 5) without recomputing the
+        // subtree.
+        let mut probe_hits: Vec<u64> = Vec::new();
+        let mut build_hits: Vec<(usize, u64)> = Vec::new();
+        while let Some(out) = join.next() {
+            let probe_rids = out.column(1).as_int();
+            let build_pids = out.column(3).as_int();
+            let build_rids = out.column(4).as_int();
+            for i in 0..out.len() {
+                let probe_rid = probe_rids[i] as u64;
+                let (b_pid, b_rid) = (build_pids[i] as usize, build_rids[i] as u64);
+                match skip_dirty {
+                    // Deferred: pending rows are handled by the interval
+                    // sweep; their probe hits must not re-enter here.
+                    Some(dirty) => {
+                        if dirty[pid].binary_search(&probe_rid).is_ok() {
+                            continue;
+                        }
+                    }
+                    // Eager: only a changed tuple matching itself is benign.
+                    None => {
+                        if b_pid == pid && b_rid == probe_rid {
+                            continue;
+                        }
+                    }
+                }
+                match sink {
+                    Some(bitmaps) => {
+                        bitmaps[pid].set(probe_rid);
+                        bitmaps[b_pid].set(b_rid);
+                    }
+                    None => probe_hits.push(probe_rid),
+                }
+                build_hits.push((b_pid, b_rid));
+            }
+        }
+        probe_hits.sort_unstable();
+        probe_hits.dedup();
+        (probe_hits, build_hits)
+    };
+    let per_part = if inline {
+        table.partitions().iter().map(worker).collect()
+    } else {
+        per_partition(table, worker)
+    };
+    let mut probe_hits = Vec::with_capacity(per_part.len());
+    let mut build_hits = Vec::new();
+    for (p, b) in per_part {
+        probe_hits.push(p);
+        build_hits.extend(b);
+    }
+    build_hits.sort_unstable();
+    build_hits.dedup();
+    ProbeOutcome { probe_hits, build_hits }
+}
+
+/// The original sequential pipeline: for every partition, re-materialize
+/// the build side from a cloned batch, rebuild the hash table and probe
+/// that partition — `O(partitions × changed)` hashing per statement. Kept
+/// as the measurable baseline of [`ProbeStrategy::SequentialRebuild`].
+fn nuc_collisions_sequential(
+    table: &Table,
+    col: usize,
+    build_batch: Batch,
+    stats: &mut MaintenanceStats,
+) -> Vec<(usize, usize)> {
+    stats.collision_rounds += 1;
     let mut patches: Vec<(usize, usize)> = Vec::new();
     for pid in 0..table.partition_count() {
         let partition = table.partition(pid);
@@ -95,10 +273,8 @@ fn nuc_collisions(
             Box::new(ScanOp::with_ranges(partition, vec![col], ranges, true)) as OpRef<'_>
         }));
         let mut join = HashJoinOp::new(build, 0, probe, 0);
-        // Output: [probe value, probe rid, build value, build pid, build
-        // rid]. Both rowID projections read one materialized join result —
-        // the Reuse operator's effect (Figure 5) without recomputing the
-        // subtree.
+        stats.build_invocations += 1;
+        stats.probed_partitions += 1;
         let out = collect(&mut join);
         if out.is_empty() {
             continue;
@@ -136,7 +312,7 @@ fn apply_collisions(index: &mut PatchIndex, patches: &[(usize, usize)]) {
 
 /// Ensures zone maps exist on every prunable partition (the DRP receiver;
 /// needs `&mut Table`, while the collision scans only need `&`).
-fn prepare_zonemaps(table: &mut Table, col: usize) {
+pub(crate) fn prepare_zonemaps(table: &mut Table, col: usize) {
     for pid in 0..table.partition_count() {
         let p = table.partition_mut(pid);
         if !p.delta().has_positional_shifts() && !p.delta().has_modifies() {
@@ -146,7 +322,97 @@ fn prepare_zonemaps(table: &mut Table, col: usize) {
 }
 
 impl PatchIndex {
-    /// Maintains the index after `table.insert_rows` returned `inserted`.
+    /// Runs one build-once collision round (zone maps prepared, build
+    /// batch hashed once, partition probes fanned out) and applies all
+    /// **probe-side** patches — directly through concurrent bitmaps for
+    /// the bitmap design (paper, Section 5.4), via collected rowIDs for
+    /// the identifier design. Returns the build-side hits; what they mean
+    /// is the caller's business (eager: patches to apply; deferred flush:
+    /// staged rows confirmed genuine).
+    pub(crate) fn collision_round(
+        &mut self,
+        table: &mut Table,
+        build_batch: Batch,
+        skip_dirty: Option<&[Vec<u64>]>,
+    ) -> Vec<(usize, u64)> {
+        let col = self.column();
+        prepare_zonemaps(table, col);
+        let mut stats = self.maintenance_stats();
+        // The concurrent swap costs two full bitmap copies per partition,
+        // so it must amortize against the round's work: require a
+        // thread-pool-worthy batch (same bound as the inline probe) AND
+        // at most CONCURRENT_SWAP_BITS_PER_ROW bitmap bits copied per
+        // changed row — a 64-row statement over a 100M-row partition
+        // applies its handful of hits through add_patches instead.
+        let max_nrows =
+            (0..self.partition_count()).map(|pid| self.partition(pid).store.nrows()).max();
+        let concurrent = self.design() == Design::Bitmap
+            && build_batch.len() >= INLINE_PROBE_BUILD_ROWS
+            && build_batch.len() as u64 >= max_nrows.unwrap_or(0) / CONCURRENT_SWAP_BITS_PER_ROW;
+        let build_hits = if concurrent {
+            // Swap every partition's bitmap into its concurrent form (an
+            // O(words) move) so the parallel probes apply patches directly
+            // — including cross-partition build-side hits.
+            let bitmaps: Vec<ConcurrentShardedBitmap> = (0..self.partition_count())
+                .map(|pid| {
+                    self.partition_mut(pid).store.begin_concurrent().expect("bitmap design")
+                })
+                .collect();
+            let outcome =
+                nuc_collision_probe(table, col, build_batch, skip_dirty, Some(&bitmaps), &mut stats);
+            for (pid, bm) in bitmaps.into_iter().enumerate() {
+                self.partition_mut(pid).store.end_concurrent(bm);
+            }
+            outcome.build_hits
+        } else {
+            let outcome =
+                nuc_collision_probe(table, col, build_batch, skip_dirty, None, &mut stats);
+            for (pid, rids) in outcome.probe_hits.iter().enumerate() {
+                if !rids.is_empty() {
+                    self.partition_mut(pid).store.add_patches(rids);
+                }
+            }
+            outcome.build_hits
+        };
+        self.set_maintenance_stats(stats);
+        build_hits
+    }
+
+    /// Runs the eager NUC collision round for `changed` tuples under the
+    /// given strategy and applies all resulting patches.
+    fn run_nuc_eager(
+        &mut self,
+        table: &mut Table,
+        changed: &[(usize, usize)],
+        strategy: ProbeStrategy,
+    ) {
+        if changed.is_empty() {
+            return;
+        }
+        let col = self.column();
+        match strategy {
+            ProbeStrategy::SequentialRebuild => {
+                prepare_zonemaps(table, col);
+                let build_batch = build_changed_batch(table, col, changed);
+                let mut stats = self.maintenance_stats();
+                let patches = nuc_collisions_sequential(table, col, build_batch, &mut stats);
+                self.set_maintenance_stats(stats);
+                apply_collisions(self, &patches);
+            }
+            ProbeStrategy::ParallelShared => {
+                let build_batch = build_changed_batch(table, col, changed);
+                let build_hits = self.collision_round(table, build_batch, None);
+                // Build-side hits are patches too (idempotent for the
+                // bitmap design, where the sink already set them).
+                let pairs: Vec<(usize, usize)> =
+                    build_hits.iter().map(|&(pid, rid)| (pid, rid as usize)).collect();
+                apply_collisions(self, &pairs);
+            }
+        }
+    }
+
+    /// Maintains the index after `table.insert_rows` returned `inserted`,
+    /// with the default [`ProbeStrategy`].
     ///
     /// NUC: bitmap resize + collision join with dynamic range propagation.
     /// NSC: extend the sorted subsequence with a longest sorted
@@ -154,6 +420,20 @@ impl PatchIndex {
     /// may lose global optimality (paper's (1,2,10)+(3,4) example) but
     /// never correctness; the monitoring policy recomputes eventually.
     pub fn handle_insert(&mut self, table: &mut Table, inserted: &[RowAddr]) {
+        self.handle_insert_with(table, inserted, ProbeStrategy::default());
+    }
+
+    /// [`PatchIndex::handle_insert`] with an explicit NUC probe strategy.
+    pub fn handle_insert_with(
+        &mut self,
+        table: &mut Table,
+        inserted: &[RowAddr],
+        strategy: ProbeStrategy,
+    ) {
+        assert!(
+            !self.has_pending(),
+            "flush deferred maintenance before eager insert handling (IndexedTable does this)"
+        );
         let col = self.column();
         let constraint = self.constraint();
         // Group inserted rowIDs per partition.
@@ -162,27 +442,12 @@ impl PatchIndex {
             per_part[addr.partition].push(addr.rid);
         }
         // Step one: cover the appended rows in every partition's store.
-        for (pid, rids) in per_part.iter().enumerate() {
-            if rids.is_empty() {
-                continue;
-            }
-            let visible = table.partition(pid).visible_len() as u64;
-            let k = rids.len() as u64;
-            let part = self.partition_mut(pid);
-            assert_eq!(
-                part.store.nrows() + k,
-                visible,
-                "handle_insert must run directly after the insert"
-            );
-            part.store.extend_rows(k);
-        }
+        self.cover_inserted(table, &per_part);
         match constraint {
             Constraint::NearlyUnique => {
-                prepare_zonemaps(table, col);
                 let changed: Vec<(usize, usize)> =
                     inserted.iter().map(|a| (a.partition, a.rid)).collect();
-                let patches = nuc_collisions(table, col, &changed);
-                apply_collisions(self, &patches);
+                self.run_nuc_eager(table, &changed, strategy);
             }
             Constraint::NearlySorted(dir) => {
                 for (pid, rids) in per_part.iter().enumerate() {
@@ -227,23 +492,55 @@ impl PatchIndex {
         }
     }
 
+    /// Extends every partition store over freshly appended rows (insert
+    /// handling step one — shared by the eager and deferred paths).
+    pub(crate) fn cover_inserted(&mut self, table: &Table, per_part: &[Vec<usize>]) {
+        for (pid, rids) in per_part.iter().enumerate() {
+            if rids.is_empty() {
+                continue;
+            }
+            let visible = table.partition(pid).visible_len() as u64;
+            let k = rids.len() as u64;
+            let part = self.partition_mut(pid);
+            assert_eq!(
+                part.store.nrows() + k,
+                visible,
+                "insert handling must run directly after the insert"
+            );
+            part.store.extend_rows(k);
+        }
+    }
+
     /// Maintains the index after `table.modify` patched `col` values of
-    /// `rids` in partition `pid`.
+    /// `rids` in partition `pid`, with the default [`ProbeStrategy`].
     ///
     /// NUC: same collision query as insert handling (paper, Section 5.2),
     /// without the bitmap resize. NSC: all modified tuples join the patch
     /// set — no query needed.
     pub fn handle_modify(&mut self, table: &mut Table, pid: usize, rids: &[usize]) {
+        self.handle_modify_with(table, pid, rids, ProbeStrategy::default());
+    }
+
+    /// [`PatchIndex::handle_modify`] with an explicit NUC probe strategy.
+    pub fn handle_modify_with(
+        &mut self,
+        table: &mut Table,
+        pid: usize,
+        rids: &[usize],
+        strategy: ProbeStrategy,
+    ) {
+        assert!(
+            !self.has_pending(),
+            "flush deferred maintenance before eager modify handling (IndexedTable does this)"
+        );
         if rids.is_empty() {
             return;
         }
         let col = self.column();
         match self.constraint() {
             Constraint::NearlyUnique => {
-                prepare_zonemaps(table, col);
                 let changed: Vec<(usize, usize)> = rids.iter().map(|&r| (pid, r)).collect();
-                let patches = nuc_collisions(table, col, &changed);
-                apply_collisions(self, &patches);
+                self.run_nuc_eager(table, &changed, strategy);
             }
             Constraint::NearlySorted(_) => {
                 let patches: Vec<u64> = rids.iter().map(|&r| r as u64).collect();
@@ -274,12 +571,16 @@ impl PatchIndex {
     /// sharded bitmap's bulk delete / identifier decrementing (paper,
     /// Section 5.3).
     pub fn handle_delete(&mut self, pid: usize, rids: &[usize]) {
+        assert!(
+            !self.has_pending(),
+            "deferred maintenance must be flushed before deletes (IndexedTable does this)"
+        );
         let deleted: Vec<u64> = rids.iter().map(|&r| r as u64).collect();
         self.partition_mut(pid).store.on_delete(&deleted);
     }
 }
 
-fn gather_values(partition: &Partition, col: usize, rids: &[usize]) -> Vec<i64> {
+pub(crate) fn gather_values(partition: &Partition, col: usize, rids: &[usize]) -> Vec<i64> {
     match &partition.gather(&[col], rids)[0] {
         ColumnData::Int(v) => v.clone(),
         ColumnData::Str { codes, .. } => codes.iter().map(|&c| c as i64).collect(),
@@ -290,7 +591,7 @@ fn gather_values(partition: &Partition, col: usize, rids: &[usize]) -> Vec<i64> 
 /// Chooses which of `values` (in insertion order) extend the existing
 /// sorted run that currently ends at `last`. Returns the chosen index set
 /// and the new last value.
-fn extend_sorted_run(
+pub(crate) fn extend_sorted_run(
     values: &[i64],
     last: Option<i64>,
     dir: SortDir,
@@ -503,5 +804,62 @@ mod tests {
         let (keep, last) = extend_sorted_run(&[], Some(4), SortDir::Asc);
         assert!(keep.is_empty());
         assert_eq!(last, None);
+    }
+
+    /// Acceptance guard of the build-once pipeline: one maintenance round
+    /// over a 4-partition table hashes the build side exactly once under
+    /// the shared strategy — the sequential baseline pays once per
+    /// partition — and both strategies produce identical patch sets.
+    #[test]
+    fn shared_probe_hashes_build_side_exactly_once() {
+        for design in [Design::Bitmap, Design::Identifier] {
+            let vals: Vec<i64> = (0..40).collect();
+            let mut shared_t = table(vals.clone(), 4);
+            let mut seq_t = table(vals, 4);
+            let mut shared_idx =
+                PatchIndex::create(&shared_t, 1, Constraint::NearlyUnique, design);
+            let mut seq_idx = PatchIndex::create(&seq_t, 1, Constraint::NearlyUnique, design);
+
+            // Duplicates of 3 and 17 plus fresh values, spread round-robin
+            // over all four partitions (cross-partition collisions).
+            let rows: Vec<Vec<Value>> =
+                [3, 17, 100, 101, 3, 102].iter().enumerate().map(|(i, &v)| row(200 + i as i64, v)).collect();
+            let a1 = shared_t.insert_rows(&rows);
+            shared_idx.handle_insert_with(&mut shared_t, &a1, ProbeStrategy::ParallelShared);
+            let a2 = seq_t.insert_rows(&rows);
+            seq_idx.handle_insert_with(&mut seq_t, &a2, ProbeStrategy::SequentialRebuild);
+
+            let shared_stats = shared_idx.maintenance_stats();
+            assert_eq!(shared_stats.collision_rounds, 1);
+            assert_eq!(shared_stats.build_invocations, 1, "build hashed once per round");
+            assert_eq!(shared_stats.probed_partitions, 4);
+
+            let seq_stats = seq_idx.maintenance_stats();
+            assert_eq!(seq_stats.collision_rounds, 1);
+            assert_eq!(seq_stats.build_invocations, 4, "baseline rebuilds per partition");
+
+            for pid in 0..4 {
+                assert_eq!(
+                    shared_idx.partition(pid).store.patch_rids(),
+                    seq_idx.partition(pid).store.patch_rids(),
+                    "design {design:?} partition {pid}"
+                );
+            }
+            shared_idx.check_consistency(&shared_t);
+        }
+    }
+
+    /// Modify rounds go through the same shared pipeline.
+    #[test]
+    fn shared_probe_counts_modify_rounds() {
+        let mut t = table((0..20).collect(), 2);
+        let mut idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap);
+        t.modify(0, &[0], 1, &[Value::Int(11)]); // collides with 11 (partition 1)
+        idx.handle_modify(&mut t, 0, &[0]);
+        let stats = idx.maintenance_stats();
+        assert_eq!(stats.collision_rounds, 1);
+        assert_eq!(stats.build_invocations, 1);
+        assert_eq!(idx.exception_count(), 2);
+        idx.check_consistency(&t);
     }
 }

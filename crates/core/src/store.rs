@@ -1,7 +1,7 @@
 //! Physical patch-set storage: the bitmap-based and identifier-based design
 //! approaches (paper, Section 3.2).
 
-use pi_bitmap::{BulkDeleteMode, ShardedBitmap};
+use pi_bitmap::{BulkDeleteMode, ConcurrentShardedBitmap, ShardedBitmap};
 use pi_exec::ops::patch_select::PatchLookup;
 
 use crate::constraint::Design;
@@ -109,6 +109,43 @@ impl PatchStore {
         }
     }
 
+    /// Clears rowIDs from the patch set. Callers must guarantee the rows
+    /// genuinely satisfy the constraint — the deferred flush uses this to
+    /// release conservatively staged rows that turned out collision-free.
+    pub fn remove_patches(&mut self, rids: &[u64]) {
+        match self {
+            PatchStore::Bitmap(bm) => {
+                for &r in rids {
+                    bm.unset(r);
+                }
+            }
+            PatchStore::Identifier { ids, .. } => {
+                let mut remove = rids.to_vec();
+                remove.sort_unstable();
+                ids.retain(|id| remove.binary_search(id).is_err());
+            }
+        }
+    }
+
+    /// Moves a bitmap-design patch set into its concurrent form so
+    /// parallel maintenance probes can apply patches directly; `None` for
+    /// identifier stores. Pair with [`PatchStore::end_concurrent`].
+    pub(crate) fn begin_concurrent(&mut self) -> Option<ConcurrentShardedBitmap> {
+        match self {
+            PatchStore::Bitmap(bm) => Some(ConcurrentShardedBitmap::from_sharded(
+                std::mem::replace(bm, ShardedBitmap::new(0)),
+            )),
+            PatchStore::Identifier { .. } => None,
+        }
+    }
+
+    /// Swaps the bitmap back in after concurrent maintenance finished.
+    pub(crate) fn end_concurrent(&mut self, concurrent: ConcurrentShardedBitmap) {
+        if let PatchStore::Bitmap(bm) = self {
+            *bm = concurrent.into_sharded();
+        }
+    }
+
     /// Applies a table delete: `deleted` (any order, pre-delete rowIDs)
     /// disappear and all subsequent rowIDs shift down. The bitmap uses the
     /// parallel vectorized bulk delete; the identifier list drops deleted
@@ -199,6 +236,27 @@ mod tests {
             store.add_patches(&[12, 14, 2]);
             assert_eq!(store.patch_rids(), vec![2, 12, 14]);
         }
+    }
+
+    #[test]
+    fn remove_patches_both_designs() {
+        for mut store in both(30, &[2, 7, 9, 20]) {
+            store.remove_patches(&[7, 20, 25]); // 25 was never a patch
+            assert_eq!(store.patch_rids(), vec![2, 9]);
+            assert_eq!(store.nrows(), 30);
+        }
+    }
+
+    #[test]
+    fn concurrent_roundtrip_preserves_patches() {
+        let mut store = PatchStore::new(Design::Bitmap, 200, &[1, 64, 199]);
+        let conc = store.begin_concurrent().unwrap();
+        conc.set(100);
+        store.end_concurrent(conc);
+        assert_eq!(store.patch_rids(), vec![1, 64, 100, 199]);
+        assert_eq!(store.nrows(), 200);
+        let mut ident = PatchStore::new(Design::Identifier, 10, &[3]);
+        assert!(ident.begin_concurrent().is_none());
     }
 
     #[test]

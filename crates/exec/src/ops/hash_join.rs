@@ -7,6 +7,12 @@
 //! only after the build phase, from the `[min, max]` envelope of the build
 //! keys — the NUC insert-handling query uses this to avoid a full table
 //! scan (Figure 5).
+//!
+//! The build phase is factored out into [`JoinTable`], an immutable hash
+//! table that can be shared (by reference) across many probe pipelines.
+//! PatchIndex maintenance exploits this: the changed-tuple batch is hashed
+//! **once** and every partition probe — fanned out over all cores — borrows
+//! the same table instead of re-building it per partition.
 
 use pi_storage::ColumnData;
 
@@ -23,6 +29,78 @@ pub fn join_key(col: &ColumnData, i: usize) -> i64 {
         ColumnData::Int(v) => v[i],
         ColumnData::Str { codes, .. } => codes[i] as i64,
         other => panic!("unsupported join key type {:?}", other.data_type()),
+    }
+}
+
+/// An immutable hash table over the build side of an equi-join.
+///
+/// Built exactly once from a materialized batch; afterwards it is read-only
+/// and `Sync`, so concurrent probe pipelines (e.g. the per-partition
+/// collision probes of PatchIndex maintenance) can all share one instance
+/// by reference — no per-probe rebuild, no batch cloning.
+#[derive(Debug)]
+pub struct JoinTable {
+    map: IntMap<Vec<u32>>,
+    rows: Batch,
+    key: usize,
+    envelope: Option<(i64, i64)>,
+}
+
+impl JoinTable {
+    /// Hashes `rows` on column `key`. This is the single point where build
+    /// hashing happens — callers wanting shared probes build here once.
+    pub fn from_batch(rows: Batch, key: usize) -> Self {
+        let mut map: IntMap<Vec<u32>> = int_map();
+        let mut envelope: Option<(i64, i64)> = None;
+        if !rows.is_empty() {
+            let key_col = rows.column(key);
+            for i in 0..rows.len() {
+                let k = join_key(key_col, i);
+                map.entry(k).or_default().push(i as u32);
+                envelope = Some(match envelope {
+                    None => (k, k),
+                    Some((lo, hi)) => (lo.min(k), hi.max(k)),
+                });
+            }
+        }
+        JoinTable { map, rows, key, envelope }
+    }
+
+    /// Drains `op` and hashes its output on column `key`.
+    pub fn build(op: &mut dyn Operator, key: usize) -> Self {
+        Self::from_batch(collect(op), key)
+    }
+
+    /// `[min, max]` of the build keys (`None` when the build side is
+    /// empty) — the payload of dynamic range propagation.
+    pub fn envelope(&self) -> Option<(i64, i64)> {
+        self.envelope
+    }
+
+    /// The materialized build rows.
+    pub fn rows(&self) -> &Batch {
+        &self.rows
+    }
+
+    /// The key column the table is hashed on.
+    pub fn key(&self) -> usize {
+        self.key
+    }
+
+    /// Number of distinct build keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the build side held no rows.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Build-row indices matching `key`.
+    #[inline]
+    pub fn matches(&self, key: i64) -> Option<&[u32]> {
+        self.map.get(&key).map(Vec::as_slice)
     }
 }
 
@@ -44,14 +122,20 @@ enum ProbeState<'a> {
     Taken,
 }
 
+enum BuildState<'a> {
+    /// Build operator not yet drained; hashed on first `next()`.
+    Pending(OpRef<'a>, usize),
+    /// Table built by (and owned by) this join.
+    Owned(JoinTable),
+    /// Table built elsewhere and shared across joins.
+    Shared(&'a JoinTable),
+}
+
 /// Inner hash join; output columns are `[probe columns..., build columns...]`.
 pub struct HashJoinOp<'a> {
-    build: Option<OpRef<'a>>,
-    build_key: usize,
+    build: BuildState<'a>,
     probe: ProbeState<'a>,
     probe_key: usize,
-    table: IntMap<Vec<u32>>,
-    build_rows: Batch,
     pending: Vec<Batch>,
 }
 
@@ -65,12 +149,9 @@ impl<'a> HashJoinOp<'a> {
         probe_key: usize,
     ) -> Self {
         HashJoinOp {
-            build: Some(build),
-            build_key,
+            build: BuildState::Pending(build, build_key),
             probe: ProbeState::Pending(probe),
             probe_key,
-            table: int_map(),
-            build_rows: Batch::default(),
             pending: Vec::new(),
         }
     }
@@ -85,34 +166,54 @@ impl<'a> HashJoinOp<'a> {
         Self::new(build, build_key, ProbeSide::Ready(probe), probe_key)
     }
 
-    fn ensure_built(&mut self) {
-        let Some(mut build) = self.build.take() else { return };
-        self.build_rows = collect(build.as_mut());
-        let mut envelope: Option<(i64, i64)> = None;
-        if !self.build_rows.is_empty() {
-            let key_col = self.build_rows.column(self.build_key);
-            for i in 0..self.build_rows.len() {
-                let k = join_key(key_col, i);
-                self.table.entry(k).or_default().push(i as u32);
-                envelope = Some(match envelope {
-                    None => (k, k),
-                    Some((lo, hi)) => (lo.min(k), hi.max(k)),
-                });
-            }
+    /// Creates a hash join over a pre-built, shared [`JoinTable`]: the
+    /// build side is *not* re-hashed. Deferred probe factories still
+    /// receive the table's key envelope (dynamic range propagation).
+    pub fn with_table(table: &'a JoinTable, probe: ProbeSide<'a>, probe_key: usize) -> Self {
+        HashJoinOp {
+            build: BuildState::Shared(table),
+            probe: ProbeState::Pending(probe),
+            probe_key,
+            pending: Vec::new(),
         }
+    }
+
+    fn ensure_built(&mut self) {
+        if let BuildState::Pending(..) = self.build {
+            let BuildState::Pending(mut op, key) =
+                std::mem::replace(&mut self.build, BuildState::Owned(JoinTable::from_batch(Batch::default(), 0)))
+            else {
+                unreachable!()
+            };
+            self.build = BuildState::Owned(JoinTable::build(op.as_mut(), key));
+        }
+        let envelope = self.table().envelope();
         // Dynamic range propagation: hand the key envelope to the deferred
         // probe factory.
-        let probe = std::mem::replace(&mut self.probe, ProbeState::Taken);
-        self.probe = match probe {
-            ProbeState::Pending(ProbeSide::Ready(op)) => ProbeState::Running(op),
-            ProbeState::Pending(ProbeSide::Deferred(f)) => ProbeState::Running(f(envelope)),
-            other => other,
-        };
+        if let ProbeState::Pending(_) = self.probe {
+            let probe = std::mem::replace(&mut self.probe, ProbeState::Taken);
+            self.probe = match probe {
+                ProbeState::Pending(ProbeSide::Ready(op)) => ProbeState::Running(op),
+                ProbeState::Pending(ProbeSide::Deferred(f)) => ProbeState::Running(f(envelope)),
+                other => other,
+            };
+        }
+    }
+
+    fn table(&self) -> &JoinTable {
+        match &self.build {
+            BuildState::Owned(t) => t,
+            BuildState::Shared(t) => t,
+            BuildState::Pending(..) => panic!("join table not built yet"),
+        }
     }
 
     /// Number of distinct keys in the build table (diagnostics).
     pub fn build_key_count(&self) -> usize {
-        self.table.len()
+        match &self.build {
+            BuildState::Pending(..) => 0,
+            _ => self.table().key_count(),
+        }
     }
 }
 
@@ -122,11 +223,16 @@ impl Operator for HashJoinOp<'_> {
         if let Some(b) = self.pending.pop() {
             return Some(b);
         }
+        let table = match &self.build {
+            BuildState::Owned(t) => t,
+            BuildState::Shared(t) => t,
+            BuildState::Pending(..) => unreachable!("ensure_built ran"),
+        };
         let probe = match &mut self.probe {
             ProbeState::Running(op) => op,
             _ => return None,
         };
-        if self.table.is_empty() {
+        if table.is_empty() {
             return None;
         }
         loop {
@@ -138,7 +244,7 @@ impl Operator for HashJoinOp<'_> {
             let mut probe_idx: Vec<usize> = Vec::new();
             let mut build_idx: Vec<usize> = Vec::new();
             for i in 0..batch.len() {
-                if let Some(matches) = self.table.get(&join_key(key_col, i)) {
+                if let Some(matches) = table.matches(join_key(key_col, i)) {
                     for &m in matches {
                         probe_idx.push(i);
                         build_idx.push(m as usize);
@@ -149,7 +255,7 @@ impl Operator for HashJoinOp<'_> {
                 continue;
             }
             let mut cols = batch.gather(&probe_idx).into_columns();
-            cols.extend(self.build_rows.gather(&build_idx).into_columns());
+            cols.extend(table.rows().gather(&build_idx).into_columns());
             let out = Batch::new(cols);
             if out.len() > BATCH_SIZE {
                 let mut parts = out.split(BATCH_SIZE);
@@ -253,5 +359,49 @@ mod tests {
             total += b.len();
         }
         assert_eq!(total, n as usize);
+    }
+
+    #[test]
+    fn shared_table_joins_without_rebuilding() {
+        let table = JoinTable::from_batch(
+            Batch::new(vec![ColumnData::Int(vec![1, 2, 3]), ColumnData::Int(vec![10, 20, 30])]),
+            0,
+        );
+        assert_eq!(table.envelope(), Some((1, 3)));
+        assert_eq!(table.key_count(), 3);
+        // Two probes borrow the same table.
+        for keys in [vec![2i64, 9, 3], vec![1, 1]] {
+            let expect = keys.iter().filter(|k| (1..=3).contains(*k)).count();
+            let probe = src(vec![ColumnData::Int(keys)]);
+            let mut j = HashJoinOp::with_table(&table, ProbeSide::Ready(probe), 0);
+            assert_eq!(collect(&mut j).len(), expect);
+        }
+    }
+
+    #[test]
+    fn shared_table_feeds_envelope_to_deferred_probe() {
+        let table = JoinTable::from_batch(Batch::new(vec![ColumnData::Int(vec![4, 8])]), 0);
+        let probe = ProbeSide::Deferred(Box::new(|env| {
+            assert_eq!(env, Some((4, 8)));
+            src(vec![ColumnData::Int(vec![8])])
+        }));
+        let mut j = HashJoinOp::with_table(&table, probe, 0);
+        assert_eq!(collect(&mut j).len(), 1);
+    }
+
+    #[test]
+    fn shared_table_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<JoinTable>();
+    }
+
+    #[test]
+    fn empty_shared_table() {
+        let table = JoinTable::from_batch(Batch::new(vec![ColumnData::Int(vec![])]), 0);
+        assert!(table.is_empty());
+        assert_eq!(table.envelope(), None);
+        let probe = src(vec![ColumnData::Int(vec![1])]);
+        let mut j = HashJoinOp::with_table(&table, ProbeSide::Ready(probe), 0);
+        assert!(collect(&mut j).is_empty());
     }
 }

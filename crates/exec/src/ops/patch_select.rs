@@ -56,6 +56,10 @@ impl PatchLookup for PlainBitmap {
         self.get(rid)
     }
 
+    fn fill_patch_words(&self, from: u64, out: &mut [u64], _nbits: usize) {
+        self.fill_words(from, out);
+    }
+
     fn patch_count(&self) -> u64 {
         self.count_ones()
     }
@@ -66,6 +70,22 @@ impl PatchLookup for PlainBitmap {
 impl PatchLookup for Vec<u64> {
     fn is_patch(&self, rid: u64) -> bool {
         self.binary_search(&rid).is_ok()
+    }
+
+    fn fill_patch_words(&self, from: u64, out: &mut [u64], nbits: usize) {
+        // One binary search to land inside the sorted list, then a linear
+        // gallop over the rid run covering the batch — `O(log n + hits)`
+        // instead of `nbits` binary searches.
+        out.iter_mut().for_each(|w| *w = 0);
+        let end = from + nbits as u64;
+        let lo = self.partition_point(|&r| r < from);
+        for &rid in &self[lo..] {
+            if rid >= end {
+                break;
+            }
+            let i = (rid - from) as usize;
+            out[i / 64] |= 1 << (i % 64);
+        }
     }
 
     fn patch_count(&self) -> u64 {
@@ -88,7 +108,11 @@ pub struct PatchSelectOp<'a> {
     patches: &'a dyn PatchLookup,
     rid_col: usize,
     mode: PatchMode,
+    /// Word-packed patch mask scratch, reused across batches.
     mask_buf: Vec<u64>,
+    /// Per-row keep mask scratch, reused across batches (no per-batch
+    /// allocation on the hot path).
+    keep_buf: Vec<bool>,
 }
 
 impl<'a> PatchSelectOp<'a> {
@@ -100,7 +124,7 @@ impl<'a> PatchSelectOp<'a> {
         rid_col: usize,
         mode: PatchMode,
     ) -> Self {
-        PatchSelectOp { input, patches, rid_col, mode, mask_buf: Vec::new() }
+        PatchSelectOp { input, patches, rid_col, mode, mask_buf: Vec::new(), keep_buf: Vec::new() }
     }
 }
 
@@ -117,21 +141,23 @@ impl Operator for PatchSelectOp<'_> {
             // Fast path: contiguous ascending rowIDs (plain scans) read the
             // patch mask word-wise.
             let contiguous = rids[n - 1] - rids[0] + 1 == n as i64;
-            let mut mask = vec![false; n];
+            self.keep_buf.clear();
+            self.keep_buf.resize(n, false);
             if contiguous {
                 let words = n.div_ceil(64);
+                self.mask_buf.clear();
                 self.mask_buf.resize(words, 0);
                 self.patches.fill_patch_words(rids[0] as u64, &mut self.mask_buf, n);
-                for (i, m) in mask.iter_mut().enumerate() {
+                for (i, m) in self.keep_buf.iter_mut().enumerate() {
                     let is_patch = self.mask_buf[i / 64] >> (i % 64) & 1 == 1;
                     *m = is_patch == keep_patches;
                 }
             } else {
                 for (i, &rid) in rids.iter().enumerate() {
-                    mask[i] = self.patches.is_patch(rid as u64) == keep_patches;
+                    self.keep_buf[i] = self.patches.is_patch(rid as u64) == keep_patches;
                 }
             }
-            let out = batch.filter(&mask);
+            let out = batch.filter(&self.keep_buf);
             if !out.is_empty() {
                 return Some(out);
             }
@@ -219,6 +245,64 @@ mod tests {
         let mut op = PatchSelectOp::new(Box::new(src), &bm, 1, PatchMode::UsePatches);
         let out = collect(&mut op);
         assert_eq!(out.column(1).as_int(), &[1, 3]);
+    }
+
+    #[test]
+    fn identifier_wordwise_fill_matches_bitmap() {
+        // Contiguous batches over an unaligned rowID window: the sorted-run
+        // gallop must agree bit-for-bit with the sharded bitmap path.
+        let patches: Vec<u64> = (0..500).filter(|p| p % 7 == 0 || p % 64 == 63).collect();
+        let ids: Vec<u64> = patches.clone();
+        let bm = ShardedBitmap::from_positions(500, &patches);
+        for start in [0i64, 1, 63, 130, 421] {
+            let rids: Vec<i64> = (start..(start + 70).min(500)).collect();
+            for mode in [PatchMode::ExcludePatches, PatchMode::UsePatches] {
+                let mut by_ids = PatchSelectOp::new(
+                    Box::new(BatchSource::single(rid_batch(&rids))),
+                    &ids,
+                    1,
+                    mode,
+                );
+                let mut by_bm = PatchSelectOp::new(
+                    Box::new(BatchSource::single(rid_batch(&rids))),
+                    &bm,
+                    1,
+                    mode,
+                );
+                assert_eq!(
+                    collect(&mut by_ids).column(1).as_int(),
+                    collect(&mut by_bm).column(1).as_int(),
+                    "start={start} mode={mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_bitmap_wordwise_unaligned_window() {
+        let bm = PlainBitmap::from_positions(300, &[65, 130, 131, 200]);
+        let rids: Vec<i64> = (60..210).collect();
+        let src = BatchSource::single(rid_batch(&rids));
+        let mut op = PatchSelectOp::new(Box::new(src), &bm, 1, PatchMode::UsePatches);
+        let out = collect(&mut op);
+        assert_eq!(out.column(1).as_int(), &[65, 130, 131, 200]);
+    }
+
+    #[test]
+    fn scratch_buffers_survive_multiple_batches() {
+        // Batches of shrinking and growing sizes through one operator: the
+        // reused scratch space must never leak bits across batches.
+        let ids: Vec<u64> = vec![2, 65, 128];
+        let batches = vec![
+            rid_batch(&(0..130).collect::<Vec<_>>()),
+            rid_batch(&[1, 2, 3]),
+            rid_batch(&(60..70).collect::<Vec<_>>()),
+            rid_batch(&(0..200).collect::<Vec<_>>()),
+        ];
+        let src = BatchSource::new(batches);
+        let mut op = PatchSelectOp::new(Box::new(src), &ids, 1, PatchMode::UsePatches);
+        let out = collect(&mut op);
+        assert_eq!(out.column(1).as_int(), &[2, 65, 128, 2, 65, 2, 65, 128]);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn main() {
         max_exception_rate: 0.25,
         condense_threshold: 0.5,
         auto: true,
+        ..MaintenancePolicy::default()
     });
     let slot = ts.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
     println!(
