@@ -1,9 +1,10 @@
 //! Reproduction harness: prints the paper's tables and figures.
 //!
 //! Usage:
-//! `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|ext|maintenance|all]`
+//! `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|ext|maintenance|planner|all]`
 //! Scale via env: `PI_BITMAP_BITS`, `PI_MICRO_ROWS`, `PI_TPCH_SF`,
-//! `PI_UPDATES`, `PI_BULK_DELETES`, `PI_MAINT_*` (see `experiments`).
+//! `PI_UPDATES`, `PI_BULK_DELETES`, `PI_MAINT_*`, `PI_PLAN_*` (see
+//! `experiments`).
 
 use pi_bench::experiments as ex;
 
@@ -24,6 +25,7 @@ fn main() {
         ("fig11", ex::fig11),
         ("ext", ex::ext),
         ("maintenance", ex::maintenance),
+        ("planner", ex::planner),
     ];
     let known: Vec<&str> = jobs.iter().map(|(n, _)| *n).collect();
     if what != "all" && !known.contains(&what) {

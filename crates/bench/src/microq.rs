@@ -1,13 +1,13 @@
 //! The microbenchmark queries of Figure 7 in all evaluated configurations:
 //! no constraint, specialized materialization, PI_bitmap, PI_identifier.
 
-use patchindex::{Constraint, Design, PatchIndex, SortDir};
+use patchindex::{Constraint, Design, IndexCatalog, PatchIndex, SortDir};
 use pi_baselines::{DistinctView, SortKeyTable};
 use pi_exec::ops::merge::OrderedMergeOp;
 use pi_exec::ops::scan::ScanOp;
 use pi_exec::ops::sort::SortOrder;
 use pi_exec::{count_rows, OpRef};
-use pi_planner::{execute_count, optimize, IndexInfo, Plan};
+use pi_planner::{execute_count, optimize, Plan};
 use pi_storage::Table;
 
 /// Value column of the microbenchmark table.
@@ -16,14 +16,26 @@ pub const VAL_COL: usize = 1;
 /// `SELECT DISTINCT val FROM micro` without constraint information.
 pub fn distinct_reference(table: &Table) -> usize {
     let plan = Plan::scan(vec![VAL_COL]).distinct(vec![0]);
-    execute_count(&plan, table, None)
+    execute_count(&plan, table, &[])
 }
 
-/// The distinct query using a PatchIndex (optimizer-rewritten plan).
-pub fn distinct_patchindex(table: &Table, index: &PatchIndex) -> usize {
+/// Optimizes the distinct query against a single-index catalog. Run this
+/// **outside** timed regions: the catalog snapshot includes an
+/// O(patches) distinct-patch-value pass.
+pub fn plan_distinct_patchindex(table: &Table, index: &PatchIndex) -> Plan {
     let plan = Plan::scan(vec![VAL_COL]).distinct(vec![0]);
-    let opt = optimize(plan, IndexInfo::of(index), false);
-    execute_count(&opt, table, Some(index))
+    optimize(plan, &IndexCatalog::of(table, std::slice::from_ref(index)), false)
+}
+
+/// Executes a pre-planned PatchIndex query (the timed body).
+pub fn run_patchindex(opt: &Plan, table: &Table, index: &PatchIndex) -> usize {
+    execute_count(opt, table, std::slice::from_ref(index))
+}
+
+/// The distinct query using a PatchIndex (plan + execute; convenience
+/// for correctness tests — timed code pre-plans).
+pub fn distinct_patchindex(table: &Table, index: &PatchIndex) -> usize {
+    run_patchindex(&plan_distinct_patchindex(table, index), table, index)
 }
 
 /// The distinct query against the materialized view (plain scan).
@@ -35,15 +47,20 @@ pub fn distinct_matview(view: &DistinctView) -> usize {
 /// `SELECT val FROM micro ORDER BY val` without constraint information.
 pub fn sort_reference(table: &Table) -> usize {
     let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
-    execute_count(&plan, table, None)
+    execute_count(&plan, table, &[])
+}
+
+/// Optimizes the sort query against a single-index catalog (run outside
+/// timed regions, like [`plan_distinct_patchindex`]).
+pub fn plan_sort_patchindex(table: &Table, index: &PatchIndex) -> Plan {
+    let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
+    optimize(plan, &IndexCatalog::of(table, std::slice::from_ref(index)), false)
 }
 
 /// The sort query using a PatchIndex (merge of the pre-sorted flow with
-/// the sorted patches).
+/// the sorted patches; plan + execute convenience).
 pub fn sort_patchindex(table: &Table, index: &PatchIndex) -> usize {
-    let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
-    let opt = optimize(plan, IndexInfo::of(index), false);
-    execute_count(&opt, table, Some(index))
+    run_patchindex(&plan_sort_patchindex(table, index), table, index)
 }
 
 /// The sort query against the SortKey table: partition scans (already
@@ -110,9 +127,10 @@ mod tests {
         let ds = generate(&MicroSpec::new(3_000, 0.5, MicroKind::Nsc));
         let (bm, _) = build_indexes(&ds.table, Constraint::NearlySorted(SortDir::Asc));
         let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = pi_planner::execute(&plan, &ds.table, None);
-        let opt = optimize(plan, IndexInfo::of(&bm), false);
-        let rewritten = pi_planner::execute(&opt, &ds.table, Some(&bm));
+        let reference = pi_planner::execute(&plan, &ds.table, &[]);
+        let indexes = std::slice::from_ref(&bm);
+        let opt = optimize(plan, &IndexCatalog::of(&ds.table, indexes), false);
+        let rewritten = pi_planner::execute(&opt, &ds.table, indexes);
         assert_eq!(reference.column(0).as_int(), rewritten.column(0).as_int());
         assert!(is_sorted_asc(rewritten.column(0)));
     }

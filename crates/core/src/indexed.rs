@@ -13,6 +13,7 @@
 
 use pi_storage::{RowAddr, Table, Value};
 
+use crate::catalog::IndexCatalog;
 use crate::constraint::{Constraint, Design};
 use crate::index::PatchIndex;
 use crate::maintenance::ProbeStrategy;
@@ -110,6 +111,12 @@ impl IndexedTable {
         self.policy
     }
 
+    /// Snapshot of every index plus the per-partition table shape — what
+    /// the planner optimizes against (see `pi-planner`'s `QueryEngine`).
+    pub fn catalog(&self) -> IndexCatalog {
+        IndexCatalog::of(&self.table, &self.indexes)
+    }
+
     /// Inserts rows, maintaining every index (paper, Section 5.1) — or
     /// staging the work when the policy defers maintenance.
     pub fn insert(&mut self, rows: &[Vec<Value>]) -> Vec<RowAddr> {
@@ -183,6 +190,13 @@ impl IndexedTable {
         for idx in &mut self.indexes {
             idx.flush(&mut self.table);
         }
+    }
+
+    /// Flushes deferred maintenance of one index only (the query facade
+    /// uses this to restore exactness for exactly the indexes a chosen
+    /// plan depends on, leaving other dirty sets batched).
+    pub fn flush_index(&mut self, slot: usize) {
+        self.indexes[slot].flush(&mut self.table);
     }
 
     /// Total staged row-events across all indexes.

@@ -20,6 +20,8 @@
 //!
 //! ```
 //! use patchindex::{Constraint, Design, IndexedTable, SortDir};
+//! use pi_planner::{Plan, QueryEngine}; // the query facade lives in pi-planner
+//! use pi_exec::ops::sort::SortOrder;
 //! use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};
 //!
 //! let mut table = Table::new(
@@ -37,11 +39,20 @@
 //!
 //! it.insert(&[vec![Value::Int(5)]]); // extends the sorted run, no patch
 //! assert_eq!(it.index(0).exception_count(), 1);
+//!
+//! // Query through the QueryEngine facade: it snapshots the catalog
+//! // ([`IndexedTable::catalog`]), rewrites ORDER BY into the Figure-2
+//! // merge plan (only the stray is sorted), flushes deferred maintenance
+//! // only when the chosen plan requires exactness, and executes with
+//! // per-partition zero-branch pruning.
+//! let sorted = it.query(&Plan::scan(vec![0]).sort(vec![(0, SortOrder::Asc)]));
+//! assert_eq!(sorted.column(0).as_int(), &[1, 2, 3, 4, 5, 100]);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod approx;
+mod catalog;
 mod checkpoint;
 mod constraint;
 mod deferred;
@@ -54,6 +65,7 @@ pub mod scan;
 pub mod stats;
 mod store;
 
+pub use catalog::{IndexCatalog, IndexStats, PartitionStats};
 pub use constraint::{Constraint, Design, SortDir};
 pub use index::{PartitionIndex, PatchIndex};
 pub use indexed::{IndexedTable, MaintenanceMode, MaintenancePolicy};

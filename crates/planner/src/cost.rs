@@ -6,19 +6,19 @@
 //! relative operator costs observed in the evaluation: the patch selection
 //! adds a small fixed per-tuple overhead (paper: "typically below 1%" of
 //! runtime), aggregation and sorting dominate.
+//!
+//! Statistics come from an [`IndexCatalog`] snapshot: each `PatchScan`
+//! site is costed with the per-slot counts of the index it binds, and the
+//! distinct-cardinality estimate is index-informed — when a NUC index
+//! covers the distinct column, `distinct ≈ (rows − patches) +
+//! distinct(patches)` replaces the conventional 50% guess (the NUC
+//! materializes every occurrence of a duplicated value as a patch, so the
+//! kept rows are exactly the single-occurrence values).
 
+use patchindex::{Constraint, IndexCatalog, IndexStats};
 use pi_exec::ops::patch_select::PatchMode;
 
 use crate::logical::Plan;
-
-/// Optimizer statistics for the bound table.
-#[derive(Debug, Clone, Copy)]
-pub struct TableStats {
-    /// Total rows.
-    pub rows: u64,
-    /// Patches of the index under consideration.
-    pub patches: u64,
-}
 
 /// Per-tuple scan cost.
 const C_SCAN: f64 = 1.0;
@@ -26,47 +26,118 @@ const C_SCAN: f64 = 1.0;
 const C_PATCH_SELECT: f64 = 0.05;
 /// Per-tuple hash-aggregation cost.
 const C_AGG: f64 = 4.0;
+/// Per-tuple cost of a hash aggregation that collapses into one group
+/// per partition (the NCC excluding flow): every probe hits the same hot
+/// cache line, so it runs at near-scan speed.
+const C_AGG_CONST: f64 = 0.5;
 /// Per-tuple-comparison sort constant (multiplied by log2 n).
 const C_SORT: f64 = 0.6;
 /// Per-tuple union/merge cost.
 const C_COMBINE: f64 = 0.1;
 
-/// Estimated output cardinality.
-pub fn cardinality(plan: &Plan, stats: &TableStats) -> f64 {
-    match plan {
-        Plan::Scan { .. } => stats.rows as f64,
-        Plan::PatchScan { mode: PatchMode::UsePatches, .. } => stats.patches as f64,
-        Plan::PatchScan { mode: PatchMode::ExcludePatches, .. } => {
-            (stats.rows - stats.patches) as f64
+fn slot_stats(cat: &IndexCatalog, slot: usize) -> &IndexStats {
+    cat.indexes.get(slot).expect("PatchScan bound to a slot outside the catalog")
+}
+
+/// Whether `input` is the constraint-satisfying flow of an NCC index on
+/// the distinct column — its aggregation sees one group per partition.
+fn is_ncc_constant_flow(input: &Plan, cols: &[usize], cat: &IndexCatalog) -> bool {
+    if cols.len() != 1 {
+        return false;
+    }
+    match input {
+        Plan::PatchScan { cols: scan_cols, mode: PatchMode::ExcludePatches, slot, .. } => {
+            let e = slot_stats(cat, *slot);
+            e.constraint == Constraint::NearlyConstant && scan_cols.get(cols[0]) == Some(&e.column)
         }
-        // Distinct output is data dependent; a 50% reduction is the
-        // conventional default estimate.
-        Plan::Distinct { input, .. } => cardinality(input, stats) * 0.5,
-        Plan::Sort { input, .. } => cardinality(input, stats),
-        Plan::Limit { input, n } => cardinality(input, stats).min(*n as f64),
+        _ => false,
+    }
+}
+
+/// Index-informed distinct output estimate; `None` when no materialized
+/// constraint covers the (single) distinct column and the conventional
+/// reduction applies.
+fn indexed_distinct_estimate(input: &Plan, cols: &[usize], cat: &IndexCatalog) -> Option<f64> {
+    if cols.len() != 1 {
+        return None;
+    }
+    if is_ncc_constant_flow(input, cols, cat) {
+        // One constant value per partition.
+        return Some(cat.partition_count() as f64);
+    }
+    match input {
+        Plan::Scan { cols: scan_cols, .. } => {
+            let col = *scan_cols.get(cols[0])?;
+            let e = cat.nuc_on(col)?;
+            Some((e.rows() - e.patches() + e.patch_distinct) as f64)
+        }
+        Plan::PatchScan { cols: scan_cols, mode, slot, .. } => {
+            let e = slot_stats(cat, *slot);
+            if e.constraint != Constraint::NearlyUnique
+                || scan_cols.get(cols[0]) != Some(&e.column)
+            {
+                return None;
+            }
+            Some(match mode {
+                // Kept rows are unique (and each a distinct value).
+                PatchMode::ExcludePatches => (e.rows() - e.patches()) as f64,
+                // Every patch value is materialized with its duplicates.
+                PatchMode::UsePatches => e.patch_distinct as f64,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Estimated output cardinality.
+pub fn cardinality(plan: &Plan, cat: &IndexCatalog) -> f64 {
+    match plan {
+        Plan::Scan { .. } => cat.rows() as f64,
+        Plan::PatchScan { mode: PatchMode::UsePatches, slot, .. } => {
+            slot_stats(cat, *slot).patches() as f64
+        }
+        Plan::PatchScan { mode: PatchMode::ExcludePatches, slot, .. } => {
+            let e = slot_stats(cat, *slot);
+            (e.rows() - e.patches()) as f64
+        }
+        Plan::Distinct { input, cols } => {
+            let input_card = cardinality(input, cat);
+            indexed_distinct_estimate(input, cols, cat)
+                // Distinct output is data dependent; a 50% reduction is
+                // the conventional default estimate when no index informs
+                // it.
+                .unwrap_or(input_card * 0.5)
+                .min(input_card)
+        }
+        Plan::Sort { input, .. } => cardinality(input, cat),
+        Plan::Limit { input, n } => cardinality(input, cat).min(*n as f64),
         Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
-            inputs.iter().map(|p| cardinality(p, stats)).sum()
+            inputs.iter().map(|p| cardinality(p, cat)).sum()
         }
     }
 }
 
 /// Estimated execution cost of the plan tree.
-pub fn estimate(plan: &Plan, stats: &TableStats) -> f64 {
+pub fn estimate(plan: &Plan, cat: &IndexCatalog) -> f64 {
     match plan {
-        Plan::Scan { .. } => stats.rows as f64 * C_SCAN,
+        Plan::Scan { .. } => cat.rows() as f64 * C_SCAN,
         // The selection reads every scanned tuple and drops a part.
-        Plan::PatchScan { .. } => stats.rows as f64 * (C_SCAN + C_PATCH_SELECT),
-        Plan::Distinct { input, .. } => {
-            estimate(input, stats) + cardinality(input, stats) * C_AGG
+        Plan::PatchScan { slot, .. } => {
+            slot_stats(cat, *slot).rows() as f64 * (C_SCAN + C_PATCH_SELECT)
+        }
+        Plan::Distinct { input, cols } => {
+            let per_tuple =
+                if is_ncc_constant_flow(input, cols, cat) { C_AGG_CONST } else { C_AGG };
+            estimate(input, cat) + cardinality(input, cat) * per_tuple
         }
         Plan::Sort { input, .. } => {
-            let n = cardinality(input, stats).max(2.0);
-            estimate(input, stats) + n * n.log2() * C_SORT
+            let n = cardinality(input, cat).max(2.0);
+            estimate(input, cat) + n * n.log2() * C_SORT
         }
-        Plan::Limit { input, .. } => estimate(input, stats),
+        Plan::Limit { input, .. } => estimate(input, cat),
         Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
-            let children: f64 = inputs.iter().map(|p| estimate(p, stats)).sum();
-            children + cardinality(plan, stats) * C_COMBINE
+            let children: f64 = inputs.iter().map(|p| estimate(p, cat)).sum();
+            children + cardinality(plan, cat) * C_COMBINE
         }
     }
 }
@@ -74,10 +145,16 @@ pub fn estimate(plan: &Plan, stats: &TableStats) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{catalog, entry};
+    use patchindex::Constraint;
     use pi_exec::ops::sort::SortOrder;
 
-    fn stats(rows: u64, patches: u64) -> TableStats {
-        TableStats { rows, patches }
+    fn nuc_cat(rows: u64, patches: u64, patch_distinct: u64) -> IndexCatalog {
+        catalog(vec![rows], vec![entry(0, 1, Constraint::NearlyUnique, vec![(rows, patches)], patch_distinct)])
+    }
+
+    fn pscan(mode: PatchMode, slot: usize) -> Plan {
+        Plan::PatchScan { cols: vec![1], filter: None, mode, slot }
     }
 
     #[test]
@@ -85,49 +162,66 @@ mod tests {
         let reference = Plan::scan(vec![1]).distinct(vec![0]);
         let rewritten = Plan::Union {
             inputs: vec![
-                Plan::PatchScan {
-                    cols: vec![1],
-                    filter: None,
-                    mode: PatchMode::ExcludePatches,
-                },
+                pscan(PatchMode::ExcludePatches, 0),
                 Plan::Distinct {
-                    input: Box::new(Plan::PatchScan {
-                        cols: vec![1],
-                        filter: None,
-                        mode: PatchMode::UsePatches,
-                    }),
+                    input: Box::new(pscan(PatchMode::UsePatches, 0)),
                     cols: vec![0],
                 },
             ],
         };
-        let s = stats(1_000_000, 10_000);
-        assert!(estimate(&rewritten, &s) < estimate(&reference, &s));
+        let cat = nuc_cat(1_000_000, 10_000, 4_000);
+        assert!(estimate(&rewritten, &cat) < estimate(&reference, &cat));
         // At e = 1 the rewrite pays double scans for nothing.
-        let s1 = stats(1_000_000, 1_000_000);
-        assert!(estimate(&rewritten, &s1) > estimate(&reference, &s1));
+        let cat1 = nuc_cat(1_000_000, 1_000_000, 400_000);
+        assert!(estimate(&rewritten, &cat1) > estimate(&reference, &cat1));
     }
 
     #[test]
     fn sort_cost_grows_superlinearly() {
         let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let small = estimate(&sort, &stats(1_000, 0));
-        let big = estimate(&sort, &stats(100_000, 0));
+        let small = estimate(&sort, &nuc_cat(1_000, 0, 0));
+        let big = estimate(&sort, &nuc_cat(100_000, 0, 0));
         assert!(big > small * 100.0);
     }
 
     #[test]
     fn cardinalities_split_by_patches() {
-        let s = stats(100, 30);
-        let ex = Plan::PatchScan { cols: vec![1], filter: None, mode: PatchMode::ExcludePatches };
-        let us = Plan::PatchScan { cols: vec![1], filter: None, mode: PatchMode::UsePatches };
-        assert_eq!(cardinality(&ex, &s), 70.0);
-        assert_eq!(cardinality(&us, &s), 30.0);
-        assert_eq!(cardinality(&Plan::Union { inputs: vec![ex, us] }, &s), 100.0);
+        let cat = nuc_cat(100, 30, 10);
+        let ex = pscan(PatchMode::ExcludePatches, 0);
+        let us = pscan(PatchMode::UsePatches, 0);
+        assert_eq!(cardinality(&ex, &cat), 70.0);
+        assert_eq!(cardinality(&us, &cat), 30.0);
+        assert_eq!(cardinality(&Plan::Union { inputs: vec![ex, us] }, &cat), 100.0);
     }
 
     #[test]
     fn limit_caps_cardinality() {
         let p = Plan::scan(vec![0]).limit(10);
-        assert_eq!(cardinality(&p, &stats(1_000, 0)), 10.0);
+        assert_eq!(cardinality(&p, &nuc_cat(1_000, 0, 0)), 10.0);
+    }
+
+    #[test]
+    fn nuc_informs_distinct_estimate() {
+        // Near-unique column: 100 patches over 2 duplicated values. The
+        // old 50% guess said 500_000; the index knows better.
+        let cat = nuc_cat(1_000_000, 100, 2);
+        let full = Plan::scan(vec![1]).distinct(vec![0]);
+        assert_eq!(cardinality(&full, &cat), (1_000_000 - 100 + 2) as f64);
+        // Both rewritten flows are exact too.
+        let ex_distinct = pscan(PatchMode::ExcludePatches, 0).distinct(vec![0]);
+        assert_eq!(cardinality(&ex_distinct, &cat), (1_000_000 - 100) as f64);
+        let us_distinct = pscan(PatchMode::UsePatches, 0).distinct(vec![0]);
+        assert_eq!(cardinality(&us_distinct, &cat), 2.0);
+    }
+
+    #[test]
+    fn distinct_over_unindexed_column_keeps_default_reduction() {
+        // The NUC covers column 1; the scan produces column 0.
+        let cat = catalog(
+            vec![1_000],
+            vec![entry(0, 1, Constraint::NearlyUnique, vec![(1_000, 10)], 5)],
+        );
+        let p = Plan::scan(vec![0]).distinct(vec![0]);
+        assert_eq!(cardinality(&p, &cat), 500.0);
     }
 }

@@ -1,0 +1,234 @@
+//! The query facade: snapshot → (flush if required) → optimize → execute.
+//!
+//! Before this existed, callers hand-wired planner and executor
+//! (`optimize(plan, info)` + `execute(plan, table, index)`) and could
+//! silently query stale pending state under deferred maintenance.
+//! [`QueryEngine::query`] encapsulates the whole pipeline:
+//!
+//! 1. snapshot the [`IndexCatalog`] (all indexes, per-partition stats),
+//! 2. optimize against the full catalog with zero-branch pruning,
+//! 3. apply the **NUC-disjointness rule** (see [`patchindex`]'s deferred
+//!    module): if the chosen plan binds a NUC index with staged deferred
+//!    maintenance, flush *that index* first — its disjointness invariant
+//!    is suspended while pending — and re-plan against the fresh counts.
+//!    NSC/NCC/exception flows stay exact while pending and never force a
+//!    flush,
+//! 4. lower with per-partition zero-branch pruning and execute.
+
+use patchindex::{Constraint, IndexCatalog, IndexedTable};
+use pi_exec::Batch;
+
+use crate::logical::Plan;
+use crate::optimizer::optimize;
+use crate::physical::{execute, execute_count};
+
+/// PatchScan slots whose binding requires the NUC disjointness invariant
+/// that a pending flush currently suspends.
+fn stale_nuc_slots(plan: &Plan, cat: &IndexCatalog) -> Vec<usize> {
+    fn walk(plan: &Plan, out: &mut Vec<usize>) {
+        match plan {
+            Plan::PatchScan { slot, .. } => out.push(*slot),
+            Plan::Scan { .. } => {}
+            Plan::Distinct { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+                walk(input, out)
+            }
+            Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
+                inputs.iter().for_each(|p| walk(p, out))
+            }
+        }
+    }
+    let mut slots = Vec::new();
+    walk(plan, &mut slots);
+    slots.sort_unstable();
+    slots.dedup();
+    slots.retain(|&s| {
+        let e = &cat.indexes[s];
+        e.pending && e.constraint == Constraint::NearlyUnique
+    });
+    slots
+}
+
+/// Catalog-driven planning and execution over an [`IndexedTable`].
+///
+/// `&mut self` because planning may flush deferred maintenance (the
+/// NUC-disjointness rule); reference results for comparison can be
+/// computed side-effect-free via `execute(&plan, it.table(), &[])`.
+pub trait QueryEngine {
+    /// Snapshots the catalog, flushes exactly the indexes the chosen plan
+    /// requires to be exact, and returns the final optimized plan.
+    fn plan_query(&mut self, plan: &Plan) -> Plan;
+    /// Plans and executes, returning the result batch.
+    fn query(&mut self, plan: &Plan) -> Batch;
+    /// Plans and executes, returning only the row count.
+    fn query_count(&mut self, plan: &Plan) -> usize;
+}
+
+impl QueryEngine for IndexedTable {
+    fn plan_query(&mut self, plan: &Plan) -> Plan {
+        let with_distinct_stats = plan.contains_distinct();
+        loop {
+            // Snapshot only the statistics this plan can consult: the
+            // distinct-patch-value pass is skipped for plans without a
+            // distinct node, keeping the per-query snapshot to counter
+            // reads.
+            let cat = if with_distinct_stats {
+                self.catalog()
+            } else {
+                IndexCatalog::counts_only(self.table(), self.indexes())
+            };
+            let chosen = optimize(plan.clone(), &cat, true);
+            let stale = stale_nuc_slots(&chosen, &cat);
+            if stale.is_empty() {
+                return chosen;
+            }
+            // Flushing changes patch counts (and may release staged
+            // rows), so re-plan against the fresh snapshot. Each round
+            // flushes at least one index; the loop terminates once no
+            // bound NUC index is pending.
+            for slot in stale {
+                self.flush_index(slot);
+            }
+        }
+    }
+
+    fn query(&mut self, plan: &Plan) -> Batch {
+        let chosen = self.plan_query(plan);
+        execute(&chosen, self.table(), self.indexes())
+    }
+
+    fn query_count(&mut self, plan: &Plan) -> usize {
+        let chosen = self.plan_query(plan);
+        execute_count(&chosen, self.table(), self.indexes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchindex::{Design, MaintenanceMode, MaintenancePolicy, SortDir};
+    use pi_exec::ops::sort::SortOrder;
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};
+
+    fn fresh(parts: usize) -> IndexedTable {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            parts,
+            Partitioning::RoundRobin,
+        );
+        for pid in 0..parts {
+            let base = (pid * 10) as i64;
+            t.load_partition(
+                pid,
+                &[
+                    ColumnData::Int((base..base + 5).collect()),
+                    ColumnData::Int((base..base + 5).map(|v| v * 3).collect()),
+                ],
+            );
+        }
+        t.propagate_all();
+        IndexedTable::new(t)
+    }
+
+    fn deferred() -> MaintenancePolicy {
+        MaintenancePolicy {
+            mode: MaintenanceMode::Deferred { flush_rows: usize::MAX },
+            ..MaintenancePolicy::default()
+        }
+    }
+
+    #[test]
+    fn query_plans_against_every_index() {
+        let mut it = fresh(2);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        // Clean data + ZBP: both collapse to the excluding scan, each
+        // bound to its own index.
+        assert!(it.plan_query(&distinct).to_string().contains("slot=0"));
+        assert!(it.plan_query(&sort).to_string().contains("slot=1"));
+        assert_eq!(it.query_count(&distinct), 10);
+        let sorted = it.query(&sort);
+        assert!(pi_exec::ops::sort::is_sorted_asc(sorted.column(0)));
+    }
+
+    #[test]
+    fn nuc_disjointness_rule_flushes_before_distinct() {
+        let mut it = fresh(2).with_policy(deferred());
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        // Stage a duplicate of an existing value: disjointness suspended.
+        let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else { panic!() };
+        it.insert(&[vec![Value::Int(999), Value::Int(dup)]]);
+        assert!(it.index(slot).has_pending());
+
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let reference = execute_count(&distinct, it.table(), &[]);
+        // The facade flushes first, so the rewritten count is exact.
+        assert_eq!(it.query_count(&distinct), reference);
+        assert!(!it.index(slot).has_pending(), "facade must have flushed the NUC index");
+        it.check_consistency();
+    }
+
+    #[test]
+    fn pending_nsc_does_not_force_a_flush() {
+        let mut it = fresh(2).with_policy(deferred());
+        let slot = it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        it.insert(&[vec![Value::Int(999), Value::Int(-5)]]); // out of order
+        assert!(it.index(slot).has_pending());
+
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let reference = execute(&sort, it.table(), &[]);
+        let got = it.query(&sort);
+        assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
+        // Staged rows were routed through the exception flow instead.
+        assert!(it.index(slot).has_pending(), "NSC plans stay exact while pending");
+    }
+
+    #[test]
+    fn pending_ncc_stays_exact_without_flush() {
+        // All values constant per partition; a staged insert of the
+        // constant itself is conservatively patched, so the constant
+        // appears in BOTH flows — the rewrite's global distinct dedups it
+        // and no flush is required.
+        let mut t = Table::new(
+            "ncc",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("s", DataType::Int),
+            ]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![0, 1, 2]), ColumnData::Int(vec![7, 7, 7])]);
+        t.load_partition(1, &[ColumnData::Int(vec![3, 4]), ColumnData::Int(vec![8, 8])]);
+        t.propagate_all();
+        let mut it = IndexedTable::new(t).with_policy(deferred());
+        let slot = it.add_index(1, Constraint::NearlyConstant, Design::Bitmap);
+        it.insert(&[vec![Value::Int(100), Value::Int(7)]]);
+        assert!(it.index(slot).has_pending());
+
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let reference = execute_count(&distinct, it.table(), &[]);
+        assert_eq!(reference, 2);
+        let chosen = crate::optimizer::rewrite(distinct.clone(), &it.catalog().indexes[slot]);
+        assert_eq!(execute_count(&chosen, it.table(), it.indexes()), reference);
+        // The facade never flushes for NCC either way.
+        assert_eq!(it.query_count(&distinct), reference);
+        assert!(it.index(slot).has_pending());
+    }
+
+    #[test]
+    fn unindexed_plans_never_flush() {
+        let mut it = fresh(2).with_policy(deferred());
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else { panic!() };
+        it.insert(&[vec![Value::Int(999), Value::Int(dup)]]);
+        // A plain scan does not bind the index; pending work stays batched.
+        assert_eq!(it.query_count(&Plan::scan(vec![1])), 11);
+        assert!(it.index(slot).has_pending());
+    }
+}

@@ -31,6 +31,9 @@ pub enum Plan {
         filter: Option<Expr>,
         /// Which flow this node keeps.
         mode: PatchMode,
+        /// Catalog slot of the index this scan is bound to — different
+        /// sites of one plan may bind different indexes.
+        slot: usize,
     },
     /// Duplicate elimination over the given output columns.
     Distinct {
@@ -88,18 +91,34 @@ impl Plan {
         Plan::Limit { input: Box::new(self), n }
     }
 
+    /// Whether this subtree contains a Distinct node. Duplicate
+    /// elimination is only partition-distributive under a combine that
+    /// re-aggregates globally; other combines (ordered merge, bag union)
+    /// must lower such subtrees globally or cross-partition duplicates
+    /// survive.
+    pub fn contains_distinct(&self) -> bool {
+        match self {
+            Plan::Distinct { .. } => true,
+            Plan::Scan { .. } | Plan::PatchScan { .. } => false,
+            Plan::Sort { input, .. } | Plan::Limit { input, .. } => input.contains_distinct(),
+            Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
+                inputs.iter().any(Plan::contains_distinct)
+            }
+        }
+    }
+
     fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "  ".repeat(indent);
         match self {
             Plan::Scan { cols, filter } => {
                 writeln!(f, "{pad}Scan cols={cols:?} filter={}", filter.is_some())
             }
-            Plan::PatchScan { cols, mode, .. } => {
+            Plan::PatchScan { cols, mode, slot, .. } => {
                 let m = match mode {
                     PatchMode::ExcludePatches => "exclude_patches",
                     PatchMode::UsePatches => "use_patches",
                 };
-                writeln!(f, "{pad}PatchScan[{m}] cols={cols:?}")
+                writeln!(f, "{pad}PatchScan[{m}] slot={slot} cols={cols:?}")
             }
             Plan::Distinct { input, cols } => {
                 writeln!(f, "{pad}Distinct cols={cols:?}")?;
@@ -149,12 +168,23 @@ mod tests {
     fn explain_shows_patch_modes() {
         let p = Plan::Union {
             inputs: vec![
-                Plan::PatchScan { cols: vec![1], filter: None, mode: PatchMode::ExcludePatches },
-                Plan::PatchScan { cols: vec![1], filter: None, mode: PatchMode::UsePatches },
+                Plan::PatchScan {
+                    cols: vec![1],
+                    filter: None,
+                    mode: PatchMode::ExcludePatches,
+                    slot: 0,
+                },
+                Plan::PatchScan {
+                    cols: vec![1],
+                    filter: None,
+                    mode: PatchMode::UsePatches,
+                    slot: 1,
+                },
             ],
         };
         let s = p.to_string();
         assert!(s.contains("exclude_patches"));
         assert!(s.contains("use_patches"));
+        assert!(s.contains("slot=1"));
     }
 }

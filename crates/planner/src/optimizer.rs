@@ -1,4 +1,5 @@
-//! The PatchIndex optimizer rules (paper, Sections 3.3 and 6.3).
+//! The PatchIndex optimizer rules (paper, Sections 3.3 and 6.3), driven
+//! by an [`IndexCatalog`] rather than a single hard-wired index.
 //!
 //! * `distinct` rewrite: drop the aggregation from the subtree that
 //!   excludes patches, keep a small distinct over the patches, recombine
@@ -7,194 +8,253 @@
 //!   patches and recombine with an order-preserving Merge.
 //! * zero-branch pruning (ZBP): drop subtrees with a guaranteed-zero
 //!   cardinality estimate (e.g. the patches flow of a perfect constraint).
+//!   Plan-level ZBP here uses global patch totals; lowering additionally
+//!   prunes *per partition* (see [`crate::physical`]).
 //!
-//! All rewrites are cost-gated: patch counts are known at optimization
-//! time, so the [`cost`](crate::cost) model decides whether the rewritten
-//! tree is cheaper (Section 3.5: Q12-style regressions "would not be
-//! chosen by the optimizer").
+//! [`optimize`] walks the plan bottom-up; at every rewritable site it
+//! enumerates one candidate per matching catalog index, costs each with
+//! the [`cost`](crate::cost) model (patch counts are known exactly at
+//! optimization time), and keeps the cheapest — so different sites of one
+//! plan may bind different indexes, and a rewrite that does not pay off
+//! (Section 3.5: Q12-style regressions "would not be chosen by the
+//! optimizer") is rejected site-locally.
 
-use patchindex::{Constraint, PatchIndex, SortDir};
+use patchindex::{Constraint, IndexCatalog, IndexStats, SortDir};
 use pi_exec::ops::patch_select::PatchMode;
 use pi_exec::ops::sort::SortOrder;
 
-use crate::cost::{estimate, TableStats};
+use crate::cost::estimate;
 use crate::logical::Plan;
 
-/// Optimizer-visible index metadata.
-#[derive(Debug, Clone, Copy)]
-pub struct IndexInfo {
-    /// Indexed column.
-    pub column: usize,
-    /// Materialized constraint.
-    pub constraint: Constraint,
-    /// Total patches (known exactly at optimization time).
-    pub patch_count: u64,
-    /// Total rows.
-    pub rows: u64,
-}
-
-impl IndexInfo {
-    /// Snapshot of a live index.
-    pub fn of(index: &PatchIndex) -> Self {
-        IndexInfo {
-            column: index.column(),
-            constraint: index.constraint(),
-            patch_count: index.exception_count(),
-            rows: index.nrows(),
-        }
-    }
-}
-
-/// Applies the PatchIndex rewrites wherever the index matches and the cost
-/// model approves, then prunes zero branches if `zbp` is enabled.
-pub fn optimize(plan: Plan, index: IndexInfo, zbp: bool) -> Plan {
-    let stats = TableStats { rows: index.rows, patches: index.patch_count };
-    let rewritten = rewrite(plan.clone(), index);
-    let chosen = if estimate(&rewritten, &stats) < estimate(&plan, &stats) {
-        rewritten
-    } else {
-        plan
-    };
+/// Applies the PatchIndex rewrites wherever some catalog index matches
+/// and the cost model approves, then prunes zero branches (globally) if
+/// `zbp` is enabled.
+pub fn optimize(plan: Plan, cat: &IndexCatalog, zbp: bool) -> Plan {
+    let chosen = optimize_rec(plan, cat);
     if zbp {
-        zero_branch_prune(chosen, &stats)
+        zero_branch_prune(chosen, cat)
     } else {
         chosen
     }
 }
 
-fn scan_produces_sorted(cols: &[usize], key: usize, index: IndexInfo) -> bool {
-    matches!(index.constraint, Constraint::NearlySorted(SortDir::Asc))
-        && cols.get(key) == Some(&index.column)
-}
-
-/// Structural rewrite without cost gating (exposed for tests/ablation).
-pub fn rewrite(plan: Plan, index: IndexInfo) -> Plan {
+fn optimize_rec(plan: Plan, cat: &IndexCatalog) -> Plan {
     match plan {
-        Plan::Distinct { input, cols } => match *input {
-            // Figure 2 (left): clone the scan into both flows; the
-            // excluding flow needs no aggregation because the NUC holds
-            // there (and its values are disjoint from patch values).
-            Plan::Scan { cols: scan_cols, filter }
-                if matches!(index.constraint, Constraint::NearlyUnique)
-                    && cols.len() == 1
-                    && scan_cols.get(cols[0]) == Some(&index.column) =>
-            {
-                Plan::Union {
-                    inputs: vec![
-                        Plan::PatchScan {
-                            cols: scan_cols.clone(),
-                            filter: filter.clone(),
-                            mode: PatchMode::ExcludePatches,
-                        },
-                        Plan::Distinct {
-                            input: Box::new(Plan::PatchScan {
-                                cols: scan_cols,
-                                filter,
-                                mode: PatchMode::UsePatches,
-                            }),
-                            cols,
-                        },
-                    ],
-                }
-            }
-            // NCC: both flows get a distinct, but the excluding flow
-            // aggregates into a single group per partition (the constant),
-            // which the hash aggregation handles at near-scan speed. The
-            // paper's Section 5.5 sketches such additional constraints.
-            Plan::Scan { cols: scan_cols, filter }
-                if matches!(index.constraint, Constraint::NearlyConstant)
-                    && cols.len() == 1
-                    && scan_cols.get(cols[0]) == Some(&index.column) =>
-            {
-                Plan::Union {
-                    inputs: vec![
-                        Plan::Distinct {
-                            input: Box::new(Plan::PatchScan {
-                                cols: scan_cols.clone(),
-                                filter: filter.clone(),
-                                mode: PatchMode::ExcludePatches,
-                            }),
-                            cols: cols.clone(),
-                        },
-                        Plan::Distinct {
-                            input: Box::new(Plan::PatchScan {
-                                cols: scan_cols,
-                                filter,
-                                mode: PatchMode::UsePatches,
-                            }),
-                            cols,
-                        },
-                    ],
-                }
-            }
-            other => Plan::Distinct { input: Box::new(rewrite(other, index)), cols },
-        },
-        Plan::Sort { input, keys } => match *input {
-            // Figure 2 with the aggregation exchanged for the sort
-            // operator: the excluding flow is known to be sorted.
-            Plan::Scan { cols: scan_cols, filter }
-                if keys.len() == 1
-                    && keys[0].1 == SortOrder::Asc
-                    && scan_produces_sorted(&scan_cols, keys[0].0, index) =>
-            {
-                Plan::Merge {
-                    inputs: vec![
-                        Plan::PatchScan {
-                            cols: scan_cols.clone(),
-                            filter: filter.clone(),
-                            mode: PatchMode::ExcludePatches,
-                        },
-                        Plan::Sort {
-                            input: Box::new(Plan::PatchScan {
-                                cols: scan_cols,
-                                filter,
-                                mode: PatchMode::UsePatches,
-                            }),
-                            keys: keys.clone(),
-                        },
-                    ],
-                    keys,
-                }
-            }
-            other => Plan::Sort { input: Box::new(rewrite(other, index)), keys },
-        },
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(rewrite(*input, index)), n },
+        Plan::Distinct { input, cols } => {
+            let node = Plan::Distinct { input: Box::new(optimize_rec(*input, cat)), cols };
+            best_rewrite(node, cat)
+        }
+        Plan::Sort { input, keys } => {
+            let node = Plan::Sort { input: Box::new(optimize_rec(*input, cat)), keys };
+            best_rewrite(node, cat)
+        }
+        Plan::Limit { input, n } => Plan::Limit { input: Box::new(optimize_rec(*input, cat)), n },
         Plan::Union { inputs } => {
-            Plan::Union { inputs: inputs.into_iter().map(|p| rewrite(p, index)).collect() }
+            Plan::Union { inputs: inputs.into_iter().map(|p| optimize_rec(p, cat)).collect() }
         }
         Plan::Merge { inputs, keys } => Plan::Merge {
-            inputs: inputs.into_iter().map(|p| rewrite(p, index)).collect(),
+            inputs: inputs.into_iter().map(|p| optimize_rec(p, cat)).collect(),
             keys,
         },
         leaf => leaf,
     }
 }
 
-/// Cardinality upper bound used by zero-branch pruning.
-fn max_cardinality(plan: &Plan, stats: &TableStats) -> u64 {
+/// Enumerates the candidate rewrites of this node across every catalog
+/// index and keeps the cheapest (the unrewritten node included).
+fn best_rewrite(node: Plan, cat: &IndexCatalog) -> Plan {
+    let mut best_cost = estimate(&node, cat);
+    let mut best: Option<Plan> = None;
+    for e in &cat.indexes {
+        if let Some(cand) = rewrite_site(&node, e) {
+            let c = estimate(&cand, cat);
+            if c < best_cost {
+                best_cost = c;
+                best = Some(cand);
+            }
+        }
+    }
+    best.unwrap_or(node)
+}
+
+fn scan_produces_sorted(cols: &[usize], key: usize, e: &IndexStats) -> bool {
+    matches!(e.constraint, Constraint::NearlySorted(SortDir::Asc)) && cols.get(key) == Some(&e.column)
+}
+
+/// The Figure-2 rewrite of one node with one index, if its pattern
+/// matches there (no recursion, no cost gate).
+fn rewrite_site(node: &Plan, e: &IndexStats) -> Option<Plan> {
+    match node {
+        Plan::Distinct { input, cols } => match &**input {
+            // Figure 2 (left): clone the scan into both flows; the
+            // excluding flow needs no aggregation because the NUC holds
+            // there (and its values are disjoint from patch values).
+            // Single-column scans only: the excluding flow keeps the scan
+            // width while the patches flow aggregates down to the key, so
+            // a wider scan would union mismatched widths.
+            Plan::Scan { cols: scan_cols, filter }
+                if matches!(e.constraint, Constraint::NearlyUnique)
+                    && cols.len() == 1
+                    && scan_cols.len() == 1
+                    && scan_cols.get(cols[0]) == Some(&e.column) =>
+            {
+                Some(Plan::Union {
+                    inputs: vec![
+                        Plan::PatchScan {
+                            cols: scan_cols.clone(),
+                            filter: filter.clone(),
+                            mode: PatchMode::ExcludePatches,
+                            slot: e.slot,
+                        },
+                        Plan::Distinct {
+                            input: Box::new(Plan::PatchScan {
+                                cols: scan_cols.clone(),
+                                filter: filter.clone(),
+                                mode: PatchMode::UsePatches,
+                                slot: e.slot,
+                            }),
+                            cols: cols.clone(),
+                        },
+                    ],
+                })
+            }
+            // NCC: both flows get a distinct, but the excluding flow
+            // aggregates into a single group per partition (the constant),
+            // which the hash aggregation handles at near-scan speed. The
+            // paper's Section 5.5 sketches such additional constraints.
+            // Unlike the NUC rewrite, the flows' value sets are NOT
+            // disjoint — a patch may carry another partition's constant
+            // (or, while deferred maintenance is pending, the constant
+            // itself) — so a global distinct over the union dedups across
+            // flows and partitions; its input is already tiny.
+            Plan::Scan { cols: scan_cols, filter }
+                if matches!(e.constraint, Constraint::NearlyConstant)
+                    && cols.len() == 1
+                    && scan_cols.get(cols[0]) == Some(&e.column) =>
+            {
+                Some(Plan::Distinct {
+                    input: Box::new(Plan::Union {
+                        inputs: vec![
+                            Plan::Distinct {
+                                input: Box::new(Plan::PatchScan {
+                                    cols: scan_cols.clone(),
+                                    filter: filter.clone(),
+                                    mode: PatchMode::ExcludePatches,
+                                    slot: e.slot,
+                                }),
+                                cols: cols.clone(),
+                            },
+                            Plan::Distinct {
+                                input: Box::new(Plan::PatchScan {
+                                    cols: scan_cols.clone(),
+                                    filter: filter.clone(),
+                                    mode: PatchMode::UsePatches,
+                                    slot: e.slot,
+                                }),
+                                cols: cols.clone(),
+                            },
+                        ],
+                    }),
+                    // The inner distincts emit just the key column.
+                    cols: vec![0],
+                })
+            }
+            _ => None,
+        },
+        // Figure 2 with the aggregation exchanged for the sort operator:
+        // the excluding flow is known to be sorted.
+        Plan::Sort { input, keys } => match &**input {
+            Plan::Scan { cols: scan_cols, filter }
+                if keys.len() == 1
+                    && keys[0].1 == SortOrder::Asc
+                    && scan_produces_sorted(scan_cols, keys[0].0, e) =>
+            {
+                Some(Plan::Merge {
+                    inputs: vec![
+                        Plan::PatchScan {
+                            cols: scan_cols.clone(),
+                            filter: filter.clone(),
+                            mode: PatchMode::ExcludePatches,
+                            slot: e.slot,
+                        },
+                        Plan::Sort {
+                            input: Box::new(Plan::PatchScan {
+                                cols: scan_cols.clone(),
+                                filter: filter.clone(),
+                                mode: PatchMode::UsePatches,
+                                slot: e.slot,
+                            }),
+                            keys: keys.clone(),
+                        },
+                    ],
+                    keys: keys.clone(),
+                })
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Structural rewrite with one index and without cost gating (exposed
+/// for tests/ablation): applies the index's pattern wherever it matches.
+pub fn rewrite(plan: Plan, e: &IndexStats) -> Plan {
+    let plan = match plan {
+        Plan::Distinct { input, cols } => {
+            Plan::Distinct { input: Box::new(rewrite(*input, e)), cols }
+        }
+        Plan::Sort { input, keys } => Plan::Sort { input: Box::new(rewrite(*input, e)), keys },
+        Plan::Limit { input, n } => Plan::Limit { input: Box::new(rewrite(*input, e)), n },
+        Plan::Union { inputs } => {
+            Plan::Union { inputs: inputs.into_iter().map(|p| rewrite(p, e)).collect() }
+        }
+        Plan::Merge { inputs, keys } => {
+            Plan::Merge { inputs: inputs.into_iter().map(|p| rewrite(p, e)).collect(), keys }
+        }
+        leaf => leaf,
+    };
+    rewrite_site(&plan, e).unwrap_or(plan)
+}
+
+/// Cardinality upper bound with a caller-supplied leaf bound — global
+/// catalog totals for plan-level ZBP, per-partition live counts for the
+/// lowering's partition prune. `leaf` is only invoked on Scan/PatchScan
+/// nodes.
+pub(crate) fn bounded_cardinality<F: Fn(&Plan) -> u64>(plan: &Plan, leaf: &F) -> u64 {
     match plan {
-        Plan::Scan { .. } => stats.rows,
-        Plan::PatchScan { mode: PatchMode::UsePatches, .. } => stats.patches,
-        Plan::PatchScan { mode: PatchMode::ExcludePatches, .. } => stats.rows - stats.patches,
-        Plan::Distinct { input, .. } | Plan::Sort { input, .. } => max_cardinality(input, stats),
-        Plan::Limit { input, n } => (*n as u64).min(max_cardinality(input, stats)),
+        Plan::Scan { .. } | Plan::PatchScan { .. } => leaf(plan),
+        Plan::Distinct { input, .. } | Plan::Sort { input, .. } => bounded_cardinality(input, leaf),
+        Plan::Limit { input, n } => (*n as u64).min(bounded_cardinality(input, leaf)),
         Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
-            inputs.iter().map(|p| max_cardinality(p, stats)).sum()
+            inputs.iter().map(|p| bounded_cardinality(p, leaf)).sum()
         }
     }
 }
 
-/// Zero-branch pruning (paper, Section 6.3): subtrees whose cardinality
-/// estimate is guaranteed zero are dropped from Union/Merge nodes,
-/// removing all overhead the subtree cloning introduced.
-pub fn zero_branch_prune(plan: Plan, stats: &TableStats) -> Plan {
-    match plan {
+/// The one zero-branch-prune traversal, shared by plan-level ZBP and the
+/// lowering's per-partition specialization: drops Union/Merge children
+/// whose cardinality bound is zero, collapses single-child combines, and
+/// returns `None` when the whole subtree is provably empty.
+///
+/// `collapse_single_merge` must only be set when the caller lowers the
+/// result for a **single partition**: within one partition a surviving
+/// Merge child really is sorted, but at plan level a bare
+/// `PatchScan[exclude]` lowers as a bag concatenation of partitions —
+/// NSC sortedness is per-partition, so dropping the Merge there would
+/// return partition-concatenated (unsorted) output. Single-child
+/// *Union* collapse is always safe (bag semantics either way).
+pub(crate) fn prune_zero_branches<F: Fn(&Plan) -> u64>(
+    plan: &Plan,
+    leaf: &F,
+    collapse_single_merge: bool,
+) -> Option<Plan> {
+    if bounded_cardinality(plan, leaf) == 0 {
+        return None;
+    }
+    let prune = |p: &Plan| prune_zero_branches(p, leaf, collapse_single_merge);
+    let pruned = match plan {
         Plan::Union { inputs } => {
-            let mut kept: Vec<Plan> = inputs
-                .into_iter()
-                .filter(|p| max_cardinality(p, stats) > 0)
-                .map(|p| zero_branch_prune(p, stats))
-                .collect();
+            let mut kept: Vec<Plan> = inputs.iter().filter_map(prune).collect();
             if kept.len() == 1 {
                 kept.pop().unwrap()
             } else {
@@ -202,51 +262,71 @@ pub fn zero_branch_prune(plan: Plan, stats: &TableStats) -> Plan {
             }
         }
         Plan::Merge { inputs, keys } => {
-            let mut kept: Vec<Plan> = inputs
-                .into_iter()
-                .filter(|p| max_cardinality(p, stats) > 0)
-                .map(|p| zero_branch_prune(p, stats))
-                .collect();
-            if kept.len() == 1 {
+            let mut kept: Vec<Plan> = inputs.iter().filter_map(prune).collect();
+            if kept.len() == 1 && collapse_single_merge {
                 kept.pop().unwrap()
             } else {
-                Plan::Merge { inputs: kept, keys }
+                Plan::Merge { inputs: kept, keys: keys.clone() }
             }
         }
-        Plan::Distinct { input, cols } => {
-            Plan::Distinct { input: Box::new(zero_branch_prune(*input, stats)), cols }
+        Plan::Distinct { input, cols } => Plan::Distinct {
+            input: Box::new(prune(input)?),
+            cols: cols.clone(),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(prune(input)?),
+            keys: keys.clone(),
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(prune(input)?),
+            n: *n,
+        },
+        leaf_node => leaf_node.clone(),
+    };
+    Some(pruned)
+}
+
+/// Zero-branch pruning (paper, Section 6.3): subtrees whose cardinality
+/// estimate is guaranteed zero are dropped from Union/Merge nodes,
+/// removing all overhead the subtree cloning introduced. This is the
+/// plan-level (global-count) prune; lowering additionally prunes per
+/// partition with the same traversal.
+pub fn zero_branch_prune(plan: Plan, cat: &IndexCatalog) -> Plan {
+    let leaf = |p: &Plan| match p {
+        Plan::Scan { .. } => cat.rows(),
+        Plan::PatchScan { mode: PatchMode::UsePatches, slot, .. } => cat.indexes[*slot].patches(),
+        Plan::PatchScan { mode: PatchMode::ExcludePatches, slot, .. } => {
+            let e = &cat.indexes[*slot];
+            e.rows() - e.patches()
         }
-        Plan::Sort { input, keys } => {
-            Plan::Sort { input: Box::new(zero_branch_prune(*input, stats)), keys }
-        }
-        Plan::Limit { input, n } => {
-            Plan::Limit { input: Box::new(zero_branch_prune(*input, stats)), n }
-        }
-        leaf => leaf,
-    }
+        _ => unreachable!("leaf bound invoked on a non-leaf node"),
+    };
+    prune_zero_branches(&plan, &leaf, false).unwrap_or(plan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{catalog, entry};
 
-    fn nuc_info(rows: u64, patches: u64) -> IndexInfo {
-        IndexInfo { column: 1, constraint: Constraint::NearlyUnique, patch_count: patches, rows }
+    fn nuc_cat(rows: u64, patches: u64) -> IndexCatalog {
+        catalog(
+            vec![rows],
+            vec![entry(0, 1, Constraint::NearlyUnique, vec![(rows, patches)], patches / 2)],
+        )
     }
 
-    fn nsc_info(rows: u64, patches: u64) -> IndexInfo {
-        IndexInfo {
-            column: 1,
-            constraint: Constraint::NearlySorted(SortDir::Asc),
-            patch_count: patches,
-            rows,
-        }
+    fn nsc_cat(rows: u64, patches: u64) -> IndexCatalog {
+        catalog(
+            vec![rows],
+            vec![entry(0, 1, Constraint::NearlySorted(SortDir::Asc), vec![(rows, patches)], 0)],
+        )
     }
 
     #[test]
     fn distinct_rewrite_produces_figure2_shape() {
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let opt = optimize(plan, nuc_info(1_000_000, 1_000), false);
+        let opt = optimize(plan, &nuc_cat(1_000_000, 1_000), false);
         let s = opt.to_string();
         assert!(s.starts_with("Union"), "got:\n{s}");
         assert!(s.contains("exclude_patches"));
@@ -259,7 +339,7 @@ mod tests {
     #[test]
     fn sort_rewrite_produces_merge() {
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let opt = optimize(plan, nsc_info(1_000_000, 5_000), false);
+        let opt = optimize(plan, &nsc_cat(1_000_000, 5_000), false);
         let s = opt.to_string();
         assert!(s.starts_with("Merge"), "got:\n{s}");
         assert!(s.contains("Sort"));
@@ -269,21 +349,21 @@ mod tests {
     fn mismatched_column_not_rewritten() {
         // Distinct over column 0, index on column 1.
         let plan = Plan::scan(vec![0]).distinct(vec![0]);
-        let opt = optimize(plan, nuc_info(1_000, 10), false);
+        let opt = optimize(plan, &nuc_cat(1_000, 10), false);
         assert!(opt.to_string().starts_with("Distinct"));
     }
 
     #[test]
     fn descending_sort_not_rewritten_by_asc_index() {
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Desc)]);
-        let opt = optimize(plan, nsc_info(1_000, 10), false);
+        let opt = optimize(plan, &nsc_cat(1_000, 10), false);
         assert!(opt.to_string().starts_with("Sort"));
     }
 
     #[test]
     fn zbp_drops_empty_patches_branch() {
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let opt = optimize(plan, nuc_info(1_000_000, 0), true);
+        let opt = optimize(plan, &nuc_cat(1_000_000, 0), true);
         let s = opt.to_string();
         assert!(s.starts_with("PatchScan[exclude_patches]"), "got:\n{s}");
         assert!(!s.contains("use_patches"));
@@ -292,22 +372,19 @@ mod tests {
     #[test]
     fn zbp_keeps_nonzero_branches() {
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let opt = optimize(plan, nsc_info(1_000_000, 7), true);
+        let opt = optimize(plan, &nsc_cat(1_000_000, 7), true);
         assert!(opt.to_string().starts_with("Merge"));
     }
 
     #[test]
-    fn ncc_distinct_rewrite_produces_union_of_distincts() {
-        let info = IndexInfo {
-            column: 1,
-            constraint: Constraint::NearlyConstant,
-            patch_count: 100,
-            rows: 1_000_000,
-        };
+    fn ncc_distinct_rewrite_produces_deduped_union_of_distincts() {
+        let e = entry(0, 1, Constraint::NearlyConstant, vec![(1_000_000, 100)], 0);
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let opt = rewrite(plan, info);
+        let opt = rewrite(plan, &e);
         let s = opt.to_string();
-        assert!(s.starts_with("Union"), "got:\n{s}");
+        // Outer global distinct: the flows' value sets are not disjoint.
+        assert!(s.starts_with("Distinct"), "got:\n{s}");
+        assert!(s.lines().nth(1).unwrap().contains("Union"), "got:\n{s}");
         assert!(s.contains("exclude_patches") && s.contains("use_patches"));
     }
 
@@ -315,7 +392,94 @@ mod tests {
     fn full_exception_rate_keeps_reference_plan() {
         // With e = 1 the rewrite buys nothing; the cost gate rejects it.
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let opt = optimize(plan, nuc_info(1_000, 1_000), false);
+        let opt = optimize(plan, &nuc_cat(1_000, 1_000), false);
         assert!(opt.to_string().starts_with("Distinct"), "got:\n{}", opt);
+    }
+
+    #[test]
+    fn selects_the_matching_index_per_query_across_columns() {
+        // Two NUC indexes on different columns; each distinct query binds
+        // the index of the column it scans.
+        let cat = catalog(
+            vec![100_000],
+            vec![
+                entry(0, 1, Constraint::NearlyUnique, vec![(100_000, 50)], 20),
+                entry(1, 2, Constraint::NearlyUnique, vec![(100_000, 80)], 30),
+            ],
+        );
+        // Distinct over table col 1 -> slot 0.
+        let q1 = Plan::scan(vec![1]).distinct(vec![0]);
+        let s = optimize(q1, &cat, false).to_string();
+        assert!(s.contains("slot=0"), "got:\n{s}");
+        assert!(!s.contains("slot=1"));
+        // Distinct over table col 2 -> slot 1.
+        let q2 = Plan::scan(vec![2]).distinct(vec![0]);
+        let s = optimize(q2, &cat, false).to_string();
+        assert!(s.contains("slot=1"), "got:\n{s}");
+        assert!(!s.contains("slot=0"));
+    }
+
+    #[test]
+    fn multi_column_scan_distinct_is_not_rewritten() {
+        // A wider scan must keep the reference plan: the excluding flow
+        // keeps the full scan width while the patches flow aggregates to
+        // the key, so the Figure-2 union would mismatch widths.
+        let cat = catalog(
+            vec![1_000_000],
+            vec![entry(0, 1, Constraint::NearlyUnique, vec![(1_000_000, 10)], 5)],
+        );
+        let q = Plan::Scan { cols: vec![0, 1], filter: None }.distinct(vec![1]);
+        let s = optimize(q, &cat, false).to_string();
+        assert!(s.starts_with("Distinct"), "got:\n{s}");
+        assert!(!s.contains("PatchScan"));
+    }
+
+    #[test]
+    fn selects_the_cheaper_index_when_both_match() {
+        // NUC and NCC both cover the distinct column; whichever has the
+        // (much) smaller patch set must win — tested in both directions.
+        let plan = || Plan::scan(vec![1]).distinct(vec![0]);
+        let nuc_cheap = catalog(
+            vec![1_000_000],
+            vec![
+                entry(0, 1, Constraint::NearlyUnique, vec![(1_000_000, 100)], 40),
+                entry(1, 1, Constraint::NearlyConstant, vec![(1_000_000, 600_000)], 0),
+            ],
+        );
+        let s = optimize(plan(), &nuc_cheap, false).to_string();
+        assert!(s.contains("slot=0"), "NUC should win:\n{s}");
+        assert!(!s.contains("slot=1"));
+
+        let ncc_cheap = catalog(
+            vec![1_000_000],
+            vec![
+                entry(0, 1, Constraint::NearlyUnique, vec![(1_000_000, 990_000)], 300_000),
+                entry(1, 1, Constraint::NearlyConstant, vec![(1_000_000, 100)], 0),
+            ],
+        );
+        let s = optimize(plan(), &ncc_cheap, false).to_string();
+        assert!(s.contains("slot=1"), "NCC should win:\n{s}");
+        assert!(!s.contains("slot=0"));
+    }
+
+    #[test]
+    fn different_sites_bind_different_indexes() {
+        // A Union of two distinct queries over different columns: each
+        // site binds its own index.
+        let cat = catalog(
+            vec![100_000],
+            vec![
+                entry(0, 1, Constraint::NearlyUnique, vec![(100_000, 10)], 5),
+                entry(1, 2, Constraint::NearlyUnique, vec![(100_000, 10)], 5),
+            ],
+        );
+        let q = Plan::Union {
+            inputs: vec![
+                Plan::scan(vec![1]).distinct(vec![0]),
+                Plan::scan(vec![2]).distinct(vec![0]),
+            ],
+        };
+        let s = optimize(q, &cat, false).to_string();
+        assert!(s.contains("slot=0") && s.contains("slot=1"), "got:\n{s}");
     }
 }

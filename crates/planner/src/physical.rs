@@ -5,12 +5,25 @@
 //! correct global combine (union for bags, ordered merge for sorted flows,
 //! a global re-aggregation for distinct), mirroring how the paper's host
 //! system parallelizes over partitions.
+//!
+//! Zero-branch pruning happens **per partition** here: before a plan is
+//! lowered for partition `p`, every Union/Merge child whose cardinality
+//! upper bound is zero *in that partition* is dropped — so a table with
+//! patches confined to one partition instantiates the `use_patches` flow
+//! only there, and the other partitions run the clean pipeline alone.
+//! [`Pruning::Global`] disables the per-partition pass (plan-level ZBP
+//! only), kept as the ablation baseline for the planner benchmark.
+//!
+//! `LIMIT n` over plain bag scans additionally pushes a per-partition
+//! limit below the combine, so every partition stops scanning after `n`
+//! rows instead of draining fully.
 
 use patchindex::scan::patch_scan;
 use patchindex::PatchIndex;
 use pi_exec::ops::agg::HashAggOp;
 use pi_exec::ops::filter::FilterOp;
 use pi_exec::ops::merge::{LimitOp, OrderedMergeOp, UnionAllOp};
+use pi_exec::ops::patch_select::PatchMode;
 use pi_exec::ops::scan::ScanOp;
 use pi_exec::ops::sort::SortOp;
 use pi_exec::{collect, Batch, OpRef};
@@ -18,11 +31,62 @@ use pi_storage::Table;
 
 use crate::logical::Plan;
 
-/// Lowers `plan` for a single partition (no global recombination).
+/// How zero-branch pruning is applied during lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pruning {
+    /// Only plan-level (global patch totals) pruning — every partition
+    /// instantiates every surviving flow. Ablation baseline.
+    Global,
+    /// Additionally drop flows that are provably empty in a specific
+    /// partition (the default).
+    #[default]
+    PerPartition,
+}
+
+/// Per-partition zero-branch pruning: returns the plan specialized for
+/// partition `pid` with provably empty Union/Merge children removed, or
+/// `None` when the whole subtree is guaranteed empty in this partition.
+/// The lowering runs this before building each partition's pipeline; it
+/// is also the inspection point for tests and EXPLAIN-style tooling.
+/// (Same traversal as plan-level ZBP, with per-partition live counts as
+/// the leaf bound.)
+pub fn prune_for_partition(
+    plan: &Plan,
+    table: &Table,
+    indexes: &[PatchIndex],
+    pid: usize,
+) -> Option<Plan> {
+    let leaf = |p: &Plan| match p {
+        Plan::Scan { .. } => table.partition(pid).visible_len() as u64,
+        Plan::PatchScan { mode, slot, .. } => {
+            let idx = &indexes[*slot];
+            match mode {
+                PatchMode::UsePatches => idx.partition_patch_count(pid),
+                PatchMode::ExcludePatches => {
+                    idx.partition_rows(pid) - idx.partition_patch_count(pid)
+                }
+            }
+        }
+        _ => unreachable!("leaf bound invoked on a non-leaf node"),
+    };
+    // Single-partition specialization: collapsing a single-child Merge is
+    // sound here because the surviving stream is sorted within `pid`.
+    crate::optimizer::prune_zero_branches(plan, &leaf, true)
+}
+
+fn maybe_prune(plan: &Plan, table: &Table, indexes: &[PatchIndex], pid: usize, pruning: Pruning) -> Option<Plan> {
+    match pruning {
+        Pruning::Global => Some(plan.clone()),
+        Pruning::PerPartition => prune_for_partition(plan, table, indexes, pid),
+    }
+}
+
+/// Lowers `plan` for a single partition (no global recombination, no
+/// pruning — callers prune first).
 pub fn lower_partition<'a>(
     plan: &Plan,
     table: &'a Table,
-    index: Option<&'a PatchIndex>,
+    indexes: &'a [PatchIndex],
     pid: usize,
 ) -> OpRef<'a> {
     match plan {
@@ -34,8 +98,8 @@ pub fn lower_partition<'a>(
                 None => scan,
             }
         }
-        Plan::PatchScan { cols, filter, mode } => {
-            let idx = index.expect("PatchScan requires an index");
+        Plan::PatchScan { cols, filter, mode, slot } => {
+            let idx = indexes.get(*slot).expect("PatchScan slot outside the index set");
             let scan = patch_scan(table.partition(pid), idx, cols.clone(), *mode);
             let filtered: OpRef<'a> = match filter {
                 Some(pred) => Box::new(FilterOp::new(scan, pred.clone())),
@@ -48,91 +112,165 @@ pub fn lower_partition<'a>(
             Box::new(pi_exec::ops::filter::ProjectOp::new(filtered, keep))
         }
         Plan::Distinct { input, cols } => Box::new(HashAggOp::distinct(
-            lower_partition(input, table, index, pid),
+            lower_partition(input, table, indexes, pid),
             cols.clone(),
         )),
         Plan::Sort { input, keys } => {
-            Box::new(SortOp::new(lower_partition(input, table, index, pid), keys.clone()))
+            Box::new(SortOp::new(lower_partition(input, table, indexes, pid), keys.clone()))
         }
         Plan::Limit { input, n } => {
-            Box::new(LimitOp::new(lower_partition(input, table, index, pid), *n))
+            Box::new(LimitOp::new(lower_partition(input, table, indexes, pid), *n))
         }
         Plan::Union { inputs } => Box::new(UnionAllOp::new(
-            inputs.iter().map(|p| lower_partition(p, table, index, pid)).collect(),
+            inputs.iter().map(|p| lower_partition(p, table, indexes, pid)).collect(),
         )),
         Plan::Merge { inputs, keys } => Box::new(OrderedMergeOp::new(
-            inputs.iter().map(|p| lower_partition(p, table, index, pid)).collect(),
+            inputs.iter().map(|p| lower_partition(p, table, indexes, pid)).collect(),
             keys.clone(),
         )),
     }
 }
 
+/// Whether a per-partition `LIMIT` below the combine preserves the exact
+/// global result: only plain bag scans qualify — the partition-major
+/// emission order is identical with and without the pushdown, so the
+/// capped prefix is the same rows. (Flows containing Distinct/Sort lower
+/// differently per partition than globally and are excluded.)
+fn limit_pushes_down(plan: &Plan) -> bool {
+    matches!(plan, Plan::Scan { .. } | Plan::PatchScan { .. })
+}
+
 /// Lowers `plan` across all partitions with the appropriate global
-/// combine.
-pub fn lower_global<'a>(
+/// combine, pruning per partition according to `pruning`.
+pub fn lower_global_with<'a>(
     plan: &Plan,
     table: &'a Table,
-    index: Option<&'a PatchIndex>,
+    indexes: &'a [PatchIndex],
+    pruning: Pruning,
 ) -> OpRef<'a> {
     let parts = 0..table.partition_count();
     match plan {
         // Bags concatenate across partitions.
         Plan::Scan { .. } | Plan::PatchScan { .. } => Box::new(UnionAllOp::new(
-            parts.map(|pid| lower_partition(plan, table, index, pid)).collect(),
+            parts
+                .filter_map(|pid| {
+                    maybe_prune(plan, table, indexes, pid, pruning)
+                        .map(|p| lower_partition(&p, table, indexes, pid))
+                })
+                .collect(),
         )),
         // Distinct is distributive: per-partition pre-aggregation, then a
         // global aggregation over the union of partials.
         Plan::Distinct { input, cols } => {
             let partials: Vec<OpRef<'a>> = parts
-                .map(|pid| {
-                    Box::new(HashAggOp::distinct(
-                        lower_partition(input, table, index, pid),
-                        cols.clone(),
-                    )) as OpRef<'a>
+                .filter_map(|pid| {
+                    maybe_prune(input, table, indexes, pid, pruning).map(|p| {
+                        Box::new(HashAggOp::distinct(
+                            lower_partition(&p, table, indexes, pid),
+                            cols.clone(),
+                        )) as OpRef<'a>
+                    })
                 })
                 .collect();
             Box::new(HashAggOp::distinct(Box::new(UnionAllOp::new(partials)),
                 (0..cols.len()).collect()))
         }
-        // Sorted flows merge across partitions.
+        // Sorted flows merge across partitions. An input containing a
+        // Distinct is not partition-distributive under a merge (only the
+        // Distinct arm's global re-aggregation dedups across partitions),
+        // so it is lowered globally and sorted once.
+        Plan::Sort { input, keys } if input.contains_distinct() => Box::new(SortOp::new(
+            lower_global_with(input, table, indexes, pruning),
+            keys.clone(),
+        )),
         Plan::Sort { input, keys } => {
             let sorted: Vec<OpRef<'a>> = parts
-                .map(|pid| {
-                    Box::new(SortOp::new(
-                        lower_partition(input, table, index, pid),
-                        keys.clone(),
-                    )) as OpRef<'a>
+                .filter_map(|pid| {
+                    maybe_prune(input, table, indexes, pid, pruning).map(|p| {
+                        Box::new(SortOp::new(
+                            lower_partition(&p, table, indexes, pid),
+                            keys.clone(),
+                        )) as OpRef<'a>
+                    })
                 })
                 .collect();
             Box::new(OrderedMergeOp::new(sorted, keys.clone()))
         }
         Plan::Merge { inputs, keys } => {
-            // Each (partition, child) stream is sorted; one k·P-way merge.
+            // Each surviving (partition, child) stream is sorted; one
+            // ≤ k·P-way merge. Pruned children simply contribute no
+            // stream — this is where a 16-partition table with patches in
+            // one partition gets 15 single-stream pipelines. A child
+            // containing a Distinct contributes one globally lowered
+            // stream instead (see the Sort arm).
             let mut streams: Vec<OpRef<'a>> = Vec::new();
-            for pid in parts {
-                for child in inputs {
-                    streams.push(lower_partition(child, table, index, pid));
+            for child in inputs {
+                if child.contains_distinct() {
+                    streams.push(lower_global_with(child, table, indexes, pruning));
+                    continue;
+                }
+                for pid in parts.clone() {
+                    if let Some(p) = maybe_prune(child, table, indexes, pid, pruning) {
+                        streams.push(lower_partition(&p, table, indexes, pid));
+                    }
                 }
             }
             Box::new(OrderedMergeOp::new(streams, keys.clone()))
         }
         Plan::Union { inputs } => Box::new(UnionAllOp::new(
-            inputs.iter().map(|p| lower_global(p, table, index)).collect(),
+            inputs.iter().map(|p| lower_global_with(p, table, indexes, pruning)).collect(),
         )),
-        Plan::Limit { input, n } => Box::new(LimitOp::new(lower_global(input, table, index), *n)),
+        Plan::Limit { input, n } => {
+            if limit_pushes_down(input) {
+                // Cap every partition at n below the combine (each scan
+                // stops early), keep the exact global cap on top.
+                let capped: Vec<OpRef<'a>> = parts
+                    .filter_map(|pid| {
+                        maybe_prune(input, table, indexes, pid, pruning).map(|p| {
+                            Box::new(LimitOp::new(
+                                lower_partition(&p, table, indexes, pid),
+                                *n,
+                            )) as OpRef<'a>
+                        })
+                    })
+                    .collect();
+                Box::new(LimitOp::new(Box::new(UnionAllOp::new(capped)), *n))
+            } else {
+                Box::new(LimitOp::new(lower_global_with(input, table, indexes, pruning), *n))
+            }
+        }
     }
 }
 
+/// Lowers with the default per-partition zero-branch pruning.
+pub fn lower_global<'a>(
+    plan: &Plan,
+    table: &'a Table,
+    indexes: &'a [PatchIndex],
+) -> OpRef<'a> {
+    lower_global_with(plan, table, indexes, Pruning::PerPartition)
+}
+
 /// Executes a plan to completion and returns the concatenated result.
-pub fn execute(plan: &Plan, table: &Table, index: Option<&PatchIndex>) -> Batch {
-    let mut root = lower_global(plan, table, index);
+pub fn execute(plan: &Plan, table: &Table, indexes: &[PatchIndex]) -> Batch {
+    let mut root = lower_global(plan, table, indexes);
     collect(root.as_mut())
 }
 
 /// Executes a plan, returning only the row count (benchmark helper that
 /// avoids result materialization skew).
-pub fn execute_count(plan: &Plan, table: &Table, index: Option<&PatchIndex>) -> usize {
-    let mut root = lower_global(plan, table, index);
+pub fn execute_count(plan: &Plan, table: &Table, indexes: &[PatchIndex]) -> usize {
+    execute_count_with(plan, table, indexes, Pruning::PerPartition)
+}
+
+/// [`execute_count`] with an explicit pruning mode (benchmark ablation).
+pub fn execute_count_with(
+    plan: &Plan,
+    table: &Table,
+    indexes: &[PatchIndex],
+    pruning: Pruning,
+) -> usize {
+    let mut root = lower_global_with(plan, table, indexes, pruning);
     let mut n = 0;
     while let Some(b) = root.next() {
         n += b.len();
@@ -143,8 +281,8 @@ pub fn execute_count(plan: &Plan, table: &Table, index: Option<&PatchIndex>) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{optimize, IndexInfo};
-    use patchindex::{Constraint, Design, SortDir};
+    use crate::optimizer::optimize;
+    use patchindex::{Constraint, Design, IndexCatalog, SortDir};
     use pi_exec::ops::sort::{is_sorted_asc, SortOrder};
     use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
 
@@ -172,11 +310,15 @@ mod tests {
         t
     }
 
+    fn single(idx: PatchIndex) -> Vec<PatchIndex> {
+        vec![idx]
+    }
+
     #[test]
     fn reference_distinct_counts_all_values() {
         let t = table();
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let out = execute(&plan, &t, None);
+        let out = execute(&plan, &t, &[]);
         // Values: 5,5,8,9,100,101,3 -> 6 distinct.
         assert_eq!(out.len(), 6);
     }
@@ -184,14 +326,14 @@ mod tests {
     #[test]
     fn rewritten_distinct_matches_reference() {
         let t = table();
-        let idx = PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap);
+        let idx = single(PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap));
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let opt = optimize(plan.clone(), IndexInfo::of(&idx), false);
+        let opt = optimize(plan.clone(), &IndexCatalog::of(&t, &idx), false);
         assert!(opt.to_string().starts_with("Union"));
         let mut reference: Vec<i64> =
-            execute(&plan, &t, None).column(0).as_int().to_vec();
+            execute(&plan, &t, &[]).column(0).as_int().to_vec();
         let mut rewritten: Vec<i64> =
-            execute(&opt, &t, Some(&idx)).column(0).as_int().to_vec();
+            execute(&opt, &t, &idx).column(0).as_int().to_vec();
         reference.sort_unstable();
         rewritten.sort_unstable();
         assert_eq!(reference, rewritten);
@@ -200,12 +342,17 @@ mod tests {
     #[test]
     fn rewritten_sort_matches_reference() {
         let t = table();
-        let idx = PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx = single(PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        ));
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let opt = optimize(plan.clone(), IndexInfo::of(&idx), false);
+        let opt = optimize(plan.clone(), &IndexCatalog::of(&t, &idx), false);
         assert!(opt.to_string().starts_with("Merge"), "{opt}");
-        let reference = execute(&plan, &t, None);
-        let rewritten = execute(&opt, &t, Some(&idx));
+        let reference = execute(&plan, &t, &[]);
+        let rewritten = execute(&opt, &t, &idx);
         assert_eq!(reference.column(0).as_int(), rewritten.column(0).as_int());
         assert!(is_sorted_asc(rewritten.column(0)));
     }
@@ -221,12 +368,12 @@ mod tests {
         t.load_partition(0, &[ColumnData::Int((0..50).collect())]);
         t.load_partition(1, &[ColumnData::Int((50..100).collect())]);
         t.propagate_all();
-        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let idx = single(PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap));
         let plan = Plan::scan(vec![0]).distinct(vec![0]);
-        let opt = optimize(plan, IndexInfo::of(&idx), true);
+        let opt = optimize(plan, &IndexCatalog::of(&t, &idx), true);
         assert!(opt.to_string().starts_with("PatchScan"));
         // ZBP plan: pure scan of the excluding flow, still complete.
-        assert_eq!(execute_count(&opt, &t, Some(&idx)), 100);
+        assert_eq!(execute_count(&opt, &t, &idx), 100);
     }
 
     #[test]
@@ -236,13 +383,207 @@ mod tests {
             cols: vec![1],
             filter: Some(pi_exec::Expr::col(0).ge(pi_exec::Expr::LitInt(100))),
         };
-        assert_eq!(execute_count(&plan, &t, None), 2);
+        assert_eq!(execute_count(&plan, &t, &[]), 2);
     }
 
     #[test]
     fn limit_applies_globally() {
         let t = table();
         let plan = Plan::scan(vec![1]).limit(3);
-        assert_eq!(execute_count(&plan, &t, None), 3);
+        assert_eq!(execute_count(&plan, &t, &[]), 3);
+    }
+
+    #[test]
+    fn pushed_down_limit_keeps_exact_row_prefix() {
+        let t = table();
+        // Pushdown path (bag scan): identical rows to the unpushed
+        // semantics, i.e. the first n rows of the full scan in partition
+        // order.
+        let full: Vec<i64> = execute(&Plan::scan(vec![1]), &t, &[]).column(0).as_int().to_vec();
+        for n in [0usize, 2, 4, 6, 100] {
+            let plan = Plan::scan(vec![1]).limit(n);
+            let pushed = execute(&plan, &t, &[]);
+            let got: Vec<i64> = if pushed.is_empty() {
+                Vec::new()
+            } else {
+                pushed.column(0).as_int().to_vec()
+            };
+            let mut expect = full.clone();
+            expect.truncate(n);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    /// 16 partitions, patches confined to partition 5: the lowered plan
+    /// must instantiate the `use_patches` flow in exactly one partition.
+    #[test]
+    fn per_partition_zbp_instantiates_patch_flow_once() {
+        let parts = 16usize;
+        let mut t = Table::new(
+            "wide",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            parts,
+            Partitioning::RoundRobin,
+        );
+        for pid in 0..parts {
+            let base = (pid * 100) as i64;
+            let mut vals: Vec<i64> = (base..base + 100).collect();
+            if pid == 5 {
+                vals[50] = -1; // one out-of-order stray -> one patch
+            }
+            t.load_partition(pid, &[ColumnData::Int(vals)]);
+        }
+        t.propagate_all();
+        let indexes = single(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        ));
+        assert_eq!(indexes[0].exception_count(), 1);
+
+        let plan = Plan::scan(vec![0]).sort(vec![(0, SortOrder::Asc)]);
+        let opt = optimize(plan.clone(), &IndexCatalog::of(&t, &indexes), true);
+        assert!(opt.to_string().starts_with("Merge"), "{opt}");
+
+        // Plan inspection: the per-partition specialization used by the
+        // lowering keeps the use_patches flow only in partition 5.
+        let with_patch_flow: Vec<usize> = (0..parts)
+            .filter(|&pid| {
+                prune_for_partition(&opt, &t, &indexes, pid)
+                    .map(|p| p.to_string().contains("use_patches"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert_eq!(with_patch_flow, vec![5]);
+        // Clean partitions collapse to the bare excluding stream.
+        let clean = prune_for_partition(&opt, &t, &indexes, 0).unwrap();
+        assert!(clean.to_string().starts_with("PatchScan[exclude_patches]"), "{clean}");
+
+        // And the pruned execution is still exact.
+        let reference = execute(&plan, &t, &[]);
+        let got = execute(&opt, &t, &indexes);
+        assert_eq!(reference.column(0).as_int(), got.column(0).as_int());
+        // The ablation (global-only pruning) agrees on results.
+        assert_eq!(
+            execute_count_with(&opt, &t, &indexes, Pruning::Global),
+            reference.len()
+        );
+    }
+
+    /// Regression: SELECT DISTINCT … ORDER BY — a Distinct nested below
+    /// a Sort must still dedup across partitions (the sort's merge is not
+    /// a re-aggregation, so the distinct input is lowered globally).
+    #[test]
+    fn distinct_below_sort_dedups_across_partitions() {
+        let t = table(); // value 5 twice in p0; no cross-partition dups
+        let mut t2 = Table::new(
+            "dup",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t2.load_partition(0, &[ColumnData::Int(vec![1, 7, 2])]);
+        t2.load_partition(1, &[ColumnData::Int(vec![7, 3])]);
+        t2.propagate_all();
+        for (tbl, expect) in [
+            (&t, vec![3i64, 5, 8, 9, 100, 101]),
+            (&t2, vec![1, 2, 3, 7]),
+        ] {
+            let col = if std::ptr::eq(tbl, &t) { 1 } else { 0 };
+            let plan =
+                Plan::scan(vec![col]).distinct(vec![0]).sort(vec![(0, SortOrder::Asc)]);
+            let got = execute(&plan, tbl, &[]);
+            assert_eq!(got.column(0).as_int(), expect.as_slice());
+        }
+    }
+
+    /// Regression: NSC sortedness is per-partition, so even a zero-patch
+    /// plan must keep the global ordered merge — collapsing the Merge to
+    /// a bare PatchScan would concatenate partitions unsorted.
+    #[test]
+    fn zbp_on_interleaved_partitions_keeps_global_merge() {
+        let mut t = Table::new(
+            "interleaved",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        // Each partition sorted; ranges interleave across partitions.
+        t.load_partition(0, &[ColumnData::Int(vec![10, 20, 30])]);
+        t.load_partition(1, &[ColumnData::Int(vec![1, 2, 3])]);
+        t.propagate_all();
+        let idx = single(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        ));
+        assert_eq!(idx[0].exception_count(), 0);
+        let plan = Plan::scan(vec![0]).sort(vec![(0, SortOrder::Asc)]);
+        let opt = optimize(plan, &IndexCatalog::of(&t, &idx), true);
+        // ZBP drops the patches flow but keeps the Merge wrapper.
+        assert!(!opt.to_string().contains("use_patches"), "{opt}");
+        assert!(opt.to_string().starts_with("Merge"), "{opt}");
+        let got = execute(&opt, &t, &idx);
+        assert_eq!(got.column(0).as_int(), &[1, 2, 3, 10, 20, 30]);
+    }
+
+    /// Regression: a distinct over a multi-column scan must execute (the
+    /// NUC rewrite is width-restricted to single-column scans; firing it
+    /// here would union mismatched widths and panic).
+    #[test]
+    fn multi_column_scan_distinct_executes() {
+        let t = table();
+        let idx = single(PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap));
+        let plan = Plan::Scan { cols: vec![0, 1], filter: None }.distinct(vec![1]);
+        let reference = execute_count(&plan, &t, &[]);
+        let opt = optimize(plan, &IndexCatalog::of(&t, &idx), true);
+        assert_eq!(execute_count(&opt, &t, &idx), reference);
+    }
+
+    /// Regression: NCC constants are partition-local, so a patch in one
+    /// partition can carry another partition's constant — the rewritten
+    /// distinct must still dedup across the two flows.
+    #[test]
+    fn ncc_rewrite_dedups_value_shared_between_flows() {
+        let mut t = Table::new(
+            "ncc",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        // Partition 0: constant 7. Partition 1: constant 8, one patch 7.
+        t.load_partition(0, &[ColumnData::Int(vec![7, 7, 7, 7])]);
+        t.load_partition(1, &[ColumnData::Int(vec![8, 8, 7, 8])]);
+        t.propagate_all();
+        let idx = single(PatchIndex::create(&t, 0, Constraint::NearlyConstant, Design::Bitmap));
+        let cat = IndexCatalog::of(&t, &idx);
+        let plan = Plan::scan(vec![0]).distinct(vec![0]);
+        let reference = execute_count(&plan, &t, &[]);
+        assert_eq!(reference, 2);
+        // Force the rewrite (the cost gate is irrelevant to correctness).
+        let rewritten = crate::optimizer::rewrite(plan, &cat.indexes[0]);
+        assert!(rewritten.to_string().contains("use_patches"), "{rewritten}");
+        assert_eq!(execute_count(&rewritten, &t, &idx), reference);
+    }
+
+    #[test]
+    fn empty_partition_scan_is_pruned() {
+        let mut t = Table::new(
+            "holes",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            3,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![3, 1])]);
+        // Partition 1 stays empty.
+        t.load_partition(2, &[ColumnData::Int(vec![2])]);
+        t.propagate_all();
+        let plan = Plan::scan(vec![0]);
+        assert!(prune_for_partition(&plan, &t, &[], 1).is_none());
+        assert_eq!(execute_count(&plan, &t, &[]), 3);
+        let sorted = Plan::scan(vec![0]).sort(vec![(0, SortOrder::Asc)]);
+        assert_eq!(execute(&sorted, &t, &[]).column(0).as_int(), &[1, 2, 3]);
     }
 }

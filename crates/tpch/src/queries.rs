@@ -88,7 +88,9 @@ fn pi_lineitem_join<'a>(
         let x_replay: OpRef<'a> = Box::new(ReuseLoadOp::new(x_cell.clone()));
         flows.push(Box::new(MergeJoinOp::new(x_replay, x_key, exclude, 0)));
         // use_patches flow: hash build on the small patch set, probe X.
-        let has_patches = index.partition(pid).store.patch_count() > 0;
+        // The ZBP variant prunes it per partition, like pi-planner's
+        // catalog-aware lowering does for Plan-based queries.
+        let has_patches = index.partition_patch_count(pid) > 0;
         if !zbp || has_patches {
             let use_flow = patch_scan(part, index, l_cols.clone(), PatchMode::UsePatches);
             let use_flow: OpRef<'a> = match &l_filter {

@@ -14,7 +14,7 @@ use std::time::Instant;
 use patchindex::{Constraint, Design, IndexedTable};
 use pi_baselines::DistinctView;
 use pi_datagen::{generate, update_rows, MicroKind, MicroSpec};
-use pi_planner::{execute_count, optimize, IndexInfo, Plan};
+use pi_planner::{execute_count, Plan, QueryEngine};
 
 fn main() {
     // 200K integrated customer records, 3% of which collide with another
@@ -32,14 +32,14 @@ fn main() {
         wh.index(slot).exception_rate() * 100.0
     );
 
-    // How many distinct customers? Reference vs PatchIndex plan.
+    // How many distinct customers? Reference vs the QueryEngine facade
+    // (catalog snapshot -> cost-gated rewrite -> pruned lowering).
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
     let t = Instant::now();
-    let reference = execute_count(&plan, wh.table(), None);
+    let reference = execute_count(&plan, wh.table(), &[]);
     let t_ref = t.elapsed();
-    let optimized = optimize(plan, IndexInfo::of(wh.index(slot)), false);
     let t = Instant::now();
-    let with_pi = execute_count(&optimized, wh.table(), Some(wh.index(slot)));
+    let with_pi = wh.query_count(&plan);
     let t_pi = t.elapsed();
     assert_eq!(reference, with_pi);
     println!(

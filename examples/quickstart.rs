@@ -5,7 +5,7 @@
 
 use patchindex::{Constraint, Design, IndexedTable, SortDir};
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute, optimize, IndexInfo, Plan};
+use pi_planner::{Plan, QueryEngine};
 use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};
 
 fn main() {
@@ -38,14 +38,16 @@ fn main() {
         events.index(slot).exception_rate() * 100.0
     );
 
-    // 2. The optimizer rewrites a sort query into the Figure-2 plan:
-    //    the excluding flow skips the sort, only the patch is sorted.
+    // 2. The QueryEngine facade snapshots the index catalog, rewrites the
+    //    sort query into the Figure-2 plan (the excluding flow skips the
+    //    sort, only the patch is sorted) and executes it with
+    //    per-partition zero-branch pruning.
     let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-    let optimized = optimize(plan.clone(), IndexInfo::of(events.index(slot)), false);
+    let optimized = events.plan_query(&plan);
     println!("\nreference plan:\n{plan}");
     println!("optimized plan:\n{optimized}");
 
-    let result = execute(&optimized, events.table(), Some(events.index(slot)));
+    let result = events.query(&plan);
     println!("sorted ts: {:?}", result.column(0).as_int());
 
     // 3. Updates maintain the index without recomputation.

@@ -14,7 +14,7 @@ use std::time::Instant;
 use patchindex::{Constraint, Design, IndexedTable, MaintenancePolicy, SortDir};
 use pi_datagen::{generate, MicroKind, MicroSpec};
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute_count, optimize, IndexInfo, Plan};
+use pi_planner::{execute_count, Plan, QueryEngine};
 use pi_storage::Value;
 
 fn main() {
@@ -38,11 +38,10 @@ fn main() {
     // readings pass through the sort operator.
     let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
     let t = Instant::now();
-    let n_ref = execute_count(&plan, ts.table(), None);
+    let n_ref = execute_count(&plan, ts.table(), &[]);
     let t_ref = t.elapsed();
-    let optimized = optimize(plan, IndexInfo::of(ts.index(slot)), false);
     let t = Instant::now();
-    let n_pi = execute_count(&optimized, ts.table(), Some(ts.index(slot)));
+    let n_pi = ts.query_count(&plan);
     let t_pi = t.elapsed();
     assert_eq!(n_ref, n_pi);
     println!(

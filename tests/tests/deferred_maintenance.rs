@@ -12,7 +12,7 @@ use patchindex::{
 use pi_datagen::MicroKind;
 use pi_integration::micro;
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute, execute_count, optimize, IndexInfo, Plan};
+use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine};
 use pi_storage::Value;
 use proptest::prelude::*;
 
@@ -209,11 +209,14 @@ proptest! {
         for op in &ops {
             apply(&mut it, op, &mut next_key);
             // No flush here: query with whatever is pending right now.
+            // (The facade never flushes NSC-bound plans either — staged
+            // rows route through the exception flow.)
             let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-            let reference = execute(&plan, it.table(), None);
-            let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
-            let got = execute(&opt, it.table(), Some(it.index(slot)));
+            let reference = execute(&plan, it.table(), &[]);
+            let pending_before = it.index(slot).has_pending();
+            let got = it.query(&plan);
             prop_assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
+            prop_assert_eq!(it.index(slot).has_pending(), pending_before);
         }
     }
 }
@@ -241,10 +244,13 @@ fn check_consistency_pending_vs_flushed() {
     // the invariant a staged-but-unflushed collision suspends. The
     // conservative routing never *loses* rows, so the rewritten count can
     // only exceed the reference until the flush restores the invariant.
+    // (Hand-wiring planner + executor bypasses the facade's
+    // NUC-disjointness flush on purpose here.)
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
-    let reference = execute_count(&plan, it.table(), None);
-    let opt = optimize(plan.clone(), IndexInfo::of(it.index(slot)), false);
-    assert!(execute_count(&opt, it.table(), Some(it.index(slot))) >= reference);
+    let reference = execute_count(&plan, it.table(), &[]);
+    let pending_cat = it.catalog();
+    let opt = optimize(plan.clone(), &pending_cat, false);
+    assert!(execute_count(&opt, it.table(), it.indexes()) >= reference);
 
     // Consistency (and with it the disjointness the rewrite needs) only
     // holds again after the flush.
@@ -257,9 +263,28 @@ fn check_consistency_pending_vs_flushed() {
     it.flush_maintenance();
     it.check_consistency();
     assert_eq!(it.index(slot).exception_count(), 2);
-    // Flushed: the rewritten plan is exact again.
-    let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
-    assert_eq!(execute_count(&opt, it.table(), Some(it.index(slot))), reference);
+    // Flushed: the rewritten plan is exact again — and the facade, which
+    // would have flushed up front, agrees.
+    assert_eq!(it.query_count(&plan), reference);
+}
+
+/// The facade closes the stale-pending-state hole the direct wiring
+/// leaves open: a NUC-bound distinct through `QueryEngine::query` flushes
+/// first and is exact even while a collision is staged.
+#[test]
+fn query_engine_flushes_nuc_disjointness_plans() {
+    let mut it = IndexedTable::new(micro(300, 0.0, MicroKind::Nuc).table)
+        .with_policy(deferred_policy(usize::MAX));
+    let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+    let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else { panic!("int column") };
+    it.modify(0, &[1], 1, &[Value::Int(dup)]);
+    assert!(it.index(slot).has_pending());
+
+    let plan = Plan::scan(vec![1]).distinct(vec![0]);
+    let reference = execute_count(&plan, it.table(), &[]);
+    assert_eq!(it.query_count(&plan), reference);
+    assert!(!it.index(slot).has_pending(), "facade must flush the bound NUC index");
+    it.check_consistency();
 }
 
 /// Regression: a value acquired and abandoned entirely while pending

@@ -2,10 +2,10 @@
 //! degenerate exception rates (every row a patch), and single- vs
 //! multi-partition agreement under identical logical content.
 
-use patchindex::{Constraint, Design, IndexedTable, PatchIndex, SortDir};
+use patchindex::{Constraint, Design, IndexCatalog, IndexedTable, PatchIndex, SortDir};
 use pi_datagen::{generate, MicroKind, MicroSpec};
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute, execute_count, optimize, IndexInfo, Plan};
+use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine};
 use pi_storage::{DataType, Field, Partitioning, Schema, Table, Value};
 
 fn empty_table(partitions: usize) -> Table {
@@ -124,10 +124,11 @@ fn all_rows_are_patches_nuc_constant_column() {
         assert_eq!(idx.exception_rate(), 1.0, "{design:?}");
         // The rewritten distinct query still answers correctly.
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&plan, &table, None);
+        let reference = execute_count(&plan, &table, &[]);
         assert_eq!(reference, 1);
-        let opt = optimize(plan, IndexInfo::of(&idx), false);
-        assert_eq!(execute_count(&opt, &table, Some(&idx)), reference, "{design:?}");
+        let indexes = std::slice::from_ref(&idx);
+        let opt = optimize(plan, &IndexCatalog::of(&table, indexes), false);
+        assert_eq!(execute_count(&opt, &table, indexes), reference, "{design:?}");
     }
 }
 
@@ -144,9 +145,10 @@ fn all_rows_are_patches_nsc_reverse_sorted_column() {
         idx.check_consistency(&table);
         assert_eq!(idx.exception_count(), (n - 1) as u64, "{design:?}");
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = execute(&plan, &table, None);
-        let opt = optimize(plan, IndexInfo::of(&idx), false);
-        let got = execute(&opt, &table, Some(&idx));
+        let reference = execute(&plan, &table, &[]);
+        let indexes = std::slice::from_ref(&idx);
+        let opt = optimize(plan, &IndexCatalog::of(&table, indexes), false);
+        let got = execute(&opt, &table, indexes);
         assert_eq!(got.column(0).as_int(), reference.column(0).as_int(), "{design:?}");
     }
 }
@@ -176,12 +178,8 @@ fn planted_full_exception_rate_survives_updates() {
         // And the rewritten distinct query still matches the reference.
         if kind == MicroKind::Nuc {
             let plan = Plan::scan(vec![1]).distinct(vec![0]);
-            let reference = execute_count(&plan, it.table(), None);
-            let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
-            assert_eq!(
-                execute_count(&opt, it.table(), Some(it.index(slot))),
-                reference
-            );
+            let reference = execute_count(&plan, it.table(), &[]);
+            assert_eq!(it.query_count(&plan), reference);
         }
     }
 }
@@ -203,26 +201,22 @@ fn single_and_multi_partition_tables_agree_on_queries() {
         table.insert_rows(&rows_of(&base));
         table.propagate_all();
         let mut it = IndexedTable::new(table);
-        let nuc = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
-        let nsc = it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
         // Same logical update stream on both layouts.
         it.insert(&rows_of(&extra));
         it.check_consistency();
 
+        // Both indexes live in one catalog; the facade picks the right
+        // one per query.
         let distinct = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&distinct, it.table(), None);
-        let opt = optimize(distinct, IndexInfo::of(it.index(nuc)), false);
-        assert_eq!(
-            execute_count(&opt, it.table(), Some(it.index(nuc))),
-            reference,
-            "{partitions}p distinct"
-        );
+        let reference = execute_count(&distinct, it.table(), &[]);
+        assert_eq!(it.query_count(&distinct), reference, "{partitions}p distinct");
         counts.push(reference);
 
         let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let opt = optimize(sort.clone(), IndexInfo::of(it.index(nsc)), false);
-        let got = execute(&opt, it.table(), Some(it.index(nsc)));
-        let reference = execute(&sort, it.table(), None);
+        let got = it.query(&sort);
+        let reference = execute(&sort, it.table(), &[]);
         assert_eq!(
             got.column(0).as_int(),
             reference.column(0).as_int(),

@@ -6,20 +6,22 @@ use pi_baselines::{DistinctView, SortKeyTable};
 use pi_datagen::{update_rows, MicroKind};
 use pi_exec::ops::sort::SortOrder;
 use pi_integration::micro;
-use pi_planner::{execute, execute_count, optimize, IndexInfo, Plan};
+use patchindex::IndexCatalog;
+use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine};
 
 #[test]
 fn distinct_query_all_configurations_agree_across_exception_rates() {
     for e in [0.0, 0.1, 0.5, 0.9] {
         let ds = micro(9_000, e, MicroKind::Nuc);
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&plan, &ds.table, None);
+        let reference = execute_count(&plan, &ds.table, &[]);
         for design in [Design::Bitmap, Design::Identifier] {
             let idx = PatchIndex::create(&ds.table, 1, Constraint::NearlyUnique, design);
             idx.check_consistency(&ds.table);
-            let opt = optimize(plan.clone(), IndexInfo::of(&idx), false);
+            let indexes = std::slice::from_ref(&idx);
+            let opt = optimize(plan.clone(), &IndexCatalog::of(&ds.table, indexes), false);
             assert_eq!(
-                execute_count(&opt, &ds.table, Some(&idx)),
+                execute_count(&opt, &ds.table, indexes),
                 reference,
                 "e={e} design={design:?}"
             );
@@ -34,12 +36,13 @@ fn sort_query_all_configurations_agree_across_exception_rates() {
     for e in [0.0, 0.2, 0.7] {
         let ds = micro(8_000, e, MicroKind::Nsc);
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = execute(&plan, &ds.table, None);
+        let reference = execute(&plan, &ds.table, &[]);
         for design in [Design::Bitmap, Design::Identifier] {
             let idx =
                 PatchIndex::create(&ds.table, 1, Constraint::NearlySorted(SortDir::Asc), design);
-            let opt = optimize(plan.clone(), IndexInfo::of(&idx), false);
-            let got = execute(&opt, &ds.table, Some(&idx));
+            let indexes = std::slice::from_ref(&idx);
+            let opt = optimize(plan.clone(), &IndexCatalog::of(&ds.table, indexes), false);
+            let got = execute(&opt, &ds.table, indexes);
             assert_eq!(
                 got.column(0).as_int(),
                 reference.column(0).as_int(),
@@ -55,7 +58,7 @@ fn sort_query_all_configurations_agree_across_exception_rates() {
 fn update_workload_preserves_query_correctness() {
     let ds = micro(6_000, 0.3, MicroKind::Nuc);
     let mut it = IndexedTable::new(ds.table);
-    let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+    it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
 
     // A mixed update stream.
     let inserts = update_rows(6_000, MicroKind::Nuc, 300, 11);
@@ -70,17 +73,16 @@ fn update_workload_preserves_query_correctness() {
     ]);
     it.check_consistency();
 
-    // The rewritten distinct query still matches the reference.
+    // The rewritten distinct query (through the facade) still matches
+    // the reference.
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
-    let reference = execute_count(&plan, it.table(), None);
-    let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
-    assert_eq!(execute_count(&opt, it.table(), Some(it.index(slot))), reference);
+    let reference = execute_count(&plan, it.table(), &[]);
+    assert_eq!(it.query_count(&plan), reference);
 
     // Propagating deltas into base storage changes nothing observable.
     it.propagate();
     it.check_consistency();
-    let opt2 = optimize(Plan::scan(vec![1]).distinct(vec![0]), IndexInfo::of(it.index(slot)), false);
-    assert_eq!(execute_count(&opt2, it.table(), Some(it.index(slot))), reference);
+    assert_eq!(it.query_count(&plan), reference);
 }
 
 #[test]
@@ -102,9 +104,8 @@ fn nsc_update_workload_with_policy() {
     assert!(it.index(slot).exception_rate() <= 0.6 + 1e-9);
 
     let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-    let reference = execute(&plan, it.table(), None);
-    let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
-    let got = execute(&opt, it.table(), Some(it.index(slot)));
+    let reference = execute(&plan, it.table(), &[]);
+    let got = it.query(&plan);
     assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
 }
 
@@ -128,10 +129,11 @@ fn zbp_on_perfect_data_equals_plain_scan_semantics() {
     let idx = PatchIndex::create(&ds.table, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
     assert_eq!(idx.exception_count(), 0);
     let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-    let opt = optimize(plan.clone(), IndexInfo::of(&idx), true);
+    let indexes = std::slice::from_ref(&idx);
+    let opt = optimize(plan.clone(), &IndexCatalog::of(&ds.table, indexes), true);
     // ZBP prunes the patches branch entirely.
     assert!(!opt.to_string().contains("use_patches"), "{opt}");
-    let reference = execute(&plan, &ds.table, None);
-    let got = execute(&opt, &ds.table, Some(&idx));
+    let reference = execute(&plan, &ds.table, &[]);
+    let got = execute(&opt, &ds.table, indexes);
     assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
 }

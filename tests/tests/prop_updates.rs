@@ -6,7 +6,7 @@ use patchindex::{Constraint, Design, IndexedTable, SortDir};
 use pi_datagen::MicroKind;
 use pi_exec::ops::sort::SortOrder;
 use pi_integration::micro;
-use pi_planner::{execute, execute_count, optimize, IndexInfo, Plan};
+use pi_planner::{execute, execute_count, Plan, QueryEngine};
 use pi_storage::Value;
 use proptest::prelude::*;
 
@@ -81,7 +81,7 @@ proptest! {
     ) {
         let ds = micro(600, 0.2, MicroKind::Nuc);
         let mut it = IndexedTable::new(ds.table);
-        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
         let mut next_key = 1_000_000i64;
         for op in &ops {
             apply(&mut it, op, &mut next_key);
@@ -89,9 +89,8 @@ proptest! {
         }
         // The rewritten distinct query still matches the reference.
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&plan, it.table(), None);
-        let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
-        prop_assert_eq!(execute_count(&opt, it.table(), Some(it.index(slot))), reference);
+        let reference = execute_count(&plan, it.table(), &[]);
+        prop_assert_eq!(it.query_count(&plan), reference);
     }
 
     #[test]
@@ -100,16 +99,15 @@ proptest! {
     ) {
         let ds = micro(600, 0.2, MicroKind::Nsc);
         let mut it = IndexedTable::new(ds.table);
-        let slot = it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
         let mut next_key = 1_000_000i64;
         for op in &ops {
             apply(&mut it, op, &mut next_key);
             it.check_consistency();
         }
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = execute(&plan, it.table(), None);
-        let opt = optimize(plan, IndexInfo::of(it.index(slot)), false);
-        let got = execute(&opt, it.table(), Some(it.index(slot)));
+        let reference = execute(&plan, it.table(), &[]);
+        let got = it.query(&plan);
         prop_assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
     }
 
