@@ -1,0 +1,459 @@
+//! The advisor loop: observe an [`IndexedTable`], decide, act.
+
+use std::collections::{HashMap, VecDeque};
+
+use patchindex::stats::{design_crossover_rate, pi_bitmap_bytes, pi_identifier_bytes};
+use patchindex::{
+    Constraint, Design, IndexCatalog, IndexStats, IndexedTable, PartitionStats, QueryFeedback,
+    QueryShape, SortDir,
+};
+use pi_exec::ops::sort::SortOrder;
+use pi_planner::{cost, rewrite, Plan};
+
+use crate::policy::{
+    decide, AdvisorConfig, CandidateObservation, Decision, DropReason, IndexObservation,
+    Observation,
+};
+
+/// What one advisor step actually did (the executed counterpart of a
+/// [`Decision`], with post-action facts filled in).
+#[derive(Debug, Clone)]
+pub enum AdvisorAction {
+    /// An index was created.
+    Created {
+        /// Slot the new index landed in.
+        slot: usize,
+        /// Indexed column.
+        column: usize,
+        /// Materialized constraint.
+        constraint: Constraint,
+        /// Chosen physical design (memory-model crossover).
+        design: Design,
+        /// Sampled match fraction that justified the creation.
+        sampled_e: f64,
+        /// Actual match fraction the full discovery found.
+        discovered_e: f64,
+    },
+    /// An index was recomputed.
+    Recomputed {
+        /// Slot of the recomputed index.
+        slot: usize,
+        /// Match fraction before the recompute (drifted).
+        e_before: f64,
+        /// Match fraction after (restored).
+        e_after: f64,
+        /// The create-time value it had drifted away from.
+        baseline_e: f64,
+    },
+    /// An index was dropped.
+    Dropped {
+        /// Column the dropped index covered.
+        column: usize,
+        /// Its constraint.
+        constraint: Constraint,
+        /// Which rule fired.
+        reason: DropReason,
+        /// Windowed maintenance cost at decision time.
+        maintenance_cost: f64,
+        /// Windowed query benefit at decision time.
+        query_benefit: f64,
+    },
+}
+
+impl AdvisorAction {
+    /// One-line human-readable summary (examples and the reproduction
+    /// harness print these).
+    pub fn describe(&self) -> String {
+        match self {
+            AdvisorAction::Created { slot, column, constraint, design, sampled_e, discovered_e } => {
+                format!(
+                    "create {} ({design:?}) on col {column} -> slot {slot} \
+                     [sampled e {sampled_e:.3}, discovered e {discovered_e:.3}]",
+                    constraint.name()
+                )
+            }
+            AdvisorAction::Recomputed { slot, e_before, e_after, baseline_e } => format!(
+                "recompute slot {slot} [e {e_before:.3} -> {e_after:.3}, create-time {baseline_e:.3}]"
+            ),
+            AdvisorAction::Dropped { column, constraint, reason, maintenance_cost, query_benefit } => {
+                format!(
+                    "drop {} on col {column} ({reason:?}) \
+                     [window maintenance {maintenance_cost:.0} vs benefit {query_benefit:.0}]",
+                    constraint.name()
+                )
+            }
+        }
+    }
+}
+
+/// Sliding-window state per (column, constraint).
+#[derive(Debug, Default)]
+struct Window {
+    /// Per-step deltas of (maintained rows, est cost saved).
+    samples: VecDeque<(u64, f64)>,
+    last_maintained: u64,
+    last_saved: f64,
+}
+
+/// The self-tuning index-lifecycle advisor.
+///
+/// One [`Advisor::step`] runs the whole observe → decide → act loop:
+/// flush deferred maintenance (so counters are exact), snapshot every
+/// index's error/drift/feedback state and every queried column's sampled
+/// match fractions, apply the [`decide`] rules, and execute the
+/// resulting create/recompute/drop actions through the table.
+#[derive(Debug, Default)]
+pub struct Advisor {
+    cfg: AdvisorConfig,
+    windows: HashMap<(usize, Constraint), Window>,
+    /// Per-(column, shape) sliding window over query-log deltas: the
+    /// create rule demands *recent* query evidence, so a dropped index
+    /// is not immediately re-created from stale cumulative counts.
+    query_windows: HashMap<(usize, QueryShape), (u64, VecDeque<u64>)>,
+    last_step_statements: u64,
+}
+
+impl Advisor {
+    /// An advisor with the given configuration.
+    pub fn new(cfg: AdvisorConfig) -> Self {
+        Advisor { cfg, ..Advisor::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.cfg
+    }
+
+    /// Runs one step if at least `step_every` statements were applied
+    /// since the last one — the cadence used when the advisor is
+    /// piggybacked on the update path (see [`AdvisedTable`]).
+    pub fn maybe_step(&mut self, it: &mut IndexedTable) -> Vec<AdvisorAction> {
+        if it.statements() - self.last_step_statements < self.cfg.step_every {
+            return Vec::new();
+        }
+        self.step(it)
+    }
+
+    /// Runs one observe → decide → act cycle and returns the executed
+    /// actions.
+    pub fn step(&mut self, it: &mut IndexedTable) -> Vec<AdvisorAction> {
+        self.last_step_statements = it.statements();
+        // Deferred maintenance stays batched: staged rows are already
+        // counted as maintained, and the drop/create rules read only
+        // counters that are exact while pending. The one rule that needs
+        // exactness is recompute — staged rows are *conservatively*
+        // patched, so the apparent drift overstates the real one. Flush
+        // exactly the indexes whose apparent drift crosses the margin
+        // (a real decision is at stake there), leaving the rest staged.
+        for slot in 0..it.indexes().len() {
+            let idx = it.index(slot);
+            if idx.has_pending()
+                && idx.baseline().match_fraction - idx.match_fraction()
+                    > self.cfg.recompute_margin
+            {
+                it.flush_index(slot);
+            }
+        }
+        if !it.sampling_enabled() {
+            it.enable_discovery_sampling(self.cfg.sample_cap);
+        }
+        let obs = self.observe(it);
+        let decisions = decide(&self.cfg, &obs);
+        self.act(it, decisions)
+    }
+
+    /// Builds the observation: live index stats with windowed deltas,
+    /// plus creation candidates from the query log and the reservoirs.
+    fn observe(&mut self, it: &IndexedTable) -> Observation {
+        let mut indexes = Vec::new();
+        let mut live: Vec<(usize, Constraint)> = Vec::new();
+        for (slot, idx) in it.indexes().iter().enumerate() {
+            let key = (idx.column(), idx.constraint());
+            live.push(key);
+            let maintained = idx.maintenance_stats().maintained_rows;
+            let saved = idx.query_feedback().est_cost_saved;
+            let window = self.windows.entry(key).or_insert_with(|| Window {
+                // First sight: anchor at the current counters so
+                // pre-advisor history does not flood the first window.
+                samples: VecDeque::new(),
+                last_maintained: maintained,
+                last_saved: saved,
+            });
+            window.samples.push_back((
+                maintained - window.last_maintained,
+                saved - window.last_saved,
+            ));
+            window.last_maintained = maintained;
+            window.last_saved = saved;
+            while window.samples.len() > self.cfg.drop_window {
+                window.samples.pop_front();
+            }
+            indexes.push(IndexObservation {
+                slot,
+                column: idx.column(),
+                constraint: idx.constraint(),
+                e: idx.match_fraction(),
+                baseline_e: idx.baseline().match_fraction,
+                memory_bytes: idx.memory_bytes(),
+                window_maintained_rows: window.samples.iter().map(|&(m, _)| m).sum(),
+                window_cost_saved: window.samples.iter().map(|&(_, s)| s).sum(),
+                window_full: window.samples.len() >= self.cfg.drop_window,
+            });
+        }
+        // Windows of dropped indexes would otherwise linger forever.
+        self.windows.retain(|key, _| live.contains(key));
+
+        // Windowed query evidence: deltas of the cumulative log, summed
+        // over the same sliding window as the drop rule. The first step
+        // counts everything logged so far.
+        let mut windowed: Vec<(usize, QueryShape, u64)> = Vec::new();
+        for (col, shape, total) in it.query_log().entries() {
+            let (last, deque) = self.query_windows.entry((col, shape)).or_default();
+            deque.push_back(total - *last);
+            *last = total;
+            while deque.len() > self.cfg.drop_window {
+                deque.pop_front();
+            }
+            windowed.push((col, shape, deque.iter().sum()));
+        }
+
+        let rows = it.table().visible_len() as u64;
+        let mut candidates: Vec<CandidateObservation> = Vec::new();
+        for (col, shape, queries) in windowed {
+            let options: &[Constraint] = match shape {
+                QueryShape::Distinct => &[Constraint::NearlyUnique, Constraint::NearlyConstant],
+                QueryShape::Sort(SortDir::Asc) => &[Constraint::NearlySorted(SortDir::Asc)],
+                QueryShape::Sort(SortDir::Desc) => &[Constraint::NearlySorted(SortDir::Desc)],
+            };
+            // Skip columns already served for this shape.
+            if it
+                .indexes()
+                .iter()
+                .any(|idx| idx.column() == col && options.contains(&idx.constraint()))
+            {
+                continue;
+            }
+            let best = options
+                .iter()
+                .filter_map(|&c| it.sampled_match(col, c).map(|e| (c, e)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let Some((constraint, sampled_e)) = best else { continue };
+            let exception_rate = 1.0 - sampled_e;
+            let (design, projected_bytes) = if exception_rate > design_crossover_rate() {
+                (Design::Bitmap, pi_bitmap_bytes(rows) as usize)
+            } else {
+                (Design::Identifier, pi_identifier_bytes(exception_rate, rows) as usize)
+            };
+            let est_benefit_per_query =
+                hypothetical_benefit(it, col, constraint, sampled_e, shape);
+            candidates.push(CandidateObservation {
+                column: col,
+                constraint,
+                design,
+                sampled_e,
+                queries,
+                projected_bytes,
+                est_benefit_per_query,
+            });
+        }
+        Observation { indexes, candidates }
+    }
+
+    /// Executes the decisions: recomputes (snapshot slots still valid),
+    /// then drops in descending slot order, then creates.
+    fn act(&mut self, it: &mut IndexedTable, decisions: Vec<Decision>) -> Vec<AdvisorAction> {
+        let mut actions = Vec::new();
+        for d in &decisions {
+            if let Decision::Recompute { slot, e, baseline_e } = *d {
+                it.recompute_index(slot);
+                actions.push(AdvisorAction::Recomputed {
+                    slot,
+                    e_before: e,
+                    e_after: it.index(slot).match_fraction(),
+                    baseline_e,
+                });
+            }
+        }
+        let mut drops: Vec<(usize, DropReason, f64, f64)> = decisions
+            .iter()
+            .filter_map(|d| match *d {
+                Decision::Drop { slot, reason, maintenance_cost, query_benefit } => {
+                    Some((slot, reason, maintenance_cost, query_benefit))
+                }
+                _ => None,
+            })
+            .collect();
+        drops.sort_by_key(|d| std::cmp::Reverse(d.0)); // descending: removal shifts later slots
+        for (slot, reason, maintenance_cost, query_benefit) in drops {
+            let dropped = it.drop_index(slot);
+            self.windows.remove(&(dropped.column(), dropped.constraint()));
+            actions.push(AdvisorAction::Dropped {
+                column: dropped.column(),
+                constraint: dropped.constraint(),
+                reason,
+                maintenance_cost,
+                query_benefit,
+            });
+        }
+        for d in decisions {
+            if let Decision::Create { column, constraint, design, sampled_e } = d {
+                let slot = it.add_index(column, constraint, design);
+                self.windows.insert((column, constraint), Window::default());
+                actions.push(AdvisorAction::Created {
+                    slot,
+                    column,
+                    constraint,
+                    design,
+                    sampled_e,
+                    discovered_e: it.index(slot).match_fraction(),
+                });
+            }
+        }
+        actions
+    }
+}
+
+/// Estimated planner cost one rewritten query would save if an index
+/// with the sampled match fraction existed on `col` — the candidate's
+/// side of the benefit-per-byte ranking, in the same cost units as the
+/// engine's feedback. Computed against a hypothetical catalog entry via
+/// the real cost model and rewrite rule.
+fn hypothetical_benefit(
+    it: &IndexedTable,
+    col: usize,
+    constraint: Constraint,
+    sampled_e: f64,
+    shape: QueryShape,
+) -> f64 {
+    let part_rows: Vec<u64> =
+        it.table().partitions().iter().map(|p| p.visible_len() as u64).collect();
+    let parts: Vec<PartitionStats> = part_rows
+        .iter()
+        .map(|&rows| PartitionStats {
+            rows,
+            patches: ((1.0 - sampled_e) * rows as f64).round() as u64,
+        })
+        .collect();
+    let patches: u64 = parts.iter().map(|p| p.patches).sum();
+    let entry = IndexStats {
+        slot: 0,
+        column: col,
+        constraint,
+        parts,
+        patch_distinct: patches / 2,
+        pending: false,
+        e: sampled_e,
+        baseline_e: sampled_e,
+        drift_patches: 0,
+        maintained_rows: 0,
+        memory_bytes: 0,
+        feedback: QueryFeedback::default(),
+    };
+    let cat = IndexCatalog { part_rows, indexes: vec![entry] };
+    let reference = match shape {
+        QueryShape::Distinct => Plan::Scan { cols: vec![col], filter: None }.distinct(vec![0]),
+        QueryShape::Sort(dir) => {
+            let order = match dir {
+                SortDir::Asc => SortOrder::Asc,
+                SortDir::Desc => SortOrder::Desc,
+            };
+            Plan::Scan { cols: vec![col], filter: None }.sort(vec![(0, order)])
+        }
+    };
+    let rewritten = rewrite(reference.clone(), &cat.indexes[0]);
+    (cost::estimate(&reference, &cat) - cost::estimate(&rewritten, &cat)).max(0.0)
+}
+
+/// An [`IndexedTable`] with the advisor piggybacked on the update path:
+/// every insert/modify/delete funnels through, and once
+/// [`AdvisorConfig::step_every`] statements accumulated, the next update
+/// triggers an advisor step — the same cadence contract as the
+/// `MaintenancePolicy`'s automatic recompute/condense pass, extended to
+/// the whole index lifecycle.
+pub struct AdvisedTable {
+    inner: IndexedTable,
+    advisor: Advisor,
+    actions: Vec<AdvisorAction>,
+}
+
+impl AdvisedTable {
+    /// Wraps a table; discovery sampling starts immediately.
+    pub fn new(mut inner: IndexedTable, cfg: AdvisorConfig) -> Self {
+        if !inner.sampling_enabled() {
+            inner.enable_discovery_sampling(cfg.sample_cap);
+        }
+        AdvisedTable { inner, advisor: Advisor::new(cfg), actions: Vec::new() }
+    }
+
+    /// Inserts rows, then possibly steps the advisor.
+    pub fn insert(&mut self, rows: &[Vec<pi_storage::Value>]) -> Vec<pi_storage::RowAddr> {
+        let addrs = self.inner.insert(rows);
+        self.advise();
+        addrs
+    }
+
+    /// Modifies rows, then possibly steps the advisor.
+    pub fn modify(
+        &mut self,
+        pid: usize,
+        rids: &[usize],
+        col: usize,
+        values: &[pi_storage::Value],
+    ) {
+        self.inner.modify(pid, rids, col, values);
+        self.advise();
+    }
+
+    /// Deletes rows, then possibly steps the advisor.
+    pub fn delete(&mut self, pid: usize, rids: &[usize]) {
+        self.inner.delete(pid, rids);
+        self.advise();
+    }
+
+    fn advise(&mut self) {
+        let new = self.advisor.maybe_step(&mut self.inner);
+        self.actions.extend(new);
+    }
+
+    /// Forces one advisor step now.
+    pub fn step(&mut self) -> Vec<AdvisorAction> {
+        let new = self.advisor.step(&mut self.inner);
+        self.actions.extend(new.iter().cloned());
+        new
+    }
+
+    /// Every action the advisor took so far, in order.
+    pub fn actions(&self) -> &[AdvisorAction] {
+        &self.actions
+    }
+
+    /// The wrapped table.
+    pub fn inner(&self) -> &IndexedTable {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped table (updates applied here bypass
+    /// the piggyback cadence until the next wrapped statement).
+    pub fn inner_mut(&mut self) -> &mut IndexedTable {
+        &mut self.inner
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> IndexedTable {
+        self.inner
+    }
+}
+
+impl pi_planner::QueryEngine for AdvisedTable {
+    fn plan_query(&mut self, plan: &Plan) -> Plan {
+        self.inner.plan_query(plan)
+    }
+
+    fn query(&mut self, plan: &Plan) -> pi_exec::Batch {
+        self.inner.query(plan)
+    }
+
+    fn query_count(&mut self, plan: &Plan) -> usize {
+        self.inner.query_count(plan)
+    }
+}

@@ -1,0 +1,259 @@
+//! # pi-advisor — workload-driven index lifecycle
+//!
+//! The paper's central tension is that approximate-constraint
+//! materializations *decay*: every insert/modify grows the patch set,
+//! the error `e` drifts, and at some point the index stops paying for
+//! itself and must be reorganized or abandoned. The building blocks
+//! below `pi-advisor` (fast maintenance, a cost-gated planner) are
+//! mechanism; this crate adds the *policy* — a self-tuning loop over
+//! the whole index lifecycle:
+//!
+//! * **Observe** — per-index error `e = 1 − patches/rows` and drift
+//!   rate (patches added per maintained row since the last recompute),
+//!   optimizer feedback (how often each index was bound and the
+//!   estimated cost it saved), the engine's query log per (column,
+//!   shape), and reservoir samples per unindexed column scored with the
+//!   real discovery code ([`patchindex::sampling`]).
+//! * **Decide** — the explicit rules of [`policy`]: create when a
+//!   sampled candidate clears the error threshold *and* the workload
+//!   queries it; recompute when drift pushed `e` below its create-time
+//!   value by a margin (the paper's reorganization trigger); drop when
+//!   windowed maintenance cost exceeds windowed query benefit — all
+//!   under a global patch-memory budget with benefit-per-byte ranking.
+//! * **Act** — decisions execute through
+//!   [`patchindex::IndexedTable`] (`add_index` / `recompute_index` /
+//!   `drop_index`), either on demand ([`Advisor::step`]) or piggybacked
+//!   on the update path ([`AdvisedTable`]).
+//!
+//! ```
+//! use patchindex::{Constraint, IndexedTable};
+//! use pi_advisor::{Advisor, AdvisorAction, AdvisorConfig};
+//! use pi_planner::{Plan, QueryEngine};
+//! use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table};
+//!
+//! let mut t = Table::new(
+//!     "orders",
+//!     Schema::new(vec![Field::new("id", DataType::Int)]),
+//!     1,
+//!     Partitioning::RoundRobin,
+//! );
+//! t.load_partition(0, &[ColumnData::Int((0..10_000).collect())]);
+//! t.propagate_all();
+//! let mut it = IndexedTable::new(t);
+//!
+//! // The workload keeps asking for distinct ids...
+//! let q = Plan::scan(vec![0]).distinct(vec![0]);
+//! for _ in 0..4 {
+//!     it.query_count(&q);
+//! }
+//! // ...so one advisor step auto-creates the NUC index.
+//! let mut advisor = Advisor::new(AdvisorConfig::default());
+//! let actions = advisor.step(&mut it);
+//! assert!(matches!(actions[..], [AdvisorAction::Created { .. }]));
+//! assert_eq!(it.index(0).constraint(), Constraint::NearlyUnique);
+//! ```
+
+#![warn(missing_docs)]
+
+mod advisor;
+pub mod policy;
+
+pub use advisor::{AdvisedTable, Advisor, AdvisorAction};
+pub use policy::{
+    decide, AdvisorConfig, CandidateObservation, Decision, DropReason, IndexObservation,
+    Observation,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchindex::{Constraint, Design, IndexedTable, SortDir};
+    use pi_exec::ops::sort::SortOrder;
+    use pi_planner::{Plan, QueryEngine};
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};
+
+    fn table(vals: Vec<i64>, parts: usize) -> IndexedTable {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            parts,
+            Partitioning::RoundRobin,
+        );
+        for (pid, chunk) in vals.chunks(vals.len().div_ceil(parts)).enumerate() {
+            let keys: Vec<i64> = (0..chunk.len() as i64).collect();
+            t.load_partition(pid, &[ColumnData::Int(keys), ColumnData::Int(chunk.to_vec())]);
+        }
+        t.propagate_all();
+        IndexedTable::new(t)
+    }
+
+    #[test]
+    fn create_requires_query_evidence_not_just_a_clean_column() {
+        let mut it = table((0..2_000).collect(), 2);
+        let mut advisor = Advisor::new(AdvisorConfig::default());
+        // Clean nearly unique column, but nobody queries it: no action.
+        assert!(advisor.step(&mut it).is_empty());
+        // After enough distinct queries the index appears.
+        let q = Plan::scan(vec![1]).distinct(vec![0]);
+        for _ in 0..3 {
+            it.query_count(&q);
+        }
+        let actions = advisor.step(&mut it);
+        assert!(
+            matches!(
+                actions[..],
+                [AdvisorAction::Created { column: 1, constraint: Constraint::NearlyUnique, .. }]
+            ),
+            "{actions:?}"
+        );
+        assert!(advisor.step(&mut it).is_empty(), "already served: no re-create");
+    }
+
+    #[test]
+    fn sort_queries_yield_an_nsc_index_in_the_right_direction() {
+        let mut it = table((0..2_000).rev().collect(), 2);
+        let mut advisor = Advisor::new(AdvisorConfig::default());
+        let q = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Desc)]);
+        for _ in 0..3 {
+            it.query_count(&q);
+        }
+        let actions = advisor.step(&mut it);
+        assert!(
+            matches!(
+                actions[..],
+                [AdvisorAction::Created {
+                    constraint: Constraint::NearlySorted(SortDir::Desc),
+                    ..
+                }]
+            ),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn dirty_columns_never_clear_the_create_threshold() {
+        // Every value duplicated: sampled NUC match ≈ 0.
+        let vals: Vec<i64> = (0..1_000).flat_map(|v| [v, v]).collect();
+        let mut it = table(vals, 1);
+        let mut advisor = Advisor::new(AdvisorConfig::default());
+        let q = Plan::scan(vec![1]).distinct(vec![0]);
+        for _ in 0..5 {
+            it.query_count(&q);
+        }
+        assert!(advisor.step(&mut it).is_empty());
+    }
+
+    #[test]
+    fn advised_table_piggybacks_on_the_update_path() {
+        let mut at = AdvisedTable::new(
+            table((0..1_000).collect(), 2),
+            AdvisorConfig { step_every: 4, ..AdvisorConfig::default() },
+        );
+        let q = Plan::scan(vec![1]).distinct(vec![0]);
+        for _ in 0..3 {
+            at.query_count(&q);
+        }
+        assert!(at.actions().is_empty());
+        // Updates tick the cadence; the step fires mid-stream.
+        for i in 0..8i64 {
+            at.insert(&[vec![Value::Int(5_000 + i), Value::Int(100_000 + i)]]);
+        }
+        assert!(
+            matches!(at.actions(), [AdvisorAction::Created { .. }]),
+            "{:?}",
+            at.actions()
+        );
+        at.inner().check_consistency();
+    }
+
+    #[test]
+    fn advisor_steps_leave_deferred_work_batched() {
+        use patchindex::{MaintenanceMode, MaintenancePolicy};
+        let mut it = table((0..1_000).collect(), 2).with_policy(MaintenancePolicy {
+            mode: MaintenanceMode::Deferred { flush_rows: usize::MAX },
+            ..MaintenancePolicy::default()
+        });
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        // Stage a handful of unique inserts: conservative patches keep
+        // the apparent drift well under the margin.
+        let rows: Vec<Vec<Value>> =
+            (0..30).map(|i| vec![Value::Int(5_000 + i), Value::Int(100_000 + i)]).collect();
+        it.insert(&rows);
+        assert!(it.pending_rows() > 0);
+        let mut advisor = Advisor::new(AdvisorConfig::default());
+        advisor.step(&mut it);
+        assert!(
+            it.pending_rows() > 0,
+            "an advisor step must not flush batched maintenance without cause"
+        );
+        // Past the margin the step flushes (and recomputes on exact
+        // counts if the real drift still crosses it).
+        let dups: Vec<Vec<Value>> =
+            (0..300).map(|i| vec![Value::Int(9_000 + i), Value::Int(i)]).collect();
+        it.insert(&dups);
+        advisor.step(&mut it);
+        assert_eq!(it.pending_rows(), 0, "crossing the margin must flush for exactness");
+        it.check_consistency();
+    }
+
+    #[test]
+    fn recompute_restores_drifted_e() {
+        let mut it = table((0..1_000).collect(), 1);
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        // Plant duplicates, then move them away again: the patches stay
+        // (eager maintenance never un-patches) — pure lost optimality.
+        let rows: Vec<Vec<Value>> =
+            (0..300).map(|i| vec![Value::Int(2_000 + i), Value::Int(i)]).collect();
+        it.insert(&rows);
+        let pid = 0;
+        let plen = it.table().partition(pid).visible_len();
+        let rids: Vec<usize> = (plen - 300..plen).collect();
+        let fresh: Vec<Value> = (0..300).map(|i| Value::Int(50_000 + i)).collect();
+        it.modify(pid, &rids, 1, &fresh);
+        let drifted = it.index(slot).match_fraction();
+        assert!(it.index(slot).baseline().match_fraction - drifted > 0.1);
+
+        let mut advisor = Advisor::new(AdvisorConfig::default());
+        let actions = advisor.step(&mut it);
+        assert!(
+            matches!(actions[..], [AdvisorAction::Recomputed { slot: 0, .. }]),
+            "{actions:?}"
+        );
+        assert!(it.index(slot).match_fraction() > drifted);
+        assert_eq!(it.index(slot).match_fraction(), 1.0);
+    }
+
+    #[test]
+    fn unqueried_index_under_update_pressure_is_dropped() {
+        let mut it = table((0..1_000).collect(), 1);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let cfg = AdvisorConfig { drop_window: 2, ..AdvisorConfig::default() };
+        let mut advisor = Advisor::new(cfg);
+        let mut key = 10_000i64;
+        for step in 0..3 {
+            for _ in 0..50 {
+                key += 1;
+                it.insert(&[vec![Value::Int(key), Value::Int(key + 1_000_000)]]);
+            }
+            let actions = advisor.step(&mut it);
+            if step < 1 {
+                // Window not full yet.
+                assert!(actions.is_empty(), "step {step}: {actions:?}");
+            } else {
+                assert!(
+                    matches!(
+                        actions[..],
+                        [AdvisorAction::Dropped { reason: DropReason::CostDominated, .. }]
+                    ),
+                    "step {step}: {actions:?}"
+                );
+                assert!(it.indexes().is_empty());
+                return;
+            }
+        }
+        panic!("drop rule never fired");
+    }
+}

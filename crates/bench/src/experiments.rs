@@ -878,6 +878,177 @@ pub fn planner() -> String {
     out
 }
 
+// ----------------------------------------------- advisor lifecycle repro
+
+/// Advisor lifecycle experiment (beyond the paper): replays the
+/// three-phase grow/drift/storm workload of [`pi_datagen::drift`]
+/// against an advisor-managed table and records the full observe →
+/// decide → act trajectory:
+///
+/// * **grow** — distinct queries plus unique-value inserts make the
+///   advisor auto-create a NUC index; the rewritten query is timed
+///   against the no-index baseline.
+/// * **drift** — duplicate-then-move-away modifies erode `e` with stale
+///   patches until the drift margin triggers an automatic recompute
+///   that restores `e` (and the query cost) to near create-time levels.
+/// * **storm** — update pressure without queries until the windowed
+///   cost/benefit rule drops the index.
+///
+/// Writes `BENCH_advisor.json`. Scale via `PI_ADV_ROWS`; the lifecycle
+/// transitions themselves are asserted in `tests/tests/advisor.rs`.
+pub fn advisor() -> String {
+    use pi_advisor::{Advisor, AdvisorAction, AdvisorConfig};
+    use pi_datagen::{DriftOp, DriftSpec};
+    use pi_planner::{execute_count, Plan, QueryEngine};
+    use patchindex::IndexedTable;
+
+    let base_rows = env_usize("PI_ADV_ROWS", 120_000);
+    let spec = DriftSpec::new(base_rows);
+    let cfg = AdvisorConfig {
+        recompute_margin: 0.05,
+        drop_window: 3,
+        ..AdvisorConfig::default()
+    };
+    let mut it = IndexedTable::new(spec.base_table());
+    let mut advisor = Advisor::new(cfg);
+    let plan = Plan::scan(vec![DriftSpec::VAL_COL]).distinct(vec![0]);
+
+    let mut out = format!(
+        "Advisor lifecycle: {} base rows x {} partitions, batch {} \
+         (grow {} / drift {} / storm {})\n",
+        spec.base_rows,
+        spec.partitions,
+        spec.batch_rows,
+        spec.grow_batches,
+        spec.drift_batches,
+        spec.storm_batches
+    );
+    let mut table = TablePrinter::new(&[
+        "phase", "step", "indexes", "e", "query [s]", "action",
+    ]);
+    let mut timeline: Vec<String> = Vec::new();
+    let mut created_query_s: Option<f64> = None;
+    let mut no_index_query_s: Option<f64> = None;
+    let (mut n_created, mut n_recomputed, mut n_dropped) = (0usize, 0usize, 0usize);
+
+    for phase in spec.phases() {
+        let mut step = 0usize;
+        let mut run_step = |it: &mut IndexedTable,
+                            advisor: &mut Advisor,
+                            step: &mut usize,
+                            query_s: Option<f64>| {
+            *step += 1;
+            let actions = advisor.step(it);
+            for a in &actions {
+                match a {
+                    AdvisorAction::Created { .. } => n_created += 1,
+                    AdvisorAction::Recomputed { .. } => n_recomputed += 1,
+                    AdvisorAction::Dropped { .. } => n_dropped += 1,
+                }
+            }
+            let e = it.indexes().first().map(|i| i.match_fraction());
+            let action = actions
+                .iter()
+                .map(AdvisorAction::describe)
+                .collect::<Vec<_>>()
+                .join("; ");
+            table.row(vec![
+                phase.name.into(),
+                step.to_string(),
+                it.indexes().len().to_string(),
+                e.map_or("-".into(), |e| format!("{e:.4}")),
+                query_s.map_or("-".into(), |s| format!("{s:.4}")),
+                if action.is_empty() { "-".into() } else { action.clone() },
+            ]);
+            timeline.push(format!(
+                "    {{\"phase\": \"{}\", \"step\": {}, \"indexes\": {}, \"e\": {}, \
+                 \"query_s\": {}, \"actions\": \"{}\"}}",
+                phase.name,
+                step,
+                it.indexes().len(),
+                e.map_or("null".into(), |e| format!("{e:.6}")),
+                query_s.map_or("null".into(), |s| format!("{s:.6}")),
+                action.replace('"', "'")
+            ));
+        };
+        for op in &phase.ops {
+            match op {
+                DriftOp::Insert(rows) => {
+                    it.insert(rows);
+                }
+                DriftOp::Modify { pid, rids, col, values } => {
+                    it.modify(*pid, rids, *col, values);
+                    if phase.name == "storm" {
+                        // The storm steps the advisor per update batch —
+                        // there are no queries to anchor steps on.
+                        run_step(&mut it, &mut advisor, &mut step, None);
+                    }
+                }
+                DriftOp::Query => {
+                    let expected = execute_count(&plan, it.table(), &[]);
+                    if no_index_query_s.is_none() {
+                        // Baseline before any index exists.
+                        no_index_query_s = Some(
+                            time_best(2, || {
+                                assert_eq!(execute_count(&plan, it.table(), &[]), expected)
+                            })
+                            .as_secs_f64(),
+                        );
+                    }
+                    let t = time_best(2, || assert_eq!(it.query_count(&plan), expected));
+                    run_step(&mut it, &mut advisor, &mut step, Some(t.as_secs_f64()));
+                    if created_query_s.is_none() && !it.indexes().is_empty() {
+                        let t =
+                            time_best(2, || assert_eq!(it.query_count(&plan), expected));
+                        created_query_s = Some(t.as_secs_f64());
+                    }
+                }
+            }
+        }
+    }
+    out.push_str(&table.render());
+
+    let speedup = match (no_index_query_s, created_query_s) {
+        (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+        _ => None,
+    };
+    out.push_str(&format!(
+        "\nactions: {n_created} created, {n_recomputed} recomputed, {n_dropped} dropped; \
+         no-index query {:.4} s vs advisor-indexed {:.4} s ({})\n",
+        no_index_query_s.unwrap_or(0.0),
+        created_query_s.unwrap_or(0.0),
+        speedup.map_or("n/a".into(), |s| format!("{s:.2}x"))
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"advisor\",\n  \"config\": {{\"base_rows\": {}, \
+         \"partitions\": {}, \"batch_rows\": {}, \"grow_batches\": {}, \
+         \"drift_batches\": {}, \"storm_batches\": {}, \"recompute_margin\": {}, \
+         \"drop_window\": {}}},\n  \"baseline\": {{\"no_index_query_s\": {}, \
+         \"advisor_indexed_query_s\": {}, \"speedup\": {}}},\n  \
+         \"actions\": {{\"created\": {n_created}, \"recomputed\": {n_recomputed}, \
+         \"dropped\": {n_dropped}}},\n  \"timeline\": [\n{}\n  ]\n}}\n",
+        spec.base_rows,
+        spec.partitions,
+        spec.batch_rows,
+        spec.grow_batches,
+        spec.drift_batches,
+        spec.storm_batches,
+        cfg.recompute_margin,
+        cfg.drop_window,
+        no_index_query_s.map_or("null".into(), |s| format!("{s:.6}")),
+        created_query_s.map_or("null".into(), |s| format!("{s:.6}")),
+        speedup.map_or("null".into(), |s| format!("{s:.3}")),
+        timeline.join(",\n")
+    );
+    let path = std::env::var("PI_ADV_JSON").unwrap_or_else(|_| "BENCH_advisor.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => out.push_str(&format!("wrote {path}\n")),
+        Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+    }
+    out
+}
+
 // ------------------------------------------- maintenance update throughput
 
 /// Update-throughput experiment for the maintenance pipeline (beyond the

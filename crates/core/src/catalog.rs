@@ -14,7 +14,7 @@
 use pi_storage::Table;
 
 use crate::constraint::Constraint;
-use crate::index::PatchIndex;
+use crate::index::{PatchIndex, QueryFeedback};
 use crate::maintenance::gather_values;
 
 /// Row and patch counts of one index on one partition.
@@ -46,6 +46,18 @@ pub struct IndexStats {
     /// pending, the NUC kept/patch value disjointness is suspended (see
     /// [`crate::deferred`]); plans that exploit it must flush first.
     pub pending: bool,
+    /// Match fraction `e = 1 − patches/rows` at snapshot time.
+    pub e: f64,
+    /// Match fraction at create/recompute time (drift reference).
+    pub baseline_e: f64,
+    /// Patches accumulated beyond the create/recompute-time patch set.
+    pub drift_patches: u64,
+    /// Row-events maintained since the last create/recompute.
+    pub maintained_rows: u64,
+    /// Heap bytes of the patch stores (the advisor's budget currency).
+    pub memory_bytes: usize,
+    /// Optimizer feedback (times bound, estimated cost saved).
+    pub feedback: QueryFeedback,
 }
 
 /// Largest patch set whose distinct-value count the snapshot computes
@@ -87,6 +99,12 @@ impl IndexStats {
             parts,
             patch_distinct,
             pending: index.has_pending(),
+            e: index.match_fraction(),
+            baseline_e: index.baseline().match_fraction,
+            drift_patches: index.drift_patches(),
+            maintained_rows: index.maintained_since_recompute(),
+            memory_bytes: index.memory_bytes(),
+            feedback: index.query_feedback(),
         }
     }
 
@@ -98,6 +116,14 @@ impl IndexStats {
     /// Total patches.
     pub fn patches(&self) -> u64 {
         self.parts.iter().map(|p| p.patches).sum()
+    }
+
+    /// Patches added per maintained row since the last create/recompute.
+    pub fn drift_rate(&self) -> f64 {
+        if self.maintained_rows == 0 {
+            return 0.0;
+        }
+        self.drift_patches as f64 / self.maintained_rows as f64
     }
 }
 

@@ -16,11 +16,14 @@ use std::path::Path;
 use pi_storage::Table;
 
 use crate::constraint::{Constraint, Design, SortDir};
-use crate::index::{PartitionIndex, PatchIndex};
+use crate::index::{DriftBaseline, PartitionIndex, PatchIndex, QueryFeedback};
+use crate::maintenance::MaintenanceStats;
 use crate::store::PatchStore;
 
 const MAGIC: &[u8; 4] = b"PIDX";
-const VERSION: u32 = 1;
+/// Version 2 appends the maintenance/drift/feedback counters, so a
+/// recovered index resumes advisor monitoring where it left off.
+const VERSION: u32 = 2;
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -50,6 +53,14 @@ fn read_i64(r: &mut impl Read) -> io::Result<i64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(i64::from_le_bytes(buf))
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    write_u64(w, v.to_bits())
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    Ok(f64::from_bits(read_u64(r)?))
 }
 
 fn constraint_tag(c: Constraint) -> u32 {
@@ -98,6 +109,20 @@ impl PatchIndex {
         write_u32(&mut w, self.column() as u32)?;
         write_u32(&mut w, constraint_tag(self.constraint()))?;
         write_u32(&mut w, matches!(self.design(), Design::Identifier) as u32)?;
+        // Monitoring counters (v2): maintenance stats, drift baseline,
+        // query feedback — the advisor's observe state survives recovery.
+        let stats = self.maintenance_stats();
+        write_u64(&mut w, stats.collision_rounds)?;
+        write_u64(&mut w, stats.build_invocations)?;
+        write_u64(&mut w, stats.probed_partitions)?;
+        write_u64(&mut w, stats.maintained_rows)?;
+        let baseline = self.baseline();
+        write_f64(&mut w, baseline.match_fraction)?;
+        write_u64(&mut w, baseline.patches)?;
+        write_u64(&mut w, baseline.maintained_rows)?;
+        let feedback = self.query_feedback();
+        write_u64(&mut w, feedback.times_bound)?;
+        write_f64(&mut w, feedback.est_cost_saved)?;
         write_u32(&mut w, self.partition_count() as u32)?;
         for pid in 0..self.partition_count() {
             let part = self.partition(pid);
@@ -136,6 +161,21 @@ impl PatchIndex {
         let column = read_u32(&mut r)? as usize;
         let constraint = constraint_from_tag(read_u32(&mut r)?)?;
         let design = if read_u32(&mut r)? == 1 { Design::Identifier } else { Design::Bitmap };
+        let stats = MaintenanceStats {
+            collision_rounds: read_u64(&mut r)?,
+            build_invocations: read_u64(&mut r)?,
+            probed_partitions: read_u64(&mut r)?,
+            maintained_rows: read_u64(&mut r)?,
+        };
+        let baseline = DriftBaseline {
+            match_fraction: read_f64(&mut r)?,
+            patches: read_u64(&mut r)?,
+            maintained_rows: read_u64(&mut r)?,
+        };
+        let feedback = QueryFeedback {
+            times_bound: read_u64(&mut r)?,
+            est_cost_saved: read_f64(&mut r)?,
+        };
         let nparts = read_u32(&mut r)? as usize;
         let mut parts = Vec::with_capacity(nparts);
         for _ in 0..nparts {
@@ -151,7 +191,9 @@ impl PatchIndex {
                 last_sorted,
             });
         }
-        Ok(PatchIndex::from_parts(column, constraint, design, parts))
+        let mut idx = PatchIndex::from_parts(column, constraint, design, parts);
+        idx.restore_meta(stats, baseline, feedback);
+        Ok(idx)
     }
 }
 

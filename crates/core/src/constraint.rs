@@ -1,7 +1,7 @@
 //! Approximate constraint kinds.
 
 /// Sort direction of a nearly sorted column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SortDir {
     /// Non-decreasing.
     Asc,
@@ -11,7 +11,7 @@ pub enum SortDir {
 
 /// An approximate constraint materialized by a PatchIndex (paper,
 /// Section 3.1): satisfied by all tuples except the set of patches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Constraint {
     /// Nearly unique column (NUC). The patch set holds *all* occurrences of
     /// non-unique values, so excluding patches leaves values that are both

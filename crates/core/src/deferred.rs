@@ -158,6 +158,9 @@ impl PatchIndex {
         }
         pending.stmts.push(PendingStmt::Insert { rows: stmt_rows });
         pending.staged_rows += inserted.len();
+        // Staged row-events count as maintained at stage time; the flush
+        // only merges the already-counted work.
+        self.note_maintained(inserted.len() as u64);
         // Conservative routing: pending rows flow as exceptions until the
         // flush decides their fate.
         for (pid, rids) in per_part.iter().enumerate() {
@@ -227,6 +230,7 @@ impl PatchIndex {
         }
         pending.stmts.push(PendingStmt::Modify { pid, rows: stmt_rows });
         pending.staged_rows += rids.len();
+        self.note_maintained(rids.len() as u64);
         let staged: Vec<u64> = rids.iter().map(|&r| r as u64).collect();
         self.partition_mut(pid).store.add_patches(&staged);
     }

@@ -21,6 +21,40 @@ pub struct PartitionIndex {
     pub last_sorted: Option<i64>,
 }
 
+/// The index state captured right after a create/recompute — the
+/// reference point error drift is measured against (the paper's
+/// reorganization monitoring works off exactly this comparison: "updates
+/// eroded optimality too far").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftBaseline {
+    /// Match fraction `e = 1 − patches/rows` at create/recompute time.
+    pub match_fraction: f64,
+    /// Patch count at create/recompute time.
+    pub patches: u64,
+    /// Value of [`crate::MaintenanceStats::maintained_rows`] at
+    /// create/recompute time (drift rates divide by the rows maintained
+    /// since, i.e. the counter's growth past this snapshot).
+    pub maintained_rows: u64,
+}
+
+impl Default for DriftBaseline {
+    fn default() -> Self {
+        DriftBaseline { match_fraction: 1.0, patches: 0, maintained_rows: 0 }
+    }
+}
+
+/// Optimizer feedback for one index: how often query planning bound it
+/// and how much estimated cost the rewrites saved over the unrewritten
+/// plans (planner cost units). Written by the `QueryEngine` facade,
+/// read by the advisor's drop/budget rules. Survives recomputes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryFeedback {
+    /// Queries whose chosen plan bound this index.
+    pub times_bound: u64,
+    /// Cumulative estimated cost saved vs the unrewritten plans.
+    pub est_cost_saved: f64,
+}
+
 /// A PatchIndex over one column of a partitioned table.
 #[derive(Debug)]
 pub struct PatchIndex {
@@ -29,6 +63,8 @@ pub struct PatchIndex {
     design: Design,
     parts: Vec<PartitionIndex>,
     stats: MaintenanceStats,
+    baseline: DriftBaseline,
+    feedback: QueryFeedback,
     pub(crate) pending: Option<PendingMaintenance>,
 }
 
@@ -43,14 +79,18 @@ impl PatchIndex {
                 last_sorted: r.last_sorted,
             }
         });
-        PatchIndex {
+        let mut idx = PatchIndex {
             column: col,
             constraint,
             design,
             parts,
             stats: MaintenanceStats::default(),
+            baseline: DriftBaseline::default(),
+            feedback: QueryFeedback::default(),
             pending: None,
-        }
+        };
+        idx.reset_baseline();
+        idx
     }
 
     /// Builds an index from externally computed patch sets (checkpoint
@@ -61,23 +101,94 @@ impl PatchIndex {
         design: Design,
         parts: Vec<PartitionIndex>,
     ) -> Self {
-        PatchIndex {
+        let mut idx = PatchIndex {
             column,
             constraint,
             design,
             parts,
             stats: MaintenanceStats::default(),
+            baseline: DriftBaseline::default(),
+            feedback: QueryFeedback::default(),
             pending: None,
-        }
+        };
+        idx.reset_baseline();
+        idx
     }
 
-    /// Cumulative collision-join counters (see [`MaintenanceStats`]).
+    /// Cumulative maintenance counters (see [`MaintenanceStats`]).
     pub fn maintenance_stats(&self) -> MaintenanceStats {
         self.stats
     }
 
     pub(crate) fn set_maintenance_stats(&mut self, stats: MaintenanceStats) {
         self.stats = stats;
+    }
+
+    /// Counts `rows` row-events as maintained (insert/modify/delete
+    /// handling and deferred staging funnel through this).
+    pub(crate) fn note_maintained(&mut self, rows: u64) {
+        self.stats.maintained_rows += rows;
+    }
+
+    /// Re-anchors the drift baseline at the current index state (runs
+    /// after create and recompute).
+    fn reset_baseline(&mut self) {
+        self.baseline = DriftBaseline {
+            match_fraction: self.match_fraction(),
+            patches: self.exception_count(),
+            maintained_rows: self.stats.maintained_rows,
+        };
+    }
+
+    /// The drift baseline captured at create/recompute time.
+    pub fn baseline(&self) -> DriftBaseline {
+        self.baseline
+    }
+
+    /// Row-events maintained since the last create/recompute.
+    pub fn maintained_since_recompute(&self) -> u64 {
+        self.stats.maintained_rows - self.baseline.maintained_rows
+    }
+
+    /// Patches accumulated beyond the create/recompute-time patch set
+    /// (saturating: deletes can shrink the patch set below the baseline).
+    pub fn drift_patches(&self) -> u64 {
+        self.exception_count().saturating_sub(self.baseline.patches)
+    }
+
+    /// Patches added per maintained row since the last create/recompute —
+    /// how fast updates erode this materialization.
+    pub fn drift_rate(&self) -> f64 {
+        let maintained = self.maintained_since_recompute();
+        if maintained == 0 {
+            return 0.0;
+        }
+        self.drift_patches() as f64 / maintained as f64
+    }
+
+    /// Optimizer feedback accumulated through the `QueryEngine` facade.
+    pub fn query_feedback(&self) -> QueryFeedback {
+        self.feedback
+    }
+
+    /// Records one query that bound this index, with the estimated cost
+    /// saved vs the unrewritten plan (the `QueryEngine` facade calls
+    /// this; the advisor's drop rule reads it back).
+    pub fn record_query_feedback(&mut self, est_cost_saved: f64) {
+        self.feedback.times_bound += 1;
+        self.feedback.est_cost_saved += est_cost_saved.max(0.0);
+    }
+
+    /// Restores persisted counters after checkpoint recovery.
+    pub(crate) fn restore_meta(
+        &mut self,
+        stats: MaintenanceStats,
+        baseline: DriftBaseline,
+        feedback: QueryFeedback,
+    ) {
+        self.stats = stats;
+        self.baseline = baseline;
+        self.feedback = feedback;
     }
 
     /// The indexed column.
@@ -134,6 +245,13 @@ impl PatchIndex {
         self.exception_count() as f64 / n as f64
     }
 
+    /// Constraint-match fraction `e = 1 − patches/rows` — the per-index
+    /// error estimate the advisor tracks (1.0 = the constraint holds
+    /// everywhere, 0.0 = every row is an exception).
+    pub fn match_fraction(&self) -> f64 {
+        1.0 - self.exception_rate()
+    }
+
     /// Heap bytes of all patch stores.
     pub fn memory_bytes(&self) -> usize {
         self.parts.iter().map(|p| p.store.memory_bytes()).sum()
@@ -142,11 +260,15 @@ impl PatchIndex {
     /// Rebuilds the index from scratch (the global recomputation the
     /// monitoring policy triggers once updates eroded optimality too far).
     /// Any deferred maintenance still pending is discarded — the fresh
-    /// discovery supersedes it. Maintenance stats survive.
+    /// discovery supersedes it. Maintenance stats and query feedback
+    /// survive; the drift baseline re-anchors at the fresh state.
     pub fn recompute(&mut self, table: &Table) {
         let stats = self.stats;
+        let feedback = self.feedback;
         *self = PatchIndex::create(table, self.column, self.constraint, self.design);
         self.stats = stats;
+        self.feedback = feedback;
+        self.reset_baseline();
     }
 
     /// Recomputes once the exception rate exceeds `threshold`; returns

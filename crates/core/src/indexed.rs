@@ -11,12 +11,15 @@
 //! supported — unlike a SortKey, PatchIndexes do not change the physical
 //! data order (paper, Section 2).
 
-use pi_storage::{RowAddr, Table, Value};
+use std::collections::HashMap;
+
+use pi_storage::{DataType, RowAddr, Table, Value};
 
 use crate::catalog::IndexCatalog;
-use crate::constraint::{Constraint, Design};
+use crate::constraint::{Constraint, Design, SortDir};
 use crate::index::PatchIndex;
 use crate::maintenance::ProbeStrategy;
+use crate::sampling::Reservoir;
 
 /// When index maintenance runs relative to the update statements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,17 +68,77 @@ impl Default for MaintenancePolicy {
     }
 }
 
+/// The shape of a query as far as index advising cares: which rewrite
+/// family could have served it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// Duplicate elimination over the column (NUC/NCC territory).
+    Distinct,
+    /// ORDER BY over the column (NSC territory).
+    Sort(SortDir),
+}
+
+/// Per-(column, shape) counters of the queries the engine planned — the
+/// workload evidence behind the advisor's create rule. The `QueryEngine`
+/// facade records one entry per planned query that scans a single column
+/// through a distinct/sort root.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLog {
+    counts: HashMap<(usize, QueryShape), u64>,
+}
+
+impl QueryLog {
+    /// Records one query over `col` with the given shape.
+    pub fn record(&mut self, col: usize, shape: QueryShape) {
+        *self.counts.entry((col, shape)).or_insert(0) += 1;
+    }
+
+    /// Queries of this exact (column, shape) seen so far.
+    pub fn count(&self, col: usize, shape: QueryShape) -> u64 {
+        self.counts.get(&(col, shape)).copied().unwrap_or(0)
+    }
+
+    /// All recorded (column, shape, count) entries, unordered.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, QueryShape, u64)> + '_ {
+        self.counts.iter().map(|(&(col, shape), &n)| (col, shape, n))
+    }
+
+    /// Total queries recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
 /// A table whose PatchIndexes are maintained through every update.
 pub struct IndexedTable {
     table: Table,
     indexes: Vec<PatchIndex>,
     policy: MaintenancePolicy,
+    query_log: QueryLog,
+    /// One reservoir per Int column while discovery sampling is enabled
+    /// (indexed columns keep sampling too — cheap, and the index may be
+    /// dropped later).
+    samplers: Vec<Option<Reservoir>>,
+    /// Cached full catalog snapshot (with the NUC distinct-patch pass);
+    /// invalidated by every mutation instead of re-hashed per query.
+    catalog_cache: Option<IndexCatalog>,
+    catalog_rebuilds: u64,
+    statements: u64,
 }
 
 impl IndexedTable {
     /// Wraps a table (no indexes yet).
     pub fn new(table: Table) -> Self {
-        IndexedTable { table, indexes: Vec::new(), policy: MaintenancePolicy::default() }
+        IndexedTable {
+            table,
+            indexes: Vec::new(),
+            policy: MaintenancePolicy::default(),
+            query_log: QueryLog::default(),
+            samplers: Vec::new(),
+            catalog_cache: None,
+            catalog_rebuilds: 0,
+            statements: 0,
+        }
     }
 
     /// Sets the maintenance policy.
@@ -86,8 +149,25 @@ impl IndexedTable {
 
     /// Creates a PatchIndex on `col` and returns its slot.
     pub fn add_index(&mut self, col: usize, constraint: Constraint, design: Design) -> usize {
+        self.invalidate_catalog();
         self.indexes.push(PatchIndex::create(&self.table, col, constraint, design));
         self.indexes.len() - 1
+    }
+
+    /// Drops the index in `slot` and returns it. Later indexes shift down
+    /// one slot — slots are only stable between catalog snapshots, which
+    /// is all the planner assumes (every query re-snapshots).
+    pub fn drop_index(&mut self, slot: usize) -> PatchIndex {
+        self.invalidate_catalog();
+        self.indexes.remove(slot)
+    }
+
+    /// Rebuilds the index in `slot` from the current table. Deferred work
+    /// staged on that index is discarded — the fresh discovery over the
+    /// (always up-to-date) table supersedes it.
+    pub fn recompute_index(&mut self, slot: usize) {
+        self.invalidate_catalog();
+        self.indexes[slot].recompute(&self.table);
     }
 
     /// Read access to the table.
@@ -113,14 +193,159 @@ impl IndexedTable {
 
     /// Snapshot of every index plus the per-partition table shape — what
     /// the planner optimizes against (see `pi-planner`'s `QueryEngine`).
+    /// Always freshly computed; queries should prefer
+    /// [`IndexedTable::cached_catalog`], which re-hashes the NUC
+    /// distinct-patch values only after a mutation.
     pub fn catalog(&self) -> IndexCatalog {
         IndexCatalog::of(&self.table, &self.indexes)
+    }
+
+    /// The full catalog snapshot, cached between mutations: the first
+    /// call after an update pays the snapshot (including the capped NUC
+    /// distinct-patch pass); every further call is a borrow.
+    pub fn cached_catalog(&mut self) -> &IndexCatalog {
+        if self.catalog_cache.is_none() {
+            self.catalog_cache = Some(IndexCatalog::of(&self.table, &self.indexes));
+            self.catalog_rebuilds += 1;
+        }
+        self.catalog_cache.as_ref().expect("just filled")
+    }
+
+    /// How often the cached catalog was recomputed (one rebuild per
+    /// mutation epoch, however many queries ran in between).
+    pub fn catalog_rebuilds(&self) -> u64 {
+        self.catalog_rebuilds
+    }
+
+    /// The snapshot a query should plan against. Plans consulting
+    /// distinct statistics get the cached full catalog (building it on
+    /// first use after a mutation) as a **borrow** — repeated queries
+    /// between updates pay neither the snapshot nor a clone of it;
+    /// other plans reuse the warm cache the same way and otherwise take
+    /// an owned counts-only snapshot — pure counter reads, never the
+    /// distinct-patch hash pass.
+    pub fn query_catalog(&mut self, with_distinct_stats: bool) -> std::borrow::Cow<'_, IndexCatalog> {
+        if with_distinct_stats || self.catalog_cache.is_some() {
+            std::borrow::Cow::Borrowed(self.cached_catalog())
+        } else {
+            std::borrow::Cow::Owned(IndexCatalog::counts_only(&self.table, &self.indexes))
+        }
+    }
+
+    fn invalidate_catalog(&mut self) {
+        self.catalog_cache = None;
+    }
+
+    /// Update statements applied so far (insert/modify/delete calls) —
+    /// the advisor's piggyback cadence counts these.
+    pub fn statements(&self) -> u64 {
+        self.statements
+    }
+
+    /// The per-(column, shape) query counters the engine recorded.
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
+    }
+
+    /// Records one planned query over table column `col` (the
+    /// `QueryEngine` facade calls this while planning).
+    pub fn record_query(&mut self, col: usize, shape: QueryShape) {
+        self.query_log.record(col, shape);
+    }
+
+    /// Records optimizer feedback for the index in `slot`: it was bound
+    /// by a chosen plan estimated to save `est_cost_saved` planner cost
+    /// units over the unrewritten plan. The cached catalog is patched in
+    /// place — feedback does not change any planning-relevant statistic.
+    pub fn record_query_feedback(&mut self, slot: usize, est_cost_saved: f64) {
+        self.indexes[slot].record_query_feedback(est_cost_saved);
+        if let Some(cache) = &mut self.catalog_cache {
+            cache.indexes[slot].feedback = self.indexes[slot].query_feedback();
+        }
+    }
+
+    /// Starts reservoir-sampling every Int column at `cap` values per
+    /// column, seeding each reservoir with a strided pass over the
+    /// current data (O(cap) per column, not a scan). From here on every
+    /// insert/modify feeds the affected columns' reservoirs, giving the
+    /// advisor a standing estimate of each column's constraint match
+    /// fractions via [`IndexedTable::sampled_match`].
+    pub fn enable_discovery_sampling(&mut self, cap: usize) {
+        let ncols = self.table.schema().len();
+        let int_cols: Vec<usize> = (0..ncols)
+            .filter(|&c| self.table.schema().fields()[c].dtype == DataType::Int)
+            .collect();
+        self.samplers = (0..ncols).map(|_| None).collect();
+        for col in int_cols {
+            let mut r = Reservoir::new(cap, 0x5EED ^ ((col as u64) << 8));
+            // Strided seeding: up to `cap` values spread evenly over the
+            // visible rows, in row order per partition (the reservoir
+            // scores partition-locally; NSC needs the order).
+            let total = self.table.visible_len();
+            if total > 0 {
+                let stride = (total / cap).max(1);
+                for pid in 0..self.table.partition_count() {
+                    let p = self.table.partition(pid);
+                    let rids: Vec<usize> = (0..p.visible_len()).step_by(stride).collect();
+                    if rids.is_empty() {
+                        continue;
+                    }
+                    for v in crate::maintenance::gather_values(p, col, &rids) {
+                        r.offer(pid, v);
+                    }
+                }
+            }
+            self.samplers[col] = Some(r);
+        }
+    }
+
+    /// Whether discovery sampling is on.
+    pub fn sampling_enabled(&self) -> bool {
+        !self.samplers.is_empty()
+    }
+
+    /// Sampled constraint-match fraction of `col`, or `None` when the
+    /// column is unsampled (sampling disabled, or not an Int column).
+    pub fn sampled_match(&self, col: usize, constraint: Constraint) -> Option<f64> {
+        self.samplers.get(col)?.as_ref().map(|r| r.match_fraction(constraint))
+    }
+
+    /// Values the sampler of `col` has seen, if sampled.
+    pub fn sampled_seen(&self, col: usize) -> Option<u64> {
+        self.samplers.get(col)?.as_ref().map(Reservoir::seen)
+    }
+
+    /// Feeds inserted rows to the column reservoirs, tagged with the
+    /// partition each row landed in (runs right after `insert_rows`).
+    fn sample_rows(&mut self, rows: &[Vec<Value>], addrs: &[RowAddr]) {
+        if self.samplers.is_empty() {
+            return;
+        }
+        for (row, addr) in rows.iter().zip(addrs) {
+            for (col, v) in row.iter().enumerate() {
+                if let (Some(Some(r)), Value::Int(v)) = (self.samplers.get_mut(col), v) {
+                    r.offer(addr.partition, *v);
+                }
+            }
+        }
+    }
+
+    fn sample_column(&mut self, pid: usize, col: usize, values: &[Value]) {
+        let Some(Some(r)) = self.samplers.get_mut(col) else { return };
+        for v in values {
+            if let Value::Int(v) = v {
+                r.offer(pid, *v);
+            }
+        }
     }
 
     /// Inserts rows, maintaining every index (paper, Section 5.1) — or
     /// staging the work when the policy defers maintenance.
     pub fn insert(&mut self, rows: &[Vec<Value>]) -> Vec<RowAddr> {
+        self.invalidate_catalog();
+        self.statements += 1;
         let addrs = self.table.insert_rows(rows);
+        self.sample_rows(rows, &addrs);
         match self.policy.mode {
             MaintenanceMode::Eager => {
                 for idx in &mut self.indexes {
@@ -142,6 +367,8 @@ impl IndexedTable {
     /// (paper, Section 5.3). Deletes shift rowIDs, so any deferred work is
     /// flushed first.
     pub fn delete(&mut self, pid: usize, rids: &[usize]) {
+        self.invalidate_catalog();
+        self.statements += 1;
         self.flush_maintenance();
         // Index stores interpret the same pre-delete rowIDs the table does.
         for idx in &mut self.indexes {
@@ -155,6 +382,9 @@ impl IndexedTable {
     /// column (paper, Section 5.2) — or staging the work when the policy
     /// defers maintenance. Indexes on other columns are unaffected.
     pub fn modify(&mut self, pid: usize, rids: &[usize], col: usize, values: &[Value]) {
+        self.invalidate_catalog();
+        self.statements += 1;
+        self.sample_column(pid, col, values);
         match self.policy.mode {
             MaintenanceMode::Eager => {
                 self.table.modify(pid, rids, col, values);
@@ -187,6 +417,9 @@ impl IndexedTable {
     /// / one LIS extension (NSC) per index with staged work. No-op in
     /// eager mode or when nothing is pending.
     pub fn flush_maintenance(&mut self) {
+        if self.indexes.iter().any(PatchIndex::has_pending) {
+            self.invalidate_catalog();
+        }
         for idx in &mut self.indexes {
             idx.flush(&mut self.table);
         }
@@ -196,6 +429,9 @@ impl IndexedTable {
     /// uses this to restore exactness for exactly the indexes a chosen
     /// plan depends on, leaving other dirty sets batched).
     pub fn flush_index(&mut self, slot: usize) {
+        if self.indexes[slot].has_pending() {
+            self.invalidate_catalog();
+        }
         self.indexes[slot].flush(&mut self.table);
     }
 
@@ -223,6 +459,7 @@ impl IndexedTable {
     /// Applies the maintenance policy once (recompute / condense).
     /// Deferred work is flushed first so exception rates are exact.
     pub fn run_policy_now(&mut self) -> (usize, usize) {
+        self.invalidate_catalog();
         self.flush_maintenance();
         let mut recomputed = 0;
         let mut condensed = 0;
@@ -435,6 +672,132 @@ mod tests {
         it.insert(&[row(102, 79), row(103, 80), row(104, 81)]);
         assert_eq!(it.pending_rows(), 0);
         it.check_consistency();
+    }
+
+    #[test]
+    fn drift_counters_track_maintained_rows_and_added_patches() {
+        let mut it = fresh();
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(it.index(slot).baseline().match_fraction, 1.0);
+        assert_eq!(it.index(slot).drift_rate(), 0.0);
+        // Insert a duplicate (2 new patches) and a fresh value.
+        it.insert(&[row(100, 20), row(101, 60)]);
+        let idx = it.index(slot);
+        assert_eq!(idx.maintained_since_recompute(), 2);
+        assert_eq!(idx.drift_patches(), 2);
+        assert!((idx.drift_rate() - 1.0).abs() < 1e-12);
+        assert!(idx.match_fraction() < 1.0);
+        // Recompute re-anchors the baseline; cumulative stats survive.
+        it.recompute_index(slot);
+        let idx = it.index(slot);
+        assert_eq!(idx.maintained_since_recompute(), 0);
+        assert_eq!(idx.drift_patches(), 0);
+        assert_eq!(idx.maintenance_stats().maintained_rows, 2);
+        assert_eq!(idx.baseline().match_fraction, idx.match_fraction());
+    }
+
+    #[test]
+    fn drop_index_removes_the_slot() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.add_index(0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let dropped = it.drop_index(0);
+        assert_eq!(dropped.constraint(), Constraint::NearlyUnique);
+        assert_eq!(it.indexes().len(), 1);
+        assert_eq!(it.index(0).constraint(), Constraint::NearlySorted(SortDir::Asc));
+        it.check_consistency();
+    }
+
+    #[test]
+    fn catalog_cache_rebuilds_once_per_mutation_epoch() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(it.catalog_rebuilds(), 0);
+        it.cached_catalog();
+        it.cached_catalog();
+        it.cached_catalog();
+        assert_eq!(it.catalog_rebuilds(), 1);
+        it.insert(&[row(100, 77)]);
+        assert_eq!(it.cached_catalog().indexes[0].rows(), 6);
+        it.cached_catalog();
+        assert_eq!(it.catalog_rebuilds(), 2);
+        // The cached snapshot always equals a fresh one.
+        let fresh_cat = it.catalog();
+        let cached = it.cached_catalog();
+        assert_eq!(cached.part_rows, fresh_cat.part_rows);
+        assert_eq!(cached.indexes[0].parts, fresh_cat.indexes[0].parts);
+    }
+
+    #[test]
+    fn query_feedback_patches_the_cache_without_invalidating() {
+        let mut it = fresh();
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.cached_catalog();
+        it.record_query_feedback(slot, 123.0);
+        assert_eq!(it.catalog_rebuilds(), 1);
+        let cached = it.cached_catalog();
+        assert_eq!(cached.indexes[slot].feedback.times_bound, 1);
+        assert!((cached.indexes[slot].feedback.est_cost_saved - 123.0).abs() < 1e-9);
+        assert_eq!(it.catalog_rebuilds(), 1, "feedback must not force a re-snapshot");
+    }
+
+    #[test]
+    fn query_log_counts_per_column_and_shape() {
+        let mut it = fresh();
+        it.record_query(1, QueryShape::Distinct);
+        it.record_query(1, QueryShape::Distinct);
+        it.record_query(0, QueryShape::Sort(SortDir::Asc));
+        assert_eq!(it.query_log().count(1, QueryShape::Distinct), 2);
+        assert_eq!(it.query_log().count(0, QueryShape::Sort(SortDir::Asc)), 1);
+        assert_eq!(it.query_log().count(0, QueryShape::Distinct), 0);
+        assert_eq!(it.query_log().total(), 3);
+    }
+
+    #[test]
+    fn discovery_sampling_estimates_column_match_fractions() {
+        let mut it = fresh();
+        it.enable_discovery_sampling(64);
+        assert!(it.sampling_enabled());
+        // Column 0 (k) is unique and sorted; column 1 (v) unique too.
+        assert_eq!(it.sampled_match(0, Constraint::NearlyUnique), Some(1.0));
+        assert_eq!(
+            it.sampled_match(0, Constraint::NearlySorted(SortDir::Asc)),
+            Some(1.0)
+        );
+        // Feed duplicates through inserts: the estimate reacts.
+        let rows: Vec<Vec<Value>> = (0..30).map(|i| row(200 + i, 7777)).collect();
+        it.insert(&rows);
+        let est = it.sampled_match(1, Constraint::NearlyUnique).unwrap();
+        assert!(est < 1.0, "duplicates must lower the NUC estimate, got {est}");
+        assert!(it.sampled_seen(1).unwrap() >= 30);
+    }
+
+    /// Regression: RoundRobin routing interleaves a globally sorted
+    /// insert stream across partitions; since every constraint is
+    /// partition-local, the sampled NSC estimate must still be 1.0 (a
+    /// pooled sample would report ~0.5 and starve the advisor).
+    #[test]
+    fn sampling_scores_partition_locally_under_round_robin() {
+        let mut t = Table::new(
+            "rr",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("ts", DataType::Int),
+            ]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![]), ColumnData::Int(vec![])]);
+        t.load_partition(1, &[ColumnData::Int(vec![]), ColumnData::Int(vec![])]);
+        t.propagate_all();
+        let mut it = IndexedTable::new(t);
+        it.enable_discovery_sampling(128);
+        let rows: Vec<Vec<Value>> = (0..500).map(|i| row(i, 2 * i)).collect();
+        it.insert(&rows); // round-robin: p0 and p1 each sorted, interleaved
+        assert!(it.table().partition(0).visible_len() > 0);
+        assert!(it.table().partition(1).visible_len() > 0);
+        let est = it.sampled_match(1, Constraint::NearlySorted(SortDir::Asc)).unwrap();
+        assert!((est - 1.0).abs() < 1e-12, "per-partition sorted must score 1.0, got {est}");
     }
 
     #[test]

@@ -61,13 +61,14 @@ mod index;
 mod indexed;
 pub mod lis;
 mod maintenance;
+pub mod sampling;
 pub mod scan;
 pub mod stats;
 mod store;
 
 pub use catalog::{IndexCatalog, IndexStats, PartitionStats};
 pub use constraint::{Constraint, Design, SortDir};
-pub use index::{PartitionIndex, PatchIndex};
-pub use indexed::{IndexedTable, MaintenanceMode, MaintenancePolicy};
+pub use index::{DriftBaseline, PartitionIndex, PatchIndex, QueryFeedback};
+pub use indexed::{IndexedTable, MaintenanceMode, MaintenancePolicy, QueryLog, QueryShape};
 pub use maintenance::{drp_ranges, MaintenanceStats, ProbeStrategy};
 pub use store::PatchStore;

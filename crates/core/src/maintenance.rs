@@ -42,7 +42,7 @@ pub enum ProbeStrategy {
     ParallelShared,
 }
 
-/// Counters describing the collision-join work an index performed
+/// Counters describing the maintenance work an index performed
 /// (cumulative; preserved across [`PatchIndex::recompute`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintenanceStats {
@@ -55,6 +55,10 @@ pub struct MaintenanceStats {
     pub build_invocations: u64,
     /// Partition probes executed across all rounds.
     pub probed_partitions: u64,
+    /// Row-events this index maintained (inserted, modified or deleted
+    /// rows handled, eagerly or staged) — the denominator of the
+    /// advisor's drift rate and its maintenance-cost proxy.
+    pub maintained_rows: u64,
 }
 
 /// Candidate row ranges for probing values in `env`: zone-map pruning over
@@ -434,6 +438,7 @@ impl PatchIndex {
             !self.has_pending(),
             "flush deferred maintenance before eager insert handling (IndexedTable does this)"
         );
+        self.note_maintained(inserted.len() as u64);
         let col = self.column();
         let constraint = self.constraint();
         // Group inserted rowIDs per partition.
@@ -536,6 +541,7 @@ impl PatchIndex {
         if rids.is_empty() {
             return;
         }
+        self.note_maintained(rids.len() as u64);
         let col = self.column();
         match self.constraint() {
             Constraint::NearlyUnique => {
@@ -575,6 +581,7 @@ impl PatchIndex {
             !self.has_pending(),
             "deferred maintenance must be flushed before deletes (IndexedTable does this)"
         );
+        self.note_maintained(rids.len() as u64);
         let deleted: Vec<u64> = rids.iter().map(|&r| r as u64).collect();
         self.partition_mut(pid).store.on_delete(&deleted);
     }

@@ -5,10 +5,14 @@
 //!   for NUC or NSC, range-partitioned on the key.
 //! * [`publicbi`] — synthetic stand-ins for the PublicBI workbooks of
 //!   Figure 1 (per-column constraint-match fractions).
+//! * [`drift`] — the three-phase grow/drift/storm workload driving the
+//!   advisor lifecycle experiment.
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod micro;
 pub mod publicbi;
 
+pub use drift::{DriftOp, DriftPhase, DriftSpec};
 pub use micro::{generate, update_rows, MicroDataset, MicroKind, MicroSpec};

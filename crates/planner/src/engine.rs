@@ -15,16 +15,17 @@
 //!    flush,
 //! 4. lower with per-partition zero-branch pruning and execute.
 
-use patchindex::{Constraint, IndexCatalog, IndexedTable};
+use patchindex::{Constraint, IndexCatalog, IndexedTable, QueryShape, SortDir};
+use pi_exec::ops::sort::SortOrder;
 use pi_exec::Batch;
 
+use crate::cost::estimate;
 use crate::logical::Plan;
 use crate::optimizer::optimize;
 use crate::physical::{execute, execute_count};
 
-/// PatchScan slots whose binding requires the NUC disjointness invariant
-/// that a pending flush currently suspends.
-fn stale_nuc_slots(plan: &Plan, cat: &IndexCatalog) -> Vec<usize> {
+/// Every PatchScan slot the plan binds, sorted and deduplicated.
+fn bound_slots(plan: &Plan) -> Vec<usize> {
     fn walk(plan: &Plan, out: &mut Vec<usize>) {
         match plan {
             Plan::PatchScan { slot, .. } => out.push(*slot),
@@ -41,11 +42,56 @@ fn stale_nuc_slots(plan: &Plan, cat: &IndexCatalog) -> Vec<usize> {
     walk(plan, &mut slots);
     slots.sort_unstable();
     slots.dedup();
+    slots
+}
+
+/// PatchScan slots whose binding requires the NUC disjointness invariant
+/// that a pending flush currently suspends.
+fn stale_nuc_slots(plan: &Plan, cat: &IndexCatalog) -> Vec<usize> {
+    let mut slots = bound_slots(plan);
     slots.retain(|&s| {
         let e = &cat.indexes[s];
         e.pending && e.constraint == Constraint::NearlyUnique
     });
     slots
+}
+
+/// Records the advisable (column, shape) sites of a reference plan into
+/// the table's query log: a single-column Distinct or Sort directly over
+/// a Scan is exactly the pattern the PatchIndex rewrites (and hence the
+/// advisor's create rule) can serve.
+fn log_query_shapes(plan: &Plan, it: &mut IndexedTable) {
+    match plan {
+        Plan::Distinct { input, cols } => {
+            if let Plan::Scan { cols: scan_cols, .. } = &**input {
+                if cols.len() == 1 {
+                    if let Some(&col) = scan_cols.get(cols[0]) {
+                        it.record_query(col, QueryShape::Distinct);
+                    }
+                }
+            }
+            log_query_shapes(input, it);
+        }
+        Plan::Sort { input, keys } => {
+            if let Plan::Scan { cols: scan_cols, .. } = &**input {
+                if let [(key, order)] = keys[..] {
+                    if let Some(&col) = scan_cols.get(key) {
+                        let dir = match order {
+                            SortOrder::Asc => SortDir::Asc,
+                            SortOrder::Desc => SortDir::Desc,
+                        };
+                        it.record_query(col, QueryShape::Sort(dir));
+                    }
+                }
+            }
+            log_query_shapes(input, it);
+        }
+        Plan::Limit { input, .. } => log_query_shapes(input, it),
+        Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
+            inputs.iter().for_each(|p| log_query_shapes(p, it))
+        }
+        Plan::Scan { .. } | Plan::PatchScan { .. } => {}
+    }
 }
 
 /// Catalog-driven planning and execution over an [`IndexedTable`].
@@ -56,6 +102,8 @@ fn stale_nuc_slots(plan: &Plan, cat: &IndexCatalog) -> Vec<usize> {
 pub trait QueryEngine {
     /// Snapshots the catalog, flushes exactly the indexes the chosen plan
     /// requires to be exact, and returns the final optimized plan.
+    /// Records no workload evidence (query log / feedback) — it is safe
+    /// for EXPLAIN-style inspection before running the query for real.
     fn plan_query(&mut self, plan: &Plan) -> Plan;
     /// Plans and executes, returning the result batch.
     fn query(&mut self, plan: &Plan) -> Batch;
@@ -63,41 +111,71 @@ pub trait QueryEngine {
     fn query_count(&mut self, plan: &Plan) -> usize;
 }
 
-impl QueryEngine for IndexedTable {
-    fn plan_query(&mut self, plan: &Plan) -> Plan {
-        let with_distinct_stats = plan.contains_distinct();
-        loop {
-            // Snapshot only the statistics this plan can consult: the
-            // distinct-patch-value pass is skipped for plans without a
-            // distinct node, keeping the per-query snapshot to counter
-            // reads.
-            let cat = if with_distinct_stats {
-                self.catalog()
-            } else {
-                IndexCatalog::counts_only(self.table(), self.indexes())
-            };
+/// The planning pipeline behind the facade. Workload accounting (query
+/// log + optimizer feedback) only runs with `record` set: the executing
+/// entry points record exactly once per query, while `plan_query` stays
+/// side-effect-free on the counters — an EXPLAIN-then-run sequence
+/// (`plan_query` + `query`) must not double-count its workload evidence.
+fn plan_for(it: &mut IndexedTable, plan: &Plan, record: bool) -> Plan {
+    if record {
+        log_query_shapes(plan, it);
+    }
+    let with_distinct_stats = plan.contains_distinct();
+    loop {
+        // The catalog is *borrowed* from the mutation-invalidated cache
+        // (repeated queries between updates re-read counters, no
+        // re-hashing, no clone), so everything consulting it happens in
+        // this scope; the mutations below run after the borrow ends.
+        let (chosen, stale, feedback) = {
+            let cat = it.query_catalog(with_distinct_stats);
             let chosen = optimize(plan.clone(), &cat, true);
             let stale = stale_nuc_slots(&chosen, &cat);
-            if stale.is_empty() {
-                return chosen;
+            // Optimizer feedback: how much the chosen plan's rewrites
+            // are estimated to save vs the unrewritten plan, split
+            // across the indexes it binds. The advisor's drop rule
+            // weighs this benefit against maintenance cost.
+            let feedback = if record && stale.is_empty() {
+                let bound = bound_slots(&chosen);
+                (!bound.is_empty()).then(|| {
+                    let saved = (estimate(plan, &cat) - estimate(&chosen, &cat)).max(0.0)
+                        / bound.len() as f64;
+                    (bound, saved)
+                })
+            } else {
+                None
+            };
+            (chosen, stale, feedback)
+        };
+        if stale.is_empty() {
+            if let Some((bound, saved)) = feedback {
+                for slot in bound {
+                    it.record_query_feedback(slot, saved);
+                }
             }
-            // Flushing changes patch counts (and may release staged
-            // rows), so re-plan against the fresh snapshot. Each round
-            // flushes at least one index; the loop terminates once no
-            // bound NUC index is pending.
-            for slot in stale {
-                self.flush_index(slot);
-            }
+            return chosen;
         }
+        // Flushing changes patch counts (and may release staged
+        // rows), so re-plan against the fresh snapshot. Each round
+        // flushes at least one index; the loop terminates once no
+        // bound NUC index is pending.
+        for slot in stale {
+            it.flush_index(slot);
+        }
+    }
+}
+
+impl QueryEngine for IndexedTable {
+    fn plan_query(&mut self, plan: &Plan) -> Plan {
+        plan_for(self, plan, false)
     }
 
     fn query(&mut self, plan: &Plan) -> Batch {
-        let chosen = self.plan_query(plan);
+        let chosen = plan_for(self, plan, true);
         execute(&chosen, self.table(), self.indexes())
     }
 
     fn query_count(&mut self, plan: &Plan) -> usize {
-        let chosen = self.plan_query(plan);
+        let chosen = plan_for(self, plan, true);
         execute_count(&chosen, self.table(), self.indexes())
     }
 }
@@ -219,6 +297,69 @@ mod tests {
         // The facade never flushes for NCC either way.
         assert_eq!(it.query_count(&distinct), reference);
         assert!(it.index(slot).has_pending());
+    }
+
+    #[test]
+    fn facade_records_query_log_and_feedback() {
+        let mut it = fresh(2);
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        it.query_count(&distinct);
+        it.query_count(&distinct);
+        it.query_count(&sort);
+        // Query log: shapes per table column.
+        use patchindex::{QueryShape, SortDir};
+        assert_eq!(it.query_log().count(1, QueryShape::Distinct), 2);
+        assert_eq!(it.query_log().count(1, QueryShape::Sort(SortDir::Asc)), 1);
+        // Feedback: the NUC index was bound by both distinct queries with
+        // a positive estimated saving; the sort query bound nothing.
+        let fb = it.index(slot).query_feedback();
+        assert_eq!(fb.times_bound, 2);
+        assert!(fb.est_cost_saved > 0.0);
+    }
+
+    #[test]
+    fn explain_then_run_counts_the_query_once() {
+        let mut it = fresh(2);
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        // Inspecting the plan records nothing...
+        it.plan_query(&distinct);
+        use patchindex::QueryShape;
+        assert_eq!(it.query_log().count(1, QueryShape::Distinct), 0);
+        assert_eq!(it.index(slot).query_feedback().times_bound, 0);
+        // ...running it records exactly once.
+        it.query_count(&distinct);
+        assert_eq!(it.query_log().count(1, QueryShape::Distinct), 1);
+        assert_eq!(it.index(slot).query_feedback().times_bound, 1);
+    }
+
+    #[test]
+    fn facade_reuses_the_cached_catalog_between_updates() {
+        let mut it = fresh(2);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        for _ in 0..5 {
+            it.query_count(&distinct);
+        }
+        assert_eq!(it.catalog_rebuilds(), 1, "one snapshot per mutation epoch");
+        it.insert(&[vec![Value::Int(999), Value::Int(12345)]]);
+        it.query_count(&distinct);
+        it.query_count(&distinct);
+        assert_eq!(it.catalog_rebuilds(), 2);
+    }
+
+    #[test]
+    fn sort_only_queries_never_pay_the_distinct_pass() {
+        let mut it = fresh(2);
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        it.query_count(&sort);
+        it.query_count(&sort);
+        // Counts-only snapshots are taken fresh and never cached — no
+        // full rebuild happened.
+        assert_eq!(it.catalog_rebuilds(), 0);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! (Section 3.5: Q12-style regressions "would not be chosen by the
 //! optimizer") is rejected site-locally.
 
+use std::borrow::Cow;
+
 use patchindex::{Constraint, IndexCatalog, IndexStats, SortDir};
 use pi_exec::ops::patch_select::PatchMode;
 use pi_exec::ops::sort::SortOrder;
@@ -236,6 +238,11 @@ pub(crate) fn bounded_cardinality<F: Fn(&Plan) -> u64>(plan: &Plan, leaf: &F) ->
 /// whose cardinality bound is zero, collapses single-child combines, and
 /// returns `None` when the whole subtree is provably empty.
 ///
+/// Returns a [`Cow`]: a subtree from which nothing was pruned is
+/// *borrowed*, not rebuilt — so the per-partition specialization of a
+/// partition that prunes nothing costs a traversal, never a deep clone
+/// of the plan tree (the lowering runs this once per partition).
+///
 /// `collapse_single_merge` must only be set when the caller lowers the
 /// result for a **single partition**: within one partition a surviving
 /// Merge child really is sorted, but at plan level a bare
@@ -243,45 +250,75 @@ pub(crate) fn bounded_cardinality<F: Fn(&Plan) -> u64>(plan: &Plan, leaf: &F) ->
 /// NSC sortedness is per-partition, so dropping the Merge there would
 /// return partition-concatenated (unsorted) output. Single-child
 /// *Union* collapse is always safe (bag semantics either way).
-pub(crate) fn prune_zero_branches<F: Fn(&Plan) -> u64>(
-    plan: &Plan,
+pub(crate) fn prune_zero_branches<'a, F: Fn(&Plan) -> u64>(
+    plan: &'a Plan,
     leaf: &F,
     collapse_single_merge: bool,
-) -> Option<Plan> {
+) -> Option<Cow<'a, Plan>> {
     if bounded_cardinality(plan, leaf) == 0 {
         return None;
     }
-    let prune = |p: &Plan| prune_zero_branches(p, leaf, collapse_single_merge);
+    // "Unchanged" means borrowed AND the very node that went in: a
+    // combine that collapsed to a single child also comes back borrowed
+    // (of the *child*), and treating that as unchanged would silently
+    // undo the pruning wherever a combine sits under a wrapper node.
+    let unchanged = |c: &Cow<'a, Plan>, original: &Plan| {
+        matches!(c, Cow::Borrowed(b) if std::ptr::eq(*b, original))
+    };
+    let prune = |p: &'a Plan| prune_zero_branches(p, leaf, collapse_single_merge);
     let pruned = match plan {
         Plan::Union { inputs } => {
-            let mut kept: Vec<Plan> = inputs.iter().filter_map(prune).collect();
-            if kept.len() == 1 {
+            let mut kept: Vec<Cow<'a, Plan>> = inputs.iter().filter_map(prune).collect();
+            if kept.len() == inputs.len()
+                && kept.iter().zip(inputs).all(|(c, i)| unchanged(c, i))
+            {
+                Cow::Borrowed(plan)
+            } else if kept.len() == 1 {
                 kept.pop().unwrap()
             } else {
-                Plan::Union { inputs: kept }
+                Cow::Owned(Plan::Union { inputs: kept.into_iter().map(Cow::into_owned).collect() })
             }
         }
         Plan::Merge { inputs, keys } => {
-            let mut kept: Vec<Plan> = inputs.iter().filter_map(prune).collect();
-            if kept.len() == 1 && collapse_single_merge {
+            let mut kept: Vec<Cow<'a, Plan>> = inputs.iter().filter_map(prune).collect();
+            if kept.len() == inputs.len()
+                && kept.iter().zip(inputs).all(|(c, i)| unchanged(c, i))
+            {
+                Cow::Borrowed(plan)
+            } else if kept.len() == 1 && collapse_single_merge {
                 kept.pop().unwrap()
             } else {
-                Plan::Merge { inputs: kept, keys: keys.clone() }
+                Cow::Owned(Plan::Merge {
+                    inputs: kept.into_iter().map(Cow::into_owned).collect(),
+                    keys: keys.clone(),
+                })
             }
         }
-        Plan::Distinct { input, cols } => Plan::Distinct {
-            input: Box::new(prune(input)?),
-            cols: cols.clone(),
-        },
-        Plan::Sort { input, keys } => Plan::Sort {
-            input: Box::new(prune(input)?),
-            keys: keys.clone(),
-        },
-        Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(prune(input)?),
-            n: *n,
-        },
-        leaf_node => leaf_node.clone(),
+        Plan::Distinct { input, cols } => {
+            let child = prune(input)?;
+            if unchanged(&child, input) {
+                Cow::Borrowed(plan)
+            } else {
+                Cow::Owned(Plan::Distinct { input: Box::new(child.into_owned()), cols: cols.clone() })
+            }
+        }
+        Plan::Sort { input, keys } => {
+            let child = prune(input)?;
+            if unchanged(&child, input) {
+                Cow::Borrowed(plan)
+            } else {
+                Cow::Owned(Plan::Sort { input: Box::new(child.into_owned()), keys: keys.clone() })
+            }
+        }
+        Plan::Limit { input, n } => {
+            let child = prune(input)?;
+            if unchanged(&child, input) {
+                Cow::Borrowed(plan)
+            } else {
+                Cow::Owned(Plan::Limit { input: Box::new(child.into_owned()), n: *n })
+            }
+        }
+        leaf_node => Cow::Borrowed(leaf_node),
     };
     Some(pruned)
 }
@@ -301,7 +338,10 @@ pub fn zero_branch_prune(plan: Plan, cat: &IndexCatalog) -> Plan {
         }
         _ => unreachable!("leaf bound invoked on a non-leaf node"),
     };
-    prune_zero_branches(&plan, &leaf, false).unwrap_or(plan)
+    match prune_zero_branches(&plan, &leaf, false) {
+        Some(pruned) => pruned.into_owned(),
+        None => plan,
+    }
 }
 
 #[cfg(test)]

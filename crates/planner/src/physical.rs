@@ -18,6 +18,8 @@
 //! limit below the combine, so every partition stops scanning after `n`
 //! rows instead of draining fully.
 
+use std::borrow::Cow;
+
 use patchindex::scan::patch_scan;
 use patchindex::PatchIndex;
 use pi_exec::ops::agg::HashAggOp;
@@ -49,13 +51,15 @@ pub enum Pruning {
 /// The lowering runs this before building each partition's pipeline; it
 /// is also the inspection point for tests and EXPLAIN-style tooling.
 /// (Same traversal as plan-level ZBP, with per-partition live counts as
-/// the leaf bound.)
-pub fn prune_for_partition(
-    plan: &Plan,
+/// the leaf bound.) The returned [`Cow`] borrows the input plan whenever
+/// this partition prunes nothing — specializing a clean partition costs
+/// a traversal, not a deep clone of the plan tree.
+pub fn prune_for_partition<'a>(
+    plan: &'a Plan,
     table: &Table,
     indexes: &[PatchIndex],
     pid: usize,
-) -> Option<Plan> {
+) -> Option<Cow<'a, Plan>> {
     let leaf = |p: &Plan| match p {
         Plan::Scan { .. } => table.partition(pid).visible_len() as u64,
         Plan::PatchScan { mode, slot, .. } => {
@@ -74,9 +78,15 @@ pub fn prune_for_partition(
     crate::optimizer::prune_zero_branches(plan, &leaf, true)
 }
 
-fn maybe_prune(plan: &Plan, table: &Table, indexes: &[PatchIndex], pid: usize, pruning: Pruning) -> Option<Plan> {
+fn maybe_prune<'a>(
+    plan: &'a Plan,
+    table: &Table,
+    indexes: &[PatchIndex],
+    pid: usize,
+    pruning: Pruning,
+) -> Option<Cow<'a, Plan>> {
     match pruning {
-        Pruning::Global => Some(plan.clone()),
+        Pruning::Global => Some(Cow::Borrowed(plan)),
         Pruning::PerPartition => prune_for_partition(plan, table, indexes, pid),
     }
 }
@@ -566,6 +576,77 @@ mod tests {
         let rewritten = crate::optimizer::rewrite(plan, &cat.indexes[0]);
         assert!(rewritten.to_string().contains("use_patches"), "{rewritten}");
         assert_eq!(execute_count(&rewritten, &t, &idx), reference);
+    }
+
+    /// Partitions that prune nothing must not deep-clone the plan: the
+    /// specialization returns a borrow of the optimized tree.
+    #[test]
+    fn unpruned_partitions_borrow_the_plan() {
+        let t = table();
+        let idx = single(PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap));
+        let plan = Plan::scan(vec![1]).distinct(vec![0]);
+        let opt = optimize(plan, &IndexCatalog::of(&t, &idx), false);
+        // Both partitions hold patches (value 5 in p0; none in p1 — check).
+        assert!(idx[0].partition_patch_count(0) > 0);
+        let specialized = prune_for_partition(&opt, &t, &idx, 0).unwrap();
+        assert!(
+            matches!(specialized, Cow::Borrowed(_)),
+            "nothing pruned in partition 0 — the plan must be borrowed"
+        );
+        // Partition 1 has no patches: the use_patches flow is pruned (the
+        // surviving subtree may itself still be a borrow — collapsing to
+        // a single child borrows that child instead of rebuilding).
+        assert_eq!(idx[0].partition_patch_count(1), 0);
+        let specialized = prune_for_partition(&opt, &t, &idx, 1).unwrap();
+        assert!(!specialized.to_string().contains("use_patches"));
+        assert_ne!(specialized.to_string(), opt.to_string());
+    }
+
+    /// Regression: a combine that collapses to a single child comes back
+    /// as a *borrow of the child* — the wrapper node above it must not
+    /// mistake that for "nothing pruned" and resurrect the original
+    /// subtree. (The NCC rewrite nests its Union under a Distinct, so a
+    /// clean partition must still lose the use_patches flow there.)
+    #[test]
+    fn collapse_under_a_wrapper_node_still_prunes() {
+        let mut t = Table::new(
+            "ncc2",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![7, 7, 9, 7])]); // 1 patch
+        t.load_partition(1, &[ColumnData::Int(vec![8, 8, 8])]); // clean
+        t.propagate_all();
+        let idx = single(PatchIndex::create(&t, 0, Constraint::NearlyConstant, Design::Bitmap));
+        let cat = IndexCatalog::of(&t, &idx);
+        let plan = Plan::scan(vec![0]).distinct(vec![0]);
+        // The NCC shape: Distinct over a Union of two Distincts.
+        let rewritten = crate::optimizer::rewrite(plan.clone(), &cat.indexes[0]);
+        assert!(rewritten.to_string().starts_with("Distinct"), "{rewritten}");
+        let clean = prune_for_partition(&rewritten, &t, &idx, 1).unwrap();
+        assert!(
+            !clean.to_string().contains("use_patches"),
+            "partition 1 has no patches — the flow must be pruned under the wrapper:\n{clean}"
+        );
+        let dirty = prune_for_partition(&rewritten, &t, &idx, 0).unwrap();
+        assert!(dirty.to_string().contains("use_patches"));
+        // Results stay exact either way.
+        let reference = execute_count(&plan, &t, &[]);
+        assert_eq!(execute_count(&rewritten, &t, &idx), reference);
+        // Same guard for a Sort wrapper above a Merge that collapses.
+        let splan = Plan::scan(vec![0]).sort(vec![(0, SortOrder::Asc)]).limit(3);
+        let nsc = single(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        ));
+        let opt = optimize(splan, &IndexCatalog::of(&t, &nsc), false);
+        if opt.to_string().contains("Merge") {
+            let p1 = prune_for_partition(&opt, &t, &nsc, 1).unwrap();
+            assert!(!p1.to_string().contains("use_patches"), "{p1}");
+        }
     }
 
     #[test]

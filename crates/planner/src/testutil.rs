@@ -1,6 +1,6 @@
 //! Synthetic catalog builders shared by the planner unit tests.
 
-use patchindex::{Constraint, IndexCatalog, IndexStats, PartitionStats};
+use patchindex::{Constraint, IndexCatalog, IndexStats, PartitionStats, QueryFeedback};
 
 /// A synthetic index snapshot from `(rows, patches)` pairs per partition.
 pub(crate) fn entry(
@@ -10,16 +10,26 @@ pub(crate) fn entry(
     parts: Vec<(u64, u64)>,
     patch_distinct: u64,
 ) -> IndexStats {
+    let parts: Vec<PartitionStats> = parts
+        .into_iter()
+        .map(|(rows, patches)| PartitionStats { rows, patches })
+        .collect();
+    let rows: u64 = parts.iter().map(|p| p.rows).sum();
+    let patches: u64 = parts.iter().map(|p| p.patches).sum();
+    let e = if rows == 0 { 1.0 } else { 1.0 - patches as f64 / rows as f64 };
     IndexStats {
         slot,
         column,
         constraint,
-        parts: parts
-            .into_iter()
-            .map(|(rows, patches)| PartitionStats { rows, patches })
-            .collect(),
+        parts,
         patch_distinct,
         pending: false,
+        e,
+        baseline_e: e,
+        drift_patches: 0,
+        maintained_rows: 0,
+        memory_bytes: 0,
+        feedback: QueryFeedback::default(),
     }
 }
 

@@ -3,15 +3,18 @@
 //! the email column is *nearly* unique — duplicates exist because the same
 //! person appears in multiple sources.
 //!
-//! Shows: NUC discovery, the rewritten DISTINCT query, trickle inserts with
-//! collision detection via dynamic range propagation, and the comparison
-//! against a materialized view under updates.
+//! Shows: the advisor auto-creating the NUC index from query-log plus
+//! reservoir-sample evidence, the rewritten DISTINCT query, trickle
+//! inserts with collision detection via dynamic range propagation, the
+//! per-index error `e` and drift-rate monitoring behind the advisor's
+//! decisions, and the comparison against a materialized view.
 //!
 //! Run with `cargo run --release --example dirty_warehouse`.
 
 use std::time::Instant;
 
-use patchindex::{Constraint, Design, IndexedTable};
+use patchindex::IndexedTable;
+use pi_advisor::{Advisor, AdvisorConfig};
 use pi_baselines::DistinctView;
 use pi_datagen::{generate, update_rows, MicroKind, MicroSpec};
 use pi_planner::{execute_count, Plan, QueryEngine};
@@ -22,28 +25,44 @@ fn main() {
     let rows = 200_000;
     let ds = generate(&MicroSpec::new(rows, 0.03, MicroKind::Nuc));
     let mut wh = IndexedTable::new(ds.table);
+    let mut advisor = Advisor::new(AdvisorConfig {
+        // Integrated data is dirty by nature; 3% duplicates must not
+        // block the index that serves the nightly dedup report.
+        create_threshold: 0.9,
+        ..AdvisorConfig::default()
+    });
 
+    // The nightly report keeps asking "how many distinct customers?".
+    let plan = Plan::scan(vec![1]).distinct(vec![0]);
+    let reference = execute_count(&plan, wh.table(), &[]);
+    for _ in 0..3 {
+        assert_eq!(wh.query_count(&plan), reference);
+    }
+    // One advisor step sees the query log + the id column's sampled
+    // match fraction and materializes the NUC index on its own.
     let t = Instant::now();
-    let slot = wh.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+    for action in advisor.step(&mut wh) {
+        println!("advisor: {}", action.describe());
+    }
+    let slot = 0;
+    assert_eq!(wh.indexes().len(), 1, "the advisor should have created the index");
     println!(
-        "discovered NUC on the id column in {:.1} ms: {} duplicates over {rows} rows (e = {:.2}%)",
+        "auto-created in {:.1} ms: {} duplicates over {rows} rows (e = {:.4})",
         t.elapsed().as_secs_f64() * 1e3,
         wh.index(slot).exception_count(),
-        wh.index(slot).exception_rate() * 100.0
+        wh.index(slot).match_fraction(),
     );
 
-    // How many distinct customers? Reference vs the QueryEngine facade
-    // (catalog snapshot -> cost-gated rewrite -> pruned lowering).
-    let plan = Plan::scan(vec![1]).distinct(vec![0]);
+    // Reference vs the rewritten plan the facade now picks.
     let t = Instant::now();
-    let reference = execute_count(&plan, wh.table(), &[]);
+    let n_ref = execute_count(&plan, wh.table(), &[]);
     let t_ref = t.elapsed();
     let t = Instant::now();
     let with_pi = wh.query_count(&plan);
     let t_pi = t.elapsed();
-    assert_eq!(reference, with_pi);
+    assert_eq!(n_ref, with_pi);
     println!(
-        "distinct customers: {reference} | reference {:.1} ms, PatchIndex {:.1} ms ({:.1}x)",
+        "distinct customers: {n_ref} | reference {:.1} ms, PatchIndex {:.1} ms ({:.1}x)",
         t_ref.as_secs_f64() * 1e3,
         t_pi.as_secs_f64() * 1e3,
         t_ref.as_secs_f64() / t_pi.as_secs_f64().max(1e-9)
@@ -55,10 +74,26 @@ fn main() {
     let t = Instant::now();
     wh.insert(&new_rows);
     let t_pi_ins = t.elapsed();
+    let idx = wh.index(slot);
     println!(
-        "inserted 500 records in {:.1} ms; {} new collision patches",
+        "inserted 500 records in {:.1} ms; {} new collision patches | \
+         e = {:.4} (create-time {:.4}), drift {:.4} patches/maintained row",
         t_pi_ins.as_secs_f64() * 1e3,
-        wh.index(slot).exception_count() - before
+        idx.exception_count() - before,
+        idx.match_fraction(),
+        idx.baseline().match_fraction,
+        idx.drift_rate(),
+    );
+
+    // The drift is tiny, so the next advisor step holds still.
+    let actions = advisor.step(&mut wh);
+    println!(
+        "advisor after the load: {}",
+        if actions.is_empty() {
+            "no action (drift within margin, queries keep paying)".to_string()
+        } else {
+            actions.iter().map(|a| a.describe()).collect::<Vec<_>>().join("; ")
+        }
     );
 
     // The materialized-view alternative must recompute on every refresh.

@@ -3,47 +3,61 @@
 //! perfect sort order (a classic HTAP freshness scenario from the paper's
 //! introduction).
 //!
-//! Shows: NSC over a timestamp column, the Merge-based ORDER BY rewrite,
-//! continuous out-of-order ingestion with sorted-run extension, and the
-//! exception-rate monitoring policy triggering a recomputation.
+//! Shows: the advisor auto-creating the NSC index from ORDER-BY query
+//! evidence, the Merge-based rewrite, a clock-glitch burst that wrecks
+//! the sorted-run anchor so that *every* following in-order batch gets
+//! patched (pure lost optimality), the per-index error `e` and drift
+//! surfaced batch by batch, and the advisor's drift-triggered recompute
+//! restoring `e` to create-time levels.
 //!
 //! Run with `cargo run --release --example sensor_timeseries`.
 
 use std::time::Instant;
 
-use patchindex::{Constraint, Design, IndexedTable, MaintenancePolicy, SortDir};
+use patchindex::{Constraint, IndexedTable, SortDir};
+use pi_advisor::{Advisor, AdvisorAction, AdvisorConfig};
 use pi_datagen::{generate, MicroKind, MicroSpec};
 use pi_exec::ops::sort::SortOrder;
 use pi_planner::{execute_count, Plan, QueryEngine};
 use pi_storage::Value;
 
 fn main() {
-    // 150K readings, 2% arrived late (out of order).
-    let rows = 150_000;
+    // 60K readings, 2% arrived late (out of order).
+    let rows = 60_000;
     let ds = generate(&MicroSpec::new(rows, 0.02, MicroKind::Nsc));
-    let mut ts = IndexedTable::new(ds.table).with_policy(MaintenancePolicy {
-        max_exception_rate: 0.25,
-        condense_threshold: 0.5,
-        auto: true,
-        ..MaintenancePolicy::default()
+    let mut ts = IndexedTable::new(ds.table);
+    let mut advisor = Advisor::new(AdvisorConfig {
+        recompute_margin: 0.05,
+        ..AdvisorConfig::default()
     });
-    let slot = ts.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+
+    // Dashboards keep ordering by timestamp; the advisor watches.
+    let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+    let n_ref = execute_count(&plan, ts.table(), &[]);
+    for _ in 0..3 {
+        assert_eq!(ts.query_count(&plan), n_ref);
+    }
+    for action in advisor.step(&mut ts) {
+        println!("advisor: {}", action.describe());
+    }
+    assert_eq!(ts.indexes().len(), 1, "the advisor should have created the NSC index");
+    let slot = 0;
+    assert_eq!(ts.index(slot).constraint(), Constraint::NearlySorted(SortDir::Asc));
+    let e_create = ts.index(slot).match_fraction();
     println!(
-        "NSC on ts: {} late readings (e = {:.2}%)",
+        "NSC on ts: {} late readings (e = {:.4} at creation)",
         ts.index(slot).exception_count(),
-        ts.index(slot).exception_rate() * 100.0
+        e_create
     );
 
     // ORDER BY ts: the excluding flow is already sorted, only the late
     // readings pass through the sort operator.
-    let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
     let t = Instant::now();
-    let n_ref = execute_count(&plan, ts.table(), &[]);
+    assert_eq!(execute_count(&plan, ts.table(), &[]), n_ref);
     let t_ref = t.elapsed();
     let t = Instant::now();
-    let n_pi = ts.query_count(&plan);
+    assert_eq!(ts.query_count(&plan), n_ref);
     let t_pi = t.elapsed();
-    assert_eq!(n_ref, n_pi);
     println!(
         "ORDER BY over {n_ref} rows: reference {:.1} ms, PatchIndex {:.1} ms ({:.1}x)",
         t_ref.as_secs_f64() * 1e3,
@@ -51,34 +65,56 @@ fn main() {
         t_ref.as_secs_f64() / t_pi.as_secs_f64().max(1e-9)
     );
 
-    // Live ingestion: batches alternate between in-order data (extending
-    // the sorted run) and bursts of late arrivals.
+    // Live ingestion. Before batch 2 a rogue sensor sends one reading
+    // with a far-future timestamp as its own statement: the sorted-run
+    // extension (which only sees that one statement) extends the anchor
+    // to it, so every later in-order reading of that partition lands
+    // *below* the anchor and gets patched — the data is still nearly
+    // sorted, the index has merely lost optimality. Drift-rate
+    // monitoring makes that visible, and the advisor's recompute (a
+    // fresh global LIS that patches the rogue reading instead) repairs
+    // it.
     let mut next_ts = 2 * rows as i64 + 10;
     let mut next_key = rows as i64;
+    let mut recomputed = false;
     for batch_no in 0..6 {
-        let burst = batch_no % 3 == 2;
-        let rows_batch: Vec<Vec<Value>> = (0..500)
-            .map(|i| {
+        let glitch = batch_no == 2;
+        if glitch {
+            next_key += 1;
+            ts.insert(&[vec![Value::Int(next_key), Value::Int(1_000_000_000)]]);
+        }
+        let rows_batch: Vec<Vec<Value>> = (0..2_000)
+            .map(|_| {
                 next_key += 1;
-                let v = if burst {
-                    // Late data: timestamps far in the past.
-                    (i * 17) % 1000
-                } else {
-                    next_ts += 2;
-                    next_ts
-                };
-                vec![Value::Int(next_key), Value::Int(v)]
+                next_ts += 2;
+                vec![Value::Int(next_key), Value::Int(next_ts)]
             })
             .collect();
         ts.insert(&rows_batch);
+        let inserted = (next_key - rows as i64) as usize;
+        assert_eq!(ts.query_count(&plan), n_ref + inserted);
+        let idx = ts.index(slot);
         println!(
-            "batch {batch_no} ({}) -> e = {:.2}%",
-            if burst { "late burst" } else { "in order" },
-            ts.index(slot).exception_rate() * 100.0
+            "batch {batch_no}{} -> e = {:.4} (create-time {:.4}), drift {:.4} patches/row",
+            if glitch { " (clock glitch)" } else { "" },
+            idx.match_fraction(),
+            idx.baseline().match_fraction,
+            idx.drift_rate(),
         );
+        for action in advisor.step(&mut ts) {
+            println!("advisor: {}", action.describe());
+            if let AdvisorAction::Recomputed { e_before, e_after, .. } = action {
+                recomputed = true;
+                assert!(e_after > e_before);
+            }
+        }
     }
-    // The auto policy keeps e below 25% by recomputing when needed.
-    assert!(ts.index(slot).exception_rate() <= 0.25);
+    assert!(recomputed, "the glitch drift should have triggered a recompute");
+    let e_final = ts.index(slot).match_fraction();
+    assert!(
+        e_final > e_create - 0.05,
+        "recompute should restore e near create-time levels ({e_final:.4} vs {e_create:.4})"
+    );
     ts.check_consistency();
-    println!("index consistent, policy kept e <= 25%");
+    println!("index consistent, advisor kept e at {:.4} (create-time {:.4})", e_final, e_create);
 }

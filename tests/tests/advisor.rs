@@ -1,0 +1,214 @@
+//! Advisor lifecycle integration test: the three-phase grow/drift/storm
+//! workload of `pi_datagen::drift` must drive the full observe → decide
+//! → act loop — auto-create in the grow phase, drift-induced recompute
+//! that restores `e` to near create-time levels, cost-based drop in the
+//! storm — while every query result stays **byte-identical** to a
+//! manually-managed reference table receiving the same update stream.
+
+use patchindex::{Constraint, Design, IndexedTable};
+use pi_advisor::{Advisor, AdvisorAction, AdvisorConfig, DropReason};
+use pi_datagen::{DriftOp, DriftSpec};
+use pi_exec::ops::sort::SortOrder;
+use pi_planner::{execute, Plan, QueryEngine};
+
+fn config() -> AdvisorConfig {
+    AdvisorConfig {
+        recompute_margin: 0.05,
+        drop_window: 3,
+        ..AdvisorConfig::default()
+    }
+}
+
+/// Sorted distinct over the advised column: deterministic output, and
+/// its Distinct-over-Scan root is exactly what the query log records.
+fn workload_query() -> Plan {
+    Plan::scan(vec![DriftSpec::VAL_COL]).distinct(vec![0]).sort(vec![(0, SortOrder::Asc)])
+}
+
+fn apply(it: &mut IndexedTable, op: &DriftOp) {
+    match op {
+        DriftOp::Insert(rows) => {
+            it.insert(rows);
+        }
+        DriftOp::Modify { pid, rids, col, values } => {
+            it.modify(*pid, rids, *col, values);
+        }
+        DriftOp::Query => {}
+    }
+}
+
+/// Advisor-managed result vs the manually-managed reference, byte for
+/// byte (both run through the same facade).
+fn assert_identical(advised: &mut IndexedTable, manual: &mut IndexedTable, at: &str) {
+    let q = workload_query();
+    let a = advised.query(&q);
+    let m = manual.query(&q);
+    assert_eq!(a.len(), m.len(), "{at}: row counts diverged");
+    assert_eq!(a.column(0).as_int(), m.column(0).as_int(), "{at}: results diverged");
+    // And both agree with the index-free ground truth.
+    let reference = execute(&q, manual.table(), &[]);
+    assert_eq!(a.column(0).as_int(), reference.column(0).as_int(), "{at}: wrong results");
+}
+
+#[test]
+fn full_lifecycle_on_a_drifting_workload() {
+    let spec = DriftSpec::new(6_000);
+    let mut advised = IndexedTable::new(spec.base_table());
+    let mut manual = IndexedTable::new(spec.base_table());
+    let mut advisor = Advisor::new(config());
+    let mut actions: Vec<AdvisorAction> = Vec::new();
+    let phases = spec.phases();
+
+    // ---- phase 1: grow — the advisor must create the index -------------
+    let grow = &phases[0];
+    for op in &grow.ops {
+        apply(&mut advised, op);
+        apply(&mut manual, op);
+        if matches!(op, DriftOp::Query) {
+            assert_identical(&mut advised, &mut manual, "grow");
+            actions.extend(advisor.step(&mut advised));
+        }
+    }
+    let created: Vec<&AdvisorAction> = actions
+        .iter()
+        .filter(|a| matches!(a, AdvisorAction::Created { .. }))
+        .collect();
+    assert_eq!(created.len(), 1, "exactly one auto-create expected: {actions:?}");
+    let AdvisorAction::Created { column, constraint, sampled_e, discovered_e, .. } = created[0]
+    else {
+        unreachable!()
+    };
+    assert_eq!(*column, DriftSpec::VAL_COL);
+    assert_eq!(*constraint, Constraint::NearlyUnique);
+    assert!(*sampled_e >= config().create_threshold);
+    assert!(*discovered_e > 0.99, "grow-phase data is unique");
+    assert_eq!(advised.indexes().len(), 1);
+    // The index wins the workload query: the facade binds it.
+    assert!(
+        advised.plan_query(&workload_query()).to_string().contains("PatchScan"),
+        "the created index must be chosen by the optimizer"
+    );
+    // Manual management mirrors the advisor's decision.
+    manual.add_index(DriftSpec::VAL_COL, Constraint::NearlyUnique, Design::Identifier);
+    assert_identical(&mut advised, &mut manual, "post-create");
+
+    // ---- phase 2: drift — recompute must restore e ---------------------
+    let e_at_create = advised.index(0).match_fraction();
+    let drift = &phases[1];
+    let mut drifted_to: Option<f64> = None;
+    let before = actions.len();
+    for op in &drift.ops {
+        apply(&mut advised, op);
+        apply(&mut manual, op);
+        if matches!(op, DriftOp::Query) {
+            let e_now = advised.index(0).match_fraction();
+            drifted_to = Some(drifted_to.map_or(e_now, |d: f64| d.min(e_now)));
+            let new = advisor.step(&mut advised);
+            // Mirror every advisor recompute on the manual table.
+            for a in &new {
+                if matches!(a, AdvisorAction::Recomputed { .. }) {
+                    manual.recompute_index(0);
+                }
+            }
+            actions.extend(new);
+            assert_identical(&mut advised, &mut manual, "drift");
+        }
+    }
+    let recomputes: Vec<&AdvisorAction> = actions[before..]
+        .iter()
+        .filter(|a| matches!(a, AdvisorAction::Recomputed { .. }))
+        .collect();
+    assert!(!recomputes.is_empty(), "drift must trigger a recompute: {actions:?}");
+    for r in &recomputes {
+        let AdvisorAction::Recomputed { e_before, e_after, baseline_e, .. } = r else {
+            unreachable!()
+        };
+        assert!(
+            baseline_e - e_before > config().recompute_margin,
+            "recompute fired before the margin: {r:?}"
+        );
+        assert!(e_after > e_before, "recompute must improve e: {r:?}");
+        assert!(
+            e_after - e_at_create > -0.01,
+            "recompute must restore e to near create-time levels: {r:?}"
+        );
+    }
+    assert!(
+        drifted_to.unwrap() < e_at_create - config().recompute_margin,
+        "the workload must actually have drifted"
+    );
+
+    // ---- phase 3: storm — maintenance domination must drop -------------
+    let before = actions.len();
+    let storm = &phases[2];
+    for op in &storm.ops {
+        apply(&mut advised, op);
+        apply(&mut manual, op);
+        actions.extend(advisor.step(&mut advised));
+    }
+    let drops: Vec<&AdvisorAction> = actions[before..]
+        .iter()
+        .filter(|a| matches!(a, AdvisorAction::Dropped { .. }))
+        .collect();
+    assert_eq!(drops.len(), 1, "the storm must drop the index once: {actions:?}");
+    let AdvisorAction::Dropped { reason, maintenance_cost, query_benefit, .. } = drops[0] else {
+        unreachable!()
+    };
+    assert_eq!(*reason, DropReason::CostDominated);
+    assert!(maintenance_cost > query_benefit);
+    assert!(advised.indexes().is_empty(), "no index must survive the storm");
+    assert!(
+        !actions[before..].iter().any(|a| matches!(a, AdvisorAction::Created { .. })),
+        "a dropped index must not oscillate back without fresh query evidence"
+    );
+    // Mirror the drop and compare end state.
+    manual.drop_index(0);
+    assert_identical(&mut advised, &mut manual, "post-drop");
+    advised.check_consistency();
+    manual.check_consistency();
+}
+
+/// The piggybacked form ([`pi_advisor::AdvisedTable`]) reaches the same
+/// end state as on-demand stepping: driving the same workload through
+/// the wrapper creates, recomputes and eventually drops without any
+/// explicit `step()` call.
+#[test]
+fn advised_table_runs_the_lifecycle_hands_free() {
+    let spec = DriftSpec::new(6_000);
+    let cfg = AdvisorConfig {
+        step_every: 1, // phases apply one statement per batch
+        ..config()
+    };
+    let mut at = pi_advisor::AdvisedTable::new(IndexedTable::new(spec.base_table()), cfg);
+    let q = workload_query();
+    for phase in spec.phases() {
+        for op in &phase.ops {
+            match op {
+                DriftOp::Insert(rows) => {
+                    at.insert(rows);
+                }
+                DriftOp::Modify { pid, rids, col, values } => {
+                    at.modify(*pid, rids, *col, values);
+                }
+                DriftOp::Query => {
+                    let got = at.query(&q);
+                    let reference = execute(&q, at.inner().table(), &[]);
+                    assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
+                }
+            }
+        }
+    }
+    let kinds: Vec<&str> = at
+        .actions()
+        .iter()
+        .map(|a| match a {
+            AdvisorAction::Created { .. } => "create",
+            AdvisorAction::Recomputed { .. } => "recompute",
+            AdvisorAction::Dropped { .. } => "drop",
+        })
+        .collect();
+    assert!(kinds.contains(&"create"), "{kinds:?}");
+    assert!(kinds.contains(&"recompute"), "{kinds:?}");
+    assert!(kinds.contains(&"drop"), "{kinds:?}");
+    at.inner().check_consistency();
+}
