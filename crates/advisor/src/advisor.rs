@@ -86,13 +86,23 @@ impl AdvisorAction {
     }
 }
 
+/// One step's deltas of the cumulative per-index counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct WindowSample {
+    maintained: u64,
+    saved: f64,
+    actual_micros: f64,
+    est_cost_executed: f64,
+}
+
 /// Sliding-window state per (column, constraint).
 #[derive(Debug, Default)]
 struct Window {
-    /// Per-step deltas of (maintained rows, est cost saved).
-    samples: VecDeque<(u64, f64)>,
+    samples: VecDeque<WindowSample>,
     last_maintained: u64,
     last_saved: f64,
+    last_actual_micros: f64,
+    last_est_cost_executed: f64,
 }
 
 /// The self-tuning index-lifecycle advisor.
@@ -116,7 +126,10 @@ pub struct Advisor {
 impl Advisor {
     /// An advisor with the given configuration.
     pub fn new(cfg: AdvisorConfig) -> Self {
-        Advisor { cfg, ..Advisor::default() }
+        Advisor {
+            cfg,
+            ..Advisor::default()
+        }
     }
 
     /// The active configuration.
@@ -134,6 +147,20 @@ impl Advisor {
         self.step(it)
     }
 
+    /// Runs one advisor cycle against the snapshot/writer split of
+    /// [`patchindex::snapshot`]: reader-reported workload evidence is
+    /// absorbed from the sink first, the observe → decide → act loop runs
+    /// against the writer's staging state (create / recompute / drop all
+    /// execute off the read path), and the result is published as a new
+    /// epoch — concurrent readers keep querying their snapshots the whole
+    /// time and pick the advised state up at their next snapshot pull.
+    pub fn step_writer(&mut self, writer: &mut patchindex::TableWriter) -> Vec<AdvisorAction> {
+        writer.absorb_feedback();
+        let actions = self.step(writer.staging_mut());
+        writer.publish();
+        actions
+    }
+
     /// Runs one observe → decide → act cycle and returns the executed
     /// actions.
     pub fn step(&mut self, it: &mut IndexedTable) -> Vec<AdvisorAction> {
@@ -148,8 +175,7 @@ impl Advisor {
         for slot in 0..it.indexes().len() {
             let idx = it.index(slot);
             if idx.has_pending()
-                && idx.baseline().match_fraction - idx.match_fraction()
-                    > self.cfg.recompute_margin
+                && idx.baseline().match_fraction - idx.match_fraction() > self.cfg.recompute_margin
             {
                 it.flush_index(slot);
             }
@@ -171,20 +197,26 @@ impl Advisor {
             let key = (idx.column(), idx.constraint());
             live.push(key);
             let maintained = idx.maintenance_stats().maintained_rows;
-            let saved = idx.query_feedback().est_cost_saved;
+            let feedback = idx.query_feedback();
             let window = self.windows.entry(key).or_insert_with(|| Window {
                 // First sight: anchor at the current counters so
                 // pre-advisor history does not flood the first window.
                 samples: VecDeque::new(),
                 last_maintained: maintained,
-                last_saved: saved,
+                last_saved: feedback.est_cost_saved,
+                last_actual_micros: feedback.actual_micros,
+                last_est_cost_executed: feedback.est_cost_executed,
             });
-            window.samples.push_back((
-                maintained - window.last_maintained,
-                saved - window.last_saved,
-            ));
+            window.samples.push_back(WindowSample {
+                maintained: maintained - window.last_maintained,
+                saved: feedback.est_cost_saved - window.last_saved,
+                actual_micros: feedback.actual_micros - window.last_actual_micros,
+                est_cost_executed: feedback.est_cost_executed - window.last_est_cost_executed,
+            });
             window.last_maintained = maintained;
-            window.last_saved = saved;
+            window.last_saved = feedback.est_cost_saved;
+            window.last_actual_micros = feedback.actual_micros;
+            window.last_est_cost_executed = feedback.est_cost_executed;
             while window.samples.len() > self.cfg.drop_window {
                 window.samples.pop_front();
             }
@@ -195,8 +227,10 @@ impl Advisor {
                 e: idx.match_fraction(),
                 baseline_e: idx.baseline().match_fraction,
                 memory_bytes: idx.memory_bytes(),
-                window_maintained_rows: window.samples.iter().map(|&(m, _)| m).sum(),
-                window_cost_saved: window.samples.iter().map(|&(_, s)| s).sum(),
+                window_maintained_rows: window.samples.iter().map(|s| s.maintained).sum(),
+                window_cost_saved: window.samples.iter().map(|s| s.saved).sum(),
+                window_actual_micros: window.samples.iter().map(|s| s.actual_micros).sum(),
+                window_est_cost_executed: window.samples.iter().map(|s| s.est_cost_executed).sum(),
                 window_full: window.samples.len() >= self.cfg.drop_window,
             });
         }
@@ -237,15 +271,19 @@ impl Advisor {
                 .iter()
                 .filter_map(|&c| it.sampled_match(col, c).map(|e| (c, e)))
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-            let Some((constraint, sampled_e)) = best else { continue };
+            let Some((constraint, sampled_e)) = best else {
+                continue;
+            };
             let exception_rate = 1.0 - sampled_e;
             let (design, projected_bytes) = if exception_rate > design_crossover_rate() {
                 (Design::Bitmap, pi_bitmap_bytes(rows) as usize)
             } else {
-                (Design::Identifier, pi_identifier_bytes(exception_rate, rows) as usize)
+                (
+                    Design::Identifier,
+                    pi_identifier_bytes(exception_rate, rows) as usize,
+                )
             };
-            let est_benefit_per_query =
-                hypothetical_benefit(it, col, constraint, sampled_e, shape);
+            let est_benefit_per_query = hypothetical_benefit(it, col, constraint, sampled_e, shape);
             candidates.push(CandidateObservation {
                 column: col,
                 constraint,
@@ -256,7 +294,10 @@ impl Advisor {
                 est_benefit_per_query,
             });
         }
-        Observation { indexes, candidates }
+        Observation {
+            indexes,
+            candidates,
+        }
     }
 
     /// Executes the decisions: recomputes (snapshot slots still valid),
@@ -264,7 +305,12 @@ impl Advisor {
     fn act(&mut self, it: &mut IndexedTable, decisions: Vec<Decision>) -> Vec<AdvisorAction> {
         let mut actions = Vec::new();
         for d in &decisions {
-            if let Decision::Recompute { slot, e, baseline_e } = *d {
+            if let Decision::Recompute {
+                slot,
+                e,
+                baseline_e,
+            } = *d
+            {
                 it.recompute_index(slot);
                 actions.push(AdvisorAction::Recomputed {
                     slot,
@@ -277,16 +323,20 @@ impl Advisor {
         let mut drops: Vec<(usize, DropReason, f64, f64)> = decisions
             .iter()
             .filter_map(|d| match *d {
-                Decision::Drop { slot, reason, maintenance_cost, query_benefit } => {
-                    Some((slot, reason, maintenance_cost, query_benefit))
-                }
+                Decision::Drop {
+                    slot,
+                    reason,
+                    maintenance_cost,
+                    query_benefit,
+                } => Some((slot, reason, maintenance_cost, query_benefit)),
                 _ => None,
             })
             .collect();
         drops.sort_by_key(|d| std::cmp::Reverse(d.0)); // descending: removal shifts later slots
         for (slot, reason, maintenance_cost, query_benefit) in drops {
             let dropped = it.drop_index(slot);
-            self.windows.remove(&(dropped.column(), dropped.constraint()));
+            self.windows
+                .remove(&(dropped.column(), dropped.constraint()));
             actions.push(AdvisorAction::Dropped {
                 column: dropped.column(),
                 constraint: dropped.constraint(),
@@ -296,7 +346,13 @@ impl Advisor {
             });
         }
         for d in decisions {
-            if let Decision::Create { column, constraint, design, sampled_e } = d {
+            if let Decision::Create {
+                column,
+                constraint,
+                design,
+                sampled_e,
+            } = d
+            {
                 let slot = it.add_index(column, constraint, design);
                 self.windows.insert((column, constraint), Window::default());
                 actions.push(AdvisorAction::Created {
@@ -325,8 +381,12 @@ fn hypothetical_benefit(
     sampled_e: f64,
     shape: QueryShape,
 ) -> f64 {
-    let part_rows: Vec<u64> =
-        it.table().partitions().iter().map(|p| p.visible_len() as u64).collect();
+    let part_rows: Vec<u64> = it
+        .table()
+        .partitions()
+        .iter()
+        .map(|p| p.visible_len() as u64)
+        .collect();
     let parts: Vec<PartitionStats> = part_rows
         .iter()
         .map(|&rows| PartitionStats {
@@ -349,15 +409,26 @@ fn hypothetical_benefit(
         memory_bytes: 0,
         feedback: QueryFeedback::default(),
     };
-    let cat = IndexCatalog { part_rows, indexes: vec![entry] };
+    let cat = IndexCatalog {
+        part_rows,
+        indexes: vec![entry],
+    };
     let reference = match shape {
-        QueryShape::Distinct => Plan::Scan { cols: vec![col], filter: None }.distinct(vec![0]),
+        QueryShape::Distinct => Plan::Scan {
+            cols: vec![col],
+            filter: None,
+        }
+        .distinct(vec![0]),
         QueryShape::Sort(dir) => {
             let order = match dir {
                 SortDir::Asc => SortOrder::Asc,
                 SortDir::Desc => SortOrder::Desc,
             };
-            Plan::Scan { cols: vec![col], filter: None }.sort(vec![(0, order)])
+            Plan::Scan {
+                cols: vec![col],
+                filter: None,
+            }
+            .sort(vec![(0, order)])
         }
     };
     let rewritten = rewrite(reference.clone(), &cat.indexes[0]);
@@ -382,7 +453,11 @@ impl AdvisedTable {
         if !inner.sampling_enabled() {
             inner.enable_discovery_sampling(cfg.sample_cap);
         }
-        AdvisedTable { inner, advisor: Advisor::new(cfg), actions: Vec::new() }
+        AdvisedTable {
+            inner,
+            advisor: Advisor::new(cfg),
+            actions: Vec::new(),
+        }
     }
 
     /// Inserts rows, then possibly steps the advisor.
@@ -393,13 +468,7 @@ impl AdvisedTable {
     }
 
     /// Modifies rows, then possibly steps the advisor.
-    pub fn modify(
-        &mut self,
-        pid: usize,
-        rids: &[usize],
-        col: usize,
-        values: &[pi_storage::Value],
-    ) {
+    pub fn modify(&mut self, pid: usize, rids: &[usize], col: usize, values: &[pi_storage::Value]) {
         self.inner.modify(pid, rids, col, values);
         self.advise();
     }

@@ -84,7 +84,10 @@ mod tests {
         );
         for (pid, chunk) in vals.chunks(vals.len().div_ceil(parts)).enumerate() {
             let keys: Vec<i64> = (0..chunk.len() as i64).collect();
-            t.load_partition(pid, &[ColumnData::Int(keys), ColumnData::Int(chunk.to_vec())]);
+            t.load_partition(
+                pid,
+                &[ColumnData::Int(keys), ColumnData::Int(chunk.to_vec())],
+            );
         }
         t.propagate_all();
         IndexedTable::new(t)
@@ -105,11 +108,18 @@ mod tests {
         assert!(
             matches!(
                 actions[..],
-                [AdvisorAction::Created { column: 1, constraint: Constraint::NearlyUnique, .. }]
+                [AdvisorAction::Created {
+                    column: 1,
+                    constraint: Constraint::NearlyUnique,
+                    ..
+                }]
             ),
             "{actions:?}"
         );
-        assert!(advisor.step(&mut it).is_empty(), "already served: no re-create");
+        assert!(
+            advisor.step(&mut it).is_empty(),
+            "already served: no re-create"
+        );
     }
 
     #[test]
@@ -150,7 +160,10 @@ mod tests {
     fn advised_table_piggybacks_on_the_update_path() {
         let mut at = AdvisedTable::new(
             table((0..1_000).collect(), 2),
-            AdvisorConfig { step_every: 4, ..AdvisorConfig::default() },
+            AdvisorConfig {
+                step_every: 4,
+                ..AdvisorConfig::default()
+            },
         );
         let q = Plan::scan(vec![1]).distinct(vec![0]);
         for _ in 0..3 {
@@ -173,14 +186,17 @@ mod tests {
     fn advisor_steps_leave_deferred_work_batched() {
         use patchindex::{MaintenanceMode, MaintenancePolicy};
         let mut it = table((0..1_000).collect(), 2).with_policy(MaintenancePolicy {
-            mode: MaintenanceMode::Deferred { flush_rows: usize::MAX },
+            mode: MaintenanceMode::Deferred {
+                flush_rows: usize::MAX,
+            },
             ..MaintenancePolicy::default()
         });
         it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
         // Stage a handful of unique inserts: conservative patches keep
         // the apparent drift well under the margin.
-        let rows: Vec<Vec<Value>> =
-            (0..30).map(|i| vec![Value::Int(5_000 + i), Value::Int(100_000 + i)]).collect();
+        let rows: Vec<Vec<Value>> = (0..30)
+            .map(|i| vec![Value::Int(5_000 + i), Value::Int(100_000 + i)])
+            .collect();
         it.insert(&rows);
         assert!(it.pending_rows() > 0);
         let mut advisor = Advisor::new(AdvisorConfig::default());
@@ -191,11 +207,16 @@ mod tests {
         );
         // Past the margin the step flushes (and recomputes on exact
         // counts if the real drift still crosses it).
-        let dups: Vec<Vec<Value>> =
-            (0..300).map(|i| vec![Value::Int(9_000 + i), Value::Int(i)]).collect();
+        let dups: Vec<Vec<Value>> = (0..300)
+            .map(|i| vec![Value::Int(9_000 + i), Value::Int(i)])
+            .collect();
         it.insert(&dups);
         advisor.step(&mut it);
-        assert_eq!(it.pending_rows(), 0, "crossing the margin must flush for exactness");
+        assert_eq!(
+            it.pending_rows(),
+            0,
+            "crossing the margin must flush for exactness"
+        );
         it.check_consistency();
     }
 
@@ -205,8 +226,9 @@ mod tests {
         let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
         // Plant duplicates, then move them away again: the patches stay
         // (eager maintenance never un-patches) — pure lost optimality.
-        let rows: Vec<Vec<Value>> =
-            (0..300).map(|i| vec![Value::Int(2_000 + i), Value::Int(i)]).collect();
+        let rows: Vec<Vec<Value>> = (0..300)
+            .map(|i| vec![Value::Int(2_000 + i), Value::Int(i)])
+            .collect();
         it.insert(&rows);
         let pid = 0;
         let plen = it.table().partition(pid).visible_len();
@@ -230,7 +252,10 @@ mod tests {
     fn unqueried_index_under_update_pressure_is_dropped() {
         let mut it = table((0..1_000).collect(), 1);
         it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
-        let cfg = AdvisorConfig { drop_window: 2, ..AdvisorConfig::default() };
+        let cfg = AdvisorConfig {
+            drop_window: 2,
+            ..AdvisorConfig::default()
+        };
         let mut advisor = Advisor::new(cfg);
         let mut key = 10_000i64;
         for step in 0..3 {
@@ -246,7 +271,10 @@ mod tests {
                 assert!(
                     matches!(
                         actions[..],
-                        [AdvisorAction::Dropped { reason: DropReason::CostDominated, .. }]
+                        [AdvisorAction::Dropped {
+                            reason: DropReason::CostDominated,
+                            ..
+                        }]
                     ),
                     "step {step}: {actions:?}"
                 );

@@ -37,6 +37,15 @@ pub struct AdvisorConfig {
     /// Cost of maintaining one row-event, in planner cost units (the
     /// same currency as the engine's estimated-cost-saved feedback).
     pub maintenance_cost_per_row: f64,
+    /// Measured wall-clock cost of maintaining one row-event, in
+    /// microseconds. When positive *and* the window holds measured query
+    /// executions, the drop rule switches to wall-clock currency: it
+    /// compares `maintained rows × this` against the windowed estimated
+    /// savings converted to microseconds through the index's own
+    /// measured calibration (actual micros per estimated cost unit) —
+    /// grounding the keep/drop decision in real timings instead of raw
+    /// cost-model units. `0.0` (the default) keeps the cost-unit rule.
+    pub maintenance_micros_per_row: f64,
     /// Reservoir capacity per sampled column.
     pub sample_cap: usize,
     /// Update statements between piggybacked advisor steps
@@ -53,6 +62,7 @@ impl Default for AdvisorConfig {
             drop_window: 4,
             memory_budget_bytes: usize::MAX,
             maintenance_cost_per_row: 1.0,
+            maintenance_micros_per_row: 0.0,
             sample_cap: 1024,
             step_every: 64,
         }
@@ -78,6 +88,12 @@ pub struct IndexObservation {
     pub window_maintained_rows: u64,
     /// Estimated planner cost saved by queries within the window.
     pub window_cost_saved: f64,
+    /// Measured wall-clock micros of window queries that bound this
+    /// index (the `QueryEngine` facade times every executed query).
+    pub window_actual_micros: f64,
+    /// Estimated cost of the chosen plans behind those measured micros —
+    /// together they calibrate cost units to wall-clock.
+    pub window_est_cost_executed: f64,
     /// Whether the sliding window has accumulated `drop_window` steps.
     pub window_full: bool,
 }
@@ -86,6 +102,29 @@ impl IndexObservation {
     /// Maintenance cost over the window, in planner cost units.
     pub fn window_maintenance_cost(&self, cfg: &AdvisorConfig) -> f64 {
         self.window_maintained_rows as f64 * cfg.maintenance_cost_per_row
+    }
+
+    /// Measured micros per estimated cost unit over the window, when the
+    /// window holds measured executions.
+    pub fn window_calibration(&self) -> Option<f64> {
+        (self.window_est_cost_executed > 0.0)
+            .then(|| self.window_actual_micros / self.window_est_cost_executed)
+    }
+
+    /// The drop rule's `(cost, benefit)` pair. Wall-clock currency when
+    /// [`AdvisorConfig::maintenance_micros_per_row`] is set and the
+    /// window is calibrated by measured executions; planner cost units
+    /// otherwise.
+    pub fn drop_economics(&self, cfg: &AdvisorConfig) -> (f64, f64) {
+        if cfg.maintenance_micros_per_row > 0.0 {
+            if let Some(micros_per_cost) = self.window_calibration() {
+                return (
+                    self.window_maintained_rows as f64 * cfg.maintenance_micros_per_row,
+                    self.window_cost_saved * micros_per_cost,
+                );
+            }
+        }
+        (self.window_maintenance_cost(cfg), self.window_cost_saved)
     }
 
     /// Windowed benefit per byte — the budget rule's ranking key.
@@ -184,16 +223,18 @@ pub fn decide(cfg: &AdvisorConfig, obs: &Observation) -> Vec<Decision> {
     let mut dropped = vec![false; obs.indexes.len()];
 
     // Drop rule first: an index that costs more than it helps is not
-    // worth recomputing either.
+    // worth recomputing either. The cost/benefit currency is wall-clock
+    // micros when measured timings calibrate the window (see
+    // [`IndexObservation::drop_economics`]), planner cost units otherwise.
     for (i, idx) in obs.indexes.iter().enumerate() {
-        let cost = idx.window_maintenance_cost(cfg);
-        if idx.window_full && cost > idx.window_cost_saved {
+        let (cost, benefit) = idx.drop_economics(cfg);
+        if idx.window_full && cost > benefit {
             dropped[i] = true;
             decisions.push(Decision::Drop {
                 slot: idx.slot,
                 reason: DropReason::CostDominated,
                 maintenance_cost: cost,
-                query_benefit: idx.window_cost_saved,
+                query_benefit: benefit,
             });
         }
     }
@@ -222,8 +263,11 @@ pub fn decide(cfg: &AdvisorConfig, obs: &Observation) -> Vec<Decision> {
         .iter()
         .filter(|c| c.queries >= cfg.min_queries && c.sampled_e >= cfg.create_threshold)
         .collect();
-    candidates
-        .sort_by(|a, b| b.benefit_per_byte().partial_cmp(&a.benefit_per_byte()).unwrap());
+    candidates.sort_by(|a, b| {
+        b.benefit_per_byte()
+            .partial_cmp(&a.benefit_per_byte())
+            .unwrap()
+    });
     for cand in candidates {
         if used + cand.projected_bytes > cfg.memory_budget_bytes {
             // Eviction: the strictly worst surviving index, if the
@@ -234,7 +278,9 @@ pub fn decide(cfg: &AdvisorConfig, obs: &Observation) -> Vec<Decision> {
                 .enumerate()
                 .filter(|(i, _)| !dropped[*i])
                 .min_by(|(_, a), (_, b)| {
-                    a.benefit_per_byte().partial_cmp(&b.benefit_per_byte()).unwrap()
+                    a.benefit_per_byte()
+                        .partial_cmp(&b.benefit_per_byte())
+                        .unwrap()
                 });
             match worst {
                 Some((i, idx))
@@ -301,38 +347,63 @@ mod tests {
             memory_bytes: 1_000,
             window_maintained_rows: 0,
             window_cost_saved: 0.0,
+            window_actual_micros: 0.0,
+            window_est_cost_executed: 0.0,
             window_full: false,
         }
     }
 
     fn creates(d: &[Decision]) -> usize {
-        d.iter().filter(|d| matches!(d, Decision::Create { .. })).count()
+        d.iter()
+            .filter(|d| matches!(d, Decision::Create { .. }))
+            .count()
     }
 
     #[test]
     fn create_requires_threshold_and_query_evidence() {
         // Clears both bars.
-        let obs = Observation { indexes: vec![], candidates: vec![cand(1, 0.97, 5, 100)] };
+        let obs = Observation {
+            indexes: vec![],
+            candidates: vec![cand(1, 0.97, 5, 100)],
+        };
         assert_eq!(creates(&decide(&cfg(), &obs)), 1);
         // Match fraction too low.
-        let obs = Observation { indexes: vec![], candidates: vec![cand(1, 0.5, 5, 100)] };
+        let obs = Observation {
+            indexes: vec![],
+            candidates: vec![cand(1, 0.5, 5, 100)],
+        };
         assert_eq!(creates(&decide(&cfg(), &obs)), 0);
         // Queried too rarely.
-        let obs = Observation { indexes: vec![], candidates: vec![cand(1, 0.97, 2, 100)] };
+        let obs = Observation {
+            indexes: vec![],
+            candidates: vec![cand(1, 0.97, 2, 100)],
+        };
         assert_eq!(creates(&decide(&cfg(), &obs)), 0);
     }
 
     #[test]
     fn recompute_fires_on_drift_past_the_margin() {
         // Drifted 0.15 below create-time e: beyond the 0.1 margin.
-        let obs = Observation { indexes: vec![idx(0, 0.80, 0.95)], candidates: vec![] };
+        let obs = Observation {
+            indexes: vec![idx(0, 0.80, 0.95)],
+            candidates: vec![],
+        };
         let d = decide(&cfg(), &obs);
-        assert!(matches!(d[..], [Decision::Recompute { slot: 0, .. }]), "{d:?}");
+        assert!(
+            matches!(d[..], [Decision::Recompute { slot: 0, .. }]),
+            "{d:?}"
+        );
         // Within the margin: nothing.
-        let obs = Observation { indexes: vec![idx(0, 0.90, 0.95)], candidates: vec![] };
+        let obs = Observation {
+            indexes: vec![idx(0, 0.90, 0.95)],
+            candidates: vec![],
+        };
         assert!(decide(&cfg(), &obs).is_empty());
         // A *better* e than at creation never triggers.
-        let obs = Observation { indexes: vec![idx(0, 0.99, 0.90)], candidates: vec![] };
+        let obs = Observation {
+            indexes: vec![idx(0, 0.99, 0.90)],
+            candidates: vec![],
+        };
         assert!(decide(&cfg(), &obs).is_empty());
     }
 
@@ -342,19 +413,44 @@ mod tests {
         i.window_full = true;
         i.window_maintained_rows = 10_000; // cost 10_000 × 1.0
         i.window_cost_saved = 500.0;
-        let d = decide(&cfg(), &Observation { indexes: vec![i.clone()], candidates: vec![] });
+        let d = decide(
+            &cfg(),
+            &Observation {
+                indexes: vec![i.clone()],
+                candidates: vec![],
+            },
+        );
         assert!(
-            matches!(d[..], [Decision::Drop { slot: 0, reason: DropReason::CostDominated, .. }]),
+            matches!(
+                d[..],
+                [Decision::Drop {
+                    slot: 0,
+                    reason: DropReason::CostDominated,
+                    ..
+                }]
+            ),
             "{d:?}"
         );
         // Same counters but the window is not full yet: hold fire.
         i.window_full = false;
-        let d = decide(&cfg(), &Observation { indexes: vec![i.clone()], candidates: vec![] });
+        let d = decide(
+            &cfg(),
+            &Observation {
+                indexes: vec![i.clone()],
+                candidates: vec![],
+            },
+        );
         assert!(d.is_empty());
         // Benefit exceeds cost: keep.
         i.window_full = true;
         i.window_cost_saved = 50_000.0;
-        let d = decide(&cfg(), &Observation { indexes: vec![i], candidates: vec![] });
+        let d = decide(
+            &cfg(),
+            &Observation {
+                indexes: vec![i],
+                candidates: vec![],
+            },
+        );
         assert!(d.is_empty());
     }
 
@@ -364,19 +460,97 @@ mod tests {
         i.window_full = true;
         i.window_maintained_rows = 10_000; // ...and maintenance-dominated
         i.window_cost_saved = 0.0;
-        let d = decide(&cfg(), &Observation { indexes: vec![i], candidates: vec![] });
+        let d = decide(
+            &cfg(),
+            &Observation {
+                indexes: vec![i],
+                candidates: vec![],
+            },
+        );
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(matches!(d[0], Decision::Drop { .. }));
+    }
+
+    /// With measured timings the drop rule runs in wall-clock currency:
+    /// the same estimated savings can flip the decision either way
+    /// depending on what the queries *actually* cost.
+    #[test]
+    fn measured_calibration_grounds_the_drop_rule() {
+        let mut c = cfg();
+        c.maintenance_micros_per_row = 2.0; // 10_000 rows -> 20_000 us
+        let mut i = idx(0, 0.99, 0.99);
+        i.window_full = true;
+        i.window_maintained_rows = 10_000;
+        i.window_cost_saved = 5_000.0; // cost-unit rule would keep barely…
+                                       // …but measured: est cost 1_000 units took only 1_000 us -> one
+                                       // micro per unit -> benefit 5_000 us < 20_000 us maintenance.
+        i.window_actual_micros = 1_000.0;
+        i.window_est_cost_executed = 1_000.0;
+        let d = decide(
+            &c,
+            &Observation {
+                indexes: vec![i.clone()],
+                candidates: vec![],
+            },
+        );
+        assert!(
+            matches!(
+                d[..],
+                [Decision::Drop {
+                    reason: DropReason::CostDominated,
+                    ..
+                }]
+            ),
+            "{d:?}"
+        );
+        // Queries that ran 10x slower per cost unit (10 us/unit) make the
+        // index worth its maintenance: benefit 50_000 us > 20_000 us.
+        i.window_actual_micros = 10_000.0;
+        let d = decide(
+            &c,
+            &Observation {
+                indexes: vec![i.clone()],
+                candidates: vec![],
+            },
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // No measured executions in the window: fall back to cost units
+        // (5_000 saved < 10_000 maintained -> drop under the old rule).
+        i.window_actual_micros = 0.0;
+        i.window_est_cost_executed = 0.0;
+        let d = decide(
+            &c,
+            &Observation {
+                indexes: vec![i],
+                candidates: vec![],
+            },
+        );
+        assert!(matches!(d[..], [Decision::Drop { .. }]), "{d:?}");
+    }
+
+    #[test]
+    fn calibration_is_reported_per_window() {
+        let mut i = idx(0, 0.99, 0.99);
+        assert_eq!(i.window_calibration(), None);
+        i.window_actual_micros = 500.0;
+        i.window_est_cost_executed = 2_000.0;
+        assert_eq!(i.window_calibration(), Some(0.25));
     }
 
     #[test]
     fn budget_blocks_candidates_that_do_not_fit() {
         let mut c = cfg();
         c.memory_budget_bytes = 1_000;
-        let obs = Observation { indexes: vec![], candidates: vec![cand(1, 0.99, 9, 2_000)] };
+        let obs = Observation {
+            indexes: vec![],
+            candidates: vec![cand(1, 0.99, 9, 2_000)],
+        };
         assert_eq!(creates(&decide(&c, &obs)), 0);
         // Fits exactly: admitted.
-        let obs = Observation { indexes: vec![], candidates: vec![cand(1, 0.99, 9, 1_000)] };
+        let obs = Observation {
+            indexes: vec![],
+            candidates: vec![cand(1, 0.99, 9, 1_000)],
+        };
         assert_eq!(creates(&decide(&c, &obs)), 1);
     }
 
@@ -398,7 +572,11 @@ mod tests {
             matches!(
                 d[..],
                 [
-                    Decision::Drop { slot: 0, reason: DropReason::BudgetEvicted, .. },
+                    Decision::Drop {
+                        slot: 0,
+                        reason: DropReason::BudgetEvicted,
+                        ..
+                    },
                     Decision::Create { column: 1, .. }
                 ]
             ),
@@ -427,7 +605,10 @@ mod tests {
         // smaller candidate must win.
         let strong = cand(1, 0.99, 50, 800);
         let weak = cand(2, 0.99, 5, 800);
-        let obs = Observation { indexes: vec![], candidates: vec![weak, strong] };
+        let obs = Observation {
+            indexes: vec![],
+            candidates: vec![weak, strong],
+        };
         let d = decide(&c, &obs);
         assert_eq!(creates(&d), 1);
         assert!(matches!(

@@ -29,10 +29,18 @@ impl JoinIndex {
             let keys = p.read_range(&[fact_key], 0, n);
             let keys = keys[0].as_int();
             keys.iter()
-                .map(|k| *lookup.get(k).unwrap_or_else(|| panic!("dangling foreign key {k}")))
+                .map(|k| {
+                    *lookup
+                        .get(k)
+                        .unwrap_or_else(|| panic!("dangling foreign key {k}"))
+                })
                 .collect::<Vec<(u32, u32)>>()
         });
-        JoinIndex { fact_key, dim_key, partners }
+        JoinIndex {
+            fact_key,
+            dim_key,
+            partners,
+        }
     }
 
     fn dim_lookup(dim: &Table, dim_key: usize) -> IntMap<(u32, u32)> {
@@ -74,8 +82,10 @@ impl JoinIndex {
     ) -> Vec<ColumnData> {
         // Group fact rows by dimension partition, gather, then restitch.
         // Prototypes share the dimension table's dictionaries.
-        let mut out: Vec<ColumnData> =
-            dim_cols.iter().map(|&c| dim.partition(0).base_column(c).empty_like()).collect();
+        let mut out: Vec<ColumnData> = dim_cols
+            .iter()
+            .map(|&c| dim.partition(0).base_column(c).empty_like())
+            .collect();
         for &rid in fact_rids {
             let (dp, dr) = self.partner(fact_pid, rid);
             let p = dim.partition(dp);
@@ -89,14 +99,25 @@ impl JoinIndex {
     /// Maintains the index after fact inserts: look up partners of the new
     /// rows only (handled through the in-memory delta like the paper's
     /// PDT-based maintenance).
-    pub fn handle_fact_insert(&mut self, fact: &Table, dim: &Table, inserted: &[pi_storage::RowAddr]) {
+    pub fn handle_fact_insert(
+        &mut self,
+        fact: &Table,
+        dim: &Table,
+        inserted: &[pi_storage::RowAddr],
+    ) {
         let lookup = Self::dim_lookup(dim, self.dim_key);
         for addr in inserted {
             let p = fact.partition(addr.partition);
             let k = p.value_at(self.fact_key, addr.rid).as_int();
-            let partner = *lookup.get(&k).unwrap_or_else(|| panic!("dangling foreign key {k}"));
+            let partner = *lookup
+                .get(&k)
+                .unwrap_or_else(|| panic!("dangling foreign key {k}"));
             let col = &mut self.partners[addr.partition];
-            assert_eq!(col.len(), addr.rid, "insert handling must follow the insert");
+            assert_eq!(
+                col.len(),
+                addr.rid,
+                "insert handling must follow the insert"
+            );
             col.push(partner);
         }
     }

@@ -119,7 +119,10 @@ impl SortKeyTable {
         for pid in 0..self.table.partition_count() {
             let p = self.table.partition(pid);
             if let ColumnData::Int(v) = p.base_column(self.column) {
-                assert!(v.windows(2).all(|w| w[0] <= w[1]), "partition {pid} unsorted");
+                assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "partition {pid} unsorted"
+                );
             }
         }
     }
@@ -140,8 +143,17 @@ mod tests {
             2,
             Partitioning::RoundRobin,
         );
-        t.load_partition(0, &[ColumnData::Int(vec![3, 1, 2]), ColumnData::Int(vec![30, 10, 20])]);
-        t.load_partition(1, &[ColumnData::Int(vec![9, 7]), ColumnData::Int(vec![90, 70])]);
+        t.load_partition(
+            0,
+            &[
+                ColumnData::Int(vec![3, 1, 2]),
+                ColumnData::Int(vec![30, 10, 20]),
+            ],
+        );
+        t.load_partition(
+            1,
+            &[ColumnData::Int(vec![9, 7]), ColumnData::Int(vec![90, 70])],
+        );
         t.propagate_all();
         t
     }

@@ -60,16 +60,10 @@ fn bench_single_delete(c: &mut Criterion) {
     let mut g = c.benchmark_group("single_delete");
     g.sample_size(10);
     g.bench_function("plain", |b| {
-        b.iter_with_setup(
-            || PlainBitmap::new(BITS),
-            |mut bm| bm.delete(0),
-        )
+        b.iter_with_setup(|| PlainBitmap::new(BITS), |mut bm| bm.delete(0))
     });
     g.bench_function("sharded", |b| {
-        b.iter_with_setup(
-            || ShardedBitmap::new(BITS),
-            |mut bm| bm.delete(0),
-        )
+        b.iter_with_setup(|| ShardedBitmap::new(BITS), |mut bm| bm.delete(0))
     });
     g.finish();
 }

@@ -74,7 +74,9 @@ fn bench_creation(c: &mut Criterion) {
             )
         })
     });
-    g.bench_function("matview", |b| b.iter(|| DistinctView::create(&ds.table, microq::VAL_COL)));
+    g.bench_function("matview", |b| {
+        b.iter(|| DistinctView::create(&ds.table, microq::VAL_COL))
+    });
     g.finish();
 }
 
@@ -124,5 +126,11 @@ fn bench_updates_drp(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_distinct, bench_sort, bench_creation, bench_updates_drp);
+criterion_group!(
+    benches,
+    bench_distinct,
+    bench_sort,
+    bench_creation,
+    bench_updates_drp
+);
 criterion_main!(benches);

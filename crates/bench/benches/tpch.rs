@@ -5,8 +5,7 @@ use patchindex::{Constraint, Design, PatchIndex, SortDir};
 use pi_baselines::JoinIndex;
 use pi_tpch::{cols, generate, QueryVariant, TpchDb, TpchSpec};
 
-type QueryFn =
-    fn(&TpchDb, QueryVariant, Option<&PatchIndex>, Option<&JoinIndex>) -> pi_exec::Batch;
+type QueryFn = fn(&TpchDb, QueryVariant, Option<&PatchIndex>, Option<&JoinIndex>) -> pi_exec::Batch;
 
 fn bench_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
@@ -19,10 +18,12 @@ fn bench_queries(c: &mut Criterion) {
             Constraint::NearlySorted(SortDir::Asc),
             Design::Bitmap,
         );
-        let ji =
-            JoinIndex::create(&db.lineitem, cols::L_ORDERKEY, &db.orders, cols::O_ORDERKEY);
-        let queries: [(&str, QueryFn); 3] =
-            [("q3", pi_tpch::q3), ("q7", pi_tpch::q7), ("q12", pi_tpch::q12)];
+        let ji = JoinIndex::create(&db.lineitem, cols::L_ORDERKEY, &db.orders, cols::O_ORDERKEY);
+        let queries: [(&str, QueryFn); 3] = [
+            ("q3", pi_tpch::q3),
+            ("q7", pi_tpch::q7),
+            ("q12", pi_tpch::q12),
+        ];
         for (qname, q) in queries {
             g.bench_with_input(
                 BenchmarkId::new(format!("{qname}/reference"), e),
@@ -38,9 +39,7 @@ fn bench_queries(c: &mut Criterion) {
                 g.bench_with_input(
                     BenchmarkId::new(format!("{qname}/patchindex_zbp"), e),
                     &e,
-                    |b, _| {
-                        b.iter(|| q(&db, QueryVariant::PatchIndexZbp, Some(&pi), None).len())
-                    },
+                    |b, _| b.iter(|| q(&db, QueryVariant::PatchIndexZbp, Some(&pi), None).len()),
                 );
                 g.bench_with_input(
                     BenchmarkId::new(format!("{qname}/joinindex"), e),

@@ -15,8 +15,8 @@ use std::time::Duration;
 use patchindex::{stats, Constraint, Design, PatchIndex, SortDir};
 use pi_baselines::{DistinctView, JoinIndex, SortKeyTable};
 use pi_bitmap::{BulkDeleteMode, PlainBitmap, ShardedBitmap};
-use pi_datagen::{generate, update_rows, MicroKind, MicroSpec};
 use pi_datagen::publicbi::{self, ColumnKind};
+use pi_datagen::{generate, update_rows, MicroKind, MicroSpec};
 use pi_storage::Value;
 use pi_tpch::{cols, QueryVariant, TpchSpec};
 use rand::rngs::SmallRng;
@@ -26,11 +26,17 @@ use crate::microq;
 use crate::timing::{fmt_duration, time_best, time_once, TablePrinter};
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Default exception-rate sweep (paper: 0..1).
@@ -48,7 +54,10 @@ pub fn fig1() -> String {
     let rows = env_usize("PI_PUBLICBI_ROWS", 4_000);
     let mut out = String::from("Figure 1: approximate constraint columns per workbook\n");
     let mut table = TablePrinter::new(&[
-        "match %", "USCensus_1 (NSC)", "IGlocations2_1 (NUC)", "IUBlibrary_1 (NUC)",
+        "match %",
+        "USCensus_1 (NSC)",
+        "IGlocations2_1 (NUC)",
+        "IUBlibrary_1 (NUC)",
     ]);
     let specs = [
         publicbi::uscensus_like(rows),
@@ -64,8 +73,7 @@ pub fn fig1() -> String {
                 ColumnKind::Nsc => Constraint::NearlySorted(SortDir::Asc),
                 _ => Constraint::NearlyUnique,
             };
-            let frac =
-                patchindex::discovery::constraint_match_fraction(&values, constraint);
+            let frac = patchindex::discovery::constraint_match_fraction(&values, constraint);
             // Only count columns that meaningfully match (>= 1%), like the
             // paper's histogram of "approximate constraint columns".
             if frac >= 0.01 {
@@ -103,7 +111,10 @@ pub fn fig6() -> String {
         bits
     );
     let mut table = TablePrinter::new(&[
-        "shard bits", "parallel [s]", "parallel+vect [s]", "mem overhead %",
+        "shard bits",
+        "parallel [s]",
+        "parallel+vect [s]",
+        "mem overhead %",
     ]);
     for log2 in 8..=19u32 {
         let shard_bits = 1usize << log2;
@@ -174,8 +185,7 @@ pub fn table2() -> String {
     // Bulk delete.
     let mut rng = SmallRng::seed_from_u64(7);
     let bulk = env_usize("PI_BULK_DELETES", 100_000);
-    let mut positions: Vec<u64> =
-        (0..bulk).map(|_| rng.gen_range(0..sharded.len())).collect();
+    let mut positions: Vec<u64> = (0..bulk).map(|_| rng.gen_range(0..sharded.len())).collect();
     positions.sort_unstable();
     positions.dedup();
     let (t_bulk, _) =
@@ -184,14 +194,26 @@ pub fn table2() -> String {
     let per = |d: Duration, n: usize| fmt_duration(d / n as u32);
     let mut out = format!("Table 2: per-element latencies ({bits} bits, shard 2^14)\n");
     let mut table = TablePrinter::new(&["operation", "Bitmap", "Sharded bitmap"]);
-    table.row(vec!["Sequential Set".into(), per(t_set_p, ops), per(t_set_s, ops)]);
-    table.row(vec!["Sequential Get".into(), per(t_get_p, ops), per(t_get_s, ops)]);
+    table.row(vec![
+        "Sequential Set".into(),
+        per(t_set_p, ops),
+        per(t_set_s, ops),
+    ]);
+    table.row(vec![
+        "Sequential Get".into(),
+        per(t_get_p, ops),
+        per(t_get_s, ops),
+    ]);
     table.row(vec![
         "Seq. Delete".into(),
         per(t_del_p, plain_deletes),
         per(t_del_s, sharded_deletes),
     ]);
-    table.row(vec!["Seq. Bulk Delete".into(), "-".into(), per(t_bulk, positions.len())]);
+    table.row(vec![
+        "Seq. Bulk Delete".into(),
+        "-".into(),
+        per(t_bulk, positions.len()),
+    ]);
     out.push_str(&table.render());
     out
 }
@@ -210,7 +232,11 @@ pub fn fig7() -> String {
         };
         out.push_str(&format!("\n{label} ({qname} query)\n"));
         let mut table = TablePrinter::new(&[
-            "e", "w/o constraint [s]", "materialization [s]", "PI_bitmap [s]", "PI_identifier [s]",
+            "e",
+            "w/o constraint [s]",
+            "materialization [s]",
+            "PI_bitmap [s]",
+            "PI_identifier [s]",
         ]);
         for &e in &E_SWEEP {
             let ds = generate(&MicroSpec::new(rows, e, kind));
@@ -301,7 +327,10 @@ pub fn fig8() -> String {
         };
         out.push_str(&format!("\n{label}\n"));
         let mut table = TablePrinter::new(&[
-            "e", "materialization [s]", "PI_bitmap [s]", "PI_identifier [s]",
+            "e",
+            "materialization [s]",
+            "PI_bitmap [s]",
+            "PI_identifier [s]",
         ]);
         for &e in &E_SWEEP {
             let ds = generate(&MicroSpec::new(rows, e, kind));
@@ -315,7 +344,12 @@ pub fn fig8() -> String {
                 }
             };
             let (t_bm, _) = time_once(|| {
-                drop(PatchIndex::create(&ds.table, microq::VAL_COL, constraint, Design::Bitmap))
+                drop(PatchIndex::create(
+                    &ds.table,
+                    microq::VAL_COL,
+                    constraint,
+                    Design::Bitmap,
+                ))
             });
             let (t_id, _) = time_once(|| {
                 drop(PatchIndex::create(
@@ -349,9 +383,8 @@ pub fn fig9() -> String {
     let rows = env_usize("PI_MICRO_ROWS", 400_000) / 4;
     let total_updates = env_usize("PI_UPDATES", 1_000);
     let grans = [5usize, 10, 50, 100, 500, 1000];
-    let mut out = format!(
-        "Figure 9: applying {total_updates} updates to an e=0.5 dataset of {rows} rows\n"
-    );
+    let mut out =
+        format!("Figure 9: applying {total_updates} updates to an e=0.5 dataset of {rows} rows\n");
     for kind in [MicroKind::Nuc, MicroKind::Nsc] {
         let label = match kind {
             MicroKind::Nuc => "NUC",
@@ -360,7 +393,10 @@ pub fn fig9() -> String {
         for op in ["INSERT", "MODIFY", "DELETE"] {
             out.push_str(&format!("\n{label} {op}\n"));
             let mut table = TablePrinter::new(&[
-                "granularity", "w/o constraint [s]", "materialization [s]", "PI_bitmap [s]",
+                "granularity",
+                "w/o constraint [s]",
+                "materialization [s]",
+                "PI_bitmap [s]",
                 "PI_identifier [s]",
             ]);
             for &g in &grans {
@@ -394,12 +430,18 @@ fn run_update_experiment(
     let mut table = ds.table;
     let constraint = microq::constraint_of(kind);
     let mut index = match config {
-        UpdateConfig::PiBitmap => {
-            Some(PatchIndex::create(&table, microq::VAL_COL, constraint, Design::Bitmap))
-        }
-        UpdateConfig::PiIdentifier => {
-            Some(PatchIndex::create(&table, microq::VAL_COL, constraint, Design::Identifier))
-        }
+        UpdateConfig::PiBitmap => Some(PatchIndex::create(
+            &table,
+            microq::VAL_COL,
+            constraint,
+            Design::Bitmap,
+        )),
+        UpdateConfig::PiIdentifier => Some(PatchIndex::create(
+            &table,
+            microq::VAL_COL,
+            constraint,
+            Design::Identifier,
+        )),
         _ => None,
     };
     let mut view = (config == UpdateConfig::Materialization && kind == MicroKind::Nuc)
@@ -427,8 +469,7 @@ fn run_update_experiment(
                 "MODIFY" => {
                     let pid = 0;
                     let plen = table.partition(pid).visible_len();
-                    let rids: Vec<usize> =
-                        (0..n).map(|_| rng.gen_range(0..plen)).collect();
+                    let rids: Vec<usize> = (0..n).map(|_| rng.gen_range(0..plen)).collect();
                     let values: Vec<Value> =
                         batch.iter().map(|r| r[microq::VAL_COL].clone()).collect();
                     table.modify(pid, &rids, microq::VAL_COL, &values);
@@ -477,7 +518,12 @@ pub fn fig10() -> String {
     let sf = env_f64("PI_TPCH_SF", 0.05);
     let mut out = format!("Figure 10: TPC-H (SF {sf})\n");
     let mut table = TablePrinter::new(&[
-        "config", "Q3 [s]", "Q7 [s]", "Q12 [s]", "Insert [s]", "Delete [s]",
+        "config",
+        "Q3 [s]",
+        "Q7 [s]",
+        "Q12 [s]",
+        "Insert [s]",
+        "Delete [s]",
     ]);
 
     // Reference + PI at each exception rate.
@@ -490,7 +536,10 @@ pub fn fig10() -> String {
         ("JoinIndex", 0.0, QueryVariant::JoinIdx),
     ] {
         let mut db = pi_tpch::generate(&TpchSpec::new(sf, e));
-        let needs_pi = matches!(variant, QueryVariant::PatchIndex | QueryVariant::PatchIndexZbp);
+        let needs_pi = matches!(
+            variant,
+            QueryVariant::PatchIndex | QueryVariant::PatchIndexZbp
+        );
         let pi = needs_pi.then(|| {
             PatchIndex::create(
                 &db.lineitem,
@@ -558,7 +607,12 @@ pub fn fig11() -> String {
 
     // Creation effort.
     let (c_pi, _) = time_once(|| {
-        drop(PatchIndex::create(&ds_nuc.table, 1, Constraint::NearlyUnique, Design::Bitmap))
+        drop(PatchIndex::create(
+            &ds_nuc.table,
+            1,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ))
     });
     let (c_mv, _) = time_once(|| drop(DistinctView::create(&ds_nuc.table, 1)));
     let (c_sk, _) = time_once(|| drop(SortKeyTable::create(&ds_nsc.table, 1)));
@@ -583,7 +637,10 @@ pub fn fig11() -> String {
         let x = (ours.max(best) / best).ln() / (worst / best).ln();
         (4.0 - 3.0 * x.clamp(0.0, 1.0)).round() as u32
     };
-    let c_worst = c_sk.as_secs_f64().max(c_mv.as_secs_f64()).max(c_pi.as_secs_f64());
+    let c_worst = c_sk
+        .as_secs_f64()
+        .max(c_mv.as_secs_f64())
+        .max(c_pi.as_secs_f64());
     let c_best = c_pi.as_secs_f64().min(c_mv.as_secs_f64());
 
     let mut out = String::from(
@@ -594,16 +651,24 @@ pub fn fig11() -> String {
         "PatchIndex".into(),
         score(c_pi.as_secs_f64(), c_best, c_worst).to_string(),
         score(m_pi as f64, m_pi as f64, m_mv as f64).to_string(),
-        score(t_pi.as_secs_f64(), t_pi.as_secs_f64().min(t_mv.as_secs_f64()), t_ref.as_secs_f64())
-            .to_string(),
+        score(
+            t_pi.as_secs_f64(),
+            t_pi.as_secs_f64().min(t_mv.as_secs_f64()),
+            t_ref.as_secs_f64(),
+        )
+        .to_string(),
         "4".into(), // measured in Figure 9: near-reference update cost
     ]);
     table.row(vec![
         "Mat. view".into(),
         score(c_mv.as_secs_f64(), c_best, c_worst).to_string(),
         score(m_mv as f64, m_pi as f64, m_mv as f64).to_string(),
-        score(t_mv.as_secs_f64(), t_mv.as_secs_f64().min(t_pi.as_secs_f64()), t_ref.as_secs_f64())
-            .to_string(),
+        score(
+            t_mv.as_secs_f64(),
+            t_mv.as_secs_f64().min(t_pi.as_secs_f64()),
+            t_ref.as_secs_f64(),
+        )
+        .to_string(),
         "1".into(), // full recomputation per update (Figure 9)
     ]);
     table.row(vec![
@@ -613,7 +678,13 @@ pub fn fig11() -> String {
         "3".into(),
         "1".into(),
     ]);
-    table.row(vec!["JoinIndex".into(), "2".into(), "2".into(), "4".into(), "3".into()]);
+    table.row(vec![
+        "JoinIndex".into(),
+        "2".into(),
+        "2".into(),
+        "4".into(),
+        "3".into(),
+    ]);
     out.push_str(&table.render());
     out
 }
@@ -627,20 +698,27 @@ pub fn ext() -> String {
     let rows = env_usize("PI_MICRO_ROWS", 400_000);
     let mut out = String::from("Extensions: RLE snapshots and approximate query processing\n");
     let mut table = TablePrinter::new(&[
-        "e", "dense bitmap [KB]", "RLE snapshot [KB]", "ratio", "approx COUNT DISTINCT (+/- bound)",
+        "e",
+        "dense bitmap [KB]",
+        "RLE snapshot [KB]",
+        "ratio",
+        "approx COUNT DISTINCT (+/- bound)",
     ]);
     for &e in &[0.001, 0.01, 0.1, 0.5] {
         let ds = generate(&MicroSpec::new(rows, e, MicroKind::Nuc));
-        let idx = PatchIndex::create(&ds.table, microq::VAL_COL, Constraint::NearlyUnique, Design::Bitmap);
+        let idx = PatchIndex::create(
+            &ds.table,
+            microq::VAL_COL,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        );
         // Compress every partition's bitmap snapshot.
         let mut dense = 0usize;
         let mut rle = 0usize;
         for pid in 0..idx.partition_count() {
             let part = idx.partition(pid);
-            let snapshot = pi_bitmap::RleBitmap::from_positions(
-                part.store.nrows(),
-                &part.store.patch_rids(),
-            );
+            let snapshot =
+                pi_bitmap::RleBitmap::from_positions(part.store.nrows(), &part.store.patch_rids());
             dense += part.store.memory_bytes();
             rle += snapshot.memory_bytes();
         }
@@ -661,7 +739,9 @@ pub fn ext() -> String {
         1,
         pi_storage::Partitioning::RoundRobin,
     );
-    let vals: Vec<i64> = (0..10_000).map(|i| if i % 500 == 0 { i } else { 200 }).collect();
+    let vals: Vec<i64> = (0..10_000)
+        .map(|i| if i % 500 == 0 { i } else { 200 })
+        .collect();
     t.load_partition(0, &[pi_storage::ColumnData::Int(vals)]);
     t.propagate_all();
     let ncc = PatchIndex::create(&t, 0, Constraint::NearlyConstant, Design::Identifier);
@@ -693,11 +773,11 @@ pub fn ext() -> String {
 /// `PI_PLAN_ROWS` (per partition) / `PI_PLAN_PATCHES`.
 pub fn planner() -> String {
     use patchindex::{IndexCatalog, IndexedTable};
+    use pi_exec::ops::sort::SortOrder;
     use pi_planner::{
         execute_count, execute_count_with, optimize, prune_for_partition, Plan, Pruning,
         QueryEngine,
     };
-    use pi_exec::ops::sort::SortOrder;
 
     let parts = env_usize("PI_PLAN_PARTS", 16);
     let rows = env_usize("PI_PLAN_ROWS", 50_000);
@@ -706,7 +786,10 @@ pub fn planner() -> String {
     // ---- per-partition vs global ZBP on a skewed-patch table ----------
     let mut t = pi_storage::Table::new(
         "skewed",
-        pi_storage::Schema::new(vec![pi_storage::Field::new("ts", pi_storage::DataType::Int)]),
+        pi_storage::Schema::new(vec![pi_storage::Field::new(
+            "ts",
+            pi_storage::DataType::Int,
+        )]),
         parts,
         pi_storage::Partitioning::RoundRobin,
     );
@@ -741,7 +824,11 @@ pub fn planner() -> String {
     let opt = optimize(plan.clone(), &IndexCatalog::of(&t, &indexes), true);
     // Under global pruning every partition instantiates whatever flows
     // survived plan-level ZBP.
-    let global_flow_parts = if opt.to_string().contains("use_patches") { parts } else { 0 };
+    let global_flow_parts = if opt.to_string().contains("use_patches") {
+        parts
+    } else {
+        0
+    };
     let patch_flow_parts = (0..parts)
         .filter(|&pid| {
             prune_for_partition(&opt, &t, &indexes, pid)
@@ -750,13 +837,21 @@ pub fn planner() -> String {
         })
         .count();
 
-    let expected = execute_count(&plan, &t, &[]);
-    let t_ref = time_best(3, || assert_eq!(execute_count(&plan, &t, &[]), expected));
+    let expected = execute_count(&plan, &t, pi_planner::NO_INDEXES);
+    let t_ref = time_best(3, || {
+        assert_eq!(execute_count(&plan, &t, pi_planner::NO_INDEXES), expected)
+    });
     let t_global = time_best(3, || {
-        assert_eq!(execute_count_with(&opt, &t, &indexes, Pruning::Global), expected)
+        assert_eq!(
+            execute_count_with(&opt, &t, &indexes, Pruning::Global),
+            expected
+        )
     });
     let t_local = time_best(3, || {
-        assert_eq!(execute_count_with(&opt, &t, &indexes, Pruning::PerPartition), expected)
+        assert_eq!(
+            execute_count_with(&opt, &t, &indexes, Pruning::PerPartition),
+            expected
+        )
     });
 
     let mut out = format!(
@@ -764,11 +859,21 @@ pub fn planner() -> String {
     );
     let mut table = TablePrinter::new(&["config", "filtered sort [s]", "use_patches partitions"]);
     table.row(vec!["no index".into(), secs(t_ref), "-".into()]);
-    table.row(vec!["global ZBP".into(), secs(t_global), global_flow_parts.to_string()]);
-    table.row(vec!["per-partition ZBP".into(), secs(t_local), patch_flow_parts.to_string()]);
+    table.row(vec![
+        "global ZBP".into(),
+        secs(t_global),
+        global_flow_parts.to_string(),
+    ]);
+    table.row(vec![
+        "per-partition ZBP".into(),
+        secs(t_local),
+        patch_flow_parts.to_string(),
+    ]);
     out.push_str(&table.render());
     let zbp_speedup = t_global.as_secs_f64() / t_local.as_secs_f64().max(1e-9);
-    out.push_str(&format!("per-partition vs global ZBP speedup: {zbp_speedup:.2}x\n"));
+    out.push_str(&format!(
+        "per-partition vs global ZBP speedup: {zbp_speedup:.2}x\n"
+    ));
 
     // ---- multi-index selection quality --------------------------------
     let sel_rows = rows.min(20_000);
@@ -813,40 +918,68 @@ pub fn planner() -> String {
     let nsc_slot = it.add_index(2, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
 
     let mut table = TablePrinter::new(&[
-        "query", "chosen slot", "expected", "no index [s]", "facade [s]",
+        "query",
+        "chosen slot",
+        "expected",
+        "no index [s]",
+        "facade [s]",
     ]);
     let mut sel_json: Vec<String> = Vec::new();
     let queries: [(&str, Plan, usize); 2] = [
-        ("distinct(id)", Plan::scan(vec![1]).distinct(vec![0]), nuc_slot),
-        ("sort(ts)", Plan::scan(vec![2]).sort(vec![(0, SortOrder::Asc)]), nsc_slot),
+        (
+            "distinct(id)",
+            Plan::scan(vec![1]).distinct(vec![0]),
+            nuc_slot,
+        ),
+        (
+            "sort(ts)",
+            Plan::scan(vec![2]).sort(vec![(0, SortOrder::Asc)]),
+            nsc_slot,
+        ),
     ];
     for (label, q, expected_slot) in queries {
         // Plan once through the facade; the timed body executes the
         // chosen plan only (planning stays outside, like fig7).
         let chosen = it.plan_query(&q);
         let chosen_str = chosen.to_string();
-        let bound: Vec<usize> =
-            (0..2).filter(|s| chosen_str.contains(&format!("slot={s}"))).collect();
+        let bound: Vec<usize> = (0..2)
+            .filter(|s| chosen_str.contains(&format!("slot={s}")))
+            .collect();
         let picked_expected = bound == [expected_slot];
         let bound_str = if bound.is_empty() {
             "-".to_string()
         } else {
-            bound.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+            bound
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
         };
-        let reference = execute_count(&q, it.table(), &[]);
-        let t_no = time_best(3, || assert_eq!(execute_count(&q, it.table(), &[]), reference));
+        let reference = execute_count(&q, it.table(), pi_planner::NO_INDEXES);
+        let t_no = time_best(3, || {
+            assert_eq!(
+                execute_count(&q, it.table(), pi_planner::NO_INDEXES),
+                reference
+            )
+        });
         let t_pi = time_best(3, || {
             assert_eq!(execute_count(&chosen, it.table(), it.indexes()), reference)
         });
         table.row(vec![
             label.into(),
-            format!("{bound_str}{}", if picked_expected { "" } else { " (WRONG)" }),
+            format!(
+                "{bound_str}{}",
+                if picked_expected { "" } else { " (WRONG)" }
+            ),
             expected_slot.to_string(),
             secs(t_no),
             secs(t_pi),
         ]);
-        let bound_json =
-            bound.iter().map(usize::to_string).collect::<Vec<_>>().join(", ");
+        let bound_json = bound
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         sel_json.push(format!(
             "    {{\"query\": \"{label}\", \"expected_slot\": {expected_slot}, \
              \"chosen_slots\": [{bound_json}], \"picked_expected\": {picked_expected}, \
@@ -897,10 +1030,10 @@ pub fn planner() -> String {
 /// Writes `BENCH_advisor.json`. Scale via `PI_ADV_ROWS`; the lifecycle
 /// transitions themselves are asserted in `tests/tests/advisor.rs`.
 pub fn advisor() -> String {
+    use patchindex::IndexedTable;
     use pi_advisor::{Advisor, AdvisorAction, AdvisorConfig};
     use pi_datagen::{DriftOp, DriftSpec};
     use pi_planner::{execute_count, Plan, QueryEngine};
-    use patchindex::IndexedTable;
 
     let base_rows = env_usize("PI_ADV_ROWS", 120_000);
     let spec = DriftSpec::new(base_rows);
@@ -923,13 +1056,14 @@ pub fn advisor() -> String {
         spec.drift_batches,
         spec.storm_batches
     );
-    let mut table = TablePrinter::new(&[
-        "phase", "step", "indexes", "e", "query [s]", "action",
-    ]);
+    let mut table = TablePrinter::new(&["phase", "step", "indexes", "e", "query [s]", "action"]);
     let mut timeline: Vec<String> = Vec::new();
     let mut created_query_s: Option<f64> = None;
     let mut no_index_query_s: Option<f64> = None;
     let (mut n_created, mut n_recomputed, mut n_dropped) = (0usize, 0usize, 0usize);
+    // Last measured-feedback snapshot before the storm drops the index:
+    // the estimate-vs-actual calibration the facade accumulated.
+    let mut last_measured: Option<patchindex::QueryFeedback> = None;
 
     for phase in spec.phases() {
         let mut step = 0usize;
@@ -958,7 +1092,11 @@ pub fn advisor() -> String {
                 it.indexes().len().to_string(),
                 e.map_or("-".into(), |e| format!("{e:.4}")),
                 query_s.map_or("-".into(), |s| format!("{s:.4}")),
-                if action.is_empty() { "-".into() } else { action.clone() },
+                if action.is_empty() {
+                    "-".into()
+                } else {
+                    action.clone()
+                },
             ]);
             timeline.push(format!(
                 "    {{\"phase\": \"{}\", \"step\": {}, \"indexes\": {}, \"e\": {}, \
@@ -976,7 +1114,12 @@ pub fn advisor() -> String {
                 DriftOp::Insert(rows) => {
                     it.insert(rows);
                 }
-                DriftOp::Modify { pid, rids, col, values } => {
+                DriftOp::Modify {
+                    pid,
+                    rids,
+                    col,
+                    values,
+                } => {
                     it.modify(*pid, rids, *col, values);
                     if phase.name == "storm" {
                         // The storm steps the advisor per update batch —
@@ -985,12 +1128,15 @@ pub fn advisor() -> String {
                     }
                 }
                 DriftOp::Query => {
-                    let expected = execute_count(&plan, it.table(), &[]);
+                    let expected = execute_count(&plan, it.table(), pi_planner::NO_INDEXES);
                     if no_index_query_s.is_none() {
                         // Baseline before any index exists.
                         no_index_query_s = Some(
                             time_best(2, || {
-                                assert_eq!(execute_count(&plan, it.table(), &[]), expected)
+                                assert_eq!(
+                                    execute_count(&plan, it.table(), pi_planner::NO_INDEXES),
+                                    expected
+                                )
                             })
                             .as_secs_f64(),
                         );
@@ -998,9 +1144,14 @@ pub fn advisor() -> String {
                     let t = time_best(2, || assert_eq!(it.query_count(&plan), expected));
                     run_step(&mut it, &mut advisor, &mut step, Some(t.as_secs_f64()));
                     if created_query_s.is_none() && !it.indexes().is_empty() {
-                        let t =
-                            time_best(2, || assert_eq!(it.query_count(&plan), expected));
+                        let t = time_best(2, || assert_eq!(it.query_count(&plan), expected));
                         created_query_s = Some(t.as_secs_f64());
+                    }
+                    if let Some(idx) = it.indexes().first() {
+                        let fb = idx.query_feedback();
+                        if fb.est_cost_executed > 0.0 {
+                            last_measured = Some(fb);
+                        }
                     }
                 }
             }
@@ -1020,6 +1171,33 @@ pub fn advisor() -> String {
         speedup.map_or("n/a".into(), |s| format!("{s:.2}x"))
     ));
 
+    // Estimate-vs-actual calibration the engine measured (satellite of
+    // the measured-query-benefit item): cumulative wall-clock micros of
+    // the advisor-indexed queries against their cost-model estimates.
+    let measured_json = match last_measured {
+        Some(fb) => format!(
+            "{{\"measured_queries\": {}, \"actual_micros\": {:.1}, \
+             \"est_cost_executed\": {:.1}, \"micros_per_cost_unit\": {}}}",
+            fb.measured_queries,
+            fb.actual_micros,
+            fb.est_cost_executed,
+            fb.micros_per_cost_unit()
+                .map_or("null".into(), |r| format!("{r:.6}"))
+        ),
+        None => "null".into(),
+    };
+    if let Some(fb) = last_measured {
+        out.push_str(&format!(
+            "estimate-vs-actual: {} measured queries, {:.0} us over {:.0} cost units \
+             ({} us/unit)\n",
+            fb.measured_queries,
+            fb.actual_micros,
+            fb.est_cost_executed,
+            fb.micros_per_cost_unit()
+                .map_or("n/a".into(), |r| format!("{r:.4}"))
+        ));
+    }
+
     let json = format!(
         "{{\n  \"experiment\": \"advisor\",\n  \"config\": {{\"base_rows\": {}, \
          \"partitions\": {}, \"batch_rows\": {}, \"grow_batches\": {}, \
@@ -1027,7 +1205,8 @@ pub fn advisor() -> String {
          \"drop_window\": {}}},\n  \"baseline\": {{\"no_index_query_s\": {}, \
          \"advisor_indexed_query_s\": {}, \"speedup\": {}}},\n  \
          \"actions\": {{\"created\": {n_created}, \"recomputed\": {n_recomputed}, \
-         \"dropped\": {n_dropped}}},\n  \"timeline\": [\n{}\n  ]\n}}\n",
+         \"dropped\": {n_dropped}}},\n  \"estimate_vs_actual\": {},\n  \
+         \"timeline\": [\n{}\n  ]\n}}\n",
         spec.base_rows,
         spec.partitions,
         spec.batch_rows,
@@ -1039,6 +1218,7 @@ pub fn advisor() -> String {
         no_index_query_s.map_or("null".into(), |s| format!("{s:.6}")),
         created_query_s.map_or("null".into(), |s| format!("{s:.6}")),
         speedup.map_or("null".into(), |s| format!("{s:.3}")),
+        measured_json,
         timeline.join(",\n")
     );
     let path = std::env::var("PI_ADV_JSON").unwrap_or_else(|_| "BENCH_advisor.json".into());
@@ -1085,7 +1265,10 @@ pub fn maintenance() -> String {
             let keys: Vec<i64> = (base..base + rows as i64).collect();
             t.load_partition(
                 pid,
-                &[pi_storage::ColumnData::Int(keys.clone()), pi_storage::ColumnData::Int(keys)],
+                &[
+                    pi_storage::ColumnData::Int(keys.clone()),
+                    pi_storage::ColumnData::Int(keys),
+                ],
             );
         }
         t.propagate_all();
@@ -1116,8 +1299,7 @@ pub fn maintenance() -> String {
     let modify_batches: Vec<(usize, Vec<usize>, Vec<Value>)> = (0..batches)
         .map(|_| {
             let pid = rng.gen_range(0..parts);
-            let mut rids: Vec<usize> =
-                (0..batch_rows).map(|_| rng.gen_range(0..rows)).collect();
+            let mut rids: Vec<usize> = (0..batch_rows).map(|_| rng.gen_range(0..rows)).collect();
             rids.sort_unstable();
             rids.dedup();
             let values: Vec<Value> = rids
@@ -1139,15 +1321,24 @@ pub fn maintenance() -> String {
     // batch_rows; per-row costs divide by the real count.
     let modified_rows: usize = modify_batches.iter().map(|(_, rids, _)| rids.len()).sum();
 
-    let eager = |probe: ProbeStrategy| MaintenancePolicy { probe, ..MaintenancePolicy::default() };
+    let eager = |probe: ProbeStrategy| MaintenancePolicy {
+        probe,
+        ..MaintenancePolicy::default()
+    };
     let deferred = MaintenancePolicy {
-        mode: MaintenanceMode::Deferred { flush_rows: usize::MAX },
+        mode: MaintenanceMode::Deferred {
+            flush_rows: usize::MAX,
+        },
         ..MaintenancePolicy::default()
     };
     // (label, policy, build an index?)
     let variants: [(&str, MaintenancePolicy, bool); 4] = [
         ("table-only", MaintenancePolicy::default(), false),
-        ("eager-sequential (seed)", eager(ProbeStrategy::SequentialRebuild), true),
+        (
+            "eager-sequential (seed)",
+            eager(ProbeStrategy::SequentialRebuild),
+            true,
+        ),
         ("eager-parallel", eager(ProbeStrategy::ParallelShared), true),
         ("deferred-parallel", deferred, true),
     ];
@@ -1157,8 +1348,13 @@ pub fn maintenance() -> String {
          {batches} batches x {batch_rows} rows\n"
     );
     let mut table = TablePrinter::new(&[
-        "config", "insert [s]", "ins maint [ns/row]", "modify [s]", "mod maint [ns/row]",
-        "build invocations", "e after",
+        "config",
+        "insert [s]",
+        "ins maint [ns/row]",
+        "modify [s]",
+        "mod maint [ns/row]",
+        "build invocations",
+        "e after",
     ]);
     let mut insert_secs: Vec<f64> = Vec::new();
     let mut modify_secs: Vec<f64> = Vec::new();
@@ -1189,13 +1385,19 @@ pub fn maintenance() -> String {
         modify_secs.push(mod_s);
         let maint = |t: f64, base: f64, n: usize| ((t - base).max(0.0) / n as f64) * 1e9;
         let (ins_maint, mod_maint) = if indexed {
-            (maint(ins_s, insert_secs[0], total_rows), maint(mod_s, modify_secs[0], modified_rows))
+            (
+                maint(ins_s, insert_secs[0], total_rows),
+                maint(mod_s, modify_secs[0], modified_rows),
+            )
         } else {
             (0.0, 0.0)
         };
         let (builds, e_after) = if indexed {
             let idx = it.index(0);
-            (idx.maintenance_stats().build_invocations, idx.exception_rate())
+            (
+                idx.maintenance_stats().build_invocations,
+                idx.exception_rate(),
+            )
         } else {
             (0, 0.0)
         };
@@ -1246,6 +1448,231 @@ pub fn maintenance() -> String {
         fmt_json(mod_speedup)
     );
     let path = std::env::var("PI_MAINT_JSON").unwrap_or_else(|_| "BENCH_maintenance.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => out.push_str(&format!("wrote {path}\n")),
+        Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+    }
+    out
+}
+
+// --------------------------------------- snapshot-isolated reader throughput
+
+/// Concurrency experiment (beyond the paper): reader throughput under a
+/// background maintenance storm, serialized vs snapshot-isolated.
+///
+/// One writer streams duplicate-producing modifies plus periodic full
+/// recomputes over a NUC-indexed table. The **serialized** baseline is
+/// the pre-snapshot architecture: maintenance and queries interleave on
+/// one thread through one `&mut IndexedTable`, so every query waits for
+/// the maintenance in front of it. The **concurrent** configurations run
+/// the same storm through a [`patchindex::TableWriter`] while 1/4/8
+/// reader threads pull [`patchindex::TableSnapshot`]s and query
+/// non-stop; every 64th reader query is verified byte-exact against an
+/// index-free reference execution *on the same snapshot*.
+///
+/// Writes `BENCH_concurrency.json`. Scale via `PI_CONC_PARTS` /
+/// `PI_CONC_ROWS` (per partition) / `PI_CONC_SECS` (measurement window
+/// per configuration) / `PI_CONC_THREADS` (comma-separated reader
+/// counts).
+pub fn concurrency() -> String {
+    use patchindex::{ConcurrentTable, IndexedTable};
+    use pi_planner::{execute_count, Plan, QueryEngine};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let parts = env_usize("PI_CONC_PARTS", 4);
+    let rows = env_usize("PI_CONC_ROWS", 60_000);
+    let secs = env_f64("PI_CONC_SECS", 1.2);
+    let batch_rows = env_usize("PI_CONC_BATCH_ROWS", 256);
+    let recompute_every = 4usize;
+    let thread_counts: Vec<usize> = std::env::var("PI_CONC_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 8]);
+
+    let base_table = || {
+        let mut t = pi_storage::Table::new(
+            "conc",
+            pi_storage::Schema::new(vec![
+                pi_storage::Field::new("k", pi_storage::DataType::Int),
+                pi_storage::Field::new("v", pi_storage::DataType::Int),
+            ]),
+            parts,
+            pi_storage::Partitioning::RoundRobin,
+        );
+        for pid in 0..parts {
+            let base = (pid * rows) as i64;
+            let keys: Vec<i64> = (base..base + rows as i64).collect();
+            t.load_partition(
+                pid,
+                &[
+                    pi_storage::ColumnData::Int(keys.clone()),
+                    pi_storage::ColumnData::Int(keys),
+                ],
+            );
+        }
+        t.propagate_all();
+        t
+    };
+    let plan = Plan::scan(vec![1]).distinct(vec![0]);
+
+    // One storm step: a duplicate-producing modify batch (patches grow),
+    // with a full index recompute every few steps — the expensive
+    // background maintenance readers must not wait for. Duplicate values
+    // are drawn from the *same partition's* value range: recompute runs
+    // partition-local discovery (paper, Section 3.2), so cross-partition
+    // duplicates surviving a recompute would void the global kept-row
+    // uniqueness the NUC distinct rewrite relies on (the paper's
+    // microbenchmark partitions by the indexed column for the same
+    // reason; see ROADMAP "Deferred cleanups").
+    let storm_step = |it: &mut IndexedTable, step: usize, rng: &mut SmallRng| {
+        let pid = step % parts;
+        let mut rids: Vec<usize> = (0..batch_rows).map(|_| rng.gen_range(0..rows)).collect();
+        rids.sort_unstable();
+        rids.dedup();
+        let base = (pid * rows) as i64;
+        let values: Vec<Value> = rids
+            .iter()
+            .map(|_| Value::Int(base + rng.gen_range(0..rows as i64)))
+            .collect();
+        it.modify(pid, &rids, 1, &values);
+        if step % recompute_every == recompute_every - 1 {
+            it.recompute_index(0);
+        }
+    };
+
+    // Serialized baseline: maintenance and queries alternate on one
+    // thread — the architecture before the snapshot/writer split.
+    let serialized = {
+        let mut it = IndexedTable::new(base_table());
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let mut rng = SmallRng::seed_from_u64(0xC0C0);
+        let start = std::time::Instant::now();
+        let (mut queries, mut steps) = (0u64, 0usize);
+        while start.elapsed().as_secs_f64() < secs {
+            storm_step(&mut it, steps, &mut rng);
+            steps += 1;
+            let n = it.query_count(&plan);
+            assert!(n > 0);
+            queries += 1;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        (queries as f64 / elapsed, queries, steps)
+    };
+    let (serial_qps, serial_queries, serial_steps) = serialized;
+
+    let mut out = format!(
+        "Reader throughput under a maintenance storm: {parts} partitions x {rows} rows, \
+         modify batch {batch_rows}, recompute every {recompute_every} steps, \
+         {secs:.1}s per configuration\n\n"
+    );
+    let mut table = TablePrinter::new(&[
+        "config",
+        "readers",
+        "queries",
+        "qps",
+        "writer steps",
+        "epochs",
+        "vs serialized",
+    ]);
+    table.row(vec![
+        "serialized (seed)".into(),
+        "1".into(),
+        serial_queries.to_string(),
+        format!("{serial_qps:.0}"),
+        serial_steps.to_string(),
+        "-".into(),
+        "1.00x".into(),
+    ]);
+
+    // Concurrent: same storm through the writer; n readers on snapshots.
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut best_speedup = 0.0f64;
+    for &nreaders in &thread_counts {
+        let mut it = IndexedTable::new(base_table());
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let stop = AtomicBool::new(false);
+        let total_queries = AtomicU64::new(0);
+        let verified = AtomicU64::new(0);
+        // The measurement window opens before the reader threads spawn
+        // and closes when the stop flag is raised, so every counted
+        // query falls inside the measured wall-clock span (dividing by
+        // the nominal `secs` would overstate qps by the spawn/teardown
+        // slack — and the gated speedup with it).
+        let window = std::time::Instant::now();
+        let (steps_done, epochs, elapsed) = std::thread::scope(|scope| {
+            for r in 0..nreaders {
+                let handle = handle.clone();
+                let stop = &stop;
+                let total_queries = &total_queries;
+                let verified = &verified;
+                let plan = &plan;
+                scope.spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let mut snap = handle.snapshot();
+                        let got = snap.query_count(plan);
+                        // Periodic exactness audit against an index-free
+                        // reference on the *same* snapshot.
+                        if n % 64 == r as u64 % 64 {
+                            let reference =
+                                execute_count(plan, snap.table(), pi_planner::NO_INDEXES);
+                            assert_eq!(got, reference, "epoch {}", snap.epoch());
+                            verified.fetch_add(1, Ordering::Relaxed);
+                        }
+                        n += 1;
+                    }
+                    total_queries.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+            let mut rng = SmallRng::seed_from_u64(0xC0C0);
+            let start = std::time::Instant::now();
+            let mut steps = 0usize;
+            while start.elapsed().as_secs_f64() < secs {
+                storm_step(writer.staging_mut(), steps, &mut rng);
+                steps += 1;
+                writer.publish();
+            }
+            stop.store(true, Ordering::Relaxed);
+            (steps, writer.epoch(), window.elapsed().as_secs_f64())
+        });
+        let queries = total_queries.load(Ordering::Relaxed);
+        let qps = queries as f64 / elapsed;
+        let speedup = qps / serial_qps.max(1e-9);
+        best_speedup = best_speedup.max(speedup);
+        assert!(verified.load(Ordering::Relaxed) > 0, "audits must have run");
+        table.row(vec![
+            "snapshot readers".into(),
+            nreaders.to_string(),
+            queries.to_string(),
+            format!("{qps:.0}"),
+            steps_done.to_string(),
+            epochs.to_string(),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"readers\": {nreaders}, \"queries\": {queries}, \"qps\": {qps:.1}, \
+             \"writer_steps\": {steps_done}, \"epochs\": {epochs}, \
+             \"speedup_vs_serialized\": {speedup:.3}}}"
+        ));
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nserialized {serial_qps:.0} qps; best snapshot-isolated configuration \
+         {best_speedup:.2}x over serialized\n"
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"concurrency\",\n  \"config\": {{\"partitions\": {parts}, \
+         \"rows_per_partition\": {rows}, \"batch_rows\": {batch_rows}, \
+         \"recompute_every\": {recompute_every}, \"seconds\": {secs}}},\n  \
+         \"serialized\": {{\"qps\": {serial_qps:.1}, \"queries\": {serial_queries}, \
+         \"writer_steps\": {serial_steps}}},\n  \"concurrent\": [\n{}\n  ],\n  \
+         \"best_speedup_vs_serialized\": {best_speedup:.3}\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = std::env::var("PI_CONC_JSON").unwrap_or_else(|_| "BENCH_concurrency.json".into());
     match std::fs::write(&path, &json) {
         Ok(()) => out.push_str(&format!("wrote {path}\n")),
         Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),

@@ -1,0 +1,258 @@
+//! A minimal JSON reader for the bench-regression gate.
+//!
+//! The dependency policy vendors only four external crates (no serde), so
+//! the gate parses the `BENCH_*.json` artifacts with this ~150-line
+//! recursive-descent reader. It supports exactly what the artifacts use:
+//! objects, arrays, strings (with `\"`-style escapes), numbers, booleans
+//! and `null` — plus dotted-path lookup (`"concurrent.0.qps"`).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always read as `f64`; the artifacts stay well inside
+    /// the 2^53 integer range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a dotted path: object keys by name, array elements by
+    /// index (`"concurrent.1.qps"`). Returns `None` on any miss.
+    pub fn get(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = match cur {
+                Json::Obj(fields) => &fields.iter().find(|(k, _)| k == seg)?.1,
+                Json::Arr(items) => items.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// The numeric value at `path`, if present and a number.
+    pub fn num(&self, path: &str) -> Option<f64> {
+        match self.get(path)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", ch as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'u' => {
+                        // \uXXXX — the artifacts never emit these, but
+                        // accept and decode the BMP form for robustness.
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        char::from_u32(code).ok_or("bad \\u code point")?
+                    }
+                    other => *other as char,
+                });
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through verbatim.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = b.get(*pos..*pos + len).ok_or("truncated utf-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos += len;
+            }
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        fields.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_paths() {
+        let j =
+            Json::parse(r#"{"a": 1.5, "b": [10, {"c": -2e3}], "s": "x\"y", "t": true, "n": null}"#)
+                .unwrap();
+        assert_eq!(j.num("a"), Some(1.5));
+        assert_eq!(j.num("b.0"), Some(10.0));
+        assert_eq!(j.num("b.1.c"), Some(-2000.0));
+        assert_eq!(j.get("s"), Some(&Json::Str("x\"y".into())));
+        assert_eq!(j.get("t"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("n"), Some(&Json::Null));
+        assert_eq!(j.num("n"), None);
+        assert_eq!(j.num("missing"), None);
+        assert_eq!(j.num("b.7"), None);
+    }
+
+    #[test]
+    fn parses_real_artifacts() {
+        // Every BENCH_*.json this repo emits must round-trip the reader.
+        for name in ["maintenance", "planner", "advisor", "concurrency"] {
+            let path = format!(
+                "{}/../../bench_baselines/BENCH_{name}.json",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            if let Ok(src) = std::fs::read_to_string(&path) {
+                let j = Json::parse(&src).unwrap_or_else(|e| panic!("{path}: {e}"));
+                assert_eq!(j.get("experiment"), Some(&Json::Str(name.into())), "{path}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, ]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
+    }
+}

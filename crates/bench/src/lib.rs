@@ -9,5 +9,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod microq;
 pub mod timing;

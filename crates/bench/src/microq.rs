@@ -16,7 +16,7 @@ pub const VAL_COL: usize = 1;
 /// `SELECT DISTINCT val FROM micro` without constraint information.
 pub fn distinct_reference(table: &Table) -> usize {
     let plan = Plan::scan(vec![VAL_COL]).distinct(vec![0]);
-    execute_count(&plan, table, &[])
+    execute_count(&plan, table, pi_planner::NO_INDEXES)
 }
 
 /// Optimizes the distinct query against a single-index catalog. Run this
@@ -24,7 +24,11 @@ pub fn distinct_reference(table: &Table) -> usize {
 /// O(patches) distinct-patch-value pass.
 pub fn plan_distinct_patchindex(table: &Table, index: &PatchIndex) -> Plan {
     let plan = Plan::scan(vec![VAL_COL]).distinct(vec![0]);
-    optimize(plan, &IndexCatalog::of(table, std::slice::from_ref(index)), false)
+    optimize(
+        plan,
+        &IndexCatalog::of(table, std::slice::from_ref(index)),
+        false,
+    )
 }
 
 /// Executes a pre-planned PatchIndex query (the timed body).
@@ -47,14 +51,18 @@ pub fn distinct_matview(view: &DistinctView) -> usize {
 /// `SELECT val FROM micro ORDER BY val` without constraint information.
 pub fn sort_reference(table: &Table) -> usize {
     let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
-    execute_count(&plan, table, &[])
+    execute_count(&plan, table, pi_planner::NO_INDEXES)
 }
 
 /// Optimizes the sort query against a single-index catalog (run outside
 /// timed regions, like [`plan_distinct_patchindex`]).
 pub fn plan_sort_patchindex(table: &Table, index: &PatchIndex) -> Plan {
     let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
-    optimize(plan, &IndexCatalog::of(table, std::slice::from_ref(index)), false)
+    optimize(
+        plan,
+        &IndexCatalog::of(table, std::slice::from_ref(index)),
+        false,
+    )
 }
 
 /// The sort query using a PatchIndex (merge of the pre-sorted flow with
@@ -68,9 +76,7 @@ pub fn sort_patchindex(table: &Table, index: &PatchIndex) -> usize {
 pub fn sort_sortkey(sk: &SortKeyTable) -> usize {
     let t = sk.table();
     let streams: Vec<OpRef<'_>> = (0..t.partition_count())
-        .map(|pid| {
-            Box::new(ScanOp::new(t.partition(pid), vec![sk.column()], false)) as OpRef<'_>
-        })
+        .map(|pid| Box::new(ScanOp::new(t.partition(pid), vec![sk.column()], false)) as OpRef<'_>)
         .collect();
     let mut merge = OrderedMergeOp::new(streams, vec![(0, SortOrder::Asc)]);
     count_rows(&mut merge)
@@ -127,7 +133,7 @@ mod tests {
         let ds = generate(&MicroSpec::new(3_000, 0.5, MicroKind::Nsc));
         let (bm, _) = build_indexes(&ds.table, Constraint::NearlySorted(SortDir::Asc));
         let plan = Plan::scan(vec![VAL_COL]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = pi_planner::execute(&plan, &ds.table, &[]);
+        let reference = pi_planner::execute(&plan, &ds.table, pi_planner::NO_INDEXES);
         let indexes = std::slice::from_ref(&bm);
         let opt = optimize(plan, &IndexCatalog::of(&ds.table, indexes), false);
         let rewritten = pi_planner::execute(&opt, &ds.table, indexes);

@@ -43,7 +43,10 @@ pub struct TablePrinter {
 impl TablePrinter {
     /// Starts a table with a header row.
     pub fn new(header: &[&str]) -> Self {
-        let mut t = TablePrinter { widths: vec![0; header.len()], rows: Vec::new() };
+        let mut t = TablePrinter {
+            widths: vec![0; header.len()],
+            rows: Vec::new(),
+        };
         t.row(header.iter().map(|s| s.to_string()).collect());
         t
     }

@@ -10,8 +10,14 @@
 /// Destination bits outside the target range are preserved. The ranges must
 /// lie within the respective buffers; `src` and `dst` must not alias.
 pub fn copy_bits(src: &[u64], src_off: usize, dst: &mut [u64], dst_off: usize, len: usize) {
-    debug_assert!(src_off + len <= src.len() * 64, "source range out of bounds");
-    debug_assert!(dst_off + len <= dst.len() * 64, "destination range out of bounds");
+    debug_assert!(
+        src_off + len <= src.len() * 64,
+        "source range out of bounds"
+    );
+    debug_assert!(
+        dst_off + len <= dst.len() * 64,
+        "destination range out of bounds"
+    );
     let mut copied = 0;
     while copied < len {
         let s = src_off + copied;
@@ -36,7 +42,11 @@ pub fn read_bits(src: &[u64], off: usize, len: usize) -> u64 {
     }
     let (w, b) = (off / 64, off % 64);
     let lo = src[w] >> b;
-    let val = if b + len > 64 { lo | (src[w + 1] << (64 - b)) } else { lo };
+    let val = if b + len > 64 {
+        lo | (src[w + 1] << (64 - b))
+    } else {
+        lo
+    };
     val & mask(len)
 }
 
@@ -56,7 +66,9 @@ mod tests {
     use super::*;
 
     fn bits_of(words: &[u64], off: usize, len: usize) -> Vec<bool> {
-        (off..off + len).map(|i| words[i / 64] >> (i % 64) & 1 == 1).collect()
+        (off..off + len)
+            .map(|i| words[i / 64] >> (i % 64) & 1 == 1)
+            .collect()
     }
 
     #[test]

@@ -41,8 +41,12 @@ impl ConcurrentShardedBitmap {
         let log2 = shard_bits.trailing_zeros();
         let nshards = ((len + shard_bits as u64 - 1) >> log2) as usize;
         ConcurrentShardedBitmap {
-            shards: (0..nshards).map(|_| RwLock::new(vec![0; shard_bits / 64])).collect(),
-            starts: (0..nshards as u64).map(|s| AtomicU64::new(s << log2)).collect(),
+            shards: (0..nshards)
+                .map(|_| RwLock::new(vec![0; shard_bits / 64]))
+                .collect(),
+            starts: (0..nshards as u64)
+                .map(|s| AtomicU64::new(s << log2))
+                .collect(),
             shard_bits_log2: log2,
             logical_len: AtomicU64::new(len),
             kernel: ShiftKernel::default(),
@@ -66,7 +70,11 @@ impl ConcurrentShardedBitmap {
 
     #[inline]
     fn shard_end(&self, s: usize) -> u64 {
-        if s + 1 < self.starts.len() { self.start(s + 1) } else { self.len() }
+        if s + 1 < self.starts.len() {
+            self.start(s + 1)
+        } else {
+            self.len()
+        }
     }
 
     #[inline]
@@ -134,7 +142,10 @@ impl ConcurrentShardedBitmap {
     pub fn delete_at(&self, s: usize, local: usize) {
         let start = self.start(s);
         let valid = (self.shard_end(s) - start) as usize;
-        assert!(local < valid, "local offset {local} out of bounds for shard {s}");
+        assert!(
+            local < valid,
+            "local offset {local} out of bounds for shard {s}"
+        );
         {
             let mut shard = self.shards[s].write();
             self.kernel.shift_tail_left(&mut shard, local, valid);
@@ -190,7 +201,10 @@ impl ConcurrentShardedBitmap {
         let (data, starts, log2, len) = bm.into_parts();
         let shard_words = (1usize << log2) / 64;
         ConcurrentShardedBitmap {
-            shards: data.chunks(shard_words).map(|c| RwLock::new(c.to_vec())).collect(),
+            shards: data
+                .chunks(shard_words)
+                .map(|c| RwLock::new(c.to_vec()))
+                .collect(),
             starts: starts.into_iter().map(AtomicU64::new).collect(),
             shard_bits_log2: log2,
             logical_len: AtomicU64::new(len),
@@ -244,14 +258,16 @@ mod tests {
         // pre-resolved coordinates (snapshot semantics). The final content
         // must match a sequential execution in any order.
         let positions: Vec<u64> = (0..1024).step_by(3).collect();
-        let concurrent =
-            Arc::new(ConcurrentShardedBitmap::from_positions(1024, 64, &positions));
+        let concurrent = Arc::new(ConcurrentShardedBitmap::from_positions(
+            1024, 64, &positions,
+        ));
         let mut reference = ShardedBitmap::with_shard_bits(1024, 64);
         positions.iter().for_each(|&p| reference.set(p));
 
         // One target per shard, all resolved against the initial state.
         let targets: Vec<u64> = (0..8u64).map(|k| k * 64 + 7).collect();
-        let resolved: Vec<(usize, usize)> = targets.iter().map(|&t| concurrent.resolve(t)).collect();
+        let resolved: Vec<(usize, usize)> =
+            targets.iter().map(|&t| concurrent.resolve(t)).collect();
         // Sequential reference: delete descending so original logical
         // positions stay valid.
         for &t in targets.iter().rev() {

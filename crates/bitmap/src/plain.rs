@@ -26,7 +26,10 @@ fn words_for(bits: u64) -> usize {
 impl PlainBitmap {
     /// Creates an all-zero bitmap of `len` bits.
     pub fn new(len: u64) -> Self {
-        PlainBitmap { words: vec![0; words_for(len)], len }
+        PlainBitmap {
+            words: vec![0; words_for(len)],
+            len,
+        }
     }
 
     /// Builds a bitmap of `len` bits with exactly the given positions set.

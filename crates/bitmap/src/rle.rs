@@ -25,7 +25,10 @@ pub struct RleBitmap {
 impl RleBitmap {
     /// Compresses the set-bit positions (ascending, in `0..len`).
     pub fn from_positions(len: u64, positions: &[u64]) -> Self {
-        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions must ascend");
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must ascend"
+        );
         let mut runs: Vec<u64> = Vec::new();
         let mut cursor = 0u64; // next logical bit to encode
         let mut i = 0usize;
@@ -51,7 +54,12 @@ impl RleBitmap {
             ends.push(acc);
         }
         debug_assert_eq!(acc, len);
-        RleBitmap { runs, ends, len, ones: positions.len() as u64 }
+        RleBitmap {
+            runs,
+            ends,
+            len,
+            ones: positions.len() as u64,
+        }
     }
 
     /// Compresses a sharded bitmap snapshot.

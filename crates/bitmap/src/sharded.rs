@@ -122,7 +122,11 @@ impl ShardedBitmap {
     /// Logical index one past the last bit of shard `s`.
     #[inline]
     fn shard_end(&self, s: usize) -> u64 {
-        if s + 1 < self.starts.len() { self.starts[s + 1] } else { self.logical_len }
+        if s + 1 < self.starts.len() {
+            self.starts[s + 1]
+        } else {
+            self.logical_len
+        }
     }
 
     /// Number of valid bits currently held by shard `s`.
@@ -136,7 +140,11 @@ impl ShardedBitmap {
     /// upcoming shards are compared to account for previous deletes.
     #[inline]
     fn find_shard(&self, p: u64) -> usize {
-        debug_assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        debug_assert!(
+            p < self.logical_len,
+            "bit {p} out of bounds (len {})",
+            self.logical_len
+        );
         let mut s = ((p >> self.shard_bits_log2) as usize).min(self.starts.len() - 1);
         while s + 1 < self.starts.len() && self.starts[s + 1] <= p {
             s += 1;
@@ -155,7 +163,11 @@ impl ShardedBitmap {
     /// Returns the bit at logical position `p`.
     #[inline]
     pub fn get(&self, p: u64) -> bool {
-        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        assert!(
+            p < self.logical_len,
+            "bit {p} out of bounds (len {})",
+            self.logical_len
+        );
         let phys = self.physical_index(p);
         self.data[phys / 64] >> (phys % 64) & 1 == 1
     }
@@ -163,7 +175,11 @@ impl ShardedBitmap {
     /// Sets the bit at logical position `p`.
     #[inline]
     pub fn set(&mut self, p: u64) {
-        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        assert!(
+            p < self.logical_len,
+            "bit {p} out of bounds (len {})",
+            self.logical_len
+        );
         let phys = self.physical_index(p);
         self.data[phys / 64] |= 1 << (phys % 64);
     }
@@ -171,7 +187,11 @@ impl ShardedBitmap {
     /// Clears the bit at logical position `p`.
     #[inline]
     pub fn unset(&mut self, p: u64) {
-        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        assert!(
+            p < self.logical_len,
+            "bit {p} out of bounds (len {})",
+            self.logical_len
+        );
         let phys = self.physical_index(p);
         self.data[phys / 64] &= !(1 << (phys % 64));
     }
@@ -201,13 +221,18 @@ impl ShardedBitmap {
     /// (a) locate the shard, (b) shift subsequent bits of that shard one
     /// position down, (c) decrement the start values of later shards.
     pub fn delete(&mut self, p: u64) {
-        assert!(p < self.logical_len, "bit {p} out of bounds (len {})", self.logical_len);
+        assert!(
+            p < self.logical_len,
+            "bit {p} out of bounds (len {})",
+            self.logical_len
+        );
         let s = self.find_shard(p);
         let local = (p - self.starts[s]) as usize;
         let valid = self.shard_valid(s);
         let words = self.shard_words();
         let range = s * words..(s + 1) * words;
-        self.kernel.shift_tail_left(&mut self.data[range], local, valid);
+        self.kernel
+            .shift_tail_left(&mut self.data[range], local, valid);
         for start in &mut self.starts[s + 1..] {
             *start -= 1;
         }
@@ -356,7 +381,9 @@ impl ShardedBitmap {
         }
         debug_assert_eq!(out_bit as u64, self.logical_len);
         self.data = new_data;
-        self.starts = (0..nshards_new as u64).map(|s| s * shard_bits as u64).collect();
+        self.starts = (0..nshards_new as u64)
+            .map(|s| s * shard_bits as u64)
+            .collect();
     }
 
     /// Condenses once utilization drops below `threshold`; returns whether a
@@ -378,7 +405,11 @@ impl ShardedBitmap {
 
     /// Iterates the logical positions of all set bits in ascending order.
     pub fn iter_ones(&self) -> OnesIter<'_> {
-        OnesIter { bm: self, shard: 0, local: 0 }
+        OnesIter {
+            bm: self,
+            shard: 0,
+            local: 0,
+        }
     }
 
     /// Reads the logical bit range `[from, from + out.len() * 64)` (clamped
@@ -427,7 +458,12 @@ impl ShardedBitmap {
     /// Decomposes into `(data, starts, shard_bits_log2, logical_len)` for
     /// lossless representation changes (e.g. the concurrent wrapper).
     pub(crate) fn into_parts(self) -> (Vec<u64>, Vec<u64>, u32, u64) {
-        (self.data, self.starts, self.shard_bits_log2, self.logical_len)
+        (
+            self.data,
+            self.starts,
+            self.shard_bits_log2,
+            self.logical_len,
+        )
     }
 
     /// Rebuilds from parts produced by [`ShardedBitmap::into_parts`] (or an
@@ -438,21 +474,37 @@ impl ShardedBitmap {
         shard_bits_log2: u32,
         logical_len: u64,
     ) -> Self {
-        ShardedBitmap { data, starts, shard_bits_log2, logical_len, kernel: ShiftKernel::default() }
+        ShardedBitmap {
+            data,
+            starts,
+            shard_bits_log2,
+            logical_len,
+            kernel: ShiftKernel::default(),
+        }
     }
 
     /// Validates all structural invariants (tests / debug assertions).
     pub fn check_invariants(&self) {
         let shard_bits = self.shard_bits() as u64;
         for s in 0..self.starts.len() {
-            assert!(self.starts[s] <= (s as u64) * shard_bits, "start exceeds initial position");
-            let valid = self.shard_end(s).checked_sub(self.starts[s]).expect("starts not monotone");
+            assert!(
+                self.starts[s] <= (s as u64) * shard_bits,
+                "start exceeds initial position"
+            );
+            let valid = self
+                .shard_end(s)
+                .checked_sub(self.starts[s])
+                .expect("starts not monotone");
             assert!(valid <= shard_bits, "shard over capacity");
             // Garbage slots must be zero.
             let words = self.shard_words();
             let shard = &self.data[s * words..(s + 1) * words];
             for b in valid as usize..shard_bits as usize {
-                assert_eq!(shard[b / 64] >> (b % 64) & 1, 0, "garbage bit set in shard {s}");
+                assert_eq!(
+                    shard[b / 64] >> (b % 64) & 1,
+                    0,
+                    "garbage bit set in shard {s}"
+                );
             }
         }
         if let Some(&first) = self.starts.first() {
@@ -547,7 +599,11 @@ mod tests {
             sharded.check_invariants();
             assert_eq!(plain.len(), sharded.len());
             for i in 0..plain.len() {
-                assert_eq!(plain.get(i), sharded.get(i), "mismatch at {i} after deleting {p}");
+                assert_eq!(
+                    plain.get(i),
+                    sharded.get(i),
+                    "mismatch at {i} after deleting {p}"
+                );
             }
         }
     }
@@ -598,7 +654,9 @@ mod tests {
         let ones_before: Vec<u64> = bm.iter_ones().collect();
         bm.condense();
         bm.check_invariants();
-        assert!((bm.utilization() - bm.len() as f64 / (bm.shard_count() * 64) as f64).abs() < 1e-12);
+        assert!(
+            (bm.utilization() - bm.len() as f64 / (bm.shard_count() * 64) as f64).abs() < 1e-12
+        );
         let ones_after: Vec<u64> = bm.iter_ones().collect();
         assert_eq!(ones_before, ones_after);
         assert_ne!(before, ones_after);

@@ -85,7 +85,11 @@ pub fn shift_tail_left_scalar(words: &mut [u64], from_bit: usize, len_bits: usiz
     let last_word = (len_bits - 1) / 64;
     let mut i = shift_first_word(words, from_bit, last_word);
     while i <= last_word {
-        let carry = if i < last_word { (words[i + 1] & 1) << 63 } else { 0 };
+        let carry = if i < last_word {
+            (words[i + 1] & 1) << 63
+        } else {
+            0
+        };
         words[i] = (words[i] >> 1) | carry;
         i += 1;
     }
@@ -119,7 +123,11 @@ pub fn shift_tail_left_unrolled(words: &mut [u64], from_bit: usize, len_bits: us
         i += 4;
     }
     while i <= last_word {
-        let carry = if i < last_word { (words[i + 1] & 1) << 63 } else { 0 };
+        let carry = if i < last_word {
+            (words[i + 1] & 1) << 63
+        } else {
+            0
+        };
         words[i] = (words[i] >> 1) | carry;
         i += 1;
     }
@@ -170,7 +178,11 @@ pub unsafe fn shift_tail_left_avx2(words: &mut [u64], from_bit: usize, len_bits:
         i += 4;
     }
     while i <= last_word {
-        let carry = if i < last_word { (words[i + 1] & 1) << 63 } else { 0 };
+        let carry = if i < last_word {
+            (words[i + 1] & 1) << 63
+        } else {
+            0
+        };
         words[i] = (words[i] >> 1) | carry;
         i += 1;
     }
@@ -182,7 +194,9 @@ mod tests {
 
     fn reference_shift(words: &[u64], from_bit: usize, len_bits: usize) -> Vec<u64> {
         // Model: materialize bits, remove `from_bit`, append 0, repack.
-        let mut bits: Vec<bool> = (0..len_bits).map(|i| words[i / 64] >> (i % 64) & 1 == 1).collect();
+        let mut bits: Vec<bool> = (0..len_bits)
+            .map(|i| words[i / 64] >> (i % 64) & 1 == 1)
+            .collect();
         bits.remove(from_bit);
         bits.push(false);
         let mut out = words.to_vec();
@@ -199,15 +213,24 @@ mod tests {
 
     fn check_all_kernels(words: &[u64], from_bit: usize, len_bits: usize) {
         let expected = reference_shift(words, from_bit, len_bits);
-        for kernel in [ShiftKernel::Scalar, ShiftKernel::Unrolled, ShiftKernel::Auto] {
+        for kernel in [
+            ShiftKernel::Scalar,
+            ShiftKernel::Unrolled,
+            ShiftKernel::Auto,
+        ] {
             let mut got = words.to_vec();
             kernel.shift_tail_left(&mut got, from_bit, len_bits);
-            assert_eq!(got, expected, "kernel {kernel:?} from_bit={from_bit} len={len_bits}");
+            assert_eq!(
+                got, expected,
+                "kernel {kernel:?} from_bit={from_bit} len={len_bits}"
+            );
         }
     }
 
     fn pattern(n_words: usize) -> Vec<u64> {
-        (0..n_words as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1).collect()
+        (0..n_words as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+            .collect()
     }
 
     #[test]

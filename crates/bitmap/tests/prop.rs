@@ -48,8 +48,7 @@ fn apply_model(model: &mut Vec<bool>, op: &Op) {
         }
         Op::BulkDelete(ps) => {
             if !model.is_empty() {
-                let mut ps: Vec<usize> =
-                    ps.iter().map(|p| *p as usize % model.len()).collect();
+                let mut ps: Vec<usize> = ps.iter().map(|p| *p as usize % model.len()).collect();
                 ps.sort_unstable();
                 ps.dedup();
                 for p in ps.into_iter().rev() {

@@ -25,7 +25,10 @@ pub struct ApproxAnswer {
 
 impl ApproxAnswer {
     fn exact(v: f64) -> Self {
-        ApproxAnswer { estimate: v, error_bound: 0.0 }
+        ApproxAnswer {
+            estimate: v,
+            error_bound: 0.0,
+        }
     }
 }
 
@@ -80,8 +83,12 @@ pub fn max_via_nsc(table: &Table, index: &PatchIndex) -> Option<i64> {
         let part = index.partition(pid);
         let mut local = part.last_sorted;
         if part.store.patch_count() > 0 {
-            let rids: Vec<usize> =
-                part.store.patch_rids().iter().map(|&r| r as usize).collect();
+            let rids: Vec<usize> = part
+                .store
+                .patch_rids()
+                .iter()
+                .map(|&r| r as usize)
+                .collect();
             let vals = table.partition(pid).gather(&[index.column()], &rids);
             for i in 0..vals[0].len() {
                 let v = vals[0].as_int()[i];
@@ -133,7 +140,9 @@ pub fn approx_median(table: &Table, index: &PatchIndex) -> Option<ApproxAnswer> 
     let hi = run[(run.len() / 2 + k).min(run.len() - 1)];
     Some(ApproxAnswer {
         estimate,
-        error_bound: (estimate - lo as f64).abs().max((hi as f64 - estimate).abs()),
+        error_bound: (estimate - lo as f64)
+            .abs()
+            .max((hi as f64 - estimate).abs()),
     })
 }
 
@@ -184,19 +193,33 @@ mod tests {
     #[test]
     fn sortedness_fraction() {
         let t = table(vec![1, 2, 99, 3, 4]);
-        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         assert!((sortedness(&idx) - 0.8).abs() < 1e-12);
     }
 
     #[test]
     fn max_via_patches_only() {
         let t = table(vec![1, 2, 500, 3, 4]);
-        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         assert_eq!(max_via_nsc(&t, &idx), Some(500));
         // Perfect data: the anchor answers without any scan.
         let t2 = table((0..50).collect());
-        let idx2 =
-            PatchIndex::create(&t2, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx2 = PatchIndex::create(
+            &t2,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         assert_eq!(max_via_nsc(&t2, &idx2), Some(49));
     }
 
@@ -206,7 +229,12 @@ mod tests {
         vals[100] = 100_000; // one exception
         vals[900] = -5; // another
         let t = table(vals.clone());
-        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         let a = approx_median(&t, &idx).expect("single partition");
         let mut sorted = vals;
         sorted.sort_unstable();
@@ -223,7 +251,12 @@ mod tests {
     #[should_panic(expected = "needs a NUC index")]
     fn wrong_constraint_panics() {
         let t = table(vec![1, 2, 3]);
-        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         approx_count_distinct(&idx);
     }
 }

@@ -84,9 +84,7 @@ impl IndexStats {
             .collect();
         let patches: u64 = parts.iter().map(|p| p.patches).sum();
         let patch_distinct = match index.constraint() {
-            Constraint::NearlyUnique
-                if distinct_stats && patches <= PATCH_DISTINCT_EXACT_CAP =>
-            {
+            Constraint::NearlyUnique if distinct_stats && patches <= PATCH_DISTINCT_EXACT_CAP => {
                 index.patch_distinct_count(table)
             }
             Constraint::NearlyUnique => patches / 2,
@@ -138,8 +136,9 @@ pub struct IndexCatalog {
 }
 
 impl IndexCatalog {
-    /// Snapshots `indexes` (in slot order) over `table`.
-    pub fn of(table: &Table, indexes: &[PatchIndex]) -> Self {
+    /// Snapshots `indexes` (in slot order) over `table`. Generic over
+    /// owned indexes and shared (`Arc`) handles alike.
+    pub fn of<I: std::borrow::Borrow<PatchIndex>>(table: &Table, indexes: &[I]) -> Self {
         Self::build(table, indexes, true)
     }
 
@@ -148,17 +147,25 @@ impl IndexCatalog {
     /// that contain no distinct node the estimate is never read, so the
     /// query facade uses this to keep its per-query snapshot to pure
     /// counter reads.
-    pub fn counts_only(table: &Table, indexes: &[PatchIndex]) -> Self {
+    pub fn counts_only<I: std::borrow::Borrow<PatchIndex>>(table: &Table, indexes: &[I]) -> Self {
         Self::build(table, indexes, false)
     }
 
-    fn build(table: &Table, indexes: &[PatchIndex], distinct_stats: bool) -> Self {
+    fn build<I: std::borrow::Borrow<PatchIndex>>(
+        table: &Table,
+        indexes: &[I],
+        distinct_stats: bool,
+    ) -> Self {
         IndexCatalog {
-            part_rows: table.partitions().iter().map(|p| p.visible_len() as u64).collect(),
+            part_rows: table
+                .partitions()
+                .iter()
+                .map(|p| p.visible_len() as u64)
+                .collect(),
             indexes: indexes
                 .iter()
                 .enumerate()
-                .map(|(slot, idx)| IndexStats::build(idx, slot, table, distinct_stats))
+                .map(|(slot, idx)| IndexStats::build(idx.borrow(), slot, table, distinct_stats))
                 .collect(),
         }
     }
@@ -199,8 +206,13 @@ impl PatchIndex {
         let col = self.column();
         let mut seen = pi_exec::hash::int_set();
         for pid in 0..self.partition_count() {
-            let rids: Vec<usize> =
-                self.partition(pid).store.patch_rids().iter().map(|&r| r as usize).collect();
+            let rids: Vec<usize> = self
+                .partition(pid)
+                .store
+                .patch_rids()
+                .iter()
+                .map(|&r| r as usize)
+                .collect();
             for v in gather_values(table.partition(pid), col, &rids) {
                 seen.insert(v);
             }
@@ -234,8 +246,20 @@ mod tests {
         let t = table(vec![vec![1, 2, 2, 3], vec![5, 6, 7, 8]]);
         let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
         let stats = IndexStats::of(&idx, 0, &t);
-        assert_eq!(stats.parts[0], PartitionStats { rows: 4, patches: 2 });
-        assert_eq!(stats.parts[1], PartitionStats { rows: 4, patches: 0 });
+        assert_eq!(
+            stats.parts[0],
+            PartitionStats {
+                rows: 4,
+                patches: 2
+            }
+        );
+        assert_eq!(
+            stats.parts[1],
+            PartitionStats {
+                rows: 4,
+                patches: 0
+            }
+        );
         assert_eq!(stats.patches(), 2);
         assert_eq!(idx.partition_patch_count(0), 2);
         assert_eq!(idx.partition_patch_count(1), 0);
@@ -258,14 +282,22 @@ mod tests {
     fn catalog_snapshots_all_indexes_in_slot_order() {
         let t = table(vec![vec![1, 2, 99, 3], vec![4, 5, 6, 7]]);
         let nuc = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
-        let nsc = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let nsc = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         let indexes = vec![nuc, nsc];
         let cat = IndexCatalog::of(&t, &indexes);
         assert_eq!(cat.indexes.len(), 2);
         assert_eq!(cat.indexes[0].slot, 0);
         assert_eq!(cat.indexes[1].slot, 1);
         assert_eq!(cat.indexes[0].constraint, Constraint::NearlyUnique);
-        assert_eq!(cat.indexes[1].constraint, Constraint::NearlySorted(SortDir::Asc));
+        assert_eq!(
+            cat.indexes[1].constraint,
+            Constraint::NearlySorted(SortDir::Asc)
+        );
         assert!(cat.nuc_on(0).is_some());
         assert!(cat.nuc_on(1).is_none());
     }

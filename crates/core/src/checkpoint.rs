@@ -21,9 +21,12 @@ use crate::maintenance::MaintenanceStats;
 use crate::store::PatchStore;
 
 const MAGIC: &[u8; 4] = b"PIDX";
-/// Version 2 appends the maintenance/drift/feedback counters, so a
+/// Version 2 appended the maintenance/drift/feedback counters, so a
 /// recovered index resumes advisor monitoring where it left off.
-const VERSION: u32 = 2;
+/// Version 3 extends the feedback block with the measured-timing fields
+/// (measured queries, actual micros, estimated cost executed); v2 files
+/// still load, with those fields zeroed.
+const VERSION: u32 = 3;
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -123,6 +126,9 @@ impl PatchIndex {
         let feedback = self.query_feedback();
         write_u64(&mut w, feedback.times_bound)?;
         write_f64(&mut w, feedback.est_cost_saved)?;
+        write_u64(&mut w, feedback.measured_queries)?;
+        write_f64(&mut w, feedback.actual_micros)?;
+        write_f64(&mut w, feedback.est_cost_executed)?;
         write_u32(&mut w, self.partition_count() as u32)?;
         for pid in 0..self.partition_count() {
             let part = self.partition(pid);
@@ -149,10 +155,13 @@ impl PatchIndex {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PatchIndex checkpoint"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a PatchIndex checkpoint",
+            ));
         }
         let version = read_u32(&mut r)?;
-        if version != VERSION {
+        if version != 2 && version != VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported checkpoint version {version}"),
@@ -160,7 +169,11 @@ impl PatchIndex {
         }
         let column = read_u32(&mut r)? as usize;
         let constraint = constraint_from_tag(read_u32(&mut r)?)?;
-        let design = if read_u32(&mut r)? == 1 { Design::Identifier } else { Design::Bitmap };
+        let design = if read_u32(&mut r)? == 1 {
+            Design::Identifier
+        } else {
+            Design::Bitmap
+        };
         let stats = MaintenanceStats {
             collision_rounds: read_u64(&mut r)?,
             build_invocations: read_u64(&mut r)?,
@@ -172,15 +185,25 @@ impl PatchIndex {
             patches: read_u64(&mut r)?,
             maintained_rows: read_u64(&mut r)?,
         };
-        let feedback = QueryFeedback {
+        let mut feedback = QueryFeedback {
             times_bound: read_u64(&mut r)?,
             est_cost_saved: read_f64(&mut r)?,
+            ..QueryFeedback::default()
         };
+        if version >= 3 {
+            feedback.measured_queries = read_u64(&mut r)?;
+            feedback.actual_micros = read_f64(&mut r)?;
+            feedback.est_cost_executed = read_f64(&mut r)?;
+        }
         let nparts = read_u32(&mut r)? as usize;
         let mut parts = Vec::with_capacity(nparts);
         for _ in 0..nparts {
             let nrows = read_u64(&mut r)?;
-            let last_sorted = if read_u32(&mut r)? == 1 { Some(read_i64(&mut r)?) } else { None };
+            let last_sorted = if read_u32(&mut r)? == 1 {
+                Some(read_i64(&mut r)?)
+            } else {
+                None
+            };
             let count = read_u64(&mut r)? as usize;
             let mut rids = Vec::with_capacity(count);
             for _ in 0..count {
@@ -238,12 +261,19 @@ mod tests {
     #[test]
     fn checkpoint_preserves_nsc_anchor() {
         let t = table();
-        let idx =
-            PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        let idx = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Identifier,
+        );
         let path = std::env::temp_dir().join("pi_checkpoint_nsc.pidx");
         idx.checkpoint(&path).unwrap();
         let loaded = PatchIndex::load_checkpoint(&path).unwrap();
-        assert_eq!(loaded.partition(0).last_sorted, idx.partition(0).last_sorted);
+        assert_eq!(
+            loaded.partition(0).last_sorted,
+            idx.partition(0).last_sorted
+        );
         assert_eq!(loaded.design(), Design::Identifier);
         std::fs::remove_file(path).ok();
     }

@@ -60,7 +60,7 @@ use crate::index::PatchIndex;
 use crate::maintenance::{build_changed_batch_from, extend_sorted_run, gather_values};
 
 /// Value history of one staged (pending) row.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct RowHistory {
     /// Value the row held before its first in-epoch modify (`None` for
     /// rows inserted in this epoch). Needed because an eager join could
@@ -75,7 +75,7 @@ struct RowHistory {
 }
 
 /// One staged update statement, in arrival order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum PendingStmt {
     /// `(pid, rid, value)` of rows appended by one insert statement.
     Insert { rows: Vec<(usize, u64, i64)> },
@@ -84,7 +84,7 @@ enum PendingStmt {
 }
 
 /// The per-index dirty set of deferred maintenance.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct PendingMaintenance {
     /// Per-partition staged rows with their value histories.
     rows: Vec<HashMap<u64, RowHistory>>,
@@ -111,7 +111,8 @@ impl PendingMaintenance {
 impl PatchIndex {
     fn pending_mut(&mut self) -> &mut PendingMaintenance {
         let partitions = self.partition_count();
-        self.pending.get_or_insert_with(|| PendingMaintenance::new(partitions))
+        self.pending
+            .get_or_insert_with(|| PendingMaintenance::new(partitions))
     }
 
     /// Whether deferred maintenance work is staged.
@@ -152,7 +153,11 @@ impl PatchIndex {
                 stmt_rows.push((pid, rid, v));
                 pending.rows[pid].insert(
                     rid,
-                    RowHistory { original: None, was_patch: false, entries: vec![(seq, v)] },
+                    RowHistory {
+                        original: None,
+                        was_patch: false,
+                        entries: vec![(seq, v)],
+                    },
                 );
             }
         }
@@ -190,8 +195,10 @@ impl PatchIndex {
             return;
         }
         let old_values = gather_values(table.partition(pid), col, &fresh);
-        let was_patch: Vec<bool> =
-            fresh.iter().map(|&r| self.partition(pid).store.contains(r as u64)).collect();
+        let was_patch: Vec<bool> = fresh
+            .iter()
+            .map(|&r| self.partition(pid).store.contains(r as u64))
+            .collect();
         let pending = self.pending_mut();
         for ((&rid, &old), &was) in fresh.iter().zip(&old_values).zip(&was_patch) {
             pending.pre.insert((pid, rid as u64), (old, was));
@@ -217,7 +224,11 @@ impl PatchIndex {
                 let (original, was_patch) = pre
                     .remove(&(pid, rid))
                     .expect("stage_modify_pre must run (before table.modify) for new rows");
-                RowHistory { original: Some(original), was_patch, entries: Vec::new() }
+                RowHistory {
+                    original: Some(original),
+                    was_patch,
+                    entries: Vec::new(),
+                }
             });
             // A rowID repeated within one statement (last-wins, and the
             // values were gathered post-statement) must not create a
@@ -228,7 +239,10 @@ impl PatchIndex {
             stmt_rows.push((rid, v));
             hist.entries.push((seq, v));
         }
-        pending.stmts.push(PendingStmt::Modify { pid, rows: stmt_rows });
+        pending.stmts.push(PendingStmt::Modify {
+            pid,
+            rows: stmt_rows,
+        });
         pending.staged_rows += rids.len();
         self.note_maintained(rids.len() as u64);
         let staged: Vec<u64> = rids.iter().map(|&r| r as u64).collect();
@@ -238,7 +252,9 @@ impl PatchIndex {
     /// Runs all staged maintenance in one merged round and clears the
     /// dirty set. No-op when nothing is pending.
     pub fn flush(&mut self, table: &mut Table) {
-        let Some(pending) = self.pending.take() else { return };
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
         if pending.stmts.is_empty() {
             return;
         }
@@ -277,8 +293,10 @@ impl PatchIndex {
             }
         }
         let build_batch = build_changed_batch_from(&entries);
-        let mut genuine: HashSet<(usize, u64)> =
-            self.collision_round(table, build_batch, Some(&dirty)).into_iter().collect();
+        let mut genuine: HashSet<(usize, u64)> = self
+            .collision_round(table, build_batch, Some(&dirty))
+            .into_iter()
+            .collect();
         pending_cross_collisions(&pending.rows, &mut genuine);
         self.release_clean_staged(&pending, |pid, rid| genuine.contains(&(pid, rid)));
     }
@@ -469,7 +487,11 @@ mod tests {
     use super::*;
 
     fn hist(original: Option<i64>, entries: Vec<(u64, i64)>) -> RowHistory {
-        RowHistory { original, was_patch: false, entries }
+        RowHistory {
+            original,
+            was_patch: false,
+            entries,
+        }
     }
 
     fn sweep(rows: Vec<HashMap<u64, RowHistory>>) -> Vec<(usize, u64)> {

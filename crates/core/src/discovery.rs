@@ -1,5 +1,5 @@
 //! Constraint discovery: computing the patch set of a column (introduced in
-//! the authors' earlier PatchIndex paper [18]; reproduced here because index
+//! the authors' earlier PatchIndex paper \[18\]; reproduced here because index
 //! creation needs it).
 //!
 //! * **NUC** — the patch set holds *all* rowIDs of values occurring more
@@ -65,7 +65,11 @@ pub fn discover_values(values: &[i64], constraint: Constraint) -> DiscoveryResul
                     patches.push(i as u64);
                 }
             }
-            DiscoveryResult { patches, nrows: values.len() as u64, last_sorted: None }
+            DiscoveryResult {
+                patches,
+                nrows: values.len() as u64,
+                last_sorted: None,
+            }
         }
         Constraint::NearlySorted(dir) => {
             let oriented: Vec<i64>;
@@ -87,7 +91,11 @@ pub fn discover_values(values: &[i64], constraint: Constraint) -> DiscoveryResul
                     patches.push(i as u64);
                 }
             }
-            DiscoveryResult { patches, nrows: values.len() as u64, last_sorted }
+            DiscoveryResult {
+                patches,
+                nrows: values.len() as u64,
+                last_sorted,
+            }
         }
         Constraint::NearlyConstant => {
             // Majority value via one counting pass; everything else is a
@@ -111,7 +119,11 @@ pub fn discover_values(values: &[i64], constraint: Constraint) -> DiscoveryResul
                     .collect(),
                 None => Vec::new(),
             };
-            DiscoveryResult { patches, nrows: values.len() as u64, last_sorted: constant }
+            DiscoveryResult {
+                patches,
+                nrows: values.len() as u64,
+                last_sorted: constant,
+            }
         }
     }
 }
@@ -185,7 +197,10 @@ mod tests {
         let vals = vec![1i64, 2, 3, 0, 4];
         let f = constraint_match_fraction(&vals, Constraint::NearlySorted(SortDir::Asc));
         assert!((f - 0.8).abs() < 1e-12);
-        assert_eq!(constraint_match_fraction(&[], Constraint::NearlyUnique), 1.0);
+        assert_eq!(
+            constraint_match_fraction(&[], Constraint::NearlyUnique),
+            1.0
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::store::PatchStore;
 
 /// Per-partition index state. Partitioning is transparent: one patch store
 /// per partition, all operations partition-local (paper, Section 3.2).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PartitionIndex {
     /// The patch set.
     pub store: PatchStore,
@@ -39,7 +39,11 @@ pub struct DriftBaseline {
 
 impl Default for DriftBaseline {
     fn default() -> Self {
-        DriftBaseline { match_fraction: 1.0, patches: 0, maintained_rows: 0 }
+        DriftBaseline {
+            match_fraction: 1.0,
+            patches: 0,
+            maintained_rows: 0,
+        }
     }
 }
 
@@ -53,10 +57,33 @@ pub struct QueryFeedback {
     pub times_bound: u64,
     /// Cumulative estimated cost saved vs the unrewritten plans.
     pub est_cost_saved: f64,
+    /// Queries whose execution was wall-clock measured (a subset of
+    /// `times_bound`: EXPLAIN-style planning binds without executing).
+    pub measured_queries: u64,
+    /// Cumulative measured execution time of those queries, in
+    /// microseconds.
+    pub actual_micros: f64,
+    /// Cumulative *estimated* cost of the chosen plans behind
+    /// `actual_micros` — the denominator of the estimate-vs-actual
+    /// calibration ratio ([`QueryFeedback::micros_per_cost_unit`]).
+    pub est_cost_executed: f64,
+}
+
+impl QueryFeedback {
+    /// Measured microseconds per planner cost unit — how the cost model's
+    /// absolute scale maps to wall-clock on this machine, grounded in the
+    /// queries that actually ran. `None` until a measured query executed.
+    pub fn micros_per_cost_unit(&self) -> Option<f64> {
+        (self.est_cost_executed > 0.0).then(|| self.actual_micros / self.est_cost_executed)
+    }
 }
 
 /// A PatchIndex over one column of a partitioned table.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the patch stores (and any staged deferred work) —
+/// the snapshot layer shares indexes behind `Arc` and pays this copy only
+/// when maintenance mutates an index a live snapshot still references.
+#[derive(Debug, Clone)]
 pub struct PatchIndex {
     column: usize,
     constraint: Constraint,
@@ -179,6 +206,17 @@ impl PatchIndex {
         self.feedback.est_cost_saved += est_cost_saved.max(0.0);
     }
 
+    /// Records the measured execution of one query that bound this index:
+    /// wall-clock `actual_micros` against the chosen plan's estimated cost
+    /// `est_cost` (per-slot shares when a plan bound several indexes).
+    /// The advisor's drop rule reads the accumulated calibration back via
+    /// [`QueryFeedback::micros_per_cost_unit`].
+    pub fn record_query_timing(&mut self, actual_micros: f64, est_cost: f64) {
+        self.feedback.measured_queries += 1;
+        self.feedback.actual_micros += actual_micros.max(0.0);
+        self.feedback.est_cost_executed += est_cost.max(0.0);
+    }
+
     /// Restores persisted counters after checkpoint recovery.
     pub(crate) fn restore_meta(
         &mut self,
@@ -283,10 +321,27 @@ impl PatchIndex {
         }
     }
 
+    /// Whether the policy pass has anything to do at these thresholds — a
+    /// `&self` predicate checked *before* [`std::sync::Arc::make_mut`], so
+    /// an index shared with live snapshots is only copied when a
+    /// recompute/condense will actually run (the automatic per-statement
+    /// pass would otherwise deep-copy every untouched shared index).
+    pub fn policy_action_due(&self, max_exception_rate: f64, condense_threshold: f64) -> bool {
+        self.exception_rate() > max_exception_rate
+            || self
+                .parts
+                .iter()
+                .any(|p| p.store.would_condense(condense_threshold))
+    }
+
     /// Condenses underlying bitmaps whose utilization fell below
     /// `threshold`; returns how many partitions condensed.
     pub fn maybe_condense(&mut self, threshold: f64) -> usize {
-        self.parts.iter_mut().map(|p| p.store.maybe_condense(threshold)).filter(|&c| c).count()
+        self.parts
+            .iter_mut()
+            .map(|p| p.store.maybe_condense(threshold))
+            .filter(|&c| c)
+            .count()
     }
 
     /// Verifies the core invariant on every partition: excluding the
@@ -390,8 +445,7 @@ mod tests {
     fn create_nsc_index_both_designs() {
         let t = table(vec![vec![1, 2, 99, 3, 4]]);
         for design in [Design::Bitmap, Design::Identifier] {
-            let idx =
-                PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), design);
+            let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), design);
             assert_eq!(idx.partition(0).store.patch_rids(), vec![2]);
             assert_eq!(idx.partition(0).last_sorted, Some(4));
             idx.check_consistency(&t);
@@ -401,7 +455,12 @@ mod tests {
     #[test]
     fn exception_rate_zero_for_clean_data() {
         let t = table(vec![(0..100).collect()]);
-        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         assert_eq!(idx.exception_rate(), 0.0);
         let nuc = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
         assert_eq!(nuc.exception_rate(), 0.0);

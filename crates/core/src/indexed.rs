@@ -12,6 +12,7 @@
 //! data order (paper, Section 2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pi_storage::{DataType, RowAddr, Table, Value};
 
@@ -100,7 +101,9 @@ impl QueryLog {
 
     /// All recorded (column, shape, count) entries, unordered.
     pub fn entries(&self) -> impl Iterator<Item = (usize, QueryShape, u64)> + '_ {
-        self.counts.iter().map(|(&(col, shape), &n)| (col, shape, n))
+        self.counts
+            .iter()
+            .map(|(&(col, shape), &n)| (col, shape, n))
     }
 
     /// Total queries recorded.
@@ -110,9 +113,15 @@ impl QueryLog {
 }
 
 /// A table whose PatchIndexes are maintained through every update.
+///
+/// Indexes live behind [`Arc`]: the snapshot layer
+/// ([`crate::snapshot::TableSnapshot`]) shares them with concurrent
+/// readers, and maintenance copies an index on first write only while a
+/// snapshot still references it (copy-on-write, same discipline as the
+/// table's partitions).
 pub struct IndexedTable {
     table: Table,
-    indexes: Vec<PatchIndex>,
+    indexes: Vec<Arc<PatchIndex>>,
     policy: MaintenancePolicy,
     query_log: QueryLog,
     /// One reservoir per Int column while discovery sampling is enabled
@@ -147,17 +156,29 @@ impl IndexedTable {
         self
     }
 
+    /// Replaces the maintenance policy in place (the snapshot writer's
+    /// counterpart of [`IndexedTable::with_policy`]).
+    pub fn set_policy(&mut self, policy: MaintenancePolicy) {
+        self.policy = policy;
+    }
+
     /// Creates a PatchIndex on `col` and returns its slot.
     pub fn add_index(&mut self, col: usize, constraint: Constraint, design: Design) -> usize {
         self.invalidate_catalog();
-        self.indexes.push(PatchIndex::create(&self.table, col, constraint, design));
+        self.indexes.push(Arc::new(PatchIndex::create(
+            &self.table,
+            col,
+            constraint,
+            design,
+        )));
         self.indexes.len() - 1
     }
 
-    /// Drops the index in `slot` and returns it. Later indexes shift down
-    /// one slot — slots are only stable between catalog snapshots, which
-    /// is all the planner assumes (every query re-snapshots).
-    pub fn drop_index(&mut self, slot: usize) -> PatchIndex {
+    /// Drops the index in `slot` and returns it (a shared handle — live
+    /// snapshots may still be reading it). Later indexes shift down one
+    /// slot — slots are only stable between catalog snapshots, which is
+    /// all the planner assumes (every query re-snapshots).
+    pub fn drop_index(&mut self, slot: usize) -> Arc<PatchIndex> {
         self.invalidate_catalog();
         self.indexes.remove(slot)
     }
@@ -167,7 +188,7 @@ impl IndexedTable {
     /// (always up-to-date) table supersedes it.
     pub fn recompute_index(&mut self, slot: usize) {
         self.invalidate_catalog();
-        self.indexes[slot].recompute(&self.table);
+        Arc::make_mut(&mut self.indexes[slot]).recompute(&self.table);
     }
 
     /// Read access to the table.
@@ -175,9 +196,15 @@ impl IndexedTable {
         &self.table
     }
 
-    /// The indexes.
-    pub fn indexes(&self) -> &[PatchIndex] {
+    /// The indexes (shared handles; deref to [`PatchIndex`]).
+    pub fn indexes(&self) -> &[Arc<PatchIndex>] {
         &self.indexes
+    }
+
+    /// Clones the index handles (what a snapshot captures — `Arc` bumps,
+    /// no index data copied).
+    pub(crate) fn share_indexes(&self) -> Vec<Arc<PatchIndex>> {
+        self.indexes.clone()
     }
 
     /// Index by slot.
@@ -224,7 +251,10 @@ impl IndexedTable {
     /// other plans reuse the warm cache the same way and otherwise take
     /// an owned counts-only snapshot — pure counter reads, never the
     /// distinct-patch hash pass.
-    pub fn query_catalog(&mut self, with_distinct_stats: bool) -> std::borrow::Cow<'_, IndexCatalog> {
+    pub fn query_catalog(
+        &mut self,
+        with_distinct_stats: bool,
+    ) -> std::borrow::Cow<'_, IndexCatalog> {
         if with_distinct_stats || self.catalog_cache.is_some() {
             std::borrow::Cow::Borrowed(self.cached_catalog())
         } else {
@@ -258,7 +288,18 @@ impl IndexedTable {
     /// units over the unrewritten plan. The cached catalog is patched in
     /// place — feedback does not change any planning-relevant statistic.
     pub fn record_query_feedback(&mut self, slot: usize, est_cost_saved: f64) {
-        self.indexes[slot].record_query_feedback(est_cost_saved);
+        Arc::make_mut(&mut self.indexes[slot]).record_query_feedback(est_cost_saved);
+        if let Some(cache) = &mut self.catalog_cache {
+            cache.indexes[slot].feedback = self.indexes[slot].query_feedback();
+        }
+    }
+
+    /// Records the measured execution of one query for the index in
+    /// `slot` (wall-clock micros + the chosen plan's estimated cost; see
+    /// [`PatchIndex::record_query_timing`]). Patches the cached catalog
+    /// in place like [`IndexedTable::record_query_feedback`].
+    pub fn record_query_timing(&mut self, slot: usize, actual_micros: f64, est_cost: f64) {
+        Arc::make_mut(&mut self.indexes[slot]).record_query_timing(actual_micros, est_cost);
         if let Some(cache) = &mut self.catalog_cache {
             cache.indexes[slot].feedback = self.indexes[slot].query_feedback();
         }
@@ -307,7 +348,10 @@ impl IndexedTable {
     /// Sampled constraint-match fraction of `col`, or `None` when the
     /// column is unsampled (sampling disabled, or not an Int column).
     pub fn sampled_match(&self, col: usize, constraint: Constraint) -> Option<f64> {
-        self.samplers.get(col)?.as_ref().map(|r| r.match_fraction(constraint))
+        self.samplers
+            .get(col)?
+            .as_ref()
+            .map(|r| r.match_fraction(constraint))
     }
 
     /// Values the sampler of `col` has seen, if sampled.
@@ -331,7 +375,9 @@ impl IndexedTable {
     }
 
     fn sample_column(&mut self, pid: usize, col: usize, values: &[Value]) {
-        let Some(Some(r)) = self.samplers.get_mut(col) else { return };
+        let Some(Some(r)) = self.samplers.get_mut(col) else {
+            return;
+        };
         for v in values {
             if let Value::Int(v) = v {
                 r.offer(pid, *v);
@@ -349,12 +395,16 @@ impl IndexedTable {
         match self.policy.mode {
             MaintenanceMode::Eager => {
                 for idx in &mut self.indexes {
-                    idx.handle_insert_with(&mut self.table, &addrs, self.policy.probe);
+                    Arc::make_mut(idx).handle_insert_with(
+                        &mut self.table,
+                        &addrs,
+                        self.policy.probe,
+                    );
                 }
             }
             MaintenanceMode::Deferred { .. } => {
                 for idx in &mut self.indexes {
-                    idx.stage_insert(&self.table, &addrs);
+                    Arc::make_mut(idx).stage_insert(&self.table, &addrs);
                 }
                 self.maybe_auto_flush();
             }
@@ -372,7 +422,7 @@ impl IndexedTable {
         self.flush_maintenance();
         // Index stores interpret the same pre-delete rowIDs the table does.
         for idx in &mut self.indexes {
-            idx.handle_delete(pid, rids);
+            Arc::make_mut(idx).handle_delete(pid, rids);
         }
         self.table.delete(pid, rids);
         self.run_policy();
@@ -390,7 +440,12 @@ impl IndexedTable {
                 self.table.modify(pid, rids, col, values);
                 for idx in &mut self.indexes {
                     if idx.column() == col {
-                        idx.handle_modify_with(&mut self.table, pid, rids, self.policy.probe);
+                        Arc::make_mut(idx).handle_modify_with(
+                            &mut self.table,
+                            pid,
+                            rids,
+                            self.policy.probe,
+                        );
                     }
                 }
             }
@@ -398,13 +453,13 @@ impl IndexedTable {
                 // Old values must be snapshotted before the table changes.
                 for idx in &mut self.indexes {
                     if idx.column() == col {
-                        idx.stage_modify_pre(&self.table, pid, rids);
+                        Arc::make_mut(idx).stage_modify_pre(&self.table, pid, rids);
                     }
                 }
                 self.table.modify(pid, rids, col, values);
                 for idx in &mut self.indexes {
                     if idx.column() == col {
-                        idx.stage_modify(&self.table, pid, rids);
+                        Arc::make_mut(idx).stage_modify(&self.table, pid, rids);
                     }
                 }
                 self.maybe_auto_flush();
@@ -417,11 +472,13 @@ impl IndexedTable {
     /// / one LIS extension (NSC) per index with staged work. No-op in
     /// eager mode or when nothing is pending.
     pub fn flush_maintenance(&mut self) {
-        if self.indexes.iter().any(PatchIndex::has_pending) {
+        if self.indexes.iter().any(|idx| idx.has_pending()) {
             self.invalidate_catalog();
         }
         for idx in &mut self.indexes {
-            idx.flush(&mut self.table);
+            if idx.has_pending() {
+                Arc::make_mut(idx).flush(&mut self.table);
+            }
         }
     }
 
@@ -431,8 +488,8 @@ impl IndexedTable {
     pub fn flush_index(&mut self, slot: usize) {
         if self.indexes[slot].has_pending() {
             self.invalidate_catalog();
+            Arc::make_mut(&mut self.indexes[slot]).flush(&mut self.table);
         }
-        self.indexes[slot].flush(&mut self.table);
     }
 
     /// Total staged row-events across all indexes.
@@ -444,7 +501,7 @@ impl IndexedTable {
         if let MaintenanceMode::Deferred { flush_rows } = self.policy.mode {
             for idx in &mut self.indexes {
                 if idx.pending_rows() >= flush_rows {
-                    idx.flush(&mut self.table);
+                    Arc::make_mut(idx).flush(&mut self.table);
                 }
             }
         }
@@ -464,6 +521,16 @@ impl IndexedTable {
         let mut recomputed = 0;
         let mut condensed = 0;
         for idx in &mut self.indexes {
+            // `&self` predicate first: copying a snapshot-shared index
+            // just to discover there is nothing to do would defeat the
+            // copy-on-write economics.
+            if !idx.policy_action_due(
+                self.policy.max_exception_rate,
+                self.policy.condense_threshold,
+            ) {
+                continue;
+            }
+            let idx = Arc::make_mut(idx);
             if idx.maybe_recompute(&self.table, self.policy.max_exception_rate) {
                 recomputed += 1;
             }
@@ -484,9 +551,12 @@ impl IndexedTable {
         }
         let policy = self.policy;
         for idx in &mut self.indexes {
-            if idx.has_pending() {
+            if idx.has_pending()
+                || !idx.policy_action_due(policy.max_exception_rate, policy.condense_threshold)
+            {
                 continue;
             }
+            let idx = Arc::make_mut(idx);
             idx.maybe_recompute(&self.table, policy.max_exception_rate);
             idx.maybe_condense(policy.condense_threshold);
         }
@@ -518,8 +588,17 @@ mod tests {
             2,
             Partitioning::RoundRobin,
         );
-        t.load_partition(0, &[ColumnData::Int(vec![0, 1, 2]), ColumnData::Int(vec![10, 20, 30])]);
-        t.load_partition(1, &[ColumnData::Int(vec![3, 4]), ColumnData::Int(vec![40, 50])]);
+        t.load_partition(
+            0,
+            &[
+                ColumnData::Int(vec![0, 1, 2]),
+                ColumnData::Int(vec![10, 20, 30]),
+            ],
+        );
+        t.load_partition(
+            1,
+            &[ColumnData::Int(vec![3, 4]), ColumnData::Int(vec![40, 50])],
+        );
         t.propagate_all();
         IndexedTable::new(t)
     }
@@ -539,7 +618,11 @@ mod tests {
     fn lifecycle_with_two_indexes() {
         let mut it = fresh();
         it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
-        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        it.add_index(
+            1,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Identifier,
+        );
         it.insert(&[row(100, 20), row(101, 60)]);
         it.check_consistency();
         // Both indexes grew with the table.
@@ -704,7 +787,10 @@ mod tests {
         let dropped = it.drop_index(0);
         assert_eq!(dropped.constraint(), Constraint::NearlyUnique);
         assert_eq!(it.indexes().len(), 1);
-        assert_eq!(it.index(0).constraint(), Constraint::NearlySorted(SortDir::Asc));
+        assert_eq!(
+            it.index(0).constraint(),
+            Constraint::NearlySorted(SortDir::Asc)
+        );
         it.check_consistency();
     }
 
@@ -738,7 +824,11 @@ mod tests {
         let cached = it.cached_catalog();
         assert_eq!(cached.indexes[slot].feedback.times_bound, 1);
         assert!((cached.indexes[slot].feedback.est_cost_saved - 123.0).abs() < 1e-9);
-        assert_eq!(it.catalog_rebuilds(), 1, "feedback must not force a re-snapshot");
+        assert_eq!(
+            it.catalog_rebuilds(),
+            1,
+            "feedback must not force a re-snapshot"
+        );
     }
 
     #[test]
@@ -768,7 +858,10 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..30).map(|i| row(200 + i, 7777)).collect();
         it.insert(&rows);
         let est = it.sampled_match(1, Constraint::NearlyUnique).unwrap();
-        assert!(est < 1.0, "duplicates must lower the NUC estimate, got {est}");
+        assert!(
+            est < 1.0,
+            "duplicates must lower the NUC estimate, got {est}"
+        );
         assert!(it.sampled_seen(1).unwrap() >= 30);
     }
 
@@ -796,8 +889,13 @@ mod tests {
         it.insert(&rows); // round-robin: p0 and p1 each sorted, interleaved
         assert!(it.table().partition(0).visible_len() > 0);
         assert!(it.table().partition(1).visible_len() > 0);
-        let est = it.sampled_match(1, Constraint::NearlySorted(SortDir::Asc)).unwrap();
-        assert!((est - 1.0).abs() < 1e-12, "per-partition sorted must score 1.0, got {est}");
+        let est = it
+            .sampled_match(1, Constraint::NearlySorted(SortDir::Asc))
+            .unwrap();
+        assert!(
+            (est - 1.0).abs() < 1e-12,
+            "per-partition sorted must score 1.0, got {est}"
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod approx;
 mod catalog;
 mod checkpoint;
 mod constraint;
-mod deferred;
+pub mod deferred;
 pub mod discovery;
 mod index;
 mod indexed;
@@ -63,6 +63,7 @@ pub mod lis;
 mod maintenance;
 pub mod sampling;
 pub mod scan;
+pub mod snapshot;
 pub mod stats;
 mod store;
 
@@ -71,4 +72,5 @@ pub use constraint::{Constraint, Design, SortDir};
 pub use index::{DriftBaseline, PartitionIndex, PatchIndex, QueryFeedback};
 pub use indexed::{IndexedTable, MaintenanceMode, MaintenancePolicy, QueryLog, QueryShape};
 pub use maintenance::{drp_ranges, MaintenanceStats, ProbeStrategy};
+pub use snapshot::{ConcurrentTable, TableSnapshot, TableWriter, WorkloadEvent, WorkloadSink};
 pub use store::PatchStore;

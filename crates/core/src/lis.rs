@@ -1,4 +1,4 @@
-//! Longest non-decreasing subsequence (Fredman [12] — patience sorting with
+//! Longest non-decreasing subsequence (Fredman \[12\] — patience sorting with
 //! binary search, `O(n log n)`).
 //!
 //! Used by NSC discovery (the minimal patch set is the complement of a

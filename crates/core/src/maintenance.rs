@@ -67,7 +67,9 @@ pub struct MaintenanceStats {
 /// to only the blocks that contain potential join partners").
 #[allow(clippy::single_range_in_vec_init)]
 pub fn drp_ranges(partition: &Partition, col: usize, env: Option<(i64, i64)>) -> Vec<Range<usize>> {
-    let Some((lo, hi)) = env else { return Vec::new() };
+    let Some((lo, hi)) = env else {
+        return Vec::new();
+    };
     let delta = partition.delta();
     if delta.has_positional_shifts() || delta.has_modifies() {
         return vec![0..partition.visible_len()];
@@ -88,11 +90,7 @@ pub fn drp_ranges(partition: &Partition, col: usize, env: Option<(i64, i64)>) ->
 
 /// Materializes the `[value, pid, rid]` build batch of the collision join
 /// from the changed `(partition, rowID)` set.
-pub(crate) fn build_changed_batch(
-    table: &Table,
-    col: usize,
-    changed: &[(usize, usize)],
-) -> Batch {
+pub(crate) fn build_changed_batch(table: &Table, col: usize, changed: &[(usize, usize)]) -> Batch {
     let mut per_part: Vec<Vec<usize>> = vec![Vec::new(); table.partition_count()];
     for &(pid, rid) in changed {
         per_part[pid].push(rid);
@@ -132,7 +130,11 @@ pub(crate) fn build_changed_batch_from(entries: &[(usize, u64, i64)]) -> Batch {
         pids.push(pid as i64);
         rids.push(rid as i64);
     }
-    Batch::new(vec![ColumnData::Int(vals), ColumnData::Int(pids), ColumnData::Int(rids)])
+    Batch::new(vec![
+        ColumnData::Int(vals),
+        ColumnData::Int(pids),
+        ColumnData::Int(rids),
+    ])
 }
 
 /// What a collision-probe round produced.
@@ -239,7 +241,7 @@ pub(crate) fn nuc_collision_probe(
         (probe_hits, build_hits)
     };
     let per_part = if inline {
-        table.partitions().iter().map(worker).collect()
+        table.partitions().iter().map(|p| worker(p)).collect()
     } else {
         per_partition(table, worker)
     };
@@ -251,7 +253,10 @@ pub(crate) fn nuc_collision_probe(
     }
     build_hits.sort_unstable();
     build_hits.dedup();
-    ProbeOutcome { probe_hits, build_hits }
+    ProbeOutcome {
+        probe_hits,
+        build_hits,
+    }
 }
 
 /// The original sequential pipeline: for every partition, re-materialize
@@ -316,9 +321,11 @@ fn apply_collisions(index: &mut PatchIndex, patches: &[(usize, usize)]) {
 
 /// Ensures zone maps exist on every prunable partition (the DRP receiver;
 /// needs `&mut Table`, while the collision scans only need `&`).
-pub(crate) fn prepare_zonemaps(table: &mut Table, col: usize) {
+pub(crate) fn prepare_zonemaps(table: &Table, col: usize) {
     for pid in 0..table.partition_count() {
-        let p = table.partition_mut(pid);
+        // Zone-map building is a `&self` cache fill on the partition, so
+        // this never copies a partition that live snapshots share.
+        let p = table.partition(pid);
         if !p.delta().has_positional_shifts() && !p.delta().has_modifies() {
             p.zonemap(col);
         }
@@ -348,8 +355,9 @@ impl PatchIndex {
         // at most CONCURRENT_SWAP_BITS_PER_ROW bitmap bits copied per
         // changed row — a 64-row statement over a 100M-row partition
         // applies its handful of hits through add_patches instead.
-        let max_nrows =
-            (0..self.partition_count()).map(|pid| self.partition(pid).store.nrows()).max();
+        let max_nrows = (0..self.partition_count())
+            .map(|pid| self.partition(pid).store.nrows())
+            .max();
         let concurrent = self.design() == Design::Bitmap
             && build_batch.len() >= INLINE_PROBE_BUILD_ROWS
             && build_batch.len() as u64 >= max_nrows.unwrap_or(0) / CONCURRENT_SWAP_BITS_PER_ROW;
@@ -359,11 +367,20 @@ impl PatchIndex {
             // — including cross-partition build-side hits.
             let bitmaps: Vec<ConcurrentShardedBitmap> = (0..self.partition_count())
                 .map(|pid| {
-                    self.partition_mut(pid).store.begin_concurrent().expect("bitmap design")
+                    self.partition_mut(pid)
+                        .store
+                        .begin_concurrent()
+                        .expect("bitmap design")
                 })
                 .collect();
-            let outcome =
-                nuc_collision_probe(table, col, build_batch, skip_dirty, Some(&bitmaps), &mut stats);
+            let outcome = nuc_collision_probe(
+                table,
+                col,
+                build_batch,
+                skip_dirty,
+                Some(&bitmaps),
+                &mut stats,
+            );
             for (pid, bm) in bitmaps.into_iter().enumerate() {
                 self.partition_mut(pid).store.end_concurrent(bm);
             }
@@ -408,8 +425,10 @@ impl PatchIndex {
                 let build_hits = self.collision_round(table, build_batch, None);
                 // Build-side hits are patches too (idempotent for the
                 // bitmap design, where the sink already set them).
-                let pairs: Vec<(usize, usize)> =
-                    build_hits.iter().map(|&(pid, rid)| (pid, rid as usize)).collect();
+                let pairs: Vec<(usize, usize)> = build_hits
+                    .iter()
+                    .map(|&(pid, rid)| (pid, rid as usize))
+                    .collect();
                 apply_collisions(self, &pairs);
             }
         }
@@ -689,8 +708,12 @@ mod tests {
     #[test]
     fn nsc_insert_extends_sorted_run() {
         let mut t = table(vec![1, 2, 3, 10], 1);
-        let mut idx =
-            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let mut idx = PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         assert_eq!(idx.partition(0).last_sorted, Some(10));
         // 12 and 15 extend; 11 after 12? 11 < 12 so LIS keeps 12,15 or
         // 11,15 — longest is (12, 15) or (11, 15): both length 2.
@@ -709,8 +732,12 @@ mod tests {
         // LIS would keep 1,2,3,4 but the local extension keeps 10 and
         // patches 3,4.
         let mut t = table(vec![1, 2, 10], 1);
-        let mut idx =
-            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let mut idx = PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         let addrs = t.insert_rows(&[row(20, 3), row(21, 4)]);
         idx.handle_insert(&mut t, &addrs);
         assert_eq!(idx.exception_count(), 2);
@@ -720,8 +747,12 @@ mod tests {
     #[test]
     fn nsc_descending_insert() {
         let mut t = table(vec![9, 8, 7], 1);
-        let mut idx =
-            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Desc), Design::Bitmap);
+        let mut idx = PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlySorted(SortDir::Desc),
+            Design::Bitmap,
+        );
         let addrs = t.insert_rows(&[row(20, 6), row(21, 7), row(22, 3)]);
         idx.handle_insert(&mut t, &addrs);
         // Run ends at 7; both (6,3) and (7,3) are maximal non-increasing
@@ -744,8 +775,12 @@ mod tests {
     #[test]
     fn modify_nsc_patches_modified_rows() {
         let mut t = table(vec![1, 2, 3, 4], 1);
-        let mut idx =
-            PatchIndex::create(&t, 1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        let mut idx = PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Identifier,
+        );
         t.modify(0, &[1], 1, &[Value::Int(100)]);
         idx.handle_modify(&mut t, 0, &[1]);
         assert_eq!(idx.partition(0).store.patch_rids(), vec![1]);
@@ -823,14 +858,16 @@ mod tests {
             let vals: Vec<i64> = (0..40).collect();
             let mut shared_t = table(vals.clone(), 4);
             let mut seq_t = table(vals, 4);
-            let mut shared_idx =
-                PatchIndex::create(&shared_t, 1, Constraint::NearlyUnique, design);
+            let mut shared_idx = PatchIndex::create(&shared_t, 1, Constraint::NearlyUnique, design);
             let mut seq_idx = PatchIndex::create(&seq_t, 1, Constraint::NearlyUnique, design);
 
             // Duplicates of 3 and 17 plus fresh values, spread round-robin
             // over all four partitions (cross-partition collisions).
-            let rows: Vec<Vec<Value>> =
-                [3, 17, 100, 101, 3, 102].iter().enumerate().map(|(i, &v)| row(200 + i as i64, v)).collect();
+            let rows: Vec<Vec<Value>> = [3, 17, 100, 101, 3, 102]
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| row(200 + i as i64, v))
+                .collect();
             let a1 = shared_t.insert_rows(&rows);
             shared_idx.handle_insert_with(&mut shared_t, &a1, ProbeStrategy::ParallelShared);
             let a2 = seq_t.insert_rows(&rows);
@@ -838,12 +875,18 @@ mod tests {
 
             let shared_stats = shared_idx.maintenance_stats();
             assert_eq!(shared_stats.collision_rounds, 1);
-            assert_eq!(shared_stats.build_invocations, 1, "build hashed once per round");
+            assert_eq!(
+                shared_stats.build_invocations, 1,
+                "build hashed once per round"
+            );
             assert_eq!(shared_stats.probed_partitions, 4);
 
             let seq_stats = seq_idx.maintenance_stats();
             assert_eq!(seq_stats.collision_rounds, 1);
-            assert_eq!(seq_stats.build_invocations, 4, "baseline rebuilds per partition");
+            assert_eq!(
+                seq_stats.build_invocations, 4,
+                "baseline rebuilds per partition"
+            );
 
             for pid in 0..4 {
                 assert_eq!(

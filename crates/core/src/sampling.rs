@@ -38,7 +38,12 @@ impl Reservoir {
     /// An empty reservoir holding at most `cap` values.
     pub fn new(cap: usize, seed: u64) -> Self {
         assert!(cap > 0, "empty reservoir");
-        Reservoir { cap, seen: 0, slots: Vec::with_capacity(cap), state: seed | 1 }
+        Reservoir {
+            cap,
+            seen: 0,
+            slots: Vec::with_capacity(cap),
+            state: seed | 1,
+        }
     }
 
     /// xorshift64* — deterministic, dependency-free; sampling quality
@@ -150,7 +155,10 @@ mod tests {
             r.offer((i % 2) as usize, i); // p0: 0,2,4..., p1: 1,3,5...
         }
         let est = r.match_fraction(Constraint::NearlySorted(SortDir::Asc));
-        assert!((est - 1.0).abs() < 1e-12, "per-partition sorted must score 1.0, got {est}");
+        assert!(
+            (est - 1.0).abs() < 1e-12,
+            "per-partition sorted must score 1.0, got {est}"
+        );
         // NUC across partitions: a value living in both partitions is
         // *not* a partition-local duplicate.
         let mut r = Reservoir::new(256, 13);
@@ -159,7 +167,10 @@ mod tests {
             r.offer(1, i); // same values, other partition
         }
         let est = r.match_fraction(Constraint::NearlyUnique);
-        assert!((est - 1.0).abs() < 1e-12, "cross-partition repeats are unique, got {est}");
+        assert!(
+            (est - 1.0).abs() < 1e-12,
+            "cross-partition repeats are unique, got {est}"
+        );
     }
 
     #[test]

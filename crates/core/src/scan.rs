@@ -23,7 +23,12 @@ pub fn patch_scan<'a>(
 ) -> OpRef<'a> {
     let rid_col = cols.len();
     let scan = ScanOp::new(partition, cols, true);
-    Box::new(PatchSelectOp::new(Box::new(scan), index.lookup(partition.id), rid_col, mode))
+    Box::new(PatchSelectOp::new(
+        Box::new(scan),
+        index.lookup(partition.id),
+        rid_col,
+        mode,
+    ))
 }
 
 /// Both flows of the PatchIndex scan split for one partition:
@@ -61,7 +66,12 @@ mod tests {
     #[test]
     fn split_flows_partition_the_rows() {
         let t = table(vec![1, 2, 99, 3, 4]);
-        let idx = PatchIndex::create(&t, 0, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let idx = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
         let (mut ex, mut us) = patch_scan_split(t.partition(0), &idx, vec![0]);
         let kept = collect(ex.as_mut());
         let patches = collect(us.as_mut());

@@ -1,0 +1,674 @@
+//! Snapshot-isolated concurrent reads during background maintenance.
+//!
+//! [`IndexedTable`] is single-writer: every query, flush and recompute
+//! used to serialize on one `&mut` path. This module splits that into an
+//! MVCC-style pair (cf. the epoch/snapshot designs of the incremental
+//! view-maintenance literature):
+//!
+//! * [`TableSnapshot`] — a shared, immutable epoch of the table: `Arc`'d
+//!   partitions, `Arc`'d [`PatchIndex`] versions and the precomputed
+//!   [`IndexCatalog`]. Any number of reader threads query snapshots
+//!   concurrently without locks, and a snapshot's results never change —
+//!   readers never observe a half-applied patch set.
+//! * [`TableWriter`] — the single writer. It stages inserts / modifies /
+//!   deletes, runs deferred and collision maintenance and advisor-driven
+//!   recomputes entirely **off the read path**, then
+//!   [`TableWriter::publish`]es a new snapshot with one atomic epoch
+//!   pointer swap. Old snapshots stay alive (and exact) until their last
+//!   reader drops them.
+//! * [`ConcurrentTable`] — the cloneable handle readers pull snapshots
+//!   from.
+//!
+//! ## Copy-on-write economics
+//!
+//! Publishing is cheap because nothing is deep-copied eagerly: the
+//! snapshot captures the writer's table (one `Arc` bump per partition)
+//! and its index handles (one `Arc` bump per index). The *next* writer
+//! mutation of a partition or index that a live snapshot still shares
+//! pays a one-time copy ([`std::sync::Arc::make_mut`]); everything else
+//! mutates in place exactly as before. A read-only epoch costs nothing.
+//!
+//! ## The pending-NUC fallback rule
+//!
+//! Deferred maintenance may be staged when a snapshot is published; the
+//! snapshot then carries `pending` catalog entries. NSC / NCC / exception
+//! plans stay exact against staged state (see [`crate::deferred`]), but a
+//! pending **NUC** index suspends the kept/patch disjointness invariant.
+//! The writer-side rule was "flush before such queries"; a reader cannot
+//! flush an immutable snapshot, so the query facade in `pi-planner`
+//! instead **falls back to the exact, index-free reference plan** for
+//! precisely those queries — results stay exact without a reader-side
+//! flush, and the next published (flushed) snapshot restores the rewrite.
+//!
+//! ## Workload evidence from readers
+//!
+//! The writer's advisor needs query-log and feedback evidence, but reader
+//! queries run against immutable snapshots. Every snapshot therefore
+//! carries a [`WorkloadSink`]: readers record events there, and the
+//! writer drains them into its query log / per-index feedback on
+//! [`TableWriter::absorb_feedback`] (also invoked by `publish`). Events
+//! identify indexes by `(column, constraint)` — not slot — so drops that
+//! shift slots between an event and its absorption cannot misattribute
+//! feedback.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pi_storage::{RowAddr, Table, Value};
+
+use crate::catalog::IndexCatalog;
+use crate::constraint::{Constraint, Design};
+use crate::index::PatchIndex;
+use crate::indexed::{IndexedTable, MaintenancePolicy, QueryShape};
+
+/// One workload observation recorded by a reader against a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadEvent {
+    /// A planned query scanned `col` through an advisable shape.
+    Query {
+        /// Table column the query scanned.
+        col: usize,
+        /// The advisable shape (distinct / sort).
+        shape: QueryShape,
+    },
+    /// A chosen plan bound the index on `(column, constraint)` with this
+    /// estimated cost saving.
+    Feedback {
+        /// Indexed column.
+        column: usize,
+        /// The bound index's constraint.
+        constraint: Constraint,
+        /// Estimated planner cost saved vs the unrewritten plan.
+        est_cost_saved: f64,
+    },
+    /// A measured execution of a query that bound `(column, constraint)`.
+    Timing {
+        /// Indexed column.
+        column: usize,
+        /// The bound index's constraint.
+        constraint: Constraint,
+        /// Measured wall-clock execution time, microseconds.
+        actual_micros: f64,
+        /// Estimated cost of the chosen plan (this index's share).
+        est_cost: f64,
+    },
+}
+
+/// Where snapshot readers deposit workload evidence for the writer.
+/// Shared by every snapshot of one [`ConcurrentTable`]; drained by
+/// [`TableWriter::absorb_feedback`].
+///
+/// The buffer is **bounded**: evidence is advisory, and a read-mostly
+/// deployment (or one whose writer was dropped via
+/// [`TableWriter::into_inner`]) would otherwise grow it without limit.
+/// Once [`WorkloadSink::CAPACITY`] events are buffered, further events
+/// are counted but dropped — the workload they describe is statistically
+/// indistinguishable from the retained prefix anyway.
+#[derive(Debug, Default)]
+pub struct WorkloadSink {
+    events: Mutex<Vec<WorkloadEvent>>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl WorkloadSink {
+    /// Most events buffered between drains; see the type docs.
+    pub const CAPACITY: usize = 1 << 16;
+
+    /// Records one event (readers call this concurrently). Dropped
+    /// silently once the buffer is full — see the type docs.
+    pub fn record(&self, event: WorkloadEvent) {
+        let mut events = self.events.lock();
+        if events.len() < Self::CAPACITY {
+            events.push(event);
+        } else {
+            drop(events);
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Takes every event recorded so far, in arrival order.
+    pub fn drain(&self) -> Vec<WorkloadEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Events discarded because the buffer was full when they arrived.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
+    epoch: u64,
+    table: Table,
+    indexes: Vec<Arc<PatchIndex>>,
+    catalog: IndexCatalog,
+    sink: Arc<WorkloadSink>,
+}
+
+/// An immutable epoch of an indexed table: shared partitions, shared
+/// index versions and the catalog precomputed at publish time. Cloning is
+/// one `Arc` bump; all accessors are `&self` and lock-free.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+impl TableSnapshot {
+    fn capture(it: &mut IndexedTable, sink: Arc<WorkloadSink>, epoch: u64) -> Self {
+        // The full catalog (including the NUC distinct-patch pass) is
+        // computed here, on the writer — snapshot readers plan against it
+        // for free. Reuses the mutation-invalidated cache: a publish with
+        // no data change since the last catalog read costs counter reads.
+        let catalog = it.cached_catalog().clone();
+        TableSnapshot {
+            inner: Arc::new(SnapshotInner {
+                epoch,
+                table: it.table().clone(),
+                indexes: it.share_indexes(),
+                catalog,
+                sink,
+            }),
+        }
+    }
+
+    /// The epoch counter this snapshot was published at (monotonically
+    /// increasing per [`TableWriter::publish`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// The table state of this epoch.
+    pub fn table(&self) -> &Table {
+        &self.inner.table
+    }
+
+    /// The index versions of this epoch.
+    pub fn indexes(&self) -> &[Arc<PatchIndex>] {
+        &self.inner.indexes
+    }
+
+    /// The catalog precomputed at publish time (full distinct statistics).
+    pub fn catalog(&self) -> &IndexCatalog {
+        &self.inner.catalog
+    }
+
+    /// The sink reader queries report workload evidence to.
+    pub fn sink(&self) -> &WorkloadSink {
+        &self.inner.sink
+    }
+
+    /// Verifies every index of this epoch against its table (test
+    /// helper). Exempt from the writer's pending-flush caveat only when
+    /// the snapshot was published flushed.
+    pub fn check_consistency(&self) {
+        for idx in &self.inner.indexes {
+            idx.check_consistency(&self.inner.table);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    current: RwLock<TableSnapshot>,
+}
+
+/// The reader-side handle: clone freely across threads, pull a
+/// [`TableSnapshot`] per query (or batch of queries) and read without
+/// ever blocking on maintenance.
+#[derive(Debug, Clone)]
+pub struct ConcurrentTable {
+    shared: Arc<Shared>,
+}
+
+impl ConcurrentTable {
+    /// Splits an [`IndexedTable`] into the shared read handle and the
+    /// single writer. The initial snapshot is published immediately.
+    pub fn new(mut it: IndexedTable) -> (ConcurrentTable, TableWriter) {
+        let sink = Arc::new(WorkloadSink::default());
+        let first = TableSnapshot::capture(&mut it, Arc::clone(&sink), 0);
+        let shared = Arc::new(Shared {
+            current: RwLock::new(first),
+        });
+        (
+            ConcurrentTable {
+                shared: Arc::clone(&shared),
+            },
+            TableWriter {
+                staging: it,
+                shared,
+                sink,
+                epoch: 0,
+            },
+        )
+    }
+
+    /// The current snapshot (one `Arc` bump under a read lock held for
+    /// nanoseconds — the epoch pointer swap in [`TableWriter::publish`]
+    /// is the only writer of this lock).
+    pub fn snapshot(&self) -> TableSnapshot {
+        self.shared.current.read().clone()
+    }
+
+    /// Epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current.read().epoch()
+    }
+}
+
+/// The single-writer half: owns the staging [`IndexedTable`], applies
+/// updates and maintenance off the read path, and publishes epochs.
+///
+/// Mutations accumulate in the staging table and become visible to new
+/// snapshots only at [`TableWriter::publish`] — concurrent readers keep
+/// whatever epoch they hold. Queries through the writer itself (it
+/// implements the planner's `QueryEngine` too) see staged state
+/// immediately, exactly like a plain [`IndexedTable`].
+pub struct TableWriter {
+    staging: IndexedTable,
+    shared: Arc<Shared>,
+    sink: Arc<WorkloadSink>,
+    epoch: u64,
+}
+
+impl TableWriter {
+    /// Inserts rows into the staging table (visible at the next publish).
+    pub fn insert(&mut self, rows: &[Vec<Value>]) -> Vec<RowAddr> {
+        self.staging.insert(rows)
+    }
+
+    /// Patches one column of staged visible rows.
+    pub fn modify(&mut self, pid: usize, rids: &[usize], col: usize, values: &[Value]) {
+        self.staging.modify(pid, rids, col, values)
+    }
+
+    /// Deletes staged visible rows.
+    pub fn delete(&mut self, pid: usize, rids: &[usize]) {
+        self.staging.delete(pid, rids)
+    }
+
+    /// Creates a PatchIndex (discovery runs on the writer, off the read
+    /// path) and returns its slot.
+    pub fn add_index(&mut self, col: usize, constraint: Constraint, design: Design) -> usize {
+        self.staging.add_index(col, constraint, design)
+    }
+
+    /// Drops the index in `slot`; snapshots published earlier keep
+    /// serving it until they are dropped.
+    pub fn drop_index(&mut self, slot: usize) -> Arc<PatchIndex> {
+        self.staging.drop_index(slot)
+    }
+
+    /// Recomputes the index in `slot` — the background "recompute storm"
+    /// case: readers keep querying the published epoch while this runs.
+    pub fn recompute_index(&mut self, slot: usize) {
+        self.staging.recompute_index(slot)
+    }
+
+    /// Runs all deferred maintenance staged on the writer.
+    pub fn flush_maintenance(&mut self) {
+        self.staging.flush_maintenance()
+    }
+
+    /// Applies the maintenance policy once (recompute / condense).
+    pub fn run_policy_now(&mut self) -> (usize, usize) {
+        self.staging.run_policy_now()
+    }
+
+    /// Sets the staging maintenance policy.
+    pub fn set_policy(&mut self, policy: MaintenancePolicy) {
+        self.staging.set_policy(policy);
+    }
+
+    /// The staging table (reflects unpublished mutations).
+    pub fn staging(&self) -> &IndexedTable {
+        &self.staging
+    }
+
+    /// Mutable access to the staging table for callers composed above
+    /// this type (the advisor steps against this). Changes become visible
+    /// at the next publish.
+    pub fn staging_mut(&mut self) -> &mut IndexedTable {
+        &mut self.staging
+    }
+
+    /// Epoch of the last published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The sink shared with every published snapshot.
+    pub fn sink(&self) -> &Arc<WorkloadSink> {
+        &self.sink
+    }
+
+    /// Drains reader-reported workload evidence into the staging table's
+    /// query log and per-index feedback. Events naming a `(column,
+    /// constraint)` without a live index (dropped since) are discarded.
+    pub fn absorb_feedback(&mut self) {
+        let events = self.sink.drain();
+        if events.is_empty() {
+            return;
+        }
+        let slot_of = |staging: &IndexedTable, column: usize, constraint: Constraint| {
+            staging
+                .indexes()
+                .iter()
+                .position(|idx| idx.column() == column && idx.constraint() == constraint)
+        };
+        for event in events {
+            match event {
+                WorkloadEvent::Query { col, shape } => self.staging.record_query(col, shape),
+                WorkloadEvent::Feedback {
+                    column,
+                    constraint,
+                    est_cost_saved,
+                } => {
+                    if let Some(slot) = slot_of(&self.staging, column, constraint) {
+                        self.staging.record_query_feedback(slot, est_cost_saved);
+                    }
+                }
+                WorkloadEvent::Timing {
+                    column,
+                    constraint,
+                    actual_micros,
+                    est_cost,
+                } => {
+                    if let Some(slot) = slot_of(&self.staging, column, constraint) {
+                        self.staging
+                            .record_query_timing(slot, actual_micros, est_cost);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes the staging state as a new snapshot: absorbs reader
+    /// feedback, captures the epoch (Arc bumps, no data copies) and swaps
+    /// the shared pointer. Returns the new epoch. Readers holding older
+    /// snapshots are unaffected; they pick the new epoch up at their next
+    /// [`ConcurrentTable::snapshot`] call.
+    pub fn publish(&mut self) -> u64 {
+        self.absorb_feedback();
+        self.epoch += 1;
+        let snap = TableSnapshot::capture(&mut self.staging, Arc::clone(&self.sink), self.epoch);
+        *self.shared.current.write() = snap;
+        self.epoch
+    }
+
+    /// Flushes any staged deferred maintenance, then publishes — the
+    /// "writer publishes a flushed snapshot" half of the pending-NUC
+    /// rule: snapshots published through this never force readers off
+    /// their index rewrites.
+    pub fn publish_flushed(&mut self) -> u64 {
+        self.staging.flush_maintenance();
+        self.publish()
+    }
+
+    /// Unwraps the writer back into its staging table. The shared handle
+    /// keeps serving the last published epoch forever after.
+    pub fn into_inner(self) -> IndexedTable {
+        self.staging
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::SortDir;
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
+
+    fn fresh() -> IndexedTable {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(
+            0,
+            &[
+                ColumnData::Int(vec![0, 1, 2]),
+                ColumnData::Int(vec![10, 20, 30]),
+            ],
+        );
+        t.load_partition(
+            1,
+            &[ColumnData::Int(vec![3, 4]), ColumnData::Int(vec![40, 50])],
+        );
+        t.propagate_all();
+        IndexedTable::new(t)
+    }
+
+    fn row(k: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(k), Value::Int(v)]
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_writer_mutations() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let before = handle.snapshot();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.table().visible_len(), 5);
+
+        writer.insert(&[row(100, 20), row(101, 60)]);
+        // Unpublished: the handle still serves epoch 0, and the old
+        // snapshot's data is untouched.
+        assert_eq!(handle.snapshot().epoch(), 0);
+        assert_eq!(before.table().visible_len(), 5);
+        assert_eq!(before.indexes()[0].nrows(), 5);
+        assert_eq!(writer.staging().table().visible_len(), 7);
+
+        let epoch = writer.publish();
+        assert_eq!(epoch, 1);
+        let after = handle.snapshot();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.table().visible_len(), 7);
+        assert_eq!(after.indexes()[0].nrows(), 7);
+        // The pre-publish snapshot still reads its own epoch.
+        assert_eq!(before.table().visible_len(), 5);
+        before.check_consistency();
+        after.check_consistency();
+    }
+
+    #[test]
+    fn old_snapshot_survives_recompute_and_drop() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let old = handle.snapshot();
+        writer.insert(&[row(100, 5)]); // out of order -> patch on flush/eager
+        writer.recompute_index(0);
+        writer.drop_index(0);
+        writer.publish();
+        // The dropped index version lives on inside the old snapshot.
+        assert_eq!(old.indexes().len(), 1);
+        old.check_consistency();
+        assert!(handle.snapshot().indexes().is_empty());
+    }
+
+    #[test]
+    fn publish_is_cheap_when_nothing_changed() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let a = handle.snapshot();
+        writer.publish();
+        let b = handle.snapshot();
+        // Identical epochs share every partition and index allocation.
+        for (pa, pb) in a.table().partitions().iter().zip(b.table().partitions()) {
+            assert!(Arc::ptr_eq(pa, pb));
+        }
+        for (ia, ib) in a.indexes().iter().zip(b.indexes()) {
+            assert!(Arc::ptr_eq(ia, ib));
+        }
+    }
+
+    #[test]
+    fn writer_mutation_copies_only_the_touched_partition() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let old = handle.snapshot();
+        // Modify partition 0 only; partition 1 stays shared after publish.
+        writer.modify(0, &[0], 1, &[Value::Int(11)]);
+        writer.publish();
+        let new = handle.snapshot();
+        assert!(!Arc::ptr_eq(
+            &old.table().partitions()[0],
+            &new.table().partitions()[0]
+        ));
+        assert!(Arc::ptr_eq(
+            &old.table().partitions()[1],
+            &new.table().partitions()[1]
+        ));
+    }
+
+    #[test]
+    fn catalog_is_captured_at_publish_time() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        writer.insert(&[row(100, 20)]); // duplicates 20 -> 2 patches
+        writer.publish();
+        let snap = handle.snapshot();
+        assert_eq!(snap.catalog().indexes[0].patches(), 2);
+        assert_eq!(snap.catalog().rows(), 6);
+        // Snapshot catalog mirrors a fresh computation over its state.
+        let fresh_cat = IndexCatalog::of(snap.table(), snap.indexes());
+        assert_eq!(snap.catalog().part_rows, fresh_cat.part_rows);
+        assert_eq!(snap.catalog().indexes[0].parts, fresh_cat.indexes[0].parts);
+    }
+
+    #[test]
+    fn sink_events_flow_into_writer_state() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let snap = handle.snapshot();
+        snap.sink().record(WorkloadEvent::Query {
+            col: 1,
+            shape: QueryShape::Distinct,
+        });
+        snap.sink().record(WorkloadEvent::Feedback {
+            column: 1,
+            constraint: Constraint::NearlyUnique,
+            est_cost_saved: 42.0,
+        });
+        snap.sink().record(WorkloadEvent::Timing {
+            column: 1,
+            constraint: Constraint::NearlyUnique,
+            actual_micros: 12.5,
+            est_cost: 100.0,
+        });
+        // An event for an index that no longer exists is dropped quietly.
+        snap.sink().record(WorkloadEvent::Feedback {
+            column: 0,
+            constraint: Constraint::NearlyConstant,
+            est_cost_saved: 7.0,
+        });
+        writer.absorb_feedback();
+        assert!(writer.sink().is_empty());
+        let it = writer.staging();
+        assert_eq!(it.query_log().count(1, QueryShape::Distinct), 1);
+        let fb = it.index(0).query_feedback();
+        assert_eq!(fb.times_bound, 1);
+        assert!((fb.est_cost_saved - 42.0).abs() < 1e-9);
+        assert_eq!(fb.measured_queries, 1);
+        assert!((fb.actual_micros - 12.5).abs() < 1e-9);
+        assert!((fb.est_cost_executed - 100.0).abs() < 1e-9);
+        assert_eq!(fb.micros_per_cost_unit(), Some(0.125));
+    }
+
+    #[test]
+    fn sink_is_bounded() {
+        let sink = WorkloadSink::default();
+        for _ in 0..WorkloadSink::CAPACITY + 10 {
+            sink.record(WorkloadEvent::Query {
+                col: 0,
+                shape: QueryShape::Distinct,
+            });
+        }
+        assert_eq!(sink.len(), WorkloadSink::CAPACITY);
+        assert_eq!(sink.dropped(), 10);
+        assert_eq!(sink.drain().len(), WorkloadSink::CAPACITY);
+        // Draining frees the budget again.
+        sink.record(WorkloadEvent::Query {
+            col: 0,
+            shape: QueryShape::Distinct,
+        });
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn publish_flushed_clears_pending_state() {
+        use crate::indexed::{MaintenanceMode, MaintenancePolicy};
+        let it = fresh().with_policy(MaintenancePolicy {
+            mode: MaintenanceMode::Deferred {
+                flush_rows: usize::MAX,
+            },
+            ..MaintenancePolicy::default()
+        });
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        writer.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        writer.insert(&[row(100, 20)]);
+        writer.publish();
+        assert!(handle.snapshot().catalog().indexes[0].pending);
+        writer.publish_flushed();
+        let snap = handle.snapshot();
+        assert!(!snap.catalog().indexes[0].pending);
+        snap.check_consistency();
+    }
+
+    #[test]
+    fn concurrent_readers_during_writer_churn() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = handle.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let snap = handle.snapshot();
+                        // Row count and index coverage always agree
+                        // within one epoch — the atomicity guarantee.
+                        assert_eq!(
+                            snap.indexes()[0].nrows() as usize,
+                            snap.table().visible_len(),
+                            "epoch {} tore",
+                            snap.epoch()
+                        );
+                    }
+                });
+            }
+            for i in 0..50 {
+                writer.insert(&[row(1000 + i, 2000 + i)]);
+                if i % 7 == 0 {
+                    writer.recompute_index(0);
+                }
+                writer.publish();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(handle.snapshot().table().visible_len(), 55);
+    }
+}

@@ -7,7 +7,7 @@ use pi_exec::ops::patch_select::PatchLookup;
 use crate::constraint::Design;
 
 /// Patch storage for one partition.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum PatchStore {
     /// Dense: one bit per tuple of the indexed column.
     Bitmap(ShardedBitmap),
@@ -191,6 +191,16 @@ impl PatchStore {
         match self {
             PatchStore::Bitmap(bm) => bm.memory_bytes(),
             PatchStore::Identifier { ids, .. } => ids.capacity() * 8,
+        }
+    }
+
+    /// Whether [`PatchStore::maybe_condense`] would condense at this
+    /// threshold — a `&self` predicate so callers holding shared (`Arc`)
+    /// stores can skip the copy-on-write when no condense is due.
+    pub fn would_condense(&self, threshold: f64) -> bool {
+        match self {
+            PatchStore::Bitmap(bm) => bm.utilization() < threshold,
+            PatchStore::Identifier { .. } => false,
         }
     }
 

@@ -69,8 +69,9 @@ impl DriftSpec {
     /// Call twice to get two identical tables (advisor vs reference).
     pub fn base_table(&self) -> Table {
         let rows_per_part = self.rows_per_part();
-        let boundaries: Vec<i64> =
-            (1..self.partitions).map(|p| (p * rows_per_part) as i64).collect();
+        let boundaries: Vec<i64> = (1..self.partitions)
+            .map(|p| (p * rows_per_part) as i64)
+            .collect();
         let mut t = Table::new(
             "drift",
             Schema::new(vec![
@@ -132,13 +133,14 @@ impl DriftSpec {
         // Targets and their duplicate partners both live in partition 0,
         // so only as many rounds run as fit — degenerate tiny tables get
         // a shorter (possibly empty) drift phase instead of a panic.
-        let rounds = self.drift_batches.min(rows_per_part / (2 * self.batch_rows));
+        let rounds = self
+            .drift_batches
+            .min(rows_per_part / (2 * self.batch_rows));
         let upper_base = rows_per_part / 2;
         let mut val = 200_000_000i64;
         let mut ops = Vec::new();
         for b in 0..rounds {
-            let rids: Vec<usize> =
-                (b * self.batch_rows..(b + 1) * self.batch_rows).collect();
+            let rids: Vec<usize> = (b * self.batch_rows..(b + 1) * self.batch_rows).collect();
             // Partner values: vals of rows in the upper half (val = 2·row
             // for partition 0's base rows).
             let dup_vals: Vec<Value> = rids
@@ -151,9 +153,16 @@ impl DriftSpec {
                 col: Self::VAL_COL,
                 values: dup_vals,
             });
-            let away: Vec<Value> =
-                rids.iter().map(|_| Value::Int(Self::fresh_val(&mut val))).collect();
-            ops.push(DriftOp::Modify { pid: 0, rids, col: Self::VAL_COL, values: away });
+            let away: Vec<Value> = rids
+                .iter()
+                .map(|_| Value::Int(Self::fresh_val(&mut val)))
+                .collect();
+            ops.push(DriftOp::Modify {
+                pid: 0,
+                rids,
+                col: Self::VAL_COL,
+                values: away,
+            });
             ops.push(DriftOp::Query);
         }
         DriftPhase { name: "drift", ops }
@@ -168,9 +177,16 @@ impl DriftSpec {
         for b in 0..self.storm_batches {
             let start = (b * self.batch_rows) % (rows_per_part - self.batch_rows).max(1);
             let rids: Vec<usize> = (start..start + self.batch_rows).collect();
-            let values: Vec<Value> =
-                rids.iter().map(|_| Value::Int(Self::fresh_val(&mut val))).collect();
-            ops.push(DriftOp::Modify { pid: 0, rids, col: Self::VAL_COL, values });
+            let values: Vec<Value> = rids
+                .iter()
+                .map(|_| Value::Int(Self::fresh_val(&mut val)))
+                .collect();
+            ops.push(DriftOp::Modify {
+                pid: 0,
+                rids,
+                col: Self::VAL_COL,
+                values,
+            });
         }
         DriftPhase { name: "storm", ops }
     }
@@ -229,9 +245,7 @@ mod tests {
         let spec = DriftSpec::new(4_000);
         let phases = spec.phases();
         assert_eq!(phases.len(), 3);
-        let queries = |p: &DriftPhase| {
-            p.ops.iter().filter(|o| matches!(o, DriftOp::Query)).count()
-        };
+        let queries = |p: &DriftPhase| p.ops.iter().filter(|o| matches!(o, DriftOp::Query)).count();
         assert_eq!(phases[0].name, "grow");
         assert_eq!(queries(&phases[0]), spec.grow_batches);
         assert_eq!(phases[1].name, "drift");

@@ -1,5 +1,5 @@
 //! The microbenchmark data generator (paper, Section 6.2; the authors'
-//! generator is reference [1]).
+//! generator is reference \[1\]).
 //!
 //! Datasets have two columns: a unique key and a value column exhibiting a
 //! chosen exception rate `e` to a chosen constraint. The table is range-
@@ -86,10 +86,14 @@ pub struct MicroDataset {
 /// Generates a microbenchmark dataset.
 pub fn generate(spec: &MicroSpec) -> MicroDataset {
     assert!(spec.partitions > 0 && spec.rows > 0, "empty spec");
-    assert!((0.0..=1.0).contains(&spec.exception_rate), "exception rate out of range");
+    assert!(
+        (0.0..=1.0).contains(&spec.exception_rate),
+        "exception rate out of range"
+    );
     let rows_per_part = spec.rows.div_ceil(spec.partitions);
-    let boundaries: Vec<i64> =
-        (1..spec.partitions).map(|p| (p * rows_per_part) as i64).collect();
+    let boundaries: Vec<i64> = (1..spec.partitions)
+        .map(|p| (p * rows_per_part) as i64)
+        .collect();
     let schema = Schema::new(vec![
         Field::new("key", DataType::Int),
         Field::new("val", DataType::Int),

@@ -48,35 +48,67 @@ pub struct WorkbookSpec {
 }
 
 fn spread(kind: ColumnKind, fractions: &[f64]) -> Vec<ColumnSpec> {
-    fractions.iter().map(|&f| ColumnSpec { kind, match_fraction: f }).collect()
+    fractions
+        .iter()
+        .map(|&f| ColumnSpec {
+            kind,
+            match_fraction: f,
+        })
+        .collect()
 }
 
 /// USCensus_1-like: 500+ columns, 15 nearly sorted, nine above 60%.
 pub fn uscensus_like(rows: usize) -> WorkbookSpec {
     let mut columns = spread(
         ColumnKind::Nsc,
-        &[0.97, 0.93, 0.88, 0.82, 0.76, 0.71, 0.68, 0.65, 0.62, 0.45, 0.38, 0.31, 0.22, 0.15, 0.08],
+        &[
+            0.97, 0.93, 0.88, 0.82, 0.76, 0.71, 0.68, 0.65, 0.62, 0.45, 0.38, 0.31, 0.22, 0.15,
+            0.08,
+        ],
     );
-    columns.extend(std::iter::repeat_with(|| ColumnSpec {
-        kind: ColumnKind::Noise,
-        match_fraction: 0.0,
-    })
-    .take(490));
-    WorkbookSpec { name: "USCensus_1", plotted: ColumnKind::Nsc, rows, columns }
+    columns.extend(
+        std::iter::repeat_with(|| ColumnSpec {
+            kind: ColumnKind::Noise,
+            match_fraction: 0.0,
+        })
+        .take(490),
+    );
+    WorkbookSpec {
+        name: "USCensus_1",
+        plotted: ColumnKind::Nsc,
+        rows,
+        columns,
+    }
 }
 
 /// IGlocations2_1-like: few columns, a large share nearly perfectly unique.
 pub fn iglocations_like(rows: usize) -> WorkbookSpec {
-    let mut columns = spread(ColumnKind::Nuc, &[0.999, 0.995, 0.99, 0.97, 0.92, 0.55, 0.30]);
+    let mut columns = spread(
+        ColumnKind::Nuc,
+        &[0.999, 0.995, 0.99, 0.97, 0.92, 0.55, 0.30],
+    );
     columns.extend(spread(ColumnKind::Noise, &[0.0, 0.0, 0.0]));
-    WorkbookSpec { name: "IGlocations2_1", plotted: ColumnKind::Nuc, rows, columns }
+    WorkbookSpec {
+        name: "IGlocations2_1",
+        plotted: ColumnKind::Nuc,
+        rows,
+        columns,
+    }
 }
 
 /// IUBlibrary_1-like: small workbook, several nearly unique columns.
 pub fn iublibrary_like(rows: usize) -> WorkbookSpec {
-    let mut columns = spread(ColumnKind::Nuc, &[0.998, 0.99, 0.985, 0.96, 0.88, 0.72, 0.40, 0.12]);
+    let mut columns = spread(
+        ColumnKind::Nuc,
+        &[0.998, 0.99, 0.985, 0.96, 0.88, 0.72, 0.40, 0.12],
+    );
     columns.extend(spread(ColumnKind::Noise, &[0.0, 0.0]));
-    WorkbookSpec { name: "IUBlibrary_1", plotted: ColumnKind::Nuc, rows, columns }
+    WorkbookSpec {
+        name: "IUBlibrary_1",
+        plotted: ColumnKind::Nuc,
+        rows,
+        columns,
+    }
 }
 
 /// Materializes a column's values with (approximately) the target match
@@ -142,7 +174,11 @@ mod tests {
     fn workbook_shapes_match_paper_description() {
         let us = uscensus_like(1000);
         assert!(us.columns.len() > 500);
-        let nsc_cols = us.columns.iter().filter(|c| c.kind == ColumnKind::Nsc).count();
+        let nsc_cols = us
+            .columns
+            .iter()
+            .filter(|c| c.kind == ColumnKind::Nsc)
+            .count();
         assert_eq!(nsc_cols, 15);
         let over60 = us
             .columns
@@ -157,7 +193,10 @@ mod tests {
     fn generated_nuc_column_hits_target_fraction() {
         for target in [0.9, 0.5, 0.2] {
             let col = generate_column(
-                &ColumnSpec { kind: ColumnKind::Nuc, match_fraction: target },
+                &ColumnSpec {
+                    kind: ColumnKind::Nuc,
+                    match_fraction: target,
+                },
                 4000,
                 7,
             );
@@ -170,12 +209,14 @@ mod tests {
     fn generated_nsc_column_hits_target_fraction() {
         for target in [0.9, 0.6, 0.3] {
             let col = generate_column(
-                &ColumnSpec { kind: ColumnKind::Nsc, match_fraction: target },
+                &ColumnSpec {
+                    kind: ColumnKind::Nsc,
+                    match_fraction: target,
+                },
                 4000,
                 11,
             );
-            let got =
-                constraint_match_fraction(&col, Constraint::NearlySorted(SortDir::Asc));
+            let got = constraint_match_fraction(&col, Constraint::NearlySorted(SortDir::Asc));
             // Random rows can only add to the sorted run.
             assert!(got >= target - 0.02, "target {target} got {got}");
             assert!(got <= target + 0.1, "target {target} got {got}");
@@ -185,7 +226,10 @@ mod tests {
     #[test]
     fn noise_columns_match_poorly() {
         let col = generate_column(
-            &ColumnSpec { kind: ColumnKind::Noise, match_fraction: 0.0 },
+            &ColumnSpec {
+                kind: ColumnKind::Noise,
+                match_fraction: 0.0,
+            },
             2000,
             3,
         );

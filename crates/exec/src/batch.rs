@@ -61,14 +61,19 @@ impl Batch {
 
     /// Keeps only the rows at `indices` (in that order).
     pub fn gather(&self, indices: &[usize]) -> Batch {
-        Batch { columns: self.columns.iter().map(|c| c.gather(indices)).collect() }
+        Batch {
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
+        }
     }
 
     /// Keeps only the rows where `mask` is true.
     pub fn filter(&self, mask: &[bool]) -> Batch {
         assert_eq!(mask.len(), self.len(), "mask length mismatch");
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i))
+            .collect();
         if indices.len() == self.len() {
             return self.clone();
         }
@@ -77,7 +82,9 @@ impl Batch {
 
     /// Keeps only the given columns, in the given order.
     pub fn project(&self, cols: &[usize]) -> Batch {
-        Batch { columns: cols.iter().map(|&c| self.columns[c].clone()).collect() }
+        Batch {
+            columns: cols.iter().map(|&c| self.columns[c].clone()).collect(),
+        }
     }
 
     /// Appends the rows of `other` (same shape).

@@ -215,7 +215,11 @@ impl Expr {
                 )
             }
             boolean => ColumnData::Int(
-                boolean.eval_bool(batch).into_iter().map(i64::from).collect(),
+                boolean
+                    .eval_bool(batch)
+                    .into_iter()
+                    .map(i64::from)
+                    .collect(),
             ),
         }
     }
@@ -266,28 +270,55 @@ fn cmp_columns(op: CmpOp, a: &ColumnData, b: &ColumnData) -> Vec<bool> {
         (ColumnData::Float(x), ColumnData::Float(y)) => {
             x.iter().zip(y).map(|(p, q)| op.apply(p, q)).collect()
         }
-        (ColumnData::Int(x), ColumnData::Float(y)) => {
-            x.iter().zip(y).map(|(p, q)| op.apply(*p as f64, *q)).collect()
-        }
-        (ColumnData::Float(x), ColumnData::Int(y)) => {
-            x.iter().zip(y).map(|(p, q)| op.apply(*p, *q as f64)).collect()
-        }
+        (ColumnData::Int(x), ColumnData::Float(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(p, q)| op.apply(*p as f64, *q))
+            .collect(),
+        (ColumnData::Float(x), ColumnData::Int(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(p, q)| op.apply(*p, *q as f64))
+            .collect(),
         // String columns compare by code against encoded literals: only
         // equality is meaningful (codes are assigned in first-seen order).
         (ColumnData::Str { codes, .. }, ColumnData::Int(y)) => {
-            assert!(matches!(op, CmpOp::Eq | CmpOp::Ne), "only Eq/Ne on string codes");
-            codes.iter().zip(y).map(|(c, q)| op.apply(*c as i64, *q)).collect()
+            assert!(
+                matches!(op, CmpOp::Eq | CmpOp::Ne),
+                "only Eq/Ne on string codes"
+            );
+            codes
+                .iter()
+                .zip(y)
+                .map(|(c, q)| op.apply(*c as i64, *q))
+                .collect()
         }
         (ColumnData::Int(x), ColumnData::Str { codes, .. }) => {
-            assert!(matches!(op, CmpOp::Eq | CmpOp::Ne), "only Eq/Ne on string codes");
-            x.iter().zip(codes).map(|(p, c)| op.apply(*p, *c as i64)).collect()
+            assert!(
+                matches!(op, CmpOp::Eq | CmpOp::Ne),
+                "only Eq/Ne on string codes"
+            );
+            x.iter()
+                .zip(codes)
+                .map(|(p, c)| op.apply(*p, *c as i64))
+                .collect()
         }
         (ColumnData::Str { codes: x, dict: dx }, ColumnData::Str { codes: y, dict: dy }) => {
-            assert!(std::sync::Arc::ptr_eq(dx, dy), "string comparison across dictionaries");
-            assert!(matches!(op, CmpOp::Eq | CmpOp::Ne), "only Eq/Ne on string codes");
+            assert!(
+                std::sync::Arc::ptr_eq(dx, dy),
+                "string comparison across dictionaries"
+            );
+            assert!(
+                matches!(op, CmpOp::Eq | CmpOp::Ne),
+                "only Eq/Ne on string codes"
+            );
             x.iter().zip(y).map(|(p, q)| op.apply(p, q)).collect()
         }
-        (a, b) => panic!("cannot compare {:?} with {:?}", a.data_type(), b.data_type()),
+        (a, b) => panic!(
+            "cannot compare {:?} with {:?}",
+            a.data_type(),
+            b.data_type()
+        ),
     }
 }
 
@@ -430,7 +461,9 @@ mod tests {
         let p = Expr::Between(Box::new(Expr::col(3)), 10, 20);
         assert_eq!(p.range_for_col(3), Some((10, 20)));
         assert_eq!(p.range_for_col(2), None);
-        let q = Expr::col(0).ge(Expr::LitInt(5)).and(Expr::col(0).lt(Expr::LitInt(9)));
+        let q = Expr::col(0)
+            .ge(Expr::LitInt(5))
+            .and(Expr::col(0).lt(Expr::LitInt(9)));
         assert_eq!(q.range_for_col(0), Some((5, 8)));
         let eq = Expr::col(1).eq(Expr::LitInt(7));
         assert_eq!(eq.range_for_col(1), Some((7, 7)));

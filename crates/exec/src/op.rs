@@ -50,7 +50,9 @@ pub struct BatchSource {
 impl BatchSource {
     /// Creates a source over pre-built batches.
     pub fn new(batches: Vec<Batch>) -> Self {
-        BatchSource { batches: batches.into_iter() }
+        BatchSource {
+            batches: batches.into_iter(),
+        }
     }
 
     /// Creates a source over a single batch.

@@ -43,32 +43,56 @@ pub struct AggSpec {
 impl AggSpec {
     /// `SUM(expr)`.
     pub fn sum(expr: Expr) -> Self {
-        AggSpec { func: AggFunc::Sum, expr, filter: None }
+        AggSpec {
+            func: AggFunc::Sum,
+            expr,
+            filter: None,
+        }
     }
 
     /// `COUNT(*)`.
     pub fn count() -> Self {
-        AggSpec { func: AggFunc::Count, expr: Expr::LitInt(0), filter: None }
+        AggSpec {
+            func: AggFunc::Count,
+            expr: Expr::LitInt(0),
+            filter: None,
+        }
     }
 
     /// `SUM(CASE WHEN pred THEN 1 ELSE 0 END)`.
     pub fn count_if(pred: Expr) -> Self {
-        AggSpec { func: AggFunc::Count, expr: Expr::LitInt(0), filter: Some(pred) }
+        AggSpec {
+            func: AggFunc::Count,
+            expr: Expr::LitInt(0),
+            filter: Some(pred),
+        }
     }
 
     /// `MIN(expr)`.
     pub fn min(expr: Expr) -> Self {
-        AggSpec { func: AggFunc::Min, expr, filter: None }
+        AggSpec {
+            func: AggFunc::Min,
+            expr,
+            filter: None,
+        }
     }
 
     /// `MAX(expr)`.
     pub fn max(expr: Expr) -> Self {
-        AggSpec { func: AggFunc::Max, expr, filter: None }
+        AggSpec {
+            func: AggFunc::Max,
+            expr,
+            filter: None,
+        }
     }
 
     /// `AVG(expr)`.
     pub fn avg(expr: Expr) -> Self {
-        AggSpec { func: AggFunc::Avg, expr, filter: None }
+        AggSpec {
+            func: AggFunc::Avg,
+            expr,
+            filter: None,
+        }
     }
 
     /// Attaches a row filter.
@@ -109,7 +133,11 @@ impl AggState {
         } else {
             AccVec::I(Vec::new())
         };
-        AggState { func, acc, counts: Vec::new() }
+        AggState {
+            func,
+            acc,
+            counts: Vec::new(),
+        }
     }
 
     fn grow_to(&mut self, groups: usize) {
@@ -147,7 +175,11 @@ impl AggState {
             }
             (AccVec::I(acc), _) => {
                 // Count ignores its argument type entirely.
-                assert_eq!(self.func, AggFunc::Count, "int accumulator over non-int input");
+                assert_eq!(
+                    self.func,
+                    AggFunc::Count,
+                    "int accumulator over non-int input"
+                );
                 acc[group] += 1;
             }
         }
@@ -175,16 +207,20 @@ impl AggState {
 /// Per-group key storage for output reconstruction.
 enum KeyStore {
     Int(Vec<i64>),
-    Str { codes: Vec<u32>, dict: pi_storage::DictRef },
+    Str {
+        codes: Vec<u32>,
+        dict: pi_storage::DictRef,
+    },
 }
 
 impl KeyStore {
     fn from_col(col: &ColumnData) -> Self {
         match col {
             ColumnData::Int(_) => KeyStore::Int(Vec::new()),
-            ColumnData::Str { dict, .. } => {
-                KeyStore::Str { codes: Vec::new(), dict: Arc::clone(dict) }
-            }
+            ColumnData::Str { dict, .. } => KeyStore::Str {
+                codes: Vec::new(),
+                dict: Arc::clone(dict),
+            },
             other => panic!("cannot group by {:?}", other.data_type()),
         }
     }
@@ -192,9 +228,7 @@ impl KeyStore {
     fn push(&mut self, col: &ColumnData, row: usize) {
         match (self, col) {
             (KeyStore::Int(v), ColumnData::Int(c)) => v.push(c[row]),
-            (KeyStore::Str { codes, .. }, ColumnData::Str { codes: c, .. }) => {
-                codes.push(c[row])
-            }
+            (KeyStore::Str { codes, .. }, ColumnData::Str { codes: c, .. }) => codes.push(c[row]),
             _ => panic!("group key type changed between batches"),
         }
     }
@@ -228,7 +262,12 @@ pub struct HashAggOp<'a> {
 impl<'a> HashAggOp<'a> {
     /// Creates a grouped aggregation.
     pub fn new(input: OpRef<'a>, group_by: Vec<usize>, specs: Vec<AggSpec>) -> Self {
-        HashAggOp { input: Some(input), group_by, specs, output: Vec::new() }
+        HashAggOp {
+            input: Some(input),
+            group_by,
+            specs,
+            output: Vec::new(),
+        }
     }
 
     /// DISTINCT over the given columns.
@@ -237,7 +276,9 @@ impl<'a> HashAggOp<'a> {
     }
 
     fn run(&mut self) {
-        let Some(mut input) = self.input.take() else { return };
+        let Some(mut input) = self.input.take() else {
+            return;
+        };
         let mut single: IntMap<u32> = int_map();
         let mut multi: KeyMap<u32> = key_map();
         let mut keys: Option<Vec<KeyStore>> = None;
@@ -249,11 +290,18 @@ impl<'a> HashAggOp<'a> {
                 continue;
             }
             let keys = keys.get_or_insert_with(|| {
-                self.group_by.iter().map(|&c| KeyStore::from_col(batch.column(c))).collect()
+                self.group_by
+                    .iter()
+                    .map(|&c| KeyStore::from_col(batch.column(c)))
+                    .collect()
             });
             // Group ids per row.
             let mut gids: Vec<u32> = Vec::with_capacity(batch.len());
-            let mut ngroups = if single_key { single.len() } else { multi.len() } as u32;
+            let mut ngroups = if single_key {
+                single.len()
+            } else {
+                multi.len()
+            } as u32;
             for row in 0..batch.len() {
                 let gid = if single_key {
                     let k = encode_key(batch.column(self.group_by[0]), row) as i64;
@@ -351,7 +399,11 @@ mod tests {
                 ColumnData::Float(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
             ]),
             vec![0],
-            vec![AggSpec::sum(Expr::col(1)), AggSpec::sum(Expr::col(2)), AggSpec::count()],
+            vec![
+                AggSpec::sum(Expr::col(1)),
+                AggSpec::sum(Expr::col(2)),
+                AggSpec::count(),
+            ],
         );
         let out = collect(&mut a);
         assert_eq!(out.column(0).as_int(), &[1, 2]);
@@ -420,8 +472,14 @@ mod tests {
     #[test]
     fn aggregation_across_batches() {
         let batches = vec![
-            Batch::new(vec![ColumnData::Int(vec![1, 2]), ColumnData::Int(vec![1, 1])]),
-            Batch::new(vec![ColumnData::Int(vec![2, 3]), ColumnData::Int(vec![1, 1])]),
+            Batch::new(vec![
+                ColumnData::Int(vec![1, 2]),
+                ColumnData::Int(vec![1, 1]),
+            ]),
+            Batch::new(vec![
+                ColumnData::Int(vec![2, 3]),
+                ColumnData::Int(vec![1, 1]),
+            ]),
         ];
         let mut a = HashAggOp::new(
             Box::new(BatchSource::new(batches)),

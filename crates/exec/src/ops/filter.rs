@@ -49,7 +49,9 @@ impl<'a> ProjectOp<'a> {
 impl Operator for ProjectOp<'_> {
     fn next(&mut self) -> Option<Batch> {
         let batch = self.input.next()?;
-        Some(Batch::new(self.exprs.iter().map(|e| e.eval(&batch)).collect()))
+        Some(Batch::new(
+            self.exprs.iter().map(|e| e.eval(&batch)).collect(),
+        ))
     }
 }
 
@@ -60,7 +62,9 @@ mod tests {
     use pi_storage::ColumnData;
 
     fn src(vals: &[i64]) -> OpRef<'static> {
-        Box::new(BatchSource::single(Batch::new(vec![ColumnData::Int(vals.to_vec())])))
+        Box::new(BatchSource::single(Batch::new(vec![ColumnData::Int(
+            vals.to_vec(),
+        )])))
     }
 
     #[test]

@@ -63,7 +63,12 @@ impl JoinTable {
                 });
             }
         }
-        JoinTable { map, rows, key, envelope }
+        JoinTable {
+            map,
+            rows,
+            key,
+            envelope,
+        }
     }
 
     /// Drains `op` and hashes its output on column `key`.
@@ -142,12 +147,7 @@ pub struct HashJoinOp<'a> {
 impl<'a> HashJoinOp<'a> {
     /// Creates a hash join. `build_key` / `probe_key` are column indices of
     /// the respective inputs.
-    pub fn new(
-        build: OpRef<'a>,
-        build_key: usize,
-        probe: ProbeSide<'a>,
-        probe_key: usize,
-    ) -> Self {
+    pub fn new(build: OpRef<'a>, build_key: usize, probe: ProbeSide<'a>, probe_key: usize) -> Self {
         HashJoinOp {
             build: BuildState::Pending(build, build_key),
             probe: ProbeState::Pending(probe),
@@ -157,12 +157,7 @@ impl<'a> HashJoinOp<'a> {
     }
 
     /// Convenience constructor with a ready probe side.
-    pub fn inner(
-        build: OpRef<'a>,
-        build_key: usize,
-        probe: OpRef<'a>,
-        probe_key: usize,
-    ) -> Self {
+    pub fn inner(build: OpRef<'a>, build_key: usize, probe: OpRef<'a>, probe_key: usize) -> Self {
         Self::new(build, build_key, ProbeSide::Ready(probe), probe_key)
     }
 
@@ -180,9 +175,10 @@ impl<'a> HashJoinOp<'a> {
 
     fn ensure_built(&mut self) {
         if let BuildState::Pending(..) = self.build {
-            let BuildState::Pending(mut op, key) =
-                std::mem::replace(&mut self.build, BuildState::Owned(JoinTable::from_batch(Batch::default(), 0)))
-            else {
+            let BuildState::Pending(mut op, key) = std::mem::replace(
+                &mut self.build,
+                BuildState::Owned(JoinTable::from_batch(Batch::default(), 0)),
+            ) else {
                 unreachable!()
             };
             self.build = BuildState::Owned(JoinTable::build(op.as_mut(), key));
@@ -281,7 +277,10 @@ mod tests {
     #[test]
     fn inner_join_matches_keys() {
         // build: (key, name-ish) ; probe: (val, key)
-        let build = src(vec![ColumnData::Int(vec![1, 2, 3]), ColumnData::Int(vec![10, 20, 30])]);
+        let build = src(vec![
+            ColumnData::Int(vec![1, 2, 3]),
+            ColumnData::Int(vec![10, 20, 30]),
+        ]);
         let probe = src(vec![
             ColumnData::Int(vec![100, 200, 300, 400]),
             ColumnData::Int(vec![2, 3, 9, 2]),
@@ -364,7 +363,10 @@ mod tests {
     #[test]
     fn shared_table_joins_without_rebuilding() {
         let table = JoinTable::from_batch(
-            Batch::new(vec![ColumnData::Int(vec![1, 2, 3]), ColumnData::Int(vec![10, 20, 30])]),
+            Batch::new(vec![
+                ColumnData::Int(vec![1, 2, 3]),
+                ColumnData::Int(vec![10, 20, 30]),
+            ]),
             0,
         );
         assert_eq!(table.envelope(), Some((1, 3)));

@@ -48,11 +48,17 @@ pub struct OrderedMergeOp<'a> {
 impl<'a> OrderedMergeOp<'a> {
     /// Creates an ordered merge.
     pub fn new(inputs: Vec<OpRef<'a>>, keys: Vec<SortKeySpec>) -> Self {
-        OrderedMergeOp { inputs: Some(inputs), keys, output: Vec::new() }
+        OrderedMergeOp {
+            inputs: Some(inputs),
+            keys,
+            output: Vec::new(),
+        }
     }
 
     fn run(&mut self) {
-        let Some(inputs) = self.inputs.take() else { return };
+        let Some(inputs) = self.inputs.take() else {
+            return;
+        };
         // Materialize every input and its key columns.
         let mut sides: Vec<(Batch, Vec<KeyColumn>)> = Vec::new();
         for mut input in inputs {
@@ -60,8 +66,11 @@ impl<'a> OrderedMergeOp<'a> {
             if b.is_empty() {
                 continue;
             }
-            let keys: Vec<KeyColumn> =
-                self.keys.iter().map(|&(c, o)| KeyColumn::build(b.column(c), o)).collect();
+            let keys: Vec<KeyColumn> = self
+                .keys
+                .iter()
+                .map(|&(c, o)| KeyColumn::build(b.column(c), o))
+                .collect();
             debug_assert!(
                 (1..b.len()).all(|i| cmp_rows_cross(&keys, i - 1, &keys, i) != Ordering::Greater),
                 "ordered-merge input not sorted"
@@ -84,12 +93,7 @@ impl<'a> OrderedMergeOp<'a> {
                 best = match best {
                     None => Some(si),
                     Some(bi) => {
-                        let ord = cmp_rows_cross(
-                            &sides[bi].1,
-                            cursors[bi],
-                            keys,
-                            cursors[si],
-                        );
+                        let ord = cmp_rows_cross(&sides[bi].1, cursors[bi], keys, cursors[si]);
                         if ord == Ordering::Greater {
                             Some(si)
                         } else {
@@ -109,10 +113,14 @@ impl<'a> OrderedMergeOp<'a> {
             let proto = sides[0].0.column(c);
             let col = match proto {
                 pi_storage::ColumnData::Int(_) => pi_storage::ColumnData::Int(
-                    emit.iter().map(|&(si, row)| sides[si].0.column(c).as_int()[row]).collect(),
+                    emit.iter()
+                        .map(|&(si, row)| sides[si].0.column(c).as_int()[row])
+                        .collect(),
                 ),
                 pi_storage::ColumnData::Float(_) => pi_storage::ColumnData::Float(
-                    emit.iter().map(|&(si, row)| sides[si].0.column(c).as_float()[row]).collect(),
+                    emit.iter()
+                        .map(|&(si, row)| sides[si].0.column(c).as_float()[row])
+                        .collect(),
                 ),
                 pi_storage::ColumnData::Str { dict, .. } => pi_storage::ColumnData::Str {
                     codes: emit
@@ -148,7 +156,10 @@ pub struct LimitOp<'a> {
 impl<'a> LimitOp<'a> {
     /// Creates a limit.
     pub fn new(input: OpRef<'a>, n: usize) -> Self {
-        LimitOp { input, remaining: n }
+        LimitOp {
+            input,
+            remaining: n,
+        }
     }
 }
 
@@ -177,7 +188,9 @@ mod tests {
     use pi_storage::ColumnData;
 
     fn src(vals: &[i64]) -> OpRef<'static> {
-        Box::new(BatchSource::single(Batch::new(vec![ColumnData::Int(vals.to_vec())])))
+        Box::new(BatchSource::single(Batch::new(vec![ColumnData::Int(
+            vals.to_vec(),
+        )])))
     }
 
     #[test]
@@ -210,10 +223,8 @@ mod tests {
 
     #[test]
     fn ordered_merge_descending() {
-        let mut m = OrderedMergeOp::new(
-            vec![src(&[9, 4]), src(&[7, 1])],
-            vec![(0, SortOrder::Desc)],
-        );
+        let mut m =
+            OrderedMergeOp::new(vec![src(&[9, 4]), src(&[7, 1])], vec![(0, SortOrder::Desc)]);
         let out = collect(&mut m);
         assert_eq!(out.column(0).as_int(), &[9, 7, 4, 1]);
     }

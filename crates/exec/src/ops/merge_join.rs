@@ -66,9 +66,16 @@ impl<'a> MergeJoinOp<'a> {
                 ri += 1;
             } else {
                 // Expand the duplicate groups on both sides.
-                let l_end = (li..left.len()).take_while(|&i| join_key(lk, i) == a).last().unwrap() + 1;
-                let r_end =
-                    (ri..right.len()).take_while(|&i| join_key(rk, i) == a).last().unwrap() + 1;
+                let l_end = (li..left.len())
+                    .take_while(|&i| join_key(lk, i) == a)
+                    .last()
+                    .unwrap()
+                    + 1;
+                let r_end = (ri..right.len())
+                    .take_while(|&i| join_key(rk, i) == a)
+                    .last()
+                    .unwrap()
+                    + 1;
                 for i in li..l_end {
                     for j in ri..r_end {
                         left_idx.push(i);

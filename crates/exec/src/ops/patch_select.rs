@@ -124,7 +124,14 @@ impl<'a> PatchSelectOp<'a> {
         rid_col: usize,
         mode: PatchMode,
     ) -> Self {
-        PatchSelectOp { input, patches, rid_col, mode, mask_buf: Vec::new(), keep_buf: Vec::new() }
+        PatchSelectOp {
+            input,
+            patches,
+            rid_col,
+            mode,
+            mask_buf: Vec::new(),
+            keep_buf: Vec::new(),
+        }
     }
 }
 
@@ -147,7 +154,8 @@ impl Operator for PatchSelectOp<'_> {
                 let words = n.div_ceil(64);
                 self.mask_buf.clear();
                 self.mask_buf.resize(words, 0);
-                self.patches.fill_patch_words(rids[0] as u64, &mut self.mask_buf, n);
+                self.patches
+                    .fill_patch_words(rids[0] as u64, &mut self.mask_buf, n);
                 for (i, m) in self.keep_buf.iter_mut().enumerate() {
                     let is_patch = self.mask_buf[i / 64] >> (i % 64) & 1 == 1;
                     *m = is_patch == keep_patches;

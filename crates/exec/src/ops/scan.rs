@@ -40,7 +40,14 @@ impl<'a> ScanOp<'a> {
         with_rowids: bool,
     ) -> Self {
         let pos = ranges.first().map_or(0, |r| r.start);
-        ScanOp { partition, cols, ranges, with_rowids, cur: 0, pos }
+        ScanOp {
+            partition,
+            cols,
+            ranges,
+            with_rowids,
+            cur: 0,
+            pos,
+        }
     }
 
     /// Scans only the rows inserted since the last propagate (the pending

@@ -31,17 +31,26 @@ pub struct SortOp<'a> {
 impl<'a> SortOp<'a> {
     /// Creates a sort over `input` by the given keys (leftmost major).
     pub fn new(input: OpRef<'a>, keys: Vec<SortKeySpec>) -> Self {
-        SortOp { input: Some(input), keys, output: Vec::new() }
+        SortOp {
+            input: Some(input),
+            keys,
+            output: Vec::new(),
+        }
     }
 
     fn run(&mut self) {
-        let Some(mut input) = self.input.take() else { return };
+        let Some(mut input) = self.input.take() else {
+            return;
+        };
         let all = collect(input.as_mut());
         if all.is_empty() {
             return;
         }
-        let key_cols: Vec<KeyColumn> =
-            self.keys.iter().map(|&(c, o)| KeyColumn::build(all.column(c), o)).collect();
+        let key_cols: Vec<KeyColumn> = self
+            .keys
+            .iter()
+            .map(|&(c, o)| KeyColumn::build(all.column(c), o))
+            .collect();
         let mut idx: Vec<usize> = (0..all.len()).collect();
         idx.sort_unstable_by(|&a, &b| match cmp_rows(&key_cols, a, b) {
             // Stable tie-break on input position for determinism.
@@ -154,7 +163,10 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let mut s = SortOp::new(src(vec![ColumnData::Int(vec![])]), vec![(0, SortOrder::Asc)]);
+        let mut s = SortOp::new(
+            src(vec![ColumnData::Int(vec![])]),
+            vec![(0, SortOrder::Asc)],
+        );
         assert!(s.next().is_none());
     }
 }

@@ -6,6 +6,8 @@
 //! partition order; callers combine them with Union / ordered Merge / a
 //! final aggregation, mirroring the paper's per-partition plans.
 
+use std::sync::Arc;
+
 use pi_storage::{Partition, Table};
 
 /// Runs `f` once per partition (in parallel) and collects the results in
@@ -19,19 +21,20 @@ where
     T: Send,
     F: Fn(&Partition) -> T + Sync,
 {
-    let partitions = table.partitions();
+    let partitions: Vec<&Partition> = table.partitions().iter().map(Arc::as_ref).collect();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(partitions.len());
     if workers <= 1 {
-        return partitions.iter().map(f).collect();
+        return partitions.into_iter().map(f).collect();
     }
     let mut out: Vec<Option<T>> = (0..partitions.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let f = &f;
+                let partitions = &partitions;
                 scope.spawn(move || {
                     partitions
                         .iter()
@@ -49,7 +52,9 @@ where
             }
         }
     });
-    out.into_iter().map(|t| t.expect("partition worker completed")).collect()
+    out.into_iter()
+        .map(|t| t.expect("partition worker completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -66,7 +71,10 @@ mod tests {
         );
         for p in 0..nparts {
             let base = (p as i64) * rows_per_part;
-            t.load_partition(p, &[ColumnData::Int((base..base + rows_per_part).collect())]);
+            t.load_partition(
+                p,
+                &[ColumnData::Int((base..base + rows_per_part).collect())],
+            );
         }
         t.propagate_all();
         t
@@ -75,9 +83,7 @@ mod tests {
     #[test]
     fn results_arrive_in_partition_order() {
         let t = table(4, 100);
-        let sums = per_partition(&t, |p| {
-            p.base_column(0).as_int().iter().sum::<i64>()
-        });
+        let sums = per_partition(&t, |p| p.base_column(0).as_int().iter().sum::<i64>());
         assert_eq!(sums.len(), 4);
         assert!(sums.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(sums.iter().sum::<i64>(), (0..400).sum());

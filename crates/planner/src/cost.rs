@@ -36,7 +36,9 @@ const C_SORT: f64 = 0.6;
 const C_COMBINE: f64 = 0.1;
 
 fn slot_stats(cat: &IndexCatalog, slot: usize) -> &IndexStats {
-    cat.indexes.get(slot).expect("PatchScan bound to a slot outside the catalog")
+    cat.indexes
+        .get(slot)
+        .expect("PatchScan bound to a slot outside the catalog")
 }
 
 /// Whether `input` is the constraint-satisfying flow of an NCC index on
@@ -46,7 +48,12 @@ fn is_ncc_constant_flow(input: &Plan, cols: &[usize], cat: &IndexCatalog) -> boo
         return false;
     }
     match input {
-        Plan::PatchScan { cols: scan_cols, mode: PatchMode::ExcludePatches, slot, .. } => {
+        Plan::PatchScan {
+            cols: scan_cols,
+            mode: PatchMode::ExcludePatches,
+            slot,
+            ..
+        } => {
             let e = slot_stats(cat, *slot);
             e.constraint == Constraint::NearlyConstant && scan_cols.get(cols[0]) == Some(&e.column)
         }
@@ -66,15 +73,21 @@ fn indexed_distinct_estimate(input: &Plan, cols: &[usize], cat: &IndexCatalog) -
         return Some(cat.partition_count() as f64);
     }
     match input {
-        Plan::Scan { cols: scan_cols, .. } => {
+        Plan::Scan {
+            cols: scan_cols, ..
+        } => {
             let col = *scan_cols.get(cols[0])?;
             let e = cat.nuc_on(col)?;
             Some((e.rows() - e.patches() + e.patch_distinct) as f64)
         }
-        Plan::PatchScan { cols: scan_cols, mode, slot, .. } => {
+        Plan::PatchScan {
+            cols: scan_cols,
+            mode,
+            slot,
+            ..
+        } => {
             let e = slot_stats(cat, *slot);
-            if e.constraint != Constraint::NearlyUnique
-                || scan_cols.get(cols[0]) != Some(&e.column)
+            if e.constraint != Constraint::NearlyUnique || scan_cols.get(cols[0]) != Some(&e.column)
             {
                 return None;
             }
@@ -93,10 +106,16 @@ fn indexed_distinct_estimate(input: &Plan, cols: &[usize], cat: &IndexCatalog) -
 pub fn cardinality(plan: &Plan, cat: &IndexCatalog) -> f64 {
     match plan {
         Plan::Scan { .. } => cat.rows() as f64,
-        Plan::PatchScan { mode: PatchMode::UsePatches, slot, .. } => {
-            slot_stats(cat, *slot).patches() as f64
-        }
-        Plan::PatchScan { mode: PatchMode::ExcludePatches, slot, .. } => {
+        Plan::PatchScan {
+            mode: PatchMode::UsePatches,
+            slot,
+            ..
+        } => slot_stats(cat, *slot).patches() as f64,
+        Plan::PatchScan {
+            mode: PatchMode::ExcludePatches,
+            slot,
+            ..
+        } => {
             let e = slot_stats(cat, *slot);
             (e.rows() - e.patches()) as f64
         }
@@ -126,8 +145,11 @@ pub fn estimate(plan: &Plan, cat: &IndexCatalog) -> f64 {
             slot_stats(cat, *slot).rows() as f64 * (C_SCAN + C_PATCH_SELECT)
         }
         Plan::Distinct { input, cols } => {
-            let per_tuple =
-                if is_ncc_constant_flow(input, cols, cat) { C_AGG_CONST } else { C_AGG };
+            let per_tuple = if is_ncc_constant_flow(input, cols, cat) {
+                C_AGG_CONST
+            } else {
+                C_AGG
+            };
             estimate(input, cat) + cardinality(input, cat) * per_tuple
         }
         Plan::Sort { input, .. } => {
@@ -150,11 +172,25 @@ mod tests {
     use pi_exec::ops::sort::SortOrder;
 
     fn nuc_cat(rows: u64, patches: u64, patch_distinct: u64) -> IndexCatalog {
-        catalog(vec![rows], vec![entry(0, 1, Constraint::NearlyUnique, vec![(rows, patches)], patch_distinct)])
+        catalog(
+            vec![rows],
+            vec![entry(
+                0,
+                1,
+                Constraint::NearlyUnique,
+                vec![(rows, patches)],
+                patch_distinct,
+            )],
+        )
     }
 
     fn pscan(mode: PatchMode, slot: usize) -> Plan {
-        Plan::PatchScan { cols: vec![1], filter: None, mode, slot }
+        Plan::PatchScan {
+            cols: vec![1],
+            filter: None,
+            mode,
+            slot,
+        }
     }
 
     #[test]
@@ -191,7 +227,15 @@ mod tests {
         let us = pscan(PatchMode::UsePatches, 0);
         assert_eq!(cardinality(&ex, &cat), 70.0);
         assert_eq!(cardinality(&us, &cat), 30.0);
-        assert_eq!(cardinality(&Plan::Union { inputs: vec![ex, us] }, &cat), 100.0);
+        assert_eq!(
+            cardinality(
+                &Plan::Union {
+                    inputs: vec![ex, us]
+                },
+                &cat
+            ),
+            100.0
+        );
     }
 
     #[test]

@@ -14,8 +14,31 @@
 //!    NSC/NCC/exception flows stay exact while pending and never force a
 //!    flush,
 //! 4. lower with per-partition zero-branch pruning and execute.
+//!
+//! The facade is implemented for three table views:
+//!
+//! * [`IndexedTable`] — the single-threaded owner path above;
+//! * [`TableSnapshot`] — concurrent readers. A snapshot is immutable, so
+//!   step 3 cannot flush; a chosen plan that binds a pending NUC index
+//!   instead **falls back to the exact, index-free reference plan** (the
+//!   pending-NUC fallback rule of [`patchindex::snapshot`]). Catalogs are
+//!   precomputed at publish time, and workload evidence (query log,
+//!   feedback, measured timings) is reported to the snapshot's
+//!   [`WorkloadSink`] for the writer to absorb;
+//! * [`TableWriter`] — delegates to its staging [`IndexedTable`] (writer
+//!   queries see staged state immediately; flushes it performs become
+//!   visible to readers at the next publish).
+//!
+//! The executing entry points (`query` / `query_count`) additionally
+//! measure wall-clock execution time and feed the elapsed microseconds —
+//! next to the chosen plan's cost-model estimate — into each bound
+//! index's [`patchindex::QueryFeedback`], so the advisor can weigh *real*
+//! timings, not just estimates.
 
-use patchindex::{Constraint, IndexCatalog, IndexedTable, QueryShape, SortDir};
+use patchindex::snapshot::WorkloadEvent;
+use patchindex::{
+    Constraint, IndexCatalog, IndexedTable, QueryShape, SortDir, TableSnapshot, TableWriter,
+};
 use pi_exec::ops::sort::SortOrder;
 use pi_exec::Batch;
 
@@ -56,39 +79,46 @@ fn stale_nuc_slots(plan: &Plan, cat: &IndexCatalog) -> Vec<usize> {
     slots
 }
 
-/// Records the advisable (column, shape) sites of a reference plan into
-/// the table's query log: a single-column Distinct or Sort directly over
-/// a Scan is exactly the pattern the PatchIndex rewrites (and hence the
-/// advisor's create rule) can serve.
-fn log_query_shapes(plan: &Plan, it: &mut IndexedTable) {
+/// Collects the advisable (column, shape) sites of a reference plan — a
+/// single-column Distinct or Sort directly over a Scan is exactly the
+/// pattern the PatchIndex rewrites (and hence the advisor's create rule)
+/// can serve. The owner path records these into the table's query log;
+/// the snapshot path reports them to the sink.
+fn query_shapes(plan: &Plan, out: &mut Vec<(usize, QueryShape)>) {
     match plan {
         Plan::Distinct { input, cols } => {
-            if let Plan::Scan { cols: scan_cols, .. } = &**input {
+            if let Plan::Scan {
+                cols: scan_cols, ..
+            } = &**input
+            {
                 if cols.len() == 1 {
                     if let Some(&col) = scan_cols.get(cols[0]) {
-                        it.record_query(col, QueryShape::Distinct);
+                        out.push((col, QueryShape::Distinct));
                     }
                 }
             }
-            log_query_shapes(input, it);
+            query_shapes(input, out);
         }
         Plan::Sort { input, keys } => {
-            if let Plan::Scan { cols: scan_cols, .. } = &**input {
+            if let Plan::Scan {
+                cols: scan_cols, ..
+            } = &**input
+            {
                 if let [(key, order)] = keys[..] {
                     if let Some(&col) = scan_cols.get(key) {
                         let dir = match order {
                             SortOrder::Asc => SortDir::Asc,
                             SortOrder::Desc => SortDir::Desc,
                         };
-                        it.record_query(col, QueryShape::Sort(dir));
+                        out.push((col, QueryShape::Sort(dir)));
                     }
                 }
             }
-            log_query_shapes(input, it);
+            query_shapes(input, out);
         }
-        Plan::Limit { input, .. } => log_query_shapes(input, it),
+        Plan::Limit { input, .. } => query_shapes(input, out),
         Plan::Union { inputs } | Plan::Merge { inputs, .. } => {
-            inputs.iter().for_each(|p| log_query_shapes(p, it))
+            inputs.iter().for_each(|p| query_shapes(p, out))
         }
         Plan::Scan { .. } | Plan::PatchScan { .. } => {}
     }
@@ -98,7 +128,7 @@ fn log_query_shapes(plan: &Plan, it: &mut IndexedTable) {
 ///
 /// `&mut self` because planning may flush deferred maintenance (the
 /// NUC-disjointness rule); reference results for comparison can be
-/// computed side-effect-free via `execute(&plan, it.table(), &[])`.
+/// computed side-effect-free via `execute(&plan, it.table(), &[] as &[PatchIndex])`.
 pub trait QueryEngine {
     /// Snapshots the catalog, flushes exactly the indexes the chosen plan
     /// requires to be exact, and returns the final optimized plan.
@@ -118,7 +148,11 @@ pub trait QueryEngine {
 /// (`plan_query` + `query`) must not double-count its workload evidence.
 fn plan_for(it: &mut IndexedTable, plan: &Plan, record: bool) -> Plan {
     if record {
-        log_query_shapes(plan, it);
+        let mut shapes = Vec::new();
+        query_shapes(plan, &mut shapes);
+        for (col, shape) in shapes {
+            it.record_query(col, shape);
+        }
     }
     let with_distinct_stats = plan.contains_distinct();
     loop {
@@ -164,6 +198,25 @@ fn plan_for(it: &mut IndexedTable, plan: &Plan, record: bool) -> Plan {
     }
 }
 
+/// Measured-execution bookkeeping for the owner path: the chosen plan's
+/// estimated cost and the wall-clock micros are split across the bound
+/// slots (shares, like the estimated-savings feedback).
+fn record_timing_owner(it: &mut IndexedTable, chosen: &Plan, elapsed: std::time::Duration) {
+    let bound = bound_slots(chosen);
+    if bound.is_empty() {
+        return;
+    }
+    let est_cost = {
+        let cat = it.query_catalog(chosen.contains_distinct());
+        estimate(chosen, &cat)
+    };
+    let micros = elapsed.as_secs_f64() * 1e6 / bound.len() as f64;
+    let est_share = est_cost / bound.len() as f64;
+    for slot in bound {
+        it.record_query_timing(slot, micros, est_share);
+    }
+}
+
 impl QueryEngine for IndexedTable {
     fn plan_query(&mut self, plan: &Plan) -> Plan {
         plan_for(self, plan, false)
@@ -171,18 +224,126 @@ impl QueryEngine for IndexedTable {
 
     fn query(&mut self, plan: &Plan) -> Batch {
         let chosen = plan_for(self, plan, true);
-        execute(&chosen, self.table(), self.indexes())
+        let start = std::time::Instant::now();
+        let out = execute(&chosen, self.table(), self.indexes());
+        record_timing_owner(self, &chosen, start.elapsed());
+        out
     }
 
     fn query_count(&mut self, plan: &Plan) -> usize {
         let chosen = plan_for(self, plan, true);
-        execute_count(&chosen, self.table(), self.indexes())
+        let start = std::time::Instant::now();
+        let out = execute_count(&chosen, self.table(), self.indexes());
+        record_timing_owner(self, &chosen, start.elapsed());
+        out
+    }
+}
+
+/// The snapshot planning pipeline: optimize against the publish-time
+/// catalog, then apply the **pending-NUC fallback rule** — a snapshot
+/// cannot flush, so a chosen plan binding a NUC index with staged
+/// deferred maintenance is discarded in favor of the exact, index-free
+/// reference plan. Workload evidence goes to the snapshot's sink when
+/// `record` is set (once per executed query, never for plan inspection).
+fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
+    let cat = snap.catalog();
+    if record {
+        let mut shapes = Vec::new();
+        query_shapes(plan, &mut shapes);
+        for (col, shape) in shapes {
+            snap.sink().record(WorkloadEvent::Query { col, shape });
+        }
+    }
+    let chosen = optimize(plan.clone(), cat, true);
+    if !stale_nuc_slots(&chosen, cat).is_empty() {
+        // Readers holding a pending-NUC snapshot stay exact by running
+        // the unrewritten plan; the writer's next (flushed) publish
+        // restores the rewrite for subsequent snapshots.
+        return plan.clone();
+    }
+    if record {
+        let bound = bound_slots(&chosen);
+        if !bound.is_empty() {
+            let saved =
+                (estimate(plan, cat) - estimate(&chosen, cat)).max(0.0) / bound.len() as f64;
+            for &slot in &bound {
+                let e = &cat.indexes[slot];
+                snap.sink().record(WorkloadEvent::Feedback {
+                    column: e.column,
+                    constraint: e.constraint,
+                    est_cost_saved: saved,
+                });
+            }
+        }
+    }
+    chosen
+}
+
+/// Sink-side counterpart of [`record_timing_owner`].
+fn record_timing_snapshot(snap: &TableSnapshot, chosen: &Plan, elapsed: std::time::Duration) {
+    let bound = bound_slots(chosen);
+    if bound.is_empty() {
+        return;
+    }
+    let cat = snap.catalog();
+    let micros = elapsed.as_secs_f64() * 1e6 / bound.len() as f64;
+    let est_share = estimate(chosen, cat) / bound.len() as f64;
+    for slot in bound {
+        let e = &cat.indexes[slot];
+        snap.sink().record(WorkloadEvent::Timing {
+            column: e.column,
+            constraint: e.constraint,
+            actual_micros: micros,
+            est_cost: est_share,
+        });
+    }
+}
+
+/// Concurrent readers: all methods are internally `&self` (the `&mut`
+/// receiver is the trait's shape, not a mutation) — clone the snapshot
+/// per thread and query away; maintenance never blocks these.
+impl QueryEngine for TableSnapshot {
+    fn plan_query(&mut self, plan: &Plan) -> Plan {
+        plan_on_snapshot(self, plan, false)
+    }
+
+    fn query(&mut self, plan: &Plan) -> Batch {
+        let chosen = plan_on_snapshot(self, plan, true);
+        let start = std::time::Instant::now();
+        let out = execute(&chosen, self.table(), self.indexes());
+        record_timing_snapshot(self, &chosen, start.elapsed());
+        out
+    }
+
+    fn query_count(&mut self, plan: &Plan) -> usize {
+        let chosen = plan_on_snapshot(self, plan, true);
+        let start = std::time::Instant::now();
+        let out = execute_count(&chosen, self.table(), self.indexes());
+        record_timing_snapshot(self, &chosen, start.elapsed());
+        out
+    }
+}
+
+/// Writer queries run against the staging table (seeing unpublished
+/// state), with the owner path's flush-and-re-plan NUC rule.
+impl QueryEngine for TableWriter {
+    fn plan_query(&mut self, plan: &Plan) -> Plan {
+        self.staging_mut().plan_query(plan)
+    }
+
+    fn query(&mut self, plan: &Plan) -> Batch {
+        self.staging_mut().query(plan)
+    }
+
+    fn query_count(&mut self, plan: &Plan) -> usize {
+        self.staging_mut().query_count(plan)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::NO_INDEXES;
     use patchindex::{Design, MaintenanceMode, MaintenancePolicy, SortDir};
     use pi_exec::ops::sort::SortOrder;
     use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};
@@ -213,7 +374,9 @@ mod tests {
 
     fn deferred() -> MaintenancePolicy {
         MaintenancePolicy {
-            mode: MaintenanceMode::Deferred { flush_rows: usize::MAX },
+            mode: MaintenanceMode::Deferred {
+                flush_rows: usize::MAX,
+            },
             ..MaintenancePolicy::default()
         }
     }
@@ -239,15 +402,20 @@ mod tests {
         let mut it = fresh(2).with_policy(deferred());
         let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
         // Stage a duplicate of an existing value: disjointness suspended.
-        let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else { panic!() };
+        let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else {
+            panic!()
+        };
         it.insert(&[vec![Value::Int(999), Value::Int(dup)]]);
         assert!(it.index(slot).has_pending());
 
         let distinct = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&distinct, it.table(), &[]);
+        let reference = execute_count(&distinct, it.table(), NO_INDEXES);
         // The facade flushes first, so the rewritten count is exact.
         assert_eq!(it.query_count(&distinct), reference);
-        assert!(!it.index(slot).has_pending(), "facade must have flushed the NUC index");
+        assert!(
+            !it.index(slot).has_pending(),
+            "facade must have flushed the NUC index"
+        );
         it.check_consistency();
     }
 
@@ -259,11 +427,14 @@ mod tests {
         assert!(it.index(slot).has_pending());
 
         let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = execute(&sort, it.table(), &[]);
+        let reference = execute(&sort, it.table(), NO_INDEXES);
         let got = it.query(&sort);
         assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
         // Staged rows were routed through the exception flow instead.
-        assert!(it.index(slot).has_pending(), "NSC plans stay exact while pending");
+        assert!(
+            it.index(slot).has_pending(),
+            "NSC plans stay exact while pending"
+        );
     }
 
     #[test]
@@ -281,8 +452,17 @@ mod tests {
             2,
             Partitioning::RoundRobin,
         );
-        t.load_partition(0, &[ColumnData::Int(vec![0, 1, 2]), ColumnData::Int(vec![7, 7, 7])]);
-        t.load_partition(1, &[ColumnData::Int(vec![3, 4]), ColumnData::Int(vec![8, 8])]);
+        t.load_partition(
+            0,
+            &[
+                ColumnData::Int(vec![0, 1, 2]),
+                ColumnData::Int(vec![7, 7, 7]),
+            ],
+        );
+        t.load_partition(
+            1,
+            &[ColumnData::Int(vec![3, 4]), ColumnData::Int(vec![8, 8])],
+        );
         t.propagate_all();
         let mut it = IndexedTable::new(t).with_policy(deferred());
         let slot = it.add_index(1, Constraint::NearlyConstant, Design::Bitmap);
@@ -290,7 +470,7 @@ mod tests {
         assert!(it.index(slot).has_pending());
 
         let distinct = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&distinct, it.table(), &[]);
+        let reference = execute_count(&distinct, it.table(), NO_INDEXES);
         assert_eq!(reference, 2);
         let chosen = crate::optimizer::rewrite(distinct.clone(), &it.catalog().indexes[slot]);
         assert_eq!(execute_count(&chosen, it.table(), it.indexes()), reference);
@@ -366,10 +546,140 @@ mod tests {
     fn unindexed_plans_never_flush() {
         let mut it = fresh(2).with_policy(deferred());
         let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
-        let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else { panic!() };
+        let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else {
+            panic!()
+        };
         it.insert(&[vec![Value::Int(999), Value::Int(dup)]]);
         // A plain scan does not bind the index; pending work stays batched.
         assert_eq!(it.query_count(&Plan::scan(vec![1])), 11);
         assert!(it.index(slot).has_pending());
+    }
+
+    #[test]
+    fn measured_timing_lands_in_feedback() {
+        let mut it = fresh(2);
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        // EXPLAIN records nothing measured.
+        it.plan_query(&distinct);
+        assert_eq!(it.index(slot).query_feedback().measured_queries, 0);
+        it.query_count(&distinct);
+        it.query_count(&distinct);
+        let fb = it.index(slot).query_feedback();
+        assert_eq!(fb.measured_queries, 2);
+        assert!(fb.actual_micros > 0.0);
+        assert!(fb.est_cost_executed > 0.0);
+        assert!(fb.micros_per_cost_unit().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_queries_match_owner_results() {
+        use patchindex::ConcurrentTable;
+        let mut it = fresh(4);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        it.insert(&[vec![Value::Int(777), Value::Int(0)]]); // dup + stray
+        let (handle, _writer) = ConcurrentTable::new(it);
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        let dref = execute_count(&distinct, snap.table(), NO_INDEXES);
+        assert_eq!(snap.query_count(&distinct), dref);
+        // The snapshot path binds indexes exactly like the owner path.
+        assert!(snap.plan_query(&distinct).to_string().contains("slot=0"));
+        let sorted = snap.query(&sort);
+        let sref = execute(&sort, snap.table(), NO_INDEXES);
+        assert_eq!(sorted.column(0).as_int(), sref.column(0).as_int());
+    }
+
+    #[test]
+    fn pending_nuc_snapshot_falls_back_to_the_reference_plan() {
+        use patchindex::ConcurrentTable;
+        let it = fresh(2).with_policy(deferred());
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let slot = writer.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let Value::Int(dup) = writer.staging().table().partition(0).value_at(1, 0) else {
+            panic!()
+        };
+        writer.insert(&[vec![Value::Int(999), Value::Int(dup)]]);
+        assert!(writer.staging().index(slot).has_pending());
+        writer.publish(); // deliberately unflushed: snapshot carries pending NUC
+        let mut snap = handle.snapshot();
+        assert!(snap.catalog().indexes[slot].pending);
+
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        // The fallback plan is the unrewritten reference — and exact.
+        let chosen = snap.plan_query(&distinct);
+        assert!(!chosen.to_string().contains("PatchScan"), "{chosen}");
+        let reference = execute_count(&distinct, snap.table(), NO_INDEXES);
+        assert_eq!(snap.query_count(&distinct), reference);
+        // The index version inside the snapshot still has its staged
+        // state; the reader never flushed anything.
+        assert!(snap.indexes()[slot].has_pending());
+
+        // A flushed publish restores the rewrite for new snapshots.
+        writer.publish_flushed();
+        let mut fresh_snap = handle.snapshot();
+        assert!(fresh_snap
+            .plan_query(&distinct)
+            .to_string()
+            .contains("PatchScan"));
+        assert_eq!(fresh_snap.query_count(&distinct), reference);
+    }
+
+    #[test]
+    fn pending_nsc_snapshot_keeps_its_rewrite() {
+        use patchindex::ConcurrentTable;
+        let it = fresh(2).with_policy(deferred());
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let slot = writer.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        writer.insert(&[vec![Value::Int(999), Value::Int(-5)]]); // out of order
+        writer.publish();
+        let mut snap = handle.snapshot();
+        assert!(snap.catalog().indexes[slot].pending);
+        let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
+        // NSC stays exact while pending: no fallback, results exact.
+        assert!(snap.plan_query(&sort).to_string().contains("PatchScan"));
+        let got = snap.query(&sort);
+        let reference = execute(&sort, snap.table(), NO_INDEXES);
+        assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
+    }
+
+    #[test]
+    fn snapshot_workload_evidence_reaches_the_writer() {
+        use patchindex::ConcurrentTable;
+        let mut it = fresh(2);
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        snap.query_count(&distinct);
+        snap.query_count(&distinct);
+        // EXPLAIN on a snapshot records nothing.
+        snap.plan_query(&distinct);
+        assert!(!snap.sink().is_empty());
+        writer.absorb_feedback();
+        let it = writer.staging();
+        assert_eq!(it.query_log().count(1, QueryShape::Distinct), 2);
+        let fb = it.index(slot).query_feedback();
+        assert_eq!(fb.times_bound, 2);
+        assert!(fb.est_cost_saved > 0.0);
+        assert_eq!(fb.measured_queries, 2);
+        assert!(fb.actual_micros > 0.0);
+    }
+
+    #[test]
+    fn writer_facade_queries_staged_state() {
+        use patchindex::ConcurrentTable;
+        let mut it = fresh(2);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        writer.insert(&[vec![Value::Int(999), Value::Int(424242)]]);
+        let scan = Plan::scan(vec![1]);
+        // The writer sees its unpublished insert; readers do not.
+        assert_eq!(writer.query_count(&scan), 11);
+        assert_eq!(handle.snapshot().query_count(&scan), 10);
+        writer.publish();
+        assert_eq!(handle.snapshot().query_count(&scan), 11);
     }
 }

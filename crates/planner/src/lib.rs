@@ -31,5 +31,5 @@ pub use optimizer::{optimize, rewrite, zero_branch_prune};
 pub use patchindex::{IndexCatalog, IndexStats, PartitionStats};
 pub use physical::{
     execute, execute_count, execute_count_with, lower_global, lower_global_with, lower_partition,
-    prune_for_partition, Pruning,
+    prune_for_partition, Pruning, NO_INDEXES,
 };

@@ -78,17 +78,26 @@ impl Plan {
 
     /// DISTINCT over all produced columns.
     pub fn distinct(self, cols: Vec<usize>) -> Plan {
-        Plan::Distinct { input: Box::new(self), cols }
+        Plan::Distinct {
+            input: Box::new(self),
+            cols,
+        }
     }
 
     /// ORDER BY helper.
     pub fn sort(self, keys: Vec<(usize, SortOrder)>) -> Plan {
-        Plan::Sort { input: Box::new(self), keys }
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     /// LIMIT helper.
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit { input: Box::new(self), n }
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// Whether this subtree contains a Distinct node. Duplicate
@@ -113,7 +122,9 @@ impl Plan {
             Plan::Scan { cols, filter } => {
                 writeln!(f, "{pad}Scan cols={cols:?} filter={}", filter.is_some())
             }
-            Plan::PatchScan { cols, mode, slot, .. } => {
+            Plan::PatchScan {
+                cols, mode, slot, ..
+            } => {
                 let m = match mode {
                     PatchMode::ExcludePatches => "exclude_patches",
                     PatchMode::UsePatches => "use_patches",

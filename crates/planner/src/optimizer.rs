@@ -43,17 +43,26 @@ pub fn optimize(plan: Plan, cat: &IndexCatalog, zbp: bool) -> Plan {
 fn optimize_rec(plan: Plan, cat: &IndexCatalog) -> Plan {
     match plan {
         Plan::Distinct { input, cols } => {
-            let node = Plan::Distinct { input: Box::new(optimize_rec(*input, cat)), cols };
+            let node = Plan::Distinct {
+                input: Box::new(optimize_rec(*input, cat)),
+                cols,
+            };
             best_rewrite(node, cat)
         }
         Plan::Sort { input, keys } => {
-            let node = Plan::Sort { input: Box::new(optimize_rec(*input, cat)), keys };
+            let node = Plan::Sort {
+                input: Box::new(optimize_rec(*input, cat)),
+                keys,
+            };
             best_rewrite(node, cat)
         }
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(optimize_rec(*input, cat)), n },
-        Plan::Union { inputs } => {
-            Plan::Union { inputs: inputs.into_iter().map(|p| optimize_rec(p, cat)).collect() }
-        }
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(optimize_rec(*input, cat)),
+            n,
+        },
+        Plan::Union { inputs } => Plan::Union {
+            inputs: inputs.into_iter().map(|p| optimize_rec(p, cat)).collect(),
+        },
         Plan::Merge { inputs, keys } => Plan::Merge {
             inputs: inputs.into_iter().map(|p| optimize_rec(p, cat)).collect(),
             keys,
@@ -80,7 +89,8 @@ fn best_rewrite(node: Plan, cat: &IndexCatalog) -> Plan {
 }
 
 fn scan_produces_sorted(cols: &[usize], key: usize, e: &IndexStats) -> bool {
-    matches!(e.constraint, Constraint::NearlySorted(SortDir::Asc)) && cols.get(key) == Some(&e.column)
+    matches!(e.constraint, Constraint::NearlySorted(SortDir::Asc))
+        && cols.get(key) == Some(&e.column)
 }
 
 /// The Figure-2 rewrite of one node with one index, if its pattern
@@ -94,11 +104,13 @@ fn rewrite_site(node: &Plan, e: &IndexStats) -> Option<Plan> {
             // Single-column scans only: the excluding flow keeps the scan
             // width while the patches flow aggregates down to the key, so
             // a wider scan would union mismatched widths.
-            Plan::Scan { cols: scan_cols, filter }
-                if matches!(e.constraint, Constraint::NearlyUnique)
-                    && cols.len() == 1
-                    && scan_cols.len() == 1
-                    && scan_cols.get(cols[0]) == Some(&e.column) =>
+            Plan::Scan {
+                cols: scan_cols,
+                filter,
+            } if matches!(e.constraint, Constraint::NearlyUnique)
+                && cols.len() == 1
+                && scan_cols.len() == 1
+                && scan_cols.get(cols[0]) == Some(&e.column) =>
             {
                 Some(Plan::Union {
                     inputs: vec![
@@ -129,10 +141,12 @@ fn rewrite_site(node: &Plan, e: &IndexStats) -> Option<Plan> {
             // (or, while deferred maintenance is pending, the constant
             // itself) — so a global distinct over the union dedups across
             // flows and partitions; its input is already tiny.
-            Plan::Scan { cols: scan_cols, filter }
-                if matches!(e.constraint, Constraint::NearlyConstant)
-                    && cols.len() == 1
-                    && scan_cols.get(cols[0]) == Some(&e.column) =>
+            Plan::Scan {
+                cols: scan_cols,
+                filter,
+            } if matches!(e.constraint, Constraint::NearlyConstant)
+                && cols.len() == 1
+                && scan_cols.get(cols[0]) == Some(&e.column) =>
             {
                 Some(Plan::Distinct {
                     input: Box::new(Plan::Union {
@@ -166,10 +180,12 @@ fn rewrite_site(node: &Plan, e: &IndexStats) -> Option<Plan> {
         // Figure 2 with the aggregation exchanged for the sort operator:
         // the excluding flow is known to be sorted.
         Plan::Sort { input, keys } => match &**input {
-            Plan::Scan { cols: scan_cols, filter }
-                if keys.len() == 1
-                    && keys[0].1 == SortOrder::Asc
-                    && scan_produces_sorted(scan_cols, keys[0].0, e) =>
+            Plan::Scan {
+                cols: scan_cols,
+                filter,
+            } if keys.len() == 1
+                && keys[0].1 == SortOrder::Asc
+                && scan_produces_sorted(scan_cols, keys[0].0, e) =>
             {
                 Some(Plan::Merge {
                     inputs: vec![
@@ -202,17 +218,25 @@ fn rewrite_site(node: &Plan, e: &IndexStats) -> Option<Plan> {
 /// for tests/ablation): applies the index's pattern wherever it matches.
 pub fn rewrite(plan: Plan, e: &IndexStats) -> Plan {
     let plan = match plan {
-        Plan::Distinct { input, cols } => {
-            Plan::Distinct { input: Box::new(rewrite(*input, e)), cols }
-        }
-        Plan::Sort { input, keys } => Plan::Sort { input: Box::new(rewrite(*input, e)), keys },
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(rewrite(*input, e)), n },
-        Plan::Union { inputs } => {
-            Plan::Union { inputs: inputs.into_iter().map(|p| rewrite(p, e)).collect() }
-        }
-        Plan::Merge { inputs, keys } => {
-            Plan::Merge { inputs: inputs.into_iter().map(|p| rewrite(p, e)).collect(), keys }
-        }
+        Plan::Distinct { input, cols } => Plan::Distinct {
+            input: Box::new(rewrite(*input, e)),
+            cols,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(rewrite(*input, e)),
+            keys,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(rewrite(*input, e)),
+            n,
+        },
+        Plan::Union { inputs } => Plan::Union {
+            inputs: inputs.into_iter().map(|p| rewrite(p, e)).collect(),
+        },
+        Plan::Merge { inputs, keys } => Plan::Merge {
+            inputs: inputs.into_iter().map(|p| rewrite(p, e)).collect(),
+            keys,
+        },
         leaf => leaf,
     };
     rewrite_site(&plan, e).unwrap_or(plan)
@@ -262,28 +286,24 @@ pub(crate) fn prune_zero_branches<'a, F: Fn(&Plan) -> u64>(
     // combine that collapsed to a single child also comes back borrowed
     // (of the *child*), and treating that as unchanged would silently
     // undo the pruning wherever a combine sits under a wrapper node.
-    let unchanged = |c: &Cow<'a, Plan>, original: &Plan| {
-        matches!(c, Cow::Borrowed(b) if std::ptr::eq(*b, original))
-    };
+    let unchanged = |c: &Cow<'a, Plan>, original: &Plan| matches!(c, Cow::Borrowed(b) if std::ptr::eq(*b, original));
     let prune = |p: &'a Plan| prune_zero_branches(p, leaf, collapse_single_merge);
     let pruned = match plan {
         Plan::Union { inputs } => {
             let mut kept: Vec<Cow<'a, Plan>> = inputs.iter().filter_map(prune).collect();
-            if kept.len() == inputs.len()
-                && kept.iter().zip(inputs).all(|(c, i)| unchanged(c, i))
-            {
+            if kept.len() == inputs.len() && kept.iter().zip(inputs).all(|(c, i)| unchanged(c, i)) {
                 Cow::Borrowed(plan)
             } else if kept.len() == 1 {
                 kept.pop().unwrap()
             } else {
-                Cow::Owned(Plan::Union { inputs: kept.into_iter().map(Cow::into_owned).collect() })
+                Cow::Owned(Plan::Union {
+                    inputs: kept.into_iter().map(Cow::into_owned).collect(),
+                })
             }
         }
         Plan::Merge { inputs, keys } => {
             let mut kept: Vec<Cow<'a, Plan>> = inputs.iter().filter_map(prune).collect();
-            if kept.len() == inputs.len()
-                && kept.iter().zip(inputs).all(|(c, i)| unchanged(c, i))
-            {
+            if kept.len() == inputs.len() && kept.iter().zip(inputs).all(|(c, i)| unchanged(c, i)) {
                 Cow::Borrowed(plan)
             } else if kept.len() == 1 && collapse_single_merge {
                 kept.pop().unwrap()
@@ -299,7 +319,10 @@ pub(crate) fn prune_zero_branches<'a, F: Fn(&Plan) -> u64>(
             if unchanged(&child, input) {
                 Cow::Borrowed(plan)
             } else {
-                Cow::Owned(Plan::Distinct { input: Box::new(child.into_owned()), cols: cols.clone() })
+                Cow::Owned(Plan::Distinct {
+                    input: Box::new(child.into_owned()),
+                    cols: cols.clone(),
+                })
             }
         }
         Plan::Sort { input, keys } => {
@@ -307,7 +330,10 @@ pub(crate) fn prune_zero_branches<'a, F: Fn(&Plan) -> u64>(
             if unchanged(&child, input) {
                 Cow::Borrowed(plan)
             } else {
-                Cow::Owned(Plan::Sort { input: Box::new(child.into_owned()), keys: keys.clone() })
+                Cow::Owned(Plan::Sort {
+                    input: Box::new(child.into_owned()),
+                    keys: keys.clone(),
+                })
             }
         }
         Plan::Limit { input, n } => {
@@ -315,7 +341,10 @@ pub(crate) fn prune_zero_branches<'a, F: Fn(&Plan) -> u64>(
             if unchanged(&child, input) {
                 Cow::Borrowed(plan)
             } else {
-                Cow::Owned(Plan::Limit { input: Box::new(child.into_owned()), n: *n })
+                Cow::Owned(Plan::Limit {
+                    input: Box::new(child.into_owned()),
+                    n: *n,
+                })
             }
         }
         leaf_node => Cow::Borrowed(leaf_node),
@@ -331,8 +360,16 @@ pub(crate) fn prune_zero_branches<'a, F: Fn(&Plan) -> u64>(
 pub fn zero_branch_prune(plan: Plan, cat: &IndexCatalog) -> Plan {
     let leaf = |p: &Plan| match p {
         Plan::Scan { .. } => cat.rows(),
-        Plan::PatchScan { mode: PatchMode::UsePatches, slot, .. } => cat.indexes[*slot].patches(),
-        Plan::PatchScan { mode: PatchMode::ExcludePatches, slot, .. } => {
+        Plan::PatchScan {
+            mode: PatchMode::UsePatches,
+            slot,
+            ..
+        } => cat.indexes[*slot].patches(),
+        Plan::PatchScan {
+            mode: PatchMode::ExcludePatches,
+            slot,
+            ..
+        } => {
             let e = &cat.indexes[*slot];
             e.rows() - e.patches()
         }
@@ -352,14 +389,26 @@ mod tests {
     fn nuc_cat(rows: u64, patches: u64) -> IndexCatalog {
         catalog(
             vec![rows],
-            vec![entry(0, 1, Constraint::NearlyUnique, vec![(rows, patches)], patches / 2)],
+            vec![entry(
+                0,
+                1,
+                Constraint::NearlyUnique,
+                vec![(rows, patches)],
+                patches / 2,
+            )],
         )
     }
 
     fn nsc_cat(rows: u64, patches: u64) -> IndexCatalog {
         catalog(
             vec![rows],
-            vec![entry(0, 1, Constraint::NearlySorted(SortDir::Asc), vec![(rows, patches)], 0)],
+            vec![entry(
+                0,
+                1,
+                Constraint::NearlySorted(SortDir::Asc),
+                vec![(rows, patches)],
+                0,
+            )],
         )
     }
 
@@ -466,9 +515,19 @@ mod tests {
         // the key, so the Figure-2 union would mismatch widths.
         let cat = catalog(
             vec![1_000_000],
-            vec![entry(0, 1, Constraint::NearlyUnique, vec![(1_000_000, 10)], 5)],
+            vec![entry(
+                0,
+                1,
+                Constraint::NearlyUnique,
+                vec![(1_000_000, 10)],
+                5,
+            )],
         );
-        let q = Plan::Scan { cols: vec![0, 1], filter: None }.distinct(vec![1]);
+        let q = Plan::Scan {
+            cols: vec![0, 1],
+            filter: None,
+        }
+        .distinct(vec![1]);
         let s = optimize(q, &cat, false).to_string();
         assert!(s.starts_with("Distinct"), "got:\n{s}");
         assert!(!s.contains("PatchScan"));
@@ -483,7 +542,13 @@ mod tests {
             vec![1_000_000],
             vec![
                 entry(0, 1, Constraint::NearlyUnique, vec![(1_000_000, 100)], 40),
-                entry(1, 1, Constraint::NearlyConstant, vec![(1_000_000, 600_000)], 0),
+                entry(
+                    1,
+                    1,
+                    Constraint::NearlyConstant,
+                    vec![(1_000_000, 600_000)],
+                    0,
+                ),
             ],
         );
         let s = optimize(plan(), &nuc_cheap, false).to_string();
@@ -493,7 +558,13 @@ mod tests {
         let ncc_cheap = catalog(
             vec![1_000_000],
             vec![
-                entry(0, 1, Constraint::NearlyUnique, vec![(1_000_000, 990_000)], 300_000),
+                entry(
+                    0,
+                    1,
+                    Constraint::NearlyUnique,
+                    vec![(1_000_000, 990_000)],
+                    300_000,
+                ),
                 entry(1, 1, Constraint::NearlyConstant, vec![(1_000_000, 100)], 0),
             ],
         );

@@ -18,7 +18,7 @@
 //! limit below the combine, so every partition stops scanning after `n`
 //! rows instead of draining fully.
 
-use std::borrow::Cow;
+use std::borrow::{Borrow, Cow};
 
 use patchindex::scan::patch_scan;
 use patchindex::PatchIndex;
@@ -32,6 +32,11 @@ use pi_exec::{collect, Batch, OpRef};
 use pi_storage::Table;
 
 use crate::logical::Plan;
+
+/// The empty index set, pre-typed so reference executions
+/// (`execute(&plan, table, NO_INDEXES)`) don't need a turbofish now that
+/// the executor is generic over owned and `Arc`'d indexes.
+pub const NO_INDEXES: &[PatchIndex] = &[];
 
 /// How zero-branch pruning is applied during lowering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,16 +59,16 @@ pub enum Pruning {
 /// the leaf bound.) The returned [`Cow`] borrows the input plan whenever
 /// this partition prunes nothing — specializing a clean partition costs
 /// a traversal, not a deep clone of the plan tree.
-pub fn prune_for_partition<'a>(
+pub fn prune_for_partition<'a, I: Borrow<PatchIndex>>(
     plan: &'a Plan,
     table: &Table,
-    indexes: &[PatchIndex],
+    indexes: &[I],
     pid: usize,
 ) -> Option<Cow<'a, Plan>> {
     let leaf = |p: &Plan| match p {
         Plan::Scan { .. } => table.partition(pid).visible_len() as u64,
         Plan::PatchScan { mode, slot, .. } => {
-            let idx = &indexes[*slot];
+            let idx = indexes[*slot].borrow();
             match mode {
                 PatchMode::UsePatches => idx.partition_patch_count(pid),
                 PatchMode::ExcludePatches => {
@@ -78,10 +83,10 @@ pub fn prune_for_partition<'a>(
     crate::optimizer::prune_zero_branches(plan, &leaf, true)
 }
 
-fn maybe_prune<'a>(
+fn maybe_prune<'a, I: Borrow<PatchIndex>>(
     plan: &'a Plan,
     table: &Table,
-    indexes: &[PatchIndex],
+    indexes: &[I],
     pid: usize,
     pruning: Pruning,
 ) -> Option<Cow<'a, Plan>> {
@@ -93,23 +98,30 @@ fn maybe_prune<'a>(
 
 /// Lowers `plan` for a single partition (no global recombination, no
 /// pruning — callers prune first).
-pub fn lower_partition<'a>(
+pub fn lower_partition<'a, I: Borrow<PatchIndex>>(
     plan: &Plan,
     table: &'a Table,
-    indexes: &'a [PatchIndex],
+    indexes: &'a [I],
     pid: usize,
 ) -> OpRef<'a> {
     match plan {
         Plan::Scan { cols, filter } => {
-            let scan: OpRef<'a> =
-                Box::new(ScanOp::new(table.partition(pid), cols.clone(), false));
+            let scan: OpRef<'a> = Box::new(ScanOp::new(table.partition(pid), cols.clone(), false));
             match filter {
                 Some(pred) => Box::new(FilterOp::new(scan, pred.clone())),
                 None => scan,
             }
         }
-        Plan::PatchScan { cols, filter, mode, slot } => {
-            let idx = indexes.get(*slot).expect("PatchScan slot outside the index set");
+        Plan::PatchScan {
+            cols,
+            filter,
+            mode,
+            slot,
+        } => {
+            let idx = indexes
+                .get(*slot)
+                .expect("PatchScan slot outside the index set")
+                .borrow();
             let scan = patch_scan(table.partition(pid), idx, cols.clone(), *mode);
             let filtered: OpRef<'a> = match filter {
                 Some(pred) => Box::new(FilterOp::new(scan, pred.clone())),
@@ -117,25 +129,32 @@ pub fn lower_partition<'a>(
             };
             // Drop the internal rowID column so both flows recombine with
             // the plain scan's schema.
-            let keep: Vec<pi_exec::Expr> =
-                (0..cols.len()).map(pi_exec::Expr::Col).collect();
+            let keep: Vec<pi_exec::Expr> = (0..cols.len()).map(pi_exec::Expr::Col).collect();
             Box::new(pi_exec::ops::filter::ProjectOp::new(filtered, keep))
         }
         Plan::Distinct { input, cols } => Box::new(HashAggOp::distinct(
             lower_partition(input, table, indexes, pid),
             cols.clone(),
         )),
-        Plan::Sort { input, keys } => {
-            Box::new(SortOp::new(lower_partition(input, table, indexes, pid), keys.clone()))
-        }
-        Plan::Limit { input, n } => {
-            Box::new(LimitOp::new(lower_partition(input, table, indexes, pid), *n))
-        }
+        Plan::Sort { input, keys } => Box::new(SortOp::new(
+            lower_partition(input, table, indexes, pid),
+            keys.clone(),
+        )),
+        Plan::Limit { input, n } => Box::new(LimitOp::new(
+            lower_partition(input, table, indexes, pid),
+            *n,
+        )),
         Plan::Union { inputs } => Box::new(UnionAllOp::new(
-            inputs.iter().map(|p| lower_partition(p, table, indexes, pid)).collect(),
+            inputs
+                .iter()
+                .map(|p| lower_partition(p, table, indexes, pid))
+                .collect(),
         )),
         Plan::Merge { inputs, keys } => Box::new(OrderedMergeOp::new(
-            inputs.iter().map(|p| lower_partition(p, table, indexes, pid)).collect(),
+            inputs
+                .iter()
+                .map(|p| lower_partition(p, table, indexes, pid))
+                .collect(),
             keys.clone(),
         )),
     }
@@ -152,10 +171,10 @@ fn limit_pushes_down(plan: &Plan) -> bool {
 
 /// Lowers `plan` across all partitions with the appropriate global
 /// combine, pruning per partition according to `pruning`.
-pub fn lower_global_with<'a>(
+pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
     plan: &Plan,
     table: &'a Table,
-    indexes: &'a [PatchIndex],
+    indexes: &'a [I],
     pruning: Pruning,
 ) -> OpRef<'a> {
     let parts = 0..table.partition_count();
@@ -182,8 +201,10 @@ pub fn lower_global_with<'a>(
                     })
                 })
                 .collect();
-            Box::new(HashAggOp::distinct(Box::new(UnionAllOp::new(partials)),
-                (0..cols.len()).collect()))
+            Box::new(HashAggOp::distinct(
+                Box::new(UnionAllOp::new(partials)),
+                (0..cols.len()).collect(),
+            ))
         }
         // Sorted flows merge across partitions. An input containing a
         // Distinct is not partition-distributive under a merge (only the
@@ -228,7 +249,10 @@ pub fn lower_global_with<'a>(
             Box::new(OrderedMergeOp::new(streams, keys.clone()))
         }
         Plan::Union { inputs } => Box::new(UnionAllOp::new(
-            inputs.iter().map(|p| lower_global_with(p, table, indexes, pruning)).collect(),
+            inputs
+                .iter()
+                .map(|p| lower_global_with(p, table, indexes, pruning))
+                .collect(),
         )),
         Plan::Limit { input, n } => {
             if limit_pushes_down(input) {
@@ -237,47 +261,48 @@ pub fn lower_global_with<'a>(
                 let capped: Vec<OpRef<'a>> = parts
                     .filter_map(|pid| {
                         maybe_prune(input, table, indexes, pid, pruning).map(|p| {
-                            Box::new(LimitOp::new(
-                                lower_partition(&p, table, indexes, pid),
-                                *n,
-                            )) as OpRef<'a>
+                            Box::new(LimitOp::new(lower_partition(&p, table, indexes, pid), *n))
+                                as OpRef<'a>
                         })
                     })
                     .collect();
                 Box::new(LimitOp::new(Box::new(UnionAllOp::new(capped)), *n))
             } else {
-                Box::new(LimitOp::new(lower_global_with(input, table, indexes, pruning), *n))
+                Box::new(LimitOp::new(
+                    lower_global_with(input, table, indexes, pruning),
+                    *n,
+                ))
             }
         }
     }
 }
 
 /// Lowers with the default per-partition zero-branch pruning.
-pub fn lower_global<'a>(
+pub fn lower_global<'a, I: Borrow<PatchIndex>>(
     plan: &Plan,
     table: &'a Table,
-    indexes: &'a [PatchIndex],
+    indexes: &'a [I],
 ) -> OpRef<'a> {
     lower_global_with(plan, table, indexes, Pruning::PerPartition)
 }
 
 /// Executes a plan to completion and returns the concatenated result.
-pub fn execute(plan: &Plan, table: &Table, indexes: &[PatchIndex]) -> Batch {
+pub fn execute<I: Borrow<PatchIndex>>(plan: &Plan, table: &Table, indexes: &[I]) -> Batch {
     let mut root = lower_global(plan, table, indexes);
     collect(root.as_mut())
 }
 
 /// Executes a plan, returning only the row count (benchmark helper that
 /// avoids result materialization skew).
-pub fn execute_count(plan: &Plan, table: &Table, indexes: &[PatchIndex]) -> usize {
+pub fn execute_count<I: Borrow<PatchIndex>>(plan: &Plan, table: &Table, indexes: &[I]) -> usize {
     execute_count_with(plan, table, indexes, Pruning::PerPartition)
 }
 
 /// [`execute_count`] with an explicit pruning mode (benchmark ablation).
-pub fn execute_count_with(
+pub fn execute_count_with<I: Borrow<PatchIndex>>(
     plan: &Plan,
     table: &Table,
-    indexes: &[PatchIndex],
+    indexes: &[I],
     pruning: Pruning,
 ) -> usize {
     let mut root = lower_global_with(plan, table, indexes, pruning);
@@ -310,11 +335,17 @@ mod tests {
         // an unsorted stray.
         t.load_partition(
             0,
-            &[ColumnData::Int(vec![0, 1, 2, 3]), ColumnData::Int(vec![5, 5, 8, 9])],
+            &[
+                ColumnData::Int(vec![0, 1, 2, 3]),
+                ColumnData::Int(vec![5, 5, 8, 9]),
+            ],
         );
         t.load_partition(
             1,
-            &[ColumnData::Int(vec![4, 5, 6]), ColumnData::Int(vec![100, 101, 3])],
+            &[
+                ColumnData::Int(vec![4, 5, 6]),
+                ColumnData::Int(vec![100, 101, 3]),
+            ],
         );
         t.propagate_all();
         t
@@ -328,7 +359,7 @@ mod tests {
     fn reference_distinct_counts_all_values() {
         let t = table();
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let out = execute(&plan, &t, &[]);
+        let out = execute(&plan, &t, NO_INDEXES);
         // Values: 5,5,8,9,100,101,3 -> 6 distinct.
         assert_eq!(out.len(), 6);
     }
@@ -336,14 +367,17 @@ mod tests {
     #[test]
     fn rewritten_distinct_matches_reference() {
         let t = table();
-        let idx = single(PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap));
+        let idx = single(PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ));
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
         let opt = optimize(plan.clone(), &IndexCatalog::of(&t, &idx), false);
         assert!(opt.to_string().starts_with("Union"));
-        let mut reference: Vec<i64> =
-            execute(&plan, &t, &[]).column(0).as_int().to_vec();
-        let mut rewritten: Vec<i64> =
-            execute(&opt, &t, &idx).column(0).as_int().to_vec();
+        let mut reference: Vec<i64> = execute(&plan, &t, NO_INDEXES).column(0).as_int().to_vec();
+        let mut rewritten: Vec<i64> = execute(&opt, &t, &idx).column(0).as_int().to_vec();
         reference.sort_unstable();
         rewritten.sort_unstable();
         assert_eq!(reference, rewritten);
@@ -361,7 +395,7 @@ mod tests {
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
         let opt = optimize(plan.clone(), &IndexCatalog::of(&t, &idx), false);
         assert!(opt.to_string().starts_with("Merge"), "{opt}");
-        let reference = execute(&plan, &t, &[]);
+        let reference = execute(&plan, &t, NO_INDEXES);
         let rewritten = execute(&opt, &t, &idx);
         assert_eq!(reference.column(0).as_int(), rewritten.column(0).as_int());
         assert!(is_sorted_asc(rewritten.column(0)));
@@ -378,7 +412,12 @@ mod tests {
         t.load_partition(0, &[ColumnData::Int((0..50).collect())]);
         t.load_partition(1, &[ColumnData::Int((50..100).collect())]);
         t.propagate_all();
-        let idx = single(PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap));
+        let idx = single(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ));
         let plan = Plan::scan(vec![0]).distinct(vec![0]);
         let opt = optimize(plan, &IndexCatalog::of(&t, &idx), true);
         assert!(opt.to_string().starts_with("PatchScan"));
@@ -393,14 +432,14 @@ mod tests {
             cols: vec![1],
             filter: Some(pi_exec::Expr::col(0).ge(pi_exec::Expr::LitInt(100))),
         };
-        assert_eq!(execute_count(&plan, &t, &[]), 2);
+        assert_eq!(execute_count(&plan, &t, NO_INDEXES), 2);
     }
 
     #[test]
     fn limit_applies_globally() {
         let t = table();
         let plan = Plan::scan(vec![1]).limit(3);
-        assert_eq!(execute_count(&plan, &t, &[]), 3);
+        assert_eq!(execute_count(&plan, &t, NO_INDEXES), 3);
     }
 
     #[test]
@@ -409,10 +448,13 @@ mod tests {
         // Pushdown path (bag scan): identical rows to the unpushed
         // semantics, i.e. the first n rows of the full scan in partition
         // order.
-        let full: Vec<i64> = execute(&Plan::scan(vec![1]), &t, &[]).column(0).as_int().to_vec();
+        let full: Vec<i64> = execute(&Plan::scan(vec![1]), &t, NO_INDEXES)
+            .column(0)
+            .as_int()
+            .to_vec();
         for n in [0usize, 2, 4, 6, 100] {
             let plan = Plan::scan(vec![1]).limit(n);
-            let pushed = execute(&plan, &t, &[]);
+            let pushed = execute(&plan, &t, NO_INDEXES);
             let got: Vec<i64> = if pushed.is_empty() {
                 Vec::new()
             } else {
@@ -468,10 +510,13 @@ mod tests {
         assert_eq!(with_patch_flow, vec![5]);
         // Clean partitions collapse to the bare excluding stream.
         let clean = prune_for_partition(&opt, &t, &indexes, 0).unwrap();
-        assert!(clean.to_string().starts_with("PatchScan[exclude_patches]"), "{clean}");
+        assert!(
+            clean.to_string().starts_with("PatchScan[exclude_patches]"),
+            "{clean}"
+        );
 
         // And the pruned execution is still exact.
-        let reference = execute(&plan, &t, &[]);
+        let reference = execute(&plan, &t, NO_INDEXES);
         let got = execute(&opt, &t, &indexes);
         assert_eq!(reference.column(0).as_int(), got.column(0).as_int());
         // The ablation (global-only pruning) agrees on results.
@@ -496,14 +541,12 @@ mod tests {
         t2.load_partition(0, &[ColumnData::Int(vec![1, 7, 2])]);
         t2.load_partition(1, &[ColumnData::Int(vec![7, 3])]);
         t2.propagate_all();
-        for (tbl, expect) in [
-            (&t, vec![3i64, 5, 8, 9, 100, 101]),
-            (&t2, vec![1, 2, 3, 7]),
-        ] {
+        for (tbl, expect) in [(&t, vec![3i64, 5, 8, 9, 100, 101]), (&t2, vec![1, 2, 3, 7])] {
             let col = if std::ptr::eq(tbl, &t) { 1 } else { 0 };
-            let plan =
-                Plan::scan(vec![col]).distinct(vec![0]).sort(vec![(0, SortOrder::Asc)]);
-            let got = execute(&plan, tbl, &[]);
+            let plan = Plan::scan(vec![col])
+                .distinct(vec![0])
+                .sort(vec![(0, SortOrder::Asc)]);
+            let got = execute(&plan, tbl, NO_INDEXES);
             assert_eq!(got.column(0).as_int(), expect.as_slice());
         }
     }
@@ -545,9 +588,18 @@ mod tests {
     #[test]
     fn multi_column_scan_distinct_executes() {
         let t = table();
-        let idx = single(PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap));
-        let plan = Plan::Scan { cols: vec![0, 1], filter: None }.distinct(vec![1]);
-        let reference = execute_count(&plan, &t, &[]);
+        let idx = single(PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ));
+        let plan = Plan::Scan {
+            cols: vec![0, 1],
+            filter: None,
+        }
+        .distinct(vec![1]);
+        let reference = execute_count(&plan, &t, NO_INDEXES);
         let opt = optimize(plan, &IndexCatalog::of(&t, &idx), true);
         assert_eq!(execute_count(&opt, &t, &idx), reference);
     }
@@ -567,10 +619,15 @@ mod tests {
         t.load_partition(0, &[ColumnData::Int(vec![7, 7, 7, 7])]);
         t.load_partition(1, &[ColumnData::Int(vec![8, 8, 7, 8])]);
         t.propagate_all();
-        let idx = single(PatchIndex::create(&t, 0, Constraint::NearlyConstant, Design::Bitmap));
+        let idx = single(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlyConstant,
+            Design::Bitmap,
+        ));
         let cat = IndexCatalog::of(&t, &idx);
         let plan = Plan::scan(vec![0]).distinct(vec![0]);
-        let reference = execute_count(&plan, &t, &[]);
+        let reference = execute_count(&plan, &t, NO_INDEXES);
         assert_eq!(reference, 2);
         // Force the rewrite (the cost gate is irrelevant to correctness).
         let rewritten = crate::optimizer::rewrite(plan, &cat.indexes[0]);
@@ -583,7 +640,12 @@ mod tests {
     #[test]
     fn unpruned_partitions_borrow_the_plan() {
         let t = table();
-        let idx = single(PatchIndex::create(&t, 1, Constraint::NearlyUnique, Design::Bitmap));
+        let idx = single(PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ));
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
         let opt = optimize(plan, &IndexCatalog::of(&t, &idx), false);
         // Both partitions hold patches (value 5 in p0; none in p1 — check).
@@ -618,7 +680,12 @@ mod tests {
         t.load_partition(0, &[ColumnData::Int(vec![7, 7, 9, 7])]); // 1 patch
         t.load_partition(1, &[ColumnData::Int(vec![8, 8, 8])]); // clean
         t.propagate_all();
-        let idx = single(PatchIndex::create(&t, 0, Constraint::NearlyConstant, Design::Bitmap));
+        let idx = single(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlyConstant,
+            Design::Bitmap,
+        ));
         let cat = IndexCatalog::of(&t, &idx);
         let plan = Plan::scan(vec![0]).distinct(vec![0]);
         // The NCC shape: Distinct over a Union of two Distincts.
@@ -632,7 +699,7 @@ mod tests {
         let dirty = prune_for_partition(&rewritten, &t, &idx, 0).unwrap();
         assert!(dirty.to_string().contains("use_patches"));
         // Results stay exact either way.
-        let reference = execute_count(&plan, &t, &[]);
+        let reference = execute_count(&plan, &t, NO_INDEXES);
         assert_eq!(execute_count(&rewritten, &t, &idx), reference);
         // Same guard for a Sort wrapper above a Merge that collapses.
         let splan = Plan::scan(vec![0]).sort(vec![(0, SortOrder::Asc)]).limit(3);
@@ -662,9 +729,12 @@ mod tests {
         t.load_partition(2, &[ColumnData::Int(vec![2])]);
         t.propagate_all();
         let plan = Plan::scan(vec![0]);
-        assert!(prune_for_partition(&plan, &t, &[], 1).is_none());
-        assert_eq!(execute_count(&plan, &t, &[]), 3);
+        assert!(prune_for_partition(&plan, &t, NO_INDEXES, 1).is_none());
+        assert_eq!(execute_count(&plan, &t, NO_INDEXES), 3);
         let sorted = Plan::scan(vec![0]).sort(vec![(0, SortOrder::Asc)]);
-        assert_eq!(execute(&sorted, &t, &[]).column(0).as_int(), &[1, 2, 3]);
+        assert_eq!(
+            execute(&sorted, &t, NO_INDEXES).column(0).as_int(),
+            &[1, 2, 3]
+        );
     }
 }

@@ -16,7 +16,11 @@ pub(crate) fn entry(
         .collect();
     let rows: u64 = parts.iter().map(|p| p.rows).sum();
     let patches: u64 = parts.iter().map(|p| p.patches).sum();
-    let e = if rows == 0 { 1.0 } else { 1.0 - patches as f64 / rows as f64 };
+    let e = if rows == 0 {
+        1.0
+    } else {
+        1.0 - patches as f64 / rows as f64
+    };
     IndexStats {
         slot,
         column,

@@ -35,7 +35,10 @@ impl ColumnData {
         match dtype {
             DataType::Int | DataType::Date => ColumnData::Int(Vec::new()),
             DataType::Float => ColumnData::Float(Vec::new()),
-            DataType::Str => ColumnData::Str { codes: Vec::new(), dict: new_dict() },
+            DataType::Str => ColumnData::Str {
+                codes: Vec::new(),
+                dict: new_dict(),
+            },
         }
     }
 
@@ -45,9 +48,10 @@ impl ColumnData {
         match self {
             ColumnData::Int(_) => ColumnData::Int(Vec::new()),
             ColumnData::Float(_) => ColumnData::Float(Vec::new()),
-            ColumnData::Str { dict, .. } => {
-                ColumnData::Str { codes: Vec::new(), dict: Arc::clone(dict) }
-            }
+            ColumnData::Str { dict, .. } => ColumnData::Str {
+                codes: Vec::new(),
+                dict: Arc::clone(dict),
+            },
         }
     }
 
@@ -157,9 +161,7 @@ impl ColumnData {
     pub fn gather(&self, indices: &[usize]) -> ColumnData {
         match self {
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Float(v) => {
-                ColumnData::Float(indices.iter().map(|&i| v[i]).collect())
-            }
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Str { codes, dict } => ColumnData::Str {
                 codes: indices.iter().map(|&i| codes[i]).collect(),
                 dict: Arc::clone(dict),
@@ -174,7 +176,10 @@ impl ColumnData {
             (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
             (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
             (ColumnData::Str { codes: a, dict: da }, ColumnData::Str { codes: b, dict: db }) => {
-                assert!(Arc::ptr_eq(da, db), "extend_from across different dictionaries");
+                assert!(
+                    Arc::ptr_eq(da, db),
+                    "extend_from across different dictionaries"
+                );
                 a.extend_from_slice(b);
             }
             (a, b) => panic!(

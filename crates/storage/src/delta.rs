@@ -28,7 +28,7 @@ pub enum RowLoc {
 }
 
 /// In-memory positional deltas over one partition's base columns.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DeltaStore {
     /// Number of rows in base storage (fixed until propagate).
     base_rows: usize,
@@ -44,7 +44,12 @@ impl DeltaStore {
     /// Creates an empty delta store over `base_rows` rows; `append_proto`
     /// provides empty, dictionary-sharing append buffers per column.
     pub fn new(base_rows: usize, append_proto: Vec<ColumnData>) -> Self {
-        DeltaStore { base_rows, deleted: Vec::new(), modified: BTreeMap::new(), appends: append_proto }
+        DeltaStore {
+            base_rows,
+            deleted: Vec::new(),
+            modified: BTreeMap::new(),
+            appends: append_proto,
+        }
     }
 
     /// Rows currently visible (base minus deletes plus appends).
@@ -132,9 +137,13 @@ impl DeltaStore {
 
     /// Pending value patch for a base position and column, if any.
     pub fn modified_value(&self, base_pos: usize, col: usize) -> Option<&Value> {
-        self.modified
-            .get(&base_pos)
-            .and_then(|patches| patches.iter().rev().find(|(c, _)| *c == col).map(|(_, v)| v))
+        self.modified.get(&base_pos).and_then(|patches| {
+            patches
+                .iter()
+                .rev()
+                .find(|(c, _)| *c == col)
+                .map(|(_, v)| v)
+        })
     }
 
     /// Appends one row (values matching the schema order).
@@ -335,8 +344,9 @@ mod tests {
         let (base, mut d) = store(8);
         d.delete(&[1, 4, 6]);
         // Visible: 0,2,3,5,7
-        let vals: Vec<i64> =
-            (0..d.visible_len()).map(|r| d.read_value(&base, 0, r).as_int()).collect();
+        let vals: Vec<i64> = (0..d.visible_len())
+            .map(|r| d.read_value(&base, 0, r).as_int())
+            .collect();
         assert_eq!(vals, vec![0, 2, 3, 5, 7]);
     }
 
@@ -363,8 +373,9 @@ mod tests {
         d.modify(&[1], 0, &[Value::Int(20)]); // 0 20 3 4
         d.append_row(&[Value::Int(5)]); // 0 20 3 4 5
         d.delete(&[3]); // 0 20 3 5
-        let vals: Vec<i64> =
-            (0..d.visible_len()).map(|r| d.read_value(&base, 0, r).as_int()).collect();
+        let vals: Vec<i64> = (0..d.visible_len())
+            .map(|r| d.read_value(&base, 0, r).as_int())
+            .collect();
         assert_eq!(vals, vec![0, 20, 3, 5]);
     }
 

@@ -6,7 +6,7 @@
 //! base columns, an in-memory [`DeltaStore`], and lazily built zone maps.
 
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::column::ColumnData;
 use crate::delta::{DeltaStore, RowLoc};
@@ -15,14 +15,24 @@ use crate::value::Value;
 use crate::zonemap::{ZoneMap, DEFAULT_BLOCK_ROWS};
 
 /// One horizontal slice of a table.
-#[derive(Debug)]
+///
+/// `Clone` is a deep copy of base columns and deltas — the snapshot layer
+/// (`patchindex::snapshot`) shares partitions behind `Arc` and only pays
+/// this copy when a writer mutates a partition some snapshot still holds
+/// (copy-on-write via [`std::sync::Arc::make_mut`]).
+#[derive(Debug, Clone)]
 pub struct Partition {
     /// Partition id within its table.
     pub id: usize,
     schema: Arc<Schema>,
     base: Vec<ColumnData>,
     delta: DeltaStore,
-    zonemaps: Vec<Option<ZoneMap>>,
+    /// Lazily built zone maps over *base* data. Interior-mutable
+    /// ([`OnceLock`]) so building one is a `&self` operation: maintenance
+    /// can warm zone maps on a partition that live snapshots still share
+    /// without forcing a copy-on-write of the whole partition — the cache
+    /// describes immutable base data, so sharing the build is sound.
+    zonemaps: Vec<OnceLock<ZoneMap>>,
     block_rows: usize,
 }
 
@@ -40,7 +50,7 @@ impl Partition {
             schema,
             base,
             delta: DeltaStore::new(rows, proto),
-            zonemaps: vec![None; ncols],
+            zonemaps: (0..ncols).map(|_| OnceLock::new()).collect(),
             block_rows: DEFAULT_BLOCK_ROWS,
         }
     }
@@ -78,12 +88,14 @@ impl Partition {
     pub fn read_range(&self, cols: &[usize], start: usize, len: usize) -> Vec<ColumnData> {
         assert!(start + len <= self.visible_len(), "range out of bounds");
         if self.delta.is_empty() {
-            return cols.iter().map(|&c| self.base[c].slice(start, len)).collect();
+            return cols
+                .iter()
+                .map(|&c| self.base[c].slice(start, len))
+                .collect();
         }
         // Merge-on-read: translate each rid once, then gather per column.
         let base_visible = self.delta.base_visible_len();
-        let mut out: Vec<ColumnData> =
-            cols.iter().map(|&c| self.base[c].empty_like()).collect();
+        let mut out: Vec<ColumnData> = cols.iter().map(|&c| self.base[c].empty_like()).collect();
         // Batch rows by physical source to amortize translation.
         let mut base_rows: Vec<usize> = Vec::new();
         let mut append_rows: Vec<usize> = Vec::new();
@@ -119,8 +131,7 @@ impl Partition {
         if self.delta.is_empty() {
             return cols.iter().map(|&c| self.base[c].gather(rids)).collect();
         }
-        let mut out: Vec<ColumnData> =
-            cols.iter().map(|&c| self.base[c].empty_like()).collect();
+        let mut out: Vec<ColumnData> = cols.iter().map(|&c| self.base[c].empty_like()).collect();
         for (oi, &c) in cols.iter().enumerate() {
             for &rid in rids {
                 out[oi].push(&self.value_at(c, rid));
@@ -154,21 +165,19 @@ impl Partition {
     /// maps.
     pub fn propagate(&mut self) {
         self.delta.propagate(&mut self.base);
-        self.zonemaps.iter_mut().for_each(|z| *z = None);
+        self.zonemaps.iter_mut().for_each(|z| *z = OnceLock::new());
     }
 
     /// Ensures a zone map exists for an integer-backed column and returns
-    /// it. Zone maps describe *base* data only.
-    pub fn zonemap(&mut self, col: usize) -> &ZoneMap {
-        if self.zonemaps[col].is_none() {
-            self.zonemaps[col] = Some(ZoneMap::build(self.base[col].as_int(), self.block_rows));
-        }
-        self.zonemaps[col].as_ref().unwrap()
+    /// it. Zone maps describe *base* data only; building one is a `&self`
+    /// cache fill (see the field docs).
+    pub fn zonemap(&self, col: usize) -> &ZoneMap {
+        self.zonemaps[col].get_or_init(|| ZoneMap::build(self.base[col].as_int(), self.block_rows))
     }
 
     /// Zone map if already built.
     pub fn zonemap_if_built(&self, col: usize) -> Option<&ZoneMap> {
-        self.zonemaps[col].as_ref()
+        self.zonemaps[col].get()
     }
 
     /// Candidate visible-row ranges for `col ∈ [lo, hi]`, using the zone
@@ -179,7 +188,7 @@ impl Partition {
     /// positional shifts or modifies are outstanding; appended rows are
     /// always scanned. Returns `None` when the whole partition must be
     /// scanned.
-    pub fn candidate_ranges(&mut self, col: usize, lo: i64, hi: i64) -> Option<Vec<Range<usize>>> {
+    pub fn candidate_ranges(&self, col: usize, lo: i64, hi: i64) -> Option<Vec<Range<usize>>> {
         if self.delta.has_positional_shifts() || self.delta.has_modifies() {
             return None;
         }
@@ -260,7 +269,7 @@ mod tests {
 
     #[test]
     fn candidate_ranges_prunes_on_clean_partition() {
-        let mut p = test_partition(5000);
+        let p = test_partition(5000);
         let ranges = p.candidate_ranges(0, 100, 200).expect("prunable");
         assert_eq!(ranges, vec![0..1024]);
     }

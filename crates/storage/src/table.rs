@@ -36,11 +36,19 @@ pub struct RowAddr {
 }
 
 /// A named, partitioned table.
-#[derive(Debug)]
+///
+/// Partitions live behind [`Arc`]: cloning a table is cheap (one `Arc`
+/// bump per partition) and shares all partition data with the clone.
+/// Mutation goes through [`Table::partition_mut`], which copies a
+/// partition on first write if a clone still shares it (copy-on-write) —
+/// the storage half of the snapshot/writer split in
+/// `patchindex::snapshot`. String dictionaries stay shared across clones
+/// (they grow append-only, so a snapshot's codes always stay decodable).
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Arc<Schema>,
-    partitions: Vec<Partition>,
+    partitions: Vec<Arc<Partition>>,
     dicts: Vec<Option<DictRef>>,
     partitioning: Partitioning,
     rr_next: usize,
@@ -57,8 +65,14 @@ impl Table {
         assert!(npartitions > 0, "need at least one partition");
         if let Partitioning::KeyRange { boundaries, col } = &partitioning {
             assert_eq!(boundaries.len(), npartitions - 1, "boundary count mismatch");
-            assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries not sorted");
-            assert!(schema.field(*col).dtype.is_int_backed(), "routing key must be int-backed");
+            assert!(
+                boundaries.windows(2).all(|w| w[0] <= w[1]),
+                "boundaries not sorted"
+            );
+            assert!(
+                schema.field(*col).dtype.is_int_backed(),
+                "routing key must be int-backed"
+            );
         }
         let schema = Arc::new(schema);
         // One shared dictionary per string column, spanning all partitions.
@@ -82,10 +96,17 @@ impl Table {
                         },
                     })
                     .collect();
-                Partition::new(id, Arc::clone(&schema), cols)
+                Arc::new(Partition::new(id, Arc::clone(&schema), cols))
             })
             .collect();
-        Table { name: name.into(), schema, partitions, dicts, partitioning, rr_next: 0 }
+        Table {
+            name: name.into(),
+            schema,
+            partitions,
+            dicts,
+            partitioning,
+            rr_next: 0,
+        }
     }
 
     /// Table name.
@@ -104,14 +125,16 @@ impl Table {
         self.dicts[col].as_ref()
     }
 
-    /// All partitions.
-    pub fn partitions(&self) -> &[Partition] {
+    /// All partitions (shared handles; deref to [`Partition`]).
+    pub fn partitions(&self) -> &[Arc<Partition>] {
         &self.partitions
     }
 
-    /// Mutable partition access (update paths).
+    /// Mutable partition access (update paths). Copy-on-write: if a table
+    /// clone (snapshot) still shares this partition, the first write
+    /// copies it; otherwise this is a plain in-place borrow.
     pub fn partition_mut(&mut self, id: usize) -> &mut Partition {
-        &mut self.partitions[id]
+        Arc::make_mut(&mut self.partitions[id])
     }
 
     /// Partition by id.
@@ -151,9 +174,12 @@ impl Table {
         for row in rows {
             assert_eq!(row.len(), self.schema.len(), "row arity mismatch");
             let pid = self.route(row);
-            let p = &mut self.partitions[pid];
+            let p = Arc::make_mut(&mut self.partitions[pid]);
             p.append_row(row);
-            addrs.push(RowAddr { partition: pid, rid: p.visible_len() - 1 });
+            addrs.push(RowAddr {
+                partition: pid,
+                rid: p.visible_len() - 1,
+            });
         }
         addrs
     }
@@ -161,7 +187,7 @@ impl Table {
     /// Bulk-loads a columnar batch directly into one partition (generator
     /// fast path; bypasses routing).
     pub fn load_partition(&mut self, pid: usize, batch: &[ColumnData]) {
-        self.partitions[pid].append_batch(batch);
+        self.partition_mut(pid).append_batch(batch);
     }
 
     /// Encodes string values through the table's shared dictionary for
@@ -172,23 +198,26 @@ impl Table {
             let mut d = dict.write();
             values.iter().map(|s| d.encode(s.as_ref())).collect()
         };
-        ColumnData::Str { codes, dict: Arc::clone(dict) }
+        ColumnData::Str {
+            codes,
+            dict: Arc::clone(dict),
+        }
     }
 
     /// Deletes visible rows in one partition.
     pub fn delete(&mut self, pid: usize, rids: &[usize]) {
-        self.partitions[pid].delete(rids);
+        self.partition_mut(pid).delete(rids);
     }
 
     /// Patches one column for visible rows in one partition.
     pub fn modify(&mut self, pid: usize, rids: &[usize], col: usize, values: &[Value]) {
-        self.partitions[pid].modify(rids, col, values);
+        self.partition_mut(pid).modify(rids, col, values);
     }
 
     /// Propagates deltas in all partitions.
     pub fn propagate_all(&mut self) {
         for p in &mut self.partitions {
-            p.propagate();
+            Arc::make_mut(p).propagate();
         }
     }
 
@@ -218,9 +247,27 @@ mod tests {
     fn round_robin_routing() {
         let mut t = Table::new("t", schema(), 3, Partitioning::RoundRobin);
         let addrs = t.insert_rows(&[row(1, "a"), row(2, "b"), row(3, "c"), row(4, "d")]);
-        assert_eq!(addrs[0], RowAddr { partition: 0, rid: 0 });
-        assert_eq!(addrs[1], RowAddr { partition: 1, rid: 0 });
-        assert_eq!(addrs[3], RowAddr { partition: 0, rid: 1 });
+        assert_eq!(
+            addrs[0],
+            RowAddr {
+                partition: 0,
+                rid: 0
+            }
+        );
+        assert_eq!(
+            addrs[1],
+            RowAddr {
+                partition: 1,
+                rid: 0
+            }
+        );
+        assert_eq!(
+            addrs[3],
+            RowAddr {
+                partition: 0,
+                rid: 1
+            }
+        );
         assert_eq!(t.visible_len(), 4);
     }
 
@@ -230,7 +277,10 @@ mod tests {
             "t",
             schema(),
             3,
-            Partitioning::KeyRange { col: 0, boundaries: vec![10, 20] },
+            Partitioning::KeyRange {
+                col: 0,
+                boundaries: vec![10, 20],
+            },
         );
         let addrs = t.insert_rows(&[row(5, "a"), row(10, "b"), row(15, "c"), row(25, "d")]);
         assert_eq!(addrs[0].partition, 0);
@@ -285,6 +335,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "boundary count mismatch")]
     fn bad_boundaries_panic() {
-        Table::new("t", schema(), 3, Partitioning::KeyRange { col: 0, boundaries: vec![1] });
+        Table::new(
+            "t",
+            schema(),
+            3,
+            Partitioning::KeyRange {
+                col: 0,
+                boundaries: vec![1],
+            },
+        );
     }
 }

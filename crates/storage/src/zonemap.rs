@@ -39,7 +39,12 @@ impl ZoneMap {
             mins.push(lo);
             maxs.push(hi);
         }
-        ZoneMap { block_rows, mins, maxs, rows: values.len() }
+        ZoneMap {
+            block_rows,
+            mins,
+            maxs,
+            rows: values.len(),
+        }
     }
 
     /// Rows per block.

@@ -57,13 +57,40 @@ pub mod cols {
     pub const L_SHIPMODE: usize = 7;
 }
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 
@@ -84,7 +111,12 @@ pub struct TpchSpec {
 impl TpchSpec {
     /// Spec with the given scale factor and exception rate.
     pub fn new(sf: f64, exception_rate: f64) -> Self {
-        TpchSpec { sf, lineitem_partitions: 2, exception_rate, seed: 0x7269_7065 }
+        TpchSpec {
+            sf,
+            lineitem_partitions: 2,
+            exception_rate,
+            seed: 0x7269_7065,
+        }
     }
 }
 
@@ -154,7 +186,9 @@ pub fn generate(spec: &TpchSpec) -> TpchDb {
             Field::new("c_nationkey", DataType::Int),
         ]),
     );
-    let segs: Vec<&str> = (0..n_customers).map(|_| SEGMENTS[rng.gen_range(0..5)]).collect();
+    let segs: Vec<&str> = (0..n_customers)
+        .map(|_| SEGMENTS[rng.gen_range(0..5)])
+        .collect();
     let segs = customer.encode_strings(cols::C_MKTSEGMENT, &segs);
     customer.load_partition(
         0,
@@ -178,14 +212,22 @@ pub fn generate(spec: &TpchSpec) -> TpchDb {
     );
     let date_lo = date(1992, 1, 1);
     let date_hi = date(1998, 8, 2);
-    let orderdates: Vec<i64> = (0..n_orders).map(|_| rng.gen_range(date_lo..date_hi)).collect();
-    let prios: Vec<&str> = (0..n_orders).map(|_| PRIORITIES[rng.gen_range(0..5)]).collect();
+    let orderdates: Vec<i64> = (0..n_orders)
+        .map(|_| rng.gen_range(date_lo..date_hi))
+        .collect();
+    let prios: Vec<&str> = (0..n_orders)
+        .map(|_| PRIORITIES[rng.gen_range(0..5)])
+        .collect();
     let prios = orders.encode_strings(cols::O_ORDERPRIORITY, &prios);
     orders.load_partition(
         0,
         &[
             ColumnData::Int((1..=n_orders as i64).collect()),
-            ColumnData::Int((0..n_orders).map(|_| rng.gen_range(1..=n_customers as i64)).collect()),
+            ColumnData::Int(
+                (0..n_orders)
+                    .map(|_| rng.gen_range(1..=n_customers as i64))
+                    .collect(),
+            ),
             ColumnData::Int(orderdates.clone()),
             ColumnData::Int(vec![0; n_orders]),
             prios,
@@ -275,7 +317,13 @@ pub fn generate(spec: &TpchSpec) -> TpchDb {
             ],
         );
     }
-    for t in [&mut nation, &mut supplier, &mut customer, &mut orders, &mut lineitem] {
+    for t in [
+        &mut nation,
+        &mut supplier,
+        &mut customer,
+        &mut orders,
+        &mut lineitem,
+    ] {
         t.propagate_all();
     }
     TpchDb {
@@ -421,8 +469,7 @@ mod tests {
             let mut patches = 0usize;
             let mut rows = 0usize;
             for pid in 0..db.lineitem.partition_count() {
-                let keys =
-                    partition_column_values(db.lineitem.partition(pid), cols::L_ORDERKEY);
+                let keys = partition_column_values(db.lineitem.partition(pid), cols::L_ORDERKEY);
                 let r = discover_values(&keys, Constraint::NearlySorted(SortDir::Asc));
                 patches += r.patches.len();
                 rows += keys.len();

@@ -122,15 +122,28 @@ pub fn q3(
             Some(cust_filter.clone()),
         )
     };
-    let orders_cols =
-        vec![cols::O_ORDERKEY, cols::O_CUSTKEY, cols::O_ORDERDATE, cols::O_SHIPPRIORITY];
+    let orders_cols = vec![
+        cols::O_ORDERKEY,
+        cols::O_CUSTKEY,
+        cols::O_ORDERDATE,
+        cols::O_SHIPPRIORITY,
+    ];
     let orders_f = || {
-        scan_all(&db.orders, orders_cols.clone(), Some(Expr::col(2).lt(Expr::LitInt(cutoff))))
+        scan_all(
+            &db.orders,
+            orders_cols.clone(),
+            Some(Expr::col(2).lt(Expr::LitInt(cutoff))),
+        )
     };
     // X = customer_f ⋈ orders_f, probe side = orders (order preserving).
     // Output: [o_orderkey, o_custkey, o_orderdate, o_shippriority, c_custkey, c_seg]
     let x = || -> OpRef<'_> { Box::new(HashJoinOp::inner(customer_f(), 0, orders_f(), 1)) };
-    let l_cols = vec![cols::L_ORDERKEY, cols::L_EXTENDEDPRICE, cols::L_DISCOUNT, cols::L_SHIPDATE];
+    let l_cols = vec![
+        cols::L_ORDERKEY,
+        cols::L_EXTENDEDPRICE,
+        cols::L_DISCOUNT,
+        cols::L_SHIPDATE,
+    ];
     let l_filter = Expr::col(3).gt(Expr::LitInt(cutoff));
 
     let joined: Batch = match variant {
@@ -197,7 +210,12 @@ fn finish_q3(projected: Batch) -> Batch {
 fn q3_joinindex(db: &TpchDb, ji: &JoinIndex, cutoff: i64, cust_filter: &Expr) -> Batch {
     // Scan lineitem (+rids), gather the orders partner columns through the
     // materialized index, then finish with the customer join.
-    let l_cols = vec![cols::L_ORDERKEY, cols::L_EXTENDEDPRICE, cols::L_DISCOUNT, cols::L_SHIPDATE];
+    let l_cols = vec![
+        cols::L_ORDERKEY,
+        cols::L_EXTENDEDPRICE,
+        cols::L_DISCOUNT,
+        cols::L_SHIPDATE,
+    ];
     let mut pieces: Vec<Batch> = Vec::new();
     for pid in 0..db.lineitem.partition_count() {
         let part = db.lineitem.partition(pid);
@@ -210,8 +228,7 @@ fn q3_joinindex(db: &TpchDb, ji: &JoinIndex, cutoff: i64, cust_filter: &Expr) ->
         if out.is_empty() {
             continue;
         }
-        let rids: Vec<usize> =
-            out.column(4).as_int().iter().map(|&r| r as usize).collect();
+        let rids: Vec<usize> = out.column(4).as_int().iter().map(|&r| r as usize).collect();
         let ocols = ji.gather_dim(
             &db.orders,
             pid,
@@ -230,7 +247,11 @@ fn q3_joinindex(db: &TpchDb, ji: &JoinIndex, cutoff: i64, cust_filter: &Expr) ->
         Expr::col(5).lt(Expr::LitInt(cutoff)),
     );
     // Remaining join with the filtered customers.
-    let cust = scan_all(&db.customer, vec![cols::C_CUSTKEY, cols::C_MKTSEGMENT], Some(cust_filter.clone()));
+    let cust = scan_all(
+        &db.customer,
+        vec![cols::C_CUSTKEY, cols::C_MKTSEGMENT],
+        Some(cust_filter.clone()),
+    );
     let mut join = HashJoinOp::inner(cust, 0, Box::new(take_op(&mut date_f)), 4);
     let out = collect(&mut join);
     // [l..7, c_custkey, c_seg]
@@ -255,8 +276,7 @@ fn take_op(op: &mut dyn pi_exec::Operator) -> pi_exec::BatchSource {
 /// Reorders `[l(0..l_width), x(l_width..l_width+x_width)]` into
 /// `[x..., l...]`.
 fn project_concat(out: &Batch, l_width: usize, x_width: usize) -> Batch {
-    let order: Vec<usize> =
-        (l_width..l_width + x_width).chain(0..l_width).collect();
+    let order: Vec<usize> = (l_width..l_width + x_width).chain(0..l_width).collect();
     out.project(&order)
 }
 
@@ -373,14 +393,13 @@ pub fn q7(
         .eq(fr.clone())
         .and(Expr::col(5).eq(de.clone()))
         .or(Expr::col(14).eq(de).and(Expr::col(5).eq(fr)));
-    let mut filt =
-        FilterOp::new(Box::new(pi_exec::BatchSource::single(out)), pair_filter);
+    let mut filt = FilterOp::new(Box::new(pi_exec::BatchSource::single(out)), pair_filter);
     let mut proj = ProjectOp::new(
         Box::new(take_op(&mut filt)),
         vec![
-            Expr::col(14),                       // supp_nation
-            Expr::col(5),                        // cust_nation
-            Expr::Year(Box::new(Expr::col(10))), // l_year
+            Expr::col(14),                                           // supp_nation
+            Expr::col(5),                                            // cust_nation
+            Expr::Year(Box::new(Expr::col(10))),                     // l_year
             Expr::col(8).mul(Expr::LitFloat(1.0).sub(Expr::col(9))), // volume
         ],
     );
@@ -391,7 +410,11 @@ pub fn q7(
     );
     let mut sort = SortOp::new(
         Box::new(take_op(&mut agg)),
-        vec![(0, SortOrder::Asc), (1, SortOrder::Asc), (2, SortOrder::Asc)],
+        vec![
+            (0, SortOrder::Asc),
+            (1, SortOrder::Asc),
+            (2, SortOrder::Asc),
+        ],
     );
     collect(&mut sort)
 }
@@ -410,8 +433,7 @@ fn q7_joinindex_join(db: &TpchDb, ji: &JoinIndex, l_cols: &[usize], l_filter: &E
             continue;
         }
         let rids: Vec<usize> = out.column(5).as_int().iter().map(|&r| r as usize).collect();
-        let ocols =
-            ji.gather_dim(&db.orders, pid, &rids, &[cols::O_ORDERKEY, cols::O_CUSTKEY]);
+        let ocols = ji.gather_dim(&db.orders, pid, &rids, &[cols::O_ORDERKEY, cols::O_CUSTKEY]);
         let mut columns = out.into_columns();
         columns.truncate(5);
         let mut ordered = ocols;
@@ -424,15 +446,18 @@ fn q7_joinindex_join(db: &TpchDb, ji: &JoinIndex, l_cols: &[usize], l_filter: &E
     let pair = Expr::col(1)
         .eq(Expr::lit_str(n_dict, "FRANCE"))
         .or(Expr::col(1).eq(Expr::lit_str(n_dict, "GERMANY")));
-    let nation_f = scan_all(&db.nation, vec![cols::N_NATIONKEY, cols::N_NAME], Some(pair));
+    let nation_f = scan_all(
+        &db.nation,
+        vec![cols::N_NATIONKEY, cols::N_NAME],
+        Some(pair),
+    );
     let cust: OpRef<'_> = Box::new(HashJoinOp::inner(
         nation_f,
         0,
         scan_all(&db.customer, vec![cols::C_CUSTKEY, cols::C_NATIONKEY], None),
         1,
     ));
-    let mut join =
-        HashJoinOp::inner(cust, 0, Box::new(pi_exec::BatchSource::single(combined)), 1);
+    let mut join = HashJoinOp::inner(cust, 0, Box::new(pi_exec::BatchSource::single(combined)), 1);
     let out = collect(&mut join);
     // [o_orderkey, o_custkey, l(2..7), c_custkey, c_nationkey, n_key, n_name]
     // Reorder into the uniform [x(0..6), l(6..11)] layout.
@@ -471,8 +496,7 @@ pub fn q12(
         QueryVariant::Reference => {
             // Build on the (selective) filtered lineitem, probe orders.
             let li = scan_all(&db.lineitem, l_cols.clone(), Some(l_filter.clone()));
-            let mut join =
-                HashJoinOp::inner(li, 0, scan_all(&db.orders, o_cols.clone(), None), 0);
+            let mut join = HashJoinOp::inner(li, 0, scan_all(&db.orders, o_cols.clone(), None), 0);
             collect(&mut join)
         }
         QueryVariant::PatchIndex | QueryVariant::PatchIndexZbp => {
@@ -495,14 +519,12 @@ pub fn q12(
             for pid in 0..db.lineitem.partition_count() {
                 let part = db.lineitem.partition(pid);
                 let mut scan = ScanOp::new(part, l_cols.clone(), true);
-                let mut filt =
-                    FilterOp::new(Box::new(take_op(&mut scan)), l_filter.clone());
+                let mut filt = FilterOp::new(Box::new(take_op(&mut scan)), l_filter.clone());
                 let out = collect(&mut filt);
                 if out.is_empty() {
                     continue;
                 }
-                let rids: Vec<usize> =
-                    out.column(5).as_int().iter().map(|&r| r as usize).collect();
+                let rids: Vec<usize> = out.column(5).as_int().iter().map(|&r| r as usize).collect();
                 let ocols = ji.gather_dim(
                     &db.orders,
                     pid,
@@ -586,9 +608,17 @@ mod tests {
         let (db, pi, ji) = setup(e);
         let reference = q(&db, QueryVariant::Reference, None, None);
         assert!(!reference.is_empty(), "reference result empty — weak test");
-        for variant in [QueryVariant::PatchIndex, QueryVariant::PatchIndexZbp, QueryVariant::JoinIdx] {
+        for variant in [
+            QueryVariant::PatchIndex,
+            QueryVariant::PatchIndexZbp,
+            QueryVariant::JoinIdx,
+        ] {
             let got = q(&db, variant, Some(&pi), Some(&ji));
-            assert_eq!(canonical(&got), canonical(&reference), "variant {variant:?} e={e}");
+            assert_eq!(
+                canonical(&got),
+                canonical(&reference),
+                "variant {variant:?} e={e}"
+            );
         }
     }
 

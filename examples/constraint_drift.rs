@@ -45,10 +45,15 @@ fn main() {
     let path = std::env::temp_dir().join("registry.pidx");
     reg.index(slot).checkpoint(&path).expect("checkpoint");
     let restored = PatchIndex::load_checkpoint(&path).expect("load");
-    assert_eq!(restored.exception_count(), reg.index(slot).exception_count());
-    println!("checkpoint/restore roundtrip ok ({} bytes on disk)", std::fs::metadata(&path).unwrap().len());
-    let recomputed =
-        PatchIndex::recover(reg.table(), 0, Constraint::NearlyUnique, Design::Bitmap);
+    assert_eq!(
+        restored.exception_count(),
+        reg.index(slot).exception_count()
+    );
+    println!(
+        "checkpoint/restore roundtrip ok ({} bytes on disk)",
+        std::fs::metadata(&path).unwrap().len()
+    );
+    let recomputed = PatchIndex::recover(reg.table(), 0, Constraint::NearlyUnique, Design::Bitmap);
     assert_eq!(recomputed.exception_count(), restored.exception_count());
     println!("log-free recovery (recreate from table) agrees with the checkpoint");
     std::fs::remove_file(&path).ok();

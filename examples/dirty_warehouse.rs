@@ -17,7 +17,7 @@ use patchindex::IndexedTable;
 use pi_advisor::{Advisor, AdvisorConfig};
 use pi_baselines::DistinctView;
 use pi_datagen::{generate, update_rows, MicroKind, MicroSpec};
-use pi_planner::{execute_count, Plan, QueryEngine};
+use pi_planner::{execute_count, Plan, QueryEngine, NO_INDEXES};
 
 fn main() {
     // 200K integrated customer records, 3% of which collide with another
@@ -34,7 +34,7 @@ fn main() {
 
     // The nightly report keeps asking "how many distinct customers?".
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
-    let reference = execute_count(&plan, wh.table(), &[]);
+    let reference = execute_count(&plan, wh.table(), NO_INDEXES);
     for _ in 0..3 {
         assert_eq!(wh.query_count(&plan), reference);
     }
@@ -45,7 +45,11 @@ fn main() {
         println!("advisor: {}", action.describe());
     }
     let slot = 0;
-    assert_eq!(wh.indexes().len(), 1, "the advisor should have created the index");
+    assert_eq!(
+        wh.indexes().len(),
+        1,
+        "the advisor should have created the index"
+    );
     println!(
         "auto-created in {:.1} ms: {} duplicates over {rows} rows (e = {:.4})",
         t.elapsed().as_secs_f64() * 1e3,
@@ -55,7 +59,7 @@ fn main() {
 
     // Reference vs the rewritten plan the facade now picks.
     let t = Instant::now();
-    let n_ref = execute_count(&plan, wh.table(), &[]);
+    let n_ref = execute_count(&plan, wh.table(), NO_INDEXES);
     let t_ref = t.elapsed();
     let t = Instant::now();
     let with_pi = wh.query_count(&plan);
@@ -92,7 +96,11 @@ fn main() {
         if actions.is_empty() {
             "no action (drift within margin, queries keep paying)".to_string()
         } else {
-            actions.iter().map(|a| a.describe()).collect::<Vec<_>>().join("; ")
+            actions
+                .iter()
+                .map(|a| a.describe())
+                .collect::<Vec<_>>()
+                .join("; ")
         }
     );
 

@@ -1,9 +1,10 @@
 //! Quickstart: define an approximate constraint, query through it, update
-//! through it.
+//! through it — then split it into concurrent snapshot readers and a
+//! background writer.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use patchindex::{Constraint, Design, IndexedTable, SortDir};
+use patchindex::{ConcurrentTable, Constraint, Design, IndexedTable, SortDir};
 use pi_exec::ops::sort::SortOrder;
 use pi_planner::{Plan, QueryEngine};
 use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table, Value};
@@ -66,4 +67,32 @@ fn main() {
     );
     events.check_consistency();
     println!("\nindex consistent");
+
+    // 4. Concurrency: split the table into a shared read handle and a
+    //    single writer. Readers pull immutable snapshots and query them
+    //    from any thread; the writer mutates and maintains off the read
+    //    path and publishes new epochs atomically.
+    let (handle, mut writer) = ConcurrentTable::new(events);
+    let reader = std::thread::spawn({
+        let handle = handle.clone();
+        let plan = plan.clone();
+        move || {
+            let mut snap = handle.snapshot();
+            (snap.epoch(), snap.query(&plan).column(0).as_int().to_vec())
+        }
+    });
+    writer.insert(&[vec![Value::Int(12), Value::Int(7)]]); // staged, invisible
+    let (epoch, sorted) = reader.join().unwrap();
+    println!(
+        "\nreader on epoch {epoch} saw {} rows (writer insert unpublished)",
+        sorted.len()
+    );
+    writer.publish(); // one atomic epoch-pointer swap
+    let mut snap = handle.snapshot();
+    println!(
+        "epoch {} after publish: {} rows, still sorted: {:?}",
+        snap.epoch(),
+        snap.table().visible_len(),
+        snap.query(&plan).column(0).as_int()
+    );
 }

@@ -18,7 +18,7 @@ use patchindex::{Constraint, IndexedTable, SortDir};
 use pi_advisor::{Advisor, AdvisorAction, AdvisorConfig};
 use pi_datagen::{generate, MicroKind, MicroSpec};
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute_count, Plan, QueryEngine};
+use pi_planner::{execute_count, Plan, QueryEngine, NO_INDEXES};
 use pi_storage::Value;
 
 fn main() {
@@ -33,16 +33,23 @@ fn main() {
 
     // Dashboards keep ordering by timestamp; the advisor watches.
     let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-    let n_ref = execute_count(&plan, ts.table(), &[]);
+    let n_ref = execute_count(&plan, ts.table(), NO_INDEXES);
     for _ in 0..3 {
         assert_eq!(ts.query_count(&plan), n_ref);
     }
     for action in advisor.step(&mut ts) {
         println!("advisor: {}", action.describe());
     }
-    assert_eq!(ts.indexes().len(), 1, "the advisor should have created the NSC index");
+    assert_eq!(
+        ts.indexes().len(),
+        1,
+        "the advisor should have created the NSC index"
+    );
     let slot = 0;
-    assert_eq!(ts.index(slot).constraint(), Constraint::NearlySorted(SortDir::Asc));
+    assert_eq!(
+        ts.index(slot).constraint(),
+        Constraint::NearlySorted(SortDir::Asc)
+    );
     let e_create = ts.index(slot).match_fraction();
     println!(
         "NSC on ts: {} late readings (e = {:.4} at creation)",
@@ -53,7 +60,7 @@ fn main() {
     // ORDER BY ts: the excluding flow is already sorted, only the late
     // readings pass through the sort operator.
     let t = Instant::now();
-    assert_eq!(execute_count(&plan, ts.table(), &[]), n_ref);
+    assert_eq!(execute_count(&plan, ts.table(), NO_INDEXES), n_ref);
     let t_ref = t.elapsed();
     let t = Instant::now();
     assert_eq!(ts.query_count(&plan), n_ref);
@@ -103,18 +110,27 @@ fn main() {
         );
         for action in advisor.step(&mut ts) {
             println!("advisor: {}", action.describe());
-            if let AdvisorAction::Recomputed { e_before, e_after, .. } = action {
+            if let AdvisorAction::Recomputed {
+                e_before, e_after, ..
+            } = action
+            {
                 recomputed = true;
                 assert!(e_after > e_before);
             }
         }
     }
-    assert!(recomputed, "the glitch drift should have triggered a recompute");
+    assert!(
+        recomputed,
+        "the glitch drift should have triggered a recompute"
+    );
     let e_final = ts.index(slot).match_fraction();
     assert!(
         e_final > e_create - 0.05,
         "recompute should restore e near create-time levels ({e_final:.4} vs {e_create:.4})"
     );
     ts.check_consistency();
-    println!("index consistent, advisor kept e at {:.4} (create-time {:.4})", e_final, e_create);
+    println!(
+        "index consistent, advisor kept e at {:.4} (create-time {:.4})",
+        e_final, e_create
+    );
 }

@@ -9,7 +9,7 @@ use patchindex::{Constraint, Design, IndexedTable};
 use pi_advisor::{Advisor, AdvisorAction, AdvisorConfig, DropReason};
 use pi_datagen::{DriftOp, DriftSpec};
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute, Plan, QueryEngine};
+use pi_planner::{execute, Plan, QueryEngine, NO_INDEXES};
 
 fn config() -> AdvisorConfig {
     AdvisorConfig {
@@ -22,7 +22,9 @@ fn config() -> AdvisorConfig {
 /// Sorted distinct over the advised column: deterministic output, and
 /// its Distinct-over-Scan root is exactly what the query log records.
 fn workload_query() -> Plan {
-    Plan::scan(vec![DriftSpec::VAL_COL]).distinct(vec![0]).sort(vec![(0, SortOrder::Asc)])
+    Plan::scan(vec![DriftSpec::VAL_COL])
+        .distinct(vec![0])
+        .sort(vec![(0, SortOrder::Asc)])
 }
 
 fn apply(it: &mut IndexedTable, op: &DriftOp) {
@@ -30,7 +32,12 @@ fn apply(it: &mut IndexedTable, op: &DriftOp) {
         DriftOp::Insert(rows) => {
             it.insert(rows);
         }
-        DriftOp::Modify { pid, rids, col, values } => {
+        DriftOp::Modify {
+            pid,
+            rids,
+            col,
+            values,
+        } => {
             it.modify(*pid, rids, *col, values);
         }
         DriftOp::Query => {}
@@ -44,10 +51,18 @@ fn assert_identical(advised: &mut IndexedTable, manual: &mut IndexedTable, at: &
     let a = advised.query(&q);
     let m = manual.query(&q);
     assert_eq!(a.len(), m.len(), "{at}: row counts diverged");
-    assert_eq!(a.column(0).as_int(), m.column(0).as_int(), "{at}: results diverged");
+    assert_eq!(
+        a.column(0).as_int(),
+        m.column(0).as_int(),
+        "{at}: results diverged"
+    );
     // And both agree with the index-free ground truth.
-    let reference = execute(&q, manual.table(), &[]);
-    assert_eq!(a.column(0).as_int(), reference.column(0).as_int(), "{at}: wrong results");
+    let reference = execute(&q, manual.table(), NO_INDEXES);
+    assert_eq!(
+        a.column(0).as_int(),
+        reference.column(0).as_int(),
+        "{at}: wrong results"
+    );
 }
 
 #[test]
@@ -73,8 +88,18 @@ fn full_lifecycle_on_a_drifting_workload() {
         .iter()
         .filter(|a| matches!(a, AdvisorAction::Created { .. }))
         .collect();
-    assert_eq!(created.len(), 1, "exactly one auto-create expected: {actions:?}");
-    let AdvisorAction::Created { column, constraint, sampled_e, discovered_e, .. } = created[0]
+    assert_eq!(
+        created.len(),
+        1,
+        "exactly one auto-create expected: {actions:?}"
+    );
+    let AdvisorAction::Created {
+        column,
+        constraint,
+        sampled_e,
+        discovered_e,
+        ..
+    } = created[0]
     else {
         unreachable!()
     };
@@ -85,11 +110,18 @@ fn full_lifecycle_on_a_drifting_workload() {
     assert_eq!(advised.indexes().len(), 1);
     // The index wins the workload query: the facade binds it.
     assert!(
-        advised.plan_query(&workload_query()).to_string().contains("PatchScan"),
+        advised
+            .plan_query(&workload_query())
+            .to_string()
+            .contains("PatchScan"),
         "the created index must be chosen by the optimizer"
     );
     // Manual management mirrors the advisor's decision.
-    manual.add_index(DriftSpec::VAL_COL, Constraint::NearlyUnique, Design::Identifier);
+    manual.add_index(
+        DriftSpec::VAL_COL,
+        Constraint::NearlyUnique,
+        Design::Identifier,
+    );
     assert_identical(&mut advised, &mut manual, "post-create");
 
     // ---- phase 2: drift — recompute must restore e ---------------------
@@ -118,9 +150,18 @@ fn full_lifecycle_on_a_drifting_workload() {
         .iter()
         .filter(|a| matches!(a, AdvisorAction::Recomputed { .. }))
         .collect();
-    assert!(!recomputes.is_empty(), "drift must trigger a recompute: {actions:?}");
+    assert!(
+        !recomputes.is_empty(),
+        "drift must trigger a recompute: {actions:?}"
+    );
     for r in &recomputes {
-        let AdvisorAction::Recomputed { e_before, e_after, baseline_e, .. } = r else {
+        let AdvisorAction::Recomputed {
+            e_before,
+            e_after,
+            baseline_e,
+            ..
+        } = r
+        else {
             unreachable!()
         };
         assert!(
@@ -150,15 +191,30 @@ fn full_lifecycle_on_a_drifting_workload() {
         .iter()
         .filter(|a| matches!(a, AdvisorAction::Dropped { .. }))
         .collect();
-    assert_eq!(drops.len(), 1, "the storm must drop the index once: {actions:?}");
-    let AdvisorAction::Dropped { reason, maintenance_cost, query_benefit, .. } = drops[0] else {
+    assert_eq!(
+        drops.len(),
+        1,
+        "the storm must drop the index once: {actions:?}"
+    );
+    let AdvisorAction::Dropped {
+        reason,
+        maintenance_cost,
+        query_benefit,
+        ..
+    } = drops[0]
+    else {
         unreachable!()
     };
     assert_eq!(*reason, DropReason::CostDominated);
     assert!(maintenance_cost > query_benefit);
-    assert!(advised.indexes().is_empty(), "no index must survive the storm");
     assert!(
-        !actions[before..].iter().any(|a| matches!(a, AdvisorAction::Created { .. })),
+        advised.indexes().is_empty(),
+        "no index must survive the storm"
+    );
+    assert!(
+        !actions[before..]
+            .iter()
+            .any(|a| matches!(a, AdvisorAction::Created { .. })),
         "a dropped index must not oscillate back without fresh query evidence"
     );
     // Mirror the drop and compare end state.
@@ -187,12 +243,17 @@ fn advised_table_runs_the_lifecycle_hands_free() {
                 DriftOp::Insert(rows) => {
                     at.insert(rows);
                 }
-                DriftOp::Modify { pid, rids, col, values } => {
+                DriftOp::Modify {
+                    pid,
+                    rids,
+                    col,
+                    values,
+                } => {
                     at.modify(*pid, rids, *col, values);
                 }
                 DriftOp::Query => {
                     let got = at.query(&q);
-                    let reference = execute(&q, at.inner().table(), &[]);
+                    let reference = execute(&q, at.inner().table(), NO_INDEXES);
                     assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
                 }
             }

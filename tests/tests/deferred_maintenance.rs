@@ -6,13 +6,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use patchindex::{
-    Constraint, Design, IndexedTable, MaintenanceMode, MaintenancePolicy, SortDir,
-};
+use patchindex::{Constraint, Design, IndexedTable, MaintenanceMode, MaintenancePolicy, SortDir};
 use pi_datagen::MicroKind;
-use pi_integration::micro;
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine};
+use pi_integration::micro;
+use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine, NO_INDEXES};
 use pi_storage::Value;
 use proptest::prelude::*;
 
@@ -26,8 +24,15 @@ fn deferred_policy(flush_rows: usize) -> MaintenancePolicy {
 #[derive(Debug, Clone)]
 enum Op {
     Insert(Vec<i64>),
-    Modify { pid: usize, rid_seeds: Vec<u32>, values: Vec<i64> },
-    Delete { pid: usize, rid_seeds: Vec<u32> },
+    Modify {
+        pid: usize,
+        rid_seeds: Vec<u32>,
+        values: Vec<i64>,
+    },
+    Delete {
+        pid: usize,
+        rid_seeds: Vec<u32>,
+    },
     /// Explicit mid-stream flush (no-op for the eager twin).
     Flush,
 }
@@ -42,7 +47,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             proptest::collection::vec(any::<u32>(), 1..6),
             proptest::collection::vec(-30i64..30, 6..7),
         )
-            .prop_map(|(pid, rid_seeds, values)| Op::Modify { pid, rid_seeds, values })
+            .prop_map(|(pid, rid_seeds, values)| Op::Modify {
+                pid,
+                rid_seeds,
+                values,
+            })
     };
     prop_oneof![
         insert(),
@@ -67,7 +76,11 @@ fn apply(it: &mut IndexedTable, op: &Op, next_key: &mut i64) {
                 .collect();
             it.insert(&rows);
         }
-        Op::Modify { pid, rid_seeds, values } => {
+        Op::Modify {
+            pid,
+            rid_seeds,
+            values,
+        } => {
             let len = it.table().partition(*pid).visible_len();
             if len == 0 {
                 return;
@@ -75,8 +88,11 @@ fn apply(it: &mut IndexedTable, op: &Op, next_key: &mut i64) {
             let mut rids: Vec<usize> = rid_seeds.iter().map(|&s| s as usize % len).collect();
             rids.sort_unstable();
             rids.dedup();
-            let vals: Vec<Value> =
-                rids.iter().zip(values.iter().cycle()).map(|(_, &v)| Value::Int(v)).collect();
+            let vals: Vec<Value> = rids
+                .iter()
+                .zip(values.iter().cycle())
+                .map(|(_, &v)| Value::Int(v))
+                .collect();
             it.modify(*pid, &rids, 1, &vals);
         }
         Op::Delete { pid, rid_seeds } => {
@@ -212,7 +228,7 @@ proptest! {
             // (The facade never flushes NSC-bound plans either — staged
             // rows route through the exception flow.)
             let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-            let reference = execute(&plan, it.table(), &[]);
+            let reference = execute(&plan, it.table(), NO_INDEXES);
             let pending_before = it.index(slot).has_pending();
             let got = it.query(&plan);
             prop_assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
@@ -235,7 +251,9 @@ fn check_consistency_pending_vs_flushed() {
     // conservatively patched, but its partner (a kept row with the same
     // value) is not — exactly the state check_consistency must reject.
     let existing = it.table().partition(0).value_at(1, 0);
-    let Value::Int(dup) = existing else { panic!("int column") };
+    let Value::Int(dup) = existing else {
+        panic!("int column")
+    };
     it.modify(0, &[1], 1, &[Value::Int(dup)]);
     assert!(it.index(slot).has_pending());
 
@@ -247,7 +265,7 @@ fn check_consistency_pending_vs_flushed() {
     // (Hand-wiring planner + executor bypasses the facade's
     // NUC-disjointness flush on purpose here.)
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
-    let reference = execute_count(&plan, it.table(), &[]);
+    let reference = execute_count(&plan, it.table(), NO_INDEXES);
     let pending_cat = it.catalog();
     let opt = optimize(plan.clone(), &pending_cat, false);
     assert!(execute_count(&opt, it.table(), it.indexes()) >= reference);
@@ -258,7 +276,10 @@ fn check_consistency_pending_vs_flushed() {
     std::panic::set_hook(Box::new(|_| {}));
     let pending_check = catch_unwind(AssertUnwindSafe(|| it.check_consistency()));
     std::panic::set_hook(hook);
-    assert!(pending_check.is_err(), "pending collision must fail the consistency check");
+    assert!(
+        pending_check.is_err(),
+        "pending collision must fail the consistency check"
+    );
 
     it.flush_maintenance();
     it.check_consistency();
@@ -276,14 +297,19 @@ fn query_engine_flushes_nuc_disjointness_plans() {
     let mut it = IndexedTable::new(micro(300, 0.0, MicroKind::Nuc).table)
         .with_policy(deferred_policy(usize::MAX));
     let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
-    let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else { panic!("int column") };
+    let Value::Int(dup) = it.table().partition(0).value_at(1, 0) else {
+        panic!("int column")
+    };
     it.modify(0, &[1], 1, &[Value::Int(dup)]);
     assert!(it.index(slot).has_pending());
 
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
-    let reference = execute_count(&plan, it.table(), &[]);
+    let reference = execute_count(&plan, it.table(), NO_INDEXES);
     assert_eq!(it.query_count(&plan), reference);
-    assert!(!it.index(slot).has_pending(), "facade must flush the bound NUC index");
+    assert!(
+        !it.index(slot).has_pending(),
+        "facade must flush the bound NUC index"
+    );
     it.check_consistency();
 }
 
@@ -340,7 +366,10 @@ fn duplicate_rids_in_one_modify_statement() {
     let mut deferred = IndexedTable::new(micro(60, 0.0, MicroKind::Nuc).table)
         .with_policy(deferred_policy(usize::MAX));
     let slot = eager.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
-    assert_eq!(deferred.add_index(1, Constraint::NearlyUnique, Design::Bitmap), slot);
+    assert_eq!(
+        deferred.add_index(1, Constraint::NearlyUnique, Design::Bitmap),
+        slot
+    );
     for it in [&mut eager, &mut deferred] {
         // Same rid twice in one statement, then a genuine collision with
         // the post-statement value from another row.

@@ -5,7 +5,7 @@
 use patchindex::{Constraint, Design, IndexCatalog, IndexedTable, PatchIndex, SortDir};
 use pi_datagen::{generate, MicroKind, MicroSpec};
 use pi_exec::ops::sort::SortOrder;
-use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine};
+use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine, NO_INDEXES};
 use pi_storage::{DataType, Field, Partitioning, Schema, Table, Value};
 
 fn empty_table(partitions: usize) -> Table {
@@ -21,7 +21,10 @@ fn empty_table(partitions: usize) -> Table {
 }
 
 fn rows_of(pairs: &[(i64, i64)]) -> Vec<Vec<Value>> {
-    pairs.iter().map(|&(k, v)| vec![Value::Int(k), Value::Int(v)]).collect()
+    pairs
+        .iter()
+        .map(|&(k, v)| vec![Value::Int(k), Value::Int(v)])
+        .collect()
 }
 
 const ALL_CONSTRAINTS: [Constraint; 3] = [
@@ -53,8 +56,7 @@ fn handle_insert_into_empty_table_bootstraps_the_index() {
             let mut table = empty_table(partitions);
             let mut idx = PatchIndex::create(&table, 1, constraint, Design::Bitmap);
             // First-ever rows arrive through the update path, not create().
-            let addrs =
-                table.insert_rows(&rows_of(&[(0, 10), (1, 20), (2, 20), (3, 30), (4, 5)]));
+            let addrs = table.insert_rows(&rows_of(&[(0, 10), (1, 20), (2, 20), (3, 30), (4, 5)]));
             idx.handle_insert(&mut table, &addrs);
             idx.check_consistency(&table);
             assert_eq!(idx.nrows(), 5);
@@ -76,8 +78,7 @@ fn handle_insert_into_empty_table_bootstraps_the_index() {
 fn handle_modify_and_delete_with_empty_rid_lists_are_noops() {
     for partitions in [1, 3] {
         let mut table = empty_table(partitions);
-        let mut idx =
-            PatchIndex::create(&table, 1, Constraint::NearlyUnique, Design::Bitmap);
+        let mut idx = PatchIndex::create(&table, 1, Constraint::NearlyUnique, Design::Bitmap);
         idx.handle_modify(&mut table, 0, &[]);
         idx.handle_delete(0, &[]);
         idx.check_consistency(&table);
@@ -103,7 +104,10 @@ fn delete_everything_then_rebuild_through_inserts() {
     it.insert(&rows_of(&[(1_000_000, 1), (1_000_001, 1), (1_000_002, 2)]));
     it.check_consistency();
     assert_eq!(it.index(slot).nrows(), 3);
-    assert!(it.index(slot).exception_count() >= 1, "the duplicate 1s must be patched");
+    assert!(
+        it.index(slot).exception_count() >= 1,
+        "the duplicate 1s must be patched"
+    );
 }
 
 #[test]
@@ -114,8 +118,7 @@ fn all_rows_are_patches_nuc_constant_column() {
     // patches — the literal e = 1.0 case.
     let n = 64i64;
     let mut table = empty_table(1);
-    let addrs =
-        table.insert_rows(&rows_of(&(0..n).map(|k| (k, 7)).collect::<Vec<_>>()));
+    let addrs = table.insert_rows(&rows_of(&(0..n).map(|k| (k, 7)).collect::<Vec<_>>()));
     assert_eq!(addrs.len(), n as usize);
     for design in [Design::Bitmap, Design::Identifier] {
         let idx = PatchIndex::create(&table, 1, Constraint::NearlyUnique, design);
@@ -124,11 +127,15 @@ fn all_rows_are_patches_nuc_constant_column() {
         assert_eq!(idx.exception_rate(), 1.0, "{design:?}");
         // The rewritten distinct query still answers correctly.
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&plan, &table, &[]);
+        let reference = execute_count(&plan, &table, NO_INDEXES);
         assert_eq!(reference, 1);
         let indexes = std::slice::from_ref(&idx);
         let opt = optimize(plan, &IndexCatalog::of(&table, indexes), false);
-        assert_eq!(execute_count(&opt, &table, indexes), reference, "{design:?}");
+        assert_eq!(
+            execute_count(&opt, &table, indexes),
+            reference,
+            "{design:?}"
+        );
     }
 }
 
@@ -140,16 +147,19 @@ fn all_rows_are_patches_nsc_reverse_sorted_column() {
     let mut table = empty_table(1);
     table.insert_rows(&rows_of(&(0..n).map(|k| (k, n - k)).collect::<Vec<_>>()));
     for design in [Design::Bitmap, Design::Identifier] {
-        let idx =
-            PatchIndex::create(&table, 1, Constraint::NearlySorted(SortDir::Asc), design);
+        let idx = PatchIndex::create(&table, 1, Constraint::NearlySorted(SortDir::Asc), design);
         idx.check_consistency(&table);
         assert_eq!(idx.exception_count(), (n - 1) as u64, "{design:?}");
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = execute(&plan, &table, &[]);
+        let reference = execute(&plan, &table, NO_INDEXES);
         let indexes = std::slice::from_ref(&idx);
         let opt = optimize(plan, &IndexCatalog::of(&table, indexes), false);
         let got = execute(&opt, &table, indexes);
-        assert_eq!(got.column(0).as_int(), reference.column(0).as_int(), "{design:?}");
+        assert_eq!(
+            got.column(0).as_int(),
+            reference.column(0).as_int(),
+            "{design:?}"
+        );
     }
 }
 
@@ -178,7 +188,7 @@ fn planted_full_exception_rate_survives_updates() {
         // And the rewritten distinct query still matches the reference.
         if kind == MicroKind::Nuc {
             let plan = Plan::scan(vec![1]).distinct(vec![0]);
-            let reference = execute_count(&plan, it.table(), &[]);
+            let reference = execute_count(&plan, it.table(), NO_INDEXES);
             assert_eq!(it.query_count(&plan), reference);
         }
     }
@@ -202,7 +212,11 @@ fn single_and_multi_partition_tables_agree_on_queries() {
         table.propagate_all();
         let mut it = IndexedTable::new(table);
         it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
-        it.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Identifier);
+        it.add_index(
+            1,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Identifier,
+        );
         // Same logical update stream on both layouts.
         it.insert(&rows_of(&extra));
         it.check_consistency();
@@ -210,13 +224,17 @@ fn single_and_multi_partition_tables_agree_on_queries() {
         // Both indexes live in one catalog; the facade picks the right
         // one per query.
         let distinct = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&distinct, it.table(), &[]);
-        assert_eq!(it.query_count(&distinct), reference, "{partitions}p distinct");
+        let reference = execute_count(&distinct, it.table(), NO_INDEXES);
+        assert_eq!(
+            it.query_count(&distinct),
+            reference,
+            "{partitions}p distinct"
+        );
         counts.push(reference);
 
         let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
         let got = it.query(&sort);
-        let reference = execute(&sort, it.table(), &[]);
+        let reference = execute(&sort, it.table(), NO_INDEXES);
         assert_eq!(
             got.column(0).as_int(),
             reference.column(0).as_int(),
@@ -224,7 +242,10 @@ fn single_and_multi_partition_tables_agree_on_queries() {
         );
         sorted_results.push(got.column(0).as_int().to_vec());
     }
-    assert_eq!(counts[0], counts[1], "distinct count must not depend on partitioning");
+    assert_eq!(
+        counts[0], counts[1],
+        "distinct count must not depend on partitioning"
+    );
     assert_eq!(
         sorted_results[0], sorted_results[1],
         "sorted output must not depend on partitioning"

@@ -1,20 +1,20 @@
 //! End-to-end integration: generator → index → optimizer → execution →
 //! updates → recovery, across all crates.
 
+use patchindex::IndexCatalog;
 use patchindex::{Constraint, Design, IndexedTable, PatchIndex, SortDir};
 use pi_baselines::{DistinctView, SortKeyTable};
 use pi_datagen::{update_rows, MicroKind};
 use pi_exec::ops::sort::SortOrder;
 use pi_integration::micro;
-use patchindex::IndexCatalog;
-use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine};
+use pi_planner::{execute, execute_count, optimize, Plan, QueryEngine, NO_INDEXES};
 
 #[test]
 fn distinct_query_all_configurations_agree_across_exception_rates() {
     for e in [0.0, 0.1, 0.5, 0.9] {
         let ds = micro(9_000, e, MicroKind::Nuc);
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&plan, &ds.table, &[]);
+        let reference = execute_count(&plan, &ds.table, NO_INDEXES);
         for design in [Design::Bitmap, Design::Identifier] {
             let idx = PatchIndex::create(&ds.table, 1, Constraint::NearlyUnique, design);
             idx.check_consistency(&ds.table);
@@ -36,7 +36,7 @@ fn sort_query_all_configurations_agree_across_exception_rates() {
     for e in [0.0, 0.2, 0.7] {
         let ds = micro(8_000, e, MicroKind::Nsc);
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = execute(&plan, &ds.table, &[]);
+        let reference = execute(&plan, &ds.table, NO_INDEXES);
         for design in [Design::Bitmap, Design::Identifier] {
             let idx =
                 PatchIndex::create(&ds.table, 1, Constraint::NearlySorted(SortDir::Asc), design);
@@ -66,17 +66,22 @@ fn update_workload_preserves_query_correctness() {
     it.delete(0, &(0..40).collect::<Vec<_>>());
     it.delete(2, &[1, 5, 7, 30]);
     it.insert(&inserts[150..]);
-    it.modify(1, &[3, 9, 27], 1, &[
-        pi_storage::Value::Int(123456),
-        pi_storage::Value::Int(123456),
-        pi_storage::Value::Int(-5),
-    ]);
+    it.modify(
+        1,
+        &[3, 9, 27],
+        1,
+        &[
+            pi_storage::Value::Int(123456),
+            pi_storage::Value::Int(123456),
+            pi_storage::Value::Int(-5),
+        ],
+    );
     it.check_consistency();
 
     // The rewritten distinct query (through the facade) still matches
     // the reference.
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
-    let reference = execute_count(&plan, it.table(), &[]);
+    let reference = execute_count(&plan, it.table(), NO_INDEXES);
     assert_eq!(it.query_count(&plan), reference);
 
     // Propagating deltas into base storage changes nothing observable.
@@ -104,7 +109,7 @@ fn nsc_update_workload_with_policy() {
     assert!(it.index(slot).exception_rate() <= 0.6 + 1e-9);
 
     let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-    let reference = execute(&plan, it.table(), &[]);
+    let reference = execute(&plan, it.table(), NO_INDEXES);
     let got = it.query(&plan);
     assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
 }
@@ -126,14 +131,19 @@ fn checkpoint_survives_update_cycle() {
 #[test]
 fn zbp_on_perfect_data_equals_plain_scan_semantics() {
     let ds = micro(3_000, 0.0, MicroKind::Nsc);
-    let idx = PatchIndex::create(&ds.table, 1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+    let idx = PatchIndex::create(
+        &ds.table,
+        1,
+        Constraint::NearlySorted(SortDir::Asc),
+        Design::Bitmap,
+    );
     assert_eq!(idx.exception_count(), 0);
     let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
     let indexes = std::slice::from_ref(&idx);
     let opt = optimize(plan.clone(), &IndexCatalog::of(&ds.table, indexes), true);
     // ZBP prunes the patches branch entirely.
     assert!(!opt.to_string().contains("use_patches"), "{opt}");
-    let reference = execute(&plan, &ds.table, &[]);
+    let reference = execute(&plan, &ds.table, NO_INDEXES);
     let got = execute(&opt, &ds.table, indexes);
     assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
 }

@@ -6,8 +6,12 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 4] =
-    ["quickstart", "constraint_drift", "dirty_warehouse", "sensor_timeseries"];
+const EXAMPLES: [&str; 4] = [
+    "quickstart",
+    "constraint_drift",
+    "dirty_warehouse",
+    "sensor_timeseries",
+];
 
 #[test]
 fn every_example_runs_to_completion() {

@@ -17,8 +17,15 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Op {
     Insert(Vec<i64>),
-    Modify { pid: usize, rid_seeds: Vec<u32>, values: Vec<i64> },
-    Delete { pid: usize, rid_seeds: Vec<u32> },
+    Modify {
+        pid: usize,
+        rid_seeds: Vec<u32>,
+        values: Vec<i64>,
+    },
+    Delete {
+        pid: usize,
+        rid_seeds: Vec<u32>,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -29,7 +36,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             proptest::collection::vec(any::<u32>(), 1..6),
             proptest::collection::vec(-300i64..300, 6..7)
         )
-            .prop_map(|(pid, rid_seeds, values)| Op::Modify { pid, rid_seeds, values }),
+            .prop_map(|(pid, rid_seeds, values)| Op::Modify {
+                pid,
+                rid_seeds,
+                values
+            }),
         (0usize..3, proptest::collection::vec(any::<u32>(), 1..4))
             .prop_map(|(pid, rid_seeds)| Op::Delete { pid, rid_seeds }),
     ]
@@ -60,7 +71,11 @@ fn apply(it: &mut IndexedTable, op: &Op, next_key: &mut i64) {
                 .collect();
             it.insert(&rows);
         }
-        Op::Modify { pid, rid_seeds, values } => {
+        Op::Modify {
+            pid,
+            rid_seeds,
+            values,
+        } => {
             let len = it.table().partition(*pid).visible_len();
             if len == 0 {
                 return;
@@ -68,8 +83,11 @@ fn apply(it: &mut IndexedTable, op: &Op, next_key: &mut i64) {
             let mut rids: Vec<usize> = rid_seeds.iter().map(|&s| s as usize % len).collect();
             rids.sort_unstable();
             rids.dedup();
-            let vals: Vec<Value> =
-                rids.iter().zip(values.iter().cycle()).map(|(_, &v)| Value::Int(v)).collect();
+            let vals: Vec<Value> = rids
+                .iter()
+                .zip(values.iter().cycle())
+                .map(|(_, &v)| Value::Int(v))
+                .collect();
             it.modify(*pid, &rids, 1, &vals);
         }
         Op::Delete { pid, rid_seeds } => {

@@ -6,15 +6,22 @@ use patchindex::{Constraint, Design, IndexedTable, SortDir};
 use pi_datagen::MicroKind;
 use pi_exec::ops::sort::SortOrder;
 use pi_integration::micro;
-use pi_planner::{execute, execute_count, Plan, QueryEngine};
+use pi_planner::{execute, execute_count, Plan, QueryEngine, NO_INDEXES};
 use pi_storage::Value;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
     Insert(Vec<i64>),
-    Modify { pid: usize, rid_seeds: Vec<u32>, values: Vec<i64> },
-    Delete { pid: usize, rid_seeds: Vec<u32> },
+    Modify {
+        pid: usize,
+        rid_seeds: Vec<u32>,
+        values: Vec<i64>,
+    },
+    Delete {
+        pid: usize,
+        rid_seeds: Vec<u32>,
+    },
     Propagate,
 }
 
@@ -26,7 +33,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             proptest::collection::vec(any::<u32>(), 1..6),
             proptest::collection::vec(-500i64..500, 6..7)
         )
-            .prop_map(|(pid, rid_seeds, values)| Op::Modify { pid, rid_seeds, values }),
+            .prop_map(|(pid, rid_seeds, values)| Op::Modify {
+                pid,
+                rid_seeds,
+                values
+            }),
         (0usize..3, proptest::collection::vec(any::<u32>(), 1..6))
             .prop_map(|(pid, rid_seeds)| Op::Delete { pid, rid_seeds }),
         Just(Op::Propagate),
@@ -45,19 +56,25 @@ fn apply(it: &mut IndexedTable, op: &Op, next_key: &mut i64) {
                 .collect();
             it.insert(&rows);
         }
-        Op::Modify { pid, rid_seeds, values } => {
+        Op::Modify {
+            pid,
+            rid_seeds,
+            values,
+        } => {
             let len = it.table().partition(*pid).visible_len();
             if len == 0 {
                 return;
             }
             // Deduplicate target rows: modifying the same rid twice in one
             // call is fine for the table but makes expectations murky.
-            let mut rids: Vec<usize> =
-                rid_seeds.iter().map(|&s| s as usize % len).collect();
+            let mut rids: Vec<usize> = rid_seeds.iter().map(|&s| s as usize % len).collect();
             rids.sort_unstable();
             rids.dedup();
-            let vals: Vec<Value> =
-                rids.iter().zip(values.iter().cycle()).map(|(_, &v)| Value::Int(v)).collect();
+            let vals: Vec<Value> = rids
+                .iter()
+                .zip(values.iter().cycle())
+                .map(|(_, &v)| Value::Int(v))
+                .collect();
             it.modify(*pid, &rids, 1, &vals);
         }
         Op::Delete { pid, rid_seeds } => {
@@ -89,7 +106,7 @@ proptest! {
         }
         // The rewritten distinct query still matches the reference.
         let plan = Plan::scan(vec![1]).distinct(vec![0]);
-        let reference = execute_count(&plan, it.table(), &[]);
+        let reference = execute_count(&plan, it.table(), NO_INDEXES);
         prop_assert_eq!(it.query_count(&plan), reference);
     }
 
@@ -106,7 +123,7 @@ proptest! {
             it.check_consistency();
         }
         let plan = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-        let reference = execute(&plan, it.table(), &[]);
+        let reference = execute(&plan, it.table(), NO_INDEXES);
         let got = it.query(&plan);
         prop_assert_eq!(got.column(0).as_int(), reference.column(0).as_int());
     }

@@ -8,21 +8,26 @@
 //! sorted row sets, which for single-column integer results is exact
 //! content equality.
 
-use patchindex::{
-    Constraint, Design, IndexedTable, MaintenanceMode, MaintenancePolicy, SortDir,
-};
+use patchindex::{Constraint, Design, IndexedTable, MaintenanceMode, MaintenancePolicy, SortDir};
 use pi_datagen::{generate, MicroKind, MicroSpec};
 use pi_exec::ops::sort::SortOrder;
 use pi_exec::Batch;
-use pi_planner::{execute, Plan, QueryEngine};
+use pi_planner::{execute, Plan, QueryEngine, NO_INDEXES};
 use pi_storage::Value;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
     Insert(Vec<i64>),
-    Modify { pid_seed: usize, rid_seeds: Vec<u32>, values: Vec<i64> },
-    Delete { pid_seed: usize, rid_seeds: Vec<u32> },
+    Modify {
+        pid_seed: usize,
+        rid_seeds: Vec<u32>,
+        values: Vec<i64>,
+    },
+    Delete {
+        pid_seed: usize,
+        rid_seeds: Vec<u32>,
+    },
     Flush,
 }
 
@@ -34,9 +39,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             proptest::collection::vec(any::<u32>(), 1..6),
             proptest::collection::vec(-40i64..40, 6..7)
         )
-            .prop_map(|(pid_seed, rid_seeds, values)| Op::Modify { pid_seed, rid_seeds, values }),
-        (0usize..8, proptest::collection::vec(any::<u32>(), 1..5))
-            .prop_map(|(pid_seed, rid_seeds)| Op::Delete { pid_seed, rid_seeds }),
+            .prop_map(|(pid_seed, rid_seeds, values)| Op::Modify {
+                pid_seed,
+                rid_seeds,
+                values
+            }),
+        (0usize..8, proptest::collection::vec(any::<u32>(), 1..5)).prop_map(
+            |(pid_seed, rid_seeds)| Op::Delete {
+                pid_seed,
+                rid_seeds
+            }
+        ),
         Just(Op::Flush),
     ]
 }
@@ -54,7 +67,11 @@ fn apply(it: &mut IndexedTable, op: &Op, next_key: &mut i64) {
                 .collect();
             it.insert(&rows);
         }
-        Op::Modify { pid_seed, rid_seeds, values } => {
+        Op::Modify {
+            pid_seed,
+            rid_seeds,
+            values,
+        } => {
             let pid = pid_seed % parts;
             let len = it.table().partition(pid).visible_len();
             if len == 0 {
@@ -63,11 +80,17 @@ fn apply(it: &mut IndexedTable, op: &Op, next_key: &mut i64) {
             let mut rids: Vec<usize> = rid_seeds.iter().map(|&s| s as usize % len).collect();
             rids.sort_unstable();
             rids.dedup();
-            let vals: Vec<Value> =
-                rids.iter().zip(values.iter().cycle()).map(|(_, &v)| Value::Int(v)).collect();
+            let vals: Vec<Value> = rids
+                .iter()
+                .zip(values.iter().cycle())
+                .map(|(_, &v)| Value::Int(v))
+                .collect();
             it.modify(pid, &rids, 1, &vals);
         }
-        Op::Delete { pid_seed, rid_seeds } => {
+        Op::Delete {
+            pid_seed,
+            rid_seeds,
+        } => {
             let pid = pid_seed % parts;
             let len = it.table().partition(pid).visible_len();
             if len == 0 {
@@ -92,7 +115,7 @@ fn column_vec(b: &Batch) -> Vec<i64> {
 fn assert_queries_match(it: &mut IndexedTable, ctx: &str) {
     // DISTINCT val — bag output: canonical row order.
     let distinct = Plan::scan(vec![1]).distinct(vec![0]);
-    let mut reference = column_vec(&execute(&distinct, it.table(), &[]));
+    let mut reference = column_vec(&execute(&distinct, it.table(), NO_INDEXES));
     let mut got = column_vec(&it.query(&distinct));
     reference.sort_unstable();
     got.sort_unstable();
@@ -100,30 +123,34 @@ fn assert_queries_match(it: &mut IndexedTable, ctx: &str) {
 
     // ORDER BY val — verbatim.
     let sort = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]);
-    let reference = column_vec(&execute(&sort, it.table(), &[]));
+    let reference = column_vec(&execute(&sort, it.table(), NO_INDEXES));
     let got = column_vec(&it.query(&sort));
     assert_eq!(got, reference, "{ctx}: sort");
 
     // SELECT DISTINCT … ORDER BY — sorted distinct values: self-checking
     // (strictly increasing), not just facade-vs-reference, so a lowering
     // that loses cross-partition dedup fails even if both paths share it.
-    let distinct_sorted =
-        Plan::scan(vec![1]).distinct(vec![0]).sort(vec![(0, SortOrder::Asc)]);
+    let distinct_sorted = Plan::scan(vec![1])
+        .distinct(vec![0])
+        .sort(vec![(0, SortOrder::Asc)]);
     let got = column_vec(&it.query(&distinct_sorted));
-    assert!(got.windows(2).all(|w| w[0] < w[1]), "{ctx}: distinct+sort not unique-sorted");
-    let reference = column_vec(&execute(&distinct_sorted, it.table(), &[]));
+    assert!(
+        got.windows(2).all(|w| w[0] < w[1]),
+        "{ctx}: distinct+sort not unique-sorted"
+    );
+    let reference = column_vec(&execute(&distinct_sorted, it.table(), NO_INDEXES));
     assert_eq!(got, reference, "{ctx}: distinct+sort");
 
     // LIMIT over the sorted flow and over the plain scan — verbatim
     // (the scan limit exercises the per-partition pushdown).
     for n in [0usize, 3, 17, 1_000_000] {
         let top = Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]).limit(n);
-        let reference = column_vec(&execute(&top, it.table(), &[]));
+        let reference = column_vec(&execute(&top, it.table(), NO_INDEXES));
         let got = column_vec(&it.query(&top));
         assert_eq!(got, reference, "{ctx}: sort+limit {n}");
 
         let prefix = Plan::scan(vec![1]).limit(n);
-        let reference = column_vec(&execute(&prefix, it.table(), &[]));
+        let reference = column_vec(&execute(&prefix, it.table(), NO_INDEXES));
         let got = column_vec(&it.query(&prefix));
         assert_eq!(got, reference, "{ctx}: scan+limit {n}");
     }

@@ -39,7 +39,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
     }
 
     /// Benchmarks `f` outside of any group.
@@ -72,7 +76,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, &mut f);
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            &mut f,
+        );
         self
     }
 
@@ -87,9 +96,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id);
-        run_benchmark(&full, self.criterion.filter.as_deref(), self.sample_size, &mut |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -105,12 +117,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier `<name>/<parameter>`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { name: format!("{}/{}", name.into(), parameter) }
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Identifier rendering only the parameter.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { name: parameter.to_string() }
+        Self {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -153,12 +169,8 @@ impl Bencher {
     }
 
     /// `iter_batched` with per-iteration batches, as the real crate allows.
-    pub fn iter_batched<S, O, Setup, R>(
-        &mut self,
-        setup: Setup,
-        routine: R,
-        _size: BatchSize,
-    ) where
+    pub fn iter_batched<S, O, Setup, R>(&mut self, setup: Setup, routine: R, _size: BatchSize)
+    where
         Setup: FnMut() -> S,
         R: FnMut(S) -> O,
     {
@@ -190,14 +202,20 @@ fn run_benchmark(
     }
     // Calibration sample: find an iteration count that makes one sample
     // take roughly 5ms, so cheap routines aren't all-noise.
-    let mut calib = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut calib);
     let per_iter = calib.elapsed.max(Duration::from_nanos(1));
     let iters = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
 
     let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         samples.push(b.elapsed / iters as u32);
     }

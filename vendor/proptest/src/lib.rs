@@ -69,7 +69,9 @@ pub mod test_runner {
                 }
             }
             use rand::SeedableRng;
-            Self { rng: rand::rngs::SmallRng::seed_from_u64(h) }
+            Self {
+                rng: rand::rngs::SmallRng::seed_from_u64(h),
+            }
         }
 
         /// Next uniform 64-bit value.
