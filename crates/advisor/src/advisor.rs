@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use patchindex::stats::{design_crossover_rate, pi_bitmap_bytes, pi_identifier_bytes};
+use patchindex::stats::{pi_bitmap_bytes, pi_identifier_bytes, preferred_design};
 use patchindex::{
     Constraint, Design, IndexCatalog, IndexStats, IndexedTable, PartitionStats, QueryFeedback,
     QueryShape, SortDir,
@@ -44,6 +44,12 @@ pub enum AdvisorAction {
         e_after: f64,
         /// The create-time value it had drifted away from.
         baseline_e: f64,
+        /// Physical design before the recompute.
+        design_before: Design,
+        /// Design the rebuild chose from the fresh exception rate — the
+        /// recompute migrates designs when drift carried the rate across
+        /// the Table-3 crossover.
+        design_after: Design,
     },
     /// An index was dropped.
     Dropped {
@@ -65,17 +71,45 @@ impl AdvisorAction {
     /// harness print these).
     pub fn describe(&self) -> String {
         match self {
-            AdvisorAction::Created { slot, column, constraint, design, sampled_e, discovered_e } => {
+            AdvisorAction::Created {
+                slot,
+                column,
+                constraint,
+                design,
+                sampled_e,
+                discovered_e,
+            } => {
                 format!(
                     "create {} ({design:?}) on col {column} -> slot {slot} \
                      [sampled e {sampled_e:.3}, discovered e {discovered_e:.3}]",
                     constraint.name()
                 )
             }
-            AdvisorAction::Recomputed { slot, e_before, e_after, baseline_e } => format!(
-                "recompute slot {slot} [e {e_before:.3} -> {e_after:.3}, create-time {baseline_e:.3}]"
-            ),
-            AdvisorAction::Dropped { column, constraint, reason, maintenance_cost, query_benefit } => {
+            AdvisorAction::Recomputed {
+                slot,
+                e_before,
+                e_after,
+                baseline_e,
+                design_before,
+                design_after,
+            } => {
+                let migration = if design_before == design_after {
+                    String::new()
+                } else {
+                    format!(", design {design_before:?} -> {design_after:?}")
+                };
+                format!(
+                    "recompute slot {slot} [e {e_before:.3} -> {e_after:.3}, \
+                     create-time {baseline_e:.3}{migration}]"
+                )
+            }
+            AdvisorAction::Dropped {
+                column,
+                constraint,
+                reason,
+                maintenance_cost,
+                query_benefit,
+            } => {
                 format!(
                     "drop {} on col {column} ({reason:?}) \
                      [window maintenance {maintenance_cost:.0} vs benefit {query_benefit:.0}]",
@@ -275,13 +309,10 @@ impl Advisor {
                 continue;
             };
             let exception_rate = 1.0 - sampled_e;
-            let (design, projected_bytes) = if exception_rate > design_crossover_rate() {
-                (Design::Bitmap, pi_bitmap_bytes(rows) as usize)
-            } else {
-                (
-                    Design::Identifier,
-                    pi_identifier_bytes(exception_rate, rows) as usize,
-                )
+            let design = preferred_design(exception_rate);
+            let projected_bytes = match design {
+                Design::Bitmap => pi_bitmap_bytes(rows) as usize,
+                Design::Identifier => pi_identifier_bytes(exception_rate, rows) as usize,
             };
             let est_benefit_per_query = hypothetical_benefit(it, col, constraint, sampled_e, shape);
             candidates.push(CandidateObservation {
@@ -311,12 +342,15 @@ impl Advisor {
                 baseline_e,
             } = *d
             {
+                let design_before = it.index(slot).design();
                 it.recompute_index(slot);
                 actions.push(AdvisorAction::Recomputed {
                     slot,
                     e_before: e,
                     e_after: it.index(slot).match_fraction(),
                     baseline_e,
+                    design_before,
+                    design_after: it.index(slot).design(),
                 });
             }
         }
@@ -407,6 +441,7 @@ fn hypothetical_benefit(
         drift_patches: 0,
         maintained_rows: 0,
         memory_bytes: 0,
+        global_unique: true,
         feedback: QueryFeedback::default(),
     };
     let cat = IndexCatalog {

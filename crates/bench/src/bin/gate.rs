@@ -92,6 +92,40 @@ const METRICS: &[Metric] = &[
     m("advisor", "actions.recomputed", Dir::Higher, 1.0),
     m("advisor", "actions.dropped", Dir::Higher, 1.0),
     m("advisor", "baseline.speedup", Dir::Higher, 3.0),
+    // cross-partition recompute soundness: the residual discovery count
+    // is deterministic; the exactness and design-migration booleans must
+    // stay pinned at 1 (any dip is a correctness regression, so they get
+    // zero extra slack).
+    m(
+        "advisor",
+        "cross_partition_recompute.values_spanning_partitions",
+        Dir::Higher,
+        1.0,
+    ),
+    m(
+        "advisor",
+        "cross_partition_recompute.residual_patches",
+        Dir::Higher,
+        1.0,
+    ),
+    m(
+        "advisor",
+        "cross_partition_recompute.distinct_exact",
+        Dir::Higher,
+        0.0,
+    ),
+    m(
+        "advisor",
+        "cross_partition_recompute.design_migrated",
+        Dir::Higher,
+        0.0,
+    ),
+    m(
+        "advisor",
+        "cross_partition_recompute.post_migration_exact",
+        Dir::Higher,
+        0.0,
+    ),
     // concurrency: snapshot-isolated readers must beat the serialized
     // baseline during the maintenance storm. (The speedup is a ratio of
     // two runs on the same machine; raw qps values are deliberately NOT

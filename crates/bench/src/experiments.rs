@@ -1198,6 +1198,122 @@ pub fn advisor() -> String {
         ));
     }
 
+    // Cross-partition recompute probe: a deterministic duplicate pool
+    // straddling every partition, rediscovered from scratch, plus a
+    // drift that carries the exception rate across the Table-3 design
+    // crossover. The CI gate tracks this block — soundness (exact
+    // distinct through the forced rewrite) and design migration must
+    // never regress.
+    let xpart_json = {
+        use patchindex::{Constraint, Design, IndexedTable};
+        use pi_planner::rewrite;
+        let xparts = 4usize;
+        let per_part = 2_000usize;
+        // Every 200th row draws from a tiny pool shared by all
+        // partitions (values 0..10); the rest are partition-disjoint.
+        let vals: Vec<Vec<i64>> = (0..xparts)
+            .map(|p| {
+                let base = (1_000 + p * per_part) as i64;
+                (0..per_part)
+                    .map(|i| {
+                        if i % 200 == 0 {
+                            (i / 200) as i64
+                        } else {
+                            base + i as i64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[i64]> = vals.iter().map(|v| v.as_slice()).collect();
+        let residual = patchindex::discovery::cross_partition_nuc_residual(&views);
+        let residual_patches: usize = residual.iter().map(|r| r.len()).sum();
+        let spanning = {
+            let mut first: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            let mut span: std::collections::HashSet<i64> = std::collections::HashSet::new();
+            for (p, v) in vals.iter().enumerate() {
+                for &x in v {
+                    match first.entry(x) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(p);
+                        }
+                        std::collections::hash_map::Entry::Occupied(e) if *e.get() != p => {
+                            span.insert(x);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            span.len()
+        };
+
+        let mut t = pi_storage::Table::new(
+            "xpart",
+            pi_storage::Schema::new(vec![
+                pi_storage::Field::new("k", pi_storage::DataType::Int),
+                pi_storage::Field::new("v", pi_storage::DataType::Int),
+            ]),
+            xparts,
+            pi_storage::Partitioning::RoundRobin,
+        );
+        let mut key = 0i64;
+        for (pid, v) in vals.iter().enumerate() {
+            let keys: Vec<i64> = v
+                .iter()
+                .map(|_| {
+                    key += 1;
+                    key
+                })
+                .collect();
+            t.load_partition(
+                pid,
+                &[
+                    pi_storage::ColumnData::Int(keys),
+                    pi_storage::ColumnData::Int(v.clone()),
+                ],
+            );
+        }
+        t.propagate_all();
+        let mut xit = IndexedTable::new(t);
+        let slot = xit.add_index(1, Constraint::NearlyUnique, Design::Identifier);
+        xit.recompute_index(slot);
+        let xplan = Plan::scan(vec![1]).distinct(vec![0]);
+        let reference = execute_count(&xplan, xit.table(), pi_planner::NO_INDEXES);
+        let chosen = rewrite(xplan.clone(), &xit.catalog().indexes[slot]);
+        let distinct_exact = execute_count(&chosen, xit.table(), xit.indexes()) == reference;
+        let e_before = xit.index(slot).match_fraction();
+
+        // Drift: duplicate 300 of partition 0's values into partition 1,
+        // pushing the exception rate past the ~1.58% crossover.
+        let rids: Vec<usize> = (1..=300).collect();
+        let dups: Vec<Value> = rids
+            .iter()
+            .map(|&i| Value::Int((1_000 + per_part + i) as i64))
+            .collect();
+        xit.modify(0, &rids, 1, &dups);
+        let design_before = xit.index(slot).design();
+        xit.recompute_index(slot);
+        let design_after = xit.index(slot).design();
+        let e_after = xit.index(slot).match_fraction();
+        let migrated = design_before != design_after;
+        let post_reference = execute_count(&xplan, xit.table(), pi_planner::NO_INDEXES);
+        let post_chosen = rewrite(xplan, &xit.catalog().indexes[slot]);
+        let post_exact = execute_count(&post_chosen, xit.table(), xit.indexes()) == post_reference;
+        out.push_str(&format!(
+            "cross-partition recompute: {spanning} spanning values, {residual_patches} residual \
+             patches, exact={distinct_exact}; drift recompute {design_before:?} -> \
+             {design_after:?} (e {e_before:.4} -> {e_after:.4}), exact={post_exact}\n"
+        ));
+        format!(
+            "{{\"values_spanning_partitions\": {spanning}, \
+             \"residual_patches\": {residual_patches}, \
+             \"distinct_exact\": {}, \"design_migrated\": {}, \
+             \"post_migration_exact\": {}, \
+             \"e_before_recompute\": {e_before:.6}, \"e_after_recompute\": {e_after:.6}}}",
+            distinct_exact as u8, migrated as u8, post_exact as u8
+        )
+    };
+
     let json = format!(
         "{{\n  \"experiment\": \"advisor\",\n  \"config\": {{\"base_rows\": {}, \
          \"partitions\": {}, \"batch_rows\": {}, \"grow_batches\": {}, \
@@ -1205,7 +1321,8 @@ pub fn advisor() -> String {
          \"drop_window\": {}}},\n  \"baseline\": {{\"no_index_query_s\": {}, \
          \"advisor_indexed_query_s\": {}, \"speedup\": {}}},\n  \
          \"actions\": {{\"created\": {n_created}, \"recomputed\": {n_recomputed}, \
-         \"dropped\": {n_dropped}}},\n  \"estimate_vs_actual\": {},\n  \
+         \"dropped\": {n_dropped}}},\n  \"cross_partition_recompute\": {xpart_json},\n  \
+         \"estimate_vs_actual\": {},\n  \
          \"timeline\": [\n{}\n  ]\n}}\n",
         spec.base_rows,
         spec.partitions,
@@ -1519,13 +1636,12 @@ pub fn concurrency() -> String {
     // One storm step: a duplicate-producing modify batch (patches grow),
     // with a full index recompute every few steps — the expensive
     // background maintenance readers must not wait for. Duplicate values
-    // are drawn from the *same partition's* value range: recompute runs
-    // partition-local discovery (paper, Section 3.2), so cross-partition
-    // duplicates surviving a recompute would void the global kept-row
-    // uniqueness the NUC distinct rewrite relies on (the paper's
-    // microbenchmark partitions by the indexed column for the same
-    // reason; see ROADMAP "Deferred cleanups").
-    let storm_step = |it: &mut IndexedTable, step: usize, rng: &mut SmallRng| {
+    // are drawn from the same partition's value range to mirror the
+    // paper's microbenchmark (partitioned by the indexed column);
+    // straddling pools are sound too since the cross-partition
+    // deduplication pass — the `repro advisor` cross-partition block and
+    // the `cross_partition` integration suite cover that shape.
+    let storm_batch = |step: usize, rng: &mut SmallRng| {
         let pid = step % parts;
         let mut rids: Vec<usize> = (0..batch_rows).map(|_| rng.gen_range(0..rows)).collect();
         rids.sort_unstable();
@@ -1535,10 +1651,8 @@ pub fn concurrency() -> String {
             .iter()
             .map(|_| Value::Int(base + rng.gen_range(0..rows as i64)))
             .collect();
-        it.modify(pid, &rids, 1, &values);
-        if step % recompute_every == recompute_every - 1 {
-            it.recompute_index(0);
-        }
+        let recompute = step % recompute_every == recompute_every - 1;
+        (pid, rids, values, recompute)
     };
 
     // Serialized baseline: maintenance and queries alternate on one
@@ -1550,7 +1664,11 @@ pub fn concurrency() -> String {
         let start = std::time::Instant::now();
         let (mut queries, mut steps) = (0u64, 0usize);
         while start.elapsed().as_secs_f64() < secs {
-            storm_step(&mut it, steps, &mut rng);
+            let (pid, rids, values, recompute) = storm_batch(steps, &mut rng);
+            it.modify(pid, &rids, 1, &values);
+            if recompute {
+                it.recompute_index(0);
+            }
             steps += 1;
             let n = it.query_count(&plan);
             assert!(n > 0);
@@ -1592,6 +1710,7 @@ pub fn concurrency() -> String {
         let mut it = IndexedTable::new(base_table());
         it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
         let (handle, mut writer) = ConcurrentTable::new(it);
+        writer.set_publish_policy(patchindex::PublishPolicy::every(1));
         let stop = AtomicBool::new(false);
         let total_queries = AtomicU64::new(0);
         let verified = AtomicU64::new(0);
@@ -1630,9 +1749,16 @@ pub fn concurrency() -> String {
             let start = std::time::Instant::now();
             let mut steps = 0usize;
             while start.elapsed().as_secs_f64() < secs {
-                storm_step(writer.staging_mut(), steps, &mut rng);
+                // Statement-paced publishing (PublishPolicy::every(1))
+                // ships each step's batch — no manual publish
+                // bookkeeping. The recompute runs first so the same
+                // epoch carries it.
+                let (pid, rids, values, recompute) = storm_batch(steps, &mut rng);
+                if recompute {
+                    writer.recompute_index(0);
+                }
+                writer.modify(pid, &rids, 1, &values);
                 steps += 1;
-                writer.publish();
             }
             stop.store(true, Ordering::Relaxed);
             (steps, writer.epoch(), window.elapsed().as_secs_f64())

@@ -56,6 +56,11 @@ pub struct IndexStats {
     pub maintained_rows: u64,
     /// Heap bytes of the patch stores (the advisor's budget currency).
     pub memory_bytes: usize,
+    /// Whether the patch set is known globally deduplicated (see
+    /// [`PatchIndex::global_unique`]). When false, the NUC distinct
+    /// rewrite must wrap its union in a global distinct — the kept flows
+    /// of different partitions may repeat values.
+    pub global_unique: bool,
     /// Optimizer feedback (times bound, estimated cost saved).
     pub feedback: QueryFeedback,
 }
@@ -102,6 +107,7 @@ impl IndexStats {
             drift_patches: index.drift_patches(),
             maintained_rows: index.maintained_since_recompute(),
             memory_bytes: index.memory_bytes(),
+            global_unique: index.global_unique(),
             feedback: index.query_feedback(),
         }
     }
@@ -185,6 +191,18 @@ impl IndexCatalog {
         self.indexes
             .iter()
             .find(|e| e.column == column && e.constraint == Constraint::NearlyUnique)
+    }
+
+    /// The entry whose `slot` field matches — *not* a positional lookup.
+    /// A catalog may be filtered (the reader-side pending-NUC masking
+    /// re-optimizes against a subset of entries) while `PatchScan` slot
+    /// bindings keep referring to the live index array, so entries must
+    /// be resolved by their recorded slot.
+    pub fn by_slot(&self, slot: usize) -> Option<&IndexStats> {
+        match self.indexes.get(slot) {
+            Some(e) if e.slot == slot => Some(e),
+            _ => self.indexes.iter().find(|e| e.slot == slot),
+        }
     }
 }
 
@@ -276,6 +294,28 @@ mod tests {
         assert_eq!(cat.indexes[0].patch_distinct, 2);
         assert_eq!(cat.rows(), 8);
         assert_eq!(cat.part_rows, vec![4, 4]);
+    }
+
+    #[test]
+    fn by_slot_resolves_entries_of_a_filtered_catalog() {
+        let t = table(vec![vec![1, 2, 99, 3], vec![4, 5, 6, 7]]);
+        let nuc = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let nsc = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Bitmap,
+        );
+        let mut cat = IndexCatalog::of(&t, &[nuc, nsc]);
+        assert_eq!(cat.by_slot(0).unwrap().constraint, Constraint::NearlyUnique);
+        // Mask out slot 0: slot 1 is now positionally first but must
+        // still resolve by its recorded slot.
+        cat.indexes.remove(0);
+        assert!(cat.by_slot(0).is_none());
+        assert_eq!(
+            cat.by_slot(1).unwrap().constraint,
+            Constraint::NearlySorted(SortDir::Asc)
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ const MAGIC: &[u8; 4] = b"PIDX";
 /// Version 3 extends the feedback block with the measured-timing fields
 /// (measured queries, actual micros, estimated cost executed); v2 files
 /// still load, with those fields zeroed.
-const VERSION: u32 = 3;
+/// Version 4 records the global-uniqueness flag after the design word.
+/// v2/v3 NUC files were written by partition-local discovery, so they
+/// load with the flag cleared — the planner's global-distinct guard stays
+/// active until the index is recomputed.
+const VERSION: u32 = 4;
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -112,6 +116,7 @@ impl PatchIndex {
         write_u32(&mut w, self.column() as u32)?;
         write_u32(&mut w, constraint_tag(self.constraint()))?;
         write_u32(&mut w, matches!(self.design(), Design::Identifier) as u32)?;
+        write_u32(&mut w, self.global_unique() as u32)?;
         // Monitoring counters (v2): maintenance stats, drift baseline,
         // query feedback — the advisor's observe state survives recovery.
         let stats = self.maintenance_stats();
@@ -161,7 +166,7 @@ impl PatchIndex {
             ));
         }
         let version = read_u32(&mut r)?;
-        if version != 2 && version != VERSION {
+        if !(2..=VERSION).contains(&version) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported checkpoint version {version}"),
@@ -173,6 +178,14 @@ impl PatchIndex {
             Design::Identifier
         } else {
             Design::Bitmap
+        };
+        let global_unique = if version >= 4 {
+            read_u32(&mut r)? == 1
+        } else {
+            // Legacy NUC patch sets came from partition-local discovery:
+            // cross-partition duplicates may be unpatched. NSC/NCC
+            // invariants are genuinely per-partition, so nothing is lost.
+            constraint != Constraint::NearlyUnique
         };
         let stats = MaintenanceStats {
             collision_rounds: read_u64(&mut r)?,
@@ -214,7 +227,7 @@ impl PatchIndex {
                 last_sorted,
             });
         }
-        let mut idx = PatchIndex::from_parts(column, constraint, design, parts);
+        let mut idx = PatchIndex::from_parts(column, constraint, design, parts, global_unique);
         idx.restore_meta(stats, baseline, feedback);
         Ok(idx)
     }
@@ -276,6 +289,144 @@ mod tests {
         );
         assert_eq!(loaded.design(), Design::Identifier);
         std::fs::remove_file(path).ok();
+    }
+
+    /// Hand-writes a checkpoint in the legacy v3 layout (no
+    /// global-uniqueness word) — what a pre-v4 build would have produced.
+    fn write_v3(
+        path: &std::path::Path,
+        column: u32,
+        constraint: Constraint,
+        design: Design,
+        parts: &[(u64, Option<i64>, Vec<u64>)],
+    ) {
+        let mut w = BufWriter::new(File::create(path).unwrap());
+        w.write_all(MAGIC).unwrap();
+        write_u32(&mut w, 3).unwrap();
+        write_u32(&mut w, column).unwrap();
+        write_u32(&mut w, constraint_tag(constraint)).unwrap();
+        write_u32(&mut w, matches!(design, Design::Identifier) as u32).unwrap();
+        for _ in 0..4 {
+            write_u64(&mut w, 0).unwrap(); // maintenance stats
+        }
+        write_f64(&mut w, 1.0).unwrap(); // baseline match fraction
+        write_u64(&mut w, 0).unwrap();
+        write_u64(&mut w, 0).unwrap();
+        write_u64(&mut w, 0).unwrap(); // feedback
+        write_f64(&mut w, 0.0).unwrap();
+        write_u64(&mut w, 0).unwrap();
+        write_f64(&mut w, 0.0).unwrap();
+        write_f64(&mut w, 0.0).unwrap();
+        write_u32(&mut w, parts.len() as u32).unwrap();
+        for (nrows, last_sorted, rids) in parts {
+            write_u64(&mut w, *nrows).unwrap();
+            match last_sorted {
+                Some(v) => {
+                    write_u32(&mut w, 1).unwrap();
+                    write_i64(&mut w, *v).unwrap();
+                }
+                None => write_u32(&mut w, 0).unwrap(),
+            }
+            write_u64(&mut w, rids.len() as u64).unwrap();
+            for r in rids {
+                write_u64(&mut w, *r).unwrap();
+            }
+        }
+        w.flush().unwrap();
+    }
+
+    #[test]
+    fn legacy_v3_nuc_loads_with_the_global_guard_active() {
+        // A v3 NUC checkpoint may hide cross-partition duplicates its
+        // partition-local discovery never patched; the load must clear
+        // the global-uniqueness claim. A recompute re-establishes it.
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![7, 1, 2])]);
+        t.load_partition(1, &[ColumnData::Int(vec![7, 3, 4])]);
+        t.propagate_all();
+        let path = std::env::temp_dir().join("pi_checkpoint_legacy_v3.pidx");
+        write_v3(
+            &path,
+            0,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+            &[(3, None, vec![]), (3, None, vec![])],
+        );
+        let mut idx = PatchIndex::load_checkpoint(&path).unwrap();
+        assert!(!idx.global_unique());
+        idx.check_consistency(&t); // global pass is skipped while unclaimed
+        idx.recompute(&t);
+        assert!(idx.global_unique());
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![0]);
+        assert_eq!(idx.partition(1).store.patch_rids(), vec![0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn legacy_v3_nsc_keeps_its_partition_local_claim() {
+        let path = std::env::temp_dir().join("pi_checkpoint_legacy_nsc.pidx");
+        write_v3(
+            &path,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Identifier,
+            &[(4, Some(9), vec![2])],
+        );
+        let idx = PatchIndex::load_checkpoint(&path).unwrap();
+        assert!(idx.global_unique());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn design_migrated_index_roundtrips() {
+        // v3 file written as Bitmap over clean (globally unique) data;
+        // after loading, the recompute migrates to Identifier (exception
+        // rate 0 is below the crossover) and a fresh checkpoint
+        // round-trips the migrated design with byte accounting intact.
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            2,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![1, 2, 3, 4])]);
+        t.load_partition(1, &[ColumnData::Int(vec![5, 6, 7])]);
+        t.propagate_all();
+        let v3_path = std::env::temp_dir().join("pi_checkpoint_migrate_v3.pidx");
+        write_v3(
+            &v3_path,
+            0,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+            &[(4, None, vec![]), (3, None, vec![])],
+        );
+        let mut idx = PatchIndex::load_checkpoint(&v3_path).unwrap();
+        assert_eq!(idx.design(), Design::Bitmap);
+        assert!(!idx.global_unique());
+        idx.recompute(&t);
+        assert_eq!(idx.design(), Design::Identifier);
+        assert!(idx.global_unique());
+        let v4_path = std::env::temp_dir().join("pi_checkpoint_migrate_v4.pidx");
+        idx.checkpoint(&v4_path).unwrap();
+        let loaded = PatchIndex::load_checkpoint(&v4_path).unwrap();
+        assert_eq!(loaded.design(), Design::Identifier);
+        assert!(loaded.global_unique());
+        assert_eq!(loaded.memory_bytes(), idx.memory_bytes());
+        for pid in 0..2 {
+            assert_eq!(loaded.partition(pid).store.design(), Design::Identifier);
+            assert_eq!(
+                loaded.partition(pid).store.patch_rids(),
+                idx.partition(pid).store.patch_rids()
+            );
+        }
+        loaded.check_consistency(&t);
+        std::fs::remove_file(v3_path).ok();
+        std::fs::remove_file(v4_path).ok();
     }
 
     #[test]

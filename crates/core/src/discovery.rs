@@ -128,6 +128,41 @@ pub fn discover_values(values: &[i64], constraint: Constraint) -> DiscoveryResul
     }
 }
 
+/// The extra NUC patch rowIDs the *global* constraint requires beyond
+/// partition-local discovery, given every partition's full value history:
+/// all occurrences of values present in more than one partition.
+///
+/// [`discover_values`] patches every occurrence of a value duplicated
+/// *within* a partition, but a value kept (unpatched) in two different
+/// partitions is still a global duplicate — the NUC distinct rewrite
+/// unions per-partition kept flows without re-deduplicating, so such a
+/// value would be counted once per partition. Merging this residual into
+/// the local patch sets restores the global invariant: every value with
+/// a global occurrence count above one has all of its occurrences
+/// patched.
+pub fn cross_partition_nuc_residual(values: &[&[i64]]) -> Vec<Vec<u64>> {
+    // value -> (first partition seen in, spans multiple partitions?)
+    let mut seen: pi_exec::hash::IntMap<(u32, bool)> = pi_exec::hash::int_map();
+    for (pid, vals) in values.iter().enumerate() {
+        for &v in vals.iter() {
+            let e = seen.entry(v).or_insert((pid as u32, false));
+            if e.0 != pid as u32 {
+                e.1 = true;
+            }
+        }
+    }
+    values
+        .iter()
+        .map(|vals| {
+            vals.iter()
+                .enumerate()
+                .filter(|(_, v)| seen[v].1)
+                .map(|(i, _)| i as u64)
+                .collect()
+        })
+        .collect()
+}
+
 /// Discovers the patch set of one partition's column.
 pub fn discover_partition(
     partition: &Partition,
@@ -224,6 +259,38 @@ mod tests {
         let r = discover_values(&[], Constraint::NearlyConstant);
         assert!(r.patches.is_empty());
         assert_eq!(r.last_sorted, None);
+    }
+
+    #[test]
+    fn cross_partition_residual_patches_every_straddling_occurrence() {
+        // 5 appears in partitions 0 and 2 (once each): all its occurrences
+        // are residual patches. 7 is duplicated only within partition 1:
+        // local discovery owns it, the residual ignores it. 9 is unique.
+        let p0: Vec<i64> = vec![5, 1];
+        let p1: Vec<i64> = vec![7, 7, 9];
+        let p2: Vec<i64> = vec![2, 5];
+        let residual = cross_partition_nuc_residual(&[&p0, &p1, &p2]);
+        assert_eq!(residual, vec![vec![0], vec![], vec![1]]);
+    }
+
+    #[test]
+    fn cross_partition_residual_covers_kept_vs_patched_splits() {
+        // 4 is duplicated inside partition 0 (locally patched there) and
+        // also present in partition 1: the partition-1 occurrence must be
+        // patched too, and partition 0's occurrences appear in the
+        // residual as well (merging with the local set deduplicates).
+        let p0: Vec<i64> = vec![4, 4, 1];
+        let p1: Vec<i64> = vec![4, 2];
+        let residual = cross_partition_nuc_residual(&[&p0, &p1]);
+        assert_eq!(residual, vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    fn cross_partition_residual_empty_for_disjoint_pools() {
+        let p0: Vec<i64> = vec![1, 2, 2];
+        let p1: Vec<i64> = vec![10, 11];
+        let residual = cross_partition_nuc_residual(&[&p0, &p1]);
+        assert_eq!(residual, vec![Vec::<u64>::new(), Vec::new()]);
     }
 
     #[test]

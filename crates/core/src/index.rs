@@ -6,8 +6,11 @@ use pi_storage::Table;
 
 use crate::constraint::{Constraint, Design, SortDir};
 use crate::deferred::PendingMaintenance;
-use crate::discovery::{discover_partition, partition_column_values};
+use crate::discovery::{
+    cross_partition_nuc_residual, discover_values, partition_column_values, DiscoveryResult,
+};
 use crate::maintenance::MaintenanceStats;
+use crate::stats::preferred_design;
 use crate::store::PatchStore;
 
 /// Per-partition index state. Partitioning is transparent: one patch store
@@ -92,20 +95,56 @@ pub struct PatchIndex {
     stats: MaintenanceStats,
     baseline: DriftBaseline,
     feedback: QueryFeedback,
+    global_unique: bool,
     pub(crate) pending: Option<PendingMaintenance>,
 }
 
 impl PatchIndex {
     /// Discovers the constraint on `col` of every partition (in parallel)
-    /// and materializes the patch sets.
+    /// and materializes the patch sets. For NUC the per-partition patch
+    /// sets are merged with the cross-partition residual (see
+    /// [`cross_partition_nuc_residual`]) so the kept values are *globally*
+    /// unique, not just unique within their partition.
     pub fn create(table: &Table, col: usize, constraint: Constraint, design: Design) -> Self {
-        let parts = per_partition(table, |p| {
-            let r = discover_partition(p, col, constraint);
-            PartitionIndex {
+        Self::build(table, col, constraint, Some(design))
+    }
+
+    /// Discovery shared by create and recompute. `design: None` lets the
+    /// Table-3 memory model pick the store design from the freshly
+    /// discovered exception rate (the design-migrating recompute path).
+    fn build(table: &Table, col: usize, constraint: Constraint, design: Option<Design>) -> Self {
+        let mut discovered: Vec<(DiscoveryResult, Vec<i64>)> = per_partition(table, |p| {
+            let values = partition_column_values(p, col);
+            (discover_values(&values, constraint), values)
+        });
+        if constraint == Constraint::NearlyUnique && discovered.len() > 1 {
+            let histories: Vec<&[i64]> = discovered.iter().map(|(_, v)| v.as_slice()).collect();
+            let residual = cross_partition_nuc_residual(&histories);
+            for ((r, _), extra) in discovered.iter_mut().zip(residual) {
+                if !extra.is_empty() {
+                    r.patches.extend(extra);
+                    r.patches.sort_unstable();
+                    r.patches.dedup();
+                }
+            }
+        }
+        let design = design.unwrap_or_else(|| {
+            let rows: u64 = discovered.iter().map(|(r, _)| r.nrows).sum();
+            let patches: u64 = discovered.iter().map(|(r, _)| r.patches.len() as u64).sum();
+            let rate = if rows == 0 {
+                0.0
+            } else {
+                patches as f64 / rows as f64
+            };
+            preferred_design(rate)
+        });
+        let parts = discovered
+            .into_iter()
+            .map(|(r, _)| PartitionIndex {
                 store: PatchStore::new(design, r.nrows, &r.patches),
                 last_sorted: r.last_sorted,
-            }
-        });
+            })
+            .collect();
         let mut idx = PatchIndex {
             column: col,
             constraint,
@@ -114,6 +153,7 @@ impl PatchIndex {
             stats: MaintenanceStats::default(),
             baseline: DriftBaseline::default(),
             feedback: QueryFeedback::default(),
+            global_unique: true,
             pending: None,
         };
         idx.reset_baseline();
@@ -121,12 +161,16 @@ impl PatchIndex {
     }
 
     /// Builds an index from externally computed patch sets (checkpoint
-    /// recovery).
+    /// recovery). `global_unique` records whether the patch sets are
+    /// known to be globally deduplicated — legacy checkpoints written by
+    /// partition-local discovery pass `false` for NUC, which keeps the
+    /// planner's global-distinct guard active until the next recompute.
     pub(crate) fn from_parts(
         column: usize,
         constraint: Constraint,
         design: Design,
         parts: Vec<PartitionIndex>,
+        global_unique: bool,
     ) -> Self {
         let mut idx = PatchIndex {
             column,
@@ -136,6 +180,7 @@ impl PatchIndex {
             stats: MaintenanceStats::default(),
             baseline: DriftBaseline::default(),
             feedback: QueryFeedback::default(),
+            global_unique,
             pending: None,
         };
         idx.reset_baseline();
@@ -244,6 +289,18 @@ impl PatchIndex {
         self.design
     }
 
+    /// Whether the patch set is known globally deduplicated — for NUC,
+    /// every value with a global (cross-partition) occurrence count above
+    /// one has all occurrences patched. True for indexes created or
+    /// recomputed by this version; false only for NUC states restored
+    /// from legacy (pre-v4) checkpoints, whose discovery ran
+    /// partition-locally. While false, the planner wraps the NUC distinct
+    /// rewrite in a global distinct (belt and suspenders); a recompute
+    /// re-establishes the invariant and clears the guard.
+    pub fn global_unique(&self) -> bool {
+        self.global_unique
+    }
+
     /// Number of partition-local indexes.
     pub fn partition_count(&self) -> usize {
         self.parts.len()
@@ -300,10 +357,16 @@ impl PatchIndex {
     /// Any deferred maintenance still pending is discarded — the fresh
     /// discovery supersedes it. Maintenance stats and query feedback
     /// survive; the drift baseline re-anchors at the fresh state.
+    ///
+    /// Recompute is **design-migrating**: the Table-3 memory model is
+    /// re-evaluated at the freshly discovered exception rate, so an index
+    /// whose drift carried it across the ~1.58% bitmap/identifier
+    /// crossover rebuilds under the now-cheaper design instead of keeping
+    /// its create-time representation forever.
     pub fn recompute(&mut self, table: &Table) {
         let stats = self.stats;
         let feedback = self.feedback;
-        *self = PatchIndex::create(table, self.column, self.constraint, self.design);
+        *self = PatchIndex::build(table, self.column, self.constraint, None);
         self.stats = stats;
         self.feedback = feedback;
         self.reset_baseline();
@@ -346,7 +409,11 @@ impl PatchIndex {
 
     /// Verifies the core invariant on every partition: excluding the
     /// patches, the remaining values satisfy the constraint (and for NUC
-    /// are disjoint from patch values). Test / debugging aid — full scan.
+    /// are disjoint from patch values). For NUC the uniqueness/disjointness
+    /// pass additionally runs *globally* across partitions (when
+    /// [`PatchIndex::global_unique`] claims it) — the property the distinct
+    /// rewrite's un-deduplicated union actually relies on. Test / debugging
+    /// aid — full scan.
     pub fn check_consistency(&self, table: &Table) {
         for (pid, part) in self.parts.iter().enumerate() {
             let p = table.partition(pid);
@@ -409,6 +476,33 @@ impl PatchIndex {
                 }
             }
         }
+        // The NUC uniqueness/disjointness invariant additionally holds
+        // *globally* across partitions (when the index claims it) — the
+        // property the distinct rewrite's un-deduplicated union relies on.
+        if self.constraint == Constraint::NearlyUnique && self.global_unique {
+            let mut kept_seen = pi_exec::hash::int_set();
+            let mut patch_vals: Vec<i64> = Vec::new();
+            for (pid, part) in self.parts.iter().enumerate() {
+                let values = partition_column_values(table.partition(pid), self.column);
+                let lookup = part.store.as_lookup();
+                for (i, &v) in values.iter().enumerate() {
+                    if lookup.is_patch(i as u64) {
+                        patch_vals.push(v);
+                    } else {
+                        assert!(
+                            kept_seen.insert(v),
+                            "kept value {v} appears in more than one partition (partition {pid})"
+                        );
+                    }
+                }
+            }
+            for v in patch_vals {
+                assert!(
+                    !kept_seen.contains(&v),
+                    "value {v} is kept in one partition but patched in another"
+                );
+            }
+        }
     }
 }
 
@@ -439,6 +533,38 @@ mod tests {
         assert!((idx.exception_rate() - 5.0 / 8.0).abs() < 1e-12);
         assert_eq!(idx.partition(0).store.patch_rids(), vec![1, 2]);
         idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn create_nuc_dedupes_across_partitions() {
+        // 7 appears exactly once in each partition: partition-local
+        // discovery keeps both occurrences, the cross-partition pass
+        // patches both.
+        let t = table(vec![vec![7, 1, 2], vec![7, 3, 4]]);
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(idx.partition(0).store.patch_rids(), vec![0]);
+        assert_eq!(idx.partition(1).store.patch_rids(), vec![0]);
+        assert!(idx.global_unique());
+        idx.check_consistency(&t);
+    }
+
+    #[test]
+    fn recompute_migrates_design_across_the_crossover() {
+        // Clean data (exception rate 0, below the crossover): recompute
+        // flips a Bitmap index to the cheaper Identifier design.
+        let t = table(vec![(0..100).collect()]);
+        let mut idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        assert_eq!(idx.design(), Design::Bitmap);
+        idx.recompute(&t);
+        assert_eq!(idx.design(), Design::Identifier);
+        assert_eq!(idx.partition(0).store.design(), Design::Identifier);
+        idx.check_consistency(&t);
+        // A constant column (every row a patch, rate 1.0): flips back.
+        let dirty = table(vec![vec![5; 64]]);
+        let mut idx = PatchIndex::create(&dirty, 0, Constraint::NearlyUnique, Design::Identifier);
+        idx.recompute(&dirty);
+        assert_eq!(idx.design(), Design::Bitmap);
+        idx.check_consistency(&dirty);
     }
 
     #[test]

@@ -72,5 +72,7 @@ pub use constraint::{Constraint, Design, SortDir};
 pub use index::{DriftBaseline, PartitionIndex, PatchIndex, QueryFeedback};
 pub use indexed::{IndexedTable, MaintenanceMode, MaintenancePolicy, QueryLog, QueryShape};
 pub use maintenance::{drp_ranges, MaintenanceStats, ProbeStrategy};
-pub use snapshot::{ConcurrentTable, TableSnapshot, TableWriter, WorkloadEvent, WorkloadSink};
+pub use snapshot::{
+    ConcurrentTable, PublishPolicy, TableSnapshot, TableWriter, WorkloadEvent, WorkloadSink,
+};
 pub use store::PatchStore;

@@ -28,7 +28,7 @@
 //! pays a one-time copy ([`std::sync::Arc::make_mut`]); everything else
 //! mutates in place exactly as before. A read-only epoch costs nothing.
 //!
-//! ## The pending-NUC fallback rule
+//! ## The pending-NUC masking rule
 //!
 //! Deferred maintenance may be staged when a snapshot is published; the
 //! snapshot then carries `pending` catalog entries. NSC / NCC / exception
@@ -36,9 +36,10 @@
 //! pending **NUC** index suspends the kept/patch disjointness invariant.
 //! The writer-side rule was "flush before such queries"; a reader cannot
 //! flush an immutable snapshot, so the query facade in `pi-planner`
-//! instead **falls back to the exact, index-free reference plan** for
-//! precisely those queries — results stay exact without a reader-side
-//! flush, and the next published (flushed) snapshot restores the rewrite.
+//! instead **re-optimizes with exactly the pending NUC entries masked
+//! out of the catalog** — rewrites that stay exact while pending survive
+//! at their sites, only the suspended NUC binding reverts to reference
+//! form, and the next published (flushed) snapshot restores the rewrite.
 //!
 //! ## Workload evidence from readers
 //!
@@ -148,6 +149,42 @@ impl WorkloadSink {
     }
 }
 
+/// When a [`TableWriter`] publishes on its own, without explicit
+/// [`TableWriter::publish`] calls — the pacing knob that replaces manual
+/// publish bookkeeping in long writer loops. Statement pacing counts
+/// insert / modify / delete calls against the writer; flush pacing
+/// publishes right after each [`TableWriter::flush_maintenance`], so
+/// readers pick up flushed (non-pending) epochs as soon as they exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PublishPolicy {
+    /// Publish once this many statements accumulated since the last
+    /// publish (`None` disables statement pacing).
+    pub every_statements: Option<u64>,
+    /// Publish immediately after every explicit maintenance flush.
+    pub after_flush: bool,
+}
+
+impl PublishPolicy {
+    /// Manual publishing only (the default).
+    pub fn manual() -> Self {
+        PublishPolicy::default()
+    }
+
+    /// Statement-paced publishing: one publish per `n` statements.
+    pub fn every(n: u64) -> Self {
+        PublishPolicy {
+            every_statements: Some(n.max(1)),
+            after_flush: false,
+        }
+    }
+
+    /// Additionally publish after each maintenance flush.
+    pub fn and_after_flush(mut self) -> Self {
+        self.after_flush = true;
+        self
+    }
+}
+
 #[derive(Debug)]
 struct SnapshotInner {
     epoch: u64,
@@ -250,6 +287,8 @@ impl ConcurrentTable {
                 shared,
                 sink,
                 epoch: 0,
+                publish_policy: PublishPolicy::default(),
+                statements_since_publish: 0,
             },
         )
     }
@@ -280,22 +319,55 @@ pub struct TableWriter {
     shared: Arc<Shared>,
     sink: Arc<WorkloadSink>,
     epoch: u64,
+    publish_policy: PublishPolicy,
+    statements_since_publish: u64,
 }
 
 impl TableWriter {
-    /// Inserts rows into the staging table (visible at the next publish).
+    /// Inserts rows into the staging table (visible at the next publish,
+    /// which the [`PublishPolicy`] may trigger right away).
     pub fn insert(&mut self, rows: &[Vec<Value>]) -> Vec<RowAddr> {
-        self.staging.insert(rows)
+        let addrs = self.staging.insert(rows);
+        self.note_statement();
+        addrs
     }
 
     /// Patches one column of staged visible rows.
     pub fn modify(&mut self, pid: usize, rids: &[usize], col: usize, values: &[Value]) {
-        self.staging.modify(pid, rids, col, values)
+        self.staging.modify(pid, rids, col, values);
+        self.note_statement();
     }
 
     /// Deletes staged visible rows.
     pub fn delete(&mut self, pid: usize, rids: &[usize]) {
-        self.staging.delete(pid, rids)
+        self.staging.delete(pid, rids);
+        self.note_statement();
+    }
+
+    /// Statement-pacing hook shared by the update entry points.
+    fn note_statement(&mut self) {
+        self.statements_since_publish += 1;
+        if let Some(n) = self.publish_policy.every_statements {
+            if self.statements_since_publish >= n {
+                self.publish();
+            }
+        }
+    }
+
+    /// Replaces the automatic publish pacing (manual by default).
+    pub fn set_publish_policy(&mut self, policy: PublishPolicy) {
+        self.publish_policy = policy;
+    }
+
+    /// Builder form of [`TableWriter::set_publish_policy`].
+    pub fn with_publish_policy(mut self, policy: PublishPolicy) -> Self {
+        self.publish_policy = policy;
+        self
+    }
+
+    /// The active publish pacing.
+    pub fn publish_policy(&self) -> PublishPolicy {
+        self.publish_policy
     }
 
     /// Creates a PatchIndex (discovery runs on the writer, off the read
@@ -316,9 +388,13 @@ impl TableWriter {
         self.staging.recompute_index(slot)
     }
 
-    /// Runs all deferred maintenance staged on the writer.
+    /// Runs all deferred maintenance staged on the writer, publishing
+    /// right after when the [`PublishPolicy`] asks for it.
     pub fn flush_maintenance(&mut self) {
-        self.staging.flush_maintenance()
+        self.staging.flush_maintenance();
+        if self.publish_policy.after_flush {
+            self.publish();
+        }
     }
 
     /// Applies the maintenance policy once (recompute / condense).
@@ -400,6 +476,7 @@ impl TableWriter {
     /// snapshots are unaffected; they pick the new epoch up at their next
     /// [`ConcurrentTable::snapshot`] call.
     pub fn publish(&mut self) -> u64 {
+        self.statements_since_publish = 0;
         self.absorb_feedback();
         self.epoch += 1;
         let snap = TableSnapshot::capture(&mut self.staging, Arc::clone(&self.sink), self.epoch);
@@ -632,6 +709,54 @@ mod tests {
         assert!(handle.snapshot().catalog().indexes[0].pending);
         writer.publish_flushed();
         let snap = handle.snapshot();
+        assert!(!snap.catalog().indexes[0].pending);
+        snap.check_consistency();
+    }
+
+    #[test]
+    fn statement_pacing_publishes_automatically() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        writer.set_publish_policy(PublishPolicy::every(3));
+        writer.insert(&[row(100, 60)]);
+        writer.modify(0, &[0], 1, &[Value::Int(11)]);
+        assert_eq!(handle.epoch(), 0, "two statements stay unpublished");
+        writer.delete(1, &[0]);
+        assert_eq!(handle.epoch(), 1, "the third statement publishes");
+        assert_eq!(handle.snapshot().table().visible_len(), 5);
+        // A manual publish restarts the pacing counter.
+        writer.insert(&[row(101, 70)]);
+        writer.publish();
+        assert_eq!(handle.epoch(), 2);
+        writer.insert(&[row(102, 80)]);
+        writer.insert(&[row(103, 90)]);
+        assert_eq!(handle.epoch(), 2);
+        writer.insert(&[row(104, 95)]);
+        assert_eq!(handle.epoch(), 3);
+    }
+
+    #[test]
+    fn flush_pacing_publishes_flushed_epochs() {
+        use crate::indexed::{MaintenanceMode, MaintenancePolicy};
+        let it = fresh().with_policy(MaintenancePolicy {
+            mode: MaintenanceMode::Deferred {
+                flush_rows: usize::MAX,
+            },
+            ..MaintenancePolicy::default()
+        });
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        writer.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        writer.set_publish_policy(PublishPolicy::manual().and_after_flush());
+        writer.insert(&[row(100, 20)]);
+        assert_eq!(
+            handle.epoch(),
+            0,
+            "flush pacing alone never paces statements"
+        );
+        writer.flush_maintenance();
+        let snap = handle.snapshot();
+        assert_eq!(snap.epoch(), 1, "the flush published");
         assert!(!snap.catalog().indexes[0].pending);
         snap.check_consistency();
     }

@@ -8,6 +8,8 @@
 
 use pi_bitmap::DEFAULT_SHARD_BITS;
 
+use crate::constraint::Design;
+
 /// Bytes used by a bitmap-based PatchIndex over `t` tuples, including the
 /// sharded start-value overhead (0.39% at the default 2^14 shard size).
 pub fn pi_bitmap_bytes(t: u64) -> f64 {
@@ -31,6 +33,19 @@ pub fn mat_view_bytes(e: f64, t: u64, dup_values: u64) -> f64 {
 /// identifier design: 1/(8·8) ≈ 1.56% (paper, Section 3.2).
 pub fn design_crossover_rate() -> f64 {
     (1.0 + 64.0 / DEFAULT_SHARD_BITS as f64) / 64.0
+}
+
+/// The physical design the Table-3 memory model prefers at an exception
+/// rate (patches/rows — *not* the match fraction `e`): identifiers below
+/// the crossover, the bitmap above it. Create (via the advisor) and
+/// recompute both consult this, so a long-lived index migrates designs
+/// when drift carries its exception rate across the crossover.
+pub fn preferred_design(exception_rate: f64) -> Design {
+    if exception_rate > design_crossover_rate() {
+        Design::Bitmap
+    } else {
+        Design::Identifier
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +83,15 @@ mod tests {
         let t = 10_000_000u64;
         assert!(pi_identifier_bytes(c * 0.9, t) < pi_bitmap_bytes(t));
         assert!(pi_identifier_bytes(c * 1.1, t) > pi_bitmap_bytes(t));
+    }
+
+    #[test]
+    fn preferred_design_flips_at_the_crossover() {
+        let c = design_crossover_rate();
+        assert_eq!(preferred_design(0.0), Design::Identifier);
+        assert_eq!(preferred_design(c * 0.9), Design::Identifier);
+        assert_eq!(preferred_design(c * 1.1), Design::Bitmap);
+        assert_eq!(preferred_design(1.0), Design::Bitmap);
     }
 
     #[test]

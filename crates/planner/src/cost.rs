@@ -36,8 +36,7 @@ const C_SORT: f64 = 0.6;
 const C_COMBINE: f64 = 0.1;
 
 fn slot_stats(cat: &IndexCatalog, slot: usize) -> &IndexStats {
-    cat.indexes
-        .get(slot)
+    cat.by_slot(slot)
         .expect("PatchScan bound to a slot outside the catalog")
 }
 

@@ -20,8 +20,10 @@
 //! * [`IndexedTable`] — the single-threaded owner path above;
 //! * [`TableSnapshot`] — concurrent readers. A snapshot is immutable, so
 //!   step 3 cannot flush; a chosen plan that binds a pending NUC index
-//!   instead **falls back to the exact, index-free reference plan** (the
-//!   pending-NUC fallback rule of [`patchindex::snapshot`]). Catalogs are
+//!   is instead **re-optimized with just the pending NUC entries masked
+//!   out** of the catalog (the pending-NUC masking rule of
+//!   [`patchindex::snapshot`]), so NSC/NCC/exception rewrites at other
+//!   sites survive and only the suspended binding reverts. Catalogs are
 //!   precomputed at publish time, and workload evidence (query log,
 //!   feedback, measured timings) is reported to the snapshot's
 //!   [`WorkloadSink`] for the writer to absorb;
@@ -73,8 +75,8 @@ fn bound_slots(plan: &Plan) -> Vec<usize> {
 fn stale_nuc_slots(plan: &Plan, cat: &IndexCatalog) -> Vec<usize> {
     let mut slots = bound_slots(plan);
     slots.retain(|&s| {
-        let e = &cat.indexes[s];
-        e.pending && e.constraint == Constraint::NearlyUnique
+        cat.by_slot(s)
+            .is_some_and(|e| e.pending && e.constraint == Constraint::NearlyUnique)
     });
     slots
 }
@@ -240,11 +242,14 @@ impl QueryEngine for IndexedTable {
 }
 
 /// The snapshot planning pipeline: optimize against the publish-time
-/// catalog, then apply the **pending-NUC fallback rule** — a snapshot
-/// cannot flush, so a chosen plan binding a NUC index with staged
-/// deferred maintenance is discarded in favor of the exact, index-free
-/// reference plan. Workload evidence goes to the snapshot's sink when
-/// `record` is set (once per executed query, never for plan inspection).
+/// catalog, then apply the **pending-NUC masking rule** — a snapshot
+/// cannot flush, so when the chosen plan binds a NUC index with staged
+/// deferred maintenance the planner re-optimizes against a catalog with
+/// exactly those entries masked out. Rewrites that stay exact while
+/// pending (NSC, NCC, the exception flows) survive at their sites; only
+/// the suspended NUC binding reverts to reference form. Workload
+/// evidence goes to the snapshot's sink when `record` is set (once per
+/// executed query, never for plan inspection).
 fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
     let cat = snap.catalog();
     if record {
@@ -254,12 +259,23 @@ fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
             snap.sink().record(WorkloadEvent::Query { col, shape });
         }
     }
-    let chosen = optimize(plan.clone(), cat, true);
+    let mut chosen = optimize(plan.clone(), cat, true);
     if !stale_nuc_slots(&chosen, cat).is_empty() {
-        // Readers holding a pending-NUC snapshot stay exact by running
-        // the unrewritten plan; the writer's next (flushed) publish
-        // restores the rewrite for subsequent snapshots.
-        return plan.clone();
+        // Readers cannot flush; masking just the pending NUC entries
+        // (their slot numbers live in the entries, not positions, so
+        // surviving bindings still address the live index array) keeps
+        // every other rewrite. The writer's next flushed publish
+        // restores the NUC rewrite for subsequent snapshots.
+        let masked = IndexCatalog {
+            part_rows: cat.part_rows.clone(),
+            indexes: cat
+                .indexes
+                .iter()
+                .filter(|e| !(e.pending && e.constraint == Constraint::NearlyUnique))
+                .cloned()
+                .collect(),
+        };
+        chosen = optimize(plan.clone(), &masked, true);
     }
     if record {
         let bound = bound_slots(&chosen);
@@ -267,7 +283,7 @@ fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
             let saved =
                 (estimate(plan, cat) - estimate(&chosen, cat)).max(0.0) / bound.len() as f64;
             for &slot in &bound {
-                let e = &cat.indexes[slot];
+                let e = cat.by_slot(slot).expect("bound slot outside the catalog");
                 snap.sink().record(WorkloadEvent::Feedback {
                     column: e.column,
                     constraint: e.constraint,
@@ -289,7 +305,7 @@ fn record_timing_snapshot(snap: &TableSnapshot, chosen: &Plan, elapsed: std::tim
     let micros = elapsed.as_secs_f64() * 1e6 / bound.len() as f64;
     let est_share = estimate(chosen, cat) / bound.len() as f64;
     for slot in bound {
-        let e = &cat.indexes[slot];
+        let e = cat.by_slot(slot).expect("bound slot outside the catalog");
         snap.sink().record(WorkloadEvent::Timing {
             column: e.column,
             constraint: e.constraint,
@@ -625,6 +641,44 @@ mod tests {
             .to_string()
             .contains("PatchScan"));
         assert_eq!(fresh_snap.query_count(&distinct), reference);
+    }
+
+    #[test]
+    fn pending_nuc_mask_keeps_the_unrelated_nsc_rewrite() {
+        use patchindex::ConcurrentTable;
+        let it = fresh(2).with_policy(deferred());
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let nuc = writer.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let nsc = writer.add_index(1, Constraint::NearlySorted(SortDir::Asc), Design::Bitmap);
+        let Value::Int(dup) = writer.staging().table().partition(0).value_at(1, 0) else {
+            panic!()
+        };
+        writer.insert(&[vec![Value::Int(999), Value::Int(dup)]]);
+        writer.publish(); // unflushed: the snapshot carries the pending NUC
+        let mut snap = handle.snapshot();
+        assert!(snap.catalog().indexes[nuc].pending);
+
+        // One plan, two sites: the distinct would bind the pending NUC,
+        // the sort binds the NSC (exact while pending). Masking must
+        // revert only the distinct site.
+        let q = Plan::Union {
+            inputs: vec![
+                Plan::scan(vec![1]).distinct(vec![0]),
+                Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]),
+            ],
+        };
+        let chosen = snap.plan_query(&q);
+        let s = chosen.to_string();
+        assert!(
+            s.contains(&format!("slot={nsc}")),
+            "NSC rewrite must survive:\n{s}"
+        );
+        assert!(
+            !s.contains(&format!("slot={nuc}")),
+            "pending NUC must be masked:\n{s}"
+        );
+        let reference = execute_count(&q, snap.table(), NO_INDEXES);
+        assert_eq!(snap.query_count(&q), reference);
     }
 
     #[test]

@@ -12,11 +12,11 @@
 //! pending-NUC fallback would all surface as a mismatch.
 //!
 //! Value pools are partition-disjoint (KeyRange routing), mirroring how
-//! the paper's microbenchmark partitions by the indexed column: index
-//! recomputation rediscovers constraints partition-locally, so
-//! cross-partition duplicates surviving a recompute would void the
-//! global kept-row uniqueness the NUC distinct rewrite assumes (a
-//! pre-existing, documented limitation — see ROADMAP).
+//! the paper's microbenchmark partitions by the indexed column. Since
+//! the cross-partition deduplication pass, recompute is globally sound
+//! even for duplicate pools that straddle partitions — the adversarial
+//! `cross_partition` test drives that case explicitly; this suite keeps
+//! the paper's partition-disjoint shape.
 //!
 //! The `stress_reader_writer_storm` test scales with `PI_STRESS_ITERS` /
 //! `PI_STRESS_THREADS` for the dedicated CI stress lane.
