@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
 //! Compares freshly emitted `BENCH_{maintenance,planner,advisor,
-//! concurrency}.json` against the checked-in `bench_baselines/*.json`
+//! concurrency,durability}.json` against the checked-in `bench_baselines/*.json`
 //! and fails (exit 1) when any gated metric regressed beyond its
 //! tolerance. Metrics are chosen to be machine-portable — behavioral
 //! counts, ratios and speedups rather than raw seconds — so the gate
@@ -136,6 +136,23 @@ const METRICS: &[Metric] = &[
         Dir::Higher,
         2.0,
     ),
+    // durability: recovery exactness and advisor-state restoration are
+    // correctness booleans (zero extra slack — any dip fails); the
+    // incremental-checkpoint byte advantage over a full snapshot is
+    // deterministic at fixed smoke config.
+    m("durability", "recovery.exact", Dir::Higher, 0.0),
+    m(
+        "durability",
+        "recovery.advisor_state_restored",
+        Dir::Higher,
+        0.0,
+    ),
+    m(
+        "durability",
+        "checkpoint.ratio_full_over_incremental",
+        Dir::Higher,
+        1.0,
+    ),
 ];
 
 struct Row {
@@ -221,7 +238,13 @@ fn main() {
         }
     }
 
-    let stems = ["maintenance", "planner", "advisor", "concurrency"];
+    let stems = [
+        "maintenance",
+        "planner",
+        "advisor",
+        "concurrency",
+        "durability",
+    ];
     let mut fresh = std::collections::HashMap::new();
     let mut base = std::collections::HashMap::new();
     let mut corrupt: Vec<String> = Vec::new();

@@ -1805,3 +1805,159 @@ pub fn concurrency() -> String {
     }
     out
 }
+
+// -------------------------------------------------- durability economics
+
+/// Durability experiment (beyond the paper): epoch-incremental
+/// checkpoint economics and crash-recovery exactness.
+///
+/// A `PI_DUR_PARTS`-partition NUC-indexed table goes durable on an
+/// in-memory [`pi_storage::SimFs`]; one partition (1% at the default
+/// scale) is then dirtied and published. The copy-on-write epoch
+/// dirty-set means the incremental checkpoint rewrites exactly that
+/// partition plus the table meta and manifest, and the experiment
+/// reports the byte ratio against a full snapshot at the same state.
+/// Advisor feedback/timing statements then cross a publish, an
+/// unpublished statement tail is left in the WAL, the filesystem
+/// "crashes" (unsynced namespace dropped, tails torn), and recovery
+/// must reproduce the last published state byte-exactly — including
+/// the advisor counters.
+///
+/// Writes `BENCH_durability.json`. Scale via `PI_DUR_PARTS` /
+/// `PI_DUR_ROWS` (rows per partition).
+pub fn durability() -> String {
+    use patchindex::{IndexedTable, MaintenancePolicy};
+    use pi_durability::{state_image, DurableOptions, DurableWriter, SyncPolicy};
+    use pi_storage::{DurableFs, SimFs};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    let parts = env_usize("PI_DUR_PARTS", 100);
+    let rows = env_usize("PI_DUR_ROWS", 2_000);
+    let dir = PathBuf::from("/bench-db");
+
+    let mut t = pi_storage::Table::new(
+        "dur",
+        pi_storage::Schema::new(vec![
+            pi_storage::Field::new("k", pi_storage::DataType::Int),
+            pi_storage::Field::new("v", pi_storage::DataType::Int),
+        ]),
+        parts,
+        pi_storage::Partitioning::RoundRobin,
+    );
+    for pid in 0..parts {
+        let base = (pid * rows) as i64;
+        let keys: Vec<i64> = (base..base + rows as i64).collect();
+        t.load_partition(
+            pid,
+            &[
+                pi_storage::ColumnData::Int(keys.clone()),
+                pi_storage::ColumnData::Int(keys),
+            ],
+        );
+    }
+    t.propagate_all();
+    let mut it = IndexedTable::new(t);
+    it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+
+    let fs = Arc::new(SimFs::new());
+    let dyn_fs: Arc<dyn DurableFs> = fs.clone();
+    let opts = DurableOptions {
+        sync: SyncPolicy::EveryRecord,
+        ..DurableOptions::default()
+    };
+    let (_handle, mut dw) =
+        DurableWriter::create(it, Arc::clone(&dyn_fs), &dir, opts).expect("durable create");
+    let create_stats = dw.stats();
+
+    // Dirty exactly one partition and publish: the incremental
+    // checkpoint's dirty set is that partition + meta + manifest.
+    let rids: Vec<usize> = (0..16.min(rows)).collect();
+    let values: Vec<Value> = rids.iter().map(|r| Value::Int(-(*r as i64))).collect();
+    dw.modify(0, &rids, 1, &values).expect("modify");
+    dw.publish().expect("publish");
+    let incr = dw.stats();
+    let incremental_bytes = incr.last_checkpoint_bytes;
+    let incremental_files = incr.last_checkpoint_files;
+    // Full-snapshot comparator at the *same* state (dicts + meta + every
+    // partition + every index image).
+    let full_bytes = dw.full_checkpoint_bytes();
+    let ratio = full_bytes as f64 / incremental_bytes.max(1) as f64;
+
+    // Advisor evidence crosses a publish, then an unpublished tail is
+    // left dangling so recovery has something to discard.
+    dw.record_query_feedback(0, 7.5).expect("feedback");
+    dw.record_query_timing(0, 3.0, 20.0).expect("timing");
+    dw.publish().expect("publish");
+    let published_image = state_image(dw.staging());
+    let published_epoch = dw.epoch();
+    dw.modify(1, &[0, 1], 1, &[Value::Int(-1), Value::Int(-2)])
+        .expect("tail modify");
+    dw.record_query_feedback(0, 99.0).expect("tail feedback");
+    let wal_bytes = dw.stats().wal_bytes;
+    drop(dw);
+    fs.crash(0xD0_0B1E);
+
+    let recover_start = std::time::Instant::now();
+    let (_handle2, rec, report) =
+        DurableWriter::recover(dyn_fs, &dir, opts, MaintenancePolicy::default()).expect("recover");
+    let recovery_millis = recover_start.elapsed().as_secs_f64() * 1e3;
+    let exact = state_image(rec.staging()) == published_image && report.epoch == published_epoch;
+    let fb = rec.staging().index(0).query_feedback();
+    let advisor_restored = fb.times_bound == 1
+        && (fb.est_cost_saved - 7.5).abs() < 1e-9
+        && fb.measured_queries == 1
+        && (fb.actual_micros - 3.0).abs() < 1e-9;
+
+    let mut out = format!(
+        "Durability economics: {parts} partitions x {rows} rows, 1 partition dirtied \
+         between checkpoints ({:.1}% of the table)\n\n",
+        100.0 / parts as f64
+    );
+    let mut table = TablePrinter::new(&["measure", "bytes", "files"]);
+    table.row(vec![
+        "create checkpoint (full)".into(),
+        create_stats.last_checkpoint_bytes.to_string(),
+        create_stats.last_checkpoint_files.to_string(),
+    ]);
+    table.row(vec![
+        "full snapshot at dirty state".into(),
+        full_bytes.to_string(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "incremental checkpoint".into(),
+        incremental_bytes.to_string(),
+        incremental_files.to_string(),
+    ]);
+    table.row(vec![
+        "WAL appended".into(),
+        wal_bytes.to_string(),
+        "-".into(),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nincremental wrote {ratio:.1}x fewer bytes than a full snapshot\n\
+         recovery: epoch {} ({} replayed, {} discarded) in {recovery_millis:.2} ms; \
+         exact={exact} advisor_state_restored={advisor_restored}\n",
+        report.epoch, report.replayed, report.discarded
+    ));
+    assert!(exact, "recovered state must match the last published epoch");
+    assert!(advisor_restored, "advisor counters must survive recovery");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"durability\",\n  \"config\": {{\"partitions\": {parts}, \
+         \"rows_per_partition\": {rows}}},\n  \"checkpoint\": {{\"full_bytes\": {full_bytes}, \
+         \"incremental_bytes\": {incremental_bytes}, \"incremental_files\": {incremental_files}, \
+         \"ratio_full_over_incremental\": {ratio:.3}}},\n  \"recovery\": {{\"exact\": {}, \
+         \"advisor_state_restored\": {}, \"epoch\": {}, \"replayed\": {}, \"discarded\": {}, \
+         \"millis\": {recovery_millis:.3}}},\n  \"wal_bytes\": {wal_bytes}\n}}\n",
+        exact as u8, advisor_restored as u8, report.epoch, report.replayed, report.discarded,
+    );
+    let path = std::env::var("PI_DUR_JSON").unwrap_or_else(|_| "BENCH_durability.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => out.push_str(&format!("wrote {path}\n")),
+        Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+    }
+    out
+}

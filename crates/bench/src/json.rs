@@ -229,7 +229,13 @@ mod tests {
     #[test]
     fn parses_real_artifacts() {
         // Every BENCH_*.json this repo emits must round-trip the reader.
-        for name in ["maintenance", "planner", "advisor", "concurrency"] {
+        for name in [
+            "maintenance",
+            "planner",
+            "advisor",
+            "concurrency",
+            "durability",
+        ] {
             let path = format!(
                 "{}/../../bench_baselines/BENCH_{name}.json",
                 env!("CARGO_MANIFEST_DIR")

@@ -8,11 +8,19 @@
 //! * [`PatchIndex::checkpoint`] / [`PatchIndex::load_checkpoint`] — persist
 //!   the index state to disk as a checkpoint (hand-rolled little-endian
 //!   codec; the dependency policy in DESIGN.md rules out serde formats).
+//!
+//! Checkpoints are written atomically (tmp + fsync + rename + parent-dir
+//! fsync through [`DurableFs`]) and carry a CRC-32 trailer, so a crash
+//! mid-write can neither corrupt the previous good copy nor leave a torn
+//! file that loads silently. The byte-level codec
+//! ([`PatchIndex::checkpoint_bytes`] / [`PatchIndex::load_checkpoint_bytes`])
+//! is what the `pi-durability` crate embeds in its epoch checkpoints.
 
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
 
+use pi_storage::crc::crc32;
+use pi_storage::dfs::{write_atomic, DurableFs, RealFs};
 use pi_storage::Table;
 
 use crate::constraint::{Constraint, Design, SortDir};
@@ -30,18 +38,26 @@ const MAGIC: &[u8; 4] = b"PIDX";
 /// v2/v3 NUC files were written by partition-local discovery, so they
 /// load with the flag cleared — the planner's global-distinct guard stays
 /// active until the index is recomputed.
-const VERSION: u32 = 4;
+/// Version 5 appends a CRC-32 trailer over the whole payload; torn or
+/// bit-flipped files are rejected at load instead of parsed. v2–v4 files
+/// (no trailer) still load, but every version now rejects trailing
+/// garbage.
+const VERSION: u32 = 5;
 
-fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+fn put_i64(b: &mut Vec<u8>, v: i64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(b: &mut Vec<u8>, v: f64) {
+    put_u64(b, v.to_bits());
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -60,10 +76,6 @@ fn read_i64(r: &mut impl Read) -> io::Result<i64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(i64::from_le_bytes(buf))
-}
-
-fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
-    write_u64(w, v.to_bits())
 }
 
 fn read_f64(r: &mut impl Read) -> io::Result<f64> {
@@ -92,6 +104,10 @@ fn constraint_from_tag(tag: u32) -> io::Result<Constraint> {
     }
 }
 
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
 impl PatchIndex {
     /// Recreates the index from the table — recovery after a shutdown or
     /// failure without a checkpoint.
@@ -99,79 +115,125 @@ impl PatchIndex {
         PatchIndex::create(table, col, constraint, design)
     }
 
-    /// Persists the index state to `path`.
+    /// Serializes the index to the current checkpoint format (v5,
+    /// CRC-32 trailer included).
     ///
     /// # Panics
     /// Panics if deferred maintenance is pending: the value histories are
     /// not serialized, so a checkpoint taken mid-epoch could never be
     /// flushed into a consistent state after recovery. Flush first.
-    pub fn checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
         assert!(
             !self.has_pending(),
             "flush deferred maintenance before checkpointing the index"
         );
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        write_u32(&mut w, VERSION)?;
-        write_u32(&mut w, self.column() as u32)?;
-        write_u32(&mut w, constraint_tag(self.constraint()))?;
-        write_u32(&mut w, matches!(self.design(), Design::Identifier) as u32)?;
-        write_u32(&mut w, self.global_unique() as u32)?;
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        put_u32(&mut b, VERSION);
+        put_u32(&mut b, self.column() as u32);
+        put_u32(&mut b, constraint_tag(self.constraint()));
+        put_u32(&mut b, matches!(self.design(), Design::Identifier) as u32);
+        put_u32(&mut b, self.global_unique() as u32);
         // Monitoring counters (v2): maintenance stats, drift baseline,
         // query feedback — the advisor's observe state survives recovery.
         let stats = self.maintenance_stats();
-        write_u64(&mut w, stats.collision_rounds)?;
-        write_u64(&mut w, stats.build_invocations)?;
-        write_u64(&mut w, stats.probed_partitions)?;
-        write_u64(&mut w, stats.maintained_rows)?;
+        put_u64(&mut b, stats.collision_rounds);
+        put_u64(&mut b, stats.build_invocations);
+        put_u64(&mut b, stats.probed_partitions);
+        put_u64(&mut b, stats.maintained_rows);
         let baseline = self.baseline();
-        write_f64(&mut w, baseline.match_fraction)?;
-        write_u64(&mut w, baseline.patches)?;
-        write_u64(&mut w, baseline.maintained_rows)?;
+        put_f64(&mut b, baseline.match_fraction);
+        put_u64(&mut b, baseline.patches);
+        put_u64(&mut b, baseline.maintained_rows);
         let feedback = self.query_feedback();
-        write_u64(&mut w, feedback.times_bound)?;
-        write_f64(&mut w, feedback.est_cost_saved)?;
-        write_u64(&mut w, feedback.measured_queries)?;
-        write_f64(&mut w, feedback.actual_micros)?;
-        write_f64(&mut w, feedback.est_cost_executed)?;
-        write_u32(&mut w, self.partition_count() as u32)?;
+        put_u64(&mut b, feedback.times_bound);
+        put_f64(&mut b, feedback.est_cost_saved);
+        put_u64(&mut b, feedback.measured_queries);
+        put_f64(&mut b, feedback.actual_micros);
+        put_f64(&mut b, feedback.est_cost_executed);
+        put_u32(&mut b, self.partition_count() as u32);
         for pid in 0..self.partition_count() {
             let part = self.partition(pid);
-            write_u64(&mut w, part.store.nrows())?;
+            put_u64(&mut b, part.store.nrows());
             match part.last_sorted {
                 Some(v) => {
-                    write_u32(&mut w, 1)?;
-                    write_i64(&mut w, v)?;
+                    put_u32(&mut b, 1);
+                    put_i64(&mut b, v);
                 }
-                None => write_u32(&mut w, 0)?,
+                None => put_u32(&mut b, 0),
             }
             let rids = part.store.patch_rids();
-            write_u64(&mut w, rids.len() as u64)?;
+            put_u64(&mut b, rids.len() as u64);
             for r in rids {
-                write_u64(&mut w, r)?;
+                put_u64(&mut b, r);
             }
         }
-        w.flush()
+        let crc = crc32(&b);
+        put_u32(&mut b, crc);
+        b
+    }
+
+    /// Persists the index state to `path` atomically: the bytes land in a
+    /// tmp file that is fsynced, renamed over `path`, and committed with
+    /// a parent-directory fsync. A crash at any point leaves either the
+    /// old checkpoint or the new one — never a torn mix.
+    pub fn checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.checkpoint_via(&RealFs, path.as_ref())
+    }
+
+    /// [`PatchIndex::checkpoint`] through an explicit filesystem (the
+    /// durability layer and the failpoint tests inject theirs here).
+    pub fn checkpoint_via(&self, fs: &dyn DurableFs, path: &Path) -> io::Result<()> {
+        write_atomic(fs, path, &self.checkpoint_bytes())
     }
 
     /// Loads a checkpoint written by [`PatchIndex::checkpoint`].
     pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Self> {
-        let mut r = BufReader::new(File::open(path)?);
+        Self::load_checkpoint_via(&RealFs, path.as_ref())
+    }
+
+    /// [`PatchIndex::load_checkpoint`] through an explicit filesystem.
+    pub fn load_checkpoint_via(fs: &dyn DurableFs, path: &Path) -> io::Result<Self> {
+        Self::load_checkpoint_bytes(&fs.read(path)?)
+    }
+
+    /// Parses a checkpoint image. Rejects unknown versions, checksum
+    /// mismatches (v5+) and trailing garbage (all versions) with a clear
+    /// [`io::ErrorKind::InvalidData`] error.
+    pub fn load_checkpoint_bytes(bytes: &[u8]) -> io::Result<Self> {
+        let mut header: &[u8] = bytes;
         let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
+        header
+            .read_exact(&mut magic)
+            .map_err(|_| bad_data("not a PatchIndex checkpoint (too short)"))?;
         if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a PatchIndex checkpoint",
-            ));
+            return Err(bad_data("not a PatchIndex checkpoint"));
         }
-        let version = read_u32(&mut r)?;
+        let version = read_u32(&mut header)?;
         if !(2..=VERSION).contains(&version) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unsupported checkpoint version {version}"),
             ));
         }
+        // v5 files end in a CRC-32 of everything before it; verify before
+        // trusting a single payload byte.
+        let body_end = if version >= 5 {
+            if bytes.len() < 12 {
+                return Err(bad_data("checkpoint truncated before checksum"));
+            }
+            let trailer_at = bytes.len() - 4;
+            let stored = u32::from_le_bytes(bytes[trailer_at..].try_into().unwrap());
+            if crc32(&bytes[..trailer_at]) != stored {
+                return Err(bad_data(
+                    "checkpoint checksum mismatch (corrupt or torn file)",
+                ));
+            }
+            trailer_at
+        } else {
+            bytes.len()
+        };
+        let mut r: &[u8] = &bytes[8..body_end];
         let column = read_u32(&mut r)? as usize;
         let constraint = constraint_from_tag(read_u32(&mut r)?)?;
         let design = if read_u32(&mut r)? == 1 {
@@ -227,6 +289,9 @@ impl PatchIndex {
                 last_sorted,
             });
         }
+        if !r.is_empty() {
+            return Err(bad_data("trailing garbage after checkpoint payload"));
+        }
         let mut idx = PatchIndex::from_parts(column, constraint, design, parts, global_unique);
         idx.restore_meta(stats, baseline, feedback);
         Ok(idx)
@@ -236,7 +301,11 @@ impl PatchIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi_storage::dfs::SimFs;
     use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
+    use std::fs::File;
+    use std::io::{BufWriter, Write};
+    use std::path::PathBuf;
 
     fn table() -> Table {
         let mut t = Table::new(
@@ -292,7 +361,8 @@ mod tests {
     }
 
     /// Hand-writes a checkpoint in the legacy v3 layout (no
-    /// global-uniqueness word) — what a pre-v4 build would have produced.
+    /// global-uniqueness word, no checksum trailer) — what a pre-v4 build
+    /// would have produced.
     fn write_v3(
         path: &std::path::Path,
         column: u32,
@@ -300,38 +370,40 @@ mod tests {
         design: Design,
         parts: &[(u64, Option<i64>, Vec<u64>)],
     ) {
-        let mut w = BufWriter::new(File::create(path).unwrap());
-        w.write_all(MAGIC).unwrap();
-        write_u32(&mut w, 3).unwrap();
-        write_u32(&mut w, column).unwrap();
-        write_u32(&mut w, constraint_tag(constraint)).unwrap();
-        write_u32(&mut w, matches!(design, Design::Identifier) as u32).unwrap();
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        put_u32(&mut b, 3);
+        put_u32(&mut b, column);
+        put_u32(&mut b, constraint_tag(constraint));
+        put_u32(&mut b, matches!(design, Design::Identifier) as u32);
         for _ in 0..4 {
-            write_u64(&mut w, 0).unwrap(); // maintenance stats
+            put_u64(&mut b, 0); // maintenance stats
         }
-        write_f64(&mut w, 1.0).unwrap(); // baseline match fraction
-        write_u64(&mut w, 0).unwrap();
-        write_u64(&mut w, 0).unwrap();
-        write_u64(&mut w, 0).unwrap(); // feedback
-        write_f64(&mut w, 0.0).unwrap();
-        write_u64(&mut w, 0).unwrap();
-        write_f64(&mut w, 0.0).unwrap();
-        write_f64(&mut w, 0.0).unwrap();
-        write_u32(&mut w, parts.len() as u32).unwrap();
+        put_f64(&mut b, 1.0); // baseline match fraction
+        put_u64(&mut b, 0);
+        put_u64(&mut b, 0);
+        put_u64(&mut b, 0); // feedback
+        put_f64(&mut b, 0.0);
+        put_u64(&mut b, 0);
+        put_f64(&mut b, 0.0);
+        put_f64(&mut b, 0.0);
+        put_u32(&mut b, parts.len() as u32);
         for (nrows, last_sorted, rids) in parts {
-            write_u64(&mut w, *nrows).unwrap();
+            put_u64(&mut b, *nrows);
             match last_sorted {
                 Some(v) => {
-                    write_u32(&mut w, 1).unwrap();
-                    write_i64(&mut w, *v).unwrap();
+                    put_u32(&mut b, 1);
+                    put_i64(&mut b, *v);
                 }
-                None => write_u32(&mut w, 0).unwrap(),
+                None => put_u32(&mut b, 0),
             }
-            write_u64(&mut w, rids.len() as u64).unwrap();
+            put_u64(&mut b, rids.len() as u64);
             for r in rids {
-                write_u64(&mut w, *r).unwrap();
+                put_u64(&mut b, *r);
             }
         }
+        let mut w = BufWriter::new(File::create(path).unwrap());
+        w.write_all(&b).unwrap();
         w.flush().unwrap();
     }
 
@@ -411,9 +483,9 @@ mod tests {
         idx.recompute(&t);
         assert_eq!(idx.design(), Design::Identifier);
         assert!(idx.global_unique());
-        let v4_path = std::env::temp_dir().join("pi_checkpoint_migrate_v4.pidx");
-        idx.checkpoint(&v4_path).unwrap();
-        let loaded = PatchIndex::load_checkpoint(&v4_path).unwrap();
+        let v5_path = std::env::temp_dir().join("pi_checkpoint_migrate_v5.pidx");
+        idx.checkpoint(&v5_path).unwrap();
+        let loaded = PatchIndex::load_checkpoint(&v5_path).unwrap();
         assert_eq!(loaded.design(), Design::Identifier);
         assert!(loaded.global_unique());
         assert_eq!(loaded.memory_bytes(), idx.memory_bytes());
@@ -426,7 +498,7 @@ mod tests {
         }
         loaded.check_consistency(&t);
         std::fs::remove_file(v3_path).ok();
-        std::fs::remove_file(v4_path).ok();
+        std::fs::remove_file(v5_path).ok();
     }
 
     #[test]
@@ -443,5 +515,92 @@ mod tests {
         std::fs::write(&path, b"NOPE....").unwrap();
         assert!(PatchIndex::load_checkpoint(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_rejected() {
+        let t = table();
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let clean = idx.checkpoint_bytes();
+        PatchIndex::load_checkpoint_bytes(&clean).unwrap();
+        // Flipping any single bit past the version word must fail the
+        // checksum (flips inside magic/version hit those checks first).
+        for pos in [8, 13, 27, clean.len() / 2, clean.len() - 5, clean.len() - 1] {
+            let mut corrupt = clean.clone();
+            corrupt[pos] ^= 0x04;
+            let err = PatchIndex::load_checkpoint_bytes(&corrupt).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let t = table();
+        let idx = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let clean = idx.checkpoint_bytes();
+        for cut in [clean.len() - 1, clean.len() - 4, clean.len() / 2, 9] {
+            assert!(
+                PatchIndex::load_checkpoint_bytes(&clean[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_even_on_legacy_versions() {
+        let path = std::env::temp_dir().join("pi_checkpoint_trailing_v3.pidx");
+        write_v3(
+            &path,
+            0,
+            Constraint::NearlyConstant,
+            Design::Bitmap,
+            &[(3, None, vec![1])],
+        );
+        // Sanity: the clean legacy file loads.
+        PatchIndex::load_checkpoint(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"junk");
+        let err = PatchIndex::load_checkpoint_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing garbage"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crash_mid_checkpoint_never_corrupts_the_previous_copy() {
+        // The satellite-1 regression: overwrite an existing checkpoint
+        // with the failpoint fs tripping at every io boundary; after
+        // every crash the file must still load as one complete version —
+        // the old one or the new one, never a torn mix.
+        let t = table();
+        let old = PatchIndex::create(&t, 0, Constraint::NearlyUnique, Design::Bitmap);
+        let new = PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Identifier,
+        );
+        let path = PathBuf::from("/ckpt/idx.pidx");
+        let mut saw_failure = false;
+        for fuse in 1..12 {
+            for seed in 0..6 {
+                let fs = SimFs::new();
+                old.checkpoint_via(&fs, &path).unwrap();
+                fs.set_fuse(Some(fuse));
+                let wrote = new.checkpoint_via(&fs, &path);
+                saw_failure |= wrote.is_err();
+                fs.crash(fuse * 1000 + seed);
+                let loaded = PatchIndex::load_checkpoint_via(&fs, &path)
+                    .expect("checkpoint must survive every crash point");
+                let complete = [old.constraint(), new.constraint()];
+                assert!(complete.contains(&loaded.constraint()));
+                if wrote.is_ok() {
+                    // The atomic protocol completed: only the new
+                    // version may be visible.
+                    assert_eq!(loaded.constraint(), new.constraint());
+                }
+            }
+        }
+        assert!(saw_failure, "fuse range must cover actual crash points");
     }
 }

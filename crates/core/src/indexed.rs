@@ -156,6 +156,35 @@ impl IndexedTable {
         self
     }
 
+    /// Rebuilds an indexed table from recovered state: a restored table,
+    /// checkpoint-loaded indexes in slot order, and the persisted
+    /// statement counter (the advisor's piggyback cadence must resume
+    /// where the crashed process stopped, not restart from zero).
+    /// Discovery sampling restarts disabled; re-enable it after recovery
+    /// if the workload uses it.
+    pub fn with_restored_indexes(
+        table: Table,
+        indexes: Vec<Arc<PatchIndex>>,
+        statements: u64,
+    ) -> Self {
+        for idx in &indexes {
+            assert!(
+                idx.column() < table.schema().len(),
+                "restored index column out of range"
+            );
+        }
+        IndexedTable {
+            table,
+            indexes,
+            policy: MaintenancePolicy::default(),
+            query_log: QueryLog::default(),
+            samplers: Vec::new(),
+            catalog_cache: None,
+            catalog_rebuilds: 0,
+            statements,
+        }
+    }
+
     /// Replaces the maintenance policy in place (the snapshot writer's
     /// counterpart of [`IndexedTable::with_policy`]).
     pub fn set_policy(&mut self, policy: MaintenancePolicy) {

@@ -1,0 +1,507 @@
+//! Checkpoint file codecs.
+//!
+//! Each checkpoint artifact is one self-describing file: 4-byte magic,
+//! version word, payload, CRC-32 trailer. Files are written through
+//! [`pi_storage::dfs::write_atomic`], so every file a manifest references
+//! is complete and fsynced before the manifest naming it becomes visible
+//! — a load never has to tolerate a torn checkpoint, only reject a
+//! corrupt one.
+//!
+//! Partition files serialize the *visible* merged rows (via
+//! [`pi_storage::Partition::read_range`]), not the physical base/delta
+//! split: recovery restores a propagated partition, which is visibly
+//! identical and cheaper to encode. String columns store dictionary
+//! codes; the shared dictionaries travel in one dict file per checkpoint
+//! generation so codes stay meaningful.
+
+use std::io::{self, Read};
+use std::sync::Arc;
+
+use pi_storage::crc::crc32;
+use pi_storage::{ColumnData, DataType, DictRef, Field, Partitioning, Schema, Table};
+
+use patchindex::IndexedTable;
+
+use crate::wal::{read_f64, read_u32, read_u64, read_u8};
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+pub(crate) fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(b: &mut Vec<u8>, v: i64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(b: &mut Vec<u8>, v: f64) {
+    put_u64(b, v.to_bits());
+}
+
+pub(crate) fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn read_i64(r: &mut impl Read) -> io::Result<i64> {
+    Ok(read_u64(r)? as i64)
+}
+
+pub(crate) fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad("non-utf8 string"))
+}
+
+/// Wraps a payload in `magic + version + payload + crc32`.
+fn seal(magic: &[u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(payload.len() + 12);
+    b.extend_from_slice(magic);
+    put_u32(&mut b, version);
+    b.extend_from_slice(payload);
+    let crc = crc32(&b);
+    put_u32(&mut b, crc);
+    b
+}
+
+/// Verifies `magic + version + crc` framing and returns the payload.
+fn unseal<'a>(magic: &[u8; 4], version: u32, bytes: &'a [u8], what: &str) -> io::Result<&'a [u8]> {
+    if bytes.len() < 12 {
+        return Err(bad(&format!("{what}: file too short")));
+    }
+    if &bytes[..4] != magic {
+        return Err(bad(&format!("{what}: bad magic")));
+    }
+    let got_version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if got_version != version {
+        return Err(bad(&format!(
+            "{what}: unsupported version {got_version} (expected {version})"
+        )));
+    }
+    let trailer_at = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[trailer_at..].try_into().unwrap());
+    if crc32(&bytes[..trailer_at]) != stored {
+        return Err(bad(&format!("{what}: checksum mismatch (corrupt file)")));
+    }
+    Ok(&bytes[8..trailer_at])
+}
+
+fn expect_drained(r: &[u8], what: &str) -> io::Result<()> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(bad(&format!("{what}: trailing garbage after payload")))
+    }
+}
+
+// -------------------------------------------------------------- partitions
+
+const PART_MAGIC: &[u8; 4] = b"PIDP";
+const PART_VERSION: u32 = 1;
+
+/// Serializes the visible rows of partition `pid`.
+pub(crate) fn encode_partition(table: &Table, pid: usize) -> Vec<u8> {
+    let p = table.partition(pid);
+    let ncols = table.schema().len();
+    let cols: Vec<usize> = (0..ncols).collect();
+    let data = p.read_range(&cols, 0, p.visible_len());
+    let mut b = Vec::new();
+    put_u32(&mut b, pid as u32);
+    put_u32(&mut b, ncols as u32);
+    for col in &data {
+        match col {
+            ColumnData::Int(v) => {
+                b.push(0);
+                put_u64(&mut b, v.len() as u64);
+                for x in v {
+                    put_i64(&mut b, *x);
+                }
+            }
+            ColumnData::Float(v) => {
+                b.push(1);
+                put_u64(&mut b, v.len() as u64);
+                for x in v {
+                    put_f64(&mut b, *x);
+                }
+            }
+            ColumnData::Str { codes, .. } => {
+                b.push(2);
+                put_u64(&mut b, codes.len() as u64);
+                for c in codes {
+                    put_u32(&mut b, *c);
+                }
+            }
+        }
+    }
+    seal(PART_MAGIC, PART_VERSION, &b)
+}
+
+/// Decodes one partition file into column data, wiring string columns to
+/// the given shared dictionaries.
+pub(crate) fn decode_partition(
+    bytes: &[u8],
+    dicts: &[Option<DictRef>],
+) -> io::Result<(usize, Vec<ColumnData>)> {
+    let payload = unseal(PART_MAGIC, PART_VERSION, bytes, "partition checkpoint")?;
+    let mut r: &[u8] = payload;
+    let pid = read_u32(&mut r)? as usize;
+    let ncols = read_u32(&mut r)? as usize;
+    if ncols != dicts.len() {
+        return Err(bad("partition checkpoint: column count mismatch"));
+    }
+    let mut cols = Vec::with_capacity(ncols);
+    for (ci, dict) in dicts.iter().enumerate() {
+        let tag = read_u8(&mut r)?;
+        let n = read_u64(&mut r)? as usize;
+        cols.push(match tag {
+            0 => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(read_i64(&mut r)?);
+                }
+                ColumnData::Int(v)
+            }
+            1 => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(read_f64(&mut r)?);
+                }
+                ColumnData::Float(v)
+            }
+            2 => {
+                let dict = dict
+                    .as_ref()
+                    .ok_or_else(|| bad("partition checkpoint: string column without dict"))?;
+                let mut codes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    codes.push(read_u32(&mut r)?);
+                }
+                ColumnData::Str {
+                    codes,
+                    dict: Arc::clone(dict),
+                }
+            }
+            t => {
+                return Err(bad(&format!(
+                    "partition checkpoint: column tag {t}; col {ci}"
+                )))
+            }
+        });
+    }
+    expect_drained(r, "partition checkpoint")?;
+    Ok((pid, cols))
+}
+
+// ------------------------------------------------------------ dictionaries
+
+const DICT_MAGIC: &[u8; 4] = b"PIDD";
+const DICT_VERSION: u32 = 1;
+
+/// Serializes every string column's dictionary (in column order).
+pub(crate) fn encode_dicts(table: &Table) -> Vec<u8> {
+    let mut b = Vec::new();
+    let ncols = table.schema().len();
+    put_u32(&mut b, ncols as u32);
+    for col in 0..ncols {
+        match table.dict(col) {
+            Some(d) => {
+                b.push(1);
+                let d = d.read();
+                put_u32(&mut b, d.len() as u32);
+                for code in 0..d.len() as u32 {
+                    put_str(&mut b, d.decode(code));
+                }
+            }
+            None => b.push(0),
+        }
+    }
+    seal(DICT_MAGIC, DICT_VERSION, &b)
+}
+
+/// Rebuilds shared dictionaries from a dict file.
+pub(crate) fn decode_dicts(bytes: &[u8]) -> io::Result<Vec<Option<DictRef>>> {
+    let payload = unseal(DICT_MAGIC, DICT_VERSION, bytes, "dict checkpoint")?;
+    let mut r: &[u8] = payload;
+    let ncols = read_u32(&mut r)? as usize;
+    let mut out = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        if read_u8(&mut r)? == 1 {
+            let n = read_u32(&mut r)?;
+            let dict = pi_storage::new_dict();
+            {
+                let mut d = dict.write();
+                for i in 0..n {
+                    let s = read_str(&mut r)?;
+                    let code = d.encode(&s);
+                    if code != i {
+                        return Err(bad("dict checkpoint: non-sequential codes"));
+                    }
+                }
+            }
+            out.push(Some(dict));
+        } else {
+            out.push(None);
+        }
+    }
+    expect_drained(r, "dict checkpoint")?;
+    Ok(out)
+}
+
+// ------------------------------------------------------------- table meta
+
+const META_MAGIC: &[u8; 4] = b"PIDT";
+const META_VERSION: u32 = 1;
+
+/// Everything about the table that is not row data: identity, schema,
+/// routing state, and the statement counter the advisor cadence runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TableMeta {
+    pub name: String,
+    pub fields: Vec<(String, DataType)>,
+    pub partitioning: Partitioning2,
+    pub rr_cursor: u64,
+    pub statements: u64,
+}
+
+/// Owned mirror of [`Partitioning`] (which is not `PartialEq`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Partitioning2 {
+    RoundRobin,
+    KeyRange { col: usize, boundaries: Vec<i64> },
+}
+
+impl Partitioning2 {
+    pub fn into_partitioning(self) -> Partitioning {
+        match self {
+            Partitioning2::RoundRobin => Partitioning::RoundRobin,
+            Partitioning2::KeyRange { col, boundaries } => {
+                Partitioning::KeyRange { col, boundaries }
+            }
+        }
+    }
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Date => 3,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> io::Result<DataType> {
+    match t {
+        0 => Ok(DataType::Int),
+        1 => Ok(DataType::Float),
+        2 => Ok(DataType::Str),
+        3 => Ok(DataType::Date),
+        t => Err(bad(&format!("unknown dtype tag {t}"))),
+    }
+}
+
+pub(crate) fn encode_meta(it: &IndexedTable) -> Vec<u8> {
+    let table = it.table();
+    let mut b = Vec::new();
+    put_str(&mut b, table.name());
+    put_u32(&mut b, table.schema().len() as u32);
+    for f in table.schema().fields() {
+        put_str(&mut b, &f.name);
+        b.push(dtype_tag(f.dtype));
+    }
+    match table.partitioning() {
+        Partitioning::RoundRobin => b.push(0),
+        Partitioning::KeyRange { col, boundaries } => {
+            b.push(1);
+            put_u32(&mut b, *col as u32);
+            put_u32(&mut b, boundaries.len() as u32);
+            for x in boundaries {
+                put_i64(&mut b, *x);
+            }
+        }
+    }
+    put_u64(&mut b, table.rr_cursor() as u64);
+    put_u64(&mut b, it.statements());
+    seal(META_MAGIC, META_VERSION, &b)
+}
+
+pub(crate) fn decode_meta(bytes: &[u8]) -> io::Result<TableMeta> {
+    let payload = unseal(META_MAGIC, META_VERSION, bytes, "table meta checkpoint")?;
+    let mut r: &[u8] = payload;
+    let name = read_str(&mut r)?;
+    let nfields = read_u32(&mut r)? as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let fname = read_str(&mut r)?;
+        let dtype = dtype_from_tag(read_u8(&mut r)?)?;
+        fields.push((fname, dtype));
+    }
+    let partitioning = match read_u8(&mut r)? {
+        0 => Partitioning2::RoundRobin,
+        1 => {
+            let col = read_u32(&mut r)? as usize;
+            let n = read_u32(&mut r)? as usize;
+            let mut boundaries = Vec::with_capacity(n);
+            for _ in 0..n {
+                boundaries.push(read_i64(&mut r)?);
+            }
+            Partitioning2::KeyRange { col, boundaries }
+        }
+        t => return Err(bad(&format!("unknown partitioning tag {t}"))),
+    };
+    let rr_cursor = read_u64(&mut r)?;
+    let statements = read_u64(&mut r)?;
+    expect_drained(r, "table meta checkpoint")?;
+    Ok(TableMeta {
+        name,
+        fields,
+        partitioning,
+        rr_cursor,
+        statements,
+    })
+}
+
+pub(crate) fn schema_of(meta: &TableMeta) -> Schema {
+    Schema::new(
+        meta.fields
+            .iter()
+            .map(|(n, d)| Field::new(n.clone(), *d))
+            .collect(),
+    )
+}
+
+// --------------------------------------------------------------- manifest
+
+const MANIFEST_MAGIC: &[u8; 4] = b"PIDM";
+const MANIFEST_VERSION: u32 = 1;
+
+/// The checkpoint directory's root of trust: which files make up the
+/// newest complete checkpoint, which epoch it is, and the WAL sequence it
+/// covers (replay resumes past `hwm`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Manifest {
+    pub epoch: u64,
+    pub hwm: u64,
+    pub meta_file: String,
+    pub dict_file: String,
+    pub part_files: Vec<String>,
+    pub index_files: Vec<String>,
+}
+
+pub(crate) fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut b = Vec::new();
+    put_u64(&mut b, m.epoch);
+    put_u64(&mut b, m.hwm);
+    put_str(&mut b, &m.meta_file);
+    put_str(&mut b, &m.dict_file);
+    put_u32(&mut b, m.part_files.len() as u32);
+    for f in &m.part_files {
+        put_str(&mut b, f);
+    }
+    put_u32(&mut b, m.index_files.len() as u32);
+    for f in &m.index_files {
+        put_str(&mut b, f);
+    }
+    seal(MANIFEST_MAGIC, MANIFEST_VERSION, &b)
+}
+
+pub(crate) fn decode_manifest(bytes: &[u8]) -> io::Result<Manifest> {
+    let payload = unseal(MANIFEST_MAGIC, MANIFEST_VERSION, bytes, "manifest")?;
+    let mut r: &[u8] = payload;
+    let epoch = read_u64(&mut r)?;
+    let hwm = read_u64(&mut r)?;
+    let meta_file = read_str(&mut r)?;
+    let dict_file = read_str(&mut r)?;
+    let nparts = read_u32(&mut r)? as usize;
+    let mut part_files = Vec::with_capacity(nparts);
+    for _ in 0..nparts {
+        part_files.push(read_str(&mut r)?);
+    }
+    let nindexes = read_u32(&mut r)? as usize;
+    let mut index_files = Vec::with_capacity(nindexes);
+    for _ in 0..nindexes {
+        index_files.push(read_str(&mut r)?);
+    }
+    expect_drained(r, "manifest")?;
+    Ok(Manifest {
+        epoch,
+        hwm,
+        meta_file,
+        dict_file,
+        part_files,
+        index_files,
+    })
+}
+
+// ------------------------------------------------------------ state image
+
+/// Serializes the full visible state of an indexed table — decoded row
+/// values, every index's patch sets and anchors, and the advisor's
+/// monitoring counters. Two tables with equal images are
+/// indistinguishable to queries, maintenance, and the advisor; the
+/// recovery property tests compare these byte-for-byte.
+pub fn state_image(it: &IndexedTable) -> Vec<u8> {
+    let mut b = Vec::new();
+    let table = it.table();
+    put_str(&mut b, table.name());
+    put_u64(&mut b, table.rr_cursor() as u64);
+    put_u64(&mut b, it.statements());
+    put_u32(&mut b, table.partition_count() as u32);
+    let ncols = table.schema().len();
+    for pid in 0..table.partition_count() {
+        let p = table.partition(pid);
+        put_u64(&mut b, p.visible_len() as u64);
+        for rid in 0..p.visible_len() {
+            for col in 0..ncols {
+                crate::wal::put_value(&mut b, &p.value_at(col, rid));
+            }
+        }
+    }
+    put_u32(&mut b, it.indexes().len() as u32);
+    for idx in it.indexes() {
+        put_u32(&mut b, idx.column() as u32);
+        put_str(&mut b, &format!("{:?}", idx.constraint()));
+        put_str(&mut b, &format!("{:?}", idx.design()));
+        b.push(idx.global_unique() as u8);
+        let stats = idx.maintenance_stats();
+        put_u64(&mut b, stats.collision_rounds);
+        put_u64(&mut b, stats.build_invocations);
+        put_u64(&mut b, stats.probed_partitions);
+        put_u64(&mut b, stats.maintained_rows);
+        let baseline = idx.baseline();
+        put_f64(&mut b, baseline.match_fraction);
+        put_u64(&mut b, baseline.patches);
+        put_u64(&mut b, baseline.maintained_rows);
+        let fb = idx.query_feedback();
+        put_u64(&mut b, fb.times_bound);
+        put_f64(&mut b, fb.est_cost_saved);
+        put_u64(&mut b, fb.measured_queries);
+        put_f64(&mut b, fb.actual_micros);
+        put_f64(&mut b, fb.est_cost_executed);
+        put_u32(&mut b, idx.partition_count() as u32);
+        for pid in 0..idx.partition_count() {
+            let part = idx.partition(pid);
+            put_u64(&mut b, part.store.nrows());
+            match part.last_sorted {
+                Some(v) => {
+                    b.push(1);
+                    put_i64(&mut b, v);
+                }
+                None => b.push(0),
+            }
+            let rids = part.store.patch_rids();
+            put_u64(&mut b, rids.len() as u64);
+            for r in rids {
+                put_u64(&mut b, r);
+            }
+        }
+    }
+    b
+}

@@ -1,0 +1,989 @@
+#![warn(missing_docs)]
+//! Crash safety for PatchIndex tables.
+//!
+//! This crate wraps the single-writer half of a
+//! [`patchindex::ConcurrentTable`] with a durability protocol built from
+//! three pieces:
+//!
+//! * **Statement WAL** ([`wal`]) — every update statement (insert /
+//!   modify / delete / index DDL / recompute / flush / publish / advisor
+//!   feedback) is appended to an append-only, CRC-framed log *before* it
+//!   is applied (log-then-apply). The [`SyncPolicy`] decides when appends
+//!   are forced to stable storage.
+//! * **Epoch-incremental checkpoints** — at publish time (every
+//!   [`DurableOptions::checkpoint_every`] publishes) the writer persists
+//!   only the partitions and index versions whose `Arc` pointer changed
+//!   since the previous checkpoint; copy-on-write publishing makes
+//!   pointer identity a free and exact dirty-set. A small manifest
+//!   (written atomically) names the file set and the WAL high-water mark
+//!   it covers.
+//! * **Recovery** ([`DurableWriter::recover`]) — load the manifest,
+//!   restore the newest complete checkpoint, replay the WAL tail past
+//!   the high-water mark up to the **last complete publish record**, and
+//!   resume. Statements after the last durable publish are discarded:
+//!   recovery always lands exactly on a published epoch boundary.
+//!
+//! Replay is deterministic given the same [`MaintenancePolicy`]: the
+//! statement counter, round-robin routing cursor and advisor counters
+//! are all part of the checkpoint, so deferred flush points and policy
+//! piggyback decisions re-run identically. The crash-point property
+//! tests assert the strong form: for a crash at *every* IO boundary,
+//! the recovered table's [`state_image`] is byte-identical to replaying
+//! the surviving statement prefix on a fresh table.
+//!
+//! All file IO goes through [`pi_storage::dfs::DurableFs`], so the same
+//! code runs against the real filesystem and against the fault-injecting
+//! [`pi_storage::dfs::SimFs`] used by the tests.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pi_storage::dfs::{write_atomic, DurableFs};
+use pi_storage::{ColumnData, Partition, RowAddr, Table, Value};
+
+use patchindex::{
+    ConcurrentTable, Constraint, Design, IndexedTable, MaintenancePolicy, PatchIndex, TableWriter,
+    WorkloadEvent,
+};
+
+pub mod wal;
+
+mod codec;
+
+pub use codec::state_image;
+pub use wal::{Record, SyncPolicy};
+
+const MANIFEST_NAME: &str = "MANIFEST";
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Tuning knobs for a [`DurableWriter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// When WAL appends reach stable storage.
+    pub sync: SyncPolicy,
+    /// Soft WAL segment size; a segment rolls at the first append past
+    /// this many bytes.
+    pub wal_segment_bytes: usize,
+    /// Checkpoint once per this many publishes (1 = every publish).
+    /// Between checkpoints the WAL alone carries recovery.
+    pub checkpoint_every: u64,
+    /// Run [`DurableWriter::compact`] automatically after this many
+    /// checkpoints (0 disables automatic compaction).
+    pub compact_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            sync: SyncPolicy::EveryRecord,
+            wal_segment_bytes: 4 << 20,
+            checkpoint_every: 1,
+            compact_every: 4,
+        }
+    }
+}
+
+/// Byte and file counters for the durability subsystem (the economics
+/// the `repro durability` experiment reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Total WAL frame bytes appended.
+    pub wal_bytes: u64,
+    /// Checkpoints taken (incremental or full).
+    pub checkpoints: u64,
+    /// Total checkpoint bytes written across all checkpoints (manifest
+    /// included).
+    pub checkpoint_bytes: u64,
+    /// Checkpoint files written (reused files are free and not counted).
+    pub checkpoint_files: u64,
+    /// Bytes written by the most recent checkpoint (manifest included).
+    pub last_checkpoint_bytes: u64,
+    /// Files written by the most recent checkpoint.
+    pub last_checkpoint_files: u64,
+    /// Compaction passes run.
+    pub compactions: u64,
+    /// Files deleted by compaction (superseded checkpoints, covered WAL
+    /// segments, orphaned temporaries).
+    pub files_removed: u64,
+}
+
+/// What [`DurableWriter::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the checkpoint the manifest pointed at.
+    pub checkpoint_epoch: u64,
+    /// Epoch after WAL replay (checkpoint epoch + replayed publishes).
+    pub epoch: u64,
+    /// The manifest's WAL high-water mark (replay started past it).
+    pub hwm: u64,
+    /// WAL records replayed (up to and including the last publish).
+    pub replayed: usize,
+    /// Decodable WAL records discarded because no publish followed them.
+    pub discarded: usize,
+}
+
+/// The file names one checkpoint generation consists of, plus the shared
+/// state handles they serialize — `Arc` pointer identity against these
+/// is the next checkpoint's dirty-set test.
+struct CkptState {
+    parts: Vec<(Arc<Partition>, String)>,
+    indexes: Vec<(Arc<PatchIndex>, String)>,
+    dict_lens: Vec<usize>,
+    dict_file: String,
+    manifest: codec::Manifest,
+}
+
+/// Applies one WAL record to an indexed table — the replay semantics of
+/// every statement [`DurableWriter`] logs. A [`Record::Publish`] flushes
+/// pending maintenance (the writer only publishes flushed epochs);
+/// epoch bookkeeping is the caller's.
+pub fn apply_record(it: &mut IndexedTable, record: &Record) {
+    match record {
+        Record::Insert(rows) => {
+            it.insert(rows);
+        }
+        Record::Modify {
+            pid,
+            rids,
+            col,
+            values,
+        } => it.modify(*pid, rids, *col, values),
+        Record::Delete { pid, rids } => it.delete(*pid, rids),
+        Record::AddIndex {
+            col,
+            constraint,
+            design,
+        } => {
+            it.add_index(*col, *constraint, *design);
+        }
+        Record::DropIndex { slot } => {
+            it.drop_index(*slot);
+        }
+        Record::Recompute { slot } => it.recompute_index(*slot),
+        Record::Flush => it.flush_maintenance(),
+        Record::Publish => it.flush_maintenance(),
+        Record::Feedback {
+            slot,
+            est_cost_saved,
+        } => it.record_query_feedback(*slot, *est_cost_saved),
+        Record::Timing {
+            slot,
+            actual_micros,
+            est_cost,
+        } => it.record_query_timing(*slot, *actual_micros, *est_cost),
+    }
+}
+
+/// The crash-safe single-writer: wraps a [`TableWriter`] so that every
+/// statement is WAL-logged before it is applied and every published
+/// epoch can be checkpointed incrementally.
+///
+/// Statement methods return [`io::Result`]: an `Err` means the statement
+/// was **not** logged and **not** applied — the caller may retry or give
+/// up, the table state is unchanged either way.
+pub struct DurableWriter {
+    fs: Arc<dyn DurableFs>,
+    dir: PathBuf,
+    opts: DurableOptions,
+    writer: TableWriter,
+    wal: wal::WalWriter,
+    epoch: u64,
+    publishes_since_ckpt: u64,
+    ckpts_since_compact: u64,
+    ckpt: Option<CkptState>,
+    stats: DurabilityStats,
+}
+
+impl DurableWriter {
+    /// Starts durability for a fresh table: flushes any staged
+    /// maintenance, publishes epoch 0, writes the initial full
+    /// checkpoint + manifest, and opens the WAL at sequence 1.
+    ///
+    /// Fails with [`io::ErrorKind::AlreadyExists`] if `dir` already holds
+    /// a manifest — recover instead of clobbering.
+    pub fn create(
+        mut it: IndexedTable,
+        fs: Arc<dyn DurableFs>,
+        dir: impl AsRef<Path>,
+        opts: DurableOptions,
+    ) -> io::Result<(ConcurrentTable, DurableWriter)> {
+        let dir = dir.as_ref().to_path_buf();
+        fs.create_dir_all(&dir)?;
+        if fs.exists(&dir.join(MANIFEST_NAME)) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} already holds a durable table", dir.display()),
+            ));
+        }
+        // The initial checkpoint must not carry pending maintenance, and
+        // replay determinism wants a clean statement-stream start.
+        it.flush_maintenance();
+        let (handle, writer) = ConcurrentTable::new(it);
+        let wal = wal::WalWriter::new(
+            Arc::clone(&fs),
+            dir.clone(),
+            opts.sync,
+            opts.wal_segment_bytes,
+            1,
+        );
+        let mut dw = DurableWriter {
+            fs,
+            dir,
+            opts,
+            writer,
+            wal,
+            epoch: 0,
+            publishes_since_ckpt: 0,
+            ckpts_since_compact: 0,
+            ckpt: None,
+            stats: DurabilityStats::default(),
+        };
+        dw.write_checkpoint(0)?;
+        Ok((handle, dw))
+    }
+
+    /// Recovers a durable table from `dir`: manifest → checkpoint →
+    /// WAL-tail replay up to the last complete publish. Finishes by
+    /// writing a fresh checkpoint covering everything replayed and
+    /// truncating the WAL, so a crash loop cannot re-pay replay cost.
+    ///
+    /// `policy` must be the maintenance policy the original run used —
+    /// deferred-flush points and policy piggyback decisions replay under
+    /// it, and a different policy would diverge from the logged history.
+    pub fn recover(
+        fs: Arc<dyn DurableFs>,
+        dir: impl AsRef<Path>,
+        opts: DurableOptions,
+        policy: MaintenancePolicy,
+    ) -> io::Result<(ConcurrentTable, DurableWriter, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = codec::decode_manifest(&fs.read(&dir.join(MANIFEST_NAME))?)?;
+        let meta = codec::decode_meta(&fs.read(&dir.join(&manifest.meta_file))?)?;
+        let dicts = codec::decode_dicts(&fs.read(&dir.join(&manifest.dict_file))?)?;
+        if meta.fields.len() != dicts.len() {
+            return Err(bad("manifest: dict file does not match schema".into()));
+        }
+
+        let mut part_cols: Vec<Option<Vec<ColumnData>>> = Vec::new();
+        part_cols.resize_with(manifest.part_files.len(), || None);
+        let mut part_names: Vec<String> = vec![String::new(); manifest.part_files.len()];
+        for file in &manifest.part_files {
+            let (pid, cols) = codec::decode_partition(&fs.read(&dir.join(file))?, &dicts)?;
+            if pid >= part_cols.len() || part_cols[pid].is_some() {
+                return Err(bad(format!("manifest: bad partition id {pid} in {file}")));
+            }
+            part_cols[pid] = Some(cols);
+            part_names[pid] = file.clone();
+        }
+        let partition_columns: Vec<Vec<ColumnData>> = part_cols
+            .into_iter()
+            .enumerate()
+            .map(|(pid, c)| c.ok_or_else(|| bad(format!("manifest: missing partition {pid}"))))
+            .collect::<io::Result<_>>()?;
+        let table = Table::restore(
+            meta.name.clone(),
+            codec::schema_of(&meta),
+            partition_columns,
+            dicts,
+            meta.partitioning.clone().into_partitioning(),
+            meta.rr_cursor as usize,
+        );
+
+        let mut indexes = Vec::with_capacity(manifest.index_files.len());
+        for file in &manifest.index_files {
+            indexes.push(Arc::new(PatchIndex::load_checkpoint_via(
+                fs.as_ref(),
+                &dir.join(file),
+            )?));
+        }
+
+        let mut it = IndexedTable::with_restored_indexes(table, indexes, meta.statements);
+        it.set_policy(policy);
+
+        // Prime the incremental dirty-set with the loaded handles *before*
+        // replay: partitions and indexes replay leaves untouched keep
+        // pointer identity and reuse their checkpoint files.
+        let prime = CkptState {
+            parts: it
+                .table()
+                .partitions()
+                .iter()
+                .cloned()
+                .zip(part_names)
+                .collect(),
+            indexes: it
+                .indexes()
+                .iter()
+                .cloned()
+                .zip(manifest.index_files.iter().cloned())
+                .collect(),
+            dict_lens: dict_lens_of(it.table()),
+            dict_file: manifest.dict_file.clone(),
+            manifest: manifest.clone(),
+        };
+
+        // Replay the WAL tail, stopping at the last complete publish:
+        // statements past it were never part of a durable epoch.
+        let tail: Vec<(u64, Record)> = wal::read_log(fs.as_ref(), &dir)?
+            .into_iter()
+            .filter(|(seq, _)| *seq > manifest.hwm)
+            .collect();
+        let max_seq = tail.iter().map(|(s, _)| *s).max().unwrap_or(manifest.hwm);
+        let apply_upto = tail
+            .iter()
+            .rposition(|(_, r)| matches!(r, Record::Publish))
+            .map_or(0, |i| i + 1);
+        let mut publishes = 0u64;
+        for (_, record) in &tail[..apply_upto] {
+            if matches!(record, Record::Publish) {
+                publishes += 1;
+            }
+            apply_record(&mut it, record);
+        }
+        let report = RecoveryReport {
+            checkpoint_epoch: manifest.epoch,
+            epoch: manifest.epoch + publishes,
+            hwm: manifest.hwm,
+            replayed: apply_upto,
+            discarded: tail.len() - apply_upto,
+        };
+
+        let (handle, writer) = ConcurrentTable::new(it);
+        let wal = wal::WalWriter::new(
+            Arc::clone(&fs),
+            dir.clone(),
+            opts.sync,
+            opts.wal_segment_bytes,
+            max_seq + 1,
+        );
+        let mut dw = DurableWriter {
+            fs,
+            dir,
+            opts,
+            writer,
+            wal,
+            epoch: report.epoch,
+            publishes_since_ckpt: 0,
+            ckpts_since_compact: 0,
+            ckpt: Some(prime),
+            stats: DurabilityStats::default(),
+        };
+        // Finalize: make the recovered state the durable baseline (hwm
+        // covers even the discarded tail so its records can never be
+        // replayed again), then drop the now-covered WAL. Ordering is
+        // crash-safe: the manifest is durable before any segment dies.
+        dw.write_checkpoint(max_seq)?;
+        dw.wal.remove_all_segments()?;
+        dw.compact()?;
+        Ok((handle, dw, report))
+    }
+
+    /// Inserts rows (WAL-logged, then applied).
+    pub fn insert(&mut self, rows: &[Vec<Value>]) -> io::Result<Vec<RowAddr>> {
+        self.wal.append(&Record::Insert(rows.to_vec()))?;
+        Ok(self.writer.insert(rows))
+    }
+
+    /// Patches one column of visible rows (WAL-logged, then applied).
+    pub fn modify(
+        &mut self,
+        pid: usize,
+        rids: &[usize],
+        col: usize,
+        values: &[Value],
+    ) -> io::Result<()> {
+        self.wal.append(&Record::Modify {
+            pid,
+            rids: rids.to_vec(),
+            col,
+            values: values.to_vec(),
+        })?;
+        self.writer.modify(pid, rids, col, values);
+        Ok(())
+    }
+
+    /// Deletes visible rows (WAL-logged, then applied).
+    pub fn delete(&mut self, pid: usize, rids: &[usize]) -> io::Result<()> {
+        self.wal.append(&Record::Delete {
+            pid,
+            rids: rids.to_vec(),
+        })?;
+        self.writer.delete(pid, rids);
+        Ok(())
+    }
+
+    /// Creates a PatchIndex (WAL-logged, then applied); returns its slot.
+    pub fn add_index(
+        &mut self,
+        col: usize,
+        constraint: Constraint,
+        design: Design,
+    ) -> io::Result<usize> {
+        self.wal.append(&Record::AddIndex {
+            col,
+            constraint,
+            design,
+        })?;
+        Ok(self.writer.add_index(col, constraint, design))
+    }
+
+    /// Drops the index in `slot` (WAL-logged, then applied).
+    pub fn drop_index(&mut self, slot: usize) -> io::Result<Arc<PatchIndex>> {
+        self.wal.append(&Record::DropIndex { slot })?;
+        Ok(self.writer.drop_index(slot))
+    }
+
+    /// Recomputes the index in `slot` (WAL-logged, then applied).
+    pub fn recompute_index(&mut self, slot: usize) -> io::Result<()> {
+        self.wal.append(&Record::Recompute { slot })?;
+        self.writer.recompute_index(slot);
+        Ok(())
+    }
+
+    /// Flushes deferred maintenance (WAL-logged, then applied — the log
+    /// record matters because a later recompute discards pending work,
+    /// so flush points are part of the history).
+    pub fn flush_maintenance(&mut self) -> io::Result<()> {
+        self.wal.append(&Record::Flush)?;
+        self.writer.flush_maintenance();
+        Ok(())
+    }
+
+    /// Records planner feedback against `slot` (WAL-logged: the advisor's
+    /// observe state must survive recovery).
+    pub fn record_query_feedback(&mut self, slot: usize, est_cost_saved: f64) -> io::Result<()> {
+        self.wal.append(&Record::Feedback {
+            slot,
+            est_cost_saved,
+        })?;
+        self.writer
+            .staging_mut()
+            .record_query_feedback(slot, est_cost_saved);
+        Ok(())
+    }
+
+    /// Records a measured query execution against `slot` (WAL-logged).
+    pub fn record_query_timing(
+        &mut self,
+        slot: usize,
+        actual_micros: f64,
+        est_cost: f64,
+    ) -> io::Result<()> {
+        self.wal.append(&Record::Timing {
+            slot,
+            actual_micros,
+            est_cost,
+        })?;
+        self.writer
+            .staging_mut()
+            .record_query_timing(slot, actual_micros, est_cost);
+        Ok(())
+    }
+
+    /// Publishes a flushed epoch durably: drains reader-reported
+    /// feedback through the WAL, logs the publish record, applies the
+    /// sync policy (a returned `Ok` means the epoch will survive any
+    /// later crash under [`SyncPolicy::EveryRecord`] /
+    /// [`SyncPolicy::EveryPublish`]), then publishes and — every
+    /// [`DurableOptions::checkpoint_every`] publishes — checkpoints.
+    /// Returns the new epoch.
+    pub fn publish(&mut self) -> io::Result<u64> {
+        // Reader evidence arrives outside the statement path; route the
+        // state-bearing events through the log so replay restores them.
+        for event in self.writer.sink().drain() {
+            match event {
+                WorkloadEvent::Query { col, shape } => {
+                    // Advisory only (query-log heat): not part of the
+                    // recovered state image, applied without logging.
+                    self.writer.staging_mut().record_query(col, shape);
+                }
+                WorkloadEvent::Feedback {
+                    column,
+                    constraint,
+                    est_cost_saved,
+                } => {
+                    if let Some(slot) = self.slot_of(column, constraint) {
+                        self.record_query_feedback(slot, est_cost_saved)?;
+                    }
+                }
+                WorkloadEvent::Timing {
+                    column,
+                    constraint,
+                    actual_micros,
+                    est_cost,
+                } => {
+                    if let Some(slot) = self.slot_of(column, constraint) {
+                        self.record_query_timing(slot, actual_micros, est_cost)?;
+                    }
+                }
+            }
+        }
+        self.wal.append(&Record::Publish)?;
+        let publish_seq = self.wal.next_seq() - 1;
+        if self.opts.sync == SyncPolicy::EveryPublish {
+            self.wal.sync_all()?;
+        }
+        self.writer.publish_flushed();
+        self.epoch += 1;
+        self.publishes_since_ckpt += 1;
+        if self.publishes_since_ckpt >= self.opts.checkpoint_every {
+            self.write_checkpoint(publish_seq)?;
+        }
+        Ok(self.epoch)
+    }
+
+    fn slot_of(&self, column: usize, constraint: Constraint) -> Option<usize> {
+        self.writer
+            .staging()
+            .indexes()
+            .iter()
+            .position(|idx| idx.column() == column && idx.constraint() == constraint)
+    }
+
+    /// Writes a checkpoint of the current (flushed) staging state
+    /// covering WAL sequences up to `hwm`. Only files whose backing
+    /// state changed since the previous checkpoint are written; the rest
+    /// are re-referenced by the new manifest.
+    fn write_checkpoint(&mut self, hwm: u64) -> io::Result<()> {
+        let epoch = self.epoch;
+        let mut bytes = 0u64;
+        let mut files = 0u64;
+        let it = self.writer.staging();
+        let table = it.table();
+
+        let dict_lens = dict_lens_of(table);
+        let dict_file = match &self.ckpt {
+            Some(prev) if prev.dict_lens == dict_lens => prev.dict_file.clone(),
+            _ => {
+                let name = format!("dict-e{epoch:012}.ckp");
+                let data = codec::encode_dicts(table);
+                write_atomic(self.fs.as_ref(), &self.dir.join(&name), &data)?;
+                bytes += data.len() as u64;
+                files += 1;
+                name
+            }
+        };
+
+        let mut parts = Vec::with_capacity(table.partition_count());
+        for (pid, arc) in table.partitions().iter().enumerate() {
+            let reused = self
+                .ckpt
+                .as_ref()
+                .and_then(|prev| prev.parts.get(pid))
+                .filter(|(old, _)| Arc::ptr_eq(old, arc))
+                .map(|(_, name)| name.clone());
+            let name = match reused {
+                Some(name) => name,
+                None => {
+                    let name = format!("part-{pid}-e{epoch:012}.ckp");
+                    let data = codec::encode_partition(table, pid);
+                    write_atomic(self.fs.as_ref(), &self.dir.join(&name), &data)?;
+                    bytes += data.len() as u64;
+                    files += 1;
+                    name
+                }
+            };
+            parts.push((Arc::clone(arc), name));
+        }
+
+        let mut indexes = Vec::with_capacity(it.indexes().len());
+        for (slot, idx) in it.indexes().iter().enumerate() {
+            let reused = self
+                .ckpt
+                .as_ref()
+                .and_then(|prev| prev.indexes.iter().find(|(old, _)| Arc::ptr_eq(old, idx)))
+                .map(|(_, name)| name.clone());
+            let name = match reused {
+                Some(name) => name,
+                None => {
+                    let name = format!("idx-{slot}-e{epoch:012}.ckp");
+                    let data = idx.checkpoint_bytes();
+                    write_atomic(self.fs.as_ref(), &self.dir.join(&name), &data)?;
+                    bytes += data.len() as u64;
+                    files += 1;
+                    name
+                }
+            };
+            indexes.push((Arc::clone(idx), name));
+        }
+
+        // Meta changes every statement (the counter), so it is written
+        // every checkpoint; it is a few hundred bytes.
+        let meta_file = format!("meta-e{epoch:012}.ckp");
+        let meta_data = codec::encode_meta(it);
+        write_atomic(self.fs.as_ref(), &self.dir.join(&meta_file), &meta_data)?;
+        bytes += meta_data.len() as u64;
+        files += 1;
+
+        let manifest = codec::Manifest {
+            epoch,
+            hwm,
+            meta_file,
+            dict_file: dict_file.clone(),
+            part_files: parts.iter().map(|(_, n)| n.clone()).collect(),
+            index_files: indexes.iter().map(|(_, n)| n.clone()).collect(),
+        };
+        let manifest_data = codec::encode_manifest(&manifest);
+        write_atomic(
+            self.fs.as_ref(),
+            &self.dir.join(MANIFEST_NAME),
+            &manifest_data,
+        )?;
+        bytes += manifest_data.len() as u64;
+        files += 1;
+
+        self.ckpt = Some(CkptState {
+            parts,
+            indexes,
+            dict_lens,
+            dict_file,
+            manifest,
+        });
+        self.publishes_since_ckpt = 0;
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += bytes;
+        self.stats.checkpoint_files += files;
+        self.stats.last_checkpoint_bytes = bytes;
+        self.stats.last_checkpoint_files = files;
+
+        self.ckpts_since_compact += 1;
+        if self.opts.compact_every > 0 && self.ckpts_since_compact >= self.opts.compact_every {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Garbage-collects the durability directory: deletes checkpoint
+    /// files and temporaries the current manifest does not reference,
+    /// and WAL segments fully covered by its high-water mark. Safe at
+    /// any crash point — the manifest is always durable before anything
+    /// it supersedes is removed.
+    pub fn compact(&mut self) -> io::Result<usize> {
+        self.ckpts_since_compact = 0;
+        let Some(ckpt) = &self.ckpt else {
+            return Ok(0);
+        };
+        let m = &ckpt.manifest;
+        let mut referenced: HashSet<&str> = HashSet::new();
+        referenced.insert(m.meta_file.as_str());
+        referenced.insert(m.dict_file.as_str());
+        for f in &m.part_files {
+            referenced.insert(f);
+        }
+        for f in &m.index_files {
+            referenced.insert(f);
+        }
+        let hwm = m.hwm;
+
+        let mut removed = 0usize;
+        let segments = wal::list_segments(self.fs.as_ref(), &self.dir)?;
+        for (i, (_, seg)) in segments.iter().enumerate() {
+            // A segment is dead when the *next* segment starts at or
+            // below hwm+1 (every record in it is covered). The newest
+            // segment is never removed here: the writer may still be
+            // appending to it.
+            if i + 1 < segments.len() && segments[i + 1].0 <= hwm + 1 && self.fs.remove(seg).is_ok()
+            {
+                removed += 1;
+            }
+        }
+        for path in self.fs.list(&self.dir)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let is_ckpt = name.ends_with(".ckp");
+            let is_tmp = name.ends_with(".tmp");
+            if (is_ckpt || is_tmp) && !referenced.contains(name) && self.fs.remove(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.fs.fsync_dir(&self.dir)?;
+            self.stats.files_removed += removed as u64;
+        }
+        self.stats.compactions += 1;
+        Ok(removed)
+    }
+
+    /// The bytes a non-incremental checkpoint of the current state would
+    /// write (every partition, every index, dicts, meta) — the baseline
+    /// the incremental economics are measured against. Requires a
+    /// flushed state, like checkpointing itself.
+    pub fn full_checkpoint_bytes(&self) -> u64 {
+        let it = self.writer.staging();
+        let table = it.table();
+        let mut total = codec::encode_dicts(table).len() + codec::encode_meta(it).len();
+        for pid in 0..table.partition_count() {
+            total += codec::encode_partition(table, pid).len();
+        }
+        for idx in it.indexes() {
+            total += idx.checkpoint_bytes().len();
+        }
+        total as u64
+    }
+
+    /// The current epoch (publishes since creation, across recoveries).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The staging table (reflects all applied statements).
+    pub fn staging(&self) -> &IndexedTable {
+        self.writer.staging()
+    }
+
+    /// The wrapped snapshot writer (read-only: statements must go
+    /// through the logging methods on this type).
+    pub fn table_writer(&self) -> &TableWriter {
+        &self.writer
+    }
+
+    /// Byte/file counters, including WAL bytes appended so far.
+    pub fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            wal_bytes: self.wal.bytes_appended,
+            ..self.stats
+        }
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn dict_lens_of(table: &Table) -> Vec<usize> {
+    (0..table.schema().len())
+        .map(|c| table.dict(c).map_or(0, |d| d.read().len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patchindex::SortDir;
+    use pi_storage::dfs::SimFs;
+    use pi_storage::{DataType, Field, Partitioning, Schema};
+
+    fn fresh(parts: usize) -> IndexedTable {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+                Field::new("s", DataType::Str),
+            ]),
+            parts,
+            Partitioning::RoundRobin,
+        );
+        for pid in 0..parts {
+            let base = pid as i64 * 10;
+            let codes = {
+                let mut d = t.dict(2).unwrap().write();
+                vec![
+                    d.encode(&format!("p{pid}-a")),
+                    d.encode(&format!("p{pid}-b")),
+                    d.encode(&format!("p{pid}-a")),
+                ]
+            };
+            let dict = Arc::clone(t.dict(2).unwrap());
+            t.load_partition(
+                pid,
+                &[
+                    ColumnData::Int(vec![base, base + 1, base + 2]),
+                    ColumnData::Int(vec![base * 2, base * 2 + 2, base * 2 + 4]),
+                    ColumnData::Str { codes, dict },
+                ],
+            );
+        }
+        t.propagate_all();
+        IndexedTable::new(t)
+    }
+
+    fn row(k: i64, v: i64, s: &str) -> Vec<Value> {
+        vec![Value::Int(k), Value::Int(v), Value::Str(s.to_string())]
+    }
+
+    fn setup(parts: usize, opts: DurableOptions) -> (Arc<SimFs>, ConcurrentTable, DurableWriter) {
+        let fs = Arc::new(SimFs::new());
+        let dyn_fs: Arc<dyn DurableFs> = fs.clone();
+        let (handle, dw) =
+            DurableWriter::create(fresh(parts), dyn_fs, PathBuf::from("/db"), opts).unwrap();
+        (fs, handle, dw)
+    }
+
+    #[test]
+    fn create_then_recover_restores_the_exact_state() {
+        let (fs, _handle, mut dw) = setup(2, DurableOptions::default());
+        dw.add_index(1, Constraint::NearlyUnique, Design::Bitmap)
+            .unwrap();
+        dw.insert(&[row(100, 2, "x"), row(101, 24, "p0-a")])
+            .unwrap();
+        dw.modify(0, &[0], 1, &[Value::Int(2)]).unwrap();
+        dw.delete(1, &[1]).unwrap();
+        dw.record_query_feedback(0, 42.5).unwrap();
+        dw.publish().unwrap();
+        let want = state_image(dw.staging());
+        let epoch = dw.epoch();
+        drop(dw);
+        fs.crash(7);
+
+        let (_h2, dw2, report) = DurableWriter::recover(
+            fs.clone(),
+            PathBuf::from("/db"),
+            DurableOptions::default(),
+            MaintenancePolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.epoch, epoch);
+        assert_eq!(state_image(dw2.staging()), want);
+        dw2.staging().check_consistency();
+    }
+
+    #[test]
+    fn unpublished_tail_is_discarded_on_recovery() {
+        let (fs, _handle, mut dw) = setup(2, DurableOptions::default());
+        dw.insert(&[row(100, 2, "x")]).unwrap();
+        dw.publish().unwrap();
+        let at_publish = state_image(dw.staging());
+        // Statements past the publish are durable in the WAL but no
+        // publish follows them: recovery must land on the epoch boundary.
+        dw.insert(&[row(101, 3, "y")]).unwrap();
+        dw.delete(0, &[0]).unwrap();
+        drop(dw);
+        fs.crash(3);
+
+        let (_h2, dw2, report) = DurableWriter::recover(
+            fs.clone(),
+            PathBuf::from("/db"),
+            DurableOptions::default(),
+            MaintenancePolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.discarded, 2);
+        assert_eq!(state_image(dw2.staging()), at_publish);
+    }
+
+    #[test]
+    fn checkpoints_are_incremental_over_clean_partitions() {
+        let (_fs, _handle, mut dw) = setup(8, DurableOptions::default());
+        let full = dw.stats().last_checkpoint_files;
+        assert!(
+            full > 3,
+            "the create-time checkpoint writes every partition"
+        );
+        // Touch one partition only: the next checkpoint rewrites that
+        // partition + meta + manifest, nothing else.
+        dw.modify(3, &[0], 1, &[Value::Int(999)]).unwrap();
+        dw.publish().unwrap();
+        let incr = dw.stats();
+        assert_eq!(incr.last_checkpoint_files, 3);
+        assert!(incr.last_checkpoint_bytes < dw.full_checkpoint_bytes());
+    }
+
+    #[test]
+    fn recovery_is_idempotent_across_repeated_crashes() {
+        let (fs, _handle, mut dw) = setup(2, DurableOptions::default());
+        dw.add_index(
+            0,
+            Constraint::NearlySorted(SortDir::Asc),
+            Design::Identifier,
+        )
+        .unwrap();
+        dw.insert(&[row(100, 2, "z"), row(50, 3, "p1-b")]).unwrap();
+        dw.publish().unwrap();
+        let want = state_image(dw.staging());
+        drop(dw);
+        for seed in 0..4 {
+            fs.crash(seed);
+            let (_h, dw, _r) = DurableWriter::recover(
+                fs.clone(),
+                PathBuf::from("/db"),
+                DurableOptions::default(),
+                MaintenancePolicy::default(),
+            )
+            .unwrap();
+            assert_eq!(state_image(dw.staging()), want, "seed {seed}");
+            drop(dw);
+        }
+    }
+
+    #[test]
+    fn compaction_prunes_superseded_files_and_covered_segments() {
+        let opts = DurableOptions {
+            compact_every: 0, // manual compaction for the test
+            wal_segment_bytes: 32,
+            ..DurableOptions::default()
+        };
+        let (fs, _handle, mut dw) = setup(2, opts);
+        for i in 0..6 {
+            dw.insert(&[row(1000 + i, i, "w")]).unwrap();
+            dw.publish().unwrap();
+        }
+        let before = fs.list(Path::new("/db")).unwrap().len();
+        let removed = dw.compact().unwrap();
+        let after = fs.list(Path::new("/db")).unwrap().len();
+        assert!(removed > 0, "superseded checkpoints must be collected");
+        assert_eq!(before - removed, after);
+        // Everything still referenced survives: recovery works.
+        drop(dw);
+        fs.crash(11);
+        let (_h, dw, _r) = DurableWriter::recover(
+            fs.clone(),
+            PathBuf::from("/db"),
+            opts,
+            MaintenancePolicy::default(),
+        )
+        .unwrap();
+        dw.staging().check_consistency();
+    }
+
+    #[test]
+    fn advisor_counters_survive_recovery() {
+        let (fs, _handle, mut dw) = setup(2, DurableOptions::default());
+        dw.add_index(1, Constraint::NearlyUnique, Design::Bitmap)
+            .unwrap();
+        dw.record_query_feedback(0, 10.0).unwrap();
+        dw.record_query_timing(0, 5.5, 44.0).unwrap();
+        dw.publish().unwrap();
+        // A second epoch so the counters cross a checkpoint boundary too.
+        dw.record_query_feedback(0, 2.5).unwrap();
+        dw.publish().unwrap();
+        drop(dw);
+        fs.crash(5);
+        let (_h, dw, _r) = DurableWriter::recover(
+            fs.clone(),
+            PathBuf::from("/db"),
+            DurableOptions::default(),
+            MaintenancePolicy::default(),
+        )
+        .unwrap();
+        let fb = dw.staging().index(0).query_feedback();
+        assert_eq!(fb.times_bound, 2);
+        assert!((fb.est_cost_saved - 12.5).abs() < 1e-9);
+        assert_eq!(fb.measured_queries, 1);
+        assert!((fb.actual_micros - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn create_refuses_an_existing_durable_directory() {
+        let (fs, _handle, dw) = setup(1, DurableOptions::default());
+        drop(dw);
+        let dyn_fs: Arc<dyn DurableFs> = fs;
+        let err = match DurableWriter::create(
+            fresh(1),
+            dyn_fs,
+            PathBuf::from("/db"),
+            DurableOptions::default(),
+        ) {
+            Ok(_) => panic!("create over an existing manifest must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+}

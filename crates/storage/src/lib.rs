@@ -18,7 +18,9 @@
 
 mod catalog;
 mod column;
+pub mod crc;
 mod delta;
+pub mod dfs;
 mod dict;
 mod partition;
 mod schema;
@@ -28,7 +30,9 @@ mod zonemap;
 
 pub use catalog::{Catalog, TableRef};
 pub use column::{str_column, ColumnData};
+pub use crc::{crc32, Crc32};
 pub use delta::{DeltaStore, RowLoc};
+pub use dfs::{write_atomic, DurableFs, RealFs, SimFs};
 pub use dict::{new_dict, DictRef, Dictionary};
 pub use partition::Partition;
 pub use schema::{Field, Schema};

@@ -225,6 +225,54 @@ impl Table {
     pub fn memory_bytes(&self) -> usize {
         self.partitions.iter().map(|p| p.memory_bytes()).sum()
     }
+
+    /// The routing policy (checkpointed by the durability layer so
+    /// recovery routes replayed inserts identically).
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The round-robin routing cursor. Advances once per inserted row
+    /// under [`Partitioning::RoundRobin`]; replay determinism requires
+    /// restoring it alongside the data (see [`Table::restore`]).
+    pub fn rr_cursor(&self) -> usize {
+        self.rr_next
+    }
+
+    /// Rebuilds a table from checkpointed state: per-partition column
+    /// data (visible rows only — deltas are propagated before
+    /// checkpointing), the shared dictionaries, and the routing state.
+    /// String columns in `partition_columns` must reference the matching
+    /// entry of `dicts`.
+    pub fn restore(
+        name: impl Into<String>,
+        schema: Schema,
+        partition_columns: Vec<Vec<ColumnData>>,
+        dicts: Vec<Option<DictRef>>,
+        partitioning: Partitioning,
+        rr_cursor: usize,
+    ) -> Self {
+        assert!(!partition_columns.is_empty(), "need at least one partition");
+        assert_eq!(dicts.len(), schema.len(), "one dict slot per column");
+        let schema = Arc::new(schema);
+        let partitions: Vec<Arc<Partition>> = partition_columns
+            .into_iter()
+            .enumerate()
+            .map(|(id, cols)| {
+                assert_eq!(cols.len(), schema.len(), "column count mismatch");
+                Arc::new(Partition::new(id, Arc::clone(&schema), cols))
+            })
+            .collect();
+        let rr_next = rr_cursor % partitions.len();
+        Table {
+            name: name.into(),
+            schema,
+            partitions,
+            dicts,
+            partitioning,
+            rr_next,
+        }
+    }
 }
 
 #[cfg(test)]
