@@ -455,6 +455,60 @@ mod tests {
     }
 
     #[test]
+    fn cache_hits_do_not_dilute_drop_calibration() {
+        // Wall-clock currency: maintenance priced in micros, window
+        // calibrated by measured executions. 20 real queries took 100µs
+        // per cost unit and saved plenty — the index earns its keep.
+        let mut cfg = cfg();
+        cfg.maintenance_micros_per_row = 1.0;
+        let mut i = idx(0, 0.99, 0.99);
+        i.window_full = true;
+        i.window_maintained_rows = 10_000; // cost: 10_000µs
+        i.window_cost_saved = 500.0;
+        i.window_actual_micros = 20_000.0;
+        i.window_est_cost_executed = 200.0; // calibration: 100µs/unit
+        let keep = Observation {
+            indexes: vec![i.clone()],
+            candidates: vec![],
+        };
+        assert!(decide(&cfg, &keep).is_empty(), "benefit 50_000µs ≫ cost");
+
+        // The query engine records NOTHING measured for a cache hit, so
+        // a hit-heavy window presents the advisor the very same
+        // observation — the drop verdict is unchanged by hit traffic.
+        let after_hits = Observation {
+            indexes: vec![i.clone()],
+            candidates: vec![],
+        };
+        assert_eq!(decide(&cfg, &keep).len(), decide(&cfg, &after_hits).len());
+
+        // Counterfactual guard: had 1000 hits been timed as ~0µs
+        // executions, calibration would collapse ~50× and the same
+        // index would be cost-dominated — exactly the corruption the
+        // hits-record-no-timing rule prevents.
+        let mut poisoned = i;
+        poisoned.window_actual_micros += 1000.0 * 1.0; // ~1µs per "hit"
+        poisoned.window_est_cost_executed += 1000.0 * 10.0;
+        let d = decide(
+            &cfg,
+            &Observation {
+                indexes: vec![poisoned],
+                candidates: vec![],
+            },
+        );
+        assert!(
+            matches!(
+                d[..],
+                [Decision::Drop {
+                    reason: DropReason::CostDominated,
+                    ..
+                }]
+            ),
+            "zero-cost timings would have poisoned the drop rule: {d:?}"
+        );
+    }
+
+    #[test]
     fn drop_supersedes_recompute_for_the_same_index() {
         let mut i = idx(0, 0.5, 0.99); // drifted far...
         i.window_full = true;

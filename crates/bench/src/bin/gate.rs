@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
 //! Compares freshly emitted `BENCH_{maintenance,planner,advisor,
-//! concurrency,durability}.json` against the checked-in `bench_baselines/*.json`
+//! concurrency,durability,cache}.json` against the checked-in `bench_baselines/*.json`
 //! and fails (exit 1) when any gated metric regressed beyond its
 //! tolerance. Metrics are chosen to be machine-portable — behavioral
 //! counts, ratios and speedups rather than raw seconds — so the gate
@@ -153,6 +153,13 @@ const METRICS: &[Metric] = &[
         Dir::Higher,
         1.0,
     ),
+    // result cache: the audited byte-exactness flag is a correctness
+    // boolean (zero extra slack — any dip fails); hit ratio and the
+    // speedup over the uncached twin are wall-clock-coupled and get the
+    // usual ratio slack.
+    m("cache", "exact", Dir::Higher, 0.0),
+    m("cache", "hit_ratio", Dir::Higher, 2.0),
+    m("cache", "speedup_over_uncached", Dir::Higher, 3.0),
 ];
 
 struct Row {
@@ -244,6 +251,7 @@ fn main() {
         "advisor",
         "concurrency",
         "durability",
+        "cache",
     ];
     let mut fresh = std::collections::HashMap::new();
     let mut base = std::collections::HashMap::new();

@@ -1,10 +1,11 @@
 //! Reproduction harness: prints the paper's tables and figures.
 //!
 //! Usage:
-//! `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|ext|maintenance|planner|advisor|concurrency|durability|all]`
+//! `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|ext|maintenance|planner|advisor|concurrency|durability|cache|all]`
 //! Scale via env: `PI_BITMAP_BITS`, `PI_MICRO_ROWS`, `PI_TPCH_SF`,
 //! `PI_UPDATES`, `PI_BULK_DELETES`, `PI_MAINT_*`, `PI_PLAN_*`,
-//! `PI_ADV_ROWS`, `PI_CONC_*`, `PI_DUR_*` (see `experiments`).
+//! `PI_ADV_ROWS`, `PI_CONC_*`, `PI_DUR_*`, `PI_CACHE_*` (see
+//! `experiments`).
 
 use pi_bench::experiments as ex;
 
@@ -29,6 +30,7 @@ fn main() {
         ("advisor", ex::advisor),
         ("concurrency", ex::concurrency),
         ("durability", ex::durability),
+        ("cache", ex::cache),
     ];
     let known: Vec<&str> = jobs.iter().map(|(n, _)| *n).collect();
     if what != "all" && !known.contains(&what) {

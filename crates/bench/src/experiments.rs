@@ -1961,3 +1961,288 @@ pub fn durability() -> String {
     }
     out
 }
+
+// ------------------------------------------------------ result-cache economics
+
+/// Result-cache experiment (beyond the paper): hit ratio and speedup of
+/// a repeated query mix under concurrent writer churn, at several byte
+/// budgets.
+///
+/// A reader thread re-runs a four-query mix — full distinct count, full
+/// sort, a pushed-down limit (whose dependency footprint is confined to
+/// the partitions the limit actually pulled), and a plain scan count —
+/// on fresh snapshots while the writer keeps modifying one hot
+/// partition with statement-paced publishes. Pointer-identity
+/// invalidation keeps every entry whose footprint skips the hot
+/// partition alive across publishes; full-table entries re-miss once
+/// per epoch and then hit until the next publish. The uncached twin
+/// runs the identical storm, and the reported speedup is the qps ratio
+/// of the two single-reader windows on the same machine. After each
+/// measured window an audit phase (writer still churning) replays the
+/// mix and compares every cached answer byte-for-byte against an
+/// index-free execution on the same snapshot; `exact` is pinned at 1.
+///
+/// Writes `BENCH_cache.json` (top-level `hit_ratio` /
+/// `speedup_over_uncached` come from the default-budget run). Scale via
+/// `PI_CACHE_PARTS` / `PI_CACHE_ROWS` (per partition) / `PI_CACHE_SECS`
+/// (window per configuration) / `PI_CACHE_BUDGETS` (comma-separated
+/// bytes) / `PI_CACHE_CHURN_PAUSE_US` (writer pause between batches).
+pub fn cache() -> String {
+    use patchindex::{ConcurrentTable, IndexedTable, PublishPolicy, ResultCache};
+    use pi_planner::{execute, execute_count, Plan, QueryEngine, NO_INDEXES};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let parts = env_usize("PI_CACHE_PARTS", 4);
+    let rows = env_usize("PI_CACHE_ROWS", 40_000);
+    let secs = env_f64("PI_CACHE_SECS", 1.0);
+    let batch_rows = env_usize("PI_CACHE_BATCH_ROWS", 128);
+    let churn_pause_us = env_usize("PI_CACHE_CHURN_PAUSE_US", 20_000);
+    let audit_iters = env_usize("PI_CACHE_AUDIT_ITERS", 24);
+    let budgets: Vec<usize> = std::env::var("PI_CACHE_BUDGETS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![256 << 10, 4 << 20, ResultCache::DEFAULT_BUDGET]);
+
+    let base_table = || {
+        let mut t = pi_storage::Table::new(
+            "cache",
+            pi_storage::Schema::new(vec![
+                pi_storage::Field::new("k", pi_storage::DataType::Int),
+                pi_storage::Field::new("v", pi_storage::DataType::Int),
+            ]),
+            parts,
+            pi_storage::Partitioning::RoundRobin,
+        );
+        for pid in 0..parts {
+            let base = (pid * rows) as i64;
+            let keys: Vec<i64> = (base..base + rows as i64).collect();
+            t.load_partition(
+                pid,
+                &[
+                    pi_storage::ColumnData::Int(keys.clone()),
+                    pi_storage::ColumnData::Int(keys),
+                ],
+            );
+        }
+        t.propagate_all();
+        t
+    };
+    // The mix: (plan, count-vs-rows). The limit pulls only partition 0 —
+    // its cache entry survives every hot-partition publish.
+    let mix: Vec<(Plan, bool)> = vec![
+        (Plan::scan(vec![1]).distinct(vec![0]), true),
+        (
+            Plan::scan(vec![1]).sort(vec![(0, pi_exec::ops::sort::SortOrder::Asc)]),
+            false,
+        ),
+        (Plan::scan(vec![1]).limit(16), false),
+        (Plan::scan(vec![1]), true),
+    ];
+    let hot_pid = parts - 1;
+
+    // One measured configuration: single reader re-running the mix on
+    // fresh snapshots, writer churning the hot partition with paced
+    // publishes. Returns (qps, queries, writer_steps, audited, audited_hits).
+    let run =
+        |cache: Option<Arc<ResultCache>>| -> (f64, u64, u64, u64, u64, patchindex::CacheStats) {
+            let mut it = IndexedTable::new(base_table());
+            it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+            let (handle, mut writer) = match &cache {
+                Some(c) => ConcurrentTable::with_result_cache(it, Arc::clone(c)),
+                None => ConcurrentTable::new(it),
+            };
+            writer.set_publish_policy(PublishPolicy::every(1));
+            let stop_measure = AtomicBool::new(false);
+            let queries = AtomicU64::new(0);
+            let audited = AtomicU64::new(0);
+            let window = std::time::Instant::now();
+            let mut window_stats = patchindex::CacheStats::default();
+            let mut audited_hits = 0u64;
+            let elapsed = std::thread::scope(|scope| {
+                let reader = scope.spawn(|| {
+                    // Phase 1: the measured window (no audits in the clock).
+                    while !stop_measure.load(Ordering::Relaxed) {
+                        let mut snap = handle.snapshot();
+                        for (plan, is_count) in &mix {
+                            if *is_count {
+                                assert!(snap.query_count(plan) > 0);
+                            } else {
+                                assert!(!snap.query(plan).is_empty());
+                            }
+                            queries.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Phase 2: exactness audit, writer still churning. Every
+                    // cached answer must be byte-identical to an index-free
+                    // execution on the very same snapshot.
+                    if cache.is_some() {
+                        for _ in 0..audit_iters {
+                            let mut snap = handle.snapshot();
+                            for (plan, is_count) in &mix {
+                                if *is_count {
+                                    let got = snap.query_count(plan);
+                                    let want = execute_count(plan, snap.table(), NO_INDEXES);
+                                    assert_eq!(got, want, "cached count diverged for {plan}");
+                                } else {
+                                    let got = snap.query(plan);
+                                    let want = execute(plan, snap.table(), NO_INDEXES);
+                                    assert_eq!(
+                                        got.column(0).as_int(),
+                                        want.column(0).as_int(),
+                                        "cached rows diverged for {plan}"
+                                    );
+                                }
+                                audited.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+                let mut rng = SmallRng::seed_from_u64(0xCACE);
+                let mut steps = 0u64;
+                let mut elapsed = 0.0f64;
+                let mut pre_audit = patchindex::CacheStats::default();
+                loop {
+                    let w = window.elapsed().as_secs_f64();
+                    if elapsed == 0.0 && w >= secs {
+                        // Close the measured window; snapshot the counters
+                        // before audit-phase traffic moves them.
+                        elapsed = w;
+                        if let Some(c) = &cache {
+                            pre_audit = c.stats();
+                        }
+                        stop_measure.store(true, Ordering::Relaxed);
+                    }
+                    if elapsed > 0.0 && reader.is_finished() {
+                        break;
+                    }
+                    let base = (hot_pid * rows) as i64;
+                    let mut rids: Vec<usize> =
+                        (0..batch_rows).map(|_| rng.gen_range(0..rows)).collect();
+                    rids.sort_unstable();
+                    rids.dedup();
+                    let values: Vec<Value> = rids
+                        .iter()
+                        .map(|_| Value::Int(base + rng.gen_range(0..rows as i64)))
+                        .collect();
+                    writer.modify(hot_pid, &rids, 1, &values);
+                    steps += 1;
+                    std::thread::sleep(Duration::from_micros(churn_pause_us as u64));
+                }
+                reader.join().expect("reader thread panicked");
+                if let Some(c) = &cache {
+                    let end = c.stats();
+                    audited_hits = end.hits - pre_audit.hits;
+                    window_stats = pre_audit;
+                }
+                (elapsed, steps)
+            });
+            let (elapsed, steps) = elapsed;
+            let q = queries.load(Ordering::Relaxed);
+            (
+                q as f64 / elapsed.max(1e-9),
+                q,
+                steps,
+                audited.load(Ordering::Relaxed),
+                audited_hits,
+                window_stats,
+            )
+        };
+
+    let (uncached_qps, uncached_queries, uncached_steps, _, _, _) = run(None);
+
+    let mut out = format!(
+        "Result-cache hit ratio and speedup: {parts} partitions x {rows} rows, hot partition \
+         {hot_pid}, modify batch {batch_rows} every {churn_pause_us}us (publish per statement), \
+         {secs:.1}s window per configuration\n\n"
+    );
+    let mut table = TablePrinter::new(&[
+        "config",
+        "queries",
+        "qps",
+        "hit ratio",
+        "invalidated",
+        "evicted",
+        "vs uncached",
+        "audited (hits)",
+    ]);
+    table.row(vec![
+        "uncached".into(),
+        uncached_queries.to_string(),
+        format!("{uncached_qps:.0}"),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut default_metrics = (0.0f64, 0.0f64); // (hit_ratio, speedup)
+    let mut all_audits_held = true;
+    let mut total_audited = 0u64;
+    for &budget in &budgets {
+        let cache = Arc::new(ResultCache::new(budget));
+        let (qps, nq, steps, audited, audited_hits, stats) = run(Some(Arc::clone(&cache)));
+        let hit_ratio = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+        let speedup = qps / uncached_qps.max(1e-9);
+        // The audit phase asserts on divergence, so reaching this line
+        // means every audited answer matched; demand it actually ran and
+        // that the hit path itself was audited, not just misses.
+        all_audits_held &= audited == (audit_iters * mix.len()) as u64 && audited_hits > 0;
+        total_audited += audited;
+        if budget == ResultCache::DEFAULT_BUDGET || default_metrics.1 == 0.0 {
+            default_metrics = (hit_ratio, speedup);
+        }
+        let label = if budget >= 1 << 20 {
+            format!("cached {}MiB", budget >> 20)
+        } else {
+            format!("cached {}KiB", budget >> 10)
+        };
+        table.row(vec![
+            label,
+            nq.to_string(),
+            format!("{qps:.0}"),
+            format!("{hit_ratio:.3}"),
+            stats.invalidated.to_string(),
+            stats.evicted.to_string(),
+            format!("{speedup:.2}x"),
+            format!("{audited} ({audited_hits})"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"budget_bytes\": {budget}, \"qps\": {qps:.1}, \"queries\": {nq}, \
+             \"writer_steps\": {steps}, \"hit_ratio\": {hit_ratio:.4}, \
+             \"speedup_over_uncached\": {speedup:.3}, \"hits\": {}, \"misses\": {}, \
+             \"invalidated\": {}, \"evicted\": {}, \"entries_end\": {}, \"bytes_end\": {}, \
+             \"audited\": {audited}, \"audited_hits\": {audited_hits}}}",
+            stats.hits, stats.misses, stats.invalidated, stats.evicted, stats.entries, stats.bytes,
+        ));
+    }
+    assert!(all_audits_held, "every audit must run and audit real hits");
+    let (hit_ratio, speedup) = default_metrics;
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nuncached {uncached_qps:.0} qps; default budget: hit ratio {hit_ratio:.3}, \
+         {speedup:.2}x over uncached; {total_audited} audited answers byte-identical\n"
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"cache\",\n  \"config\": {{\"partitions\": {parts}, \
+         \"rows_per_partition\": {rows}, \"batch_rows\": {batch_rows}, \
+         \"churn_pause_us\": {churn_pause_us}, \"seconds\": {secs}, \
+         \"audit_iters\": {audit_iters}}},\n  \
+         \"uncached\": {{\"qps\": {uncached_qps:.1}, \"queries\": {uncached_queries}, \
+         \"writer_steps\": {uncached_steps}}},\n  \"budgets\": [\n{}\n  ],\n  \
+         \"hit_ratio\": {hit_ratio:.4},\n  \"speedup_over_uncached\": {speedup:.3},\n  \
+         \"exact\": {}\n}}\n",
+        json_rows.join(",\n"),
+        all_audits_held as u8,
+    );
+    let path = std::env::var("PI_CACHE_JSON").unwrap_or_else(|_| "BENCH_cache.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => out.push_str(&format!("wrote {path}\n")),
+        Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+    }
+    out
+}

@@ -1,0 +1,561 @@
+//! Epoch-keyed query result cache with pointer-identity invalidation.
+//!
+//! Copy-on-write publishing (see [`crate::snapshot`]) gives every epoch
+//! an exact, free dirty-set signal: a partition or index whose `Arc`
+//! pointer is unchanged across epochs is byte-identical. This cache
+//! turns that into result reuse — each entry remembers the **dependency
+//! footprint** of the execution that produced it (the `Arc<Partition>`
+//! and `Arc<PatchIndex>` pointers the plan actually touched), and stays
+//! valid exactly as long as every one of those pointers is still the
+//! live version. Invalidation is therefore *exact, not heuristic*: a
+//! publish that rewrites one partition kills only the entries whose
+//! executions read that partition.
+//!
+//! The cache itself is plan-agnostic: the planner supplies an opaque
+//! fingerprint hash plus the canonical plan bytes behind it. Entries
+//! are verified against those bytes on every hit, so a fingerprint
+//! collision degrades to a miss, never to a wrong result.
+//!
+//! Layout: entries are spread over independently locked shards (hot
+//! readers don't serialize on one mutex), each holding a byte budget
+//! slice. Within a shard, eviction is LRU by a per-shard use tick.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pi_exec::Batch;
+use pi_storage::{Partition, Table};
+
+use crate::index::PatchIndex;
+
+/// A cached query result: materialized rows or a bare count, mirroring
+/// the two executing entry points of the planner's `QueryEngine`.
+#[derive(Debug, Clone)]
+pub enum CachedValue {
+    /// A materialized result batch (`query`).
+    Rows(Batch),
+    /// A row count (`query_count`).
+    Count(u64),
+}
+
+impl CachedValue {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            CachedValue::Rows(b) => b.heap_bytes(),
+            CachedValue::Count(_) => std::mem::size_of::<u64>(),
+        }
+    }
+}
+
+/// The set of shared-state pointers one execution actually read: the
+/// partitions it pulled rows from (or consulted and found empty) and the
+/// indexes its plan bound. An entry built from this footprint is valid
+/// for any snapshot in which every pointer is still the live version —
+/// partitions the execution provably never reached (a pushed-down
+/// `LIMIT` stopped before them) are absent, so churn there cannot
+/// invalidate the entry.
+#[derive(Debug, Clone)]
+pub struct Footprint {
+    partitions: Vec<(usize, Arc<Partition>)>,
+    indexes: Vec<(usize, Arc<PatchIndex>)>,
+}
+
+impl Footprint {
+    /// Builds a footprint from `(pid, partition)` and `(slot, index)`
+    /// pairs.
+    pub fn new(
+        partitions: Vec<(usize, Arc<Partition>)>,
+        indexes: Vec<(usize, Arc<PatchIndex>)>,
+    ) -> Self {
+        Footprint {
+            partitions,
+            indexes,
+        }
+    }
+
+    /// Whether every footprint pointer is still the live version in the
+    /// given snapshot state (`Arc::ptr_eq` — byte-identity by CoW).
+    pub fn matches(&self, table: &Table, indexes: &[Arc<PatchIndex>]) -> bool {
+        self.partitions.iter().all(|(pid, p)| {
+            table
+                .partitions()
+                .get(*pid)
+                .is_some_and(|q| Arc::ptr_eq(p, q))
+        }) && self
+            .indexes
+            .iter()
+            .all(|(slot, i)| indexes.get(*slot).is_some_and(|j| Arc::ptr_eq(i, j)))
+    }
+
+    /// Whether partition `pid` is part of this footprint.
+    pub fn covers_partition(&self, pid: usize) -> bool {
+        self.partitions.iter().any(|(p, _)| *p == pid)
+    }
+
+    /// The partition ids in this footprint, ascending.
+    pub fn partition_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.partitions.iter().map(|(p, _)| *p).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The bound index slots in this footprint, ascending.
+    pub fn index_slots(&self) -> Vec<usize> {
+        let mut slots: Vec<usize> = self.indexes.iter().map(|(s, _)| *s).collect();
+        slots.sort_unstable();
+        slots
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Which table (cache token) this entry belongs to — a shared cache
+    /// must never let one table's publish sweep kill another's entries,
+    /// nor serve an entry across tables on a hash collision.
+    table: u64,
+    /// Canonical plan bytes, verified on every hit (collision guard).
+    canon: Arc<[u8]>,
+    value: CachedValue,
+    footprint: Footprint,
+    /// Epoch the footprint was last validated against — same-epoch
+    /// lookups skip pointer checks entirely.
+    epoch: u64,
+    last_used: u64,
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Counter snapshot of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found no valid entry.
+    pub misses: u64,
+    /// Entries removed because a footprint pointer changed (publish
+    /// sweeps and hit-time validation failures).
+    pub invalidated: u64,
+    /// Entries removed to stay inside the byte budget.
+    pub evicted: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Result bytes currently resident.
+    pub bytes: u64,
+}
+
+/// A sharded, byte-budgeted query result cache. See the module docs.
+///
+/// Lookups identify entries by `(table token, fingerprint hash)` and
+/// verify the canonical plan bytes plus — across epochs — the footprint
+/// pointers. All counters are cheap atomics; the per-shard mutex is held
+/// only for the map operation itself.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl ResultCache {
+    /// Default byte budget (64 MiB).
+    pub const DEFAULT_BUDGET: usize = 64 << 20;
+    const SHARDS: usize = 16;
+
+    /// Creates a cache with the given total byte budget, split evenly
+    /// over the shards.
+    pub fn new(budget_bytes: usize) -> Self {
+        let mut shards = Vec::with_capacity(Self::SHARDS);
+        shards.resize_with(Self::SHARDS, Mutex::default);
+        ResultCache {
+            shards: shards.into_boxed_slice(),
+            shard_budget: (budget_bytes / Self::SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+        // High bits pick the shard; the map keys on the full hash.
+        &self.shards[(hash >> 48) as usize & (Self::SHARDS - 1)]
+    }
+
+    /// Looks up `(table, hash)` for a snapshot at `epoch` with the given
+    /// live state. Returns the cached value only when the canonical
+    /// bytes match (collision guard) and the footprint still holds
+    /// (pointer identity); a stale entry found here is removed on the
+    /// spot — hit-time validation backstops any publish-sweep race.
+    pub fn lookup(
+        &self,
+        table_token: u64,
+        hash: u64,
+        canon: &[u8],
+        epoch: u64,
+        table: &Table,
+        indexes: &[Arc<PatchIndex>],
+    ) -> Option<CachedValue> {
+        let mut shard = self.shard(hash).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let stale = match shard.map.get_mut(&hash) {
+            Some(e) if e.table == table_token && *e.canon == *canon => {
+                if e.epoch == epoch || e.footprint.matches(table, indexes) {
+                    e.epoch = epoch;
+                    e.last_used = tick;
+                    let value = e.value.clone();
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(value);
+                }
+                true
+            }
+            _ => false,
+        };
+        if stale {
+            let e = shard.map.remove(&hash).expect("entry just matched");
+            shard.bytes -= e.bytes;
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts (or replaces) an entry, then evicts least-recently-used
+    /// entries until the shard is back inside its budget slice. A value
+    /// too large to ever fit is dropped immediately rather than allowed
+    /// to blow the budget.
+    pub fn insert(
+        &self,
+        table_token: u64,
+        hash: u64,
+        canon: Arc<[u8]>,
+        epoch: u64,
+        value: CachedValue,
+        footprint: Footprint,
+    ) {
+        // Entry overhead: footprint pairs + map slot, approximated.
+        let bytes = canon.len()
+            + value.heap_bytes()
+            + 32 * (footprint.partitions.len() + footprint.indexes.len())
+            + 96;
+        let mut evictions = 0u64;
+        let mut shard = self.shard(hash).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(old) = shard.map.insert(
+            hash,
+            Entry {
+                table: table_token,
+                canon,
+                value,
+                footprint,
+                epoch,
+                last_used: tick,
+                bytes,
+            },
+        ) {
+            shard.bytes -= old.bytes;
+        }
+        shard.bytes += bytes;
+        while shard.bytes > self.shard_budget {
+            let lru = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&h, _)| h)
+                .expect("over budget implies non-empty");
+            let e = shard.map.remove(&lru).expect("key from live iteration");
+            shard.bytes -= e.bytes;
+            evictions += 1;
+        }
+        drop(shard);
+        if evictions > 0 {
+            self.evicted.fetch_add(evictions, Ordering::Relaxed);
+        }
+    }
+
+    /// Publish-side sweep: removes every entry of `table_token` whose
+    /// footprint no longer matches the freshly published state. Entries
+    /// of other tables sharing the cache are untouched. Returns how many
+    /// entries were invalidated.
+    pub fn invalidate_stale(
+        &self,
+        table_token: u64,
+        table: &Table,
+        indexes: &[Arc<PatchIndex>],
+    ) -> u64 {
+        let mut removed = 0u64;
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            let before = shard.map.len();
+            let mut freed = 0usize;
+            shard.map.retain(|_, e| {
+                let keep = e.table != table_token || e.footprint.matches(table, indexes);
+                if !keep {
+                    freed += e.bytes;
+                }
+                keep
+            });
+            removed += (before - shard.map.len()) as u64;
+            shard.bytes -= freed;
+        }
+        if removed > 0 {
+            self.invalidated.fetch_add(removed, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drops every entry (tests and manual administration).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            entries += shard.map.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Hit ratio over all lookups so far (0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new(Self::DEFAULT_BUDGET)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{Constraint, Design};
+    use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema};
+
+    fn table(parts: usize) -> Table {
+        let mut t = Table::new(
+            "c",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            parts,
+            Partitioning::RoundRobin,
+        );
+        for pid in 0..parts {
+            let base = (pid * 10) as i64;
+            t.load_partition(pid, &[ColumnData::Int((base..base + 5).collect())]);
+        }
+        t.propagate_all();
+        t
+    }
+
+    fn canon(tag: u8) -> Arc<[u8]> {
+        Arc::from(vec![tag, 1, 2, 3].into_boxed_slice())
+    }
+
+    fn count(v: u64) -> CachedValue {
+        CachedValue::Count(v)
+    }
+
+    #[test]
+    fn hit_requires_matching_canonical_bytes() {
+        let cache = ResultCache::new(1 << 20);
+        let t = table(2);
+        let fp = Footprint::new(vec![(0, Arc::clone(&t.partitions()[0]))], vec![]);
+        cache.insert(7, 42, canon(1), 0, count(5), fp);
+        // Same hash, same table, different canonical form: a manufactured
+        // fingerprint collision must miss, not serve the wrong result.
+        assert!(cache.lookup(7, 42, &canon(2), 0, &t, &[]).is_none());
+        let got = cache.lookup(7, 42, &canon(1), 0, &t, &[]);
+        assert!(matches!(got, Some(CachedValue::Count(5))));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cross_epoch_hit_validates_pointers() {
+        let cache = ResultCache::new(1 << 20);
+        let t = table(2);
+        let fp = Footprint::new(vec![(0, Arc::clone(&t.partitions()[0]))], vec![]);
+        cache.insert(1, 9, canon(0), 3, count(1), fp);
+        // A later epoch with the same partition pointer still hits...
+        assert!(cache.lookup(1, 9, &canon(0), 8, &t, &[]).is_some());
+        // ...and the entry's epoch was refreshed to the validated one.
+        assert!(cache.lookup(1, 9, &canon(0), 8, &t, &[]).is_some());
+        // A snapshot whose partition 0 was rewritten misses and removes
+        // the entry.
+        let mut other = table(2);
+        other.load_partition(0, &[ColumnData::Int(vec![99])]);
+        other.propagate_all();
+        assert!(cache.lookup(1, 9, &canon(0), 9, &other, &[]).is_none());
+        assert_eq!(cache.stats().invalidated, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn publish_sweep_removes_only_dirty_footprints() {
+        let cache = ResultCache::new(1 << 20);
+        let t = table(3);
+        let p = |pid: usize| (pid, Arc::clone(&t.partitions()[pid]));
+        cache.insert(
+            1,
+            1,
+            canon(1),
+            0,
+            count(1),
+            Footprint::new(vec![p(0)], vec![]),
+        );
+        cache.insert(
+            1,
+            2,
+            canon(2),
+            0,
+            count(2),
+            Footprint::new(vec![p(1)], vec![]),
+        );
+        cache.insert(
+            1,
+            3,
+            canon(3),
+            0,
+            count(3),
+            Footprint::new(vec![p(0), p(1), p(2)], vec![]),
+        );
+        // Another table's entry with a now-stale pointer must survive a
+        // sweep scoped to table 1.
+        cache.insert(
+            2,
+            4,
+            canon(4),
+            0,
+            count(4),
+            Footprint::new(vec![p(1)], vec![]),
+        );
+
+        // "Publish": clone-then-append rewrites partition 1's Arc only
+        // (copy-on-write leaves 0 and 2 pointer-identical).
+        let mut next = t.clone();
+        next.load_partition(1, &[ColumnData::Int(vec![1000])]);
+
+        let removed = cache.invalidate_stale(1, &next, &[]);
+        assert_eq!(removed, 2, "exactly the entries reading partition 1");
+        assert!(cache.lookup(1, 1, &canon(1), 1, &next, &[]).is_some());
+        assert!(cache.lookup(1, 2, &canon(2), 1, &next, &[]).is_none());
+        assert!(cache.lookup(1, 3, &canon(3), 1, &next, &[]).is_none());
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn index_pointer_change_invalidates() {
+        let cache = ResultCache::new(1 << 20);
+        let t = table(2);
+        let idx = Arc::new(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ));
+        let fp = Footprint::new(vec![], vec![(0, Arc::clone(&idx))]);
+        cache.insert(1, 5, canon(5), 0, count(9), fp);
+        assert!(cache
+            .lookup(1, 5, &canon(5), 2, &t, std::slice::from_ref(&idx))
+            .is_some());
+        // A recomputed (new-Arc) index at the slot invalidates.
+        let recomputed = Arc::new(PatchIndex::create(
+            &t,
+            0,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ));
+        assert!(cache
+            .lookup(1, 5, &canon(5), 3, &t, std::slice::from_ref(&recomputed))
+            .is_none());
+        // A dropped slot (shorter index vec) invalidates too.
+        cache.insert(
+            1,
+            5,
+            canon(5),
+            3,
+            count(9),
+            Footprint::new(vec![], vec![(0, idx)]),
+        );
+        assert!(cache.lookup(1, 5, &canon(5), 4, &t, &[]).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        // Tiny budget: per-shard slice fits roughly one small entry.
+        let cache = ResultCache::new(ResultCache::SHARDS * 256);
+        let t = table(1);
+        let fp = || Footprint::new(vec![(0, Arc::clone(&t.partitions()[0]))], vec![]);
+        // Same shard (identical high bits), distinct hashes.
+        for i in 0..4u64 {
+            cache.insert(1, i, canon(i as u8), 0, count(i), fp());
+        }
+        let stats = cache.stats();
+        assert!(stats.evicted > 0, "budget must force evictions: {stats:?}");
+        assert!(stats.bytes <= (ResultCache::SHARDS * 256) as u64);
+        // The most recently inserted entry survived.
+        assert!(cache.lookup(1, 3, &canon(3), 0, &t, &[]).is_some());
+    }
+
+    #[test]
+    fn oversized_value_does_not_blow_the_budget() {
+        let cache = ResultCache::new(ResultCache::SHARDS * 64);
+        let big = CachedValue::Rows(Batch::new(vec![ColumnData::Int(vec![0; 4096])]));
+        cache.insert(1, 1, canon(1), 0, big, Footprint::new(vec![], vec![]));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "{stats:?}");
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.evicted, 1);
+    }
+
+    #[test]
+    fn stats_track_entries_and_bytes() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(1, 1, canon(1), 0, count(1), Footprint::new(vec![], vec![]));
+        cache.insert(1, 2, canon(2), 0, count(2), Footprint::new(vec![], vec![]));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+}

@@ -421,21 +421,26 @@ impl IndexedTable {
         self.statements += 1;
         let addrs = self.table.insert_rows(rows);
         self.sample_rows(rows, &addrs);
-        match self.policy.mode {
-            MaintenanceMode::Eager => {
-                for idx in &mut self.indexes {
-                    Arc::make_mut(idx).handle_insert_with(
-                        &mut self.table,
-                        &addrs,
-                        self.policy.probe,
-                    );
+        // An empty insert maintains nothing — in particular it must not
+        // `make_mut` shared index versions, or a zero-change statement
+        // would defeat the writer's no-op publish detection.
+        if !addrs.is_empty() {
+            match self.policy.mode {
+                MaintenanceMode::Eager => {
+                    for idx in &mut self.indexes {
+                        Arc::make_mut(idx).handle_insert_with(
+                            &mut self.table,
+                            &addrs,
+                            self.policy.probe,
+                        );
+                    }
                 }
-            }
-            MaintenanceMode::Deferred { .. } => {
-                for idx in &mut self.indexes {
-                    Arc::make_mut(idx).stage_insert(&self.table, &addrs);
+                MaintenanceMode::Deferred { .. } => {
+                    for idx in &mut self.indexes {
+                        Arc::make_mut(idx).stage_insert(&self.table, &addrs);
+                    }
+                    self.maybe_auto_flush();
                 }
-                self.maybe_auto_flush();
             }
         }
         self.run_policy();

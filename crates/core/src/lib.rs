@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod cache;
 mod catalog;
 mod checkpoint;
 mod constraint;
@@ -67,6 +68,7 @@ pub mod snapshot;
 pub mod stats;
 mod store;
 
+pub use cache::{CacheStats, CachedValue, Footprint, ResultCache};
 pub use catalog::{IndexCatalog, IndexStats, PartitionStats};
 pub use constraint::{Constraint, Design, SortDir};
 pub use index::{DriftBaseline, PartitionIndex, PatchIndex, QueryFeedback};

@@ -52,15 +52,22 @@
 //! shift slots between an event and its absorption cannot misattribute
 //! feedback.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use pi_storage::{RowAddr, Table, Value};
 
+use crate::cache::{CacheStats, ResultCache};
 use crate::catalog::IndexCatalog;
 use crate::constraint::{Constraint, Design};
 use crate::index::PatchIndex;
 use crate::indexed::{IndexedTable, MaintenancePolicy, QueryShape};
+
+/// Distinguishes tables sharing one [`ResultCache`] — and, because it is
+/// globally unique, guarantees a fresh `ConcurrentTable` can never hit
+/// entries left behind by a dead one.
+static NEXT_CACHE_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// One workload observation recorded by a reader against a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -192,6 +199,8 @@ struct SnapshotInner {
     indexes: Vec<Arc<PatchIndex>>,
     catalog: IndexCatalog,
     sink: Arc<WorkloadSink>,
+    cache: Option<Arc<ResultCache>>,
+    cache_token: u64,
 }
 
 /// An immutable epoch of an indexed table: shared partitions, shared
@@ -203,7 +212,13 @@ pub struct TableSnapshot {
 }
 
 impl TableSnapshot {
-    fn capture(it: &mut IndexedTable, sink: Arc<WorkloadSink>, epoch: u64) -> Self {
+    fn capture(
+        it: &mut IndexedTable,
+        sink: Arc<WorkloadSink>,
+        epoch: u64,
+        cache: Option<Arc<ResultCache>>,
+        cache_token: u64,
+    ) -> Self {
         // The full catalog (including the NUC distinct-patch pass) is
         // computed here, on the writer — snapshot readers plan against it
         // for free. Reuses the mutation-invalidated cache: a publish with
@@ -216,6 +231,8 @@ impl TableSnapshot {
                 indexes: it.share_indexes(),
                 catalog,
                 sink,
+                cache,
+                cache_token,
             }),
         }
     }
@@ -246,6 +263,16 @@ impl TableSnapshot {
         &self.inner.sink
     }
 
+    /// The shared result cache the query facade consults for this
+    /// snapshot, paired with the table's cache token (`None` when the
+    /// table was split without [`ConcurrentTable::with_result_cache`]).
+    pub fn result_cache(&self) -> Option<(&ResultCache, u64)> {
+        self.inner
+            .cache
+            .as_deref()
+            .map(|c| (c, self.inner.cache_token))
+    }
+
     /// Verifies every index of this epoch against its table (test
     /// helper). Exempt from the writer's pending-flush caveat only when
     /// the snapshot was published flushed.
@@ -272,9 +299,29 @@ pub struct ConcurrentTable {
 impl ConcurrentTable {
     /// Splits an [`IndexedTable`] into the shared read handle and the
     /// single writer. The initial snapshot is published immediately.
-    pub fn new(mut it: IndexedTable) -> (ConcurrentTable, TableWriter) {
+    pub fn new(it: IndexedTable) -> (ConcurrentTable, TableWriter) {
+        Self::with_cache(it, None)
+    }
+
+    /// Like [`ConcurrentTable::new`], but snapshots consult (and fill)
+    /// the given result cache through the `pi-planner` query facade. The
+    /// cache may be shared between tables — entries carry a per-table
+    /// token, and each writer's publish sweeps only its own.
+    pub fn with_result_cache(
+        it: IndexedTable,
+        cache: Arc<ResultCache>,
+    ) -> (ConcurrentTable, TableWriter) {
+        Self::with_cache(it, Some(cache))
+    }
+
+    fn with_cache(
+        mut it: IndexedTable,
+        cache: Option<Arc<ResultCache>>,
+    ) -> (ConcurrentTable, TableWriter) {
+        let cache_token = NEXT_CACHE_TOKEN.fetch_add(1, Ordering::Relaxed);
         let sink = Arc::new(WorkloadSink::default());
-        let first = TableSnapshot::capture(&mut it, Arc::clone(&sink), 0);
+        let first =
+            TableSnapshot::capture(&mut it, Arc::clone(&sink), 0, cache.clone(), cache_token);
         let shared = Arc::new(Shared {
             current: RwLock::new(first),
         });
@@ -289,6 +336,8 @@ impl ConcurrentTable {
                 epoch: 0,
                 publish_policy: PublishPolicy::default(),
                 statements_since_publish: 0,
+                cache,
+                cache_token,
             },
         )
     }
@@ -303,6 +352,23 @@ impl ConcurrentTable {
     /// Epoch of the current snapshot.
     pub fn epoch(&self) -> u64 {
         self.shared.current.read().epoch()
+    }
+
+    /// The shared result cache, when this table was split with one.
+    pub fn result_cache(&self) -> Option<Arc<ResultCache>> {
+        self.shared.current.read().inner.cache.clone()
+    }
+
+    /// Counter snapshot of the result cache (`None` without one). Note
+    /// that a shared cache reports totals across every table using it.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.shared
+            .current
+            .read()
+            .inner
+            .cache
+            .as_deref()
+            .map(ResultCache::stats)
     }
 }
 
@@ -321,6 +387,8 @@ pub struct TableWriter {
     epoch: u64,
     publish_policy: PublishPolicy,
     statements_since_publish: u64,
+    cache: Option<Arc<ResultCache>>,
+    cache_token: u64,
 }
 
 impl TableWriter {
@@ -475,13 +543,54 @@ impl TableWriter {
     /// the shared pointer. Returns the new epoch. Readers holding older
     /// snapshots are unaffected; they pick the new epoch up at their next
     /// [`ConcurrentTable::snapshot`] call.
+    ///
+    /// A publish with **zero changes** since the last epoch — every
+    /// partition and index Arc pointer-identical to the published
+    /// snapshot — is detected and skipped entirely: no epoch bump, no
+    /// catalog capture, no cache sweep. Statement pacing
+    /// ([`PublishPolicy::every`]) therefore cannot churn reader epochs
+    /// (or invalidate result-cache entries) for nothing; the returned
+    /// epoch is the still-current one.
     pub fn publish(&mut self) -> u64 {
         self.statements_since_publish = 0;
         self.absorb_feedback();
+        if self.staging_matches_published() {
+            return self.epoch;
+        }
         self.epoch += 1;
-        let snap = TableSnapshot::capture(&mut self.staging, Arc::clone(&self.sink), self.epoch);
+        let snap = TableSnapshot::capture(
+            &mut self.staging,
+            Arc::clone(&self.sink),
+            self.epoch,
+            self.cache.clone(),
+            self.cache_token,
+        );
+        if let Some(cache) = &self.cache {
+            // Sweep before the pointer swap so a reader of the new epoch
+            // can't pick up a stale entry; entries a concurrent reader of
+            // the *old* epoch re-inserts during the window are caught by
+            // hit-time footprint validation instead.
+            cache.invalidate_stale(self.cache_token, snap.table(), snap.indexes());
+        }
         *self.shared.current.write() = snap;
         self.epoch
+    }
+
+    /// Whether the staging state is pointer-identical (copy-on-write:
+    /// hence byte-identical) to the currently published snapshot.
+    fn staging_matches_published(&self) -> bool {
+        let cur = self.shared.current.read();
+        let published = cur.table().partitions();
+        let staged = self.staging.table().partitions();
+        staged.len() == published.len()
+            && self.staging.indexes().len() == cur.indexes().len()
+            && staged.iter().zip(published).all(|(a, b)| Arc::ptr_eq(a, b))
+            && self
+                .staging
+                .indexes()
+                .iter()
+                .zip(cur.indexes())
+                .all(|(a, b)| Arc::ptr_eq(a, b))
     }
 
     /// Flushes any staged deferred maintenance, then publishes — the
@@ -595,6 +704,135 @@ mod tests {
         for (ia, ib) in a.indexes().iter().zip(b.indexes()) {
             assert!(Arc::ptr_eq(ia, ib));
         }
+    }
+
+    #[test]
+    fn noop_publish_skips_epoch_bump_and_capture() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let before = handle.snapshot();
+
+        // Nothing staged: every Arc is identical, so publish is a no-op.
+        assert_eq!(writer.publish(), 0);
+        assert_eq!(writer.epoch(), 0);
+        assert_eq!(handle.epoch(), 0);
+        let after = handle.snapshot();
+        assert!(Arc::ptr_eq(&before.inner, &after.inner), "same snapshot");
+
+        // Statement pacing over zero-change statements can't churn epochs.
+        writer.set_publish_policy(PublishPolicy::every(1));
+        writer.insert(&[]);
+        writer.insert(&[]);
+        assert_eq!(handle.epoch(), 0);
+
+        // A real change publishes again (and exactly once).
+        writer.insert(&[row(100, 60)]);
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(writer.epoch(), 1);
+        assert!(!Arc::ptr_eq(
+            &handle.snapshot().table().partitions()[0],
+            &before.table().partitions()[0]
+        ));
+    }
+
+    #[test]
+    fn noop_publish_still_absorbs_reader_feedback() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        handle.snapshot().sink().record(WorkloadEvent::Query {
+            col: 1,
+            shape: QueryShape::Distinct,
+        });
+        // Query-shape evidence mutates only the writer's query log, so
+        // the publish is still skipped — but the evidence is absorbed.
+        assert_eq!(writer.publish(), 0);
+        assert_eq!(
+            writer.staging().query_log().count(1, QueryShape::Distinct),
+            1
+        );
+
+        // Timing evidence mutates the index version (copy-on-write), so
+        // the next publish is real.
+        handle.snapshot().sink().record(WorkloadEvent::Timing {
+            column: 1,
+            constraint: Constraint::NearlyUnique,
+            actual_micros: 9.0,
+            est_cost: 3.0,
+        });
+        assert_eq!(writer.publish(), 1);
+    }
+
+    #[test]
+    fn publish_sweeps_only_dirty_footprints_from_the_cache() {
+        use crate::cache::{CachedValue, Footprint, ResultCache};
+
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let cache = Arc::new(ResultCache::new(1 << 20));
+        let (handle, mut writer) = ConcurrentTable::with_result_cache(it, Arc::clone(&cache));
+        let snap = handle.snapshot();
+        let (c, token) = snap.result_cache().expect("cache wired into snapshots");
+        assert!(std::ptr::eq(c, &*cache));
+
+        let part = |pid: usize| (pid, Arc::clone(&snap.table().partitions()[pid]));
+        let canon = |tag: u8| -> Arc<[u8]> { Arc::from([tag].as_slice()) };
+        // Entry 1 reads partition 0 only; entry 2 reads both; entry 3
+        // depends on the index version.
+        c.insert(
+            token,
+            1,
+            canon(1),
+            0,
+            CachedValue::Count(1),
+            Footprint::new(vec![part(0)], vec![]),
+        );
+        c.insert(
+            token,
+            2,
+            canon(2),
+            0,
+            CachedValue::Count(2),
+            Footprint::new(vec![part(0), part(1)], vec![]),
+        );
+        c.insert(
+            token,
+            3,
+            canon(3),
+            0,
+            CachedValue::Count(3),
+            Footprint::new(vec![], vec![(0, Arc::clone(&snap.indexes()[0]))]),
+        );
+
+        // Dirty partition 1 only (value 50 -> 51 keeps the NUC clean but
+        // rewrites the partition Arc; the index version changes too since
+        // eager maintenance touches it).
+        writer.modify(1, &[1], 1, &[Value::Int(51)]);
+        writer.publish();
+        let new = handle.snapshot();
+        assert_eq!(new.epoch(), 1);
+        assert!(Arc::ptr_eq(
+            &snap.table().partitions()[0],
+            &new.table().partitions()[0]
+        ));
+
+        // Entry 1's footprint survived untouched; 2 and 3 are gone.
+        assert!(c
+            .lookup(token, 1, &canon(1), 1, new.table(), new.indexes())
+            .is_some());
+        assert!(c
+            .lookup(token, 2, &canon(2), 1, new.table(), new.indexes())
+            .is_none());
+        assert!(c
+            .lookup(token, 3, &canon(3), 1, new.table(), new.indexes())
+            .is_none());
+        let stats = handle
+            .cache_stats()
+            .expect("stats surface through the handle");
+        assert_eq!(stats.invalidated, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]

@@ -59,6 +59,11 @@ impl Batch {
         self.columns
     }
 
+    /// Heap bytes of all column vectors (shared dictionaries excluded).
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(ColumnData::heap_bytes).sum()
+    }
+
     /// Keeps only the rows at `indices` (in that order).
     pub fn gather(&self, indices: &[usize]) -> Batch {
         Batch {

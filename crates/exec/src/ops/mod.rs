@@ -6,6 +6,7 @@ pub mod hash_join;
 pub mod merge;
 pub mod merge_join;
 pub mod patch_select;
+pub mod probe;
 pub mod reuse;
 pub mod scan;
 pub mod sort;

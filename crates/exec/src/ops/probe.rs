@@ -1,0 +1,74 @@
+//! Pull-observation probe.
+//!
+//! A [`ProbeOp`] transparently wraps another operator and raises a shared
+//! flag the first time it is pulled. The planner's traced lowering wraps
+//! every per-partition pipeline in one, turning "which partitions did
+//! this execution actually read?" into a set of flipped cells — the
+//! dependency footprint of a cached query result. Combines that stop
+//! early (a pushed-down `LIMIT` under a union) leave downstream
+//! partitions' flags untouched, so their probes prove those partitions
+//! never contributed to the result.
+
+use std::cell::Cell;
+
+use crate::batch::Batch;
+use crate::op::{OpRef, Operator};
+
+/// Wraps an operator, flipping `flag` on the first pull.
+pub struct ProbeOp<'a> {
+    inner: OpRef<'a>,
+    flag: &'a Cell<bool>,
+}
+
+impl<'a> ProbeOp<'a> {
+    /// Creates a probe around `inner` reporting to `flag`.
+    pub fn new(inner: OpRef<'a>, flag: &'a Cell<bool>) -> Self {
+        ProbeOp { inner, flag }
+    }
+}
+
+impl Operator for ProbeOp<'_> {
+    fn next(&mut self) -> Option<Batch> {
+        self.flag.set(true);
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{collect, BatchSource};
+    use crate::ops::merge::{LimitOp, UnionAllOp};
+    use pi_storage::ColumnData;
+
+    fn src(vals: &[i64]) -> OpRef<'static> {
+        Box::new(BatchSource::single(Batch::new(vec![ColumnData::Int(
+            vals.to_vec(),
+        )])))
+    }
+
+    #[test]
+    fn probe_flags_only_pulled_inputs() {
+        let flags: Vec<Cell<bool>> = (0..3).map(|_| Cell::new(false)).collect();
+        let probed: Vec<OpRef<'_>> = vec![
+            Box::new(ProbeOp::new(src(&[1, 2, 3]), &flags[0])),
+            Box::new(ProbeOp::new(src(&[4, 5]), &flags[1])),
+            Box::new(ProbeOp::new(src(&[6]), &flags[2])),
+        ];
+        // The limit is satisfied by the first input alone; the union
+        // never reaches the later probes.
+        let mut op = LimitOp::new(Box::new(UnionAllOp::new(probed)), 2);
+        assert_eq!(collect(&mut op).column(0).as_int(), &[1, 2]);
+        assert!(flags[0].get());
+        assert!(!flags[1].get());
+        assert!(!flags[2].get());
+    }
+
+    #[test]
+    fn probe_is_transparent() {
+        let flag = Cell::new(false);
+        let mut op = ProbeOp::new(src(&[7, 8]), &flag);
+        assert_eq!(collect(&mut op).column(0).as_int(), &[7, 8]);
+        assert!(flag.get());
+    }
+}

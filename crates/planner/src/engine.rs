@@ -37,17 +37,21 @@
 //! index's [`patchindex::QueryFeedback`], so the advisor can weigh *real*
 //! timings, not just estimates.
 
+use std::sync::Arc;
+
 use patchindex::snapshot::WorkloadEvent;
 use patchindex::{
-    Constraint, IndexCatalog, IndexedTable, QueryShape, SortDir, TableSnapshot, TableWriter,
+    CachedValue, ConcurrentTable, Constraint, Footprint, IndexCatalog, IndexedTable, QueryShape,
+    ResultCache, SortDir, TableSnapshot, TableWriter,
 };
 use pi_exec::ops::sort::SortOrder;
 use pi_exec::Batch;
 
 use crate::cost::estimate;
+use crate::fingerprint::{canonical_bytes, fingerprint_hash, QueryMode};
 use crate::logical::Plan;
 use crate::optimizer::optimize;
-use crate::physical::{execute, execute_count};
+use crate::physical::{execute, execute_count, execute_count_traced, execute_traced, TouchLog};
 
 /// Every PatchScan slot the plan binds, sorted and deduplicated.
 fn bound_slots(plan: &Plan) -> Vec<usize> {
@@ -253,11 +257,7 @@ impl QueryEngine for IndexedTable {
 fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
     let cat = snap.catalog();
     if record {
-        let mut shapes = Vec::new();
-        query_shapes(plan, &mut shapes);
-        for (col, shape) in shapes {
-            snap.sink().record(WorkloadEvent::Query { col, shape });
-        }
+        record_shapes_snapshot(snap, plan);
     }
     let mut chosen = optimize(plan.clone(), cat, true);
     if !stale_nuc_slots(&chosen, cat).is_empty() {
@@ -278,21 +278,42 @@ fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
         chosen = optimize(plan.clone(), &masked, true);
     }
     if record {
-        let bound = bound_slots(&chosen);
-        if !bound.is_empty() {
-            let saved =
-                (estimate(plan, cat) - estimate(&chosen, cat)).max(0.0) / bound.len() as f64;
-            for &slot in &bound {
-                let e = cat.by_slot(slot).expect("bound slot outside the catalog");
-                snap.sink().record(WorkloadEvent::Feedback {
-                    column: e.column,
-                    constraint: e.constraint,
-                    est_cost_saved: saved,
-                });
-            }
-        }
+        record_bind_feedback_snapshot(snap, plan, &chosen);
     }
     chosen
+}
+
+/// Reports the advisable (column, shape) sites of the reference plan to
+/// the snapshot's sink. Split out of [`plan_on_snapshot`] because the
+/// cached query path records shapes on *every* execution — hit or miss —
+/// while estimated-savings feedback and measured timings are recorded
+/// only on misses (a cache hit executed nothing, so feeding its numbers
+/// to the advisor would poison its cost-model calibration).
+fn record_shapes_snapshot(snap: &TableSnapshot, plan: &Plan) {
+    let mut shapes = Vec::new();
+    query_shapes(plan, &mut shapes);
+    for (col, shape) in shapes {
+        snap.sink().record(WorkloadEvent::Query { col, shape });
+    }
+}
+
+/// Reports the chosen plan's estimated-savings feedback (per bound slot)
+/// to the snapshot's sink. Misses only — see [`record_shapes_snapshot`].
+fn record_bind_feedback_snapshot(snap: &TableSnapshot, plan: &Plan, chosen: &Plan) {
+    let cat = snap.catalog();
+    let bound = bound_slots(chosen);
+    if bound.is_empty() {
+        return;
+    }
+    let saved = (estimate(plan, cat) - estimate(chosen, cat)).max(0.0) / bound.len() as f64;
+    for &slot in &bound {
+        let e = cat.by_slot(slot).expect("bound slot outside the catalog");
+        snap.sink().record(WorkloadEvent::Feedback {
+            column: e.column,
+            constraint: e.constraint,
+            est_cost_saved: saved,
+        });
+    }
 }
 
 /// Sink-side counterpart of [`record_timing_owner`].
@@ -315,15 +336,109 @@ fn record_timing_snapshot(snap: &TableSnapshot, chosen: &Plan, elapsed: std::tim
     }
 }
 
+/// The dependency footprint of an executed plan on a snapshot: the
+/// partition versions the traced execution actually consulted plus every
+/// index version the chosen plan binds. Pointer identity of these Arcs
+/// is exactly "this cached result is still valid" — copy-on-write
+/// publishes replace the Arc of everything they touch and nothing else.
+fn footprint_of(snap: &TableSnapshot, chosen: &Plan, trace: &TouchLog) -> Footprint {
+    let parts = trace
+        .footprint()
+        .into_iter()
+        .map(|pid| (pid, Arc::clone(&snap.table().partitions()[pid])))
+        .collect();
+    let indexes = bound_slots(chosen)
+        .into_iter()
+        .map(|slot| (slot, Arc::clone(&snap.indexes()[slot])))
+        .collect();
+    Footprint::new(parts, indexes)
+}
+
+/// The cached snapshot query pipeline, shared by `query` and
+/// `query_count` (the `mode` byte keeps their fingerprints disjoint).
+///
+/// Plan first (planning is cheap and deterministic per snapshot), then
+/// consult the table's [`ResultCache`] under the canonical fingerprint
+/// of the *chosen* plan. On a hit the stored canonical bytes were
+/// compared — not just the hash — so the value is the exact answer:
+/// record the query-log shapes (the advisor's create rule counts demand,
+/// and a hit is demand) and return it. Feedback and timing events are
+/// deliberately NOT recorded on hits: nothing executed, and a ~0µs
+/// timing would corrupt `micros_per_cost_unit()` calibration (hits are
+/// tallied by the cache's own counters instead). On a miss, execute
+/// traced, record the full evidence, and insert the result with its
+/// dependency footprint.
+fn snapshot_query_cached(
+    snap: &TableSnapshot,
+    plan: &Plan,
+    cache: &ResultCache,
+    token: u64,
+    mode: QueryMode,
+) -> CachedValue {
+    let chosen = plan_on_snapshot(snap, plan, false);
+    let canon: Arc<[u8]> = canonical_bytes(&chosen, snap.catalog(), mode).into();
+    let hash = fingerprint_hash(&canon);
+    let cached = cache.lookup(
+        token,
+        hash,
+        &canon,
+        snap.epoch(),
+        snap.table(),
+        snap.indexes(),
+    );
+    if let Some(value) = cached {
+        // A hit for the Rows fingerprint is always a Rows value (the
+        // mode byte is part of the compared canonical form), so this
+        // arm never mismatches; the guard is belt-and-braces.
+        let matches_mode = matches!(
+            (&value, mode),
+            (CachedValue::Rows(_), QueryMode::Rows) | (CachedValue::Count(_), QueryMode::Count)
+        );
+        if matches_mode {
+            record_shapes_snapshot(snap, plan);
+            return value;
+        }
+    }
+    record_shapes_snapshot(snap, plan);
+    record_bind_feedback_snapshot(snap, plan, &chosen);
+    let trace = TouchLog::new(snap.table().partition_count());
+    let start = std::time::Instant::now();
+    let value = match mode {
+        QueryMode::Rows => CachedValue::Rows(execute_traced(
+            &chosen,
+            snap.table(),
+            snap.indexes(),
+            &trace,
+        )),
+        QueryMode::Count => {
+            CachedValue::Count(
+                execute_count_traced(&chosen, snap.table(), snap.indexes(), &trace) as u64,
+            )
+        }
+    };
+    record_timing_snapshot(snap, &chosen, start.elapsed());
+    let footprint = footprint_of(snap, &chosen, &trace);
+    cache.insert(token, hash, canon, snap.epoch(), value.clone(), footprint);
+    value
+}
+
 /// Concurrent readers: all methods are internally `&self` (the `&mut`
 /// receiver is the trait's shape, not a mutation) — clone the snapshot
-/// per thread and query away; maintenance never blocks these.
+/// per thread and query away; maintenance never blocks these. When the
+/// table was built with a [`ResultCache`], the executing entry points
+/// consult it first (see `snapshot_query_cached`).
 impl QueryEngine for TableSnapshot {
     fn plan_query(&mut self, plan: &Plan) -> Plan {
         plan_on_snapshot(self, plan, false)
     }
 
     fn query(&mut self, plan: &Plan) -> Batch {
+        if let Some((cache, token)) = self.result_cache() {
+            match snapshot_query_cached(self, plan, cache, token, QueryMode::Rows) {
+                CachedValue::Rows(rows) => return rows,
+                CachedValue::Count(_) => unreachable!("Rows fingerprint yielded a count"),
+            }
+        }
         let chosen = plan_on_snapshot(self, plan, true);
         let start = std::time::Instant::now();
         let out = execute(&chosen, self.table(), self.indexes());
@@ -332,11 +447,37 @@ impl QueryEngine for TableSnapshot {
     }
 
     fn query_count(&mut self, plan: &Plan) -> usize {
+        if let Some((cache, token)) = self.result_cache() {
+            match snapshot_query_cached(self, plan, cache, token, QueryMode::Count) {
+                CachedValue::Count(n) => return n as usize,
+                CachedValue::Rows(_) => unreachable!("Count fingerprint yielded rows"),
+            }
+        }
         let chosen = plan_on_snapshot(self, plan, true);
         let start = std::time::Instant::now();
         let out = execute_count(&chosen, self.table(), self.indexes());
         record_timing_snapshot(self, &chosen, start.elapsed());
         out
+    }
+}
+
+/// Queries on the handle itself: each call plans and executes against a
+/// freshly acquired snapshot (the read path is wait-free, so this is
+/// cheap), which routes through the table's result cache when one was
+/// attached via [`ConcurrentTable::with_result_cache`]. Callers that
+/// need repeatable reads across several queries should hold an explicit
+/// [`ConcurrentTable::snapshot`] instead.
+impl QueryEngine for ConcurrentTable {
+    fn plan_query(&mut self, plan: &Plan) -> Plan {
+        self.snapshot().plan_query(plan)
+    }
+
+    fn query(&mut self, plan: &Plan) -> Batch {
+        self.snapshot().query(plan)
+    }
+
+    fn query_count(&mut self, plan: &Plan) -> usize {
+        self.snapshot().query_count(plan)
     }
 }
 
@@ -720,6 +861,131 @@ mod tests {
         assert!(fb.est_cost_saved > 0.0);
         assert_eq!(fb.measured_queries, 2);
         assert!(fb.actual_micros > 0.0);
+    }
+
+    fn cached(it: IndexedTable) -> (ConcurrentTable, TableWriter) {
+        ConcurrentTable::with_result_cache(
+            it,
+            Arc::new(ResultCache::new(ResultCache::DEFAULT_BUDGET)),
+        )
+    }
+
+    #[test]
+    fn cached_snapshot_repeats_hit_and_match_exactly() {
+        let mut it = fresh(4);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, _writer) = cached(it);
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let first = snap.query(&distinct);
+        let second = snap.query(&distinct);
+        assert_eq!(first.column(0).as_int(), second.column(0).as_int());
+        // Rows and counts fingerprint separately (the mode byte), so the
+        // count is its own miss-then-hit, never a cross-mode confusion.
+        let n = snap.query_count(&distinct);
+        assert_eq!(n, first.len());
+        assert_eq!(snap.query_count(&distinct), n);
+        let stats = handle.cache_stats().unwrap();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn cache_hits_record_shapes_but_never_feedback_or_timing() {
+        let mut it = fresh(2);
+        let slot = it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, mut writer) = cached(it);
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        snap.query_count(&distinct); // miss: full evidence
+        writer.absorb_feedback();
+        let before = writer.staging().index(slot).query_feedback();
+        assert_eq!(before.times_bound, 1);
+        assert_eq!(before.measured_queries, 1);
+
+        for _ in 0..3 {
+            snap.query_count(&distinct); // hits: shapes only
+        }
+        writer.absorb_feedback();
+        let it = writer.staging();
+        // The advisor's demand signal still sees every query...
+        assert_eq!(it.query_log().count(1, QueryShape::Distinct), 4);
+        // ...but calibration inputs are untouched: a hit executed
+        // nothing, so its ~0µs must not dilute micros-per-cost-unit.
+        let after = it.index(slot).query_feedback();
+        assert_eq!(after.times_bound, before.times_bound);
+        assert_eq!(after.measured_queries, before.measured_queries);
+        assert_eq!(after.actual_micros, before.actual_micros);
+        assert_eq!(after.micros_per_cost_unit(), before.micros_per_cost_unit());
+        // Hits are tallied in the cache's own counter instead.
+        assert_eq!(handle.cache_stats().unwrap().hits, 3);
+    }
+
+    #[test]
+    fn manufactured_fingerprint_collision_is_a_miss() {
+        let mut it = fresh(2);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, _writer) = cached(it);
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let chosen = snap.plan_query(&distinct);
+        let canon = canonical_bytes(&chosen, snap.catalog(), QueryMode::Count);
+        let hash = fingerprint_hash(&canon);
+        // Poison the exact bucket the query will probe with an entry
+        // whose canonical bytes differ — a simulated 64-bit collision.
+        let (cache, token) = snap.result_cache().unwrap();
+        cache.insert(
+            token,
+            hash,
+            b"not the same plan".to_vec().into(),
+            snap.epoch(),
+            CachedValue::Count(999_999),
+            Footprint::new(Vec::new(), Vec::new()),
+        );
+        let reference = execute_count(&distinct, snap.table(), NO_INDEXES);
+        assert_ne!(reference, 999_999);
+        // The stored canonical form is compared on every probe, so the
+        // collision is detected and the query recomputes.
+        assert_eq!(snap.query_count(&distinct), reference);
+        let stats = handle.cache_stats().unwrap();
+        assert_eq!(stats.hits, 0);
+        // The recomputed entry replaced the poisoned one; now it hits.
+        assert_eq!(snap.query_count(&distinct), reference);
+        assert_eq!(handle.cache_stats().unwrap().hits, 1);
+    }
+
+    #[test]
+    fn publish_keeps_entries_whose_partitions_were_untouched() {
+        let it = fresh(2);
+        let (handle, mut writer) = cached(it);
+        let mut snap = handle.snapshot();
+        let limited = Plan::scan(vec![1]).limit(2);
+        let full = Plan::scan(vec![1]);
+        // The pushed-down limit is satisfied entirely by partition 0, so
+        // its footprint excludes partition 1; the full scan touches both.
+        let first = snap.query(&limited);
+        assert_eq!(snap.query_count(&full), 10);
+        assert_eq!(handle.cache_stats().unwrap().entries, 2);
+
+        // Dirty only partition 1 and publish: copy-on-write replaces
+        // p1's Arc and leaves p0's identical.
+        writer.modify(1, &[0], 1, &[Value::Int(-777)]);
+        writer.publish();
+        let stats = handle.cache_stats().unwrap();
+        assert_eq!(stats.invalidated, 1, "only the full scan depends on p1");
+        assert_eq!(stats.entries, 1);
+
+        let mut snap2 = handle.snapshot();
+        // The surviving limit entry hits across the epoch bump...
+        let again = snap2.query(&limited);
+        assert_eq!(first.column(0).as_int(), again.column(0).as_int());
+        assert_eq!(handle.cache_stats().unwrap().hits, 1);
+        // ...and the invalidated full scan recomputes the new state.
+        let fresh_count = snap2.query_count(&full);
+        assert_eq!(fresh_count, 10);
+        let refreshed = snap2.query(&full);
+        assert!(refreshed.column(0).as_int().contains(&-777));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod cost;
 mod engine;
+pub mod fingerprint;
 mod logical;
 mod optimizer;
 pub mod physical;
@@ -26,10 +27,12 @@ pub mod physical;
 mod testutil;
 
 pub use engine::QueryEngine;
+pub use fingerprint::{canonical_bytes, fingerprint_hash, QueryMode};
 pub use logical::Plan;
 pub use optimizer::{optimize, rewrite, zero_branch_prune};
 pub use patchindex::{IndexCatalog, IndexStats, PartitionStats};
 pub use physical::{
-    execute, execute_count, execute_count_with, lower_global, lower_global_with, lower_partition,
-    prune_for_partition, Pruning, NO_INDEXES,
+    execute, execute_count, execute_count_traced, execute_count_with, execute_traced, lower_global,
+    lower_global_traced, lower_global_with, lower_partition, prune_for_partition, Pruning,
+    TouchLog, NO_INDEXES,
 };

@@ -19,6 +19,7 @@
 //! rows instead of draining fully.
 
 use std::borrow::{Borrow, Cow};
+use std::cell::Cell;
 
 use patchindex::scan::patch_scan;
 use patchindex::PatchIndex;
@@ -26,12 +27,71 @@ use pi_exec::ops::agg::HashAggOp;
 use pi_exec::ops::filter::FilterOp;
 use pi_exec::ops::merge::{LimitOp, OrderedMergeOp, UnionAllOp};
 use pi_exec::ops::patch_select::PatchMode;
+use pi_exec::ops::probe::ProbeOp;
 use pi_exec::ops::scan::ScanOp;
 use pi_exec::ops::sort::SortOp;
 use pi_exec::{collect, Batch, OpRef};
 use pi_storage::Table;
 
 use crate::logical::Plan;
+
+/// Records which partitions one execution actually depended on — the
+/// partition half of a result-cache dependency footprint.
+///
+/// Two signals, both required for soundness:
+///
+/// * **pulled** — the partition's pipeline was pulled at least once
+///   (observed by a [`ProbeOp`] the traced lowering wraps around every
+///   per-partition pipeline). Combines that stop early (a pushed-down
+///   `LIMIT` under a union pulls children strictly in order) leave
+///   later partitions unpulled, and those are safely *excludable*: any
+///   mutation that would route their rows into the result prefix must
+///   first rewrite a partition that *was* pulled (row order within a
+///   partition is insertion order, and the union order is fixed).
+/// * **consulted-empty** — per-partition zero-branch pruning dropped
+///   the whole pipeline because the partition was provably empty. The
+///   result *does* depend on that emptiness (an insert there changes
+///   it), so pruned-empty partitions must stay in the footprint even
+///   though no operator ever existed to pull.
+///
+/// Execution is single-threaded, so plain [`Cell`] flags suffice.
+#[derive(Debug)]
+pub struct TouchLog {
+    pulled: Vec<Cell<bool>>,
+    consulted_empty: Vec<Cell<bool>>,
+}
+
+impl TouchLog {
+    /// A log for a table with `partitions` partitions, all untouched.
+    pub fn new(partitions: usize) -> Self {
+        TouchLog {
+            pulled: (0..partitions).map(|_| Cell::new(false)).collect(),
+            consulted_empty: (0..partitions).map(|_| Cell::new(false)).collect(),
+        }
+    }
+
+    fn pulled_flag(&self, pid: usize) -> &Cell<bool> {
+        &self.pulled[pid]
+    }
+
+    fn mark_consulted_empty(&self, pid: usize) {
+        self.consulted_empty[pid].set(true);
+    }
+
+    /// Partitions whose pipelines were pulled, ascending.
+    pub fn pulled(&self) -> Vec<usize> {
+        (0..self.pulled.len())
+            .filter(|&pid| self.pulled[pid].get())
+            .collect()
+    }
+
+    /// The footprint partitions: pulled ∪ consulted-empty, ascending.
+    pub fn footprint(&self) -> Vec<usize> {
+        (0..self.pulled.len())
+            .filter(|&pid| self.pulled[pid].get() || self.consulted_empty[pid].get())
+            .collect()
+    }
+}
 
 /// The empty index set, pre-typed so reference executions
 /// (`execute(&plan, table, NO_INDEXES)`) don't need a turbofish now that
@@ -169,6 +229,34 @@ fn limit_pushes_down(plan: &Plan) -> bool {
     matches!(plan, Plan::Scan { .. } | Plan::PatchScan { .. })
 }
 
+/// Wraps a finished per-partition pipeline in a [`ProbeOp`] when a
+/// [`TouchLog`] is tracing this lowering.
+fn probe<'a>(op: OpRef<'a>, trace: Option<&'a TouchLog>, pid: usize) -> OpRef<'a> {
+    match trace {
+        Some(t) => Box::new(ProbeOp::new(op, t.pulled_flag(pid))),
+        None => op,
+    }
+}
+
+/// [`maybe_prune`], additionally recording a pruned-to-nothing partition
+/// as consulted-empty in the trace (the result depends on its emptiness).
+fn maybe_prune_traced<'a, I: Borrow<PatchIndex>>(
+    plan: &'a Plan,
+    table: &Table,
+    indexes: &[I],
+    pid: usize,
+    pruning: Pruning,
+    trace: Option<&TouchLog>,
+) -> Option<Cow<'a, Plan>> {
+    let pruned = maybe_prune(plan, table, indexes, pid, pruning);
+    if pruned.is_none() {
+        if let Some(t) = trace {
+            t.mark_consulted_empty(pid);
+        }
+    }
+    pruned
+}
+
 /// Lowers `plan` across all partitions with the appropriate global
 /// combine, pruning per partition according to `pruning`.
 pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
@@ -177,14 +265,27 @@ pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
     indexes: &'a [I],
     pruning: Pruning,
 ) -> OpRef<'a> {
+    lower_global_traced(plan, table, indexes, pruning, None)
+}
+
+/// [`lower_global_with`] with every per-partition pipeline wrapped in a
+/// pull probe reporting to `trace` — the footprint-capturing lowering
+/// behind the result cache. See [`TouchLog`] for the soundness argument.
+pub fn lower_global_traced<'a, I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &'a Table,
+    indexes: &'a [I],
+    pruning: Pruning,
+    trace: Option<&'a TouchLog>,
+) -> OpRef<'a> {
     let parts = 0..table.partition_count();
     match plan {
         // Bags concatenate across partitions.
         Plan::Scan { .. } | Plan::PatchScan { .. } => Box::new(UnionAllOp::new(
             parts
                 .filter_map(|pid| {
-                    maybe_prune(plan, table, indexes, pid, pruning)
-                        .map(|p| lower_partition(&p, table, indexes, pid))
+                    maybe_prune_traced(plan, table, indexes, pid, pruning, trace)
+                        .map(|p| probe(lower_partition(&p, table, indexes, pid), trace, pid))
                 })
                 .collect(),
         )),
@@ -193,11 +294,12 @@ pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
         Plan::Distinct { input, cols } => {
             let partials: Vec<OpRef<'a>> = parts
                 .filter_map(|pid| {
-                    maybe_prune(input, table, indexes, pid, pruning).map(|p| {
-                        Box::new(HashAggOp::distinct(
+                    maybe_prune_traced(input, table, indexes, pid, pruning, trace).map(|p| {
+                        let partial: OpRef<'a> = Box::new(HashAggOp::distinct(
                             lower_partition(&p, table, indexes, pid),
                             cols.clone(),
-                        )) as OpRef<'a>
+                        ));
+                        probe(partial, trace, pid)
                     })
                 })
                 .collect();
@@ -211,17 +313,18 @@ pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
         // Distinct arm's global re-aggregation dedups across partitions),
         // so it is lowered globally and sorted once.
         Plan::Sort { input, keys } if input.contains_distinct() => Box::new(SortOp::new(
-            lower_global_with(input, table, indexes, pruning),
+            lower_global_traced(input, table, indexes, pruning, trace),
             keys.clone(),
         )),
         Plan::Sort { input, keys } => {
             let sorted: Vec<OpRef<'a>> = parts
                 .filter_map(|pid| {
-                    maybe_prune(input, table, indexes, pid, pruning).map(|p| {
-                        Box::new(SortOp::new(
+                    maybe_prune_traced(input, table, indexes, pid, pruning, trace).map(|p| {
+                        let stream: OpRef<'a> = Box::new(SortOp::new(
                             lower_partition(&p, table, indexes, pid),
                             keys.clone(),
-                        )) as OpRef<'a>
+                        ));
+                        probe(stream, trace, pid)
                     })
                 })
                 .collect();
@@ -237,12 +340,13 @@ pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
             let mut streams: Vec<OpRef<'a>> = Vec::new();
             for child in inputs {
                 if child.contains_distinct() {
-                    streams.push(lower_global_with(child, table, indexes, pruning));
+                    streams.push(lower_global_traced(child, table, indexes, pruning, trace));
                     continue;
                 }
                 for pid in parts.clone() {
-                    if let Some(p) = maybe_prune(child, table, indexes, pid, pruning) {
-                        streams.push(lower_partition(&p, table, indexes, pid));
+                    if let Some(p) = maybe_prune_traced(child, table, indexes, pid, pruning, trace)
+                    {
+                        streams.push(probe(lower_partition(&p, table, indexes, pid), trace, pid));
                     }
                 }
             }
@@ -251,7 +355,7 @@ pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
         Plan::Union { inputs } => Box::new(UnionAllOp::new(
             inputs
                 .iter()
-                .map(|p| lower_global_with(p, table, indexes, pruning))
+                .map(|p| lower_global_traced(p, table, indexes, pruning, trace))
                 .collect(),
         )),
         Plan::Limit { input, n } => {
@@ -260,16 +364,19 @@ pub fn lower_global_with<'a, I: Borrow<PatchIndex>>(
                 // stops early), keep the exact global cap on top.
                 let capped: Vec<OpRef<'a>> = parts
                     .filter_map(|pid| {
-                        maybe_prune(input, table, indexes, pid, pruning).map(|p| {
-                            Box::new(LimitOp::new(lower_partition(&p, table, indexes, pid), *n))
-                                as OpRef<'a>
+                        maybe_prune_traced(input, table, indexes, pid, pruning, trace).map(|p| {
+                            let capped: OpRef<'a> = Box::new(LimitOp::new(
+                                lower_partition(&p, table, indexes, pid),
+                                *n,
+                            ));
+                            probe(capped, trace, pid)
                         })
                     })
                     .collect();
                 Box::new(LimitOp::new(Box::new(UnionAllOp::new(capped)), *n))
             } else {
                 Box::new(LimitOp::new(
-                    lower_global_with(input, table, indexes, pruning),
+                    lower_global_traced(input, table, indexes, pruning, trace),
                     *n,
                 ))
             }
@@ -290,6 +397,34 @@ pub fn lower_global<'a, I: Borrow<PatchIndex>>(
 pub fn execute<I: Borrow<PatchIndex>>(plan: &Plan, table: &Table, indexes: &[I]) -> Batch {
     let mut root = lower_global(plan, table, indexes);
     collect(root.as_mut())
+}
+
+/// [`execute`] while recording the partition dependency footprint into
+/// `trace` (default per-partition pruning).
+pub fn execute_traced<I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &Table,
+    indexes: &[I],
+    trace: &TouchLog,
+) -> Batch {
+    let mut root = lower_global_traced(plan, table, indexes, Pruning::PerPartition, Some(trace));
+    collect(root.as_mut())
+}
+
+/// [`execute_count`] while recording the partition dependency footprint
+/// into `trace` (default per-partition pruning).
+pub fn execute_count_traced<I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &Table,
+    indexes: &[I],
+    trace: &TouchLog,
+) -> usize {
+    let mut root = lower_global_traced(plan, table, indexes, Pruning::PerPartition, Some(trace));
+    let mut n = 0;
+    while let Some(b) = root.next() {
+        n += b.len();
+    }
+    n
 }
 
 /// Executes a plan, returning only the row count (benchmark helper that
@@ -736,5 +871,86 @@ mod tests {
             execute(&sorted, &t, NO_INDEXES).column(0).as_int(),
             &[1, 2, 3]
         );
+    }
+
+    #[test]
+    fn traced_execution_matches_untraced() {
+        let t = table();
+        let idx = single(PatchIndex::create(
+            &t,
+            1,
+            Constraint::NearlyUnique,
+            Design::Bitmap,
+        ));
+        for plan in [
+            Plan::scan(vec![1]),
+            Plan::scan(vec![1]).distinct(vec![0]),
+            Plan::scan(vec![1]).sort(vec![(0, SortOrder::Asc)]),
+            Plan::scan(vec![1])
+                .distinct(vec![0])
+                .sort(vec![(0, SortOrder::Asc)]),
+            Plan::scan(vec![1]).limit(3),
+        ] {
+            let opt = optimize(plan.clone(), &IndexCatalog::of(&t, &idx), false);
+            let trace = TouchLog::new(t.partition_count());
+            let traced = execute_traced(&opt, &t, &idx, &trace);
+            let plain = execute(&opt, &t, &idx);
+            assert_eq!(
+                traced.column(0).as_int(),
+                plain.column(0).as_int(),
+                "{plan}"
+            );
+            let ctrace = TouchLog::new(t.partition_count());
+            assert_eq!(
+                execute_count_traced(&opt, &t, &idx, &ctrace),
+                plain.len(),
+                "{plan}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_scan_footprint_covers_every_partition() {
+        let t = table();
+        let trace = TouchLog::new(t.partition_count());
+        execute_traced(
+            &Plan::scan(vec![1]).distinct(vec![0]),
+            &t,
+            NO_INDEXES,
+            &trace,
+        );
+        assert_eq!(trace.footprint(), vec![0, 1]);
+    }
+
+    #[test]
+    fn pushed_down_limit_excludes_unreached_partitions() {
+        let t = table(); // 4 rows in p0, 3 in p1
+        let trace = TouchLog::new(t.partition_count());
+        let out = execute_traced(&Plan::scan(vec![1]).limit(2), &t, NO_INDEXES, &trace);
+        assert_eq!(out.len(), 2);
+        // Partition 0 alone satisfies the limit; the union never pulls
+        // partition 1, so the footprint provably excludes it.
+        assert_eq!(trace.footprint(), vec![0]);
+        assert_eq!(trace.pulled(), vec![0]);
+    }
+
+    #[test]
+    fn pruned_empty_partition_stays_in_the_footprint() {
+        let mut t = Table::new(
+            "holes",
+            Schema::new(vec![Field::new("v", DataType::Int)]),
+            3,
+            Partitioning::RoundRobin,
+        );
+        t.load_partition(0, &[ColumnData::Int(vec![3, 1])]);
+        // Partition 1 stays empty (pruned before lowering).
+        t.load_partition(2, &[ColumnData::Int(vec![2])]);
+        t.propagate_all();
+        let trace = TouchLog::new(t.partition_count());
+        execute_traced(&Plan::scan(vec![0]), &t, NO_INDEXES, &trace);
+        // The result depends on partition 1 *being empty*: an insert
+        // there changes it, so consulted-empty keeps it in the footprint.
+        assert_eq!(trace.pulled(), vec![0, 2]);
+        assert_eq!(trace.footprint(), vec![0, 1, 2]);
     }
 }

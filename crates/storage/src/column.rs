@@ -69,6 +69,16 @@ impl ColumnData {
         self.len() == 0
     }
 
+    /// Heap bytes held by the value vector (dictionaries are shared and
+    /// excluded) — the accounting currency of byte-budgeted caches.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len() * std::mem::size_of::<i64>(),
+            ColumnData::Float(v) => v.len() * std::mem::size_of::<f64>(),
+            ColumnData::Str { codes, .. } => codes.len() * std::mem::size_of::<u32>(),
+        }
+    }
+
     /// Physical data type.
     pub fn data_type(&self) -> DataType {
         match self {
