@@ -1,6 +1,7 @@
 //! The advisor loop: observe an [`IndexedTable`], decide, act.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use patchindex::stats::{pi_bitmap_bytes, pi_identifier_bytes, preferred_design};
 use patchindex::{
@@ -8,6 +9,7 @@ use patchindex::{
     QueryShape, SortDir,
 };
 use pi_exec::ops::sort::SortOrder;
+use pi_obs::{Counter, Cumulative, MetricsRegistry, Windowed};
 use pi_planner::{cost, rewrite, Plan};
 
 use crate::policy::{
@@ -120,23 +122,52 @@ impl AdvisorAction {
     }
 }
 
-/// One step's deltas of the cumulative per-index counters.
+/// The cumulative per-index counters the advisor windows over:
+/// maintenance plus query feedback, as one [`Cumulative`] bundle so a
+/// single [`Windowed`] tracks all four in lockstep.
 #[derive(Debug, Default, Clone, Copy)]
-struct WindowSample {
+struct FeedbackTotals {
     maintained: u64,
     saved: f64,
     actual_micros: f64,
     est_cost_executed: f64,
 }
 
-/// Sliding-window state per (column, constraint).
-#[derive(Debug, Default)]
-struct Window {
-    samples: VecDeque<WindowSample>,
-    last_maintained: u64,
-    last_saved: f64,
-    last_actual_micros: f64,
-    last_est_cost_executed: f64,
+impl Cumulative for FeedbackTotals {
+    fn delta(&self, earlier: &Self) -> Self {
+        FeedbackTotals {
+            maintained: self.maintained.saturating_sub(earlier.maintained),
+            saved: self.saved - earlier.saved,
+            actual_micros: self.actual_micros - earlier.actual_micros,
+            est_cost_executed: self.est_cost_executed - earlier.est_cost_executed,
+        }
+    }
+    fn accumulate(&mut self, sample: &Self) {
+        self.maintained += sample.maintained;
+        self.saved += sample.saved;
+        self.actual_micros += sample.actual_micros;
+        self.est_cost_executed += sample.est_cost_executed;
+    }
+}
+
+/// Pre-registered handles for the advisor's action counters.
+#[derive(Debug)]
+struct AdvisorMetrics {
+    steps: Arc<Counter>,
+    created: Arc<Counter>,
+    recomputed: Arc<Counter>,
+    dropped: Arc<Counter>,
+}
+
+impl AdvisorMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        AdvisorMetrics {
+            steps: registry.counter("advisor.steps"),
+            created: registry.counter("advisor.created"),
+            recomputed: registry.counter("advisor.recomputed"),
+            dropped: registry.counter("advisor.dropped"),
+        }
+    }
 }
 
 /// The self-tuning index-lifecycle advisor.
@@ -149,12 +180,13 @@ struct Window {
 #[derive(Debug, Default)]
 pub struct Advisor {
     cfg: AdvisorConfig,
-    windows: HashMap<(usize, Constraint), Window>,
+    windows: HashMap<(usize, Constraint), Windowed<FeedbackTotals>>,
     /// Per-(column, shape) sliding window over query-log deltas: the
     /// create rule demands *recent* query evidence, so a dropped index
     /// is not immediately re-created from stale cumulative counts.
-    query_windows: HashMap<(usize, QueryShape), (u64, VecDeque<u64>)>,
+    query_windows: HashMap<(usize, QueryShape), Windowed<u64>>,
     last_step_statements: u64,
+    metrics: Option<AdvisorMetrics>,
 }
 
 impl Advisor {
@@ -163,6 +195,16 @@ impl Advisor {
         Advisor {
             cfg,
             ..Advisor::default()
+        }
+    }
+
+    /// An advisor that reports its activity (`advisor.steps`,
+    /// `advisor.created`, `advisor.recomputed`, `advisor.dropped`) to a
+    /// metrics registry.
+    pub fn with_metrics(cfg: AdvisorConfig, registry: &MetricsRegistry) -> Self {
+        Advisor {
+            metrics: Some(AdvisorMetrics::new(registry)),
+            ..Advisor::new(cfg)
         }
     }
 
@@ -199,6 +241,9 @@ impl Advisor {
     /// actions.
     pub fn step(&mut self, it: &mut IndexedTable) -> Vec<AdvisorAction> {
         self.last_step_statements = it.statements();
+        if let Some(m) = &self.metrics {
+            m.steps.inc();
+        }
         // Deferred maintenance stays batched: staged rows are already
         // counted as maintained, and the drop/create rules read only
         // counters that are exact while pending. The one rule that needs
@@ -230,30 +275,20 @@ impl Advisor {
         for (slot, idx) in it.indexes().iter().enumerate() {
             let key = (idx.column(), idx.constraint());
             live.push(key);
-            let maintained = idx.maintenance_stats().maintained_rows;
             let feedback = idx.query_feedback();
-            let window = self.windows.entry(key).or_insert_with(|| Window {
+            let totals = FeedbackTotals {
+                maintained: idx.maintenance_stats().maintained_rows,
+                saved: feedback.est_cost_saved,
+                actual_micros: feedback.actual_micros,
+                est_cost_executed: feedback.est_cost_executed,
+            };
+            let window = self.windows.entry(key).or_insert_with(|| {
                 // First sight: anchor at the current counters so
                 // pre-advisor history does not flood the first window.
-                samples: VecDeque::new(),
-                last_maintained: maintained,
-                last_saved: feedback.est_cost_saved,
-                last_actual_micros: feedback.actual_micros,
-                last_est_cost_executed: feedback.est_cost_executed,
+                Windowed::anchored(self.cfg.drop_window, totals)
             });
-            window.samples.push_back(WindowSample {
-                maintained: maintained - window.last_maintained,
-                saved: feedback.est_cost_saved - window.last_saved,
-                actual_micros: feedback.actual_micros - window.last_actual_micros,
-                est_cost_executed: feedback.est_cost_executed - window.last_est_cost_executed,
-            });
-            window.last_maintained = maintained;
-            window.last_saved = feedback.est_cost_saved;
-            window.last_actual_micros = feedback.actual_micros;
-            window.last_est_cost_executed = feedback.est_cost_executed;
-            while window.samples.len() > self.cfg.drop_window {
-                window.samples.pop_front();
-            }
+            window.observe(totals);
+            let windowed = window.total();
             indexes.push(IndexObservation {
                 slot,
                 column: idx.column(),
@@ -261,11 +296,11 @@ impl Advisor {
                 e: idx.match_fraction(),
                 baseline_e: idx.baseline().match_fraction,
                 memory_bytes: idx.memory_bytes(),
-                window_maintained_rows: window.samples.iter().map(|s| s.maintained).sum(),
-                window_cost_saved: window.samples.iter().map(|s| s.saved).sum(),
-                window_actual_micros: window.samples.iter().map(|s| s.actual_micros).sum(),
-                window_est_cost_executed: window.samples.iter().map(|s| s.est_cost_executed).sum(),
-                window_full: window.samples.len() >= self.cfg.drop_window,
+                window_maintained_rows: windowed.maintained,
+                window_cost_saved: windowed.saved,
+                window_actual_micros: windowed.actual_micros,
+                window_est_cost_executed: windowed.est_cost_executed,
+                window_full: window.is_full(),
             });
         }
         // Windows of dropped indexes would otherwise linger forever.
@@ -276,13 +311,12 @@ impl Advisor {
         // counts everything logged so far.
         let mut windowed: Vec<(usize, QueryShape, u64)> = Vec::new();
         for (col, shape, total) in it.query_log().entries() {
-            let (last, deque) = self.query_windows.entry((col, shape)).or_default();
-            deque.push_back(total - *last);
-            *last = total;
-            while deque.len() > self.cfg.drop_window {
-                deque.pop_front();
-            }
-            windowed.push((col, shape, deque.iter().sum()));
+            let window = self
+                .query_windows
+                .entry((col, shape))
+                .or_insert_with(|| Windowed::from_zero(self.cfg.drop_window));
+            window.observe(total);
+            windowed.push((col, shape, window.total()));
         }
 
         let rows = it.table().visible_len() as u64;
@@ -388,7 +422,12 @@ impl Advisor {
             } = d
             {
                 let slot = it.add_index(column, constraint, design);
-                self.windows.insert((column, constraint), Window::default());
+                // A fresh index starts its counters at zero, so anchoring
+                // at zero and at "current" coincide here.
+                self.windows.insert(
+                    (column, constraint),
+                    Windowed::from_zero(self.cfg.drop_window),
+                );
                 actions.push(AdvisorAction::Created {
                     slot,
                     column,
@@ -397,6 +436,15 @@ impl Advisor {
                     sampled_e,
                     discovered_e: it.index(slot).match_fraction(),
                 });
+            }
+        }
+        if let Some(m) = &self.metrics {
+            for a in &actions {
+                match a {
+                    AdvisorAction::Created { .. } => m.created.inc(),
+                    AdvisorAction::Recomputed { .. } => m.recomputed.inc(),
+                    AdvisorAction::Dropped { .. } => m.dropped.inc(),
+                }
             }
         }
         actions
@@ -559,5 +607,9 @@ impl pi_planner::QueryEngine for AdvisedTable {
 
     fn query_count(&mut self, plan: &Plan) -> usize {
         self.inner.query_count(plan)
+    }
+
+    fn query_traced(&mut self, plan: &Plan) -> (pi_exec::Batch, pi_obs::QueryTrace) {
+        self.inner.query_traced(plan)
     }
 }

@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
 //! Compares freshly emitted `BENCH_{maintenance,planner,advisor,
-//! concurrency,durability,cache}.json` against the checked-in `bench_baselines/*.json`
+//! concurrency,durability,cache,obs}.json` against the checked-in `bench_baselines/*.json`
 //! and fails (exit 1) when any gated metric regressed beyond its
 //! tolerance. Metrics are chosen to be machine-portable — behavioral
 //! counts, ratios and speedups rather than raw seconds — so the gate
@@ -160,6 +160,12 @@ const METRICS: &[Metric] = &[
     m("cache", "exact", Dir::Higher, 0.0),
     m("cache", "hit_ratio", Dir::Higher, 2.0),
     m("cache", "speedup_over_uncached", Dir::Higher, 3.0),
+    // observability: traced answers must stay byte-identical (zero
+    // slack), and the tracing machinery must stay within a few percent
+    // of untraced latency — weight 0.1 pins the traced/untraced ratio to
+    // ~2.5% over its baseline at the default 25% base tolerance.
+    m("obs", "trace.exact", Dir::Higher, 0.0),
+    m("obs", "overhead.traced_over_untraced", Dir::Lower, 0.1),
 ];
 
 struct Row {
@@ -252,6 +258,7 @@ fn main() {
         "concurrency",
         "durability",
         "cache",
+        "obs",
     ];
     let mut fresh = std::collections::HashMap::new();
     let mut base = std::collections::HashMap::new();

@@ -235,6 +235,8 @@ mod tests {
             "advisor",
             "concurrency",
             "durability",
+            "cache",
+            "obs",
         ] {
             let path = format!(
                 "{}/../../bench_baselines/BENCH_{name}.json",

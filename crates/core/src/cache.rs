@@ -21,11 +21,11 @@
 //! slice. Within a shard, eviction is LRU by a per-shard use tick.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use pi_exec::Batch;
+use pi_obs::{Counter, MetricsRegistry};
 use pi_storage::{Partition, Table};
 
 use crate::index::PatchIndex;
@@ -155,16 +155,18 @@ pub struct CacheStats {
 ///
 /// Lookups identify entries by `(table token, fingerprint hash)` and
 /// verify the canonical plan bytes plus — across epochs — the footprint
-/// pointers. All counters are cheap atomics; the per-shard mutex is held
-/// only for the map operation itself.
+/// pointers. The counters are `pi-obs` [`Counter`] handles — private to
+/// this cache by default, or shared with a [`MetricsRegistry`] (under
+/// `cache.*` names) via [`ResultCache::with_registry`]; either way the
+/// per-shard mutex is held only for the map operation itself.
 #[derive(Debug)]
 pub struct ResultCache {
     shards: Box<[Mutex<Shard>]>,
     shard_budget: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidated: AtomicU64,
-    evicted: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidated: Arc<Counter>,
+    evicted: Arc<Counter>,
 }
 
 impl ResultCache {
@@ -173,17 +175,32 @@ impl ResultCache {
     const SHARDS: usize = 16;
 
     /// Creates a cache with the given total byte budget, split evenly
-    /// over the shards.
+    /// over the shards. Counters are private to this cache.
     pub fn new(budget_bytes: usize) -> Self {
         let mut shards = Vec::with_capacity(Self::SHARDS);
         shards.resize_with(Self::SHARDS, Mutex::default);
         ResultCache {
             shards: shards.into_boxed_slice(),
             shard_budget: (budget_bytes / Self::SHARDS).max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidated: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
+            hits: Arc::new(Counter::default()),
+            misses: Arc::new(Counter::default()),
+            invalidated: Arc::new(Counter::default()),
+            evicted: Arc::new(Counter::default()),
+        }
+    }
+
+    /// Like [`ResultCache::new`], but the counters live in `registry`
+    /// as `cache.hits` / `cache.misses` / `cache.invalidated` /
+    /// `cache.evicted`, so the cache shows up in registry snapshots.
+    /// [`ResultCache::stats`] keeps reporting the same numbers — it is
+    /// a thin view over the shared handles.
+    pub fn with_registry(budget_bytes: usize, registry: &MetricsRegistry) -> Self {
+        ResultCache {
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            invalidated: registry.counter("cache.invalidated"),
+            evicted: registry.counter("cache.evicted"),
+            ..ResultCache::new(budget_bytes)
         }
     }
 
@@ -216,7 +233,7 @@ impl ResultCache {
                     e.last_used = tick;
                     let value = e.value.clone();
                     drop(shard);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Some(value);
                 }
                 true
@@ -226,10 +243,10 @@ impl ResultCache {
         if stale {
             let e = shard.map.remove(&hash).expect("entry just matched");
             shard.bytes -= e.bytes;
-            self.invalidated.fetch_add(1, Ordering::Relaxed);
+            self.invalidated.inc();
         }
         drop(shard);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         None
     }
 
@@ -283,7 +300,7 @@ impl ResultCache {
         }
         drop(shard);
         if evictions > 0 {
-            self.evicted.fetch_add(evictions, Ordering::Relaxed);
+            self.evicted.add(evictions);
         }
     }
 
@@ -313,7 +330,7 @@ impl ResultCache {
             shard.bytes -= freed;
         }
         if removed > 0 {
-            self.invalidated.fetch_add(removed, Ordering::Relaxed);
+            self.invalidated.add(removed);
         }
         removed
     }
@@ -337,10 +354,10 @@ impl ResultCache {
             bytes += shard.bytes as u64;
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalidated: self.invalidated.load(Ordering::Relaxed),
-            evicted: self.evicted.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidated: self.invalidated.get(),
+            evicted: self.evicted.get(),
             entries,
             bytes,
         }
@@ -348,8 +365,8 @@ impl ResultCache {
 
     /// Hit ratio over all lookups so far (0 when none happened).
     pub fn hit_ratio(&self) -> f64 {
-        let h = self.hits.load(Ordering::Relaxed) as f64;
-        let m = self.misses.load(Ordering::Relaxed) as f64;
+        let h = self.hits.get() as f64;
+        let m = self.misses.get() as f64;
         if h + m == 0.0 {
             0.0
         } else {
@@ -544,6 +561,21 @@ mod tests {
         assert_eq!(stats.entries, 0, "{stats:?}");
         assert_eq!(stats.bytes, 0);
         assert_eq!(stats.evicted, 1);
+    }
+
+    #[test]
+    fn registry_backed_counters_are_shared() {
+        let reg = MetricsRegistry::new();
+        let cache = ResultCache::with_registry(1 << 20, &reg);
+        let t = table(1);
+        assert!(cache.lookup(1, 1, &canon(1), 0, &t, &[]).is_none());
+        cache.insert(1, 1, canon(1), 0, count(7), Footprint::new(vec![], vec![]));
+        assert!(cache.lookup(1, 1, &canon(1), 0, &t, &[]).is_some());
+        // Same numbers through both views: the registry and stats().
+        assert_eq!(reg.counter("cache.hits").get(), 1);
+        assert_eq!(reg.counter("cache.misses").get(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

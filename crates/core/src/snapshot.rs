@@ -54,8 +54,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
+use pi_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use pi_storage::{RowAddr, Table, Value};
 
 use crate::cache::{CacheStats, ResultCache};
@@ -201,6 +203,7 @@ struct SnapshotInner {
     sink: Arc<WorkloadSink>,
     cache: Option<Arc<ResultCache>>,
     cache_token: u64,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// An immutable epoch of an indexed table: shared partitions, shared
@@ -218,6 +221,7 @@ impl TableSnapshot {
         epoch: u64,
         cache: Option<Arc<ResultCache>>,
         cache_token: u64,
+        metrics: Option<Arc<MetricsRegistry>>,
     ) -> Self {
         // The full catalog (including the NUC distinct-patch pass) is
         // computed here, on the writer — snapshot readers plan against it
@@ -233,6 +237,7 @@ impl TableSnapshot {
                 sink,
                 cache,
                 cache_token,
+                metrics,
             }),
         }
     }
@@ -271,6 +276,14 @@ impl TableSnapshot {
             .cache
             .as_deref()
             .map(|c| (c, self.inner.cache_token))
+    }
+
+    /// The metrics registry this table publishes observability into
+    /// (`None` unless split via [`ConcurrentTable::with_observability`]).
+    /// The `pi-planner` query facade records planner and engine metrics
+    /// here when present.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.inner.metrics.as_ref()
     }
 
     /// Verifies every index of this epoch against its table (test
@@ -314,14 +327,45 @@ impl ConcurrentTable {
         Self::with_cache(it, Some(cache))
     }
 
+    /// Like [`ConcurrentTable::new`], but every snapshot carries the
+    /// metrics registry (so the `pi-planner` query facade records
+    /// planner / engine / cache metrics into it) and the writer reports
+    /// publish-side observability: `publish.nanos` (epoch swap latency),
+    /// `publish.partitions_copied` / `publish.indexes_copied` (the
+    /// copy-on-write work since the previous epoch),
+    /// `publish.cache_invalidated`, and the `publish.epoch` gauge. Pass
+    /// a cache built with `ResultCache::with_registry` on the same
+    /// registry to get `cache.*` counters in the same place.
+    pub fn with_observability(
+        it: IndexedTable,
+        cache: Option<Arc<ResultCache>>,
+        registry: Arc<MetricsRegistry>,
+    ) -> (ConcurrentTable, TableWriter) {
+        Self::build(it, cache, Some(registry))
+    }
+
     fn with_cache(
+        it: IndexedTable,
+        cache: Option<Arc<ResultCache>>,
+    ) -> (ConcurrentTable, TableWriter) {
+        Self::build(it, cache, None)
+    }
+
+    fn build(
         mut it: IndexedTable,
         cache: Option<Arc<ResultCache>>,
+        metrics: Option<Arc<MetricsRegistry>>,
     ) -> (ConcurrentTable, TableWriter) {
         let cache_token = NEXT_CACHE_TOKEN.fetch_add(1, Ordering::Relaxed);
         let sink = Arc::new(WorkloadSink::default());
-        let first =
-            TableSnapshot::capture(&mut it, Arc::clone(&sink), 0, cache.clone(), cache_token);
+        let first = TableSnapshot::capture(
+            &mut it,
+            Arc::clone(&sink),
+            0,
+            cache.clone(),
+            cache_token,
+            metrics.clone(),
+        );
         let shared = Arc::new(Shared {
             current: RwLock::new(first),
         });
@@ -338,6 +382,8 @@ impl ConcurrentTable {
                 statements_since_publish: 0,
                 cache,
                 cache_token,
+                publish_metrics: metrics.as_deref().map(PublishMetrics::new),
+                metrics,
             },
         )
     }
@@ -370,6 +416,39 @@ impl ConcurrentTable {
             .as_deref()
             .map(ResultCache::stats)
     }
+
+    /// The metrics registry, when this table was split with
+    /// [`ConcurrentTable::with_observability`].
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.shared.current.read().inner.metrics.clone()
+    }
+}
+
+/// Pre-registered handles for the writer's publish-side metrics — one
+/// registry lookup each at construction, plain atomic updates per
+/// publish.
+struct PublishMetrics {
+    publishes: Arc<Counter>,
+    noops: Arc<Counter>,
+    nanos: Arc<Histogram>,
+    partitions_copied: Arc<Counter>,
+    indexes_copied: Arc<Counter>,
+    cache_invalidated: Arc<Counter>,
+    epoch: Arc<Gauge>,
+}
+
+impl PublishMetrics {
+    fn new(reg: &MetricsRegistry) -> Self {
+        PublishMetrics {
+            publishes: reg.counter("publish.count"),
+            noops: reg.counter("publish.noops"),
+            nanos: reg.histogram("publish.nanos"),
+            partitions_copied: reg.counter("publish.partitions_copied"),
+            indexes_copied: reg.counter("publish.indexes_copied"),
+            cache_invalidated: reg.counter("publish.cache_invalidated"),
+            epoch: reg.gauge("publish.epoch"),
+        }
+    }
 }
 
 /// The single-writer half: owns the staging [`IndexedTable`], applies
@@ -389,6 +468,8 @@ pub struct TableWriter {
     statements_since_publish: u64,
     cache: Option<Arc<ResultCache>>,
     cache_token: u64,
+    metrics: Option<Arc<MetricsRegistry>>,
+    publish_metrics: Option<PublishMetrics>,
 }
 
 impl TableWriter {
@@ -552,10 +633,21 @@ impl TableWriter {
     /// (or invalidate result-cache entries) for nothing; the returned
     /// epoch is the still-current one.
     pub fn publish(&mut self) -> u64 {
+        let start = Instant::now();
         self.statements_since_publish = 0;
         self.absorb_feedback();
         if self.staging_matches_published() {
+            if let Some(m) = &self.publish_metrics {
+                m.noops.inc();
+            }
             return self.epoch;
+        }
+        if let Some(m) = &self.publish_metrics {
+            // The copy-on-write bill of this epoch: how many partition /
+            // index Arcs the staged mutations actually rewrote.
+            let (parts, idxs) = self.copies_vs_published();
+            m.partitions_copied.add(parts);
+            m.indexes_copied.add(idxs);
         }
         self.epoch += 1;
         let snap = TableSnapshot::capture(
@@ -564,16 +656,47 @@ impl TableWriter {
             self.epoch,
             self.cache.clone(),
             self.cache_token,
+            self.metrics.clone(),
         );
+        let mut invalidated = 0;
         if let Some(cache) = &self.cache {
             // Sweep before the pointer swap so a reader of the new epoch
             // can't pick up a stale entry; entries a concurrent reader of
             // the *old* epoch re-inserts during the window are caught by
             // hit-time footprint validation instead.
-            cache.invalidate_stale(self.cache_token, snap.table(), snap.indexes());
+            invalidated = cache.invalidate_stale(self.cache_token, snap.table(), snap.indexes());
         }
         *self.shared.current.write() = snap;
+        if let Some(m) = &self.publish_metrics {
+            m.publishes.inc();
+            m.cache_invalidated.add(invalidated);
+            m.epoch.set(self.epoch as i64);
+            m.nanos.record(start.elapsed().as_nanos() as u64);
+        }
         self.epoch
+    }
+
+    /// Counts the staged partition / index Arcs that differ from the
+    /// published snapshot (new slots count as copies).
+    fn copies_vs_published(&self) -> (u64, u64) {
+        let cur = self.shared.current.read();
+        let published = cur.table().partitions();
+        let parts = self
+            .staging
+            .table()
+            .partitions()
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| published.get(*i).is_none_or(|q| !Arc::ptr_eq(p, q)))
+            .count() as u64;
+        let idxs = self
+            .staging
+            .indexes()
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| cur.indexes().get(*i).is_none_or(|q| !Arc::ptr_eq(p, q)))
+            .count() as u64;
+        (parts, idxs)
     }
 
     /// Whether the staging state is pointer-identical (copy-on-write:
@@ -833,6 +956,33 @@ mod tests {
         assert_eq!(stats.invalidated, 2);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn observability_reports_publish_work() {
+        let mut it = fresh();
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let reg = Arc::new(MetricsRegistry::new());
+        let cache = Arc::new(ResultCache::with_registry(1 << 20, &reg));
+        let (handle, mut writer) =
+            ConcurrentTable::with_observability(it, Some(cache), Arc::clone(&reg));
+        assert!(handle.snapshot().metrics().is_some());
+        assert!(handle.metrics().is_some());
+
+        // Nothing staged: the publish is counted as a no-op only.
+        writer.publish();
+        assert_eq!(reg.counter("publish.noops").get(), 1);
+        assert_eq!(reg.counter("publish.count").get(), 0);
+
+        // One partition mutated: exactly that partition (plus the
+        // eagerly maintained index version) is billed as copied.
+        writer.modify(0, &[0], 1, &[Value::Int(11)]);
+        writer.publish();
+        assert_eq!(reg.counter("publish.count").get(), 1);
+        assert_eq!(reg.gauge("publish.epoch").get(), 1);
+        assert_eq!(reg.counter("publish.partitions_copied").get(), 1);
+        assert_eq!(reg.counter("publish.indexes_copied").get(), 1);
+        assert_eq!(reg.histogram("publish.nanos").snapshot().count, 1);
     }
 
     #[test]

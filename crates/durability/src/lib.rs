@@ -40,6 +40,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use pi_obs::{Counter, MetricsRegistry};
 use pi_storage::dfs::{write_atomic, DurableFs};
 use pi_storage::{ColumnData, Partition, RowAddr, Table, Value};
 
@@ -127,6 +128,45 @@ pub struct RecoveryReport {
     pub discarded: usize,
 }
 
+impl RecoveryReport {
+    /// Publishes the recovery outcome as `recovery.*` gauges, so the
+    /// last crash-recovery's shape shows up in a registry dump alongside
+    /// the steady-state WAL and checkpoint metrics.
+    pub fn record_to(&self, registry: &MetricsRegistry) {
+        registry
+            .gauge("recovery.checkpoint_epoch")
+            .set(self.checkpoint_epoch as i64);
+        registry.gauge("recovery.epoch").set(self.epoch as i64);
+        registry
+            .gauge("recovery.replayed")
+            .set(self.replayed as i64);
+        registry
+            .gauge("recovery.discarded")
+            .set(self.discarded as i64);
+    }
+}
+
+/// Pre-registered handles for the checkpoint/compaction counters.
+struct CkptMetrics {
+    checkpoints: Arc<Counter>,
+    bytes: Arc<Counter>,
+    files: Arc<Counter>,
+    compactions: Arc<Counter>,
+    files_removed: Arc<Counter>,
+}
+
+impl CkptMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        CkptMetrics {
+            checkpoints: registry.counter("checkpoint.count"),
+            bytes: registry.counter("checkpoint.bytes"),
+            files: registry.counter("checkpoint.files"),
+            compactions: registry.counter("compact.runs"),
+            files_removed: registry.counter("compact.files_removed"),
+        }
+    }
+}
+
 /// The file names one checkpoint generation consists of, plus the shared
 /// state handles they serialize — `Arc` pointer identity against these
 /// is the next checkpoint's dirty-set test.
@@ -197,6 +237,7 @@ pub struct DurableWriter {
     ckpts_since_compact: u64,
     ckpt: Option<CkptState>,
     stats: DurabilityStats,
+    metrics: Option<CkptMetrics>,
 }
 
 impl DurableWriter {
@@ -242,6 +283,7 @@ impl DurableWriter {
             ckpts_since_compact: 0,
             ckpt: None,
             stats: DurabilityStats::default(),
+            metrics: None,
         };
         dw.write_checkpoint(0)?;
         Ok((handle, dw))
@@ -372,6 +414,7 @@ impl DurableWriter {
             ckpts_since_compact: 0,
             ckpt: Some(prime),
             stats: DurabilityStats::default(),
+            metrics: None,
         };
         // Finalize: make the recovered state the durable baseline (hwm
         // covers even the discarded tail so its records can never be
@@ -537,6 +580,15 @@ impl DurableWriter {
         Ok(self.epoch)
     }
 
+    /// Starts reporting durability activity to a metrics registry:
+    /// `wal.appends` / `wal.bytes` / `wal.fsyncs` and the `wal.fsync_nanos`
+    /// latency histogram from the log path, `checkpoint.*` and
+    /// `compact.*` from the checkpoint path.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.wal.set_metrics(wal::WalMetrics::new(registry));
+        self.metrics = Some(CkptMetrics::new(registry));
+    }
+
     fn slot_of(&self, column: usize, constraint: Constraint) -> Option<usize> {
         self.writer
             .staging()
@@ -650,6 +702,11 @@ impl DurableWriter {
         self.stats.checkpoint_files += files;
         self.stats.last_checkpoint_bytes = bytes;
         self.stats.last_checkpoint_files = files;
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+            m.bytes.add(bytes);
+            m.files.add(files);
+        }
 
         self.ckpts_since_compact += 1;
         if self.opts.compact_every > 0 && self.ckpts_since_compact >= self.opts.compact_every {
@@ -707,6 +764,10 @@ impl DurableWriter {
             self.stats.files_removed += removed as u64;
         }
         self.stats.compactions += 1;
+        if let Some(m) = &self.metrics {
+            m.compactions.inc();
+            m.files_removed.add(removed as u64);
+        }
         Ok(removed)
     }
 
@@ -968,6 +1029,45 @@ mod tests {
         assert!((fb.est_cost_saved - 12.5).abs() < 1e-9);
         assert_eq!(fb.measured_queries, 1);
         assert!((fb.actual_micros - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_durability_stats() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let (fs, _handle, mut dw) = setup(2, DurableOptions::default());
+        dw.attach_metrics(&registry);
+        dw.insert(&[row(100, 2, "x")]).unwrap();
+        dw.modify(0, &[0], 1, &[Value::Int(7)]).unwrap();
+        dw.publish().unwrap();
+        let stats = dw.stats();
+        assert_eq!(registry.counter("wal.appends").get(), 3);
+        // The registry was attached after the create-time checkpoint, so
+        // it counts only the publish-time one.
+        assert_eq!(registry.counter("checkpoint.count").get(), 1);
+        assert_eq!(
+            registry.counter("checkpoint.bytes").get(),
+            stats.last_checkpoint_bytes
+        );
+        let fsync = registry.histogram("wal.fsync_nanos").snapshot();
+        assert_eq!(fsync.count, registry.counter("wal.fsyncs").get());
+        assert!(fsync.count >= 3, "EveryRecord syncs each append");
+
+        // Recovery gauges.
+        drop(dw);
+        fs.crash(1);
+        let (_h, _dw, report) = DurableWriter::recover(
+            fs.clone(),
+            PathBuf::from("/db"),
+            DurableOptions::default(),
+            MaintenancePolicy::default(),
+        )
+        .unwrap();
+        report.record_to(&registry);
+        assert_eq!(registry.gauge("recovery.epoch").get(), report.epoch as i64);
+        assert_eq!(
+            registry.gauge("recovery.replayed").get(),
+            report.replayed as i64
+        );
     }
 
     #[test]

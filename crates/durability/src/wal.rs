@@ -20,7 +20,9 @@
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
+use pi_obs::{Counter, Histogram, MetricsRegistry};
 use pi_storage::crc::crc32;
 use pi_storage::dfs::DurableFs;
 use pi_storage::Value;
@@ -394,6 +396,27 @@ pub(crate) fn list_segments(fs: &dyn DurableFs, dir: &Path) -> io::Result<Vec<(u
     Ok(segs)
 }
 
+/// Pre-registered registry handles for the WAL's hot path — one lookup
+/// at attach time, atomic bumps per record afterwards.
+#[derive(Debug)]
+pub(crate) struct WalMetrics {
+    pub appends: Arc<Counter>,
+    pub bytes: Arc<Counter>,
+    pub fsyncs: Arc<Counter>,
+    pub fsync_nanos: Arc<Histogram>,
+}
+
+impl WalMetrics {
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        WalMetrics {
+            appends: registry.counter("wal.appends"),
+            bytes: registry.counter("wal.bytes"),
+            fsyncs: registry.counter("wal.fsyncs"),
+            fsync_nanos: registry.histogram("wal.fsync_nanos"),
+        }
+    }
+}
+
 /// The append half of the WAL.
 #[derive(Debug)]
 pub(crate) struct WalWriter {
@@ -410,6 +433,7 @@ pub(crate) struct WalWriter {
     dir_dirty: bool,
     /// Total frame bytes appended (durability economics reporting).
     pub bytes_appended: u64,
+    metrics: Option<WalMetrics>,
 }
 
 impl WalWriter {
@@ -431,7 +455,14 @@ impl WalWriter {
             dirty_segs: Vec::new(),
             dir_dirty: false,
             bytes_appended: 0,
+            metrics: None,
         }
+    }
+
+    /// Starts reporting append counts/bytes and fsync latency to a
+    /// metrics registry.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The sequence number the next append will get.
@@ -464,12 +495,21 @@ impl WalWriter {
         self.cur_seg_bytes += frame.len();
         self.bytes_appended += frame.len() as u64;
         self.next_seq += 1;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.bytes.add(frame.len() as u64);
+        }
         match self.sync {
             SyncPolicy::EveryRecord => {
+                let start = Instant::now();
                 self.fs.fsync(&seg)?;
                 if self.dir_dirty {
                     self.fs.fsync_dir(&self.dir)?;
                     self.dir_dirty = false;
+                }
+                if let Some(m) = &self.metrics {
+                    m.fsyncs.inc();
+                    m.fsync_nanos.record(start.elapsed().as_nanos() as u64);
                 }
             }
             SyncPolicy::EveryPublish | SyncPolicy::OsBuffered => {
@@ -484,12 +524,20 @@ impl WalWriter {
     /// Forces everything appended so far to stable storage (the
     /// publish-time half of [`SyncPolicy::EveryPublish`]).
     pub fn sync_all(&mut self) -> io::Result<()> {
+        if self.dirty_segs.is_empty() && !self.dir_dirty {
+            return Ok(());
+        }
+        let start = Instant::now();
         for seg in std::mem::take(&mut self.dirty_segs) {
             self.fs.fsync(&seg)?;
         }
         if self.dir_dirty {
             self.fs.fsync_dir(&self.dir)?;
             self.dir_dirty = false;
+        }
+        if let Some(m) = &self.metrics {
+            m.fsyncs.inc();
+            m.fsync_nanos.record(start.elapsed().as_nanos() as u64);
         }
         Ok(())
     }

@@ -5,6 +5,7 @@ pub mod filter;
 pub mod hash_join;
 pub mod merge;
 pub mod merge_join;
+pub mod meter;
 pub mod patch_select;
 pub mod probe;
 pub mod reuse;

@@ -1,0 +1,47 @@
+//! Observability substrate shared by every engine crate.
+//!
+//! Three pieces, all dependency-free (the crate sits below `pi-core` in
+//! the workspace graph and hand-rolls its JSON the same way `pi-bench`
+//! does):
+//!
+//! * [`MetricsRegistry`] — a lock-sharded registry of named [`Counter`]s,
+//!   [`Gauge`]s, and log2-bucketed latency [`Histogram`]s. Handles are
+//!   `Arc`s resolved once at attach time, so hot paths are a single
+//!   relaxed `fetch_add` with no map lookup. The whole registry exports
+//!   as one JSON snapshot ([`MetricsRegistry::snapshot_json`]) or a
+//!   human-readable dump ([`MetricsRegistry::render_text`]).
+//! * [`Span`] / [`QueryTrace`] — an EXPLAIN ANALYZE-style trace of one
+//!   query: per-operator wall clock and row counts, partitions pruned
+//!   vs. visited, index slots bound, cache outcome, pending-NUC masking
+//!   decisions. Produced by `QueryEngine::query_traced` in `pi-planner`.
+//! * [`Windowed`] — sliding windows over cumulative counters (anchor,
+//!   delta, trim, sum), extracted from the advisor's two hand-rolled
+//!   windowed-subtraction sites.
+//!
+//! ```
+//! use pi_obs::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let hits = reg.counter("cache.hits");
+//! let lat = reg.histogram("query.nanos");
+//! hits.inc();
+//! lat.record(1_500);
+//! let snap = lat.snapshot();
+//! assert_eq!(snap.count, 1);
+//! assert_eq!(snap.max, 1_500);
+//! assert!(reg.snapshot_json().contains("\"cache.hits\": 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod registry;
+mod trace;
+mod window;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSnapshot, MetricsRegistry,
+};
+pub use trace::{
+    fmt_nanos, CacheOutcome, OperatorTrace, PlannerTrace, QueryTrace, Span, SpanRecord,
+};
+pub use window::{Cumulative, Windowed};

@@ -1,0 +1,506 @@
+//! Lock-sharded metrics registry: named counters, gauges, and
+//! log2-bucketed latency histograms.
+//!
+//! Registration (name → handle) takes a shard lock once; the returned
+//! `Arc` handle is then held by the instrumented subsystem, so every
+//! hot-path update is a single relaxed atomic RMW with no map lookup
+//! and no lock.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge: a value that can move both ways (epoch numbers,
+/// entry counts, bytes resident).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i`
+/// (1 ≤ i < 63) holds `[2^(i-1), 2^i)`, bucket 63 holds everything
+/// from `2^62` up.
+const BUCKETS: usize = 64;
+
+/// A fixed-footprint latency histogram with power-of-two buckets.
+///
+/// `record` is three relaxed-ish atomic RMWs (max, sum, bucket) — cheap
+/// enough for per-operation hot paths. Quantiles are extracted from the
+/// bucket counts: the reported value is the upper bound of the bucket
+/// holding the requested rank (≤ 2x resolution), clamped to the exact
+/// observed maximum. The snapshot `count` is derived from the bucket
+/// sum, so a concurrent snapshot can never show a count that disagrees
+/// with its buckets (no torn reads).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            63 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// The bucket increment is the publishing store (`Release`): a
+    /// snapshot that counts this observation is guaranteed to also see
+    /// its contribution to `max`, which is updated first.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Release);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Acquire);
+            count += buckets[i];
+        }
+        // Read after the buckets: every observation counted above
+        // published its max update before its bucket increment.
+        let max = self.max.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        }
+    }
+}
+
+/// The state of a [`Histogram`] at one instant.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Total observations (derived from the bucket counts, so it always
+    /// agrees with them).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+    /// Per-bucket observation counts (log2 buckets, see [`Histogram`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing that rank, clamped to the exact maximum.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// What kind of metric a name resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A [`Counter`].
+    Counter,
+    /// A [`Gauge`].
+    Gauge,
+    /// A [`Histogram`].
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One metric's value in a registry snapshot.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state (boxed: the bucket array dwarfs the scalar
+    /// variants, and snapshots are cold-path only).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+const SHARDS: usize = 16;
+
+/// A lock-sharded registry of named metrics.
+///
+/// Names are dotted lowercase paths (`"cache.hits"`,
+/// `"publish.nanos"`). Registering an existing name returns the same
+/// underlying metric (handles are shared), so independent subsystems
+/// can attach to one registry without coordination. Registering a name
+/// as a different kind panics — that is a programming error, not a
+/// runtime condition.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: [RwLock<HashMap<String, Metric>>; SHARDS],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Metric>> {
+        // FNV-1a, same as the result cache's fingerprint hash.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    fn get_or_register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let shard = self.shard(name);
+        if let Some(m) = shard.read().get(name) {
+            return m.clone();
+        }
+        let mut w = shard.write();
+        w.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter named `name`, registering it at 0 if new.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_register(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            m => panic!("metric {name:?} is a {:?}, not a counter", m.kind()),
+        }
+    }
+
+    /// The gauge named `name`, registering it at 0 if new.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_register(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric {name:?} is a {:?}, not a gauge", m.kind()),
+        }
+    }
+
+    /// The histogram named `name`, registering it empty if new.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_register(name, || Metric::Histogram(Arc::new(Histogram::default()))) {
+            Metric::Histogram(h) => h,
+            m => panic!("metric {name:?} is a {:?}, not a histogram", m.kind()),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let mut out: Vec<(String, MetricSnapshot)> = Vec::new();
+        for shard in &self.shards {
+            for (name, metric) in shard.read().iter() {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(Box::new(h.snapshot())),
+                };
+                out.push((name.clone(), snap));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The whole registry as one JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {..}}` with
+    /// keys sorted, histograms carrying `count`/`sum`/`max`/`mean` and
+    /// `p50`/`p90`/`p99`.
+    pub fn snapshot_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        for (name, m) in &snap {
+            match m {
+                MetricSnapshot::Counter(v) => {
+                    let sep = if counters.is_empty() { "" } else { ", " };
+                    let _ = write!(counters, "{sep}{}: {v}", json_str(name));
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let sep = if gauges.is_empty() { "" } else { ", " };
+                    let _ = write!(gauges, "{sep}{}: {v}", json_str(name));
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let sep = if hists.is_empty() { "" } else { ", " };
+                    let _ = write!(
+                        hists,
+                        "{sep}{}: {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.1}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        json_str(name),
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.mean(),
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                    );
+                }
+            }
+        }
+        format!(
+            "{{\"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \
+             \"histograms\": {{{hists}}}}}"
+        )
+    }
+
+    /// A human-readable dump, one metric per line, sorted by name.
+    pub fn render_text(&self) -> String {
+        let snap = self.snapshot();
+        let width = snap.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, m) in &snap {
+            match m {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "counter {name:width$}  {v}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "gauge   {name:width$}  {v}");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "hist    {name:width$}  count={} mean={} p50={} p90={} p99={} max={}",
+                        h.count,
+                        crate::fmt_nanos(h.mean() as u64),
+                        crate::fmt_nanos(h.p50()),
+                        crate::fmt_nanos(h.p90()),
+                        crate::fmt_nanos(h.p99()),
+                        crate::fmt_nanos(h.max),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same metric.
+        assert_eq!(reg.counter("a.count").get(), 5);
+        let g = reg.gauge("a.gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1107);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.quantile(0.0), 0); // rank clamps to 1 → bucket of 0
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99() && s.p99() <= s.max);
+        assert_eq!(s.quantile(1.0), 1000); // clamped to the exact max
+
+        // p50 is rank 4 of [0,1,1,2,3,100,1000]: value 2, bucket [2,3].
+        assert_eq!(s.p50(), 3);
+    }
+
+    #[test]
+    fn histogram_extremes() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.sum, s.max, s.p50(), s.p99()), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.c").add(3);
+        reg.gauge("a.g").set(-2);
+        reg.histogram("m.h").record(5);
+        let json = reg.snapshot_json();
+        assert!(json.contains("\"z.c\": 3"), "{json}");
+        assert!(json.contains("\"a.g\": -2"), "{json}");
+        assert!(json.contains("\"m.h\": {\"count\": 1"), "{json}");
+        let text = reg.render_text();
+        assert!(text.contains("counter"), "{text}");
+        assert!(text.contains("gauge"), "{text}");
+        assert!(text.contains("hist"), "{text}");
+    }
+}

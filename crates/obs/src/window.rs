@@ -1,0 +1,177 @@
+//! Sliding windows over cumulative counters.
+//!
+//! The engine's counters (`MaintenanceStats`, `QueryFeedback`, the
+//! query log) are cumulative, but the advisor's rules want *recent*
+//! activity. The drill is always the same: remember the last cumulative
+//! reading, push the delta, trim to the window, sum — and it was
+//! hand-rolled in two places with two chances to get the anchoring
+//! wrong. [`Windowed`] is that drill, once, tested.
+
+use std::collections::VecDeque;
+
+/// A cumulative quantity that can be differenced and summed.
+pub trait Cumulative: Clone + Default {
+    /// `self - earlier`, the activity between two readings. For
+    /// unsigned totals this saturates at zero rather than wrapping.
+    fn delta(&self, earlier: &Self) -> Self;
+    /// Adds a delta sample into an accumulator.
+    fn accumulate(&mut self, sample: &Self);
+}
+
+impl Cumulative for u64 {
+    fn delta(&self, earlier: &Self) -> Self {
+        self.saturating_sub(*earlier)
+    }
+    fn accumulate(&mut self, sample: &Self) {
+        *self += sample;
+    }
+}
+
+impl Cumulative for f64 {
+    fn delta(&self, earlier: &Self) -> Self {
+        self - earlier
+    }
+    fn accumulate(&mut self, sample: &Self) {
+        *self += sample;
+    }
+}
+
+/// A sliding window of deltas over a cumulative reading.
+///
+/// Each [`observe`](Windowed::observe) takes the *cumulative* value,
+/// pushes the delta since the previous observation, and trims the
+/// window to its capacity. [`total`](Windowed::total) sums the retained
+/// deltas — i.e. the activity over the last `cap` observations.
+///
+/// ```
+/// use pi_obs::Windowed;
+///
+/// let mut w: Windowed<u64> = Windowed::from_zero(2);
+/// w.observe(10); // first observation counts all prior history
+/// w.observe(25);
+/// w.observe(27);
+/// assert_eq!(w.total(), 17); // deltas 15 + 2; the initial 10 rolled off
+/// assert!(w.is_full());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Windowed<T> {
+    cap: usize,
+    last: T,
+    samples: VecDeque<T>,
+}
+
+impl<T: Cumulative> Windowed<T> {
+    /// A window anchored at zero: the first observation's delta is the
+    /// entire cumulative history so far. Use when history *should*
+    /// count (e.g. query evidence logged before the advisor attached).
+    pub fn from_zero(cap: usize) -> Self {
+        Self::anchored(cap, T::default())
+    }
+
+    /// A window anchored at `current`: pre-existing history is excluded
+    /// and only activity after this point is windowed. Use when stale
+    /// totals must not flood the first window.
+    pub fn anchored(cap: usize, current: T) -> Self {
+        Windowed {
+            cap,
+            last: current,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Feeds the current cumulative reading: pushes the delta since the
+    /// last observation and trims the window to capacity.
+    pub fn observe(&mut self, cumulative: T) {
+        self.samples.push_back(cumulative.delta(&self.last));
+        self.last = cumulative;
+        while self.samples.len() > self.cap {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The sum of the retained deltas.
+    pub fn total(&self) -> T {
+        let mut acc = T::default();
+        for s in &self.samples {
+            acc.accumulate(s);
+        }
+        acc
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether the window has reached its capacity — the point at which
+    /// windowed totals stop growing just because time passes.
+    pub fn is_full(&self) -> bool {
+        self.samples.len() >= self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_zero_counts_history() {
+        let mut w: Windowed<u64> = Windowed::from_zero(3);
+        w.observe(100);
+        assert_eq!(w.total(), 100);
+        w.observe(110);
+        assert_eq!(w.total(), 110);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn anchored_excludes_history() {
+        let mut w: Windowed<u64> = Windowed::anchored(3, 100);
+        w.observe(110);
+        assert_eq!(w.total(), 10);
+    }
+
+    #[test]
+    fn trims_to_capacity() {
+        let mut w: Windowed<u64> = Windowed::from_zero(2);
+        for c in [1u64, 3, 6, 10] {
+            w.observe(c);
+        }
+        // Deltas 1, 2, 3, 4; the window keeps the last two.
+        assert_eq!(w.total(), 7);
+        assert_eq!(w.len(), 2);
+        assert!(w.is_full());
+    }
+
+    #[test]
+    fn zero_capacity_is_always_full_and_empty() {
+        let mut w: Windowed<u64> = Windowed::from_zero(0);
+        w.observe(5);
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.len(), 0);
+        assert!(w.is_full());
+    }
+
+    #[test]
+    fn counter_reset_saturates() {
+        let mut w: Windowed<u64> = Windowed::anchored(4, 10);
+        w.observe(4); // cumulative went backwards: delta clamps to 0
+        assert_eq!(w.total(), 0);
+        w.observe(9);
+        assert_eq!(w.total(), 5);
+    }
+
+    #[test]
+    fn float_windows() {
+        let mut w: Windowed<f64> = Windowed::anchored(2, 1.0);
+        w.observe(2.5);
+        w.observe(4.0);
+        assert!((w.total() - 3.0).abs() < 1e-9);
+    }
+}

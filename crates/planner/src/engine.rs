@@ -47,11 +47,16 @@ use patchindex::{
 use pi_exec::ops::sort::SortOrder;
 use pi_exec::Batch;
 
+use pi_obs::{CacheOutcome, PlannerTrace, QueryTrace};
+
 use crate::cost::estimate;
 use crate::fingerprint::{canonical_bytes, fingerprint_hash, QueryMode};
 use crate::logical::Plan;
-use crate::optimizer::optimize;
-use crate::physical::{execute, execute_count, execute_count_traced, execute_traced, TouchLog};
+use crate::optimizer::{optimize_with_stats, OptimizeStats};
+use crate::physical::{
+    execute, execute_count, execute_count_traced, execute_metered, execute_traced, ExecTrace,
+    TouchLog,
+};
 
 /// Every PatchScan slot the plan binds, sorted and deduplicated.
 fn bound_slots(plan: &Plan) -> Vec<usize> {
@@ -145,6 +150,43 @@ pub trait QueryEngine {
     fn query(&mut self, plan: &Plan) -> Batch;
     /// Plans and executes, returning only the row count.
     fn query_count(&mut self, plan: &Plan) -> usize;
+    /// Plans and executes under full EXPLAIN ANALYZE instrumentation:
+    /// the result batch — byte-identical to [`QueryEngine::query`] —
+    /// plus a [`QueryTrace`] carrying planner decisions (candidates
+    /// enumerated, cost-gated, rewrites chosen, masked pending-NUC
+    /// slots), partitions pruned vs visited, per-operator wall clock and
+    /// row counts, and the result-cache outcome. Workload evidence is
+    /// recorded exactly as `query` would.
+    fn query_traced(&mut self, plan: &Plan) -> (Batch, QueryTrace);
+    /// EXPLAIN ANALYZE: executes the query for real (like `EXPLAIN
+    /// ANALYZE` in a SQL engine) and returns only the trace.
+    ///
+    /// ```
+    /// use patchindex::{Constraint, Design, IndexedTable};
+    /// use pi_planner::{Plan, QueryEngine};
+    /// use pi_storage::{ColumnData, DataType, Field, Partitioning, Schema, Table};
+    ///
+    /// let mut t = Table::new(
+    ///     "t",
+    ///     Schema::new(vec![Field::new("v", DataType::Int)]),
+    ///     2,
+    ///     Partitioning::RoundRobin,
+    /// );
+    /// t.load_partition(0, &[ColumnData::Int(vec![1, 2, 3])]);
+    /// t.load_partition(1, &[ColumnData::Int(vec![4, 5, 6])]);
+    /// t.propagate_all();
+    /// let mut it = IndexedTable::new(t);
+    /// it.add_index(0, Constraint::NearlyUnique, Design::Bitmap);
+    ///
+    /// let trace = it.explain_analyze(&Plan::scan(vec![0]).distinct(vec![0]));
+    /// assert_eq!(trace.rows_out, 6);
+    /// assert_eq!(trace.planner.slots_bound, vec![0]);
+    /// assert!(!trace.operators.is_empty());
+    /// println!("{}", trace.render_text());
+    /// ```
+    fn explain_analyze(&mut self, plan: &Plan) -> QueryTrace {
+        self.query_traced(plan).1
+    }
 }
 
 /// The planning pipeline behind the facade. Workload accounting (query
@@ -152,7 +194,7 @@ pub trait QueryEngine {
 /// entry points record exactly once per query, while `plan_query` stays
 /// side-effect-free on the counters — an EXPLAIN-then-run sequence
 /// (`plan_query` + `query`) must not double-count its workload evidence.
-fn plan_for(it: &mut IndexedTable, plan: &Plan, record: bool) -> Plan {
+fn plan_for(it: &mut IndexedTable, plan: &Plan, record: bool, stats: &mut OptimizeStats) -> Plan {
     if record {
         let mut shapes = Vec::new();
         query_shapes(plan, &mut shapes);
@@ -168,7 +210,10 @@ fn plan_for(it: &mut IndexedTable, plan: &Plan, record: bool) -> Plan {
         // this scope; the mutations below run after the borrow ends.
         let (chosen, stale, feedback) = {
             let cat = it.query_catalog(with_distinct_stats);
-            let chosen = optimize(plan.clone(), &cat, true);
+            // Reset each round so the trace reports the final planning
+            // pass (post-flush counts), not the sum over flush retries.
+            *stats = OptimizeStats::default();
+            let chosen = optimize_with_stats(plan.clone(), &cat, true, stats);
             let stale = stale_nuc_slots(&chosen, &cat);
             // Optimizer feedback: how much the chosen plan's rewrites
             // are estimated to save vs the unrewritten plan, split
@@ -223,13 +268,54 @@ fn record_timing_owner(it: &mut IndexedTable, chosen: &Plan, elapsed: std::time:
     }
 }
 
+/// Assembles a [`QueryTrace`] from the pieces every traced entry point
+/// produces. `visited`/`pruned` come from the caller because a cache hit
+/// executes nothing (both zero) while an executed query derives them
+/// from its [`TouchLog`].
+#[allow(clippy::too_many_arguments)]
+fn build_trace(
+    query: &Plan,
+    chosen: &Plan,
+    stats: &OptimizeStats,
+    plan_nanos: u64,
+    masked: Vec<usize>,
+    partitions_total: usize,
+    visited: u64,
+    pruned: u64,
+    cache: Option<CacheOutcome>,
+    operators: Vec<pi_obs::OperatorTrace>,
+    rows_out: u64,
+    total_nanos: u64,
+) -> QueryTrace {
+    QueryTrace {
+        query: query.to_string(),
+        optimized: chosen.to_string(),
+        planner: PlannerTrace {
+            candidates_enumerated: stats.candidates_enumerated,
+            cost_gated: stats.cost_gated,
+            rewrites_chosen: stats.rewrites_chosen,
+            slots_bound: bound_slots(chosen),
+            masked_pending_slots: masked,
+            nanos: plan_nanos,
+        },
+        partitions_total,
+        partitions_visited: visited,
+        partitions_pruned: pruned,
+        cache,
+        operators,
+        rows_out,
+        total_nanos,
+        spans: Vec::new(),
+    }
+}
+
 impl QueryEngine for IndexedTable {
     fn plan_query(&mut self, plan: &Plan) -> Plan {
-        plan_for(self, plan, false)
+        plan_for(self, plan, false, &mut OptimizeStats::default())
     }
 
     fn query(&mut self, plan: &Plan) -> Batch {
-        let chosen = plan_for(self, plan, true);
+        let chosen = plan_for(self, plan, true, &mut OptimizeStats::default());
         let start = std::time::Instant::now();
         let out = execute(&chosen, self.table(), self.indexes());
         record_timing_owner(self, &chosen, start.elapsed());
@@ -237,11 +323,40 @@ impl QueryEngine for IndexedTable {
     }
 
     fn query_count(&mut self, plan: &Plan) -> usize {
-        let chosen = plan_for(self, plan, true);
+        let chosen = plan_for(self, plan, true, &mut OptimizeStats::default());
         let start = std::time::Instant::now();
         let out = execute_count(&chosen, self.table(), self.indexes());
         record_timing_owner(self, &chosen, start.elapsed());
         out
+    }
+
+    fn query_traced(&mut self, plan: &Plan) -> (Batch, QueryTrace) {
+        let total = std::time::Instant::now();
+        let mut stats = OptimizeStats::default();
+        let plan_start = std::time::Instant::now();
+        let chosen = plan_for(self, plan, true, &mut stats);
+        let plan_nanos = plan_start.elapsed().as_nanos() as u64;
+        let touch = TouchLog::new(self.table().partition_count());
+        let et = ExecTrace::new();
+        let start = std::time::Instant::now();
+        let out = execute_metered(&chosen, self.table(), self.indexes(), &touch, &et);
+        record_timing_owner(self, &chosen, start.elapsed());
+        let visited = touch.pulled().len() as u64;
+        let trace = build_trace(
+            plan,
+            &chosen,
+            &stats,
+            plan_nanos,
+            Vec::new(),
+            self.table().partition_count(),
+            visited,
+            self.table().partition_count() as u64 - visited,
+            None,
+            et.operators(),
+            out.len() as u64,
+            total.elapsed().as_nanos() as u64,
+        );
+        (out, trace)
     }
 }
 
@@ -255,11 +370,31 @@ impl QueryEngine for IndexedTable {
 /// evidence goes to the snapshot's sink when `record` is set (once per
 /// executed query, never for plan inspection).
 fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
+    plan_on_snapshot_obs(
+        snap,
+        plan,
+        record,
+        &mut OptimizeStats::default(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`plan_on_snapshot`] with the optimizer's decision counters and the
+/// masked pending-NUC slots surfaced (the traced path puts them in the
+/// [`QueryTrace`]). Every call also feeds the `planner.*` counters of
+/// the table's metrics registry, when one is attached.
+fn plan_on_snapshot_obs(
+    snap: &TableSnapshot,
+    plan: &Plan,
+    record: bool,
+    stats: &mut OptimizeStats,
+    masked_slots: &mut Vec<usize>,
+) -> Plan {
     let cat = snap.catalog();
     if record {
         record_shapes_snapshot(snap, plan);
     }
-    let mut chosen = optimize(plan.clone(), cat, true);
+    let mut chosen = optimize_with_stats(plan.clone(), cat, true, stats);
     if !stale_nuc_slots(&chosen, cat).is_empty() {
         // Readers cannot flush; masking just the pending NUC entries
         // (their slot numbers live in the entries, not positions, so
@@ -275,12 +410,37 @@ fn plan_on_snapshot(snap: &TableSnapshot, plan: &Plan, record: bool) -> Plan {
                 .cloned()
                 .collect(),
         };
-        chosen = optimize(plan.clone(), &masked, true);
+        *masked_slots = cat
+            .indexes
+            .iter()
+            .filter(|e| e.pending && e.constraint == Constraint::NearlyUnique)
+            .map(|e| e.slot)
+            .collect();
+        *stats = OptimizeStats::default();
+        chosen = optimize_with_stats(plan.clone(), &masked, true, stats);
+    }
+    if let Some(reg) = snap.metrics() {
+        reg.counter("planner.candidates_enumerated")
+            .add(stats.candidates_enumerated);
+        reg.counter("planner.cost_gated").add(stats.cost_gated);
+        reg.counter("planner.rewrites_chosen")
+            .add(stats.rewrites_chosen);
+        reg.counter("planner.masked_pending_slots")
+            .add(masked_slots.len() as u64);
     }
     if record {
         record_bind_feedback_snapshot(snap, plan, &chosen);
     }
     chosen
+}
+
+/// Engine-level registry accounting for one executed snapshot query.
+fn record_engine_metrics(snap: &TableSnapshot, elapsed: std::time::Duration) {
+    if let Some(reg) = snap.metrics() {
+        reg.counter("engine.queries").inc();
+        reg.histogram("engine.query_nanos")
+            .record(elapsed.as_nanos() as u64);
+    }
 }
 
 /// Reports the advisable (column, shape) sites of the reference plan to
@@ -422,6 +582,115 @@ fn snapshot_query_cached(
     value
 }
 
+/// The traced snapshot pipeline behind `TableSnapshot::query_traced` —
+/// the EXPLAIN ANALYZE sibling of [`snapshot_query_cached`], with the
+/// same caching and evidence rules: a hit records shapes only (nothing
+/// executed, so its trace carries no operators and zero partitions), a
+/// miss executes metered, records full evidence and inserts the result
+/// with its dependency footprint.
+fn snapshot_query_traced(snap: &TableSnapshot, plan: &Plan) -> (Batch, QueryTrace) {
+    let total = std::time::Instant::now();
+    let mut stats = OptimizeStats::default();
+    let mut masked = Vec::new();
+    let plan_start = std::time::Instant::now();
+    let chosen = plan_on_snapshot_obs(snap, plan, false, &mut stats, &mut masked);
+    let plan_nanos = plan_start.elapsed().as_nanos() as u64;
+    let parts = snap.table().partition_count();
+
+    if let Some((cache, token)) = snap.result_cache() {
+        let canon: Arc<[u8]> = canonical_bytes(&chosen, snap.catalog(), QueryMode::Rows).into();
+        let hash = fingerprint_hash(&canon);
+        let cached = cache.lookup(
+            token,
+            hash,
+            &canon,
+            snap.epoch(),
+            snap.table(),
+            snap.indexes(),
+        );
+        if let Some(CachedValue::Rows(rows)) = cached {
+            record_shapes_snapshot(snap, plan);
+            let elapsed = total.elapsed();
+            record_engine_metrics(snap, elapsed);
+            let trace = build_trace(
+                plan,
+                &chosen,
+                &stats,
+                plan_nanos,
+                masked,
+                parts,
+                0,
+                0,
+                Some(CacheOutcome::Hit),
+                Vec::new(),
+                rows.len() as u64,
+                elapsed.as_nanos() as u64,
+            );
+            return (rows, trace);
+        }
+        record_shapes_snapshot(snap, plan);
+        record_bind_feedback_snapshot(snap, plan, &chosen);
+        let touch = TouchLog::new(parts);
+        let et = ExecTrace::new();
+        let start = std::time::Instant::now();
+        let rows = execute_metered(&chosen, snap.table(), snap.indexes(), &touch, &et);
+        record_timing_snapshot(snap, &chosen, start.elapsed());
+        let footprint = footprint_of(snap, &chosen, &touch);
+        cache.insert(
+            token,
+            hash,
+            canon,
+            snap.epoch(),
+            CachedValue::Rows(rows.clone()),
+            footprint,
+        );
+        let visited = touch.pulled().len() as u64;
+        let elapsed = total.elapsed();
+        record_engine_metrics(snap, elapsed);
+        let trace = build_trace(
+            plan,
+            &chosen,
+            &stats,
+            plan_nanos,
+            masked,
+            parts,
+            visited,
+            parts as u64 - visited,
+            Some(CacheOutcome::Miss),
+            et.operators(),
+            rows.len() as u64,
+            elapsed.as_nanos() as u64,
+        );
+        return (rows, trace);
+    }
+
+    record_shapes_snapshot(snap, plan);
+    record_bind_feedback_snapshot(snap, plan, &chosen);
+    let touch = TouchLog::new(parts);
+    let et = ExecTrace::new();
+    let start = std::time::Instant::now();
+    let rows = execute_metered(&chosen, snap.table(), snap.indexes(), &touch, &et);
+    record_timing_snapshot(snap, &chosen, start.elapsed());
+    let visited = touch.pulled().len() as u64;
+    let elapsed = total.elapsed();
+    record_engine_metrics(snap, elapsed);
+    let trace = build_trace(
+        plan,
+        &chosen,
+        &stats,
+        plan_nanos,
+        masked,
+        parts,
+        visited,
+        parts as u64 - visited,
+        Some(CacheOutcome::Uncached),
+        et.operators(),
+        rows.len() as u64,
+        elapsed.as_nanos() as u64,
+    );
+    (rows, trace)
+}
+
 /// Concurrent readers: all methods are internally `&self` (the `&mut`
 /// receiver is the trait's shape, not a mutation) — clone the snapshot
 /// per thread and query away; maintenance never blocks these. When the
@@ -433,9 +702,13 @@ impl QueryEngine for TableSnapshot {
     }
 
     fn query(&mut self, plan: &Plan) -> Batch {
+        let total = std::time::Instant::now();
         if let Some((cache, token)) = self.result_cache() {
             match snapshot_query_cached(self, plan, cache, token, QueryMode::Rows) {
-                CachedValue::Rows(rows) => return rows,
+                CachedValue::Rows(rows) => {
+                    record_engine_metrics(self, total.elapsed());
+                    return rows;
+                }
                 CachedValue::Count(_) => unreachable!("Rows fingerprint yielded a count"),
             }
         }
@@ -443,13 +716,18 @@ impl QueryEngine for TableSnapshot {
         let start = std::time::Instant::now();
         let out = execute(&chosen, self.table(), self.indexes());
         record_timing_snapshot(self, &chosen, start.elapsed());
+        record_engine_metrics(self, total.elapsed());
         out
     }
 
     fn query_count(&mut self, plan: &Plan) -> usize {
+        let total = std::time::Instant::now();
         if let Some((cache, token)) = self.result_cache() {
             match snapshot_query_cached(self, plan, cache, token, QueryMode::Count) {
-                CachedValue::Count(n) => return n as usize,
+                CachedValue::Count(n) => {
+                    record_engine_metrics(self, total.elapsed());
+                    return n as usize;
+                }
                 CachedValue::Rows(_) => unreachable!("Count fingerprint yielded rows"),
             }
         }
@@ -457,7 +735,12 @@ impl QueryEngine for TableSnapshot {
         let start = std::time::Instant::now();
         let out = execute_count(&chosen, self.table(), self.indexes());
         record_timing_snapshot(self, &chosen, start.elapsed());
+        record_engine_metrics(self, total.elapsed());
         out
+    }
+
+    fn query_traced(&mut self, plan: &Plan) -> (Batch, QueryTrace) {
+        snapshot_query_traced(self, plan)
     }
 }
 
@@ -479,6 +762,10 @@ impl QueryEngine for ConcurrentTable {
     fn query_count(&mut self, plan: &Plan) -> usize {
         self.snapshot().query_count(plan)
     }
+
+    fn query_traced(&mut self, plan: &Plan) -> (Batch, QueryTrace) {
+        self.snapshot().query_traced(plan)
+    }
 }
 
 /// Writer queries run against the staging table (seeing unpublished
@@ -494,6 +781,10 @@ impl QueryEngine for TableWriter {
 
     fn query_count(&mut self, plan: &Plan) -> usize {
         self.staging_mut().query_count(plan)
+    }
+
+    fn query_traced(&mut self, plan: &Plan) -> (Batch, QueryTrace) {
+        self.staging_mut().query_traced(plan)
     }
 }
 
@@ -986,6 +1277,100 @@ mod tests {
         assert_eq!(fresh_count, 10);
         let refreshed = snap2.query(&full);
         assert!(refreshed.column(0).as_int().contains(&-777));
+    }
+
+    #[test]
+    fn traced_query_matches_untraced_and_carries_operators() {
+        let mut it = fresh(4);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let reference = it.query(&distinct);
+        let (traced, trace) = it.query_traced(&distinct);
+        assert_eq!(reference.column(0).as_int(), traced.column(0).as_int());
+        assert_eq!(trace.rows_out, reference.len() as u64);
+        assert_eq!(trace.planner.slots_bound, vec![0]);
+        assert!(trace.planner.candidates_enumerated >= 1);
+        assert_eq!(trace.planner.rewrites_chosen, 1);
+        assert!(trace.optimized.contains("PatchScan"), "{}", trace.optimized);
+        // Clean data: ZBP prunes every use_patches branch, so only the
+        // excluding pipelines (4 partitions) plus the global combine ran.
+        assert_eq!(trace.partitions_total, 4);
+        assert_eq!(trace.partitions_visited, 4);
+        assert!(!trace.operators.is_empty());
+        let total_op_rows: u64 = trace
+            .operators
+            .iter()
+            .filter(|o| o.partition.is_some())
+            .map(|o| o.rows_out)
+            .sum();
+        assert_eq!(total_op_rows, 20, "per-partition scans emit every row");
+        assert!(trace.cache.is_none(), "owner path has no cache concept");
+    }
+
+    #[test]
+    fn traced_snapshot_reports_cache_hit_and_miss() {
+        let mut it = fresh(2);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let (handle, _writer) = cached(it);
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let (first, t1) = snap.query_traced(&distinct);
+        assert_eq!(t1.cache, Some(pi_obs::CacheOutcome::Miss));
+        assert!(!t1.operators.is_empty());
+        let (second, t2) = snap.query_traced(&distinct);
+        assert_eq!(t2.cache, Some(pi_obs::CacheOutcome::Hit));
+        assert!(t2.operators.is_empty(), "a hit executed nothing");
+        assert_eq!(t2.partitions_visited, 0);
+        assert_eq!(first.column(0).as_int(), second.column(0).as_int());
+        // Traced and untraced share the cache: the untraced path now hits
+        // the entry the traced miss inserted.
+        let third = snap.query(&distinct);
+        assert_eq!(third.column(0).as_int(), first.column(0).as_int());
+        assert_eq!(handle.cache_stats().unwrap().hits, 2);
+    }
+
+    #[test]
+    fn traced_snapshot_reports_masked_pending_nuc_slots() {
+        use patchindex::ConcurrentTable;
+        let it = fresh(2).with_policy(deferred());
+        let (handle, mut writer) = ConcurrentTable::new(it);
+        let slot = writer.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let Value::Int(dup) = writer.staging().table().partition(0).value_at(1, 0) else {
+            panic!()
+        };
+        writer.insert(&[vec![Value::Int(999), Value::Int(dup)]]);
+        writer.publish(); // unflushed: pending NUC rides into the snapshot
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        let (_, trace) = snap.query_traced(&distinct);
+        assert_eq!(trace.planner.masked_pending_slots, vec![slot]);
+        assert!(trace.planner.slots_bound.is_empty());
+        assert_eq!(trace.cache, Some(pi_obs::CacheOutcome::Uncached));
+    }
+
+    #[test]
+    fn snapshot_queries_feed_the_metrics_registry() {
+        use patchindex::ConcurrentTable;
+        use pi_obs::MetricsRegistry;
+        let mut it = fresh(2);
+        it.add_index(1, Constraint::NearlyUnique, Design::Bitmap);
+        let reg = Arc::new(MetricsRegistry::new());
+        let cache = Arc::new(ResultCache::with_registry(
+            ResultCache::DEFAULT_BUDGET,
+            &reg,
+        ));
+        let (handle, _writer) =
+            ConcurrentTable::with_observability(it, Some(cache), Arc::clone(&reg));
+        let mut snap = handle.snapshot();
+        let distinct = Plan::scan(vec![1]).distinct(vec![0]);
+        snap.query_count(&distinct); // miss
+        snap.query_count(&distinct); // hit
+        snap.query_traced(&distinct); // rows-mode miss
+        assert_eq!(reg.counter("engine.queries").get(), 3);
+        assert_eq!(reg.histogram("engine.query_nanos").snapshot().count, 3);
+        assert_eq!(reg.counter("cache.hits").get(), 1);
+        assert_eq!(reg.counter("cache.misses").get(), 2);
+        assert!(reg.counter("planner.rewrites_chosen").get() >= 3);
     }
 
     #[test]

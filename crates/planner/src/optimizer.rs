@@ -28,11 +28,34 @@ use pi_exec::ops::sort::SortOrder;
 use crate::cost::estimate;
 use crate::logical::Plan;
 
+/// What the rewriter did during one [`optimize_with_stats`] pass — the
+/// planner third of an EXPLAIN ANALYZE trace.
+#[derive(Debug, Default, Clone)]
+pub struct OptimizeStats {
+    /// Candidate (site, index) rewrites whose pattern matched.
+    pub candidates_enumerated: u64,
+    /// Matching candidates the cost model rejected.
+    pub cost_gated: u64,
+    /// Sites where a rewrite won and was applied.
+    pub rewrites_chosen: u64,
+}
+
 /// Applies the PatchIndex rewrites wherever some catalog index matches
 /// and the cost model approves, then prunes zero branches (globally) if
 /// `zbp` is enabled.
 pub fn optimize(plan: Plan, cat: &IndexCatalog, zbp: bool) -> Plan {
-    let chosen = optimize_rec(plan, cat);
+    optimize_with_stats(plan, cat, zbp, &mut OptimizeStats::default())
+}
+
+/// [`optimize`] while counting candidates enumerated / cost-gated /
+/// chosen into `stats`.
+pub fn optimize_with_stats(
+    plan: Plan,
+    cat: &IndexCatalog,
+    zbp: bool,
+    stats: &mut OptimizeStats,
+) -> Plan {
+    let chosen = optimize_rec(plan, cat, stats);
     if zbp {
         zero_branch_prune(chosen, cat)
     } else {
@@ -40,31 +63,37 @@ pub fn optimize(plan: Plan, cat: &IndexCatalog, zbp: bool) -> Plan {
     }
 }
 
-fn optimize_rec(plan: Plan, cat: &IndexCatalog) -> Plan {
+fn optimize_rec(plan: Plan, cat: &IndexCatalog, stats: &mut OptimizeStats) -> Plan {
     match plan {
         Plan::Distinct { input, cols } => {
             let node = Plan::Distinct {
-                input: Box::new(optimize_rec(*input, cat)),
+                input: Box::new(optimize_rec(*input, cat, stats)),
                 cols,
             };
-            best_rewrite(node, cat)
+            best_rewrite(node, cat, stats)
         }
         Plan::Sort { input, keys } => {
             let node = Plan::Sort {
-                input: Box::new(optimize_rec(*input, cat)),
+                input: Box::new(optimize_rec(*input, cat, stats)),
                 keys,
             };
-            best_rewrite(node, cat)
+            best_rewrite(node, cat, stats)
         }
         Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(optimize_rec(*input, cat)),
+            input: Box::new(optimize_rec(*input, cat, stats)),
             n,
         },
         Plan::Union { inputs } => Plan::Union {
-            inputs: inputs.into_iter().map(|p| optimize_rec(p, cat)).collect(),
+            inputs: inputs
+                .into_iter()
+                .map(|p| optimize_rec(p, cat, stats))
+                .collect(),
         },
         Plan::Merge { inputs, keys } => Plan::Merge {
-            inputs: inputs.into_iter().map(|p| optimize_rec(p, cat)).collect(),
+            inputs: inputs
+                .into_iter()
+                .map(|p| optimize_rec(p, cat, stats))
+                .collect(),
             keys,
         },
         leaf => leaf,
@@ -73,17 +102,26 @@ fn optimize_rec(plan: Plan, cat: &IndexCatalog) -> Plan {
 
 /// Enumerates the candidate rewrites of this node across every catalog
 /// index and keeps the cheapest (the unrewritten node included).
-fn best_rewrite(node: Plan, cat: &IndexCatalog) -> Plan {
+fn best_rewrite(node: Plan, cat: &IndexCatalog, stats: &mut OptimizeStats) -> Plan {
     let mut best_cost = estimate(&node, cat);
     let mut best: Option<Plan> = None;
+    let mut enumerated_here = 0u64;
     for e in &cat.indexes {
         if let Some(cand) = rewrite_site(&node, e) {
+            enumerated_here += 1;
             let c = estimate(&cand, cat);
             if c < best_cost {
                 best_cost = c;
                 best = Some(cand);
             }
         }
+    }
+    stats.candidates_enumerated += enumerated_here;
+    if best.is_some() {
+        stats.rewrites_chosen += 1;
+        stats.cost_gated += enumerated_here - 1;
+    } else {
+        stats.cost_gated += enumerated_here;
     }
     best.unwrap_or(node)
 }

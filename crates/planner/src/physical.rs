@@ -19,18 +19,21 @@
 //! rows instead of draining fully.
 
 use std::borrow::{Borrow, Cow};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 use patchindex::scan::patch_scan;
 use patchindex::PatchIndex;
 use pi_exec::ops::agg::HashAggOp;
 use pi_exec::ops::filter::FilterOp;
 use pi_exec::ops::merge::{LimitOp, OrderedMergeOp, UnionAllOp};
+use pi_exec::ops::meter::{MeterOp, OpMeter};
 use pi_exec::ops::patch_select::PatchMode;
 use pi_exec::ops::probe::ProbeOp;
 use pi_exec::ops::scan::ScanOp;
 use pi_exec::ops::sort::SortOp;
 use pi_exec::{collect, Batch, OpRef};
+use pi_obs::OperatorTrace;
 use pi_storage::Table;
 
 use crate::logical::Plan;
@@ -90,6 +93,88 @@ impl TouchLog {
         (0..self.pulled.len())
             .filter(|&pid| self.pulled[pid].get() || self.consulted_empty[pid].get())
             .collect()
+    }
+}
+
+/// Collects per-operator meters during a metered (EXPLAIN ANALYZE)
+/// lowering — the operator half of a [`pi_obs::QueryTrace`].
+///
+/// Each plan node lowered for a partition (and each global combine)
+/// registers one [`OpMeter`]; after execution,
+/// [`operators`](ExecTrace::operators) yields the finished
+/// [`OperatorTrace`] rows. Execution is single-threaded, so `Rc` +
+/// `RefCell` suffice, mirroring [`TouchLog`].
+#[derive(Debug, Default)]
+pub struct ExecTrace {
+    meters: RefCell<Vec<MeterEntry>>,
+}
+
+/// One registered operator meter: label, partition (None for global
+/// combines), and the live meter handle.
+type MeterEntry = (String, Option<usize>, Rc<OpMeter>);
+
+impl ExecTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn meter(&self, label: String, pid: Option<usize>) -> Rc<OpMeter> {
+        let m = Rc::new(OpMeter::default());
+        self.meters.borrow_mut().push((label, pid, Rc::clone(&m)));
+        m
+    }
+
+    /// The per-operator rows observed so far, in registration order
+    /// (global combines first, then per-partition pipelines in
+    /// partition order).
+    pub fn operators(&self) -> Vec<OperatorTrace> {
+        self.meters
+            .borrow()
+            .iter()
+            .map(|(label, pid, m)| OperatorTrace {
+                label: label.clone(),
+                partition: *pid,
+                batches: m.batches(),
+                rows_out: m.rows_out(),
+                nanos: m.nanos(),
+            })
+            .collect()
+    }
+}
+
+/// The short operator-level name of a plan node (one trace row per
+/// node, not the full subtree rendering).
+fn node_label(plan: &Plan) -> &'static str {
+    match plan {
+        Plan::Scan {
+            filter: Some(_), ..
+        } => "Scan+Filter",
+        Plan::Scan { .. } => "Scan",
+        Plan::PatchScan {
+            mode: PatchMode::UsePatches,
+            ..
+        } => "PatchScan[use_patches]",
+        Plan::PatchScan { .. } => "PatchScan[exclude_patches]",
+        Plan::Distinct { .. } => "Distinct",
+        Plan::Sort { .. } => "Sort",
+        Plan::Limit { .. } => "Limit",
+        Plan::Union { .. } => "UnionAll",
+        Plan::Merge { .. } => "OrderedMerge",
+    }
+}
+
+/// Wraps `op` in a [`MeterOp`] charging to a fresh meter in `et`, when
+/// a metered lowering is active.
+fn meter_wrap<'a>(
+    op: OpRef<'a>,
+    et: Option<&ExecTrace>,
+    label: &str,
+    pid: Option<usize>,
+) -> OpRef<'a> {
+    match et {
+        Some(t) => Box::new(MeterOp::new(op, t.meter(label.to_string(), pid))),
+        None => op,
     }
 }
 
@@ -164,7 +249,19 @@ pub fn lower_partition<'a, I: Borrow<PatchIndex>>(
     indexes: &'a [I],
     pid: usize,
 ) -> OpRef<'a> {
-    match plan {
+    lower_partition_obs(plan, table, indexes, pid, None)
+}
+
+/// [`lower_partition`], wrapping every plan node in a [`MeterOp`] when a
+/// metered lowering is active.
+fn lower_partition_obs<'a, I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &'a Table,
+    indexes: &'a [I],
+    pid: usize,
+    et: Option<&ExecTrace>,
+) -> OpRef<'a> {
+    let op: OpRef<'a> = match plan {
         Plan::Scan { cols, filter } => {
             let scan: OpRef<'a> = Box::new(ScanOp::new(table.partition(pid), cols.clone(), false));
             match filter {
@@ -193,31 +290,32 @@ pub fn lower_partition<'a, I: Borrow<PatchIndex>>(
             Box::new(pi_exec::ops::filter::ProjectOp::new(filtered, keep))
         }
         Plan::Distinct { input, cols } => Box::new(HashAggOp::distinct(
-            lower_partition(input, table, indexes, pid),
+            lower_partition_obs(input, table, indexes, pid, et),
             cols.clone(),
         )),
         Plan::Sort { input, keys } => Box::new(SortOp::new(
-            lower_partition(input, table, indexes, pid),
+            lower_partition_obs(input, table, indexes, pid, et),
             keys.clone(),
         )),
         Plan::Limit { input, n } => Box::new(LimitOp::new(
-            lower_partition(input, table, indexes, pid),
+            lower_partition_obs(input, table, indexes, pid, et),
             *n,
         )),
         Plan::Union { inputs } => Box::new(UnionAllOp::new(
             inputs
                 .iter()
-                .map(|p| lower_partition(p, table, indexes, pid))
+                .map(|p| lower_partition_obs(p, table, indexes, pid, et))
                 .collect(),
         )),
         Plan::Merge { inputs, keys } => Box::new(OrderedMergeOp::new(
             inputs
                 .iter()
-                .map(|p| lower_partition(p, table, indexes, pid))
+                .map(|p| lower_partition_obs(p, table, indexes, pid, et))
                 .collect(),
             keys.clone(),
         )),
-    }
+    };
+    meter_wrap(op, et, node_label(plan), Some(pid))
 }
 
 /// Whether a per-partition `LIMIT` below the combine preserves the exact
@@ -278,17 +376,46 @@ pub fn lower_global_traced<'a, I: Borrow<PatchIndex>>(
     pruning: Pruning,
     trace: Option<&'a TouchLog>,
 ) -> OpRef<'a> {
+    lower_global_obs(plan, table, indexes, pruning, trace, None)
+}
+
+/// [`lower_global_traced`] with per-operator metering: every plan node
+/// (per partition) and every global combine reports wall clock, batch
+/// and row counts to `et` — the EXPLAIN ANALYZE lowering.
+pub fn lower_global_metered<'a, I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &'a Table,
+    indexes: &'a [I],
+    pruning: Pruning,
+    trace: Option<&'a TouchLog>,
+    et: &ExecTrace,
+) -> OpRef<'a> {
+    lower_global_obs(plan, table, indexes, pruning, trace, Some(et))
+}
+
+fn lower_global_obs<'a, I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &'a Table,
+    indexes: &'a [I],
+    pruning: Pruning,
+    trace: Option<&'a TouchLog>,
+    et: Option<&ExecTrace>,
+) -> OpRef<'a> {
     let parts = 0..table.partition_count();
     match plan {
         // Bags concatenate across partitions.
-        Plan::Scan { .. } | Plan::PatchScan { .. } => Box::new(UnionAllOp::new(
-            parts
-                .filter_map(|pid| {
-                    maybe_prune_traced(plan, table, indexes, pid, pruning, trace)
-                        .map(|p| probe(lower_partition(&p, table, indexes, pid), trace, pid))
-                })
-                .collect(),
-        )),
+        Plan::Scan { .. } | Plan::PatchScan { .. } => {
+            let combine: OpRef<'a> = Box::new(UnionAllOp::new(
+                parts
+                    .filter_map(|pid| {
+                        maybe_prune_traced(plan, table, indexes, pid, pruning, trace).map(|p| {
+                            probe(lower_partition_obs(&p, table, indexes, pid, et), trace, pid)
+                        })
+                    })
+                    .collect(),
+            ));
+            meter_wrap(combine, et, "UnionAll(global)", None)
+        }
         // Distinct is distributive: per-partition pre-aggregation, then a
         // global aggregation over the union of partials.
         Plan::Distinct { input, cols } => {
@@ -296,39 +423,52 @@ pub fn lower_global_traced<'a, I: Borrow<PatchIndex>>(
                 .filter_map(|pid| {
                     maybe_prune_traced(input, table, indexes, pid, pruning, trace).map(|p| {
                         let partial: OpRef<'a> = Box::new(HashAggOp::distinct(
-                            lower_partition(&p, table, indexes, pid),
+                            lower_partition_obs(&p, table, indexes, pid, et),
                             cols.clone(),
                         ));
-                        probe(partial, trace, pid)
+                        probe(
+                            meter_wrap(partial, et, "Distinct(partial)", Some(pid)),
+                            trace,
+                            pid,
+                        )
                     })
                 })
                 .collect();
-            Box::new(HashAggOp::distinct(
+            let combine: OpRef<'a> = Box::new(HashAggOp::distinct(
                 Box::new(UnionAllOp::new(partials)),
                 (0..cols.len()).collect(),
-            ))
+            ));
+            meter_wrap(combine, et, "Distinct(global)", None)
         }
         // Sorted flows merge across partitions. An input containing a
         // Distinct is not partition-distributive under a merge (only the
         // Distinct arm's global re-aggregation dedups across partitions),
         // so it is lowered globally and sorted once.
-        Plan::Sort { input, keys } if input.contains_distinct() => Box::new(SortOp::new(
-            lower_global_traced(input, table, indexes, pruning, trace),
-            keys.clone(),
-        )),
+        Plan::Sort { input, keys } if input.contains_distinct() => {
+            let sorted: OpRef<'a> = Box::new(SortOp::new(
+                lower_global_obs(input, table, indexes, pruning, trace, et),
+                keys.clone(),
+            ));
+            meter_wrap(sorted, et, "Sort(global)", None)
+        }
         Plan::Sort { input, keys } => {
             let sorted: Vec<OpRef<'a>> = parts
                 .filter_map(|pid| {
                     maybe_prune_traced(input, table, indexes, pid, pruning, trace).map(|p| {
                         let stream: OpRef<'a> = Box::new(SortOp::new(
-                            lower_partition(&p, table, indexes, pid),
+                            lower_partition_obs(&p, table, indexes, pid, et),
                             keys.clone(),
                         ));
-                        probe(stream, trace, pid)
+                        probe(
+                            meter_wrap(stream, et, "Sort(partition)", Some(pid)),
+                            trace,
+                            pid,
+                        )
                     })
                 })
                 .collect();
-            Box::new(OrderedMergeOp::new(sorted, keys.clone()))
+            let combine: OpRef<'a> = Box::new(OrderedMergeOp::new(sorted, keys.clone()));
+            meter_wrap(combine, et, "OrderedMerge(global)", None)
         }
         Plan::Merge { inputs, keys } => {
             // Each surviving (partition, child) stream is sorted; one
@@ -340,24 +480,32 @@ pub fn lower_global_traced<'a, I: Borrow<PatchIndex>>(
             let mut streams: Vec<OpRef<'a>> = Vec::new();
             for child in inputs {
                 if child.contains_distinct() {
-                    streams.push(lower_global_traced(child, table, indexes, pruning, trace));
+                    streams.push(lower_global_obs(child, table, indexes, pruning, trace, et));
                     continue;
                 }
                 for pid in parts.clone() {
                     if let Some(p) = maybe_prune_traced(child, table, indexes, pid, pruning, trace)
                     {
-                        streams.push(probe(lower_partition(&p, table, indexes, pid), trace, pid));
+                        streams.push(probe(
+                            lower_partition_obs(&p, table, indexes, pid, et),
+                            trace,
+                            pid,
+                        ));
                     }
                 }
             }
-            Box::new(OrderedMergeOp::new(streams, keys.clone()))
+            let combine: OpRef<'a> = Box::new(OrderedMergeOp::new(streams, keys.clone()));
+            meter_wrap(combine, et, "OrderedMerge(global)", None)
         }
-        Plan::Union { inputs } => Box::new(UnionAllOp::new(
-            inputs
-                .iter()
-                .map(|p| lower_global_traced(p, table, indexes, pruning, trace))
-                .collect(),
-        )),
+        Plan::Union { inputs } => {
+            let combine: OpRef<'a> = Box::new(UnionAllOp::new(
+                inputs
+                    .iter()
+                    .map(|p| lower_global_obs(p, table, indexes, pruning, trace, et))
+                    .collect(),
+            ));
+            meter_wrap(combine, et, "UnionAll(global)", None)
+        }
         Plan::Limit { input, n } => {
             if limit_pushes_down(input) {
                 // Cap every partition at n below the combine (each scan
@@ -366,19 +514,26 @@ pub fn lower_global_traced<'a, I: Borrow<PatchIndex>>(
                     .filter_map(|pid| {
                         maybe_prune_traced(input, table, indexes, pid, pruning, trace).map(|p| {
                             let capped: OpRef<'a> = Box::new(LimitOp::new(
-                                lower_partition(&p, table, indexes, pid),
+                                lower_partition_obs(&p, table, indexes, pid, et),
                                 *n,
                             ));
-                            probe(capped, trace, pid)
+                            probe(
+                                meter_wrap(capped, et, "Limit(partition)", Some(pid)),
+                                trace,
+                                pid,
+                            )
                         })
                     })
                     .collect();
-                Box::new(LimitOp::new(Box::new(UnionAllOp::new(capped)), *n))
+                let combine: OpRef<'a> =
+                    Box::new(LimitOp::new(Box::new(UnionAllOp::new(capped)), *n));
+                meter_wrap(combine, et, "Limit(global)", None)
             } else {
-                Box::new(LimitOp::new(
-                    lower_global_traced(input, table, indexes, pruning, trace),
+                let capped: OpRef<'a> = Box::new(LimitOp::new(
+                    lower_global_obs(input, table, indexes, pruning, trace, et),
                     *n,
-                ))
+                ));
+                meter_wrap(capped, et, "Limit(global)", None)
             }
         }
     }
@@ -420,6 +575,39 @@ pub fn execute_count_traced<I: Borrow<PatchIndex>>(
     trace: &TouchLog,
 ) -> usize {
     let mut root = lower_global_traced(plan, table, indexes, Pruning::PerPartition, Some(trace));
+    let mut n = 0;
+    while let Some(b) = root.next() {
+        n += b.len();
+    }
+    n
+}
+
+/// [`execute_traced`] with per-operator metering into `et` — the
+/// EXPLAIN ANALYZE execution (default per-partition pruning). Results
+/// are byte-identical to [`execute`]: the meters observe batches, they
+/// never alter them.
+pub fn execute_metered<I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &Table,
+    indexes: &[I],
+    trace: &TouchLog,
+    et: &ExecTrace,
+) -> Batch {
+    let mut root =
+        lower_global_metered(plan, table, indexes, Pruning::PerPartition, Some(trace), et);
+    collect(root.as_mut())
+}
+
+/// [`execute_count`] under the metered (EXPLAIN ANALYZE) lowering.
+pub fn execute_count_metered<I: Borrow<PatchIndex>>(
+    plan: &Plan,
+    table: &Table,
+    indexes: &[I],
+    trace: &TouchLog,
+    et: &ExecTrace,
+) -> usize {
+    let mut root =
+        lower_global_metered(plan, table, indexes, Pruning::PerPartition, Some(trace), et);
     let mut n = 0;
     while let Some(b) = root.next() {
         n += b.len();

@@ -7,7 +7,9 @@
 //! reservoir-sample evidence, the rewritten DISTINCT query, trickle
 //! inserts with collision detection via dynamic range propagation, the
 //! per-index error `e` and drift-rate monitoring behind the advisor's
-//! decisions, and the comparison against a materialized view.
+//! decisions, the observability surface (an EXPLAIN ANALYZE trace of
+//! the rewritten query plus a metrics-registry dump), and the
+//! comparison against a materialized view.
 //!
 //! Run with `cargo run --release --example dirty_warehouse`.
 
@@ -17,6 +19,7 @@ use patchindex::IndexedTable;
 use pi_advisor::{Advisor, AdvisorConfig};
 use pi_baselines::DistinctView;
 use pi_datagen::{generate, update_rows, MicroKind, MicroSpec};
+use pi_obs::MetricsRegistry;
 use pi_planner::{execute_count, Plan, QueryEngine, NO_INDEXES};
 
 fn main() {
@@ -25,12 +28,18 @@ fn main() {
     let rows = 200_000;
     let ds = generate(&MicroSpec::new(rows, 0.03, MicroKind::Nuc));
     let mut wh = IndexedTable::new(ds.table);
-    let mut advisor = Advisor::new(AdvisorConfig {
-        // Integrated data is dirty by nature; 3% duplicates must not
-        // block the index that serves the nightly dedup report.
-        create_threshold: 0.9,
-        ..AdvisorConfig::default()
-    });
+    // One registry for the whole process; the advisor mirrors its
+    // lifecycle actions onto it, and the final dump shows everything.
+    let registry = MetricsRegistry::new();
+    let mut advisor = Advisor::with_metrics(
+        AdvisorConfig {
+            // Integrated data is dirty by nature; 3% duplicates must not
+            // block the index that serves the nightly dedup report.
+            create_threshold: 0.9,
+            ..AdvisorConfig::default()
+        },
+        &registry,
+    );
 
     // The nightly report keeps asking "how many distinct customers?".
     let plan = Plan::scan(vec![1]).distinct(vec![0]);
@@ -71,6 +80,13 @@ fn main() {
         t_pi.as_secs_f64() * 1e3,
         t_ref.as_secs_f64() / t_pi.as_secs_f64().max(1e-9)
     );
+
+    // EXPLAIN ANALYZE on the nightly report: executes for real and
+    // shows the exclude/use-patches rewrite, planner counters, and
+    // per-operator wall clock — the same trace a serving layer would log.
+    let trace = wh.explain_analyze(&plan);
+    println!("\nEXPLAIN ANALYZE of the nightly report:");
+    println!("{}", trace.render_text());
 
     // Nightly trickle load: 500 new records, some colliding.
     let new_rows = update_rows(rows, MicroKind::Nuc, 500, 7);
@@ -116,4 +132,9 @@ fn main() {
 
     wh.check_consistency();
     println!("index consistent");
+
+    // Exit with the observability dump: every advisor decision made
+    // above is mirrored on the process-wide registry.
+    println!("\nmetrics registry at exit:");
+    print!("{}", registry.render_text());
 }
