@@ -213,6 +213,14 @@ impl Advisor {
         &self.cfg
     }
 
+    /// Replaces the patch-memory budget for subsequent steps. This is
+    /// the multi-tenant hook: a coordinator owning several advisors (one
+    /// per shard) re-divides one global budget by observed benefit
+    /// ([`crate::split_budget`]) and pushes each share down here.
+    pub fn set_memory_budget(&mut self, bytes: usize) {
+        self.cfg.memory_budget_bytes = bytes;
+    }
+
     /// Runs one step if at least `step_every` statements were applied
     /// since the last one — the cadence used when the advisor is
     /// piggybacked on the update path (see [`AdvisedTable`]).

@@ -60,8 +60,8 @@ pub mod policy;
 
 pub use advisor::{AdvisedTable, Advisor, AdvisorAction};
 pub use policy::{
-    decide, AdvisorConfig, CandidateObservation, Decision, DropReason, IndexObservation,
-    Observation,
+    decide, split_budget, AdvisorConfig, CandidateObservation, Decision, DropReason,
+    IndexObservation, Observation,
 };
 
 #[cfg(test)]

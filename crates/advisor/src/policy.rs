@@ -316,6 +316,49 @@ pub fn decide(cfg: &AdvisorConfig, obs: &Observation) -> Vec<Decision> {
     decisions
 }
 
+/// Splits a global patch-memory budget across shards proportionally to
+/// each shard's observed benefit (any non-negative currency — windowed
+/// cost saved, measured query micros, or query counts — as long as all
+/// shards report in the same one).
+///
+/// Shards with zero observed benefit still get a floor share: a shard
+/// that has never been queried must be able to create its first index,
+/// or it can never *earn* benefit. The floor is an equal split of 10%
+/// of the budget; the remaining 90% is divided pro rata. When no shard
+/// reports any benefit the whole budget splits equally. The shares sum
+/// to at most `total` (integer truncation may leave a few bytes
+/// unassigned).
+///
+/// ```
+/// use pi_advisor::split_budget;
+///
+/// // Twice the benefit ⇒ roughly twice the budget.
+/// let shares = split_budget(1_000_000, &[10.0, 20.0]);
+/// assert_eq!(shares.len(), 2);
+/// assert!(shares[1] > shares[0]);
+/// assert!(shares.iter().sum::<usize>() <= 1_000_000);
+///
+/// // No evidence yet ⇒ equal split.
+/// assert_eq!(split_budget(1_000, &[0.0, 0.0]), vec![500, 500]);
+/// ```
+pub fn split_budget(total: usize, benefits: &[f64]) -> Vec<usize> {
+    if benefits.is_empty() {
+        return Vec::new();
+    }
+    let n = benefits.len();
+    let sum: f64 = benefits.iter().map(|b| b.max(0.0)).sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return vec![total / n; n];
+    }
+    let floor_pool = total / 10;
+    let floor = floor_pool / n;
+    let pro_rata = (total - floor * n) as f64;
+    benefits
+        .iter()
+        .map(|b| floor + (pro_rata * (b.max(0.0) / sum)) as usize)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,5 +712,25 @@ mod tests {
             d.iter().find(|x| matches!(x, Decision::Create { .. })),
             Some(Decision::Create { column: 1, .. })
         ));
+    }
+    #[test]
+    fn split_budget_proportional_with_floor() {
+        let shares = split_budget(1_000_000, &[1.0, 3.0, 0.0, 0.0]);
+        assert_eq!(shares.len(), 4);
+        // Idle shards keep a creation floor.
+        assert!(shares[2] > 0 && shares[3] > 0);
+        // Benefit triples ⇒ share roughly triples (pro-rata part).
+        assert!(shares[1] > 2 * shares[0] && shares[1] < 4 * shares[0]);
+        assert!(shares.iter().sum::<usize>() <= 1_000_000);
+    }
+
+    #[test]
+    fn split_budget_degenerate_cases() {
+        assert!(split_budget(100, &[]).is_empty());
+        assert_eq!(split_budget(100, &[0.0]), vec![100]);
+        // NaN benefits are absorbed as zero by the clamp; the honest
+        // shard gets the pro-rata pool, the NaN one keeps the floor.
+        assert_eq!(split_budget(99, &[f64::NAN, 1.0]), vec![4, 95]);
+        assert_eq!(split_budget(80, &[-5.0, -5.0]), vec![40, 40]);
     }
 }

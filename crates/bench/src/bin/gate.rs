@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
 //! Compares freshly emitted `BENCH_{maintenance,planner,advisor,
-//! concurrency,durability,cache,obs}.json` against the checked-in `bench_baselines/*.json`
+//! concurrency,durability,cache,obs,serve}.json` against the checked-in `bench_baselines/*.json`
 //! and fails (exit 1) when any gated metric regressed beyond its
 //! tolerance. Metrics are chosen to be machine-portable — behavioral
 //! counts, ratios and speedups rather than raw seconds — so the gate
@@ -166,6 +166,13 @@ const METRICS: &[Metric] = &[
     // ~2.5% over its baseline at the default 25% base tolerance.
     m("obs", "trace.exact", Dir::Higher, 0.0),
     m("obs", "overhead.traced_over_untraced", Dir::Lower, 0.1),
+    // server: the post-quiesce byte-exactness audit is a correctness
+    // boolean (zero slack); the 4-shard-over-1 throughput gain from
+    // cache-invalidation locality and the 4-shard p99/p50 tail ratio
+    // are wall-clock-coupled and get wide ratio slack.
+    m("serve", "exact", Dir::Higher, 0.0),
+    m("serve", "speedup_4_over_1", Dir::Higher, 3.0),
+    m("serve", "p99_over_p50", Dir::Lower, 4.0),
 ];
 
 struct Row {
@@ -259,6 +266,7 @@ fn main() {
         "durability",
         "cache",
         "obs",
+        "serve",
     ];
     let mut fresh = std::collections::HashMap::new();
     let mut base = std::collections::HashMap::new();

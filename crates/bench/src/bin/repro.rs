@@ -1,10 +1,10 @@
 //! Reproduction harness: prints the paper's tables and figures.
 //!
 //! Usage:
-//! `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|ext|maintenance|planner|advisor|concurrency|durability|cache|obs|all]`
+//! `repro [fig1|fig6|table2|fig7|table3|fig8|fig9|fig10|fig11|ext|maintenance|planner|advisor|concurrency|durability|cache|obs|serve|all]`
 //! Scale via env: `PI_BITMAP_BITS`, `PI_MICRO_ROWS`, `PI_TPCH_SF`,
 //! `PI_UPDATES`, `PI_BULK_DELETES`, `PI_MAINT_*`, `PI_PLAN_*`,
-//! `PI_ADV_ROWS`, `PI_CONC_*`, `PI_DUR_*`, `PI_CACHE_*`, `PI_OBS_*`
+//! `PI_ADV_ROWS`, `PI_CONC_*`, `PI_DUR_*`, `PI_CACHE_*`, `PI_OBS_*`, `PI_SERVE_*`
 //! (see `experiments`).
 
 use pi_bench::experiments as ex;
@@ -32,6 +32,7 @@ fn main() {
         ("durability", ex::durability),
         ("cache", ex::cache),
         ("obs", ex::obs),
+        ("serve", ex::serve),
     ];
     let known: Vec<&str> = jobs.iter().map(|(n, _)| *n).collect();
     if what != "all" && !known.contains(&what) {

@@ -2491,3 +2491,296 @@ pub fn obs() -> String {
     }
     out
 }
+
+// ------------------------------------------------------------ Server layer
+
+/// Network frontend under mixed load: aggregate read throughput and
+/// tail latency of the `pi-server` TCP fan-out at 1 / 4 / 16 shards on
+/// the same machine, with a writer client churning single-row inserts
+/// (publish per statement) the whole time.
+///
+/// The headline mechanism is *invalidation locality*, not parallelism:
+/// every shard owns a private result cache, and a hash-routed write
+/// invalidates only its own shard's entries, so at N shards a
+/// dashboard-style repeated query recomputes ~1/N of the data per write
+/// instead of all of it. The post-quiesce audit replays every query in
+/// the mix index-free over the server's own shard snapshots and demands
+/// byte-identical responses (`exact` is a zero-slack gate boolean).
+///
+/// Writes `BENCH_serve.json` (`PI_SERVE_JSON` overrides the path).
+/// Scale via `PI_SERVE_ROWS` (total preloaded rows), `PI_SERVE_SECS`
+/// (measured window per shard count), `PI_SERVE_READERS`,
+/// `PI_SERVE_WRITE_PAUSE_US`, `PI_SERVE_SHARDS` (comma list),
+/// `PI_SERVE_AUDIT_ITERS`.
+pub fn serve() -> String {
+    use pi_planner::{execute, NO_INDEXES};
+    use pi_server::{
+        batch_rows, body_lines, canonical_rows, header, render_rows, Client, QuerySpec, Server,
+        ServerConfig,
+    };
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let rows = env_usize("PI_SERVE_ROWS", 120_000);
+    let secs = env_f64("PI_SERVE_SECS", 0.8);
+    let readers = env_usize("PI_SERVE_READERS", 3);
+    let write_pause_us = env_usize("PI_SERVE_WRITE_PAUSE_US", 2_500);
+    let audit_iters = env_usize("PI_SERVE_AUDIT_ITERS", 6);
+    let shard_counts: Vec<usize> = std::env::var("PI_SERVE_SHARDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 16]);
+    const VAL_DOMAIN: i64 = 61;
+
+    // Dashboard mix: distinct-heavy specs whose per-shard execution
+    // scans the shard but whose results (and so cache entries and wire
+    // responses) stay tiny — the shape result caching exists for.
+    let mix = [
+        "scan 1 | distinct 0 | sort 0:asc",
+        "scan 1,0 | distinct 0 | sort 0:desc",
+        "scan 1 | distinct 0 | limit 16",
+    ];
+
+    let schema = || {
+        pi_storage::Schema::new(vec![
+            pi_storage::Field::new("k", pi_storage::DataType::Int),
+            pi_storage::Field::new("v", pi_storage::DataType::Int),
+        ])
+    };
+    // Sums every occurrence of a counter name across the combined
+    // metrics document (one engine registry per shard).
+    let sum_metric = |doc: &str, name: &str| -> u64 {
+        let needle = format!("\"{name}\": ");
+        doc.match_indices(&needle)
+            .filter_map(|(i, _)| {
+                doc[i + needle.len()..]
+                    .split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .sum()
+    };
+    let strip_epochs = |resp: &str| -> String {
+        let hdr: Vec<&str> = header(resp)
+            .split(' ')
+            .filter(|tok| !tok.starts_with("epochs="))
+            .collect();
+        let mut out = hdr.join(" ");
+        for line in body_lines(resp) {
+            out.push('\n');
+            out.push_str(line);
+        }
+        out
+    };
+
+    struct ShardRun {
+        shards: usize,
+        queries: u64,
+        qps: f64,
+        p50_us: f64,
+        p99_us: f64,
+        writes: u64,
+        hit_ratio: f64,
+        audited: u64,
+    }
+
+    let run = |nshards: usize| -> ShardRun {
+        let cfg = ServerConfig {
+            shards: nshards,
+            publish_every: 1,
+            advise_every: 256,
+            ..ServerConfig::default()
+        };
+        let server = Server::empty(cfg, schema(), 2).expect("start server");
+        let addr = server.addr();
+
+        // Preload through the wire in multi-row batches, then a PUBLISH
+        // write barrier so the window starts fully visible.
+        let mut loader = Client::connect(addr).expect("connect loader");
+        let mut k = 0usize;
+        while k < rows {
+            let batch: Vec<String> = (k..(k + 500).min(rows))
+                .map(|i| format!("{i},{}", i as i64 % VAL_DOMAIN))
+                .collect();
+            let resp = loader
+                .request(&format!("INSERT {}", batch.join(";")))
+                .unwrap();
+            assert!(resp.starts_with("OK "), "preload failed: {resp}");
+            k += 500;
+        }
+        loader.request("FLUSH").unwrap();
+        loader.request("PUBLISH").unwrap();
+
+        let stop = AtomicBool::new(false);
+        let queries = AtomicU64::new(0);
+        let writes = AtomicU64::new(0);
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..readers {
+                let stop = &stop;
+                let queries = &queries;
+                let mix = &mix;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect reader");
+                    while !stop.load(Ordering::Relaxed) {
+                        for spec in mix {
+                            let resp = c.request(&format!("QUERY {spec}")).unwrap();
+                            assert!(resp.starts_with("OK "), "query failed: {resp}");
+                            queries.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let stop_w = &stop;
+            let writes = &writes;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect writer");
+                let mut rng = SmallRng::seed_from_u64(0x5E21E);
+                let mut next_key = rows as i64;
+                while !stop_w.load(Ordering::Relaxed) {
+                    let v = rng.gen_range(0..VAL_DOMAIN);
+                    let resp = c.request(&format!("INSERT {next_key},{v}")).unwrap();
+                    if resp.starts_with("OK ") {
+                        next_key += 1;
+                        writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_micros(write_pause_us as u64));
+                }
+            });
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            stop.store(true, Ordering::Relaxed);
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        // Window latency distribution from the server's own histogram
+        // (queries only — the audit below runs after this snapshot).
+        let lat = server.registry().histogram("server.query.nanos").snapshot();
+        let metrics_doc = server.metrics_json();
+        let hits = sum_metric(&metrics_doc, "cache.hits");
+        let misses = sum_metric(&metrics_doc, "cache.misses");
+
+        // Quiesce, then audit: every mix response must be byte-identical
+        // to an index-free replay over the server's own shard snapshots.
+        loader.request("FLUSH").unwrap();
+        loader.request("PUBLISH").unwrap();
+        let tables = server.tables();
+        let mut audited = 0u64;
+        let mut audit_client = Client::connect(addr).expect("connect auditor");
+        for _ in 0..audit_iters {
+            for spec_text in &mix {
+                let resp = audit_client.request(&format!("QUERY {spec_text}")).unwrap();
+                let spec = QuerySpec::parse(spec_text).unwrap();
+                let plan = spec.fanout_plan();
+                let mut ref_rows = Vec::new();
+                for table in &tables {
+                    let snap = table.snapshot();
+                    ref_rows.extend(batch_rows(&execute(&plan, snap.table(), NO_INDEXES)));
+                }
+                let ref_rows = canonical_rows(&spec, ref_rows);
+                let want = format!(
+                    "OK rows={} cols={}{}",
+                    ref_rows.len(),
+                    spec.output_width(),
+                    render_rows(&ref_rows)
+                );
+                assert_eq!(
+                    strip_epochs(&resp),
+                    want,
+                    "served response diverged from index-free replay for {spec_text:?} \
+                     at {nshards} shards"
+                );
+                audited += 1;
+            }
+        }
+        server.shutdown();
+
+        let q = queries.load(Ordering::Relaxed);
+        ShardRun {
+            shards: nshards,
+            queries: q,
+            qps: q as f64 / elapsed.max(1e-9),
+            p50_us: lat.p50() as f64 / 1e3,
+            p99_us: lat.p99() as f64 / 1e3,
+            writes: writes.load(Ordering::Relaxed),
+            hit_ratio: hits as f64 / (hits + misses).max(1) as f64,
+            audited,
+        }
+    };
+
+    let results: Vec<ShardRun> = shard_counts.iter().map(|&n| run(n)).collect();
+
+    let mut out = format!(
+        "Server fan-out under mixed load: {rows} preloaded rows, {readers} reader clients + 1 \
+         writer (1 row / {write_pause_us}us, publish per statement), {secs:.1}s window per shard \
+         count\n\n"
+    );
+    let mut table = TablePrinter::new(&[
+        "shards",
+        "queries",
+        "qps",
+        "p50",
+        "p99",
+        "writes",
+        "hit ratio",
+        "audited",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.shards.to_string(),
+            r.queries.to_string(),
+            format!("{:.0}", r.qps),
+            format!("{:.0}us", r.p50_us),
+            format!("{:.0}us", r.p99_us),
+            r.writes.to_string(),
+            format!("{:.3}", r.hit_ratio),
+            r.audited.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let qps_of = |n: usize| results.iter().find(|r| r.shards == n).map(|r| r.qps);
+    let (base_qps, best_qps) = match (qps_of(1), qps_of(4)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => (results.first().unwrap().qps, results.last().unwrap().qps),
+    };
+    let speedup = best_qps / base_qps.max(1e-9);
+    let tail = results
+        .iter()
+        .find(|r| r.shards == 4)
+        .or_else(|| results.last())
+        .unwrap();
+    let tail_ratio = tail.p99_us / tail.p50_us.max(1e-9);
+    let total_audited: u64 = results.iter().map(|r| r.audited).sum();
+    let exact = total_audited == (audit_iters * mix.len() * results.len()) as u64;
+    out.push_str(&format!(
+        "\n4-shard aggregate read throughput {speedup:.2}x over 1 shard (invalidation locality); \
+         p99/p50 at {} shards {tail_ratio:.1}; {total_audited} audited responses byte-identical\n",
+        tail.shards
+    ));
+
+    let json_rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"shards\": {}, \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"writes\": {}, \"hit_ratio\": {:.4}, \"audited\": {}}}",
+                r.shards, r.queries, r.qps, r.p50_us, r.p99_us, r.writes, r.hit_ratio, r.audited
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"serve\",\n  \"config\": {{\"rows\": {rows}, \"seconds\": {secs}, \
+         \"readers\": {readers}, \"write_pause_us\": {write_pause_us}, \
+         \"audit_iters\": {audit_iters}}},\n  \"results\": [\n{}\n  ],\n  \
+         \"speedup_4_over_1\": {speedup:.3},\n  \"p99_over_p50\": {tail_ratio:.3},\n  \
+         \"exact\": {}\n}}\n",
+        json_rows.join(",\n"),
+        exact as u8,
+    );
+    let path = std::env::var("PI_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => out.push_str(&format!("wrote {path}\n")),
+        Err(e) => out.push_str(&format!("could not write {path}: {e}\n")),
+    }
+    out
+}

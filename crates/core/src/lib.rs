@@ -62,6 +62,7 @@ mod index;
 mod indexed;
 pub mod lis;
 mod maintenance;
+pub mod routing;
 pub mod sampling;
 pub mod scan;
 pub mod snapshot;

@@ -1,0 +1,115 @@
+//! Hash routing of rows onto table shards.
+//!
+//! A *shard* is an independent `ConcurrentTable` (own writer, own
+//! epochs, own indexes); a server fronting N shards routes each inserted
+//! row by hashing one designated column — the *routing column* — so a
+//! given key always lands on the same shard and re-sharding is a pure
+//! function of `(value, nshards)`. The hash is FNV-1a over a canonical
+//! byte encoding of the [`Value`], so routing is stable across runs,
+//! platforms, and checkpoint/recovery cycles (no `RandomState`).
+//!
+//! ```
+//! use patchindex::routing::shard_of;
+//! use pi_storage::Value;
+//!
+//! // Stable: the same key always routes to the same shard.
+//! let a = shard_of(&Value::Int(42), 4);
+//! assert_eq!(a, shard_of(&Value::Int(42), 4));
+//! assert!(a < 4);
+//!
+//! // One shard is the degenerate case: everything routes to 0.
+//! assert_eq!(shard_of(&Value::Str("tenant-7".into()), 1), 0);
+//! ```
+
+use pi_storage::Value;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable 64-bit hash of a [`Value`], independent of process or
+/// platform. Variants are domain-separated by a leading tag byte so
+/// `Int(0)` and `Float(0.0)` do not collide structurally.
+pub fn value_hash(v: &Value) -> u64 {
+    match v {
+        Value::Int(i) => fnv1a(fnv1a(FNV_OFFSET, &[0x01]), &i.to_le_bytes()),
+        Value::Float(f) => fnv1a(fnv1a(FNV_OFFSET, &[0x02]), &f.to_bits().to_le_bytes()),
+        Value::Str(s) => fnv1a(fnv1a(FNV_OFFSET, &[0x03]), s.as_bytes()),
+    }
+}
+
+/// The shard a routing-key value belongs to, in `0..nshards`.
+///
+/// # Panics
+///
+/// Panics if `nshards` is zero.
+pub fn shard_of(key: &Value, nshards: usize) -> usize {
+    assert!(nshards > 0, "need at least one shard");
+    (value_hash(key) % nshards as u64) as usize
+}
+
+/// Routes one row by its routing column. Convenience over
+/// [`shard_of`] that panics with a clear message when the row is too
+/// short to contain the routing column.
+pub fn route_row(row: &[Value], route_col: usize, nshards: usize) -> usize {
+    let key = row.get(route_col).unwrap_or_else(|| {
+        panic!(
+            "row has {} columns, routing column is {route_col}",
+            row.len()
+        )
+    });
+    shard_of(key, nshards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_in_range() {
+        for n in 1..=16usize {
+            for i in 0..1000i64 {
+                let s = shard_of(&Value::Int(i), n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(&Value::Int(i), n));
+            }
+        }
+    }
+
+    #[test]
+    fn spreads_across_shards() {
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for i in 0..10_000i64 {
+            counts[shard_of(&Value::Int(i), n)] += 1;
+        }
+        for &c in &counts {
+            // Uniform would be 2500 per shard; accept a generous band.
+            assert!(c > 1500 && c < 3500, "skewed shard counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn variants_are_domain_separated() {
+        assert_ne!(value_hash(&Value::Int(0)), value_hash(&Value::Float(0.0)));
+        assert_ne!(
+            value_hash(&Value::Int(0)),
+            value_hash(&Value::Str(String::new()))
+        );
+    }
+
+    #[test]
+    fn route_row_uses_designated_column() {
+        let row = vec![Value::Int(7), Value::Str("x".into())];
+        assert_eq!(route_row(&row, 0, 8), shard_of(&Value::Int(7), 8));
+        assert_eq!(route_row(&row, 1, 8), shard_of(&Value::Str("x".into()), 8));
+    }
+}

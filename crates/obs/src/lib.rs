@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 mod registry;
+mod scope;
 mod trace;
 mod window;
 
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSnapshot, MetricsRegistry,
 };
+pub use scope::ScopedRegistry;
 pub use trace::{
     fmt_nanos, CacheOutcome, OperatorTrace, PlannerTrace, QueryTrace, Span, SpanRecord,
 };

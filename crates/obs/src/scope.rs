@@ -1,0 +1,134 @@
+//! Label scoping over a shared [`MetricsRegistry`].
+//!
+//! Multi-tenant components (the server's shards, most prominently) want
+//! one registry per process — a single `/metrics` snapshot — while still
+//! telling tenants apart. The convention is a *label prefix*: a scope
+//! named `shard3` registers `queue.depth` as `shard3.queue.depth`.
+//! [`ScopedRegistry`] carries that prefix so call sites keep writing
+//! bare metric names; scopes nest with `.` separators.
+//!
+//! Conventions used across the workspace:
+//!
+//! * shards are labelled `shard<N>` (`shard0.statements`, …);
+//! * the serving layer itself uses `server` (`server.connections`);
+//! * names under a scope stay `lowercase.dot.separated`, like every
+//!   unscoped metric.
+
+use std::sync::Arc;
+
+use crate::registry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// A view of a [`MetricsRegistry`] that prefixes every metric name with
+/// a label, per the `label.metric.name` convention.
+///
+/// ```
+/// use std::sync::Arc;
+/// use pi_obs::MetricsRegistry;
+///
+/// let reg = Arc::new(MetricsRegistry::new());
+/// let shard = reg.scoped("shard0");
+/// shard.counter("statements").inc();
+/// shard.scoped("wal").counter("records").inc(); // scopes nest
+///
+/// let json = reg.snapshot_json();
+/// assert!(json.contains("\"shard0.statements\": 1"));
+/// assert!(json.contains("\"shard0.wal.records\": 1"));
+/// ```
+#[derive(Clone)]
+pub struct ScopedRegistry {
+    registry: Arc<MetricsRegistry>,
+    prefix: String,
+}
+
+impl ScopedRegistry {
+    /// Scopes `registry` under `label`. Prefer
+    /// [`MetricsRegistry::scoped`], which reads better at call sites.
+    pub fn new(registry: Arc<MetricsRegistry>, label: &str) -> Self {
+        assert!(!label.is_empty(), "scope label must be non-empty");
+        ScopedRegistry {
+            registry,
+            prefix: format!("{label}."),
+        }
+    }
+
+    /// A nested scope: `reg.scoped("shard0").scoped("wal")` prefixes
+    /// with `shard0.wal.`.
+    pub fn scoped(&self, label: &str) -> ScopedRegistry {
+        ScopedRegistry {
+            registry: Arc::clone(&self.registry),
+            prefix: format!("{}{label}.", self.prefix),
+        }
+    }
+
+    /// The underlying shared registry (snapshot the whole process from
+    /// here).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The counter `"{label}.{name}"` in the underlying registry.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(&format!("{}{name}", self.prefix))
+    }
+
+    /// The gauge `"{label}.{name}"` in the underlying registry.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(&format!("{}{name}", self.prefix))
+    }
+
+    /// The histogram `"{label}.{name}"` in the underlying registry.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(&format!("{}{name}", self.prefix))
+    }
+}
+
+impl MetricsRegistry {
+    /// A [`ScopedRegistry`] view of `self` under `label` — every metric
+    /// registered through it is named `label.<name>`.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pi_obs::MetricsRegistry;
+    ///
+    /// let reg = Arc::new(MetricsRegistry::new());
+    /// reg.scoped("shard1").gauge("queue.depth").set(3);
+    /// assert!(reg.snapshot_json().contains("\"shard1.queue.depth\": 3"));
+    /// ```
+    pub fn scoped(self: &Arc<Self>, label: &str) -> ScopedRegistry {
+        ScopedRegistry::new(Arc::clone(self), label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_and_nests() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let s = reg.scoped("shard2");
+        s.counter("a").add(5);
+        s.scoped("inner").histogram("lat").record(100);
+        s.gauge("g").set(-2);
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"shard2.a".to_string()));
+        assert!(names.contains(&"shard2.inner.lat".to_string()));
+        assert!(names.contains(&"shard2.g".to_string()));
+    }
+
+    #[test]
+    fn same_name_same_handle() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let a = reg.scoped("s").counter("x");
+        let b = reg.scoped("s").counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_label_rejected() {
+        let _ = ScopedRegistry::new(Arc::new(MetricsRegistry::new()), "");
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal blocking reference client speaking the framed mode of the
+//! wire protocol — one request frame out, one response frame back.
+//!
+//! This is both the client the integration tests and benchmarks use and
+//! the executable documentation of the codec: `request` is all there is
+//! to implementing a conforming client (line mode exists for humans
+//! over `nc`; see `docs/WIRE_PROTOCOL.md`).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking framed-mode connection to a [`crate::Server`].
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server (usually `server.addr()`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one command and returns the raw response payload (an
+    /// `OK ...` or `ERR <Code> ...` document; see
+    /// [`header`] / [`body_lines`]).
+    pub fn request(&mut self, cmd: &str) -> io::Result<String> {
+        write!(self.writer, "{}\n{cmd}", cmd.len())?;
+        self.writer.flush()?;
+        self.read_frame()
+    }
+
+    fn read_frame(&mut self) -> io::Result<String> {
+        let mut len = 0usize;
+        let mut any = false;
+        loop {
+            let mut b = [0u8; 1];
+            self.reader.read_exact(&mut b)?;
+            match b[0] {
+                b'\n' if any => break,
+                d if d.is_ascii_digit() => {
+                    any = true;
+                    len = len * 10 + (d - b'0') as usize;
+                }
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "malformed response frame",
+                    ))
+                }
+            }
+        }
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        String::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))
+    }
+
+    /// Sends one command line in *line mode* and reads the
+    /// dot-terminated response — what an `nc` user sees. Mostly useful
+    /// for protocol tests; programs should prefer [`request`](Self::request).
+    pub fn request_line_mode(&mut self, cmd: &str) -> io::Result<String> {
+        writeln!(self.writer, "{cmd}")?;
+        self.writer.flush()?;
+        let mut payload = String::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line == "." {
+                break;
+            }
+            let line = line.strip_prefix('.').unwrap_or(line);
+            if !payload.is_empty() {
+                payload.push('\n');
+            }
+            payload.push_str(line);
+        }
+        Ok(payload)
+    }
+}
+
+/// The response's header (first) line.
+pub fn header(resp: &str) -> &str {
+    resp.split('\n').next().unwrap_or(resp)
+}
+
+/// The value of a `key=value` field on the header line, if present.
+pub fn header_field<'a>(resp: &'a str, key: &str) -> Option<&'a str> {
+    header(resp)
+        .split(' ')
+        .find_map(|tok| tok.strip_prefix(key).and_then(|t| t.strip_prefix('=')))
+}
+
+/// The response's body lines (everything after the header).
+pub fn body_lines(resp: &str) -> Vec<&str> {
+    resp.split('\n').skip(1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_parsing() {
+        let resp = "OK rows=2 cols=1 epochs=0:3@5\n1\n2";
+        assert_eq!(header(resp), "OK rows=2 cols=1 epochs=0:3@5");
+        assert_eq!(header_field(resp, "rows"), Some("2"));
+        assert_eq!(header_field(resp, "epochs"), Some("0:3@5"));
+        assert_eq!(header_field(resp, "missing"), None);
+        assert_eq!(body_lines(resp), vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Ring-buffered slow-query log.
+//!
+//! Every query runs through `QueryEngine::query_traced`; when the
+//! request's wall clock crosses the configured threshold, its canonical
+//! spec, latency, result size, the per-shard `(epoch, seq)` watermarks
+//! it was served at, and the per-shard EXPLAIN ANALYZE traces are
+//! recorded here. `SLOWLOG` renders the ring newest-first.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use pi_obs::fmt_nanos;
+
+/// One slow query.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Canonical spec text (`QuerySpec::render`).
+    pub spec: String,
+    /// End-to-end wall clock of the request, nanoseconds.
+    pub nanos: u64,
+    /// Rows in the combined result.
+    pub rows: usize,
+    /// Per-shard watermarks, `shard:epoch@seq` comma-separated.
+    pub epochs: String,
+    /// Per-shard EXPLAIN ANALYZE traces (`QueryTrace::render_text`).
+    pub traces: String,
+}
+
+/// Fixed-capacity ring of [`SlowEntry`]s; oldest entries fall off.
+pub struct SlowLog {
+    cap: usize,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// An empty log keeping at most `cap` entries (`cap == 0` disables
+    /// recording).
+    pub fn new(cap: usize) -> Self {
+        SlowLog {
+            cap,
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one entry, evicting the oldest past capacity.
+    pub fn record(&self, entry: SlowEntry) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() == self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The `SLOWLOG` response payload: `OK entries=<n>` then one block
+    /// per entry, newest first.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = format!("OK entries={}", entries.len());
+        for e in entries.iter().rev() {
+            out.push_str(&format!(
+                "\n-- {} rows={} epochs={} spec: {}",
+                fmt_nanos(e.nanos),
+                e.rows,
+                e.epochs,
+                e.spec
+            ));
+            for line in e.traces.lines() {
+                out.push_str("\n   ");
+                out.push_str(line);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(spec: &str, nanos: u64) -> SlowEntry {
+        SlowEntry {
+            spec: spec.into(),
+            nanos,
+            rows: 1,
+            epochs: "0:1@1".into(),
+            traces: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = SlowLog::new(2);
+        log.record(entry("a", 1));
+        log.record(entry("b", 2));
+        log.record(entry("c", 3));
+        let specs: Vec<String> = log.entries().into_iter().map(|e| e.spec).collect();
+        assert_eq!(specs, vec!["b", "c"]);
+        // Newest first in the rendering.
+        let render = log.render();
+        assert!(render.starts_with("OK entries=2"));
+        assert!(render.find("spec: c").unwrap() < render.find("spec: b").unwrap());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = SlowLog::new(0);
+        log.record(entry("a", 1));
+        assert!(log.is_empty());
+    }
+}

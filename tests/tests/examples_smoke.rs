@@ -6,11 +6,12 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 4] = [
+const EXAMPLES: [&str; 5] = [
     "quickstart",
     "constraint_drift",
     "dirty_warehouse",
     "sensor_timeseries",
+    "serve_quickstart",
 ];
 
 #[test]
